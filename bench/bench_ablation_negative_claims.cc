@@ -1,0 +1,74 @@
+// Ablation: the value of negative claims as truth becomes multi-valued.
+//
+// The paper's central design claim is that two-sided quality + negative
+// claims are what make multi-truth attributes tractable (§1, §3.2). This
+// bench sweeps the expected number of directors per movie and compares
+// LTM against the LTMpos ablation (positive claims only) and Voting. The
+// gap between LTM and LTMpos should widen as entities carry more
+// simultaneously-true facts.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "eval/roc.h"
+#include "eval/table_printer.h"
+#include "truth/ltm.h"
+#include "truth/registry.h"
+
+namespace ltm {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Ablation: negative claims vs multi-truth degree (movie data)");
+  TablePrinter table({"E[directors]", "LTM acc", "LTMpos acc", "Voting acc",
+                      "LTM AUC", "LTMpos AUC"});
+  for (double extra : {0.0, 0.2, 0.5, 1.0, 1.5}) {
+    synth::MovieSimOptions gen;
+    gen.num_movies = 4000;
+    gen.extra_director_rate = extra;
+    gen.seed = 77;
+    Dataset ds = synth::GenerateMovieDataset(gen);
+    TruthLabels labels = synth::LabelsForEntities(
+        ds, synth::SampleEntities(ds, 100, 100));
+
+    LtmOptions opts = LtmOptions::ScaledDefaults(ds.facts.NumFacts());
+    opts.iterations = 120;
+    opts.burnin = 30;
+    opts.sample_gap = 2;
+
+    LatentTruthModel ltm_model(opts);
+    TruthEstimate ltm_est = ltm_model.Run(ds.facts, ds.claims);
+
+    LtmOptions pos_opts = opts;
+    pos_opts.positive_claims_only = true;
+    LatentTruthModel pos_model(pos_opts);
+    TruthEstimate pos_est = pos_model.Run(ds.facts, ds.claims);
+
+    auto voting = CreateMethod("Voting");
+    TruthEstimate vote_est = (*voting)->Run(ds.facts, ds.claims);
+
+    table.AddRow(
+        FormatDouble(1.0 + extra, 1),
+        {EvaluateAtThreshold(ltm_est.probability, labels, 0.5).accuracy(),
+         EvaluateAtThreshold(pos_est.probability, labels, 0.5).accuracy(),
+         EvaluateAtThreshold(vote_est.probability, labels, 0.5).accuracy(),
+         AucScore(ltm_est.probability, labels),
+         AucScore(pos_est.probability, labels)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: LTMpos accuracy equals the labeled-true fraction (it\n"
+      "accepts everything) and its AUC decays with multi-truth degree;\n"
+      "LTM stays high throughout — negative claims carry the signal.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ltm
+
+int main() {
+  ltm::bench::Run();
+  return 0;
+}

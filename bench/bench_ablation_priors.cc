@@ -1,0 +1,73 @@
+// Ablation: the specificity prior (alpha0) — strength and mean.
+//
+// §4.3.1 argues alpha0 must strongly favour high specificity "since
+// otherwise the model could flip every truth while still achieving high
+// likelihood", and §6.2 adds that the prior counts must be at the scale
+// of the number of facts to become effective. This bench sweeps both the
+// strength (as a fraction of the fact count) and the prior FPR mean on
+// the movie data, reporting accuracy/F1 at threshold 0.5.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "truth/ltm.h"
+
+namespace ltm {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchDataset movies = MakeMovieBench(6000);
+  std::printf("%s\n", movies.data.SummaryString().c_str());
+  const size_t num_facts = movies.data.facts.NumFacts();
+
+  PrintHeader("Ablation: alpha0 strength (fraction of #facts), FPR mean 0.01");
+  {
+    TablePrinter table({"Strength fraction", "Accuracy", "F1", "FPR"});
+    for (double frac : {0.0001, 0.001, 0.01, 0.1, 0.3, 1.0, 3.0}) {
+      LtmOptions opts = movies.ltm_options;
+      const double strength = frac * static_cast<double>(num_facts);
+      opts.alpha0 = BetaPrior{0.01 * strength, 0.99 * strength};
+      LatentTruthModel model(opts);
+      TruthEstimate est = model.Run(movies.data.facts, movies.data.claims);
+      PointMetrics m =
+          EvaluateAtThreshold(est.probability, movies.eval_labels, 0.5);
+      table.AddRow(FormatDouble(frac, 4), {m.accuracy(), m.f1(), m.fpr()});
+    }
+    table.Print();
+    std::printf(
+        "\nExpected: very weak priors under-constrain specificity (higher\n"
+        "FPR); the paper's ~0.3x facts regime is near-optimal; extreme\n"
+        "strength pins all sources to the prior mean and costs accuracy.\n");
+  }
+
+  PrintHeader("Ablation: alpha0 prior FPR mean, strength 0.3 * #facts");
+  {
+    TablePrinter table({"Prior FPR mean", "Accuracy", "F1", "FPR"});
+    for (double mean : {0.001, 0.005, 0.01, 0.05, 0.1, 0.3, 0.5}) {
+      LtmOptions opts = movies.ltm_options;
+      const double strength = 0.3 * static_cast<double>(num_facts);
+      opts.alpha0 = BetaPrior{mean * strength, (1.0 - mean) * strength};
+      LatentTruthModel model(opts);
+      TruthEstimate est = model.Run(movies.data.facts, movies.data.claims);
+      PointMetrics m =
+          EvaluateAtThreshold(est.probability, movies.eval_labels, 0.5);
+      table.AddRow(FormatDouble(mean, 3), {m.accuracy(), m.f1(), m.fpr()});
+    }
+    table.Print();
+    std::printf(
+        "\nExpected: accuracy degrades as the prior stops asserting high\n"
+        "specificity (mean -> 0.5), the truth-flipping failure mode of\n"
+        "§4.3.1.\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ltm
+
+int main() {
+  ltm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces paper Figure 2: accuracy as a function of the decision
+// threshold for every method, on the book and the movie datasets. Prints
+// one series per method on a 0.05 grid (the paper plots the same curves).
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "eval/table_printer.h"
+#include "eval/threshold_sweep.h"
+#include "truth/registry.h"
+
+namespace ltm {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& title, const BenchDataset& bench) {
+  PrintHeader("Figure 2 (" + title + "): accuracy vs threshold");
+
+  const int steps = 20;
+  std::vector<std::string> header{"Method"};
+  for (int i = 0; i <= steps; ++i) {
+    header.push_back(FormatDouble(static_cast<double>(i) / steps, 2));
+  }
+  TablePrinter table(header);
+
+  for (const std::string& name : MethodNames()) {
+    auto method = CreateMethod(name, bench.ltm_options);
+    TruthEstimate est = (*method)->Run(bench.data.facts, bench.data.claims);
+    ThresholdSweep sweep =
+        SweepThresholds(est.probability, bench.eval_labels, 0.0, 1.0, steps);
+    std::vector<double> accuracies;
+    for (const PointMetrics& m : sweep.metrics) {
+      accuracies.push_back(m.accuracy());
+    }
+    table.AddRow(name, accuracies, 3);
+    std::printf("%-18s optimal threshold %.2f (accuracy %.3f)\n", name.c_str(),
+                sweep.BestAccuracyThreshold(), sweep.BestAccuracy());
+  }
+  std::printf("\n");
+  table.Print();
+}
+
+void Run() {
+  RunDataset("book data", MakeBookBench());
+  RunDataset("movie data", MakeMovieBench());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ltm
+
+int main() {
+  ltm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces paper Figure 4: LTM accuracy on synthetic data generated from
+// the model's own process while expected source quality degrades. Two
+// series: vary expected sensitivity with expected specificity fixed at 0.9,
+// and vary expected specificity with expected sensitivity fixed at 0.9
+// (§6.1.1: 10000 facts, 20 sources, all-pairs claims, beta = (10, 10)).
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "synth/ltm_process.h"
+#include "truth/ltm.h"
+
+namespace ltm {
+namespace bench {
+namespace {
+
+double AccuracyAt(const BetaPrior& gen_alpha0, const BetaPrior& gen_alpha1,
+                  uint64_t seed) {
+  synth::LtmProcessOptions gen;
+  gen.num_facts = 10000;
+  gen.num_sources = 20;
+  gen.alpha0 = gen_alpha0;
+  gen.alpha1 = gen_alpha1;
+  gen.beta = BetaPrior{10.0, 10.0};
+  gen.seed = seed;
+  synth::LtmProcessData data = synth::GenerateLtmProcess(gen);
+
+  // Inference priors as in the other experiments: strong specificity
+  // belief, uniform-ish sensitivity, scaled to the fact count.
+  LtmOptions opts = LtmOptions::ScaledDefaults(gen.num_facts);
+  opts.iterations = 100;
+  opts.burnin = 20;
+  opts.sample_gap = 4;
+  opts.seed = seed + 1;
+  LatentTruthModel model(opts);
+  TruthEstimate est = model.Run(data.facts, data.claims);
+  return EvaluateAtThreshold(est.probability, data.truth, 0.5).accuracy();
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 4: LTM accuracy under degraded synthetic source quality");
+  TablePrinter table({"Expected quality", "Vary sensitivity (spec=0.9)",
+                      "Vary specificity (sens=0.9)"});
+  for (int level = 1; level <= 9; ++level) {
+    const double q = level / 10.0;
+    // Beta(100q, 100(1-q)) has mean q; the paper sweeps (10,90)..(90,10).
+    const BetaPrior varying{q * 100.0, (1.0 - q) * 100.0};
+    const BetaPrior fixed_high{90.0, 10.0};   // Mean 0.9.
+    const BetaPrior fixed_low{10.0, 90.0};    // Mean 0.1 (for FPR = 1-spec).
+
+    // Series 1: expected specificity 0.9 (alpha0 mean 0.1), sensitivity q.
+    const double acc_sens = AccuracyAt(fixed_low, varying, 1000 + level);
+    // Series 2: expected sensitivity 0.9, specificity q (alpha0 mean 1-q).
+    const BetaPrior fpr_prior{(1.0 - q) * 100.0, q * 100.0};
+    const double acc_spec = AccuracyAt(fpr_prior, fixed_high, 2000 + level);
+
+    table.AddRow(FormatDouble(q, 1), {acc_sens, acc_spec});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): accuracy ~1 above quality 0.6; the\n"
+      "specificity series collapses faster than the sensitivity series;\n"
+      "near-random prediction at specificity ~0.3 / sensitivity ~0.1.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ltm
+
+int main() {
+  ltm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces paper Figure 5: convergence of the collapsed Gibbs sampler on
+// the movie data. In a single run, 7 sequential predictions are made from
+// the samples of the first 7/10/20/50/100/200/500 iterations with matched
+// burn-in (2/2/5/10/20/50/100) and sample gaps (1/1/1/2/5/5/10); the whole
+// protocol is repeated 10 times to report mean accuracy and 95% CIs.
+
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "truth/ltm.h"
+
+namespace ltm {
+namespace bench {
+namespace {
+
+struct Checkpoint {
+  int total_iterations;
+  int burnin;
+  int gap;  // Keep every gap-th post-burn-in sweep.
+};
+
+void Run() {
+  BenchDataset movies = MakeMovieBench();
+  std::printf("%s\n", movies.data.SummaryString().c_str());
+
+  // Paper protocol: iterations 7..500 with burn-in 2..100; the paper's
+  // "sample gap" g means keep every (g+1)-th sample, hence gap = g + 1.
+  const std::vector<Checkpoint> checkpoints{
+      {7, 2, 1},    {10, 2, 1},  {20, 5, 1},   {50, 10, 2},
+      {100, 20, 5}, {200, 50, 5}, {500, 100, 10},
+  };
+  const int repeats = 10;
+
+  std::vector<std::vector<double>> accuracy(checkpoints.size());
+  for (int rep = 0; rep < repeats; ++rep) {
+    LtmOptions opts = movies.ltm_options;
+    opts.seed = 1000 + rep;
+    // Drive the sampler manually: one run of 500 sweeps; at each
+    // checkpoint compute the estimate from that prefix of the chain.
+    LtmGibbs sampler(movies.data.claims, opts);
+    sampler.Initialize();
+
+    std::vector<std::vector<uint8_t>> snapshots;
+    snapshots.reserve(500);
+    for (int iter = 0; iter < 500; ++iter) {
+      sampler.RunSweep();
+      snapshots.push_back(sampler.truth());
+    }
+
+    for (size_t c = 0; c < checkpoints.size(); ++c) {
+      const Checkpoint& cp = checkpoints[c];
+      std::vector<double> mean(movies.data.facts.NumFacts(), 0.0);
+      int count = 0;
+      for (int iter = cp.burnin; iter < cp.total_iterations;
+           iter += cp.gap) {
+        for (FactId f = 0; f < mean.size(); ++f) {
+          mean[f] += snapshots[iter][f];
+        }
+        ++count;
+      }
+      for (double& m : mean) m /= count;
+      accuracy[c].push_back(
+          EvaluateAtThreshold(mean, movies.eval_labels, 0.5).accuracy());
+    }
+  }
+
+  PrintHeader("Figure 5: convergence of LTM on the movie data (10 repeats)");
+  TablePrinter table({"Iterations", "Mean accuracy", "95% CI half-width"});
+  for (size_t c = 0; c < checkpoints.size(); ++c) {
+    table.AddRow(std::to_string(checkpoints[c].total_iterations),
+                 {Mean(accuracy[c]), ConfidenceInterval95(accuracy[c])});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): accuracy is already high after ~7\n"
+      "iterations; by ~50 iterations the mean is optimal and the CI\n"
+      "collapses; further iterations do not improve it.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ltm
+
+int main() {
+  ltm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Figure 6: runtime of 100 LTM iterations as a function
+// of the number of claims, with an ordinary-least-squares fit. The paper
+// reports an R^2 of 0.9913 — the check here is that the fit is extremely
+// linear (R^2 > 0.99), establishing O(|C|) scaling of Algorithm 1.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "eval/regression.h"
+#include "eval/table_printer.h"
+#include "truth/ltm.h"
+
+namespace ltm {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchDataset full = MakeMovieBench();
+
+  std::vector<double> claims_counts;
+  std::vector<double> runtimes;
+
+  PrintHeader("Figure 6: LTM runtime (100 iterations) vs #claims");
+  TablePrinter table({"#Entities", "#Claims", "Runtime (s)"});
+  for (int i = 1; i <= 10; ++i) {
+    Dataset sub = full.data.Subset(full.data.raw.NumEntities() * i / 10);
+
+    LtmOptions opts = full.ltm_options;
+    opts.iterations = 100;
+    opts.burnin = 20;
+    opts.sample_gap = 4;
+    LatentTruthModel model(opts);
+
+    // Warm-up + 3 timed repeats.
+    model.Run(sub.facts, sub.claims);
+    double total = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      WallTimer timer;
+      model.Run(sub.facts, sub.claims);
+      total += timer.ElapsedSeconds();
+    }
+    const double seconds = total / 3.0;
+    claims_counts.push_back(static_cast<double>(sub.claims.NumClaims()));
+    runtimes.push_back(seconds);
+    table.AddRow({std::to_string(sub.raw.NumEntities()),
+                  std::to_string(sub.claims.NumClaims()),
+                  FormatDouble(seconds, 4)});
+  }
+  table.Print();
+
+  LinearFit fit = FitLeastSquares(claims_counts, runtimes);
+  std::printf(
+      "\nLinear fit: runtime = %.3g * claims + %.3g,  R^2 = %.4f\n"
+      "Expected shape (paper): R^2 ~ 0.99 — runtime linear in claims.\n",
+      fit.slope, fit.intercept, fit.r_squared);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ltm
+
+int main() {
+  ltm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Google-benchmark micro-benchmarks for the hot paths: one collapsed
+// Gibbs sweep, claim-table construction, the LTMinc closed form (Eq. 3),
+// source-quality read-off, and the synthetic generators.
+
+#include <benchmark/benchmark.h>
+
+#include "data/dataset.h"
+#include "synth/ltm_process.h"
+#include "synth/movie_simulator.h"
+#include "truth/ltm.h"
+#include "truth/ltm_incremental.h"
+#include "truth/source_quality.h"
+
+namespace ltm {
+namespace {
+
+const synth::LtmProcessData& SharedProcessData(size_t facts) {
+  static auto* cache =
+      new std::map<size_t, synth::LtmProcessData>();
+  auto it = cache->find(facts);
+  if (it == cache->end()) {
+    synth::LtmProcessOptions gen;
+    gen.num_facts = facts;
+    gen.num_sources = 20;
+    it = cache->emplace(facts, synth::GenerateLtmProcess(gen)).first;
+  }
+  return it->second;
+}
+
+void BM_GibbsSweep(benchmark::State& state) {
+  const auto& data = SharedProcessData(state.range(0));
+  LtmOptions opts = LtmOptions::ScaledDefaults(data.claims.NumFacts());
+  LtmGibbs sampler(data.claims, opts);
+  for (auto _ : state) {
+    sampler.RunSweep();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.claims.NumClaims()));
+}
+BENCHMARK(BM_GibbsSweep)->Arg(1000)->Arg(10000);
+
+void BM_ClaimTableBuild(benchmark::State& state) {
+  synth::MovieSimOptions gen;
+  gen.num_movies = state.range(0);
+  Dataset ds = synth::GenerateMovieDataset(gen);
+  for (auto _ : state) {
+    ClaimTable table = ClaimTable::Build(ds.raw, ds.facts);
+    benchmark::DoNotOptimize(table.NumClaims());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.claims.NumClaims()));
+}
+BENCHMARK(BM_ClaimTableBuild)->Arg(1000)->Arg(4000);
+
+void BM_LtmIncPredict(benchmark::State& state) {
+  const auto& data = SharedProcessData(state.range(0));
+  LtmOptions opts = LtmOptions::ScaledDefaults(data.claims.NumFacts());
+  std::vector<double> p(data.claims.NumFacts(), 0.7);
+  SourceQuality quality =
+      EstimateSourceQuality(data.claims, p, opts.alpha0, opts.alpha1);
+  LtmIncremental inc(quality, opts);
+  FactTable facts;
+  for (auto _ : state) {
+    TruthEstimate est = inc.Run(facts, data.claims);
+    benchmark::DoNotOptimize(est.probability.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.claims.NumClaims()));
+}
+BENCHMARK(BM_LtmIncPredict)->Arg(1000)->Arg(10000);
+
+void BM_SourceQualityReadOff(benchmark::State& state) {
+  const auto& data = SharedProcessData(10000);
+  std::vector<double> p(data.claims.NumFacts(), 0.6);
+  LtmOptions opts;
+  for (auto _ : state) {
+    SourceQuality q =
+        EstimateSourceQuality(data.claims, p, opts.alpha0, opts.alpha1);
+    benchmark::DoNotOptimize(q.sensitivity.data());
+  }
+}
+BENCHMARK(BM_SourceQualityReadOff);
+
+void BM_MovieGenerator(benchmark::State& state) {
+  for (auto _ : state) {
+    synth::MovieSimOptions gen;
+    gen.num_movies = state.range(0);
+    Dataset ds = synth::GenerateMovieDataset(gen);
+    benchmark::DoNotOptimize(ds.claims.NumClaims());
+  }
+}
+BENCHMARK(BM_MovieGenerator)->Arg(1000);
+
+}  // namespace
+}  // namespace ltm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Reproduces paper Table 8: the MAP estimate of sensitivity and
+// specificity for the 12 movie sources, sorted by sensitivity, read off a
+// full LTM fit on the movie data (§5.3, §6.2.2). Also prints the
+// simulator's generating parameters so the recovery can be judged.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "eval/table_printer.h"
+#include "synth/source_profile.h"
+#include "truth/ltm.h"
+
+namespace ltm {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchDataset movies = MakeMovieBench();
+  std::printf("%s\n", movies.data.SummaryString().c_str());
+
+  LatentTruthModel model(movies.ltm_options);
+  SourceQuality quality;
+  model.RunWithQuality(movies.data.claims, &quality);
+
+  const auto profiles = synth::MovieSourceProfiles();
+
+  struct Row {
+    std::string name;
+    double sensitivity;
+    double specificity;
+    double gen_sensitivity;
+    double gen_specificity;
+  };
+  std::vector<Row> rows;
+  for (const auto& p : profiles) {
+    SourceId s = *movies.data.raw.sources().Find(p.name);
+    rows.push_back({p.name, quality.sensitivity[s], quality.specificity[s],
+                    p.sensitivity, 1.0 - p.false_positive_rate});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.sensitivity > b.sensitivity;
+  });
+
+  PrintHeader("Table 8: source quality on the movie data (MAP read-off)");
+  TablePrinter table({"Source", "Sensitivity", "Specificity",
+                      "Gen. sensitivity", "Gen. 1-FPR"});
+  for (const Row& row : rows) {
+    table.AddRow(row.name, {row.sensitivity, row.specificity,
+                            row.gen_sensitivity, row.gen_specificity}, 3);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): imdb/netflix most sensitive; sensitivity\n"
+      "and specificity do not correlate — aggressive sources (imdb, amg)\n"
+      "trade specificity for sensitivity, conservative ones (fandango,\n"
+      "metacritic) the reverse.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ltm
+
+int main() {
+  ltm::bench::Run();
+  return 0;
+}

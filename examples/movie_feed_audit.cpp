@@ -1,0 +1,104 @@
+// Movie feed audit: the Bing-movies scenario of §6.1.1 — twelve
+// commercial feeds disagree about directors; we infer the truth, read off
+// two-sided source quality (§5.3), and produce the kind of per-feed audit
+// report a data-integration team would use to select or fix feeds
+// ("uncovering or diagnosing problems with crawlers", §2.2).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "synth/labeling.h"
+#include "synth/movie_simulator.h"
+#include "truth/ltm.h"
+
+int main() {
+  ltm::synth::MovieSimOptions gen;
+  gen.num_movies = 6000;  // A medium-size feed snapshot.
+  ltm::Dataset ds = ltm::synth::GenerateMovieDataset(gen);
+  std::printf("%s\n\n", ds.SummaryString().c_str());
+
+  ltm::LtmOptions opts =
+      ltm::LtmOptions::ScaledDefaults(ds.facts.NumFacts());
+  opts.iterations = 150;
+  opts.burnin = 30;
+  opts.sample_gap = 2;
+  ltm::LatentTruthModel model(opts);
+  ltm::SourceQuality quality;
+  ltm::TruthEstimate est = model.RunWithQuality(ds.claims, &quality);
+
+  // Feed audit, sorted by sensitivity as in the paper's Table 8.
+  struct FeedRow {
+    std::string name;
+    ltm::SourceId id;
+  };
+  std::vector<FeedRow> feeds;
+  for (ltm::SourceId s = 0; s < ds.raw.NumSources(); ++s) {
+    feeds.push_back({std::string(ds.raw.sources().Get(s)), s});
+  }
+  std::sort(feeds.begin(), feeds.end(),
+            [&](const FeedRow& a, const FeedRow& b) {
+              return quality.sensitivity[a.id] > quality.sensitivity[b.id];
+            });
+
+  ltm::TablePrinter table({"Feed", "Sensitivity", "Specificity", "Precision",
+                           "Claims", "Verdict"});
+  for (const FeedRow& feed : feeds) {
+    const double sens = quality.sensitivity[feed.id];
+    const double spec = quality.specificity[feed.id];
+    std::string verdict;
+    if (sens > 0.8 && spec > 0.9) {
+      verdict = "trusted";
+    } else if (spec < 0.8) {
+      verdict = "noisy: check extraction";
+    } else if (sens < 0.7) {
+      verdict = "incomplete: low coverage of credits";
+    } else {
+      verdict = "acceptable";
+    }
+    table.AddRow({feed.name, ltm::FormatDouble(sens, 3),
+                  ltm::FormatDouble(spec, 3),
+                  ltm::FormatDouble(quality.precision[feed.id], 3),
+                  std::to_string(ds.claims.ClaimIndicesOfSource(feed.id).size()),
+                  verdict});
+  }
+  table.Print();
+
+  // Sanity: accuracy on a 100-movie labeled sample.
+  ltm::TruthLabels eval_labels = ltm::synth::LabelsForEntities(
+      ds, ltm::synth::SampleEntities(ds, 100, 1));
+  ltm::PointMetrics m =
+      ltm::EvaluateAtThreshold(est.probability, eval_labels, 0.5);
+  std::printf(
+      "\nResolution quality on a 100-movie labeled sample: accuracy %.3f, "
+      "F1 %.3f\n",
+      m.accuracy(), m.f1());
+
+  // Top contested credits: facts with the most conflicting evidence.
+  std::printf("\nMost contested credits (support vs denials, P(true)):\n");
+  std::vector<std::pair<size_t, ltm::FactId>> contested;
+  for (ltm::FactId f = 0; f < ds.facts.NumFacts(); ++f) {
+    auto claims = ds.claims.ClaimsOfFact(f);
+    size_t pos = 0;
+    for (const ltm::Claim& c : claims) pos += c.observation ? 1 : 0;
+    const size_t neg = claims.size() - pos;
+    contested.emplace_back(std::min(pos, neg), f);
+  }
+  std::sort(contested.rbegin(), contested.rend());
+  for (size_t i = 0; i < 5 && i < contested.size(); ++i) {
+    const ltm::FactId f = contested[i].second;
+    const ltm::Fact& fact = ds.facts.fact(f);
+    auto claims = ds.claims.ClaimsOfFact(f);
+    size_t pos = 0;
+    for (const ltm::Claim& c : claims) pos += c.observation ? 1 : 0;
+    std::printf("  %s directed by %s: %zu for / %zu against -> P(true)=%.2f\n",
+                std::string(ds.raw.entities().Get(fact.entity)).c_str(),
+                std::string(ds.raw.attributes().Get(fact.attribute)).c_str(),
+                pos, claims.size() - pos, est.probability[f]);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Numeric-attribute truth finding: the real-valued loss extension of §7.
+//
+// Scenario: feeds report movie runtimes (minutes). Claims disagree by
+// source-specific noise — some feeds are precise, some round aggressively,
+// one is plain sloppy. The Gaussian truth model infers the latent true
+// runtime per movie and a noise level per feed, outperforming the naive
+// per-movie average.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "eval/table_printer.h"
+#include "ext/gaussian_ltm.h"
+
+int main() {
+  const size_t num_movies = 3000;
+  const std::vector<std::pair<std::string, double>> feeds = {
+      {"studio-metadata", 0.3},  // Authoritative, near-exact.
+      {"imdb", 1.0},             // Small transcription noise.
+      {"tv-guide", 4.0},         // Rounds to ad-break slots.
+      {"aggregator", 9.0},       // Mixes cuts and regional edits.
+      {"sloppy-ocr", 15.0},      // Scanned listings.
+  };
+
+  ltm::Rng rng(2012);
+  std::vector<double> true_runtime(num_movies);
+  for (double& t : true_runtime) t = rng.Uniform(70.0, 180.0);
+
+  std::vector<ltm::ext::ValueClaim> claims;
+  for (uint32_t m = 0; m < num_movies; ++m) {
+    for (uint32_t s = 0; s < feeds.size(); ++s) {
+      if (!rng.Bernoulli(0.8)) continue;  // 80% coverage per feed.
+      claims.push_back(
+          {m, s, rng.Normal(true_runtime[m], feeds[s].second)});
+    }
+  }
+  std::printf("%zu movies, %zu runtime claims from %zu feeds\n\n",
+              num_movies, claims.size(), feeds.size());
+
+  auto result = ltm::ext::RunGaussianLtm(claims, num_movies, feeds.size());
+  if (!result.ok()) {
+    std::fprintf(stderr, "inference failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  ltm::TablePrinter table({"Feed", "True sigma (min)", "Inferred sigma"});
+  for (size_t s = 0; s < feeds.size(); ++s) {
+    table.AddRow(feeds[s].first,
+                 {feeds[s].second, result->source_sigma[s]}, 2);
+  }
+  table.Print();
+
+  // Accuracy of the fused runtimes vs the naive mean of claims.
+  std::vector<double> sum(num_movies, 0.0);
+  std::vector<double> cnt(num_movies, 0.0);
+  for (const auto& c : claims) {
+    sum[c.fact] += c.value;
+    cnt[c.fact] += 1.0;
+  }
+  double model_rmse = 0.0;
+  double mean_rmse = 0.0;
+  for (size_t m = 0; m < num_movies; ++m) {
+    const double em = result->truth[m] - true_runtime[m];
+    model_rmse += em * em;
+    if (cnt[m] > 0.0) {
+      const double ea = sum[m] / cnt[m] - true_runtime[m];
+      mean_rmse += ea * ea;
+    }
+  }
+  model_rmse = std::sqrt(model_rmse / num_movies);
+  mean_rmse = std::sqrt(mean_rmse / num_movies);
+  std::printf(
+      "\nRMSE of fused runtime: %.3f min (precision-weighted model) vs "
+      "%.3f min (naive average)\nconverged in %d EM iterations\n",
+      model_rmse, mean_rmse, result->iterations);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: the paper's running example (Table 1) end to end.
+//
+// Builds the tiny movie database from the paper's introduction, runs the
+// Latent Truth Model, and prints the inferred truth of every fact plus the
+// two-sided quality of every source. Demonstrates the minimal API surface:
+// RawDatabase -> Dataset -> LatentTruthModel -> TruthEstimate/SourceQuality.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "data/dataset.h"
+#include "eval/table_printer.h"
+#include "truth/ltm.h"
+
+int main() {
+  ltm::RawDatabase raw;
+  // (entity, attribute, source) triples, as in paper Table 1.
+  raw.Add("Harry Potter", "Daniel Radcliffe", "IMDB");
+  raw.Add("Harry Potter", "Emma Watson", "IMDB");
+  raw.Add("Harry Potter", "Rupert Grint", "IMDB");
+  raw.Add("Harry Potter", "Daniel Radcliffe", "Netflix");
+  raw.Add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+  raw.Add("Harry Potter", "Emma Watson", "BadSource.com");
+  raw.Add("Harry Potter", "Johnny Depp", "BadSource.com");
+  raw.Add("Pirates 4", "Johnny Depp", "Hulu.com");
+  raw.Add("Pirates 4", "Johnny Depp", "IMDB");
+  raw.Add("Pirates 4", "Johnny Depp", "Netflix");
+  raw.Add("Pirates 4", "Penelope Cruz", "IMDB");
+  raw.Add("Pirates 4", "Johnny Depp", "BadSource.com");
+  raw.Add("Pirates 4", "Tom Cruise", "BadSource.com");
+  // A few more movies so source behaviour is learnable from data:
+  // BadSource.com keeps inventing cast members that IMDB & Netflix deny;
+  // Netflix omits secondary cast (false negatives) but never invents.
+  raw.Add("Inception", "Leonardo DiCaprio", "IMDB");
+  raw.Add("Inception", "Ellen Page", "IMDB");
+  raw.Add("Inception", "Tom Hardy", "IMDB");
+  raw.Add("Inception", "Leonardo DiCaprio", "Netflix");
+  raw.Add("Inception", "Leonardo DiCaprio", "BadSource.com");
+  raw.Add("Inception", "Brad Pitt", "BadSource.com");
+  raw.Add("Titanic", "Leonardo DiCaprio", "IMDB");
+  raw.Add("Titanic", "Kate Winslet", "IMDB");
+  raw.Add("Titanic", "Leonardo DiCaprio", "Netflix");
+  raw.Add("Titanic", "Kate Winslet", "Netflix");
+  raw.Add("Titanic", "Kate Winslet", "BadSource.com");
+  raw.Add("Titanic", "Johnny Depp", "BadSource.com");
+  raw.Add("The Matrix", "Keanu Reeves", "IMDB");
+  raw.Add("The Matrix", "Carrie-Anne Moss", "IMDB");
+  raw.Add("The Matrix", "Keanu Reeves", "Netflix");
+  raw.Add("The Matrix", "Keanu Reeves", "BadSource.com");
+  raw.Add("The Matrix", "Will Smith", "BadSource.com");
+  // MovieDB: another complete, accurate source. Its negative claims give
+  // BadSource.com's inventions enough denials to be recognized as false.
+  raw.Add("Harry Potter", "Daniel Radcliffe", "MovieDB");
+  raw.Add("Harry Potter", "Emma Watson", "MovieDB");
+  raw.Add("Harry Potter", "Rupert Grint", "MovieDB");
+  raw.Add("Pirates 4", "Johnny Depp", "MovieDB");
+  raw.Add("Pirates 4", "Penelope Cruz", "MovieDB");
+  raw.Add("Inception", "Leonardo DiCaprio", "MovieDB");
+  raw.Add("Inception", "Ellen Page", "MovieDB");
+  raw.Add("Inception", "Tom Hardy", "MovieDB");
+  raw.Add("Titanic", "Leonardo DiCaprio", "MovieDB");
+  raw.Add("Titanic", "Kate Winslet", "MovieDB");
+  raw.Add("The Matrix", "Keanu Reeves", "MovieDB");
+  raw.Add("The Matrix", "Carrie-Anne Moss", "MovieDB");
+
+  ltm::Dataset ds = ltm::Dataset::FromRaw("quickstart", std::move(raw));
+  std::printf("%s\n\n", ds.SummaryString().c_str());
+
+  // Small data: gentle specificity prior, more sweeps for a stable mean.
+  ltm::LtmOptions options;
+  options.alpha0 = ltm::BetaPrior{1.0, 100.0};
+  options.alpha1 = ltm::BetaPrior{1.0, 1.0};
+  options.beta = ltm::BetaPrior{1.0, 1.0};
+  options.iterations = 500;
+  options.burnin = 100;
+  options.sample_gap = 2;
+  options.seed = 7;
+
+  ltm::LatentTruthModel model(options);
+  ltm::SourceQuality quality;
+  ltm::TruthEstimate estimate = model.RunWithQuality(ds.claims, &quality);
+
+  ltm::TablePrinter truths({"Entity", "Attribute", "P(true)", "Decision"});
+  for (ltm::FactId f = 0; f < ds.facts.NumFacts(); ++f) {
+    const ltm::Fact& fact = ds.facts.fact(f);
+    truths.AddRow({std::string(ds.raw.entities().Get(fact.entity)),
+                   std::string(ds.raw.attributes().Get(fact.attribute)),
+                   ltm::FormatDouble(estimate.probability[f], 3),
+                   estimate.probability[f] >= 0.5 ? "true" : "false"});
+  }
+  truths.Print();
+  std::printf("\n");
+
+  ltm::TablePrinter sources({"Source", "Sensitivity", "Specificity"});
+  for (ltm::SourceId s = 0; s < ds.raw.NumSources(); ++s) {
+    sources.AddRow({std::string(ds.raw.sources().Get(s)),
+                    ltm::FormatDouble(quality.sensitivity[s], 3),
+                    ltm::FormatDouble(quality.specificity[s], 3)});
+  }
+  sources.Print();
+  return 0;
+}

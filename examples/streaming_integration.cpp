@@ -1,0 +1,98 @@
+// Streaming integration: the online deployment of §5.4. A bootstrap batch
+// establishes source quality; daily chunks of new movies are resolved in
+// O(claims) with LTMinc (Eq. 3); the model periodically refits batch-style
+// on the cumulative data. Compares incremental accuracy and latency
+// against re-running batch LTM on every chunk.
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "ext/streaming.h"
+#include "synth/labeling.h"
+#include "synth/movie_simulator.h"
+#include "truth/ltm.h"
+
+int main() {
+  // One world, split into a bootstrap history + 6 arriving chunks.
+  ltm::synth::MovieSimOptions gen;
+  gen.num_movies = 6000;
+  ltm::Dataset world = ltm::synth::GenerateMovieDataset(gen);
+  std::printf("%s\n\n", world.SummaryString().c_str());
+
+  const size_t chunk_count = 6;
+  const size_t chunk_size = 150;
+  auto streamed = ltm::synth::SampleEntities(
+      world, chunk_count * chunk_size, 99);
+  auto [history, arrivals] = world.SplitByEntities(streamed);
+
+  // Slice `arrivals` into per-chunk datasets (entities are dense ids in
+  // arrival order).
+  std::vector<ltm::Dataset> chunks;
+  const size_t arrival_entities = arrivals.raw.NumEntities();
+  for (size_t c = 0; c < chunk_count; ++c) {
+    std::vector<ltm::EntityId> ids;
+    for (size_t e = c * arrival_entities / chunk_count;
+         e < (c + 1) * arrival_entities / chunk_count; ++e) {
+      ids.push_back(static_cast<ltm::EntityId>(e));
+    }
+    auto [rest, chunk] = arrivals.SplitByEntities(ids);
+    (void)rest;
+    chunks.push_back(std::move(chunk));
+  }
+
+  ltm::ext::StreamingOptions opts;
+  opts.ltm = ltm::LtmOptions::ScaledDefaults(world.facts.NumFacts());
+  opts.ltm.iterations = 120;
+  opts.ltm.burnin = 30;
+  opts.ltm.sample_gap = 2;
+  opts.refit_every_chunks = 3;
+
+  ltm::ext::StreamingPipeline pipeline(opts);
+  {
+    ltm::WallTimer timer;
+    pipeline.Bootstrap(history);
+    std::printf("bootstrap batch fit on %zu claims: %.2fs\n\n",
+                history.claims.NumClaims(), timer.ElapsedSeconds());
+  }
+
+  ltm::TablePrinter table({"Chunk", "Facts", "LTMinc acc", "LTMinc ms",
+                           "Batch acc", "Batch ms", "Refit?"});
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    const ltm::Dataset& chunk = chunks[c];
+
+    ltm::WallTimer inc_timer;
+    ltm::ext::ChunkResult r = pipeline.IngestChunk(chunk);
+    const double inc_ms = inc_timer.ElapsedMillis();
+    const double inc_acc =
+        ltm::EvaluateAtThreshold(r.estimate.probability, chunk.labels, 0.5)
+            .accuracy();
+
+    // Alternative: full batch LTM on this chunk alone.
+    ltm::WallTimer batch_timer;
+    ltm::LatentTruthModel batch(opts.ltm);
+    ltm::TruthEstimate batch_est = batch.Run(chunk.facts, chunk.claims);
+    const double batch_ms = batch_timer.ElapsedMillis();
+    const double batch_acc =
+        ltm::EvaluateAtThreshold(batch_est.probability, chunk.labels, 0.5)
+            .accuracy();
+
+    table.AddRow({std::to_string(c + 1),
+                  std::to_string(chunk.facts.NumFacts()),
+                  ltm::FormatDouble(inc_acc, 3),
+                  ltm::FormatDouble(inc_ms, 1),
+                  ltm::FormatDouble(batch_acc, 3),
+                  ltm::FormatDouble(batch_ms, 1), r.refit ? "yes" : ""});
+  }
+  table.Print();
+  std::printf(
+      "\nLTMinc resolves each chunk in O(claims) without sampling; batch\n"
+      "re-fitting per chunk is slower and no more accurate on small\n"
+      "increments (§5.4, §6.2.1).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#ifndef LTM_COMMON_LOGGING_H_
+#define LTM_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace ltm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits to stderr on destruction when `level` is at
+/// or above the global minimum, otherwise swallows the streamed expression.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: LTM_LOG(Info) << "built " << n << " claims";
+#define LTM_LOG(level)                                          \
+  ::ltm::internal::LogMessage(::ltm::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace ltm
+
+#endif  // LTM_COMMON_LOGGING_H_

@@ -1,0 +1,70 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ltm {
+
+double LogBeta(double a, double b) {
+  assert(a > 0.0 && b > 0.0);
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+double LogSumExp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  if (v.empty()) return -std::numeric_limits<double>::infinity();
+  double m = *std::max_element(v.begin(), v.end());
+  if (m == -std::numeric_limits<double>::infinity()) return m;
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double ConfidenceInterval95(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  return 1.96 * StdDev(v) / std::sqrt(static_cast<double>(v.size()));
+}
+
+bool AlmostEqual(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+}  // namespace ltm

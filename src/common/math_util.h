@@ -1,0 +1,43 @@
+#ifndef LTM_COMMON_MATH_UTIL_H_
+#define LTM_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ltm {
+
+/// Natural log of the Beta function, log B(a, b) = lgamma(a) + lgamma(b)
+/// - lgamma(a + b). Requires a, b > 0.
+double LogBeta(double a, double b);
+
+/// Numerically stable log(exp(a) + exp(b)).
+double LogSumExp(double a, double b);
+
+/// Numerically stable log of the sum of exponentials of `v` (empty -> -inf).
+double LogSumExp(const std::vector<double>& v);
+
+/// Logistic sigmoid 1 / (1 + exp(-x)), stable for large |x|.
+double Sigmoid(double x);
+
+/// Clamps x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+double Variance(const std::vector<double>& v);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& v);
+
+/// Half-width of the normal-approximation 95% confidence interval of the
+/// sample mean: 1.96 * s / sqrt(n). 0 when n < 2.
+double ConfidenceInterval95(const std::vector<double>& v);
+
+/// True when |a - b| <= tol (absolute tolerance).
+bool AlmostEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace ltm
+
+#endif  // LTM_COMMON_MATH_UTIL_H_

@@ -1,0 +1,142 @@
+#ifndef LTM_COMMON_STATUS_H_
+#define LTM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ltm {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of returning rich status objects instead of throwing across
+/// library boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. `Status::OK()` is cheap (no
+/// allocation); error statuses carry a message describing the failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder. On success holds a T; on failure holds a
+/// non-OK Status. Accessing the value of an error result aborts in debug
+/// builds (assert) and is undefined otherwise — callers must check `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` if this result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller (RocksDB-style macro).
+#define LTM_RETURN_IF_ERROR(expr)           \
+  do {                                      \
+    ::ltm::Status _st = (expr);             \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error status to the caller.
+#define LTM_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto LTM_CONCAT_(_res, __LINE__) = (expr);                    \
+  if (!LTM_CONCAT_(_res, __LINE__).ok())                        \
+    return LTM_CONCAT_(_res, __LINE__).status();                \
+  lhs = std::move(LTM_CONCAT_(_res, __LINE__)).value()
+
+#define LTM_CONCAT_INNER_(a, b) a##b
+#define LTM_CONCAT_(a, b) LTM_CONCAT_INNER_(a, b)
+
+}  // namespace ltm
+
+#endif  // LTM_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef LTM_COMMON_STRING_UTIL_H_
+#define LTM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ltm {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Fixed-precision decimal formatting (e.g. FormatDouble(0.12345, 3) ==
+/// "0.123"). Used by table printers so reproduction output is stable.
+std::string FormatDouble(double v, int precision);
+
+}  // namespace ltm
+
+#endif  // LTM_COMMON_STRING_UTIL_H_

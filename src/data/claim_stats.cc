@@ -1,0 +1,75 @@
+#include "data/claim_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ltm {
+
+namespace {
+constexpr size_t kHistogramBuckets = 11;  // 0..9 and "10+".
+}
+
+ClaimStats ComputeClaimStats(const FactTable& facts,
+                             const ClaimTable& claims) {
+  ClaimStats stats;
+  stats.num_facts = claims.NumFacts();
+  stats.num_sources = claims.NumSources();
+  stats.num_claims = claims.NumClaims();
+  stats.num_positive = claims.NumPositiveClaims();
+  stats.positive_support_histogram.assign(kHistogramBuckets, 0);
+
+  size_t total_positive = 0;
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    const size_t n = claims.ClaimsOfFact(f).size();
+    stats.max_claims_per_fact = std::max(stats.max_claims_per_fact, n);
+    const size_t pos = claims.NumPositiveClaimsOfFact(f);
+    total_positive += pos;
+    ++stats.positive_support_histogram[std::min(pos, kHistogramBuckets - 1)];
+  }
+  if (stats.num_facts > 0) {
+    stats.mean_claims_per_fact =
+        static_cast<double>(stats.num_claims) / stats.num_facts;
+    stats.mean_positive_per_fact =
+        static_cast<double>(total_positive) / stats.num_facts;
+  }
+
+  size_t entities = facts.NumEntities();
+  if (entities > 0) {
+    stats.mean_facts_per_entity =
+        static_cast<double>(stats.num_facts) / entities;
+    for (size_t e = 0; e < entities; ++e) {
+      stats.max_facts_per_entity =
+          std::max(stats.max_facts_per_entity,
+                   facts.FactsOfEntity(static_cast<EntityId>(e)).size());
+    }
+  }
+
+  size_t active_claim_total = 0;
+  for (SourceId s = 0; s < claims.NumSources(); ++s) {
+    const size_t n = claims.ClaimIndicesOfSource(s).size();
+    if (n == 0) continue;
+    ++stats.active_sources;
+    active_claim_total += n;
+    stats.max_claims_per_source = std::max(stats.max_claims_per_source, n);
+  }
+  if (stats.active_sources > 0) {
+    stats.mean_claims_per_active_source =
+        static_cast<double>(active_claim_total) / stats.active_sources;
+  }
+  return stats;
+}
+
+std::string ClaimStats::ToString() const {
+  std::ostringstream os;
+  os << num_facts << " facts, " << num_claims << " claims ("
+     << num_positive << " positive) from " << active_sources << "/"
+     << num_sources << " active sources; claims/fact mean "
+     << mean_claims_per_fact << " max " << max_claims_per_fact
+     << "; positive/fact mean " << mean_positive_per_fact
+     << "; facts/entity mean " << mean_facts_per_entity << " max "
+     << max_facts_per_entity << "; claims/source mean "
+     << mean_claims_per_active_source << " max " << max_claims_per_source;
+  return os.str();
+}
+
+}  // namespace ltm

@@ -1,0 +1,47 @@
+#ifndef LTM_DATA_CLAIM_STATS_H_
+#define LTM_DATA_CLAIM_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/claim_table.h"
+#include "data/fact_table.h"
+
+namespace ltm {
+
+/// Structural statistics of a claim table — the dataset-shape numbers the
+/// paper reports in §6.1.1 (entities, facts, claims, sources) plus the
+/// distributions that drive method behaviour: claims per fact, facts per
+/// entity, positive-claim share, and per-source activity. Used by benches
+/// and examples to document the worlds they run on.
+struct ClaimStats {
+  size_t num_facts = 0;
+  size_t num_sources = 0;
+  size_t num_claims = 0;
+  size_t num_positive = 0;
+
+  double mean_claims_per_fact = 0.0;
+  size_t max_claims_per_fact = 0;
+  double mean_positive_per_fact = 0.0;
+  double mean_facts_per_entity = 0.0;
+  size_t max_facts_per_entity = 0;
+
+  /// Sources with at least one claim.
+  size_t active_sources = 0;
+  double mean_claims_per_active_source = 0.0;
+  size_t max_claims_per_source = 0;
+
+  /// Histogram of positive claims per fact (index = count, capped at the
+  /// last bucket).
+  std::vector<size_t> positive_support_histogram;
+
+  std::string ToString() const;
+};
+
+/// Computes statistics over `claims` (and `facts` for entity grouping).
+ClaimStats ComputeClaimStats(const FactTable& facts, const ClaimTable& claims);
+
+}  // namespace ltm
+
+#endif  // LTM_DATA_CLAIM_STATS_H_

@@ -1,0 +1,142 @@
+#include "data/claim_table.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ltm {
+
+ClaimTable ClaimTable::Build(const RawDatabase& raw, const FactTable& facts) {
+  ClaimTable table;
+  table.num_sources_ = raw.NumSources();
+
+  const size_t num_facts = facts.NumFacts();
+  // Sources asserting each fact, and sources asserting each entity.
+  std::vector<std::vector<SourceId>> fact_sources(num_facts);
+  std::unordered_map<EntityId, std::vector<SourceId>> entity_sources;
+
+  for (const RawRow& row : raw.rows()) {
+    auto fid = facts.Find(row.entity, row.attribute);
+    if (!fid.has_value()) continue;  // Fact table built from different raw.
+    fact_sources[*fid].push_back(row.source);
+    entity_sources[row.entity].push_back(row.source);
+  }
+  for (auto& [e, v] : entity_sources) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  table.fact_offsets_.reserve(num_facts + 1);
+  table.fact_offsets_.push_back(0);
+  for (FactId f = 0; f < num_facts; ++f) {
+    std::vector<SourceId>& pos = fact_sources[f];
+    std::sort(pos.begin(), pos.end());
+    pos.erase(std::unique(pos.begin(), pos.end()), pos.end());
+
+    for (SourceId s : pos) {
+      table.claims_.push_back(Claim{f, s, true});
+    }
+    table.num_positive_ += pos.size();
+
+    const EntityId e = facts.fact(f).entity;
+    const std::vector<SourceId>& es = entity_sources[e];
+    // Negative claims: entity sources minus fact sources (both sorted).
+    size_t i = 0;
+    for (SourceId s : es) {
+      while (i < pos.size() && pos[i] < s) ++i;
+      if (i < pos.size() && pos[i] == s) continue;
+      table.claims_.push_back(Claim{f, s, false});
+    }
+    table.fact_offsets_.push_back(static_cast<uint32_t>(table.claims_.size()));
+  }
+
+  table.BuildSourceIndex();
+  return table;
+}
+
+void ClaimTable::BuildSourceIndex() {
+  source_offsets_.assign(num_sources_ + 1, 0);
+  for (const Claim& c : claims_) {
+    ++source_offsets_[c.source + 1];
+  }
+  for (size_t s = 1; s < source_offsets_.size(); ++s) {
+    source_offsets_[s] += source_offsets_[s - 1];
+  }
+  source_claims_.resize(claims_.size());
+  std::vector<uint32_t> cursor(source_offsets_.begin(),
+                               source_offsets_.end() - 1);
+  for (uint32_t idx = 0; idx < claims_.size(); ++idx) {
+    source_claims_[cursor[claims_[idx].source]++] = idx;
+  }
+}
+
+ClaimTable ClaimTable::FromClaims(std::vector<Claim> claims, size_t num_facts,
+                                  size_t num_sources) {
+  // Dedup pass: group by (fact, source) first so duplicates are adjacent
+  // regardless of their observation value; stable sort keeps the first
+  // occurrence first within a group.
+  std::stable_sort(claims.begin(), claims.end(),
+                   [](const Claim& a, const Claim& b) {
+                     if (a.fact != b.fact) return a.fact < b.fact;
+                     return a.source < b.source;
+                   });
+  std::vector<Claim> unique_claims;
+  unique_claims.reserve(claims.size());
+  for (const Claim& c : claims) {
+    if (!unique_claims.empty() && unique_claims.back().fact == c.fact &&
+        unique_claims.back().source == c.source) {
+      continue;
+    }
+    unique_claims.push_back(c);
+  }
+  // Final layout: fact-major, positives before negatives, then by source.
+  std::sort(unique_claims.begin(), unique_claims.end(),
+            [](const Claim& a, const Claim& b) {
+              if (a.fact != b.fact) return a.fact < b.fact;
+              if (a.observation != b.observation) {
+                return a.observation > b.observation;
+              }
+              return a.source < b.source;
+            });
+
+  ClaimTable table;
+  table.num_sources_ = num_sources;
+  table.claims_ = std::move(unique_claims);
+  table.fact_offsets_.assign(num_facts + 1, 0);
+  for (const Claim& c : table.claims_) {
+    ++table.fact_offsets_[c.fact + 1];
+    if (c.observation) ++table.num_positive_;
+  }
+  for (size_t f = 1; f < table.fact_offsets_.size(); ++f) {
+    table.fact_offsets_[f] += table.fact_offsets_[f - 1];
+  }
+  table.BuildSourceIndex();
+  return table;
+}
+
+ClaimTable ClaimTable::PositiveOnly() const {
+  ClaimTable out;
+  out.num_sources_ = num_sources_;
+  const size_t num_facts = NumFacts();
+  out.fact_offsets_.reserve(num_facts + 1);
+  out.fact_offsets_.push_back(0);
+  for (FactId f = 0; f < num_facts; ++f) {
+    for (const Claim& c : ClaimsOfFact(f)) {
+      if (c.observation) out.claims_.push_back(c);
+    }
+    out.fact_offsets_.push_back(static_cast<uint32_t>(out.claims_.size()));
+  }
+  out.num_positive_ = out.claims_.size();
+  out.BuildSourceIndex();
+  return out;
+}
+
+size_t ClaimTable::NumPositiveClaimsOfFact(FactId f) const {
+  size_t n = 0;
+  for (const Claim& c : ClaimsOfFact(f)) {
+    if (c.observation) ++n;
+  }
+  return n;
+}
+
+}  // namespace ltm

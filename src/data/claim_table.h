@@ -1,0 +1,103 @@
+#ifndef LTM_DATA_CLAIM_TABLE_H_
+#define LTM_DATA_CLAIM_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/fact_table.h"
+#include "data/raw_database.h"
+#include "data/types.h"
+
+namespace ltm {
+
+/// One claim (paper Definition 3): source `source` observed fact `fact` as
+/// present (`observation` true, a positive claim) or implicitly absent
+/// (`observation` false, a negative claim).
+struct Claim {
+  FactId fact;
+  SourceId source;
+  bool observation;
+
+  bool operator==(const Claim&) const = default;
+};
+
+/// The claim table C, materialized from a RawDatabase + FactTable using the
+/// paper's generation rule (Definition 3):
+///
+///   - positive claim (f, s, true): s asserted fact f in the raw data;
+///   - negative claim (f, s, false): s did not assert f but asserted some
+///     other fact of f's entity;
+///   - no claim: s is silent about f's entity.
+///
+/// Claims are stored fact-major (CSR): `ClaimsOfFact(f)` is a contiguous
+/// span, which is what the collapsed Gibbs sampler iterates over. A
+/// secondary by-source CSR index supports quality read-off and per-source
+/// statistics. Immutable after Build().
+class ClaimTable {
+ public:
+  ClaimTable() = default;
+
+  /// Materializes claims for all facts in `facts` from `raw`.
+  /// Within a fact, positive claims precede negative claims and each group
+  /// is ordered by SourceId, so output is deterministic.
+  static ClaimTable Build(const RawDatabase& raw, const FactTable& facts);
+
+  /// Builds a table directly from an explicit claim list — used by the
+  /// synthetic generator that follows the paper's generative process
+  /// (§6.1.1), where claims are drawn without an underlying raw database.
+  /// Claims are re-sorted fact-major (positives before negatives, then by
+  /// source); duplicate (fact, source) pairs keep the first occurrence.
+  /// Fact ids must be < num_facts and source ids < num_sources.
+  static ClaimTable FromClaims(std::vector<Claim> claims, size_t num_facts,
+                               size_t num_sources);
+
+  size_t NumClaims() const { return claims_.size(); }
+  size_t NumFacts() const {
+    return fact_offsets_.empty() ? 0 : fact_offsets_.size() - 1;
+  }
+  size_t NumSources() const { return num_sources_; }
+  size_t NumPositiveClaims() const { return num_positive_; }
+  size_t NumNegativeClaims() const { return claims_.size() - num_positive_; }
+
+  const Claim& claim(size_t idx) const { return claims_[idx]; }
+  const std::vector<Claim>& claims() const { return claims_; }
+
+  /// All claims on fact `f` (C_f in the paper), contiguous.
+  std::span<const Claim> ClaimsOfFact(FactId f) const {
+    return std::span<const Claim>(claims_.data() + fact_offsets_[f],
+                                  fact_offsets_[f + 1] - fact_offsets_[f]);
+  }
+
+  /// Indices (into claims()) of the claims made by source `s`.
+  std::span<const uint32_t> ClaimIndicesOfSource(SourceId s) const {
+    return std::span<const uint32_t>(
+        source_claims_.data() + source_offsets_[s],
+        source_offsets_[s + 1] - source_offsets_[s]);
+  }
+
+  /// Number of sources with at least one positive claim on fact `f`
+  /// (|S_f| restricted to asserters).
+  size_t NumPositiveClaimsOfFact(FactId f) const;
+
+  /// A copy of this table with all negative claims removed (same facts and
+  /// sources). Used by the LTMpos ablation and by positive-only baselines'
+  /// tests.
+  ClaimTable PositiveOnly() const;
+
+ private:
+  /// Rebuilds the by-source CSR index from `claims_`.
+  void BuildSourceIndex();
+
+  std::vector<Claim> claims_;
+  std::vector<uint32_t> fact_offsets_;    // size NumFacts()+1
+  std::vector<uint32_t> source_claims_;   // claim indices grouped by source
+  std::vector<uint32_t> source_offsets_;  // size NumSources()+1
+  size_t num_sources_ = 0;
+  size_t num_positive_ = 0;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_DATA_CLAIM_TABLE_H_

@@ -1,0 +1,53 @@
+#ifndef LTM_DATA_DATASET_H_
+#define LTM_DATA_DATASET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/claim_table.h"
+#include "data/fact_table.h"
+#include "data/raw_database.h"
+#include "data/truth_labels.h"
+
+namespace ltm {
+
+/// A fully materialized truth-finding input: the raw triples plus the
+/// derived fact and claim tables, and (for evaluation or synthetic data)
+/// ground-truth labels. Methods consume `claims`; evaluation consumes
+/// `labels`.
+struct Dataset {
+  std::string name;
+  RawDatabase raw;
+  FactTable facts;
+  ClaimTable claims;
+  TruthLabels labels;
+
+  /// Derives facts/claims from `raw` and sizes an empty label store.
+  /// `raw` is moved in.
+  static Dataset FromRaw(std::string name, RawDatabase raw);
+
+  /// Restricts to the first `max_entities` entities (by EntityId) and
+  /// rebuilds all derived tables; labels are carried over for surviving
+  /// facts. Used by the scalability benchmarks (Table 9 / Fig. 6) to carve
+  /// 3k/6k/9k/12k subsets out of the full dataset.
+  Dataset Subset(size_t max_entities) const;
+
+  /// Splits into (train, test) by entity: facts of entities in
+  /// `test_entities` go to the test dataset, everything else to train.
+  /// Both children share this dataset's *source* vocabulary (identical
+  /// SourceIds), so source quality learned on train applies directly to
+  /// test — the LTMinc protocol of §6.2 (fit on unlabeled data, predict
+  /// the 100 labeled entities with Eq. 3). Labels are carried over.
+  std::pair<Dataset, Dataset> SplitByEntities(
+      const std::vector<EntityId>& test_entities) const;
+
+  /// Facts per entity, entity coverage and claim counts; for logging and
+  /// README tables.
+  std::string SummaryString() const;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_DATA_DATASET_H_

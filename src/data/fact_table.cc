@@ -1,0 +1,44 @@
+#include "data/fact_table.h"
+
+namespace ltm {
+
+FactTable FactTable::Build(const RawDatabase& raw) {
+  FactTable table;
+  for (const RawRow& row : raw.rows()) {
+    Fact f{row.entity, row.attribute};
+    auto [it, inserted] =
+        table.index_.emplace(f, static_cast<FactId>(table.facts_.size()));
+    if (inserted) {
+      table.facts_.push_back(f);
+      table.facts_of_entity_[row.entity].push_back(it->second);
+    }
+  }
+  return table;
+}
+
+FactTable FactTable::FromFactList(const std::vector<Fact>& list) {
+  FactTable table;
+  for (const Fact& f : list) {
+    auto [it, inserted] =
+        table.index_.emplace(f, static_cast<FactId>(table.facts_.size()));
+    if (inserted) {
+      table.facts_.push_back(f);
+      table.facts_of_entity_[f.entity].push_back(it->second);
+    }
+  }
+  return table;
+}
+
+std::optional<FactId> FactTable::Find(EntityId e, AttributeId a) const {
+  auto it = index_.find(Fact{e, a});
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<FactId>& FactTable::FactsOfEntity(EntityId e) const {
+  auto it = facts_of_entity_.find(e);
+  if (it == facts_of_entity_.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace ltm

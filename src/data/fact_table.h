@@ -1,0 +1,68 @@
+#ifndef LTM_DATA_FACT_TABLE_H_
+#define LTM_DATA_FACT_TABLE_H_
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "data/raw_database.h"
+#include "data/types.h"
+
+namespace ltm {
+
+/// A fact (paper Definition 2): a distinct (entity, attribute) pair
+/// extracted from the raw database. The FactId is its primary key.
+struct Fact {
+  EntityId entity;
+  AttributeId attribute;
+
+  bool operator==(const Fact&) const = default;
+};
+
+/// The fact table F = {f_1, ..., f_F}: every distinct (entity, attribute)
+/// pair of the raw database, in first-appearance order, plus an index from
+/// entity to its facts. Immutable after Build().
+class FactTable {
+ public:
+  FactTable() = default;
+
+  /// Extracts the distinct facts of `raw`. FactIds are assigned in the
+  /// order pairs first appear in the raw rows, which makes downstream
+  /// results deterministic for a fixed input order.
+  static FactTable Build(const RawDatabase& raw);
+
+  /// Builds a table from an explicit fact list (synthetic generators).
+  /// Duplicate (entity, attribute) pairs are an error and are skipped.
+  static FactTable FromFactList(const std::vector<Fact>& list);
+
+  size_t NumFacts() const { return facts_.size(); }
+  const Fact& fact(FactId id) const { return facts_[id]; }
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  /// Id lookup for an exact (entity, attribute) pair.
+  std::optional<FactId> Find(EntityId e, AttributeId a) const;
+
+  /// Facts that share entity `e` (empty for unknown entities).
+  const std::vector<FactId>& FactsOfEntity(EntityId e) const;
+
+  /// Number of distinct entities that own at least one fact.
+  size_t NumEntities() const { return facts_of_entity_.size(); }
+
+ private:
+  struct PairHash {
+    size_t operator()(const Fact& f) const {
+      return static_cast<size_t>(
+          (static_cast<uint64_t>(f.entity) << 32) ^ f.attribute);
+    }
+  };
+
+  std::vector<Fact> facts_;
+  std::unordered_map<Fact, FactId, PairHash> index_;
+  std::unordered_map<EntityId, std::vector<FactId>> facts_of_entity_;
+  std::vector<FactId> empty_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_DATA_FACT_TABLE_H_

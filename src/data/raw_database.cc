@@ -1,0 +1,25 @@
+#include "data/raw_database.h"
+
+namespace ltm {
+
+bool RawDatabase::Add(std::string_view entity, std::string_view attribute,
+                      std::string_view source) {
+  EntityId e = entities_.Intern(entity);
+  AttributeId a = attributes_.Intern(attribute);
+  SourceId s = sources_.Intern(source);
+  return AddRow(e, a, s);
+}
+
+bool RawDatabase::AddRow(EntityId e, AttributeId a, SourceId s) {
+  RawRow row{e, a, s};
+  auto [it, inserted] = seen_.insert(row);
+  (void)it;
+  if (inserted) rows_.push_back(row);
+  return inserted;
+}
+
+bool RawDatabase::Contains(EntityId e, AttributeId a, SourceId s) const {
+  return seen_.contains(RawRow{e, a, s});
+}
+
+}  // namespace ltm

@@ -1,0 +1,29 @@
+#include "data/truth_labels.h"
+
+namespace ltm {
+
+std::vector<FactId> TruthLabels::LabeledFacts() const {
+  std::vector<FactId> out;
+  for (FactId f = 0; f < labels_.size(); ++f) {
+    if (labels_[f] != kUnlabeled) out.push_back(f);
+  }
+  return out;
+}
+
+size_t TruthLabels::NumLabeled() const {
+  size_t n = 0;
+  for (int8_t l : labels_) {
+    if (l != kUnlabeled) ++n;
+  }
+  return n;
+}
+
+size_t TruthLabels::NumLabeledTrue() const {
+  size_t n = 0;
+  for (int8_t l : labels_) {
+    if (l == kTrue) ++n;
+  }
+  return n;
+}
+
+}  // namespace ltm

@@ -1,0 +1,56 @@
+#ifndef LTM_DATA_TRUTH_LABELS_H_
+#define LTM_DATA_TRUTH_LABELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/types.h"
+
+namespace ltm {
+
+/// Ground-truth labels for a (possibly partial) subset of facts (paper
+/// Definition 4). In the paper's evaluation, 100 entities per dataset were
+/// manually labeled; the remaining facts stay unlabeled and are excluded
+/// from the metrics. The label store is indexed by FactId.
+class TruthLabels {
+ public:
+  TruthLabels() = default;
+
+  /// Creates an all-unlabeled store for `num_facts` facts.
+  explicit TruthLabels(size_t num_facts)
+      : labels_(num_facts, kUnlabeled) {}
+
+  size_t NumFacts() const { return labels_.size(); }
+
+  void Set(FactId f, bool truth) {
+    labels_[f] = truth ? kTrue : kFalse;
+  }
+  void Clear(FactId f) { labels_[f] = kUnlabeled; }
+
+  bool IsLabeled(FactId f) const { return labels_[f] != kUnlabeled; }
+
+  /// Label of `f`; nullopt when unlabeled.
+  std::optional<bool> Get(FactId f) const {
+    if (labels_[f] == kUnlabeled) return std::nullopt;
+    return labels_[f] == kTrue;
+  }
+
+  /// FactIds with a label, ascending.
+  std::vector<FactId> LabeledFacts() const;
+
+  size_t NumLabeled() const;
+  size_t NumLabeledTrue() const;
+
+ private:
+  static constexpr int8_t kUnlabeled = -1;
+  static constexpr int8_t kFalse = 0;
+  static constexpr int8_t kTrue = 1;
+
+  std::vector<int8_t> labels_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_DATA_TRUTH_LABELS_H_

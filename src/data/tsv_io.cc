@@ -1,0 +1,119 @@
+#include "data/tsv_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ltm {
+
+Result<RawDatabase> LoadRawDatabaseFromTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open raw database file: " + path);
+  }
+  RawDatabase raw;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    std::vector<std::string> fields = Split(sv, '\t');
+    if (fields.size() < 3) {
+      std::ostringstream msg;
+      msg << path << ":" << lineno
+          << ": expected entity<TAB>attribute<TAB>source, got " << fields.size()
+          << " field(s)";
+      return Status::InvalidArgument(msg.str());
+    }
+    raw.Add(Trim(fields[0]), Trim(fields[1]), Trim(fields[2]));
+  }
+  return raw;
+}
+
+Status WriteRawDatabaseToTsv(const RawDatabase& raw, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  for (const RawRow& row : raw.rows()) {
+    out << raw.entities().Get(row.entity) << '\t'
+        << raw.attributes().Get(row.attribute) << '\t'
+        << raw.sources().Get(row.source) << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadTruthLabelsFromTsv(const std::string& path, Dataset* dataset) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open truth label file: " + path);
+  }
+  std::string line;
+  size_t lineno = 0;
+  size_t skipped = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    std::vector<std::string> fields = Split(sv, '\t');
+    if (fields.size() < 3) {
+      std::ostringstream msg;
+      msg << path << ":" << lineno
+          << ": expected entity<TAB>attribute<TAB>label";
+      return Status::InvalidArgument(msg.str());
+    }
+    std::string label = ToLower(Trim(fields[2]));
+    bool value;
+    if (label == "true" || label == "1") {
+      value = true;
+    } else if (label == "false" || label == "0") {
+      value = false;
+    } else {
+      std::ostringstream msg;
+      msg << path << ":" << lineno << ": bad label '" << label
+          << "' (want true/false/1/0)";
+      return Status::InvalidArgument(msg.str());
+    }
+    auto e = dataset->raw.entities().Find(Trim(fields[0]));
+    auto a = dataset->raw.attributes().Find(Trim(fields[1]));
+    if (!e || !a) {
+      ++skipped;
+      continue;
+    }
+    auto f = dataset->facts.Find(*e, *a);
+    if (!f) {
+      ++skipped;
+      continue;
+    }
+    dataset->labels.Set(*f, value);
+  }
+  (void)skipped;
+  return Status::OK();
+}
+
+Status WriteTruthToTsv(const Dataset& dataset,
+                       const std::vector<double>& fact_probability,
+                       double threshold, const std::string& path) {
+  if (fact_probability.size() != dataset.facts.NumFacts()) {
+    return Status::InvalidArgument(
+        "fact_probability size does not match the fact table");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  for (FactId f = 0; f < dataset.facts.NumFacts(); ++f) {
+    const Fact& fact = dataset.facts.fact(f);
+    out << dataset.raw.entities().Get(fact.entity) << '\t'
+        << dataset.raw.attributes().Get(fact.attribute) << '\t'
+        << fact_probability[f] << '\t'
+        << (fact_probability[f] >= threshold ? "true" : "false") << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace ltm

@@ -1,0 +1,37 @@
+#ifndef LTM_DATA_TSV_IO_H_
+#define LTM_DATA_TSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/raw_database.h"
+#include "data/truth_labels.h"
+
+namespace ltm {
+
+/// Loads a raw database from a tab-separated file with one
+/// `entity<TAB>attribute<TAB>source` triple per line. Blank lines and lines
+/// starting with '#' are skipped. Duplicate triples are silently deduped
+/// (Definition 1). Fails with IOError when the file cannot be opened and
+/// InvalidArgument on a malformed line (fewer than 3 fields).
+Result<RawDatabase> LoadRawDatabaseFromTsv(const std::string& path);
+
+/// Writes `raw` back as `entity<TAB>attribute<TAB>source` lines.
+Status WriteRawDatabaseToTsv(const RawDatabase& raw, const std::string& path);
+
+/// Loads ground-truth labels into `dataset->labels` from a file of
+/// `entity<TAB>attribute<TAB>{true|false|1|0}` lines. Labels for pairs that
+/// are not facts of the dataset are reported in the status message count but
+/// do not fail the load.
+Status LoadTruthLabelsFromTsv(const std::string& path, Dataset* dataset);
+
+/// Writes one `entity<TAB>attribute<TAB>probability<TAB>{true|false}` line
+/// per fact, in FactId order, using `threshold` for the Boolean decision.
+Status WriteTruthToTsv(const Dataset& dataset,
+                       const std::vector<double>& fact_probability,
+                       double threshold, const std::string& path);
+
+}  // namespace ltm
+
+#endif  // LTM_DATA_TSV_IO_H_

@@ -1,0 +1,21 @@
+#ifndef LTM_DATA_TYPES_H_
+#define LTM_DATA_TYPES_H_
+
+#include <cstdint>
+
+namespace ltm {
+
+/// Dense integer ids handed out by the interners. Ids are contiguous from 0
+/// within one RawDatabase, so they index directly into vectors everywhere.
+using EntityId = uint32_t;
+using AttributeId = uint32_t;
+using SourceId = uint32_t;
+/// Id of a distinct (entity, attribute) pair (paper Definition 2).
+using FactId = uint32_t;
+
+/// Sentinel for "no id".
+inline constexpr uint32_t kInvalidId = UINT32_MAX;
+
+}  // namespace ltm
+
+#endif  // LTM_DATA_TYPES_H_

@@ -1,0 +1,48 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ltm {
+
+CalibrationReport Calibrate(const std::vector<double>& fact_probability,
+                            const TruthLabels& labels, int num_bins) {
+  assert(num_bins >= 1);
+  CalibrationReport report;
+  report.bins.resize(num_bins);
+  for (int b = 0; b < num_bins; ++b) {
+    report.bins[b].lo = static_cast<double>(b) / num_bins;
+    report.bins[b].hi = static_cast<double>(b + 1) / num_bins;
+  }
+
+  std::vector<double> sum_pred(num_bins, 0.0);
+  std::vector<double> sum_true(num_bins, 0.0);
+  for (FactId f = 0; f < labels.NumFacts(); ++f) {
+    auto truth = labels.Get(f);
+    if (!truth.has_value()) continue;
+    const double p = std::clamp(fact_probability[f], 0.0, 1.0);
+    int b = std::min(num_bins - 1, static_cast<int>(p * num_bins));
+    ++report.bins[b].count;
+    sum_pred[b] += p;
+    sum_true[b] += *truth ? 1.0 : 0.0;
+    const double err = p - (*truth ? 1.0 : 0.0);
+    report.brier += err * err;
+    ++report.num_labeled;
+  }
+  if (report.num_labeled == 0) return report;
+  report.brier /= static_cast<double>(report.num_labeled);
+
+  for (int b = 0; b < num_bins; ++b) {
+    CalibrationBin& bin = report.bins[b];
+    if (bin.count == 0) continue;
+    bin.mean_predicted = sum_pred[b] / static_cast<double>(bin.count);
+    bin.observed_rate = sum_true[b] / static_cast<double>(bin.count);
+    report.ece += std::fabs(bin.observed_rate - bin.mean_predicted) *
+                  static_cast<double>(bin.count) /
+                  static_cast<double>(report.num_labeled);
+  }
+  return report;
+}
+
+}  // namespace ltm

@@ -1,0 +1,43 @@
+#ifndef LTM_EVAL_CALIBRATION_H_
+#define LTM_EVAL_CALIBRATION_H_
+
+#include <vector>
+
+#include "data/truth_labels.h"
+
+namespace ltm {
+
+/// One bin of a reliability diagram: facts whose score fell in
+/// [lo, hi) — with the mean predicted probability and the observed
+/// fraction of true facts.
+struct CalibrationBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t count = 0;
+  double mean_predicted = 0.0;
+  double observed_rate = 0.0;
+};
+
+/// A reliability diagram plus summary scores. Methods that are well
+/// calibrated (LTM's posterior means) keep observed_rate close to
+/// mean_predicted; rankers (HITS-style baselines) do not — this quantifies
+/// the paper's observation that only a probability-calibrated method can
+/// be thresholded at 0.5 without supervised tuning.
+struct CalibrationReport {
+  std::vector<CalibrationBin> bins;
+  /// Brier score: mean squared error of the probabilities; lower better.
+  double brier = 0.0;
+  /// Expected calibration error: count-weighted mean |observed - mean
+  /// predicted| across bins.
+  double ece = 0.0;
+  size_t num_labeled = 0;
+};
+
+/// Bins the labeled facts' scores into `num_bins` uniform bins over
+/// [0, 1] (the last bin is closed). Unlabeled facts are ignored.
+CalibrationReport Calibrate(const std::vector<double>& fact_probability,
+                            const TruthLabels& labels, int num_bins = 10);
+
+}  // namespace ltm
+
+#endif  // LTM_EVAL_CALIBRATION_H_

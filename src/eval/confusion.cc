@@ -1,0 +1,52 @@
+#include "eval/confusion.h"
+
+#include <sstream>
+
+namespace ltm {
+
+void ConfusionMatrix::Add(bool observation, bool truth) {
+  if (observation) {
+    truth ? ++tp : ++fp;
+  } else {
+    truth ? ++fn : ++tn;
+  }
+}
+
+double ConfusionMatrix::Precision() const {
+  uint64_t denom = tp + fp;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Accuracy() const {
+  uint64_t denom = Total();
+  if (denom == 0) return 0.0;
+  return static_cast<double>(tp + tn) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  uint64_t denom = tp + fn;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Specificity() const {
+  uint64_t denom = tn + fp;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(tn) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  double p = Precision();
+  double r = Recall();
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << "TP=" << tp << " FP=" << fp << " FN=" << fn << " TN=" << tn;
+  return os.str();
+}
+
+}  // namespace ltm

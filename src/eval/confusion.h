@@ -1,0 +1,48 @@
+#ifndef LTM_EVAL_CONFUSION_H_
+#define LTM_EVAL_CONFUSION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ltm {
+
+/// The 2x2 confusion matrix of paper Table 5 plus the derived quality
+/// measures of §3.1. Used both to grade truth-finding methods against
+/// labeled facts and to express two-sided source quality.
+struct ConfusionMatrix {
+  uint64_t tp = 0;  ///< observation true,  truth true
+  uint64_t fp = 0;  ///< observation true,  truth false
+  uint64_t fn = 0;  ///< observation false, truth true
+  uint64_t tn = 0;  ///< observation false, truth false
+
+  void Add(bool observation, bool truth);
+
+  uint64_t Total() const { return tp + fp + fn + tn; }
+
+  /// TP / (TP + FP); 1 when the denominator is 0 (no positive predictions
+  /// means no false positives — matches the paper's perfect-precision
+  /// convention for conservative methods).
+  double Precision() const;
+
+  /// (TP + TN) / total; 0 for an empty matrix.
+  double Accuracy() const;
+
+  /// TP / (TP + FN), a.k.a. sensitivity; 1 when no positives exist.
+  double Recall() const;
+  double Sensitivity() const { return Recall(); }
+
+  /// TN / (TN + FP); 1 when no negatives exist.
+  double Specificity() const;
+
+  /// FP / (FP + TN) = 1 - specificity.
+  double FalsePositiveRate() const { return 1.0 - Specificity(); }
+
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double F1() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_EVAL_CONFUSION_H_

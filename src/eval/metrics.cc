@@ -1,0 +1,21 @@
+#include "eval/metrics.h"
+
+#include <cassert>
+
+namespace ltm {
+
+PointMetrics EvaluateAtThreshold(const std::vector<double>& fact_probability,
+                                 const TruthLabels& labels, double threshold) {
+  assert(fact_probability.size() >= labels.NumFacts());
+  PointMetrics m;
+  m.threshold = threshold;
+  for (FactId f = 0; f < labels.NumFacts(); ++f) {
+    auto truth = labels.Get(f);
+    if (!truth.has_value()) continue;
+    bool predicted = fact_probability[f] >= threshold;
+    m.confusion.Add(predicted, *truth);
+  }
+  return m;
+}
+
+}  // namespace ltm

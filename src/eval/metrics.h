@@ -1,0 +1,33 @@
+#ifndef LTM_EVAL_METRICS_H_
+#define LTM_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "data/truth_labels.h"
+#include "eval/confusion.h"
+
+namespace ltm {
+
+/// Point metrics of a truth estimate against labeled facts at one decision
+/// threshold — the quantities of the paper's Table 7 (one-sided: precision,
+/// recall, FPR; two-sided: accuracy, F1).
+struct PointMetrics {
+  ConfusionMatrix confusion;
+  double threshold = 0.5;
+
+  double precision() const { return confusion.Precision(); }
+  double recall() const { return confusion.Recall(); }
+  double fpr() const { return confusion.FalsePositiveRate(); }
+  double accuracy() const { return confusion.Accuracy(); }
+  double f1() const { return confusion.F1(); }
+};
+
+/// Grades `fact_probability` (one entry per FactId) against the labeled
+/// subset of `labels`. A fact is predicted true iff its probability is
+/// >= `threshold` (paper §5.2 uses 0.5). Unlabeled facts are ignored.
+PointMetrics EvaluateAtThreshold(const std::vector<double>& fact_probability,
+                                 const TruthLabels& labels, double threshold);
+
+}  // namespace ltm
+
+#endif  // LTM_EVAL_METRICS_H_

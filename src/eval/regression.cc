@@ -1,0 +1,48 @@
+#include "eval/regression.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ltm {
+
+LinearFit FitLeastSquares(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  assert(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx <= 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy <= 0.0) {
+    fit.r_squared = 1.0;  // All y equal and perfectly predicted.
+    return fit;
+  }
+  double ss_res = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r_squared = 1.0 - ss_res / syy;
+  return fit;
+}
+
+}  // namespace ltm

@@ -1,0 +1,24 @@
+#ifndef LTM_EVAL_REGRESSION_H_
+#define LTM_EVAL_REGRESSION_H_
+
+#include <vector>
+
+namespace ltm {
+
+/// Ordinary least-squares fit y = slope * x + intercept with the R^2
+/// goodness of fit — used to verify linear runtime scaling (paper Fig. 6,
+/// which reports R^2 = 0.9913 for LTM runtime vs. #claims).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits `y` on `x` (sizes must match, n >= 2). With zero x-variance the fit
+/// is a horizontal line with r_squared 0.
+LinearFit FitLeastSquares(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace ltm
+
+#endif  // LTM_EVAL_REGRESSION_H_

@@ -1,0 +1,96 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltm {
+
+namespace {
+
+/// Collects (score, truth) pairs for the labeled facts.
+std::vector<std::pair<double, bool>> LabeledScores(
+    const std::vector<double>& fact_probability, const TruthLabels& labels) {
+  std::vector<std::pair<double, bool>> out;
+  out.reserve(labels.NumLabeled());
+  for (FactId f = 0; f < labels.NumFacts(); ++f) {
+    auto truth = labels.Get(f);
+    if (!truth.has_value()) continue;
+    out.emplace_back(fact_probability[f], *truth);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<RocPoint> RocCurve(const std::vector<double>& fact_probability,
+                               const TruthLabels& labels) {
+  auto scored = LabeledScores(fact_probability, labels);
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  uint64_t pos = 0;
+  uint64_t neg = 0;
+  for (const auto& [s, t] : scored) {
+    t ? ++pos : ++neg;
+  }
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{0.0, 0.0, std::nextafter(1.0, 2.0)});
+  if (pos == 0 || neg == 0) {
+    curve.push_back(RocPoint{1.0, 1.0, 0.0});
+    return curve;
+  }
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  size_t i = 0;
+  while (i < scored.size()) {
+    double score = scored[i].first;
+    // Consume the whole tie group before emitting a point.
+    while (i < scored.size() && scored[i].first == score) {
+      scored[i].second ? ++tp : ++fp;
+      ++i;
+    }
+    curve.push_back(RocPoint{static_cast<double>(fp) / neg,
+                             static_cast<double>(tp) / pos, score});
+  }
+  return curve;
+}
+
+double AucScore(const std::vector<double>& fact_probability,
+                const TruthLabels& labels) {
+  auto scored = LabeledScores(fact_probability, labels);
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  uint64_t pos = 0;
+  uint64_t neg = 0;
+  for (const auto& [s, t] : scored) {
+    t ? ++pos : ++neg;
+  }
+  if (pos == 0 || neg == 0) return 0.5;
+
+  // Rank-sum with midranks for ties.
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < scored.size()) {
+    size_t j = i;
+    while (j < scored.size() && scored[j].first == scored[i].first) ++j;
+    // Ranks are 1-based; the tie group [i, j) shares the average rank.
+    double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (scored[k].second) rank_sum_pos += midrank;
+    }
+    i = j;
+  }
+  double u = rank_sum_pos - static_cast<double>(pos) *
+                                (static_cast<double>(pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double TrapezoidArea(const std::vector<RocPoint>& curve) {
+  double area = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    double dx = curve[i].fpr - curve[i - 1].fpr;
+    area += dx * (curve[i].tpr + curve[i - 1].tpr) / 2.0;
+  }
+  return area;
+}
+
+}  // namespace ltm

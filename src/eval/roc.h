@@ -1,0 +1,35 @@
+#ifndef LTM_EVAL_ROC_H_
+#define LTM_EVAL_ROC_H_
+
+#include <vector>
+
+#include "data/truth_labels.h"
+
+namespace ltm {
+
+/// One ROC operating point.
+struct RocPoint {
+  double fpr;
+  double tpr;
+  double threshold;
+};
+
+/// The full ROC curve of a scored truth estimate over the labeled facts,
+/// from (0,0) to (1,1), one point per distinct score. Ties share a point.
+std::vector<RocPoint> RocCurve(const std::vector<double>& fact_probability,
+                               const TruthLabels& labels);
+
+/// Area under the ROC curve via the rank statistic (equivalent to the
+/// Wilcoxon–Mann–Whitney U normalized by #pos * #neg; ties count 1/2).
+/// Returns 0.5 when either class is empty (no ranking information).
+double AucScore(const std::vector<double>& fact_probability,
+                const TruthLabels& labels);
+
+/// Trapezoidal area under an ROC curve returned by RocCurve(). Agrees with
+/// AucScore up to floating error; kept as an independent implementation so
+/// tests can cross-check the two.
+double TrapezoidArea(const std::vector<RocPoint>& curve);
+
+}  // namespace ltm
+
+#endif  // LTM_EVAL_ROC_H_

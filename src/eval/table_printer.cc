@@ -1,0 +1,57 @@
+#include "eval/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ltm {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace ltm

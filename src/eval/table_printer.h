@@ -1,0 +1,37 @@
+#ifndef LTM_EVAL_TABLE_PRINTER_H_
+#define LTM_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace ltm {
+
+/// Minimal fixed-width ASCII table writer used by the benchmark harnesses
+/// to print paper-style tables (Table 7, Table 8, Table 9) with stable,
+/// diff-able formatting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders with column-aligned cells, a header separator, and a trailing
+  /// newline.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,54 @@
+#include "eval/threshold_sweep.h"
+
+#include <cassert>
+
+namespace ltm {
+
+double ThresholdSweep::BestAccuracyThreshold() const {
+  double best = 0.0;
+  double best_acc = -1.0;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (metrics[i].accuracy() > best_acc) {
+      best_acc = metrics[i].accuracy();
+      best = thresholds[i];
+    }
+  }
+  return best;
+}
+
+double ThresholdSweep::BestAccuracy() const {
+  double best_acc = 0.0;
+  for (const PointMetrics& m : metrics) {
+    if (m.accuracy() > best_acc) best_acc = m.accuracy();
+  }
+  return best_acc;
+}
+
+double ThresholdSweep::BestF1Threshold() const {
+  double best = 0.0;
+  double best_f1 = -1.0;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (metrics[i].f1() > best_f1) {
+      best_f1 = metrics[i].f1();
+      best = thresholds[i];
+    }
+  }
+  return best;
+}
+
+ThresholdSweep SweepThresholds(const std::vector<double>& fact_probability,
+                               const TruthLabels& labels, double lo, double hi,
+                               int steps) {
+  assert(steps >= 1);
+  ThresholdSweep sweep;
+  sweep.thresholds.reserve(steps + 1);
+  sweep.metrics.reserve(steps + 1);
+  for (int i = 0; i <= steps; ++i) {
+    double t = lo + (hi - lo) * static_cast<double>(i) / steps;
+    sweep.thresholds.push_back(t);
+    sweep.metrics.push_back(EvaluateAtThreshold(fact_probability, labels, t));
+  }
+  return sweep;
+}
+
+}  // namespace ltm

@@ -1,0 +1,31 @@
+#ifndef LTM_EVAL_THRESHOLD_SWEEP_H_
+#define LTM_EVAL_THRESHOLD_SWEEP_H_
+
+#include <vector>
+
+#include "data/truth_labels.h"
+#include "eval/metrics.h"
+
+namespace ltm {
+
+/// Point metrics evaluated on a grid of decision thresholds — the data
+/// behind the paper's Figure 2 (accuracy vs. threshold per method).
+struct ThresholdSweep {
+  std::vector<double> thresholds;
+  std::vector<PointMetrics> metrics;
+
+  /// Threshold with the highest accuracy (first maximum).
+  double BestAccuracyThreshold() const;
+  double BestAccuracy() const;
+  /// Threshold with the highest F1 (first maximum).
+  double BestF1Threshold() const;
+};
+
+/// Sweeps thresholds from `lo` to `hi` inclusive in `steps` uniform steps.
+ThresholdSweep SweepThresholds(const std::vector<double>& fact_probability,
+                               const TruthLabels& labels, double lo = 0.0,
+                               double hi = 1.0, int steps = 50);
+
+}  // namespace ltm
+
+#endif  // LTM_EVAL_THRESHOLD_SWEEP_H_

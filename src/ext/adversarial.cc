@@ -1,0 +1,80 @@
+#include "ext/adversarial.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ltm {
+namespace ext {
+
+AdversarialResult RunAdversarialFilter(const FactTable& facts,
+                                       const ClaimTable& claims,
+                                       const AdversarialOptions& options) {
+  AdversarialResult result;
+  std::vector<uint8_t> removed(claims.NumSources(), 0);
+  ClaimTable current = claims;
+  LatentTruthModel model(options.ltm);
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++result.rounds;
+    SourceQuality quality;
+    result.estimate = model.RunWithQuality(current, &quality);
+    if (round == 0) {
+      result.quality = quality;
+    } else {
+      // Refresh quality for surviving sources only.
+      for (SourceId s = 0; s < quality.NumSources(); ++s) {
+        if (removed[s]) continue;
+        result.quality.sensitivity[s] = quality.sensitivity[s];
+        result.quality.specificity[s] = quality.specificity[s];
+        result.quality.precision[s] = quality.precision[s];
+        result.quality.accuracy[s] = quality.accuracy[s];
+        result.quality.expected_counts[s] = quality.expected_counts[s];
+      }
+    }
+
+    // Identify newly adversarial sources.
+    std::vector<SourceId> to_remove;
+    for (SourceId s = 0; s < quality.NumSources(); ++s) {
+      if (removed[s]) continue;
+      // Only judge sources that still have claims.
+      if (current.ClaimIndicesOfSource(s).empty()) continue;
+      if (quality.specificity[s] < options.min_specificity ||
+          quality.precision[s] < options.min_precision) {
+        to_remove.push_back(s);
+      }
+    }
+    if (to_remove.empty()) break;
+    for (SourceId s : to_remove) {
+      removed[s] = 1;
+      result.removed_sources.push_back(s);
+      LTM_LOG(Info) << "adversarial filter: removing source " << s;
+    }
+
+    // Rebuild the claim table without the removed sources' claims.
+    std::vector<Claim> surviving;
+    surviving.reserve(current.NumClaims());
+    for (const Claim& c : current.claims()) {
+      if (!removed[c.source]) surviving.push_back(c);
+    }
+    current = ClaimTable::FromClaims(std::move(surviving), facts.NumFacts(),
+                                     claims.NumSources());
+  }
+  // Facts whose every assertion came from removed sources have no
+  // surviving positive evidence: mark them false rather than leaving them
+  // at the prior mean.
+  for (FactId f = 0; f < facts.NumFacts(); ++f) {
+    bool has_support = false;
+    for (const Claim& c : current.ClaimsOfFact(f)) {
+      if (c.observation) {
+        has_support = true;
+        break;
+      }
+    }
+    if (!has_support) result.estimate.probability[f] = 0.0;
+  }
+  return result;
+}
+
+}  // namespace ext
+}  // namespace ltm

@@ -1,0 +1,47 @@
+#ifndef LTM_EXT_ADVERSARIAL_H_
+#define LTM_EXT_ADVERSARIAL_H_
+
+#include <vector>
+
+#include "data/claim_table.h"
+#include "data/fact_table.h"
+#include "truth/ltm.h"
+#include "truth/options.h"
+
+namespace ltm {
+namespace ext {
+
+/// Controls for adversarial-source filtering (paper §7, "Adversarial
+/// sources"): iteratively run LTM, drop sources whose inferred specificity
+/// or precision falls below thresholds (their data is mostly false), and
+/// re-run on the surviving claims.
+struct AdversarialOptions {
+  LtmOptions ltm;
+  double min_specificity = 0.5;
+  double min_precision = 0.5;
+  int max_rounds = 5;
+};
+
+/// Result of the filtering loop.
+struct AdversarialResult {
+  /// Final truth estimate over the original fact ids.
+  TruthEstimate estimate;
+  /// Final quality (indexed by original SourceId; removed sources keep the
+  /// quality from the round they were removed in).
+  SourceQuality quality;
+  /// Sources removed as adversarial, in removal order.
+  std::vector<SourceId> removed_sources;
+  int rounds = 0;
+};
+
+/// Runs the iterative filter. Claims of removed sources are deleted
+/// between rounds (facts keep their ids; facts left with no claims score
+/// at the prior mean).
+AdversarialResult RunAdversarialFilter(const FactTable& facts,
+                                       const ClaimTable& claims,
+                                       const AdversarialOptions& options);
+
+}  // namespace ext
+}  // namespace ltm
+
+#endif  // LTM_EXT_ADVERSARIAL_H_

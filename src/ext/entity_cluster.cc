@@ -1,0 +1,142 @@
+#include "ext/entity_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace ltm {
+namespace ext {
+
+namespace {
+
+/// Per-entity fingerprint: fraction of the entity's facts positively
+/// asserted by each source (0 when silent).
+std::vector<std::vector<double>> CoverageFingerprints(const Dataset& ds) {
+  const size_t num_entities = ds.raw.NumEntities();
+  const size_t num_sources = ds.raw.NumSources();
+  std::vector<std::vector<double>> prints(
+      num_entities, std::vector<double>(num_sources, 0.0));
+  std::vector<double> facts_per_entity(num_entities, 0.0);
+  for (FactId f = 0; f < ds.facts.NumFacts(); ++f) {
+    const EntityId e = ds.facts.fact(f).entity;
+    facts_per_entity[e] += 1.0;
+    for (const Claim& c : ds.claims.ClaimsOfFact(f)) {
+      if (c.observation) prints[e][c.source] += 1.0;
+    }
+  }
+  for (size_t e = 0; e < num_entities; ++e) {
+    if (facts_per_entity[e] > 0.0) {
+      for (double& v : prints[e]) v /= facts_per_entity[e];
+    }
+  }
+  return prints;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+std::vector<uint32_t> KMeans(const std::vector<std::vector<double>>& points,
+                             size_t k, int iterations, uint64_t seed) {
+  const size_t n = points.size();
+  std::vector<uint32_t> assignment(n, 0);
+  if (n == 0 || k <= 1) return assignment;
+  const size_t dim = points[0].size();
+
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers(k);
+  for (size_t c = 0; c < k; ++c) {
+    centers[c] = points[rng.UniformInt(n)];
+  }
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(points[i], centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<uint32_t>(c);
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centers; empty clusters are re-seeded randomly.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[assignment[i]];
+      for (size_t d = 0; d < dim; ++d) sums[assignment[i]][d] += points[i][d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        centers[c] = points[rng.UniformInt(n)];
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        centers[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+EntityClusterResult RunEntityClusteredLtm(
+    const Dataset& dataset, const EntityClusterOptions& options) {
+  EntityClusterResult result;
+  const size_t num_facts = dataset.facts.NumFacts();
+  result.estimate.probability.assign(num_facts, 0.5);
+
+  auto prints = CoverageFingerprints(dataset);
+  result.cluster_of_entity = KMeans(prints, options.num_clusters,
+                                    options.kmeans_iterations, options.seed);
+  const size_t k = std::max<size_t>(1, options.num_clusters);
+  result.cluster_quality.resize(k);
+
+  for (size_t cluster = 0; cluster < k; ++cluster) {
+    // Claims of the facts whose entity belongs to this cluster; fact ids
+    // are preserved so the stitched estimate lines up.
+    std::vector<Claim> cluster_claims;
+    std::vector<uint8_t> in_cluster(num_facts, 0);
+    for (FactId f = 0; f < num_facts; ++f) {
+      const EntityId e = dataset.facts.fact(f).entity;
+      if (result.cluster_of_entity[e] != cluster) continue;
+      in_cluster[f] = 1;
+      for (const Claim& c : dataset.claims.ClaimsOfFact(f)) {
+        cluster_claims.push_back(c);
+      }
+    }
+    if (cluster_claims.empty()) continue;
+    ClaimTable sub = ClaimTable::FromClaims(
+        std::move(cluster_claims), num_facts, dataset.raw.NumSources());
+
+    LtmOptions opts = options.ltm;
+    opts.seed = options.ltm.seed + cluster * 7919;
+    LatentTruthModel model(opts);
+    TruthEstimate est =
+        model.RunWithQuality(sub, &result.cluster_quality[cluster]);
+    for (FactId f = 0; f < num_facts; ++f) {
+      if (in_cluster[f]) result.estimate.probability[f] = est.probability[f];
+    }
+  }
+  return result;
+}
+
+}  // namespace ext
+}  // namespace ltm

@@ -1,0 +1,46 @@
+#ifndef LTM_EXT_ENTITY_CLUSTER_H_
+#define LTM_EXT_ENTITY_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "truth/ltm.h"
+#include "truth/options.h"
+#include "truth/source_quality.h"
+
+namespace ltm {
+namespace ext {
+
+/// Controls for entity-specific quality (paper §7): a source's quality
+/// may vary across entity segments (e.g. a feed accurate on blockbusters
+/// but sloppy on indie films). Entities are clustered by their
+/// source-coverage fingerprint with k-means, then LTM runs per cluster so
+/// each cluster gets its own source-quality estimates; the shared prior
+/// regularizes small clusters.
+struct EntityClusterOptions {
+  LtmOptions ltm;
+  size_t num_clusters = 2;
+  int kmeans_iterations = 20;
+  uint64_t seed = 13;
+};
+
+struct EntityClusterResult {
+  /// Cluster id per entity (indexed by EntityId).
+  std::vector<uint32_t> cluster_of_entity;
+  /// Truth estimate over the original FactIds.
+  TruthEstimate estimate;
+  /// Per-cluster two-sided quality (indexed by cluster, then SourceId in
+  /// the original source id space).
+  std::vector<SourceQuality> cluster_quality;
+};
+
+/// Clusters entities, fits LTM per cluster, and stitches the per-cluster
+/// posteriors back into a single estimate over the dataset's fact ids.
+EntityClusterResult RunEntityClusteredLtm(const Dataset& dataset,
+                                          const EntityClusterOptions& options);
+
+}  // namespace ext
+}  // namespace ltm
+
+#endif  // LTM_EXT_ENTITY_CLUSTER_H_

@@ -1,0 +1,89 @@
+#include "ext/gaussian_ltm.h"
+
+#include <cmath>
+#include <string>
+
+namespace ltm {
+namespace ext {
+
+Result<GaussianLtmResult> RunGaussianLtm(const std::vector<ValueClaim>& claims,
+                                         size_t num_facts, size_t num_sources,
+                                         const GaussianLtmOptions& options) {
+  for (const ValueClaim& c : claims) {
+    if (c.fact >= num_facts || c.source >= num_sources) {
+      return Status::InvalidArgument(
+          "value claim references fact " + std::to_string(c.fact) +
+          " / source " + std::to_string(c.source) + " out of range");
+    }
+    if (!std::isfinite(c.value)) {
+      return Status::InvalidArgument("value claim with non-finite value");
+    }
+  }
+  if (options.prior_strength <= 0.0 || options.prior_variance <= 0.0) {
+    return Status::InvalidArgument("Gaussian priors must be positive");
+  }
+
+  GaussianLtmResult result;
+  result.truth.assign(num_facts, 0.0);
+  result.source_sigma.assign(num_sources, std::sqrt(options.prior_variance));
+
+  // Initialize truth with per-fact means.
+  std::vector<double> sum(num_facts, 0.0);
+  std::vector<double> cnt(num_facts, 0.0);
+  for (const ValueClaim& c : claims) {
+    sum[c.fact] += c.value;
+    cnt[c.fact] += 1.0;
+  }
+  for (size_t f = 0; f < num_facts; ++f) {
+    if (cnt[f] > 0.0) result.truth[f] = sum[f] / cnt[f];
+  }
+
+  std::vector<double> weight_sum(num_facts);
+  std::vector<double> weighted_value(num_facts);
+  std::vector<double> sq_err(num_sources);
+  std::vector<double> src_cnt(num_sources);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Variance step first: with uniform prior sigmas the first weighted
+    // mean would equal the plain mean and spuriously trigger convergence;
+    // estimating variances against the current truth breaks the tie.
+    std::fill(sq_err.begin(), sq_err.end(), 0.0);
+    std::fill(src_cnt.begin(), src_cnt.end(), 0.0);
+    for (const ValueClaim& c : claims) {
+      const double e = c.value - result.truth[c.fact];
+      sq_err[c.source] += e * e;
+      src_cnt[c.source] += 1.0;
+    }
+    for (size_t s = 0; s < num_sources; ++s) {
+      const double var =
+          (sq_err[s] + options.prior_strength * options.prior_variance) /
+          (src_cnt[s] + options.prior_strength);
+      result.source_sigma[s] = std::sqrt(var);
+    }
+
+    // Truth step: precision-weighted mean per fact.
+    std::fill(weight_sum.begin(), weight_sum.end(), 0.0);
+    std::fill(weighted_value.begin(), weighted_value.end(), 0.0);
+    for (const ValueClaim& c : claims) {
+      const double var =
+          result.source_sigma[c.source] * result.source_sigma[c.source];
+      const double w = 1.0 / var;
+      weight_sum[c.fact] += w;
+      weighted_value[c.fact] += w * c.value;
+    }
+    double max_delta = 0.0;
+    for (size_t f = 0; f < num_facts; ++f) {
+      if (weight_sum[f] <= 0.0) continue;
+      const double mu = weighted_value[f] / weight_sum[f];
+      max_delta = std::max(max_delta, std::fabs(mu - result.truth[f]));
+      result.truth[f] = mu;
+    }
+
+    if (max_delta < options.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace ext
+}  // namespace ltm

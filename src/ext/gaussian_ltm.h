@@ -1,0 +1,53 @@
+#ifndef LTM_EXT_GAUSSIAN_LTM_H_
+#define LTM_EXT_GAUSSIAN_LTM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ltm {
+namespace ext {
+
+/// One real-valued claim: source `source` reported value `value` for
+/// numeric fact `fact` (e.g. a movie runtime or a city population).
+struct ValueClaim {
+  uint32_t fact;
+  uint32_t source;
+  double value;
+};
+
+/// Controls for the real-valued truth model of §7 ("Real-valued loss"):
+/// claims are generated from the latent true value with source-specific
+/// Gaussian noise, v_c ~ N(mu_f, sigma_s^2), replacing LTM's Bernoulli
+/// emissions. Inference is EM: the E/M steps alternate precision-weighted
+/// truth estimates and per-source variance re-estimation, with an
+/// inverse-gamma-flavoured prior (prior_strength pseudo-observations of
+/// variance prior_variance) keeping variances away from 0.
+struct GaussianLtmOptions {
+  int max_iterations = 50;
+  double tolerance = 1e-8;
+  /// Prior pseudo-observation count for each source's variance.
+  double prior_strength = 2.0;
+  /// Prior variance of source noise.
+  double prior_variance = 1.0;
+};
+
+/// Result: the inferred true value per fact and noise sigma per source.
+struct GaussianLtmResult {
+  std::vector<double> truth;          // mu_f
+  std::vector<double> source_sigma;   // sigma_s
+  int iterations = 0;
+};
+
+/// Runs EM over `claims`. `num_facts` / `num_sources` bound the id spaces.
+/// Facts with no claims get truth 0; sources with no claims keep the prior
+/// sigma. Fails with InvalidArgument on out-of-range ids.
+Result<GaussianLtmResult> RunGaussianLtm(const std::vector<ValueClaim>& claims,
+                                         size_t num_facts, size_t num_sources,
+                                         const GaussianLtmOptions& options = {});
+
+}  // namespace ext
+}  // namespace ltm
+
+#endif  // LTM_EXT_GAUSSIAN_LTM_H_

@@ -1,0 +1,66 @@
+#include "ext/multi_attribute.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ltm {
+namespace ext {
+
+namespace {
+
+/// Moment-matches a Beta(pos, neg) of total strength `strength` to the
+/// observed per-source rates (mean clamped away from {0,1}).
+BetaPrior MatchBeta(const std::vector<double>& rates, double strength,
+                    const BetaPrior& fallback) {
+  if (rates.empty()) return fallback;
+  const double mean = Clamp(Mean(rates), 1e-3, 1.0 - 1e-3);
+  return BetaPrior{mean * strength, (1.0 - mean) * strength};
+}
+
+}  // namespace
+
+MultiAttributeResult RunMultiAttributeLtm(
+    const std::vector<Dataset>& datasets, const MultiAttributeOptions& options) {
+  MultiAttributeResult result;
+  result.per_type.resize(datasets.size());
+  result.shared_alpha0 = options.ltm.alpha0;
+  result.shared_alpha1 = options.ltm.alpha1;
+
+  const int rounds = std::max(1, options.coupling_rounds);
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<double> all_fpr;
+    std::vector<double> all_sensitivity;
+    for (size_t i = 0; i < datasets.size(); ++i) {
+      LtmOptions opts = options.ltm;
+      opts.alpha0 = result.shared_alpha0;
+      opts.alpha1 = result.shared_alpha1;
+      // Decorrelate chains across types and rounds deterministically.
+      opts.seed = options.ltm.seed + 1315423911ULL * (i + 1) + round;
+      LatentTruthModel model(opts);
+      AttributeTypeResult& slot = result.per_type[i];
+      slot.type_name = datasets[i].name;
+      slot.estimate = model.RunWithQuality(datasets[i].claims, &slot.quality);
+      for (size_t s = 0; s < slot.quality.NumSources(); ++s) {
+        // Only sources with real evidence inform the shared prior.
+        if (datasets[i].claims.ClaimIndicesOfSource(static_cast<SourceId>(s))
+                .empty()) {
+          continue;
+        }
+        all_fpr.push_back(slot.quality.FalsePositiveRate(s));
+        all_sensitivity.push_back(slot.quality.sensitivity[s]);
+      }
+    }
+    if (round + 1 < rounds) {
+      result.shared_alpha0 = MatchBeta(all_fpr, options.shared_prior_strength,
+                                       result.shared_alpha0);
+      result.shared_alpha1 = MatchBeta(
+          all_sensitivity, options.shared_prior_strength, result.shared_alpha1);
+    }
+  }
+  return result;
+}
+
+}  // namespace ext
+}  // namespace ltm

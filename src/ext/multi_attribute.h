@@ -1,0 +1,54 @@
+#ifndef LTM_EXT_MULTI_ATTRIBUTE_H_
+#define LTM_EXT_MULTI_ATTRIBUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "truth/ltm.h"
+#include "truth/options.h"
+#include "truth/source_quality.h"
+
+namespace ltm {
+namespace ext {
+
+/// Controls for joint inference over multiple attribute types (paper §7,
+/// "Multiple attribute types"). Each type is fit with LTM, but the
+/// per-type quality priors are coupled through a shared global prior:
+/// after each round the global prior is re-estimated from all types'
+/// inferred source quality (moment matching on the Beta distribution,
+/// a fixed-strength approximation of the Newton step the paper sketches),
+/// and the next round's per-type fits use it. Quality evidence thus flows
+/// between attribute types via their common prior.
+struct MultiAttributeOptions {
+  LtmOptions ltm;
+  /// Outer coupling rounds (1 = independent fits, no sharing).
+  int coupling_rounds = 2;
+  /// Pseudo-count strength of the re-estimated shared prior.
+  double shared_prior_strength = 100.0;
+};
+
+/// Per-type output.
+struct AttributeTypeResult {
+  std::string type_name;
+  TruthEstimate estimate;
+  SourceQuality quality;
+};
+
+struct MultiAttributeResult {
+  std::vector<AttributeTypeResult> per_type;
+  /// The shared priors after the final coupling round.
+  BetaPrior shared_alpha0;
+  BetaPrior shared_alpha1;
+};
+
+/// Fits all `datasets` (one per attribute type, e.g. cast and directors;
+/// they may have disjoint source vocabularies) with coupled quality
+/// priors.
+MultiAttributeResult RunMultiAttributeLtm(const std::vector<Dataset>& datasets,
+                                          const MultiAttributeOptions& options);
+
+}  // namespace ext
+}  // namespace ltm
+
+#endif  // LTM_EXT_MULTI_ATTRIBUTE_H_

@@ -1,0 +1,67 @@
+#include "ext/streaming.h"
+
+#include "common/logging.h"
+
+namespace ltm {
+namespace ext {
+
+namespace {
+
+/// Copies every row of `src` into `dst` (interning strings through dst's
+/// dictionaries; duplicates are deduped by RawDatabase).
+void MergeRaw(const RawDatabase& src, RawDatabase* dst) {
+  for (const RawRow& row : src.rows()) {
+    dst->Add(src.entities().Get(row.entity), src.attributes().Get(row.attribute),
+             src.sources().Get(row.source));
+  }
+}
+
+}  // namespace
+
+StreamingPipeline::StreamingPipeline(StreamingOptions options)
+    : options_(std::move(options)) {}
+
+void StreamingPipeline::Bootstrap(const Dataset& history) {
+  // Keep the shared source id space: intern history's sources first.
+  for (const std::string& s : history.raw.sources().strings()) {
+    cumulative_.mutable_sources().Intern(s);
+  }
+  MergeRaw(history.raw, &cumulative_);
+  Refit();
+  bootstrapped_ = true;
+}
+
+ChunkResult StreamingPipeline::IngestChunk(const Dataset& chunk) {
+  ChunkResult result;
+  if (!bootstrapped_) {
+    // No quality yet: bootstrap from this very chunk (cold start).
+    Bootstrap(chunk);
+    chunks_.push_back(chunk.claims.NumClaims());
+    LtmIncremental inc(quality_, options_.ltm);
+    result.estimate = inc.Run(chunk.facts, chunk.claims);
+    result.refit = true;
+    return result;
+  }
+  LtmIncremental inc(quality_, options_.ltm);
+  result.estimate = inc.Run(chunk.facts, chunk.claims);
+  MergeRaw(chunk.raw, &cumulative_);
+  chunks_.push_back(chunk.claims.NumClaims());
+  if (options_.refit_every_chunks > 0 &&
+      chunks_.size() % options_.refit_every_chunks == 0) {
+    Refit();
+    result.refit = true;
+  }
+  return result;
+}
+
+void StreamingPipeline::Refit() {
+  FactTable facts = FactTable::Build(cumulative_);
+  ClaimTable claims = ClaimTable::Build(cumulative_, facts);
+  LatentTruthModel model(options_.ltm);
+  model.RunWithQuality(claims, &quality_);
+  LTM_LOG(Info) << "streaming refit on " << claims.NumClaims() << " claims, "
+                << quality_.NumSources() << " sources";
+}
+
+}  // namespace ext
+}  // namespace ltm

@@ -1,0 +1,70 @@
+#ifndef LTM_EXT_STREAMING_H_
+#define LTM_EXT_STREAMING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "truth/ltm.h"
+#include "truth/ltm_incremental.h"
+#include "truth/options.h"
+
+namespace ltm {
+namespace ext {
+
+/// Controls for the streaming deployment pattern of §5.4: LTMinc answers
+/// online with frozen source quality, and batch LTM refits periodically on
+/// the cumulative data.
+struct StreamingOptions {
+  LtmOptions ltm;
+  /// Refit batch LTM after this many incremental chunks (0 = never).
+  size_t refit_every_chunks = 4;
+};
+
+/// Result of ingesting one chunk.
+struct ChunkResult {
+  /// Posterior truth probability per fact of the chunk dataset.
+  TruthEstimate estimate;
+  /// True when this chunk triggered a batch refit.
+  bool refit = false;
+};
+
+/// Incremental truth-finding pipeline. Chunks must share a source
+/// vocabulary (same SourceId space, e.g. produced by Dataset splits or a
+/// shared interner); entities may be entirely new in each chunk.
+///
+///   StreamingPipeline p(options);
+///   p.Bootstrap(history);              // initial batch fit
+///   auto r = p.IngestChunk(chunk1);    // Eq. 3 prediction, O(claims)
+///   ...
+class StreamingPipeline {
+ public:
+  explicit StreamingPipeline(StreamingOptions options);
+
+  /// Fits batch LTM on `history` and installs the learned source quality.
+  void Bootstrap(const Dataset& history);
+
+  /// Scores `chunk` with LTMinc under the current quality, accumulates the
+  /// chunk for future refits, and refits per `refit_every_chunks`.
+  ChunkResult IngestChunk(const Dataset& chunk);
+
+  /// Quality currently used for incremental predictions.
+  const SourceQuality& quality() const { return quality_; }
+
+  size_t num_chunks_ingested() const { return chunks_.size(); }
+
+ private:
+  void Refit();
+
+  StreamingOptions options_;
+  SourceQuality quality_;
+  bool bootstrapped_ = false;
+  // Cumulative raw data (history + chunks) for periodic batch refits.
+  RawDatabase cumulative_;
+  std::vector<size_t> chunks_;  // claim counts per ingested chunk (stats)
+};
+
+}  // namespace ext
+}  // namespace ltm
+
+#endif  // LTM_EXT_STREAMING_H_

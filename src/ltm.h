@@ -1,0 +1,46 @@
+#ifndef LTM_LTM_H_
+#define LTM_LTM_H_
+
+/// Umbrella header for the ltm library's public API.
+///
+/// Typical flow:
+///   1. Build a RawDatabase from (entity, attribute, source) triples —
+///      by hand, via tsv_io, or with a synth generator.
+///   2. Derive a Dataset (fact table + claim table, paper §2).
+///   3. Run a TruthMethod — LatentTruthModel for the paper's approach,
+///      LtmIncremental for streaming, or a baseline from registry.h.
+///   4. Read off SourceQuality and evaluate with the eval/ helpers.
+
+#include "common/logging.h"      // IWYU pragma: export
+#include "common/math_util.h"    // IWYU pragma: export
+#include "common/rng.h"          // IWYU pragma: export
+#include "common/status.h"       // IWYU pragma: export
+#include "common/string_util.h"  // IWYU pragma: export
+#include "common/timer.h"        // IWYU pragma: export
+
+#include "data/claim_stats.h"    // IWYU pragma: export
+#include "data/claim_table.h"    // IWYU pragma: export
+#include "data/dataset.h"        // IWYU pragma: export
+#include "data/fact_table.h"     // IWYU pragma: export
+#include "data/interner.h"       // IWYU pragma: export
+#include "data/raw_database.h"   // IWYU pragma: export
+#include "data/truth_labels.h"   // IWYU pragma: export
+#include "data/tsv_io.h"         // IWYU pragma: export
+
+#include "eval/calibration.h"      // IWYU pragma: export
+#include "eval/confusion.h"        // IWYU pragma: export
+#include "eval/metrics.h"          // IWYU pragma: export
+#include "eval/regression.h"       // IWYU pragma: export
+#include "eval/roc.h"              // IWYU pragma: export
+#include "eval/table_printer.h"    // IWYU pragma: export
+#include "eval/threshold_sweep.h"  // IWYU pragma: export
+
+#include "truth/exact_inference.h"   // IWYU pragma: export
+#include "truth/ltm.h"               // IWYU pragma: export
+#include "truth/ltm_incremental.h"   // IWYU pragma: export
+#include "truth/options.h"           // IWYU pragma: export
+#include "truth/registry.h"          // IWYU pragma: export
+#include "truth/source_quality.h"    // IWYU pragma: export
+#include "truth/truth_method.h"      // IWYU pragma: export
+
+#endif  // LTM_LTM_H_

@@ -1,0 +1,128 @@
+#include "synth/book_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ltm {
+namespace synth {
+
+namespace {
+
+std::string BookName(size_t i) { return "book_" + std::to_string(i); }
+std::string AuthorName(size_t i) { return "author_" + std::to_string(i); }
+std::string SellerName(size_t i) { return "seller_" + std::to_string(i); }
+
+}  // namespace
+
+Dataset GenerateBookDataset(const BookSimOptions& options) {
+  Rng rng(options.seed);
+
+  // True author lists per book, drawn from the pool without replacement,
+  // plus a small confusion pool of plausible-but-wrong authors per book.
+  std::vector<std::vector<uint32_t>> true_authors(options.num_books);
+  std::vector<std::vector<uint32_t>> wrong_authors(options.num_books);
+  for (size_t b = 0; b < options.num_books; ++b) {
+    const uint32_t count = 1 + rng.Poisson(options.extra_author_rate);
+    std::unordered_set<uint32_t> chosen;
+    while (chosen.size() < count && chosen.size() < options.author_pool) {
+      chosen.insert(static_cast<uint32_t>(rng.UniformInt(options.author_pool)));
+    }
+    true_authors[b].assign(chosen.begin(), chosen.end());
+    std::sort(true_authors[b].begin(), true_authors[b].end());
+    while (wrong_authors[b].size() < options.confusion_pool) {
+      uint32_t w = static_cast<uint32_t>(rng.UniformInt(options.author_pool));
+      if (!std::binary_search(true_authors[b].begin(), true_authors[b].end(),
+                              w)) {
+        wrong_authors[b].push_back(w);
+      }
+    }
+  }
+
+  // Seller behaviour.
+  struct Seller {
+    double coverage;
+    double sensitivity;
+    double fp_rate;
+    bool first_author_only;
+  };
+  std::vector<Seller> sellers(options.num_sources);
+  // Zipf-skewed coverage normalized so the average is mean_coverage:
+  // coverage_s = c0 / (s+1)^(zipf-1), c0 = mean_coverage / avg(rank term).
+  double rank_sum = 0.0;
+  for (size_t s = 0; s < options.num_sources; ++s) {
+    rank_sum += 1.0 / std::pow(static_cast<double>(s + 1),
+                               options.coverage_zipf_exponent - 1.0);
+  }
+  const double c0 = options.mean_coverage *
+                    static_cast<double>(options.num_sources) / rank_sum;
+  for (size_t s = 0; s < options.num_sources; ++s) {
+    Seller& sl = sellers[s];
+    sl.coverage = std::min(
+        0.95, c0 / std::pow(static_cast<double>(s + 1),
+                            options.coverage_zipf_exponent - 1.0));
+    sl.sensitivity = rng.Beta(options.sensitivity_alpha,
+                              options.sensitivity_beta);
+    sl.first_author_only =
+        rng.Bernoulli(options.first_author_only_fraction);
+    sl.fp_rate = rng.Bernoulli(options.sloppy_fraction)
+                     ? options.fp_rate_sloppy
+                     : options.fp_rate_good;
+  }
+
+  RawDatabase raw;
+  // Record which (book, author) pairs are true for labeling later.
+  for (size_t b = 0; b < options.num_books; ++b) {
+    const std::string book = BookName(b);
+    for (size_t s = 0; s < options.num_sources; ++s) {
+      const Seller& sl = sellers[s];
+      if (!rng.Bernoulli(sl.coverage)) continue;
+      const std::string seller = SellerName(s);
+      bool asserted_any = false;
+      const auto& authors = true_authors[b];
+      if (sl.first_author_only) {
+        if (rng.Bernoulli(sl.sensitivity)) {
+          raw.Add(book, AuthorName(authors.front()), seller);
+          asserted_any = true;
+        }
+      } else {
+        for (uint32_t a : authors) {
+          if (rng.Bernoulli(sl.sensitivity)) {
+            raw.Add(book, AuthorName(a), seller);
+            asserted_any = true;
+          }
+        }
+      }
+      if (rng.Bernoulli(sl.fp_rate) && !wrong_authors[b].empty()) {
+        // One wrong author from the book's confusion pool; independent
+        // sellers can repeat the same mistake.
+        const uint32_t wrong =
+            wrong_authors[b][rng.UniformInt(wrong_authors[b].size())];
+        raw.Add(book, AuthorName(wrong), seller);
+        asserted_any = true;
+      }
+      (void)asserted_any;  // Sellers that emit nothing simply made no claim.
+    }
+  }
+
+  Dataset ds = Dataset::FromRaw("book-authors", std::move(raw));
+  // Ground-truth label for every materialized fact.
+  for (FactId f = 0; f < ds.facts.NumFacts(); ++f) {
+    const Fact& fact = ds.facts.fact(f);
+    const std::string book(ds.raw.entities().Get(fact.entity));
+    const size_t b = std::stoul(book.substr(5));
+    const std::string author(ds.raw.attributes().Get(fact.attribute));
+    const uint32_t a = static_cast<uint32_t>(std::stoul(author.substr(7)));
+    const bool truth = std::binary_search(true_authors[b].begin(),
+                                          true_authors[b].end(), a);
+    ds.labels.Set(f, truth);
+  }
+  return ds;
+}
+
+}  // namespace synth
+}  // namespace ltm

@@ -1,0 +1,55 @@
+#ifndef LTM_SYNTH_BOOK_SIMULATOR_H_
+#define LTM_SYNTH_BOOK_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace ltm {
+namespace synth {
+
+/// Configuration for the book-author dataset substitute. Defaults match
+/// the shape of the paper's abebooks.com crawl (§6.1.1): 1263 books, 879
+/// seller sources, ~2420 book-author facts and ~48k claims, with the error
+/// structure the paper describes — many sellers list only the first
+/// author (false negatives are common), false positives are rare, and a
+/// small fraction of sellers are sloppy.
+struct BookSimOptions {
+  size_t num_books = 1263;
+  size_t num_sources = 879;
+  /// Size of the global author pool wrong authors are drawn from.
+  size_t author_pool = 4000;
+  /// Authors per book = 1 + Poisson(extra_author_rate).
+  double extra_author_rate = 1.2;
+  /// Fraction of sellers that list only the first author.
+  double first_author_only_fraction = 0.35;
+  /// Zipf exponent for seller coverage (a few big sellers cover most
+  /// books; the long tail covers a handful each).
+  double coverage_zipf_exponent = 1.3;
+  /// Mean number of books covered by a source, before the Zipf skew.
+  double mean_coverage = 0.04;
+  /// Beta(pseudo-counts) for per-seller sensitivity.
+  double sensitivity_alpha = 6.0;
+  double sensitivity_beta = 2.0;
+  /// Per-covered-book probability of emitting one wrong author, for
+  /// ordinary sellers and for the sloppy fraction.
+  double fp_rate_good = 0.003;
+  double fp_rate_sloppy = 0.12;
+  double sloppy_fraction = 0.05;
+  /// Wrong authors are drawn from a small per-book confusion pool (e.g.
+  /// the editor, a co-author of the series, a mis-segmented name), so
+  /// independent sloppy sellers can repeat the *same* mistake — the error
+  /// correlation that makes naive voting fail.
+  size_t confusion_pool = 3;
+  uint64_t seed = 1263;
+};
+
+/// Generates the dataset with *all* facts labeled with ground truth (the
+/// benchmark harness samples 100 entities to mimic the paper's labeling
+/// budget — see synth/labeling.h).
+Dataset GenerateBookDataset(const BookSimOptions& options);
+
+}  // namespace synth
+}  // namespace ltm
+
+#endif  // LTM_SYNTH_BOOK_SIMULATOR_H_

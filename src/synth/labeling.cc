@@ -1,0 +1,33 @@
+#include "synth/labeling.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace ltm {
+namespace synth {
+
+std::vector<EntityId> SampleEntities(const Dataset& dataset,
+                                     size_t num_entities, uint64_t seed) {
+  std::vector<EntityId> all(dataset.raw.NumEntities());
+  std::iota(all.begin(), all.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&all);
+  if (all.size() > num_entities) all.resize(num_entities);
+  return all;
+}
+
+TruthLabels LabelsForEntities(const Dataset& dataset,
+                              const std::vector<EntityId>& entities) {
+  TruthLabels out(dataset.facts.NumFacts());
+  for (EntityId e : entities) {
+    for (FactId f : dataset.facts.FactsOfEntity(e)) {
+      auto label = dataset.labels.Get(f);
+      if (label.has_value()) out.Set(f, *label);
+    }
+  }
+  return out;
+}
+
+}  // namespace synth
+}  // namespace ltm

@@ -1,0 +1,27 @@
+#ifndef LTM_SYNTH_LABELING_H_
+#define LTM_SYNTH_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ltm {
+namespace synth {
+
+/// Samples `num_entities` entities uniformly without replacement —
+/// mimicking the paper's protocol of manually labeling 100 random books /
+/// movies (§6.1.1).
+std::vector<EntityId> SampleEntities(const Dataset& dataset,
+                                     size_t num_entities, uint64_t seed);
+
+/// Restriction of `dataset.labels` to the facts of `entities`; all other
+/// facts become unlabeled. The result is what the evaluation harness
+/// grades against, exactly like the paper's 100-entity labeled sample.
+TruthLabels LabelsForEntities(const Dataset& dataset,
+                              const std::vector<EntityId>& entities);
+
+}  // namespace synth
+}  // namespace ltm
+
+#endif  // LTM_SYNTH_LABELING_H_

@@ -1,0 +1,48 @@
+#include "synth/ltm_process.h"
+
+#include "common/rng.h"
+
+namespace ltm {
+namespace synth {
+
+LtmProcessData GenerateLtmProcess(const LtmProcessOptions& options) {
+  Rng rng(options.seed);
+  LtmProcessData data;
+
+  data.true_fpr.resize(options.num_sources);
+  data.true_sensitivity.resize(options.num_sources);
+  for (size_t s = 0; s < options.num_sources; ++s) {
+    data.true_fpr[s] = rng.Beta(options.alpha0.pos, options.alpha0.neg);
+    data.true_sensitivity[s] = rng.Beta(options.alpha1.pos, options.alpha1.neg);
+  }
+
+  std::vector<Fact> facts;
+  facts.reserve(options.num_facts);
+  const size_t group = options.facts_per_entity == 0 ? 1
+                                                     : options.facts_per_entity;
+  for (size_t f = 0; f < options.num_facts; ++f) {
+    facts.push_back(Fact{static_cast<EntityId>(f / group),
+                         static_cast<AttributeId>(f % group)});
+  }
+  data.facts = FactTable::FromFactList(facts);
+
+  data.truth = TruthLabels(options.num_facts);
+  std::vector<Claim> claims;
+  claims.reserve(options.num_facts * options.num_sources);
+  for (FactId f = 0; f < options.num_facts; ++f) {
+    const double theta = rng.Beta(options.beta.pos, options.beta.neg);
+    const bool truth = rng.Bernoulli(theta);
+    data.truth.Set(f, truth);
+    for (SourceId s = 0; s < options.num_sources; ++s) {
+      const double p_positive =
+          truth ? data.true_sensitivity[s] : data.true_fpr[s];
+      claims.push_back(Claim{f, s, rng.Bernoulli(p_positive)});
+    }
+  }
+  data.claims = ClaimTable::FromClaims(std::move(claims), options.num_facts,
+                                       options.num_sources);
+  return data;
+}
+
+}  // namespace synth
+}  // namespace ltm

@@ -1,0 +1,57 @@
+#ifndef LTM_SYNTH_LTM_PROCESS_H_
+#define LTM_SYNTH_LTM_PROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/claim_table.h"
+#include "data/fact_table.h"
+#include "data/truth_labels.h"
+#include "truth/options.h"
+
+namespace ltm {
+namespace synth {
+
+/// Configuration for the paper's synthetic dataset (§6.1.1): N facts, S
+/// sources, and — for simplicity, as in the paper — every source makes a
+/// claim about every fact, so |C| = N * S.
+struct LtmProcessOptions {
+  size_t num_facts = 10000;
+  size_t num_sources = 20;
+  /// Expected (1 - specificity) prior used to *generate* phi0 per source.
+  BetaPrior alpha0{10.0, 90.0};
+  /// Expected sensitivity prior used to generate phi1 per source.
+  BetaPrior alpha1{90.0, 10.0};
+  /// Prior over each fact's truth probability theta_f.
+  BetaPrior beta{10.0, 10.0};
+  /// Facts are grouped into synthetic entities of this size (only needed
+  /// so a FactTable exists for entity-aware baselines; the paper's
+  /// synthetic experiment only runs LTM, which ignores grouping).
+  size_t facts_per_entity = 5;
+  uint64_t seed = 7;
+};
+
+/// Output of the generative process: the claim table, the ground truth of
+/// every fact, and the actual quality parameters drawn for every source
+/// (handy for tests that check LTM recovers them).
+struct LtmProcessData {
+  FactTable facts;
+  ClaimTable claims;
+  TruthLabels truth;
+  std::vector<double> true_fpr;          // phi0_s actually drawn
+  std::vector<double> true_sensitivity;  // phi1_s actually drawn
+};
+
+/// Samples a dataset by running the Latent Truth Model's own generative
+/// process (paper §4.3):
+///   phi0_s ~ Beta(alpha0), phi1_s ~ Beta(alpha1),
+///   theta_f ~ Beta(beta),  t_f ~ Bernoulli(theta_f),
+///   o_{f,s} ~ Bernoulli(phi^{t_f}_s) for every (fact, source) pair.
+/// Used by the Fig. 4 quality-degradation sweep and by model-recovery
+/// tests.
+LtmProcessData GenerateLtmProcess(const LtmProcessOptions& options);
+
+}  // namespace synth
+}  // namespace ltm
+
+#endif  // LTM_SYNTH_LTM_PROCESS_H_

@@ -1,0 +1,117 @@
+#include "synth/movie_simulator.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ltm {
+namespace synth {
+
+namespace {
+
+std::string MovieName(size_t i) { return "movie_" + std::to_string(i); }
+std::string DirectorName(size_t i) { return "director_" + std::to_string(i); }
+
+struct MovieClaims {
+  // (director, source) positive assertions for one movie.
+  std::vector<std::pair<uint32_t, uint32_t>> asserts;
+};
+
+}  // namespace
+
+Dataset GenerateMovieDataset(const MovieSimOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<SourceProfile> profiles = MovieSourceProfiles();
+
+  std::vector<std::vector<uint32_t>> true_directors(options.num_movies);
+  std::vector<MovieClaims> per_movie(options.num_movies);
+
+  for (size_t m = 0; m < options.num_movies; ++m) {
+    const uint32_t count = 1 + rng.Poisson(options.extra_director_rate);
+    std::unordered_set<uint32_t> chosen;
+    while (chosen.size() < count && chosen.size() < options.director_pool) {
+      chosen.insert(
+          static_cast<uint32_t>(rng.UniformInt(options.director_pool)));
+    }
+    true_directors[m].assign(chosen.begin(), chosen.end());
+    std::sort(true_directors[m].begin(), true_directors[m].end());
+    // Per-movie confusion pool of plausible wrong credits.
+    std::vector<uint32_t> confusion;
+    while (confusion.size() < options.confusion_pool) {
+      uint32_t w =
+          static_cast<uint32_t>(rng.UniformInt(options.director_pool));
+      if (!std::binary_search(true_directors[m].begin(),
+                              true_directors[m].end(), w)) {
+        confusion.push_back(w);
+      }
+    }
+
+    for (size_t s = 0; s < profiles.size(); ++s) {
+      const SourceProfile& p = profiles[s];
+      if (!rng.Bernoulli(p.coverage)) continue;
+      const auto& dirs = true_directors[m];
+      if (p.first_value_only) {
+        if (rng.Bernoulli(p.sensitivity)) {
+          per_movie[m].asserts.emplace_back(dirs.front(),
+                                            static_cast<uint32_t>(s));
+        }
+      } else {
+        for (uint32_t d : dirs) {
+          if (rng.Bernoulli(p.sensitivity)) {
+            per_movie[m].asserts.emplace_back(d, static_cast<uint32_t>(s));
+          }
+        }
+      }
+      if (rng.Bernoulli(p.false_positive_rate) && !confusion.empty()) {
+        const uint32_t wrong = confusion[rng.UniformInt(confusion.size())];
+        per_movie[m].asserts.emplace_back(wrong, static_cast<uint32_t>(s));
+      }
+    }
+  }
+
+  RawDatabase raw;
+  // Intern all 12 source names up front so SourceIds match the profile
+  // order regardless of which source happens to appear first.
+  for (const SourceProfile& p : profiles) {
+    raw.mutable_sources().Intern(p.name);
+  }
+
+  for (size_t m = 0; m < options.num_movies; ++m) {
+    const auto& claims = per_movie[m].asserts;
+    if (claims.empty()) continue;
+    if (options.conflicting_only) {
+      std::unordered_set<uint32_t> directors;
+      std::unordered_set<uint32_t> sources;
+      for (const auto& [d, s] : claims) {
+        directors.insert(d);
+        sources.insert(s);
+      }
+      // Paper §6.1.1: keep only movies with conflicting records.
+      if (directors.size() < 2 || sources.size() < 2) continue;
+    }
+    const std::string movie = MovieName(m);
+    for (const auto& [d, s] : claims) {
+      raw.Add(movie, DirectorName(d), profiles[s].name);
+    }
+  }
+
+  Dataset ds = Dataset::FromRaw("movie-directors", std::move(raw));
+  for (FactId f = 0; f < ds.facts.NumFacts(); ++f) {
+    const Fact& fact = ds.facts.fact(f);
+    const std::string movie(ds.raw.entities().Get(fact.entity));
+    const size_t m = std::stoul(movie.substr(6));
+    const std::string director(ds.raw.attributes().Get(fact.attribute));
+    const uint32_t d = static_cast<uint32_t>(std::stoul(director.substr(9)));
+    const bool truth = std::binary_search(true_directors[m].begin(),
+                                          true_directors[m].end(), d);
+    ds.labels.Set(f, truth);
+  }
+  return ds;
+}
+
+}  // namespace synth
+}  // namespace ltm

@@ -1,0 +1,41 @@
+#ifndef LTM_SYNTH_MOVIE_SIMULATOR_H_
+#define LTM_SYNTH_MOVIE_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "synth/source_profile.h"
+
+namespace ltm {
+namespace synth {
+
+/// Configuration for the movie-director dataset substitute. Defaults match
+/// the shape of the paper's Bing movies feed (§6.1.1): 15073 movies, 12
+/// sources (named as in Table 8), ~33.5k movie-director facts and ~109k
+/// claims; and as in the paper, records that carry no conflict are dropped
+/// (movies with a single claimed director or a single covering source).
+struct MovieSimOptions {
+  size_t num_movies = 15073;
+  /// Size of the global director pool wrong directors come from.
+  size_t director_pool = 9000;
+  /// Directors per movie = 1 + Poisson(extra_director_rate): most movies
+  /// have one director, a healthy minority two or more.
+  double extra_director_rate = 0.35;
+  /// Drop movies with < 2 claimed directors or < 2 covering sources.
+  bool conflicting_only = true;
+  /// Wrong directors come from a small per-movie confusion pool (typically
+  /// the producer or a writer credited as director), so several feeds can
+  /// carry the same erroneous credit — the correlation that lets false
+  /// attributes gather majority votes on this dataset (paper §6.2.1).
+  size_t confusion_pool = 1;
+  uint64_t seed = 15073;
+};
+
+/// Generates the dataset (using MovieSourceProfiles() as both behaviour
+/// and quality ground truth) with all facts labeled.
+Dataset GenerateMovieDataset(const MovieSimOptions& options);
+
+}  // namespace synth
+}  // namespace ltm
+
+#endif  // LTM_SYNTH_MOVIE_SIMULATOR_H_

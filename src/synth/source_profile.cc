@@ -1,0 +1,27 @@
+#include "synth/source_profile.h"
+
+namespace ltm {
+namespace synth {
+
+std::vector<SourceProfile> MovieSourceProfiles() {
+  // (sensitivity, 1 - specificity) from paper Table 8; coverage decreasing
+  // with catalogue size so the conflict structure resembles the original
+  // feed mix (imdb/netflix near-complete, niche feeds sparse).
+  return {
+      {"imdb", 0.85, 0.91, 0.12, false},
+      {"netflix", 0.78, 0.89, 0.08, false},
+      {"movietickets", 0.40, 0.86, 0.02, false},
+      {"commonsense", 0.35, 0.81, 0.02, false},
+      {"cinemasource", 0.45, 0.79, 0.015, false},
+      {"amg", 0.65, 0.78, 0.35, false},
+      {"yahoomovie", 0.60, 0.76, 0.12, false},
+      {"msnmovie", 0.55, 0.75, 0.012, false},
+      {"zune", 0.50, 0.74, 0.026, false},
+      {"metacritic", 0.35, 0.68, 0.012, false},
+      {"flixster", 0.45, 0.58, 0.15, false},
+      {"fandango", 0.40, 0.50, 0.010, true},
+  };
+}
+
+}  // namespace synth
+}  // namespace ltm

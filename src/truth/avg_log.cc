@@ -1,0 +1,54 @@
+#include "truth/avg_log.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltm {
+
+TruthEstimate AvgLog::Run(const FactTable& facts,
+                          const ClaimTable& claims) const {
+  (void)facts;
+  const size_t num_facts = claims.NumFacts();
+  const size_t num_sources = claims.NumSources();
+
+  // Positive-claim adjacency.
+  std::vector<size_t> claims_per_source(num_sources, 0);
+  for (const Claim& c : claims.claims()) {
+    if (c.observation) ++claims_per_source[c.source];
+  }
+
+  std::vector<double> belief(num_facts, 1.0);
+  std::vector<double> trust(num_sources, 0.0);
+
+  auto max_normalize = [](std::vector<double>* v) {
+    double m = 0.0;
+    for (double x : *v) m = std::max(m, x);
+    if (m <= 0.0) return;
+    for (double& x : *v) x /= m;
+  };
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    std::fill(trust.begin(), trust.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      if (c.observation) trust[c.source] += belief[c.fact];
+    }
+    for (SourceId s = 0; s < num_sources; ++s) {
+      if (claims_per_source[s] == 0) continue;
+      double n = static_cast<double>(claims_per_source[s]);
+      trust[s] = (trust[s] / n) * std::log(n + 1.0);
+    }
+    max_normalize(&trust);
+
+    std::fill(belief.begin(), belief.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      if (c.observation) belief[c.fact] += trust[c.source];
+    }
+    max_normalize(&belief);
+  }
+
+  TruthEstimate est;
+  est.probability = std::move(belief);
+  return est;
+}
+
+}  // namespace ltm

@@ -1,0 +1,31 @@
+#ifndef LTM_TRUTH_AVG_LOG_H_
+#define LTM_TRUTH_AVG_LOG_H_
+
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// AvgLog baseline (Pasternack & Roth, COLING 2010; paper §6.2): a HITS
+/// variation on positive claims that damps prolific sources by averaging
+/// instead of summing, times a log bonus for coverage:
+///   T(s) = log(|claims(s)|) * mean_{f in claims(s)} B(f)
+///   B(f) = sum_{s asserts f} T(s)
+/// with max-normalization per round to keep values bounded. Final beliefs
+/// are rescaled by their maximum into [0, 1] (over-conservative at 0.5,
+/// as in the paper).
+class AvgLog : public TruthMethod {
+ public:
+  explicit AvgLog(int iterations = 20) : iterations_(iterations) {}
+
+  std::string name() const override { return "AvgLog"; }
+
+  TruthEstimate Run(const FactTable& facts,
+                    const ClaimTable& claims) const override;
+
+ private:
+  int iterations_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_AVG_LOG_H_

@@ -1,0 +1,75 @@
+#include "truth/exact_inference.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/math_util.h"
+
+namespace ltm {
+
+double LogCollapsedJoint(const ClaimTable& claims,
+                         const std::vector<uint8_t>& truth,
+                         const LtmOptions& options) {
+  const size_t num_sources = claims.NumSources();
+  // n[s][i][j] packed as s*4 + i*2 + j.
+  std::vector<double> n(num_sources * 4, 0.0);
+  for (const Claim& c : claims.claims()) {
+    const int i = truth[c.fact];
+    const int j = c.observation ? 1 : 0;
+    n[c.source * 4 + i * 2 + j] += 1.0;
+  }
+
+  double lp = 0.0;
+  // Per-fact Beta-Bernoulli prior factor: B(b1 + t, b0 + 1 - t) / B(b1, b0)
+  // = beta_t / (beta_1 + beta_0); constants cancel in normalization but we
+  // keep them for joint-value tests.
+  for (uint8_t t : truth) {
+    lp += std::log(t == 1 ? options.beta.pos : options.beta.neg) -
+          std::log(options.beta.pos + options.beta.neg);
+  }
+  const double a[2][2] = {
+      {options.alpha0.neg, options.alpha0.pos},   // i = 0: (j=0, j=1)
+      {options.alpha1.neg, options.alpha1.pos}};  // i = 1: (j=0, j=1)
+  for (size_t s = 0; s < num_sources; ++s) {
+    for (int i = 0; i < 2; ++i) {
+      const double n0 = n[s * 4 + i * 2 + 0];
+      const double n1 = n[s * 4 + i * 2 + 1];
+      lp += LogBeta(n1 + a[i][1], n0 + a[i][0]) - LogBeta(a[i][1], a[i][0]);
+    }
+  }
+  return lp;
+}
+
+Result<std::vector<double>> ExactPosterior(const ClaimTable& claims,
+                                           const LtmOptions& options,
+                                           size_t max_facts) {
+  const size_t num_facts = claims.NumFacts();
+  if (num_facts > max_facts) {
+    return Status::InvalidArgument(
+        "exact inference over " + std::to_string(num_facts) +
+        " facts exceeds the cap of " + std::to_string(max_facts));
+  }
+  LTM_RETURN_IF_ERROR(options.Validate());
+
+  const uint64_t assignments = 1ULL << num_facts;
+  std::vector<double> log_joint(assignments);
+  std::vector<uint8_t> truth(num_facts, 0);
+  for (uint64_t mask = 0; mask < assignments; ++mask) {
+    for (size_t f = 0; f < num_facts; ++f) {
+      truth[f] = (mask >> f) & 1 ? 1 : 0;
+    }
+    log_joint[mask] = LogCollapsedJoint(claims, truth, options);
+  }
+  const double log_z = LogSumExp(log_joint);
+
+  std::vector<double> marginal(num_facts, 0.0);
+  for (uint64_t mask = 0; mask < assignments; ++mask) {
+    const double p = std::exp(log_joint[mask] - log_z);
+    for (size_t f = 0; f < num_facts; ++f) {
+      if ((mask >> f) & 1) marginal[f] += p;
+    }
+  }
+  return marginal;
+}
+
+}  // namespace ltm

@@ -1,0 +1,38 @@
+#ifndef LTM_TRUTH_EXACT_INFERENCE_H_
+#define LTM_TRUTH_EXACT_INFERENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/claim_table.h"
+#include "truth/options.h"
+
+namespace ltm {
+
+/// Exact posterior marginals p(t_f = 1 | o, s) of the Latent Truth Model,
+/// computed by brute-force enumeration of all 2^F truth assignments with
+/// theta and phi integrated out analytically (the same collapsing used by
+/// the Gibbs sampler, §5.2 / Appendix A):
+///
+///   p(t, o) ∝ prod_f B(beta1 + t_f, beta0 + 1 - t_f) / B(beta1, beta0)
+///           * prod_s prod_i B(n_si1 + a_i1, n_si0 + a_i0) / B(a_i1, a_i0)
+///
+/// where n_sij counts source s's claims with observation j on facts
+/// currently labeled i. Exponential in the number of facts — intended as
+/// the ground-truth oracle for validating the sampler on small instances
+/// (tests cap F at ~16). Returns InvalidArgument when the instance has
+/// more than `max_facts` facts.
+Result<std::vector<double>> ExactPosterior(const ClaimTable& claims,
+                                           const LtmOptions& options,
+                                           size_t max_facts = 16);
+
+/// Log of the unnormalized collapsed joint p(t, o) for a full assignment
+/// (exposed for tests that check the Gibbs conditional against joint
+/// ratios). `truth` must have one entry per fact.
+double LogCollapsedJoint(const ClaimTable& claims,
+                         const std::vector<uint8_t>& truth,
+                         const LtmOptions& options);
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_EXACT_INFERENCE_H_

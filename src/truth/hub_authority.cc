@@ -1,0 +1,50 @@
+#include "truth/hub_authority.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltm {
+
+TruthEstimate HubAuthority::Run(const FactTable& facts,
+                                const ClaimTable& claims) const {
+  (void)facts;
+  const size_t num_facts = claims.NumFacts();
+  const size_t num_sources = claims.NumSources();
+
+  std::vector<double> hub(num_sources, 1.0);
+  std::vector<double> auth(num_facts, 1.0);
+
+  auto l2_normalize = [](std::vector<double>* v) {
+    double norm = 0.0;
+    for (double x : *v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm <= 0.0) return;
+    for (double& x : *v) x /= norm;
+  };
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    std::fill(auth.begin(), auth.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      if (c.observation) auth[c.fact] += hub[c.source];
+    }
+    l2_normalize(&auth);
+    std::fill(hub.begin(), hub.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      if (c.observation) hub[c.source] += auth[c.fact];
+    }
+    l2_normalize(&hub);
+  }
+
+  double max_auth = 0.0;
+  for (double a : auth) max_auth = std::max(max_auth, a);
+  TruthEstimate est;
+  est.probability.resize(num_facts, 0.0);
+  if (max_auth > 0.0) {
+    for (FactId f = 0; f < num_facts; ++f) {
+      est.probability[f] = auth[f] / max_auth;
+    }
+  }
+  return est;
+}
+
+}  // namespace ltm

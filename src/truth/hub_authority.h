@@ -1,0 +1,30 @@
+#ifndef LTM_TRUTH_HUB_AUTHORITY_H_
+#define LTM_TRUTH_HUB_AUTHORITY_H_
+
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// HubAuthority baseline (paper §6.2): Kleinberg's HITS run on the
+/// bipartite source–fact graph built from positive claims. Sources are
+/// hubs, facts are authorities:
+///   auth(f) = sum_{s asserts f} hub(s);  hub(s) = sum_{f in claims(s)} auth(f)
+/// with L2 normalization each round. Final authority scores are rescaled
+/// by their maximum into [0, 1]; most facts land well below 0.5, which is
+/// the over-conservative behaviour the paper reports.
+class HubAuthority : public TruthMethod {
+ public:
+  explicit HubAuthority(int iterations = 50) : iterations_(iterations) {}
+
+  std::string name() const override { return "HubAuthority"; }
+
+  TruthEstimate Run(const FactTable& facts,
+                    const ClaimTable& claims) const override;
+
+ private:
+  int iterations_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_HUB_AUTHORITY_H_

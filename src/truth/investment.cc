@@ -1,0 +1,81 @@
+#include "truth/investment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ltm {
+
+TruthEstimate Investment::Run(const FactTable& facts,
+                              const ClaimTable& claims) const {
+  (void)facts;
+  const size_t num_facts = claims.NumFacts();
+  const size_t num_sources = claims.NumSources();
+
+  std::vector<size_t> claims_per_source(num_sources, 0);
+  for (const Claim& c : claims.claims()) {
+    if (c.observation) ++claims_per_source[c.source];
+  }
+
+  // B_0: vote counts (>= 1 for every claimed fact), per the original
+  // formulation's voting initialization.
+  std::vector<double> belief(num_facts, 0.0);
+  for (const Claim& c : claims.claims()) {
+    if (c.observation) belief[c.fact] += 1.0;
+  }
+  std::vector<double> trust(num_sources, 1.0);
+  std::vector<double> invested(num_facts, 0.0);
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    // Sources earn belief back pro-rata to their investment share, using
+    // the previous round's beliefs.
+    std::fill(invested.begin(), invested.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      if (!c.observation || claims_per_source[c.source] == 0) continue;
+      invested[c.fact] +=
+          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
+    }
+    std::vector<double> updated(num_sources, 0.0);
+    for (const Claim& c : claims.claims()) {
+      if (!c.observation || claims_per_source[c.source] == 0) continue;
+      const double share =
+          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
+      if (invested[c.fact] > 0.0) {
+        updated[c.source] += belief[c.fact] * share / invested[c.fact];
+      }
+    }
+    trust = std::move(updated);
+
+    // New beliefs from the new trust, unnormalized (G super-linear).
+    std::fill(invested.begin(), invested.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      if (!c.observation || claims_per_source[c.source] == 0) continue;
+      invested[c.fact] +=
+          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
+    }
+    double max_belief = 0.0;
+    for (FactId f = 0; f < num_facts; ++f) {
+      belief[f] = std::pow(invested[f], exponent_);
+      max_belief = std::max(max_belief, belief[f]);
+    }
+    // Overflow guard only: uniform rescale keeps the ranking intact.
+    if (max_belief > 1e100) {
+      for (double& b : belief) b *= 1e-50;
+      for (double& t : trust) t *= 1e-50;
+    }
+  }
+
+  // Monotone squash x/(1+x): preserves the ranking (so AUC is meaningful)
+  // while mapping the unbounded scores into [0, 1) with everything at or
+  // above one vote landing >= 0.5 — the paper's observed thresholding
+  // behaviour.
+  TruthEstimate est;
+  est.probability.resize(num_facts);
+  for (FactId f = 0; f < num_facts; ++f) {
+    est.probability[f] = belief[f] / (1.0 + belief[f]);
+  }
+  return est;
+}
+
+}  // namespace ltm

@@ -1,0 +1,39 @@
+#ifndef LTM_TRUTH_INVESTMENT_H_
+#define LTM_TRUTH_INVESTMENT_H_
+
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// Investment baseline (Pasternack & Roth, COLING 2010; paper §6.2).
+/// Each source spreads its trust uniformly over its positive claims and
+/// earns it back proportionally to how much of each fact's total
+/// investment it contributed; beliefs grow super-linearly through
+/// G(x) = x^g with g = 1.2:
+///   invest(s)  = T(s) / |claims(s)|
+///   B(f)       = G( sum_{s asserts f} invest(s) )
+///   T(s)       = sum_{f} B(f) * invest(s) / sum_{s' asserts f} invest(s')
+/// Following the original formulation, beliefs are seeded with vote counts
+/// (B_0 >= 1) and are NOT normalized — the scores grow without bound and
+/// are clamped into [0, 1] only at the end, so essentially every supported
+/// fact saturates at 1. This is the structural reason the paper finds
+/// Investment "consistently thinks everything is true even at a higher
+/// threshold" (§6.2.1). An overflow guard rescales if values explode.
+class Investment : public TruthMethod {
+ public:
+  explicit Investment(int iterations = 10, double exponent = 1.2)
+      : iterations_(iterations), exponent_(exponent) {}
+
+  std::string name() const override { return "Investment"; }
+
+  TruthEstimate Run(const FactTable& facts,
+                    const ClaimTable& claims) const override;
+
+ private:
+  int iterations_;
+  double exponent_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_INVESTMENT_H_

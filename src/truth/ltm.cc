@@ -1,0 +1,151 @@
+#include "truth/ltm.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ltm {
+
+LtmGibbs::LtmGibbs(const ClaimTable& claims, const LtmOptions& options)
+    : claims_(claims), options_(options), rng_(options.seed) {
+  alpha_[0][0] = options_.alpha0.neg;  // prior true negative count
+  alpha_[0][1] = options_.alpha0.pos;  // prior false positive count
+  alpha_[1][0] = options_.alpha1.neg;  // prior false negative count
+  alpha_[1][1] = options_.alpha1.pos;  // prior true positive count
+  truth_.assign(claims_.NumFacts(), 0);
+  counts_.assign(claims_.NumSources() * 4, 0);
+  truth_sum_.assign(claims_.NumFacts(), 0.0);
+  Initialize();
+}
+
+void LtmGibbs::Initialize() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  std::fill(truth_sum_.begin(), truth_sum_.end(), 0.0);
+  num_samples_ = 0;
+  for (FactId f = 0; f < truth_.size(); ++f) {
+    truth_[f] = rng_.Bernoulli(0.5) ? 1 : 0;
+    for (const Claim& c : claims_.ClaimsOfFact(f)) {
+      ++counts_[c.source * 4 + truth_[f] * 2 + (c.observation ? 1 : 0)];
+    }
+  }
+}
+
+double LtmGibbs::LogConditional(FactId f, int i, bool exclude_self) const {
+  // log beta_i prior factor (Eq. 2).
+  double lp = std::log(i == 1 ? options_.beta.pos : options_.beta.neg);
+  const int64_t self = exclude_self ? 1 : 0;
+  const double alpha_sum = alpha_[i][0] + alpha_[i][1];
+  for (const Claim& c : claims_.ClaimsOfFact(f)) {
+    const int j = c.observation ? 1 : 0;
+    const int64_t n_ij = counts_[c.source * 4 + i * 2 + j] - self;
+    const int64_t n_i =
+        counts_[c.source * 4 + i * 2] + counts_[c.source * 4 + i * 2 + 1] -
+        self;
+    lp += std::log(static_cast<double>(n_ij) + alpha_[i][j]) -
+          std::log(static_cast<double>(n_i) + alpha_sum);
+  }
+  return lp;
+}
+
+void LtmGibbs::RunSweep() {
+  for (FactId f = 0; f < truth_.size(); ++f) {
+    const int cur = truth_[f];
+    const int other = 1 - cur;
+    const double lp_cur = LogConditional(f, cur, /*exclude_self=*/true);
+    const double lp_other = LogConditional(f, other, /*exclude_self=*/false);
+    // p(flip) = p_other / (p_cur + p_other) = sigmoid(lp_other - lp_cur).
+    const double p_flip = 1.0 / (1.0 + std::exp(lp_cur - lp_other));
+    if (rng_.Uniform() < p_flip) {
+      truth_[f] = static_cast<uint8_t>(other);
+      for (const Claim& c : claims_.ClaimsOfFact(f)) {
+        const int j = c.observation ? 1 : 0;
+        --counts_[c.source * 4 + cur * 2 + j];
+        ++counts_[c.source * 4 + other * 2 + j];
+      }
+    }
+  }
+}
+
+void LtmGibbs::AccumulateSample() {
+  for (FactId f = 0; f < truth_.size(); ++f) {
+    truth_sum_[f] += truth_[f];
+  }
+  ++num_samples_;
+}
+
+TruthEstimate LtmGibbs::PosteriorMean() const {
+  TruthEstimate est;
+  est.probability.resize(truth_.size(), 0.5);
+  if (num_samples_ == 0) return est;
+  for (FactId f = 0; f < truth_.size(); ++f) {
+    est.probability[f] = truth_sum_[f] / num_samples_;
+  }
+  return est;
+}
+
+TruthEstimate LtmGibbs::Run() {
+  Initialize();
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    RunSweep();
+    if (iter >= options_.burnin &&
+        (iter - options_.burnin) % options_.sample_gap == 0) {
+      AccumulateSample();
+    }
+  }
+  return PosteriorMean();
+}
+
+LatentTruthModel::LatentTruthModel(LtmOptions options)
+    : options_(std::move(options)) {
+  Status st = options_.Validate();
+  if (!st.ok()) {
+    LTM_LOG(Warning) << "invalid LtmOptions (" << st.ToString()
+                     << "); falling back to defaults";
+    uint64_t seed = options_.seed;
+    options_ = LtmOptions();
+    options_.seed = seed;
+  }
+}
+
+std::string LatentTruthModel::name() const {
+  return options_.positive_claims_only ? "LTMpos" : "LTM";
+}
+
+ClaimTable LatentTruthModel::FilterClaims(const ClaimTable& claims) const {
+  return claims.PositiveOnly();
+}
+
+TruthEstimate LatentTruthModel::Run(const FactTable& facts,
+                                    const ClaimTable& claims) const {
+  (void)facts;
+  if (options_.positive_claims_only) {
+    ClaimTable positive = FilterClaims(claims);
+    LtmGibbs sampler(positive, options_);
+    return sampler.Run();
+  }
+  LtmGibbs sampler(claims, options_);
+  return sampler.Run();
+}
+
+TruthEstimate LatentTruthModel::RunWithQuality(const ClaimTable& claims,
+                                               SourceQuality* quality) const {
+  TruthEstimate est;
+  if (options_.positive_claims_only) {
+    ClaimTable positive = FilterClaims(claims);
+    LtmGibbs sampler(positive, options_);
+    est = sampler.Run();
+  } else {
+    LtmGibbs sampler(claims, options_);
+    est = sampler.Run();
+  }
+  if (quality != nullptr) {
+    // Quality is read off the full claim table (§5.3) so that negative
+    // claims inform specificity even for LTMpos.
+    *quality = EstimateSourceQuality(claims, est.probability, options_.alpha0,
+                                     options_.alpha1);
+  }
+  return est;
+}
+
+}  // namespace ltm

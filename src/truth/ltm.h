@@ -1,0 +1,107 @@
+#ifndef LTM_TRUTH_LTM_H_
+#define LTM_TRUTH_LTM_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/claim_table.h"
+#include "data/fact_table.h"
+#include "truth/options.h"
+#include "truth/source_quality.h"
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// Low-level collapsed Gibbs sampler for the Latent Truth Model (paper
+/// Algorithm 1). Exposed separately from the TruthMethod wrapper so that
+/// convergence studies (Fig. 5) and tests can step sweeps manually and
+/// inspect the internal truth assignment and quality counts.
+///
+/// State per sweep: the Boolean truth vector t and, per source, the 2x2
+/// integer count matrix n_{s,i,j} (i = current truth of the claimed fact,
+/// j = observation). Equation 2 is evaluated in log space so facts with
+/// hundreds of claims cannot underflow.
+class LtmGibbs {
+ public:
+  /// `claims` must outlive the sampler. Options are validated; an invalid
+  /// configuration falls back to defaults with the same seed (callers that
+  /// care should Validate() first — the TruthMethod wrapper does).
+  LtmGibbs(const ClaimTable& claims, const LtmOptions& options);
+
+  /// Randomly (re-)initializes the truth assignment and rebuilds counts.
+  void Initialize();
+
+  /// Runs one full Gibbs sweep over all facts (Eq. 2 per fact).
+  void RunSweep();
+
+  /// Adds the current truth assignment into the running posterior mean.
+  void AccumulateSample();
+
+  /// Posterior estimate from the samples accumulated so far; all 0.5 when
+  /// no sample was accumulated yet.
+  TruthEstimate PosteriorMean() const;
+
+  /// Runs the full schedule from `options`: Initialize(), then
+  /// `iterations` sweeps accumulating every `sample_gap`-th sweep after
+  /// `burnin`. Returns the posterior mean estimate.
+  TruthEstimate Run();
+
+  /// Current (hard) truth assignment of the chain.
+  const std::vector<uint8_t>& truth() const { return truth_; }
+
+  /// Current count n_{s,i,j} maintained by the chain.
+  int64_t Count(SourceId s, int truth_value, int observation) const {
+    return counts_[s * 4 + truth_value * 2 + observation];
+  }
+
+  int num_accumulated_samples() const { return num_samples_; }
+
+ private:
+  /// Log of the unnormalized conditional p(t_f = i | t_-f, o, s) (Eq. 2).
+  /// `exclude_self` must be true when i equals the fact's current label so
+  /// the fact's own claims are removed from the counts.
+  double LogConditional(FactId f, int i, bool exclude_self) const;
+
+  const ClaimTable& claims_;
+  LtmOptions options_;
+  Rng rng_;
+
+  std::vector<uint8_t> truth_;       // current t_f per fact
+  std::vector<int64_t> counts_;      // n_{s,i,j}, flattened s*4 + i*2 + j
+  std::vector<double> truth_sum_;    // sum of sampled t_f
+  int num_samples_ = 0;
+  // log(alpha_{i,j} ) cached view: alpha_[i][j] pseudo-count.
+  std::array<std::array<double, 2>, 2> alpha_;
+};
+
+/// The paper's headline method as a TruthMethod: runs the collapsed Gibbs
+/// sampler and reports posterior truth probabilities. With
+/// `options.positive_claims_only` it becomes the LTMpos ablation.
+class LatentTruthModel : public TruthMethod {
+ public:
+  explicit LatentTruthModel(LtmOptions options = LtmOptions());
+
+  std::string name() const override;
+  TruthEstimate Run(const FactTable& facts,
+                    const ClaimTable& claims) const override;
+
+  /// Runs and additionally reads off two-sided source quality (§5.3) from
+  /// the posterior truth probabilities.
+  TruthEstimate RunWithQuality(const ClaimTable& claims,
+                               SourceQuality* quality) const;
+
+  const LtmOptions& options() const { return options_; }
+
+ private:
+  /// Drops negative claims when configured as LTMpos.
+  ClaimTable FilterClaims(const ClaimTable& claims) const;
+
+  LtmOptions options_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_LTM_H_

@@ -1,0 +1,61 @@
+#include "truth/ltm_incremental.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ltm {
+
+LtmIncremental::LtmIncremental(SourceQuality quality, LtmOptions options)
+    : quality_(std::move(quality)), options_(std::move(options)) {}
+
+double LtmIncremental::Phi(SourceId s, int truth_value) const {
+  if (s < quality_.NumSources()) {
+    return truth_value == 1 ? quality_.sensitivity[s]
+                            : 1.0 - quality_.specificity[s];
+  }
+  // Unseen source: prior mean.
+  return truth_value == 1 ? options_.alpha1.Mean() : options_.alpha0.Mean();
+}
+
+TruthEstimate LtmIncremental::Run(const FactTable& facts,
+                                  const ClaimTable& claims) const {
+  (void)facts;
+  TruthEstimate est;
+  est.probability.resize(claims.NumFacts(), 0.5);
+  const double eps = 1e-12;
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    double lp1 = std::log(options_.beta.pos);
+    double lp0 = std::log(options_.beta.neg);
+    for (const Claim& c : claims.ClaimsOfFact(f)) {
+      const double phi1 = Clamp(Phi(c.source, 1), eps, 1.0 - eps);
+      const double phi0 = Clamp(Phi(c.source, 0), eps, 1.0 - eps);
+      if (c.observation) {
+        lp1 += std::log(phi1);
+        lp0 += std::log(phi0);
+      } else {
+        lp1 += std::log(1.0 - phi1);
+        lp0 += std::log(1.0 - phi0);
+      }
+    }
+    est.probability[f] = Sigmoid(lp1 - lp0);
+  }
+  return est;
+}
+
+LtmIncremental::UpdatedPriors LtmIncremental::AccumulatedPriors() const {
+  UpdatedPriors out;
+  const size_t n = quality_.NumSources();
+  out.alpha0.resize(n);
+  out.alpha1.resize(n);
+  for (size_t s = 0; s < n; ++s) {
+    const auto& c = quality_.expected_counts[s];
+    out.alpha0[s] = BetaPrior{options_.alpha0.pos + c[1],   // + E[n_s01]
+                              options_.alpha0.neg + c[0]};  // + E[n_s00]
+    out.alpha1[s] = BetaPrior{options_.alpha1.pos + c[3],   // + E[n_s11]
+                              options_.alpha1.neg + c[2]};  // + E[n_s10]
+  }
+  return out;
+}
+
+}  // namespace ltm

@@ -1,0 +1,54 @@
+#ifndef LTM_TRUTH_LTM_INCREMENTAL_H_
+#define LTM_TRUTH_LTM_INCREMENTAL_H_
+
+#include <vector>
+
+#include "data/claim_table.h"
+#include "truth/options.h"
+#include "truth/source_quality.h"
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// Incremental truth finding (paper §5.4, "LTMinc"): with source quality
+/// frozen at (phi0_s, phi1_s), the posterior truth probability of a new
+/// fact follows in closed form from Eq. 3 — no sampling needed, O(#claims):
+///
+///   p(t_f = 1 | o, s) ∝ beta1 * prod_c (phi1_sc)^{o_c} (1-phi1_sc)^{1-o_c}
+///   p(t_f = 0 | o, s) ∝ beta0 * prod_c (phi0_sc)^{o_c} (1-phi0_sc)^{1-o_c}
+///
+/// Sources unseen at training time fall back to their prior-mean quality.
+class LtmIncremental : public TruthMethod {
+ public:
+  /// `quality` is the read-off from a previous batch LTM fit; `options`
+  /// supplies the beta prior and the prior-mean fallback for new sources.
+  LtmIncremental(SourceQuality quality, LtmOptions options = LtmOptions());
+
+  std::string name() const override { return "LTMinc"; }
+
+  /// Scores all facts in `claims` via Eq. 3 using the frozen quality.
+  TruthEstimate Run(const FactTable& facts,
+                    const ClaimTable& claims) const override;
+
+  /// Per-source quality priors folded with the evidence accumulated so far:
+  /// alpha'_{i,j} = alpha_{i,j} + E[n_{s,i,j}] (paper §5.4). Feed these back
+  /// as per-source priors when periodically re-fitting LTM batch-style.
+  /// Entry s holds {alpha0', alpha1'} for source s.
+  struct UpdatedPriors {
+    std::vector<BetaPrior> alpha0;
+    std::vector<BetaPrior> alpha1;
+  };
+  UpdatedPriors AccumulatedPriors() const;
+
+  const SourceQuality& quality() const { return quality_; }
+
+ private:
+  double Phi(SourceId s, int truth_value) const;
+
+  SourceQuality quality_;
+  LtmOptions options_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_LTM_INCREMENTAL_H_

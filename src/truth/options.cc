@@ -1,0 +1,54 @@
+#include "truth/options.h"
+
+#include <algorithm>
+
+namespace ltm {
+
+Status LtmOptions::Validate() const {
+  if (alpha0.pos <= 0 || alpha0.neg <= 0 || alpha1.pos <= 0 ||
+      alpha1.neg <= 0 || beta.pos <= 0 || beta.neg <= 0) {
+    return Status::InvalidArgument("all Beta prior pseudo-counts must be > 0");
+  }
+  if (iterations <= 0) {
+    return Status::InvalidArgument("iterations must be > 0");
+  }
+  if (burnin < 0 || burnin >= iterations) {
+    return Status::InvalidArgument("burnin must be in [0, iterations)");
+  }
+  if (sample_gap < 1) {
+    return Status::InvalidArgument("sample_gap must be >= 1");
+  }
+  if (truth_threshold < 0.0 || truth_threshold > 1.0) {
+    return Status::InvalidArgument("truth_threshold must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+LtmOptions LtmOptions::BookDataDefaults() {
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{10.0, 1000.0};
+  opts.alpha1 = BetaPrior{50.0, 50.0};
+  opts.beta = BetaPrior{10.0, 10.0};
+  return opts;
+}
+
+LtmOptions LtmOptions::ScaledDefaults(size_t num_facts, double fpr_mean,
+                                      double strength_fraction) {
+  LtmOptions opts;
+  const double strength =
+      std::max(100.0, strength_fraction * static_cast<double>(num_facts));
+  opts.alpha0 = BetaPrior{fpr_mean * strength, (1.0 - fpr_mean) * strength};
+  opts.alpha1 = BetaPrior{50.0, 50.0};
+  opts.beta = BetaPrior{10.0, 10.0};
+  return opts;
+}
+
+LtmOptions LtmOptions::MovieDataDefaults() {
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{100.0, 10000.0};
+  opts.alpha1 = BetaPrior{50.0, 50.0};
+  opts.beta = BetaPrior{10.0, 10.0};
+  return opts;
+}
+
+}  // namespace ltm

@@ -1,0 +1,79 @@
+#ifndef LTM_TRUTH_OPTIONS_H_
+#define LTM_TRUTH_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace ltm {
+
+/// A Beta(pos, neg) prior expressed as pseudo-counts, following the paper's
+/// convention: `pos` is the prior count of positive observations (j = 1)
+/// and `neg` of negative observations (j = 0). E.g. the false-positive-rate
+/// prior alpha0 = (10, 1000) means 10 prior false positives vs. 1000 prior
+/// true negatives, i.e. expected specificity ~0.99.
+struct BetaPrior {
+  double pos = 1.0;
+  double neg = 1.0;
+
+  double Sum() const { return pos + neg; }
+  /// Prior mean of the positive-observation probability.
+  double Mean() const { return pos / (pos + neg); }
+};
+
+/// Hyper-parameters and sampler controls for the Latent Truth Model.
+/// Defaults follow the paper's movie-data configuration (§6.2).
+struct LtmOptions {
+  /// alpha0: prior on each source's false positive rate, phi0_s ~
+  /// Beta(alpha0.pos, alpha0.neg). Must be strongly biased toward low FPR
+  /// (high specificity), otherwise the model may flip all truths (§4.3.1).
+  BetaPrior alpha0{100.0, 10000.0};
+
+  /// alpha1: prior on each source's sensitivity, phi1_s ~
+  /// Beta(alpha1.pos, alpha1.neg). Uniform-ish by default: false negatives
+  /// are common in practice.
+  BetaPrior alpha1{50.0, 50.0};
+
+  /// beta: prior truth probability of each fact, theta_f ~ Beta(beta.pos,
+  /// beta.neg).
+  BetaPrior beta{10.0, 10.0};
+
+  /// Total Gibbs sweeps, including burn-in.
+  int iterations = 100;
+  /// Sweeps discarded before collecting samples.
+  int burnin = 20;
+  /// Keep every `sample_gap`-th post-burn-in sweep (1 = keep all). The
+  /// paper calls this thinning.
+  int sample_gap = 4;
+
+  /// Seed for the sampler's deterministic RNG.
+  uint64_t seed = 42;
+
+  /// When true, negative claims are ignored (the LTMpos ablation of §6.2).
+  bool positive_claims_only = false;
+
+  /// Decision threshold on the posterior truth probability (§5.2).
+  double truth_threshold = 0.5;
+
+  /// Validates ranges (positive priors, iterations > burnin, ...).
+  Status Validate() const;
+
+  /// Paper configuration for the book-author dataset: alpha0 = (10, 1000).
+  static LtmOptions BookDataDefaults();
+  /// Paper configuration for the movie-director dataset:
+  /// alpha0 = (100, 10000).
+  static LtmOptions MovieDataDefaults();
+
+  /// The paper's prior-scaling rule (§6.2): the specificity prior counts
+  /// "should be at the same scale as the number of facts to become
+  /// effective". Returns defaults whose alpha0 strength is
+  /// `strength_fraction * num_facts` with prior FPR mean `fpr_mean` —
+  /// e.g. the paper's movie prior (100, 10000) is strength ~0.3 * 33526
+  /// facts at mean ~0.01.
+  static LtmOptions ScaledDefaults(size_t num_facts, double fpr_mean = 0.01,
+                                   double strength_fraction = 0.3);
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_OPTIONS_H_

@@ -1,0 +1,67 @@
+#include "truth/pooled_investment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltm {
+
+TruthEstimate PooledInvestment::Run(const FactTable& facts,
+                                    const ClaimTable& claims) const {
+  const size_t num_facts = claims.NumFacts();
+  const size_t num_sources = claims.NumSources();
+
+  std::vector<size_t> claims_per_source(num_sources, 0);
+  for (const Claim& c : claims.claims()) {
+    if (c.observation) ++claims_per_source[c.source];
+  }
+
+  std::vector<double> trust(num_sources, 1.0);
+  std::vector<double> pooled(num_facts, 0.0);   // H(f)
+  std::vector<double> belief(num_facts, 0.0);   // B(f)
+
+  auto max_normalize = [](std::vector<double>* v) {
+    double m = 0.0;
+    for (double x : *v) m = std::max(m, x);
+    if (m <= 0.0) return;
+    for (double& x : *v) x /= m;
+  };
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    std::fill(pooled.begin(), pooled.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      if (!c.observation || claims_per_source[c.source] == 0) continue;
+      pooled[c.fact] +=
+          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
+    }
+    // Pool within each entity's fact group.
+    for (size_t e = 0; e < facts.NumEntities(); ++e) {
+      const auto& group = facts.FactsOfEntity(static_cast<EntityId>(e));
+      if (group.empty()) continue;
+      double denom = 0.0;
+      for (FactId f : group) denom += std::pow(pooled[f], exponent_);
+      for (FactId f : group) {
+        belief[f] = denom > 0.0 ? pooled[f] * std::pow(pooled[f], exponent_) /
+                                      denom
+                                : 0.0;
+      }
+    }
+
+    std::vector<double> updated(num_sources, 0.0);
+    for (const Claim& c : claims.claims()) {
+      if (!c.observation || claims_per_source[c.source] == 0) continue;
+      const double share =
+          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
+      if (pooled[c.fact] > 0.0) {
+        updated[c.source] += belief[c.fact] * share / pooled[c.fact];
+      }
+    }
+    trust = std::move(updated);
+    max_normalize(&trust);
+  }
+
+  TruthEstimate est;
+  est.probability = std::move(belief);
+  return est;
+}
+
+}  // namespace ltm

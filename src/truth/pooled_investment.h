@@ -1,0 +1,34 @@
+#ifndef LTM_TRUTH_POOLED_INVESTMENT_H_
+#define LTM_TRUTH_POOLED_INVESTMENT_H_
+
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// PooledInvestment baseline (Pasternack & Roth; paper §6.2). Like
+/// Investment, but beliefs are linearly pooled within each mutual-exclusion
+/// set (here: the facts of one entity):
+///   H(f) = sum_{s asserts f} T(s) / |claims(s)|
+///   B(f) = H(f) * G(H(f)) / sum_{f' in entity(f)} G(H(f'))
+/// so the beliefs of an entity's facts compete for a fixed budget. With
+/// multi-valued attributes (several simultaneously-true facts per entity)
+/// each fact receives only a fraction of the pool — the structural reason
+/// the paper finds PooledInvestment over-conservative at threshold 0.5.
+class PooledInvestment : public TruthMethod {
+ public:
+  explicit PooledInvestment(int iterations = 10, double exponent = 1.2)
+      : iterations_(iterations), exponent_(exponent) {}
+
+  std::string name() const override { return "PooledInvestment"; }
+
+  TruthEstimate Run(const FactTable& facts,
+                    const ClaimTable& claims) const override;
+
+ private:
+  int iterations_;
+  double exponent_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_POOLED_INVESTMENT_H_

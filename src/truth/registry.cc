@@ -1,0 +1,68 @@
+#include "truth/registry.h"
+
+#include "common/string_util.h"
+#include "truth/avg_log.h"
+#include "truth/hub_authority.h"
+#include "truth/investment.h"
+#include "truth/ltm.h"
+#include "truth/pooled_investment.h"
+#include "truth/three_estimates.h"
+#include "truth/truth_finder.h"
+#include "truth/voting.h"
+
+namespace ltm {
+
+Result<std::unique_ptr<TruthMethod>> CreateMethod(
+    const std::string& name, const LtmOptions& ltm_options) {
+  const std::string key = ToLower(name);
+  if (key == "ltm") {
+    LtmOptions opts = ltm_options;
+    opts.positive_claims_only = false;
+    return std::unique_ptr<TruthMethod>(new LatentTruthModel(opts));
+  }
+  if (key == "ltmpos") {
+    LtmOptions opts = ltm_options;
+    opts.positive_claims_only = true;
+    return std::unique_ptr<TruthMethod>(new LatentTruthModel(opts));
+  }
+  if (key == "voting") {
+    return std::unique_ptr<TruthMethod>(new Voting());
+  }
+  if (key == "truthfinder") {
+    return std::unique_ptr<TruthMethod>(new TruthFinder());
+  }
+  if (key == "hubauthority") {
+    return std::unique_ptr<TruthMethod>(new HubAuthority());
+  }
+  if (key == "avglog") {
+    return std::unique_ptr<TruthMethod>(new AvgLog());
+  }
+  if (key == "investment") {
+    return std::unique_ptr<TruthMethod>(new Investment());
+  }
+  if (key == "pooledinvestment") {
+    return std::unique_ptr<TruthMethod>(new PooledInvestment());
+  }
+  if (key == "3-estimates" || key == "3estimates" || key == "threeestimates") {
+    return std::unique_ptr<TruthMethod>(new ThreeEstimates());
+  }
+  return Status::NotFound("unknown truth-finding method: " + name);
+}
+
+std::vector<std::string> MethodNames() {
+  return {"LTM",        "3-Estimates", "Voting",
+          "TruthFinder", "Investment",  "LTMpos",
+          "HubAuthority", "AvgLog",     "PooledInvestment"};
+}
+
+std::vector<std::unique_ptr<TruthMethod>> CreateAllMethods(
+    const LtmOptions& ltm_options) {
+  std::vector<std::unique_ptr<TruthMethod>> methods;
+  for (const std::string& name : MethodNames()) {
+    auto m = CreateMethod(name, ltm_options);
+    methods.push_back(std::move(m).value());
+  }
+  return methods;
+}
+
+}  // namespace ltm

@@ -1,0 +1,33 @@
+#ifndef LTM_TRUTH_REGISTRY_H_
+#define LTM_TRUTH_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "truth/options.h"
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// Creates a truth-finding method by its paper name (case-insensitive):
+/// "LTM", "LTMpos", "Voting", "TruthFinder", "HubAuthority", "AvgLog",
+/// "Investment", "PooledInvestment", "3-Estimates". LTM variants take
+/// `ltm_options`; baselines use their published defaults. Returns NotFound
+/// for an unknown name.
+Result<std::unique_ptr<TruthMethod>> CreateMethod(
+    const std::string& name, const LtmOptions& ltm_options = LtmOptions());
+
+/// All batch methods compared in Table 7 (everything except LTMinc, whose
+/// train-on-unlabeled / predict-on-labeled protocol is driven by the
+/// benchmark harness), in the paper's comparison order.
+std::vector<std::unique_ptr<TruthMethod>> CreateAllMethods(
+    const LtmOptions& ltm_options = LtmOptions());
+
+/// Names accepted by CreateMethod, in comparison order.
+std::vector<std::string> MethodNames();
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_REGISTRY_H_

@@ -1,0 +1,43 @@
+#include "truth/source_quality.h"
+
+#include <cassert>
+
+namespace ltm {
+
+SourceQuality EstimateSourceQuality(const ClaimTable& claims,
+                                    const std::vector<double>& p_true,
+                                    const BetaPrior& alpha0,
+                                    const BetaPrior& alpha1) {
+  assert(p_true.size() == claims.NumFacts());
+  const size_t num_sources = claims.NumSources();
+  SourceQuality q;
+  q.sensitivity.resize(num_sources);
+  q.specificity.resize(num_sources);
+  q.precision.resize(num_sources);
+  q.accuracy.resize(num_sources);
+  q.expected_counts.assign(num_sources, {0.0, 0.0, 0.0, 0.0});
+
+  for (const Claim& c : claims.claims()) {
+    const double pt = p_true[c.fact];
+    const int j = c.observation ? 1 : 0;
+    // i = 1 contributes p(t=1), i = 0 contributes 1 - p(t=1).
+    q.expected_counts[c.source][2 + j] += pt;
+    q.expected_counts[c.source][0 + j] += 1.0 - pt;
+  }
+
+  for (size_t s = 0; s < num_sources; ++s) {
+    const auto& n = q.expected_counts[s];
+    const double n00 = n[0], n01 = n[1], n10 = n[2], n11 = n[3];
+    q.sensitivity[s] =
+        (n11 + alpha1.pos) / (n10 + n11 + alpha1.pos + alpha1.neg);
+    q.specificity[s] =
+        (n00 + alpha0.neg) / (n00 + n01 + alpha0.pos + alpha0.neg);
+    q.precision[s] =
+        (n11 + alpha1.pos) / (n01 + n11 + alpha0.pos + alpha1.pos);
+    const double total = n00 + n01 + n10 + n11;
+    q.accuracy[s] = total > 0.0 ? (n11 + n00) / total : 0.0;
+  }
+  return q;
+}
+
+}  // namespace ltm

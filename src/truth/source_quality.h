@@ -1,0 +1,44 @@
+#ifndef LTM_TRUTH_SOURCE_QUALITY_H_
+#define LTM_TRUTH_SOURCE_QUALITY_H_
+
+#include <array>
+#include <vector>
+
+#include "data/claim_table.h"
+#include "truth/options.h"
+
+namespace ltm {
+
+/// Two-sided source quality (paper §3 and §5.3): per-source sensitivity
+/// (true-positive rate), specificity (true-negative rate), precision and
+/// accuracy, plus the expected confusion counts E[n_{s,i,j}] they are
+/// computed from (i = latent truth, j = observation).
+struct SourceQuality {
+  std::vector<double> sensitivity;
+  std::vector<double> specificity;
+  std::vector<double> precision;
+  std::vector<double> accuracy;
+
+  /// expected_counts[s][i*2 + j] = E[n_{s,i,j}].
+  std::vector<std::array<double, 4>> expected_counts;
+
+  size_t NumSources() const { return sensitivity.size(); }
+
+  /// False positive rate = 1 - specificity.
+  double FalsePositiveRate(SourceId s) const { return 1.0 - specificity[s]; }
+};
+
+/// MAP read-off of source quality given posterior truth probabilities
+/// (paper §5.3): E[n_{s,i,j}] = sum over s's claims with observation j of
+/// p(t_f = i), then
+///   sensitivity(s) = (E[n_s11] + a1.pos) / (E[n_s10] + E[n_s11] + a1.sum)
+///   specificity(s) = (E[n_s00] + a0.neg) / (E[n_s00] + E[n_s01] + a0.sum)
+///   precision(s)   = (E[n_s11] + a1.pos) / (E[n_s01] + E[n_s11] + a0.pos + a1.pos)
+SourceQuality EstimateSourceQuality(const ClaimTable& claims,
+                                    const std::vector<double>& p_true,
+                                    const BetaPrior& alpha0,
+                                    const BetaPrior& alpha1);
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_SOURCE_QUALITY_H_

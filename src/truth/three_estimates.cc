@@ -1,0 +1,104 @@
+#include "truth/three_estimates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ltm {
+
+namespace {
+
+/// Linearly rescales v onto [floor, 1 - floor]; a constant vector maps to
+/// its clamped value.
+void RescaleUnit(std::vector<double>* v, double floor) {
+  if (v->empty()) return;
+  double lo = (*v)[0];
+  double hi = (*v)[0];
+  for (double x : *v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (hi - lo < 1e-12) {
+    for (double& x : *v) x = Clamp(x, floor, 1.0 - floor);
+    return;
+  }
+  for (double& x : *v) {
+    x = floor + (1.0 - 2.0 * floor) * (x - lo) / (hi - lo);
+  }
+}
+
+}  // namespace
+
+TruthEstimate ThreeEstimates::Run(const FactTable& facts,
+                                  const ClaimTable& claims) const {
+  (void)facts;
+  const size_t num_facts = claims.NumFacts();
+  const size_t num_sources = claims.NumSources();
+
+  std::vector<double> truth(num_facts, 0.5);
+  std::vector<double> error(num_sources, options_.initial_error);
+  std::vector<double> difficulty(num_facts, options_.initial_difficulty);
+
+  std::vector<size_t> claims_per_fact(num_facts, 0);
+  std::vector<size_t> claims_per_source(num_sources, 0);
+  for (const Claim& c : claims.claims()) {
+    ++claims_per_fact[c.fact];
+    ++claims_per_source[c.source];
+  }
+
+  const double floor = options_.floor;
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // T(f) given eps, delta.
+    std::fill(truth.begin(), truth.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      const double wrong = Clamp(error[c.source] * difficulty[c.fact], floor,
+                                 1.0 - floor);
+      truth[c.fact] += c.observation ? 1.0 - wrong : wrong;
+    }
+    for (FactId f = 0; f < num_facts; ++f) {
+      if (claims_per_fact[f] > 0) {
+        truth[f] /= static_cast<double>(claims_per_fact[f]);
+      } else {
+        truth[f] = 0.5;
+      }
+    }
+    RescaleUnit(&truth, floor);
+
+    // delta(f) given T, eps.
+    std::fill(difficulty.begin(), difficulty.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      const double mistake = c.observation ? 1.0 - truth[c.fact] : truth[c.fact];
+      difficulty[c.fact] += mistake / std::max(error[c.source], floor);
+    }
+    for (FactId f = 0; f < num_facts; ++f) {
+      if (claims_per_fact[f] > 0) {
+        difficulty[f] /= static_cast<double>(claims_per_fact[f]);
+      } else {
+        difficulty[f] = options_.initial_difficulty;
+      }
+    }
+    RescaleUnit(&difficulty, floor);
+
+    // eps(s) given T, delta.
+    std::fill(error.begin(), error.end(), 0.0);
+    for (const Claim& c : claims.claims()) {
+      const double mistake = c.observation ? 1.0 - truth[c.fact] : truth[c.fact];
+      error[c.source] += mistake / std::max(difficulty[c.fact], floor);
+    }
+    for (SourceId s = 0; s < num_sources; ++s) {
+      if (claims_per_source[s] > 0) {
+        error[s] /= static_cast<double>(claims_per_source[s]);
+      } else {
+        error[s] = options_.initial_error;
+      }
+    }
+    RescaleUnit(&error, floor);
+  }
+
+  TruthEstimate est;
+  est.probability = std::move(truth);
+  return est;
+}
+
+}  // namespace ltm

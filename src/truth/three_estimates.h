@@ -1,0 +1,49 @@
+#ifndef LTM_TRUTH_THREE_ESTIMATES_H_
+#define LTM_TRUTH_THREE_ESTIMATES_H_
+
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// Controls for the 3-Estimates baseline (Galland, Abiteboul, Marian &
+/// Senellart, WSDM 2010).
+struct ThreeEstimatesOptions {
+  int iterations = 100;
+  /// Initial source error rate epsilon_s.
+  double initial_error = 0.4;
+  /// Initial fact difficulty delta_f.
+  double initial_difficulty = 0.5;
+  /// Values are kept inside [floor, 1 - floor] after each rescaling to
+  /// avoid degenerate divisions.
+  double floor = 1e-3;
+};
+
+/// 3-Estimates baseline: the strongest competitor in the paper's Table 7.
+/// Considers positive *and* negative claims, estimating three quantities —
+/// per-fact truth T(f), per-source error rate eps(s), and per-fact
+/// difficulty delta(f) — under the model that a claim on f by s is wrong
+/// with probability eps(s) * delta(f):
+///   T(f)     = mean over claims c on f of: o_c ? 1 - eps*delta : eps*delta
+///   delta(f) = mean over claims of (o_c ? 1-T(f) : T(f)) / eps(s)
+///   eps(s)   = mean over claims of (o_c ? 1-T(f) : T(f)) / delta(f)
+/// with linear rescaling of each vector onto [floor, 1-floor] after every
+/// update (the "normalization" step of the original paper). Because quality
+/// is a single accuracy-like scalar, recall suffers on multi-truth data
+/// even though precision stays high (paper §6.2.1).
+class ThreeEstimates : public TruthMethod {
+ public:
+  explicit ThreeEstimates(ThreeEstimatesOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "3-Estimates"; }
+
+  TruthEstimate Run(const FactTable& facts,
+                    const ClaimTable& claims) const override;
+
+ private:
+  ThreeEstimatesOptions options_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_THREE_ESTIMATES_H_

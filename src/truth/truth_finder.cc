@@ -1,0 +1,53 @@
+#include "truth/truth_finder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ltm {
+
+TruthEstimate TruthFinder::Run(const FactTable& facts,
+                               const ClaimTable& claims) const {
+  (void)facts;
+  const size_t num_facts = claims.NumFacts();
+  const size_t num_sources = claims.NumSources();
+
+  std::vector<double> trust(num_sources, options_.initial_trust);
+  std::vector<double> conf(num_facts, 0.0);
+
+  const double trust_cap = 1.0 - 1e-9;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Fact confidence from source trust.
+    for (FactId f = 0; f < num_facts; ++f) {
+      double sigma = 0.0;
+      for (const Claim& c : claims.ClaimsOfFact(f)) {
+        if (!c.observation) continue;
+        sigma += -std::log(1.0 - std::min(trust[c.source], trust_cap));
+      }
+      conf[f] = Sigmoid(options_.dampening * sigma);
+    }
+    // Source trust from fact confidence.
+    double max_delta = 0.0;
+    for (SourceId s = 0; s < num_sources; ++s) {
+      double sum = 0.0;
+      size_t n = 0;
+      for (uint32_t idx : claims.ClaimIndicesOfSource(s)) {
+        const Claim& c = claims.claim(idx);
+        if (!c.observation) continue;
+        sum += conf[c.fact];
+        ++n;
+      }
+      double updated = n > 0 ? sum / static_cast<double>(n) : trust[s];
+      max_delta = std::max(max_delta, std::fabs(updated - trust[s]));
+      trust[s] = updated;
+    }
+    if (max_delta < options_.tolerance) break;
+  }
+
+  TruthEstimate est;
+  est.probability = std::move(conf);
+  return est;
+}
+
+}  // namespace ltm

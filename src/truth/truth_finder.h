@@ -1,0 +1,43 @@
+#ifndef LTM_TRUTH_TRUTH_FINDER_H_
+#define LTM_TRUTH_TRUTH_FINDER_H_
+
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// Controls for the TruthFinder baseline (Yin, Han & Yu, KDD 2007).
+struct TruthFinderOptions {
+  /// Initial source trustworthiness t_0.
+  double initial_trust = 0.9;
+  /// Dampening factor gamma compensating claim dependence.
+  double dampening = 0.3;
+  /// Stop when the max change in source trust falls below this.
+  double tolerance = 1e-6;
+  int max_iterations = 100;
+};
+
+/// TruthFinder baseline: positive claims only. Iterates
+///   tau(s)   = -ln(1 - t(s))                      (source score)
+///   sigma(f) = sum_{s asserts f} tau(s)           (fact support)
+///   conf(f)  = 1 / (1 + exp(-gamma * sigma(f)))   (dampened confidence)
+///   t(s)     = mean of conf(f) over s's positive claims.
+/// Because sigma >= 0, conf >= 0.5 for every claimed fact — this is the
+/// structural reason the paper finds TruthFinder predicts everything true
+/// at threshold 0.5 on multi-truth data (§6.2.1).
+class TruthFinder : public TruthMethod {
+ public:
+  explicit TruthFinder(TruthFinderOptions options = TruthFinderOptions())
+      : options_(options) {}
+
+  std::string name() const override { return "TruthFinder"; }
+
+  TruthEstimate Run(const FactTable& facts,
+                    const ClaimTable& claims) const override;
+
+ private:
+  TruthFinderOptions options_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_TRUTH_FINDER_H_

@@ -1,0 +1,47 @@
+#ifndef LTM_TRUTH_TRUTH_METHOD_H_
+#define LTM_TRUTH_TRUTH_METHOD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/claim_table.h"
+#include "data/fact_table.h"
+
+namespace ltm {
+
+/// Output of a truth-finding method: one score per FactId in [0, 1],
+/// interpreted as (or used like) the probability that the fact is true.
+/// A fact is predicted true iff its score >= the decision threshold
+/// (0.5 unless supervised tuning is available; paper §6.2.1).
+struct TruthEstimate {
+  std::vector<double> probability;
+
+  /// Boolean predictions at `threshold`.
+  std::vector<bool> Decisions(double threshold = 0.5) const {
+    std::vector<bool> out(probability.size());
+    for (size_t i = 0; i < probability.size(); ++i) {
+      out[i] = probability[i] >= threshold;
+    }
+    return out;
+  }
+};
+
+/// Uniform interface over all truth-finding algorithms compared in the
+/// paper (§6.2): LTM and the baselines. Implementations are deterministic
+/// given their options (any randomness is seeded).
+class TruthMethod {
+ public:
+  virtual ~TruthMethod() = default;
+
+  /// Display name as used in the paper's tables ("LTM", "Voting", ...).
+  virtual std::string name() const = 0;
+
+  /// Scores every fact in `claims`. `facts` provides entity grouping for
+  /// methods that need it (e.g. PooledInvestment's mutual-exclusion pools).
+  virtual TruthEstimate Run(const FactTable& facts,
+                            const ClaimTable& claims) const = 0;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_TRUTH_METHOD_H_

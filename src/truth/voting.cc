@@ -1,0 +1,23 @@
+#include "truth/voting.h"
+
+namespace ltm {
+
+TruthEstimate Voting::Run(const FactTable& facts,
+                          const ClaimTable& claims) const {
+  (void)facts;
+  TruthEstimate est;
+  est.probability.resize(claims.NumFacts(), 0.0);
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    auto fact_claims = claims.ClaimsOfFact(f);
+    if (fact_claims.empty()) continue;
+    size_t pos = 0;
+    for (const Claim& c : fact_claims) {
+      if (c.observation) ++pos;
+    }
+    est.probability[f] =
+        static_cast<double>(pos) / static_cast<double>(fact_claims.size());
+  }
+  return est;
+}
+
+}  // namespace ltm

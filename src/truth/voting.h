@@ -1,0 +1,22 @@
+#ifndef LTM_TRUTH_VOTING_H_
+#define LTM_TRUTH_VOTING_H_
+
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// Majority voting baseline (paper §6.2): the score of a fact is the
+/// proportion of its claims that are positive. Note this is the
+/// *per-attribute* voting the paper argues is the fair variant — votes are
+/// counted on individual attribute values, not concatenated value lists.
+class Voting : public TruthMethod {
+ public:
+  std::string name() const override { return "Voting"; }
+
+  TruthEstimate Run(const FactTable& facts,
+                    const ClaimTable& claims) const override;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_VOTING_H_

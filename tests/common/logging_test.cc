@@ -1,0 +1,34 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, FilteredMessageDoesNotCrash) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Swallowed, including the streamed arguments.
+  LTM_LOG(Debug) << "below threshold " << 42;
+  LTM_LOG(Info) << "also below " << 3.14;
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, EmittedMessageDoesNotCrash) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  LTM_LOG(Error) << "emitted to stderr in tests; content " << 1;
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace ltm

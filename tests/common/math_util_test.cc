@@ -1,0 +1,90 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ltm {
+namespace {
+
+TEST(LogBetaTest, MatchesKnownValues) {
+  // B(1,1) = 1, B(2,3) = 1/12, B(0.5,0.5) = pi.
+  EXPECT_NEAR(LogBeta(1, 1), 0.0, 1e-12);
+  EXPECT_NEAR(LogBeta(2, 3), std::log(1.0 / 12.0), 1e-12);
+  EXPECT_NEAR(LogBeta(0.5, 0.5), std::log(M_PI), 1e-12);
+}
+
+TEST(LogBetaTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(LogBeta(3.5, 7.25), LogBeta(7.25, 3.5));
+}
+
+TEST(LogSumExpTest, TwoArguments) {
+  EXPECT_NEAR(LogSumExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(LogSumExp(0.0, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(LogSumExpTest, HandlesExtremeMagnitudes) {
+  // Direct exp would overflow/underflow.
+  EXPECT_NEAR(LogSumExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp(-1000.0, -1000.0), -1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp(1000.0, -1000.0), 1000.0, 1e-9);
+}
+
+TEST(LogSumExpTest, NegativeInfinityIdentity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(LogSumExp(ninf, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(LogSumExp(3.0, ninf), 3.0);
+  EXPECT_DOUBLE_EQ(LogSumExp(ninf, ninf), ninf);
+}
+
+TEST(LogSumExpTest, VectorForm) {
+  std::vector<double> v{std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(v), std::log(6.0), 1e-12);
+  EXPECT_EQ(LogSumExp(std::vector<double>{}),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(SigmoidTest, KnownPointsAndStability) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(std::log(3.0)), 0.75, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  // Symmetry: sigmoid(-x) = 1 - sigmoid(x).
+  for (double x : {0.1, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(Sigmoid(-x), 1.0 - Sigmoid(x), 1e-12);
+  }
+}
+
+TEST(ClampTest, Bounds) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.3, 0.0, 1.0), 0.3);
+}
+
+TEST(MeanVarianceTest, SmallVectors) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({4.0}), 0.0);
+  // Sample variance of {1,2,3} = 1.
+  EXPECT_DOUBLE_EQ(Variance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(ConfidenceInterval95Test, MatchesFormula) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const double s = StdDev(v);
+  EXPECT_NEAR(ConfidenceInterval95(v), 1.96 * s / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ConfidenceInterval95({1.0}), 0.0);
+}
+
+TEST(AlmostEqualTest, Tolerance) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.001, 0.01));
+}
+
+}  // namespace
+}  // namespace ltm

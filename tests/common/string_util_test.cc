@@ -1,0 +1,52 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("a\tb", '\t'), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TrimTest, Whitespace) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("HeLLo123"), "hello123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("LtmOptions", "Ltm"));
+  EXPECT_FALSE(StartsWith("Ltm", "LtmOptions"));
+  EXPECT_TRUE(EndsWith("table.tsv", ".tsv"));
+  EXPECT_FALSE(EndsWith(".tsv", "table.tsv"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+  EXPECT_EQ(FormatDouble(0.9995, 3), "1.000");  // Rounding.
+}
+
+}  // namespace
+}  // namespace ltm

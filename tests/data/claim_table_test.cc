@@ -1,0 +1,187 @@
+#include "data/claim_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_util.h"
+
+namespace ltm {
+namespace {
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    raw_ = testing::PaperTable1();
+    facts_ = FactTable::Build(raw_);
+    claims_ = ClaimTable::Build(raw_, facts_);
+  }
+
+  std::optional<FactId> FindFact(const std::string& e, const std::string& a) {
+    auto eid = raw_.entities().Find(e);
+    auto aid = raw_.attributes().Find(a);
+    if (!eid || !aid) return std::nullopt;
+    return facts_.Find(*eid, *aid);
+  }
+
+  std::optional<bool> Observation(FactId f, const std::string& source) {
+    auto sid = raw_.sources().Find(source);
+    if (!sid) return std::nullopt;
+    for (const Claim& c : claims_.ClaimsOfFact(f)) {
+      if (c.source == *sid) return c.observation;
+    }
+    return std::nullopt;
+  }
+
+  RawDatabase raw_;
+  FactTable facts_;
+  ClaimTable claims_;
+};
+
+// Definition 2: 5 distinct facts from Table 1.
+TEST_F(PaperExampleTest, FactTableMatchesTable2) {
+  EXPECT_EQ(facts_.NumFacts(), 5u);
+  EXPECT_TRUE(FindFact("Harry Potter", "Daniel Radcliffe").has_value());
+  EXPECT_TRUE(FindFact("Harry Potter", "Emma Watson").has_value());
+  EXPECT_TRUE(FindFact("Harry Potter", "Rupert Grint").has_value());
+  EXPECT_TRUE(FindFact("Harry Potter", "Johnny Depp").has_value());
+  EXPECT_TRUE(FindFact("Pirates 4", "Johnny Depp").has_value());
+}
+
+// Definition 3 / Table 3: 13 claims with the exact observations.
+TEST_F(PaperExampleTest, ClaimTableMatchesTable3) {
+  EXPECT_EQ(claims_.NumClaims(), 13u);
+  EXPECT_EQ(claims_.NumPositiveClaims(), 8u);
+  EXPECT_EQ(claims_.NumNegativeClaims(), 5u);
+
+  auto radcliffe = *FindFact("Harry Potter", "Daniel Radcliffe");
+  EXPECT_EQ(Observation(radcliffe, "IMDB"), true);
+  EXPECT_EQ(Observation(radcliffe, "Netflix"), true);
+  EXPECT_EQ(Observation(radcliffe, "BadSource.com"), true);
+  // Hulu.com never asserted anything about Harry Potter: no claim at all.
+  EXPECT_EQ(Observation(radcliffe, "Hulu.com"), std::nullopt);
+
+  auto watson = *FindFact("Harry Potter", "Emma Watson");
+  EXPECT_EQ(Observation(watson, "IMDB"), true);
+  EXPECT_EQ(Observation(watson, "Netflix"), false);  // Negative claim.
+  EXPECT_EQ(Observation(watson, "BadSource.com"), true);
+
+  auto grint = *FindFact("Harry Potter", "Rupert Grint");
+  EXPECT_EQ(Observation(grint, "IMDB"), true);
+  EXPECT_EQ(Observation(grint, "Netflix"), false);
+  EXPECT_EQ(Observation(grint, "BadSource.com"), false);
+
+  auto depp_hp = *FindFact("Harry Potter", "Johnny Depp");
+  EXPECT_EQ(Observation(depp_hp, "IMDB"), false);
+  EXPECT_EQ(Observation(depp_hp, "Netflix"), false);
+  EXPECT_EQ(Observation(depp_hp, "BadSource.com"), true);
+
+  auto depp_p4 = *FindFact("Pirates 4", "Johnny Depp");
+  EXPECT_EQ(Observation(depp_p4, "Hulu.com"), true);
+  EXPECT_EQ(Observation(depp_p4, "IMDB"), std::nullopt);
+}
+
+TEST_F(PaperExampleTest, PositiveClaimsPrecedeNegativeWithinFact) {
+  for (FactId f = 0; f < claims_.NumFacts(); ++f) {
+    bool seen_negative = false;
+    for (const Claim& c : claims_.ClaimsOfFact(f)) {
+      if (!c.observation) seen_negative = true;
+      if (seen_negative) {
+        EXPECT_FALSE(c.observation);
+      }
+    }
+  }
+}
+
+TEST_F(PaperExampleTest, SourceIndexIsConsistent) {
+  size_t total = 0;
+  for (SourceId s = 0; s < claims_.NumSources(); ++s) {
+    for (uint32_t idx : claims_.ClaimIndicesOfSource(s)) {
+      EXPECT_EQ(claims_.claim(idx).source, s);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, claims_.NumClaims());
+}
+
+TEST_F(PaperExampleTest, PositiveOnlyDropsNegatives) {
+  ClaimTable pos = claims_.PositiveOnly();
+  EXPECT_EQ(pos.NumClaims(), 8u);
+  EXPECT_EQ(pos.NumNegativeClaims(), 0u);
+  EXPECT_EQ(pos.NumFacts(), claims_.NumFacts());
+  EXPECT_EQ(pos.NumSources(), claims_.NumSources());
+  for (const Claim& c : pos.claims()) EXPECT_TRUE(c.observation);
+}
+
+TEST(ClaimTableFromClaimsTest, SortsAndDedups) {
+  std::vector<Claim> input{
+      {2, 0, false}, {0, 1, true}, {0, 0, false}, {1, 0, true},
+      {0, 1, false},  // Duplicate (fact 0, source 1): first kept.
+  };
+  ClaimTable table = ClaimTable::FromClaims(input, 3, 2);
+  EXPECT_EQ(table.NumClaims(), 4u);
+  auto f0 = table.ClaimsOfFact(0);
+  ASSERT_EQ(f0.size(), 2u);
+  EXPECT_TRUE(f0[0].observation);   // Positive first.
+  EXPECT_EQ(f0[0].source, 1u);
+  EXPECT_FALSE(f0[1].observation);
+  EXPECT_EQ(f0[1].source, 0u);
+  EXPECT_EQ(table.ClaimsOfFact(1).size(), 1u);
+  EXPECT_EQ(table.ClaimsOfFact(2).size(), 1u);
+}
+
+TEST(ClaimTableFromClaimsTest, FactsWithNoClaimsGetEmptySpans) {
+  ClaimTable table = ClaimTable::FromClaims({{1, 0, true}}, 3, 1);
+  EXPECT_EQ(table.ClaimsOfFact(0).size(), 0u);
+  EXPECT_EQ(table.ClaimsOfFact(1).size(), 1u);
+  EXPECT_EQ(table.ClaimsOfFact(2).size(), 0u);
+}
+
+// Property: the generation rule of Definition 3 holds on random databases.
+class ClaimGenerationPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ClaimGenerationPropertyTest, DefinitionThreeInvariants) {
+  RawDatabase raw = testing::RandomRaw(GetParam());
+  FactTable facts = FactTable::Build(raw);
+  ClaimTable claims = ClaimTable::Build(raw, facts);
+
+  // Sources asserting each entity.
+  std::map<EntityId, std::set<SourceId>> entity_sources;
+  for (const RawRow& row : raw.rows()) {
+    entity_sources[row.entity].insert(row.source);
+  }
+
+  size_t expected_claims = 0;
+  for (FactId f = 0; f < facts.NumFacts(); ++f) {
+    expected_claims += entity_sources[facts.fact(f).entity].size();
+  }
+  // Every (fact, entity-source) pair yields exactly one claim.
+  EXPECT_EQ(claims.NumClaims(), expected_claims);
+  EXPECT_EQ(claims.NumPositiveClaims(), raw.NumRows());
+
+  for (FactId f = 0; f < facts.NumFacts(); ++f) {
+    const Fact& fact = facts.fact(f);
+    const auto& es = entity_sources[fact.entity];
+    std::set<SourceId> seen;
+    for (const Claim& c : claims.ClaimsOfFact(f)) {
+      EXPECT_EQ(c.fact, f);
+      // Claim sources must have asserted the entity.
+      EXPECT_TRUE(es.count(c.source)) << "claim from silent source";
+      // Observation matches raw-row presence.
+      EXPECT_EQ(c.observation,
+                raw.Contains(fact.entity, fact.attribute, c.source));
+      // One claim per (fact, source).
+      EXPECT_TRUE(seen.insert(c.source).second);
+    }
+    // Every entity source produced a claim.
+    EXPECT_EQ(seen.size(), es.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClaimGenerationPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,84 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ltm {
+namespace {
+
+TEST(DatasetTest, FromRawBuildsEverything) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  EXPECT_EQ(ds.name, "paper");
+  EXPECT_EQ(ds.facts.NumFacts(), 5u);
+  EXPECT_EQ(ds.claims.NumClaims(), 13u);
+  EXPECT_EQ(ds.labels.NumFacts(), 5u);
+  EXPECT_EQ(ds.labels.NumLabeled(), 0u);
+}
+
+TEST(DatasetTest, SummaryStringMentionsCounts) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  std::string s = ds.SummaryString();
+  EXPECT_NE(s.find("paper"), std::string::npos);
+  EXPECT_NE(s.find("5 facts"), std::string::npos);
+  EXPECT_NE(s.find("13 claims"), std::string::npos);
+}
+
+TEST(DatasetTest, SubsetKeepsPrefixEntities) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  testing::ApplyPaperTable4Labels(&ds);
+  // Entity 0 is Harry Potter (first seen).
+  Dataset sub = ds.Subset(1);
+  EXPECT_EQ(sub.raw.NumEntities(), 1u);
+  EXPECT_EQ(sub.facts.NumFacts(), 4u);
+  // Labels carried over for surviving facts.
+  EXPECT_EQ(sub.labels.NumLabeled(), 4u);
+  EXPECT_EQ(sub.labels.NumLabeledTrue(), 3u);
+}
+
+TEST(DatasetTest, SubsetOfEverythingIsIdentityShaped) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  Dataset sub = ds.Subset(ds.raw.NumEntities());
+  EXPECT_EQ(sub.facts.NumFacts(), ds.facts.NumFacts());
+  EXPECT_EQ(sub.claims.NumClaims(), ds.claims.NumClaims());
+}
+
+TEST(DatasetTest, SplitByEntitiesPartitionsFacts) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  testing::ApplyPaperTable4Labels(&ds);
+  EntityId hp = *ds.raw.entities().Find("Harry Potter");
+  auto [train, test] = ds.SplitByEntities({hp});
+  EXPECT_EQ(test.facts.NumFacts(), 4u);
+  EXPECT_EQ(train.facts.NumFacts(), 1u);
+  EXPECT_EQ(train.facts.NumFacts() + test.facts.NumFacts(),
+            ds.facts.NumFacts());
+  // Labels partitioned along with facts.
+  EXPECT_EQ(test.labels.NumLabeled(), 4u);
+  EXPECT_EQ(train.labels.NumLabeled(), 1u);
+}
+
+TEST(DatasetTest, SplitSharesSourceIdSpace) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  EntityId hp = *ds.raw.entities().Find("Harry Potter");
+  auto [train, test] = ds.SplitByEntities({hp});
+  // All sources of the parent exist with identical ids in both children.
+  ASSERT_EQ(train.raw.NumSources(), ds.raw.NumSources());
+  ASSERT_EQ(test.raw.NumSources(), ds.raw.NumSources());
+  for (SourceId s = 0; s < ds.raw.NumSources(); ++s) {
+    EXPECT_EQ(train.raw.sources().Get(s), ds.raw.sources().Get(s));
+    EXPECT_EQ(test.raw.sources().Get(s), ds.raw.sources().Get(s));
+  }
+  // Claim tables size their quality vectors by the shared vocabulary.
+  EXPECT_EQ(train.claims.NumSources(), ds.raw.NumSources());
+  EXPECT_EQ(test.claims.NumSources(), ds.raw.NumSources());
+}
+
+TEST(DatasetTest, SplitWithUnknownEntityIdsIsSafe) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  auto [train, test] = ds.SplitByEntities({9999});
+  EXPECT_EQ(test.facts.NumFacts(), 0u);
+  EXPECT_EQ(train.facts.NumFacts(), ds.facts.NumFacts());
+}
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,68 @@
+#include "data/fact_table.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ltm {
+namespace {
+
+TEST(FactTableTest, DistinctPairsOnly) {
+  RawDatabase raw;
+  raw.Add("e1", "a1", "s1");
+  raw.Add("e1", "a1", "s2");  // Same fact, different source.
+  raw.Add("e1", "a2", "s1");
+  raw.Add("e2", "a1", "s1");  // Same attribute string, different entity.
+  FactTable facts = FactTable::Build(raw);
+  EXPECT_EQ(facts.NumFacts(), 3u);
+}
+
+TEST(FactTableTest, IdsFollowFirstAppearance) {
+  RawDatabase raw = testing::PaperTable1();
+  FactTable facts = FactTable::Build(raw);
+  // First row of Table 1 is (Harry Potter, Daniel Radcliffe).
+  EXPECT_EQ(facts.fact(0).entity, *raw.entities().Find("Harry Potter"));
+  EXPECT_EQ(facts.fact(0).attribute,
+            *raw.attributes().Find("Daniel Radcliffe"));
+}
+
+TEST(FactTableTest, FindMissesGracefully) {
+  RawDatabase raw;
+  raw.Add("e", "a", "s");
+  FactTable facts = FactTable::Build(raw);
+  EXPECT_TRUE(facts.Find(0, 0).has_value());
+  EXPECT_FALSE(facts.Find(0, 99).has_value());
+  EXPECT_FALSE(facts.Find(99, 0).has_value());
+}
+
+TEST(FactTableTest, FactsOfEntityGroups) {
+  RawDatabase raw = testing::PaperTable1();
+  FactTable facts = FactTable::Build(raw);
+  EntityId hp = *raw.entities().Find("Harry Potter");
+  EntityId p4 = *raw.entities().Find("Pirates 4");
+  EXPECT_EQ(facts.FactsOfEntity(hp).size(), 4u);
+  EXPECT_EQ(facts.FactsOfEntity(p4).size(), 1u);
+  EXPECT_TRUE(facts.FactsOfEntity(12345).empty());
+  EXPECT_EQ(facts.NumEntities(), 2u);
+}
+
+TEST(FactTableTest, FromFactListBuildsIndexes) {
+  std::vector<Fact> list{{0, 0}, {0, 1}, {1, 0}, {0, 0}};  // One duplicate.
+  FactTable facts = FactTable::FromFactList(list);
+  EXPECT_EQ(facts.NumFacts(), 3u);
+  EXPECT_EQ(facts.FactsOfEntity(0).size(), 2u);
+  EXPECT_EQ(facts.FactsOfEntity(1).size(), 1u);
+  auto f = facts.Find(0, 1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, 1u);
+}
+
+TEST(FactTableTest, EmptyDatabase) {
+  RawDatabase raw;
+  FactTable facts = FactTable::Build(raw);
+  EXPECT_EQ(facts.NumFacts(), 0u);
+  EXPECT_EQ(facts.NumEntities(), 0u);
+}
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,60 @@
+#include "data/interner.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(InternerTest, DenseIdsInFirstSeenOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(InternerTest, ReinternReturnsSameId) {
+  StringInterner interner;
+  uint32_t a = interner.Intern("x");
+  uint32_t b = interner.Intern("y");
+  EXPECT_EQ(interner.Intern("x"), a);
+  EXPECT_EQ(interner.Intern("y"), b);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, GetRoundTrips) {
+  StringInterner interner;
+  uint32_t id = interner.Intern("hello world");
+  EXPECT_EQ(interner.Get(id), "hello world");
+}
+
+TEST(InternerTest, FindOnlyReturnsExisting) {
+  StringInterner interner;
+  interner.Intern("present");
+  auto hit = interner.Find("present");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0u);
+  EXPECT_FALSE(interner.Find("absent").has_value());
+  EXPECT_EQ(interner.size(), 1u);  // Find must not intern.
+}
+
+TEST(InternerTest, EmptyStringIsValidKey) {
+  StringInterner interner;
+  uint32_t id = interner.Intern("");
+  EXPECT_EQ(interner.Get(id), "");
+  EXPECT_TRUE(interner.Find("").has_value());
+}
+
+TEST(InternerTest, ManyStringsStayConsistent) {
+  StringInterner interner;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Intern("key" + std::to_string(i)),
+              static_cast<uint32_t>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Get(i), "key" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace ltm

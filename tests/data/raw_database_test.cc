@@ -1,0 +1,71 @@
+#include "data/raw_database.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(RawDatabaseTest, AddInternsAllColumns) {
+  RawDatabase raw;
+  EXPECT_TRUE(raw.Add("Harry Potter", "Daniel Radcliffe", "IMDB"));
+  EXPECT_EQ(raw.NumRows(), 1u);
+  EXPECT_EQ(raw.NumEntities(), 1u);
+  EXPECT_EQ(raw.NumAttributes(), 1u);
+  EXPECT_EQ(raw.NumSources(), 1u);
+  const RawRow& row = raw.rows()[0];
+  EXPECT_EQ(raw.entities().Get(row.entity), "Harry Potter");
+  EXPECT_EQ(raw.attributes().Get(row.attribute), "Daniel Radcliffe");
+  EXPECT_EQ(raw.sources().Get(row.source), "IMDB");
+}
+
+TEST(RawDatabaseTest, DuplicateTriplesAreDeduped) {
+  RawDatabase raw;
+  EXPECT_TRUE(raw.Add("e", "a", "s"));
+  EXPECT_FALSE(raw.Add("e", "a", "s"));  // Definition 1: rows are unique.
+  EXPECT_EQ(raw.NumRows(), 1u);
+}
+
+TEST(RawDatabaseTest, SameEntityDifferentSourceIsNewRow) {
+  RawDatabase raw;
+  EXPECT_TRUE(raw.Add("e", "a", "s1"));
+  EXPECT_TRUE(raw.Add("e", "a", "s2"));
+  EXPECT_TRUE(raw.Add("e", "a2", "s1"));
+  EXPECT_EQ(raw.NumRows(), 3u);
+  EXPECT_EQ(raw.NumEntities(), 1u);
+  EXPECT_EQ(raw.NumAttributes(), 2u);
+  EXPECT_EQ(raw.NumSources(), 2u);
+}
+
+TEST(RawDatabaseTest, ContainsChecksExactTriple) {
+  RawDatabase raw;
+  raw.Add("e", "a", "s");
+  EXPECT_TRUE(raw.Contains(0, 0, 0));
+  EXPECT_FALSE(raw.Contains(0, 0, 1));
+  EXPECT_FALSE(raw.Contains(1, 0, 0));
+}
+
+TEST(RawDatabaseTest, SharedDictionariesAcrossColumns) {
+  // The same string in entity and attribute columns gets separate ids in
+  // separate interners.
+  RawDatabase raw;
+  raw.Add("apple", "apple", "apple");
+  EXPECT_EQ(raw.NumEntities(), 1u);
+  EXPECT_EQ(raw.NumAttributes(), 1u);
+  EXPECT_EQ(raw.NumSources(), 1u);
+  EXPECT_EQ(raw.rows()[0].entity, 0u);
+  EXPECT_EQ(raw.rows()[0].attribute, 0u);
+  EXPECT_EQ(raw.rows()[0].source, 0u);
+}
+
+TEST(RawDatabaseTest, PreInternedSourcesKeepIds) {
+  // Used by Dataset::SplitByEntities to share source id spaces.
+  RawDatabase raw;
+  raw.mutable_sources().Intern("s0");
+  raw.mutable_sources().Intern("s1");
+  raw.Add("e", "a", "s1");
+  EXPECT_EQ(raw.rows()[0].source, 1u);
+  EXPECT_EQ(raw.NumSources(), 2u);
+}
+
+}  // namespace
+}  // namespace ltm

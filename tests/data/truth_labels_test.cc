@@ -1,0 +1,55 @@
+#include "data/truth_labels.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(TruthLabelsTest, StartsUnlabeled) {
+  TruthLabels labels(5);
+  EXPECT_EQ(labels.NumFacts(), 5u);
+  EXPECT_EQ(labels.NumLabeled(), 0u);
+  for (FactId f = 0; f < 5; ++f) {
+    EXPECT_FALSE(labels.IsLabeled(f));
+    EXPECT_FALSE(labels.Get(f).has_value());
+  }
+}
+
+TEST(TruthLabelsTest, SetGetClear) {
+  TruthLabels labels(3);
+  labels.Set(0, true);
+  labels.Set(2, false);
+  EXPECT_EQ(labels.Get(0), true);
+  EXPECT_FALSE(labels.Get(1).has_value());
+  EXPECT_EQ(labels.Get(2), false);
+  EXPECT_EQ(labels.NumLabeled(), 2u);
+  EXPECT_EQ(labels.NumLabeledTrue(), 1u);
+  labels.Clear(0);
+  EXPECT_FALSE(labels.IsLabeled(0));
+  EXPECT_EQ(labels.NumLabeled(), 1u);
+}
+
+TEST(TruthLabelsTest, OverwriteLabel) {
+  TruthLabels labels(1);
+  labels.Set(0, true);
+  labels.Set(0, false);
+  EXPECT_EQ(labels.Get(0), false);
+  EXPECT_EQ(labels.NumLabeledTrue(), 0u);
+}
+
+TEST(TruthLabelsTest, LabeledFactsAscending) {
+  TruthLabels labels(10);
+  labels.Set(7, true);
+  labels.Set(2, false);
+  labels.Set(5, true);
+  EXPECT_EQ(labels.LabeledFacts(), (std::vector<FactId>{2, 5, 7}));
+}
+
+TEST(TruthLabelsTest, EmptyStore) {
+  TruthLabels labels;
+  EXPECT_EQ(labels.NumFacts(), 0u);
+  EXPECT_TRUE(labels.LabeledFacts().empty());
+}
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,144 @@
+#include "data/tsv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "test_util.h"
+
+namespace ltm {
+namespace {
+
+class TsvIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TsvIoTest, RoundTripRawDatabase) {
+  RawDatabase raw = testing::PaperTable1();
+  const std::string path = Path("roundtrip.tsv");
+  ASSERT_TRUE(WriteRawDatabaseToTsv(raw, path).ok());
+  auto loaded = LoadRawDatabaseFromTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumRows(), raw.NumRows());
+  EXPECT_EQ(loaded->NumEntities(), raw.NumEntities());
+  EXPECT_EQ(loaded->NumSources(), raw.NumSources());
+  for (const RawRow& row : raw.rows()) {
+    auto e = loaded->entities().Find(raw.entities().Get(row.entity));
+    auto a = loaded->attributes().Find(raw.attributes().Get(row.attribute));
+    auto s = loaded->sources().Find(raw.sources().Get(row.source));
+    ASSERT_TRUE(e && a && s);
+    EXPECT_TRUE(loaded->Contains(*e, *a, *s));
+  }
+}
+
+TEST_F(TsvIoTest, LoadSkipsCommentsAndBlankLines) {
+  const std::string path = Path("comments.tsv");
+  WriteFile(path,
+            "# header comment\n"
+            "\n"
+            "e1\ta1\ts1\n"
+            "   \n"
+            "# another\n"
+            "e2\ta2\ts2\n");
+  auto loaded = LoadRawDatabaseFromTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumRows(), 2u);
+}
+
+TEST_F(TsvIoTest, LoadTrimsFieldWhitespace) {
+  const std::string path = Path("trim.tsv");
+  WriteFile(path, "  e1 \t a1\t s1 \n");
+  auto loaded = LoadRawDatabaseFromTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->entities().Find("e1").has_value());
+  EXPECT_TRUE(loaded->attributes().Find("a1").has_value());
+  EXPECT_TRUE(loaded->sources().Find("s1").has_value());
+}
+
+TEST_F(TsvIoTest, LoadDedupsTriples) {
+  const std::string path = Path("dups.tsv");
+  WriteFile(path, "e\ta\ts\ne\ta\ts\n");
+  auto loaded = LoadRawDatabaseFromTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumRows(), 1u);
+}
+
+TEST_F(TsvIoTest, MissingFileIsIOError) {
+  auto loaded = LoadRawDatabaseFromTsv(Path("does-not-exist.tsv"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(TsvIoTest, MalformedLineIsInvalidArgumentWithLocation) {
+  const std::string path = Path("bad.tsv");
+  WriteFile(path, "e1\ta1\ts1\nonly-one-field\n");
+  auto loaded = LoadRawDatabaseFromTsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(":2"), std::string::npos)
+      << "error should cite the line number: " << loaded.status().message();
+}
+
+TEST_F(TsvIoTest, LoadTruthLabels) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  const std::string path = Path("labels.tsv");
+  WriteFile(path,
+            "Harry Potter\tDaniel Radcliffe\ttrue\n"
+            "Harry Potter\tJohnny Depp\tfalse\n"
+            "Harry Potter\tRupert Grint\t1\n"
+            "Unknown Movie\tNobody\ttrue\n");  // Skipped silently.
+  ASSERT_TRUE(LoadTruthLabelsFromTsv(path, &ds).ok());
+  EXPECT_EQ(ds.labels.NumLabeled(), 3u);
+  EXPECT_EQ(ds.labels.NumLabeledTrue(), 2u);
+}
+
+TEST_F(TsvIoTest, BadLabelTokenFails) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  const std::string path = Path("badlabel.tsv");
+  WriteFile(path, "Harry Potter\tDaniel Radcliffe\tmaybe\n");
+  Status st = LoadTruthLabelsFromTsv(path, &ds);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TsvIoTest, WriteTruthChecksSize) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  std::vector<double> wrong_size(2, 0.5);
+  Status st = WriteTruthToTsv(ds, wrong_size, 0.5, Path("truth.tsv"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TsvIoTest, WriteTruthEmitsOneLinePerFact) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  std::vector<double> probs(ds.facts.NumFacts(), 0.9);
+  probs[3] = 0.1;
+  const std::string path = Path("truth_out.tsv");
+  ASSERT_TRUE(WriteTruthToTsv(ds, probs, 0.5, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  size_t trues = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.find("\ttrue") != std::string::npos) ++trues;
+  }
+  EXPECT_EQ(lines, ds.facts.NumFacts());
+  EXPECT_EQ(trues, ds.facts.NumFacts() - 1);
+}
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,80 @@
+#include "eval/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ltm {
+namespace {
+
+TEST(CalibrationTest, PerfectProbabilitiesScoreZeroBrier) {
+  TruthLabels labels(4);
+  labels.Set(0, true);
+  labels.Set(1, true);
+  labels.Set(2, false);
+  labels.Set(3, false);
+  std::vector<double> probs{1.0, 1.0, 0.0, 0.0};
+  CalibrationReport report = Calibrate(probs, labels);
+  EXPECT_DOUBLE_EQ(report.brier, 0.0);
+  EXPECT_DOUBLE_EQ(report.ece, 0.0);
+  EXPECT_EQ(report.num_labeled, 4u);
+}
+
+TEST(CalibrationTest, ConstantHalfIsMaximallyUninformative) {
+  TruthLabels labels(10);
+  for (FactId f = 0; f < 10; ++f) labels.Set(f, f < 5);
+  std::vector<double> probs(10, 0.5);
+  CalibrationReport report = Calibrate(probs, labels);
+  EXPECT_NEAR(report.brier, 0.25, 1e-12);
+  // Observed rate 0.5 with mean prediction 0.5: perfectly calibrated.
+  EXPECT_NEAR(report.ece, 0.0, 1e-12);
+}
+
+TEST(CalibrationTest, OverconfidentWrongScoresHighBrier) {
+  TruthLabels labels(2);
+  labels.Set(0, false);
+  labels.Set(1, false);
+  std::vector<double> probs{1.0, 1.0};
+  CalibrationReport report = Calibrate(probs, labels);
+  EXPECT_DOUBLE_EQ(report.brier, 1.0);
+  EXPECT_NEAR(report.ece, 1.0, 1e-12);
+}
+
+TEST(CalibrationTest, BinsPartitionScores) {
+  Rng rng(3);
+  TruthLabels labels(1000);
+  std::vector<double> probs(1000);
+  for (FactId f = 0; f < 1000; ++f) {
+    probs[f] = rng.Uniform();
+    labels.Set(f, rng.Bernoulli(probs[f]));  // Perfectly calibrated world.
+  }
+  CalibrationReport report = Calibrate(probs, labels, 10);
+  size_t total = 0;
+  for (const CalibrationBin& bin : report.bins) total += bin.count;
+  EXPECT_EQ(total, 1000u);
+  // Calibrated scores: small ECE.
+  EXPECT_LT(report.ece, 0.08);
+  for (const CalibrationBin& bin : report.bins) {
+    if (bin.count < 30) continue;
+    EXPECT_NEAR(bin.observed_rate, bin.mean_predicted, 0.2);
+  }
+}
+
+TEST(CalibrationTest, UnlabeledIgnoredAndEmptySafe) {
+  TruthLabels labels(3);  // All unlabeled.
+  std::vector<double> probs{0.2, 0.5, 0.9};
+  CalibrationReport report = Calibrate(probs, labels);
+  EXPECT_EQ(report.num_labeled, 0u);
+  EXPECT_DOUBLE_EQ(report.brier, 0.0);
+}
+
+TEST(CalibrationTest, ScoreOfOneLandsInLastBin) {
+  TruthLabels labels(1);
+  labels.Set(0, true);
+  std::vector<double> probs{1.0};
+  CalibrationReport report = Calibrate(probs, labels, 5);
+  EXPECT_EQ(report.bins.back().count, 1u);
+}
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,74 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(ConfusionMatrixTest, AddRoutesToCells) {
+  ConfusionMatrix m;
+  m.Add(true, true);    // TP
+  m.Add(true, false);   // FP
+  m.Add(false, true);   // FN
+  m.Add(false, false);  // TN
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.fn, 1u);
+  EXPECT_EQ(m.tn, 1u);
+  EXPECT_EQ(m.Total(), 4u);
+}
+
+// Paper Table 6: quality of the three movie sources computed from the
+// claim table (Table 3) against the truth table (Table 4).
+TEST(ConfusionMatrixTest, PaperTable6Imdb) {
+  ConfusionMatrix imdb{.tp = 3, .fp = 0, .fn = 0, .tn = 1};
+  EXPECT_DOUBLE_EQ(imdb.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(imdb.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(imdb.Sensitivity(), 1.0);
+  EXPECT_DOUBLE_EQ(imdb.Specificity(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, PaperTable6Netflix) {
+  ConfusionMatrix netflix{.tp = 1, .fp = 0, .fn = 2, .tn = 1};
+  EXPECT_DOUBLE_EQ(netflix.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(netflix.Accuracy(), 0.5);
+  EXPECT_NEAR(netflix.Sensitivity(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(netflix.Specificity(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, PaperTable6BadSource) {
+  ConfusionMatrix bad{.tp = 2, .fp = 1, .fn = 1, .tn = 0};
+  EXPECT_NEAR(bad.Precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(bad.Accuracy(), 0.5);
+  EXPECT_NEAR(bad.Sensitivity(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(bad.Specificity(), 0.0);
+  EXPECT_DOUBLE_EQ(bad.FalsePositiveRate(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyDenominatorConventions) {
+  ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.Specificity(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, F1IsHarmonicMean) {
+  ConfusionMatrix m{.tp = 2, .fp = 1, .fn = 1, .tn = 0};
+  const double p = 2.0 / 3.0;
+  const double r = 2.0 / 3.0;
+  EXPECT_NEAR(m.F1(), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionMatrixTest, F1ZeroWhenNoTruePositives) {
+  ConfusionMatrix m{.tp = 0, .fp = 5, .fn = 5, .tn = 0};
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringListsCells) {
+  ConfusionMatrix m{.tp = 1, .fp = 2, .fn = 3, .tn = 4};
+  EXPECT_EQ(m.ToString(), "TP=1 FP=2 FN=3 TN=4");
+}
+
+}  // namespace
+}  // namespace ltm

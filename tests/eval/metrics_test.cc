@@ -1,0 +1,72 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(EvaluateAtThresholdTest, IgnoresUnlabeledFacts) {
+  TruthLabels labels(4);
+  labels.Set(0, true);
+  labels.Set(1, false);
+  // Facts 2 and 3 unlabeled.
+  std::vector<double> probs{0.9, 0.9, 0.9, 0.1};
+  PointMetrics m = EvaluateAtThreshold(probs, labels, 0.5);
+  EXPECT_EQ(m.confusion.Total(), 2u);
+  EXPECT_EQ(m.confusion.tp, 1u);
+  EXPECT_EQ(m.confusion.fp, 1u);
+}
+
+TEST(EvaluateAtThresholdTest, ThresholdIsInclusive) {
+  TruthLabels labels(2);
+  labels.Set(0, true);
+  labels.Set(1, true);
+  std::vector<double> probs{0.5, 0.499999};
+  PointMetrics m = EvaluateAtThreshold(probs, labels, 0.5);
+  EXPECT_EQ(m.confusion.tp, 1u);
+  EXPECT_EQ(m.confusion.fn, 1u);
+}
+
+TEST(EvaluateAtThresholdTest, PerfectPrediction) {
+  TruthLabels labels(4);
+  labels.Set(0, true);
+  labels.Set(1, true);
+  labels.Set(2, false);
+  labels.Set(3, false);
+  std::vector<double> probs{0.9, 0.8, 0.1, 0.2};
+  PointMetrics m = EvaluateAtThreshold(probs, labels, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 1.0);
+}
+
+TEST(EvaluateAtThresholdTest, AllPredictedTrue) {
+  // The degenerate behaviour of positive-only methods at threshold 0.5
+  // (paper §6.2.1): recall 1, FPR 1, accuracy = base rate.
+  TruthLabels labels(4);
+  labels.Set(0, true);
+  labels.Set(1, true);
+  labels.Set(2, true);
+  labels.Set(3, false);
+  std::vector<double> probs{1.0, 1.0, 1.0, 1.0};
+  PointMetrics m = EvaluateAtThreshold(probs, labels, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.fpr(), 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.75);
+}
+
+TEST(EvaluateAtThresholdTest, ZeroThresholdPredictsEverythingTrue) {
+  TruthLabels labels(2);
+  labels.Set(0, false);
+  labels.Set(1, true);
+  std::vector<double> probs{0.0, 0.0};
+  PointMetrics m = EvaluateAtThreshold(probs, labels, 0.0);
+  EXPECT_EQ(m.confusion.fp, 1u);
+  EXPECT_EQ(m.confusion.tp, 1u);
+}
+
+}  // namespace
+}  // namespace ltm

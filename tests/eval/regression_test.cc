@@ -1,0 +1,62 @@
+#include "eval/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ltm {
+namespace {
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1.
+  LinearFit fit = FitLeastSquares(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineHighR2) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + 2.0 + rng.Normal(0.0, 0.2));
+  }
+  LinearFit fit = FitLeastSquares(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.05);
+  // This mirrors the paper's Fig. 6 check: linear runtime growth should
+  // yield R^2 ~ 0.99.
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(LinearFitTest, UncorrelatedDataLowR2) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.Uniform());
+    y.push_back(rng.Uniform());
+  }
+  LinearFit fit = FitLeastSquares(x, y);
+  EXPECT_LT(fit.r_squared, 0.1);
+}
+
+TEST(LinearFitTest, ConstantXFallsBackToHorizontal) {
+  std::vector<double> x{2, 2, 2};
+  std::vector<double> y{1, 2, 3};
+  LinearFit fit = FitLeastSquares(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+TEST(LinearFitTest, ConstantYPerfectFit) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 4, 4};
+  LinearFit fit = FitLeastSquares(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,118 @@
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ltm {
+namespace {
+
+TruthLabels MakeLabels(const std::vector<int>& truths) {
+  TruthLabels labels(truths.size());
+  for (size_t i = 0; i < truths.size(); ++i) {
+    if (truths[i] >= 0) labels.Set(static_cast<FactId>(i), truths[i] == 1);
+  }
+  return labels;
+}
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  TruthLabels labels = MakeLabels({1, 1, 0, 0});
+  std::vector<double> probs{0.9, 0.8, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(AucScore(probs, labels), 1.0);
+}
+
+TEST(AucTest, ReversedSeparationIsZero) {
+  TruthLabels labels = MakeLabels({1, 1, 0, 0});
+  std::vector<double> probs{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(AucScore(probs, labels), 0.0);
+}
+
+TEST(AucTest, AllTiedScoresIsHalf) {
+  TruthLabels labels = MakeLabels({1, 0, 1, 0});
+  std::vector<double> probs{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(AucScore(probs, labels), 0.5);
+}
+
+TEST(AucTest, SingleClassIsHalfByConvention) {
+  TruthLabels all_true = MakeLabels({1, 1});
+  TruthLabels all_false = MakeLabels({0, 0});
+  std::vector<double> probs{0.3, 0.7};
+  EXPECT_DOUBLE_EQ(AucScore(probs, all_true), 0.5);
+  EXPECT_DOUBLE_EQ(AucScore(probs, all_false), 0.5);
+}
+
+TEST(AucTest, HandCheckedMixedCase) {
+  // pos scores {0.8, 0.4}, neg scores {0.6, 0.2}.
+  // Pairs: (0.8>0.6),(0.8>0.2),(0.4<0.6),(0.4>0.2) -> 3/4.
+  TruthLabels labels = MakeLabels({1, 1, 0, 0});
+  std::vector<double> probs{0.8, 0.4, 0.6, 0.2};
+  EXPECT_DOUBLE_EQ(AucScore(probs, labels), 0.75);
+}
+
+TEST(AucTest, TiesCountHalf) {
+  // pos {0.5}, neg {0.5, 0.2}: pairs (tie=0.5) + (win=1) -> 1.5/2.
+  TruthLabels labels = MakeLabels({1, 0, 0});
+  std::vector<double> probs{0.5, 0.5, 0.2};
+  EXPECT_DOUBLE_EQ(AucScore(probs, labels), 0.75);
+}
+
+TEST(AucTest, UnlabeledFactsExcluded) {
+  TruthLabels labels = MakeLabels({1, 0, -1});
+  std::vector<double> probs{0.9, 0.1, 0.0};  // Fact 2 ignored.
+  EXPECT_DOUBLE_EQ(AucScore(probs, labels), 1.0);
+}
+
+TEST(RocCurveTest, StartsAtOriginEndsAtOne) {
+  TruthLabels labels = MakeLabels({1, 1, 0, 0});
+  std::vector<double> probs{0.9, 0.4, 0.6, 0.1};
+  auto curve = RocCurve(probs, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(RocCurveTest, MonotoneNonDecreasing) {
+  Rng rng(99);
+  TruthLabels labels(200);
+  std::vector<double> probs(200);
+  for (FactId f = 0; f < 200; ++f) {
+    labels.Set(f, rng.Bernoulli(0.4));
+    probs[f] = rng.Uniform();
+  }
+  auto curve = RocCurve(probs, labels);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+}
+
+// Property: the rank-based AUC equals the trapezoid area under the curve.
+class AucAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AucAgreementTest, RankAucMatchesTrapezoid) {
+  Rng rng(GetParam());
+  const size_t n = 500;
+  TruthLabels labels(n);
+  std::vector<double> probs(n);
+  for (FactId f = 0; f < n; ++f) {
+    const bool truth = rng.Bernoulli(0.3);
+    labels.Set(f, truth);
+    // Correlated but noisy scores, quantized to force ties.
+    const double base = truth ? 0.6 : 0.4;
+    probs[f] = std::round((base + rng.Uniform(-0.4, 0.4)) * 20.0) / 20.0;
+  }
+  const double rank_auc = AucScore(probs, labels);
+  const double trap_auc = TrapezoidArea(RocCurve(probs, labels));
+  EXPECT_NEAR(rank_auc, trap_auc, 1e-10);
+  EXPECT_GT(rank_auc, 0.5);  // Scores are informative by construction.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucAgreementTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,46 @@
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Name", "Value"});
+  t.AddRow({"short", "1"});
+  t.AddRow({"much-longer-name", "2"});
+  std::string out = t.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // All data lines start at the same column for field 2.
+  size_t pos1 = out.find("1");
+  size_t pos2 = out.find("2");
+  size_t col1 = pos1 - out.rfind('\n', pos1) - 1;
+  size_t col2 = pos2 - out.rfind('\n', pos2) - 1;
+  EXPECT_EQ(col1, col2);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"only-one"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleRowFormatsWithPrecision) {
+  TablePrinter t({"Method", "Accuracy", "F1"});
+  t.AddRow("LTM", {0.99512, 0.99678}, 3);
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("0.995"), std::string::npos);
+  EXPECT_NE(out.find("0.997"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorSpansColumns) {
+  TablePrinter t({"AA", "BB"});
+  t.AddRow({"1", "2"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ltm

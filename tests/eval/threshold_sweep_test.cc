@@ -1,0 +1,68 @@
+#include "eval/threshold_sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TruthLabels TwoClassLabels() {
+  TruthLabels labels(4);
+  labels.Set(0, true);
+  labels.Set(1, true);
+  labels.Set(2, false);
+  labels.Set(3, false);
+  return labels;
+}
+
+TEST(ThresholdSweepTest, GridEndpointsAndSize) {
+  std::vector<double> probs{0.9, 0.7, 0.3, 0.1};
+  ThresholdSweep sweep = SweepThresholds(probs, TwoClassLabels(), 0.0, 1.0, 10);
+  ASSERT_EQ(sweep.thresholds.size(), 11u);
+  EXPECT_DOUBLE_EQ(sweep.thresholds.front(), 0.0);
+  EXPECT_DOUBLE_EQ(sweep.thresholds.back(), 1.0);
+  EXPECT_EQ(sweep.metrics.size(), sweep.thresholds.size());
+}
+
+TEST(ThresholdSweepTest, AccuracyPeaksAtSeparatingThreshold) {
+  std::vector<double> probs{0.9, 0.7, 0.3, 0.1};
+  ThresholdSweep sweep = SweepThresholds(probs, TwoClassLabels(), 0.0, 1.0, 20);
+  EXPECT_DOUBLE_EQ(sweep.BestAccuracy(), 1.0);
+  const double best = sweep.BestAccuracyThreshold();
+  EXPECT_GT(best, 0.3);
+  EXPECT_LE(best, 0.7);
+}
+
+TEST(ThresholdSweepTest, RecallDecreasesWithThreshold) {
+  std::vector<double> probs{0.9, 0.7, 0.3, 0.1};
+  ThresholdSweep sweep = SweepThresholds(probs, TwoClassLabels(), 0.0, 1.0, 50);
+  for (size_t i = 1; i < sweep.metrics.size(); ++i) {
+    EXPECT_LE(sweep.metrics[i].recall(), sweep.metrics[i - 1].recall());
+  }
+}
+
+TEST(ThresholdSweepTest, BestF1ThresholdOnConservativeScores) {
+  // Scores compressed near 0 (a conservative method): best F1 threshold is
+  // low, mirroring the paper's Fig. 2 discussion of HubAuthority/AvgLog.
+  TruthLabels labels(4);
+  labels.Set(0, true);
+  labels.Set(1, true);
+  labels.Set(2, true);
+  labels.Set(3, false);
+  std::vector<double> probs{0.30, 0.25, 0.20, 0.05};
+  ThresholdSweep sweep = SweepThresholds(probs, labels, 0.0, 1.0, 100);
+  EXPECT_LE(sweep.BestF1Threshold(), 0.35);
+  // At threshold 0.5 the conservative scores lose all recall.
+  PointMetrics at_half = EvaluateAtThreshold(probs, labels, 0.5);
+  EXPECT_DOUBLE_EQ(at_half.recall(), 0.0);
+}
+
+TEST(ThresholdSweepTest, SingleStepGrid) {
+  std::vector<double> probs{0.9};
+  TruthLabels labels(1);
+  labels.Set(0, true);
+  ThresholdSweep sweep = SweepThresholds(probs, labels, 0.5, 0.5, 1);
+  EXPECT_EQ(sweep.thresholds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ltm

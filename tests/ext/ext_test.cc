@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "ext/adversarial.h"
+#include "ext/gaussian_ltm.h"
+#include "ext/multi_attribute.h"
+#include "ext/streaming.h"
+#include "synth/book_simulator.h"
+#include "synth/labeling.h"
+#include "synth/movie_simulator.h"
+#include "test_util.h"
+
+namespace ltm {
+namespace {
+
+LtmOptions FastOptions() {
+  LtmOptions opts = LtmOptions::MovieDataDefaults();
+  opts.iterations = 60;
+  opts.burnin = 15;
+  opts.sample_gap = 2;
+  return opts;
+}
+
+// ---------------------------------------------------------------- streaming
+
+TEST(StreamingTest, BootstrapThenIncrementalPredictions) {
+  synth::MovieSimOptions gen;
+  gen.num_movies = 800;
+  gen.seed = 3;
+  Dataset ds = synth::GenerateMovieDataset(gen);
+
+  // 3 chunks of 80 entities each stream in after a bootstrap on the rest.
+  auto chunk_entities = synth::SampleEntities(ds, 240, 11);
+  std::vector<EntityId> c1(chunk_entities.begin(), chunk_entities.begin() + 80);
+  std::vector<EntityId> c2(chunk_entities.begin() + 80,
+                           chunk_entities.begin() + 160);
+  std::vector<EntityId> c3(chunk_entities.begin() + 160, chunk_entities.end());
+
+  auto [rest, chunks_all] = ds.SplitByEntities(chunk_entities);
+  auto [chunk12, chunk3] = chunks_all.SplitByEntities([&] {
+    std::vector<EntityId> ids;
+    for (EntityId e = 0; e < chunks_all.raw.NumEntities(); ++e) {
+      // Map back by name membership in c3.
+      std::string name(chunks_all.raw.entities().Get(e));
+      for (EntityId orig : c3) {
+        if (name == ds.raw.entities().Get(orig)) {
+          ids.push_back(e);
+          break;
+        }
+      }
+    }
+    return ids;
+  }());
+
+  ext::StreamingOptions opts;
+  opts.ltm = FastOptions();
+  opts.refit_every_chunks = 2;
+  ext::StreamingPipeline pipeline(opts);
+  pipeline.Bootstrap(rest);
+  EXPECT_EQ(pipeline.quality().NumSources(), ds.raw.NumSources());
+
+  ext::ChunkResult r1 = pipeline.IngestChunk(chunk12);
+  EXPECT_EQ(r1.estimate.probability.size(), chunk12.facts.NumFacts());
+  PointMetrics m = EvaluateAtThreshold(r1.estimate.probability,
+                                       chunk12.labels, 0.5);
+  EXPECT_GT(m.accuracy(), 0.75) << m.confusion.ToString();
+
+  ext::ChunkResult r2 = pipeline.IngestChunk(chunk3);
+  EXPECT_TRUE(r2.refit);  // Second chunk triggers the periodic refit.
+  EXPECT_EQ(pipeline.num_chunks_ingested(), 2u);
+}
+
+TEST(StreamingTest, ColdStartBootstrapsFromFirstChunk) {
+  synth::MovieSimOptions gen;
+  gen.num_movies = 300;
+  Dataset ds = synth::GenerateMovieDataset(gen);
+  ext::StreamingOptions opts;
+  opts.ltm = FastOptions();
+  ext::StreamingPipeline pipeline(opts);
+  ext::ChunkResult r = pipeline.IngestChunk(ds);
+  EXPECT_TRUE(r.refit);
+  EXPECT_EQ(r.estimate.probability.size(), ds.facts.NumFacts());
+}
+
+// -------------------------------------------------------------- adversarial
+
+TEST(AdversarialTest, DetectsInjectedAdversary) {
+  // Start from a clean book world, then add a malicious source that
+  // floods 300 books with wrong authors.
+  synth::BookSimOptions gen;
+  gen.num_books = 300;
+  gen.num_sources = 60;
+  gen.seed = 17;
+  Dataset clean = synth::GenerateBookDataset(gen);
+
+  RawDatabase poisoned;
+  for (const std::string& s : clean.raw.sources().strings()) {
+    poisoned.mutable_sources().Intern(s);
+  }
+  for (const RawRow& row : clean.raw.rows()) {
+    poisoned.Add(clean.raw.entities().Get(row.entity),
+                 clean.raw.attributes().Get(row.attribute),
+                 clean.raw.sources().Get(row.source));
+  }
+  const SourceId evil = static_cast<SourceId>(poisoned.NumSources());
+  for (size_t b = 0; b < 300; ++b) {
+    poisoned.Add("book_" + std::to_string(b),
+                 "author_evil_" + std::to_string(b), "evil-source");
+  }
+  Dataset ds = Dataset::FromRaw("poisoned", std::move(poisoned));
+
+  ext::AdversarialOptions opts;
+  opts.ltm = LtmOptions::BookDataDefaults();
+  opts.ltm.iterations = 60;
+  opts.ltm.burnin = 15;
+  opts.ltm.sample_gap = 2;
+  opts.min_precision = 0.5;
+  opts.min_specificity = 0.5;
+  ext::AdversarialResult result =
+      ext::RunAdversarialFilter(ds.facts, ds.claims, opts);
+
+  bool evil_removed = false;
+  for (SourceId s : result.removed_sources) {
+    if (s == evil) evil_removed = true;
+  }
+  EXPECT_TRUE(evil_removed);
+  EXPECT_GE(result.rounds, 2);
+
+  // After filtering, evil facts (support gone, only denials remain) must
+  // be accepted far less often than by an unfiltered LTM fit.
+  auto count_evil_true = [&](const std::vector<double>& probs) {
+    size_t n = 0;
+    for (FactId f = 0; f < ds.facts.NumFacts(); ++f) {
+      std::string attr(ds.raw.attributes().Get(ds.facts.fact(f).attribute));
+      if (attr.rfind("author_evil_", 0) == 0 && probs[f] >= 0.5) ++n;
+    }
+    return n;
+  };
+  LatentTruthModel unfiltered(opts.ltm);
+  TruthEstimate raw_est = unfiltered.Run(ds.facts, ds.claims);
+  const size_t evil_true_after = count_evil_true(result.estimate.probability);
+  const size_t evil_true_before = count_evil_true(raw_est.probability);
+  EXPECT_LT(evil_true_after, 5u);
+  EXPECT_LE(evil_true_after, evil_true_before);
+}
+
+TEST(AdversarialTest, CleanDataRemovesNothing) {
+  synth::BookSimOptions gen;
+  gen.num_books = 150;
+  gen.num_sources = 40;
+  gen.fp_rate_sloppy = 0.02;  // No truly bad sources.
+  gen.sloppy_fraction = 0.0;
+  Dataset ds = synth::GenerateBookDataset(gen);
+  ext::AdversarialOptions opts;
+  opts.ltm = LtmOptions::BookDataDefaults();
+  opts.ltm.iterations = 50;
+  opts.ltm.burnin = 10;
+  opts.ltm.sample_gap = 2;
+  ext::AdversarialResult result =
+      ext::RunAdversarialFilter(ds.facts, ds.claims, opts);
+  EXPECT_TRUE(result.removed_sources.empty());
+  EXPECT_EQ(result.rounds, 1);
+}
+
+// ------------------------------------------------------------ gaussian ltm
+
+TEST(GaussianLtmTest, RecoversTruthWithHeteroscedasticSources) {
+  Rng rng(23);
+  const size_t num_facts = 200;
+  const size_t num_sources = 8;
+  std::vector<double> truth(num_facts);
+  for (auto& t : truth) t = rng.Uniform(0.0, 100.0);
+  // Half the sources are precise (sigma 0.5), half noisy (sigma 8).
+  std::vector<double> sigma(num_sources);
+  for (size_t s = 0; s < num_sources; ++s) sigma[s] = s < 4 ? 0.5 : 8.0;
+  std::vector<ext::ValueClaim> claims;
+  for (uint32_t f = 0; f < num_facts; ++f) {
+    for (uint32_t s = 0; s < num_sources; ++s) {
+      claims.push_back({f, s, rng.Normal(truth[f], sigma[s])});
+    }
+  }
+  auto result = ext::RunGaussianLtm(claims, num_facts, num_sources);
+  ASSERT_TRUE(result.ok());
+  // Precise sources identified.
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_LT(result->source_sigma[s], result->source_sigma[s + 4]);
+  }
+  // Truth recovered to well under the noisy sigma.
+  double max_err = 0.0;
+  for (size_t f = 0; f < num_facts; ++f) {
+    max_err = std::max(max_err, std::fabs(result->truth[f] - truth[f]));
+  }
+  EXPECT_LT(max_err, 2.0);
+}
+
+TEST(GaussianLtmTest, BeatsPlainAveraging) {
+  Rng rng(29);
+  const size_t num_facts = 300;
+  std::vector<double> truth(num_facts);
+  for (auto& t : truth) t = rng.Uniform(-50.0, 50.0);
+  std::vector<ext::ValueClaim> claims;
+  for (uint32_t f = 0; f < num_facts; ++f) {
+    claims.push_back({f, 0, rng.Normal(truth[f], 0.2)});
+    claims.push_back({f, 1, rng.Normal(truth[f], 10.0)});
+    claims.push_back({f, 2, rng.Normal(truth[f], 10.0)});
+  }
+  auto result = ext::RunGaussianLtm(claims, num_facts, 3);
+  ASSERT_TRUE(result.ok());
+  double em_sse = 0.0;
+  double avg_sse = 0.0;
+  std::vector<double> sums(num_facts, 0.0);
+  for (const auto& c : claims) sums[c.fact] += c.value;
+  for (size_t f = 0; f < num_facts; ++f) {
+    const double em_err = result->truth[f] - truth[f];
+    const double avg_err = sums[f] / 3.0 - truth[f];
+    em_sse += em_err * em_err;
+    avg_sse += avg_err * avg_err;
+  }
+  EXPECT_LT(em_sse, avg_sse * 0.5);
+}
+
+TEST(GaussianLtmTest, RejectsBadInput) {
+  EXPECT_FALSE(ext::RunGaussianLtm({{5, 0, 1.0}}, 2, 1).ok());  // fact OOB
+  EXPECT_FALSE(ext::RunGaussianLtm({{0, 5, 1.0}}, 1, 2).ok());  // source OOB
+  EXPECT_FALSE(
+      ext::RunGaussianLtm({{0, 0, std::nan("")}}, 1, 1).ok());  // non-finite
+  ext::GaussianLtmOptions bad;
+  bad.prior_variance = 0.0;
+  EXPECT_FALSE(ext::RunGaussianLtm({{0, 0, 1.0}}, 1, 1, bad).ok());
+}
+
+TEST(GaussianLtmTest, EmptyClaimsYieldPriors) {
+  auto result = ext::RunGaussianLtm({}, 3, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->truth.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->source_sigma[0], 1.0);  // sqrt(prior_variance).
+}
+
+// --------------------------------------------------------- multi-attribute
+
+TEST(MultiAttributeTest, FitsAllTypesAndSharesPrior) {
+  synth::MovieSimOptions movies;
+  movies.num_movies = 400;
+  movies.seed = 31;
+  synth::BookSimOptions books;
+  books.num_books = 200;
+  books.num_sources = 50;
+  books.seed = 37;
+  std::vector<Dataset> types;
+  types.push_back(synth::GenerateMovieDataset(movies));
+  types.push_back(synth::GenerateBookDataset(books));
+
+  ext::MultiAttributeOptions opts;
+  opts.ltm = FastOptions();
+  opts.coupling_rounds = 2;
+  ext::MultiAttributeResult result = ext::RunMultiAttributeLtm(types, opts);
+
+  ASSERT_EQ(result.per_type.size(), 2u);
+  for (size_t i = 0; i < types.size(); ++i) {
+    EXPECT_EQ(result.per_type[i].estimate.probability.size(),
+              types[i].facts.NumFacts());
+    PointMetrics m = EvaluateAtThreshold(
+        result.per_type[i].estimate.probability, types[i].labels, 0.5);
+    EXPECT_GT(m.accuracy(), 0.7) << types[i].name;
+  }
+  // The shared prior moved away from the initial configuration toward the
+  // data (mean sensitivity of these worlds is below the 0.5 default).
+  EXPECT_GT(result.shared_alpha1.Sum(), 0.0);
+  EXPECT_NE(result.shared_alpha1.Mean(), opts.ltm.alpha1.Mean());
+}
+
+TEST(MultiAttributeTest, SingleRoundEqualsIndependentFits) {
+  synth::MovieSimOptions movies;
+  movies.num_movies = 200;
+  std::vector<Dataset> types;
+  types.push_back(synth::GenerateMovieDataset(movies));
+  ext::MultiAttributeOptions opts;
+  opts.ltm = FastOptions();
+  opts.coupling_rounds = 1;
+  ext::MultiAttributeResult result = ext::RunMultiAttributeLtm(types, opts);
+  // Prior unchanged after a single round.
+  EXPECT_DOUBLE_EQ(result.shared_alpha0.pos, opts.ltm.alpha0.pos);
+  EXPECT_DOUBLE_EQ(result.shared_alpha0.neg, opts.ltm.alpha0.neg);
+}
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/book_simulator.h"
+#include "synth/labeling.h"
+#include "synth/ltm_process.h"
+#include "synth/movie_simulator.h"
+
+namespace ltm {
+namespace {
+
+TEST(LtmProcessTest, ShapeMatchesOptions) {
+  synth::LtmProcessOptions opts;
+  opts.num_facts = 200;
+  opts.num_sources = 7;
+  synth::LtmProcessData data = synth::GenerateLtmProcess(opts);
+  EXPECT_EQ(data.facts.NumFacts(), 200u);
+  EXPECT_EQ(data.claims.NumFacts(), 200u);
+  EXPECT_EQ(data.claims.NumSources(), 7u);
+  // Paper §6.1.1: every source claims every fact.
+  EXPECT_EQ(data.claims.NumClaims(), 200u * 7u);
+  EXPECT_EQ(data.truth.NumLabeled(), 200u);
+  EXPECT_EQ(data.true_fpr.size(), 7u);
+  EXPECT_EQ(data.true_sensitivity.size(), 7u);
+}
+
+TEST(LtmProcessTest, QualityParamsFollowPriors) {
+  synth::LtmProcessOptions opts;
+  opts.num_facts = 10;
+  opts.num_sources = 400;  // Many sources to average over.
+  opts.alpha0 = BetaPrior{10.0, 90.0};
+  opts.alpha1 = BetaPrior{90.0, 10.0};
+  synth::LtmProcessData data = synth::GenerateLtmProcess(opts);
+  double mean_fpr = 0.0;
+  double mean_sens = 0.0;
+  for (size_t s = 0; s < 400; ++s) {
+    mean_fpr += data.true_fpr[s];
+    mean_sens += data.true_sensitivity[s];
+  }
+  EXPECT_NEAR(mean_fpr / 400, 0.1, 0.02);
+  EXPECT_NEAR(mean_sens / 400, 0.9, 0.02);
+}
+
+TEST(LtmProcessTest, TruthRateFollowsBetaPrior) {
+  synth::LtmProcessOptions opts;
+  opts.num_facts = 5000;
+  opts.num_sources = 2;
+  opts.beta = BetaPrior{10.0, 10.0};  // Mean 0.5 as in the paper.
+  synth::LtmProcessData data = synth::GenerateLtmProcess(opts);
+  const double rate = static_cast<double>(data.truth.NumLabeledTrue()) /
+                      data.truth.NumLabeled();
+  EXPECT_NEAR(rate, 0.5, 0.05);
+}
+
+TEST(LtmProcessTest, DeterministicForSeed) {
+  synth::LtmProcessOptions opts;
+  opts.num_facts = 50;
+  opts.num_sources = 3;
+  synth::LtmProcessData a = synth::GenerateLtmProcess(opts);
+  synth::LtmProcessData b = synth::GenerateLtmProcess(opts);
+  EXPECT_EQ(a.claims.claims(), b.claims.claims());
+  EXPECT_EQ(a.true_fpr, b.true_fpr);
+}
+
+TEST(BookSimulatorTest, ShapeResemblesPaperDataset) {
+  synth::BookSimOptions opts;  // Paper-scale defaults.
+  Dataset ds = synth::GenerateBookDataset(opts);
+  EXPECT_EQ(ds.raw.NumEntities(), opts.num_books);
+  // Multi-valued attribute: more facts than books.
+  EXPECT_GT(ds.facts.NumFacts(), ds.raw.NumEntities());
+  // All facts carry ground truth.
+  EXPECT_EQ(ds.labels.NumLabeled(), ds.facts.NumFacts());
+  // Plenty of claims, mostly from many distinct sellers.
+  EXPECT_GT(ds.claims.NumClaims(), 10000u);
+  EXPECT_GT(ds.raw.NumSources(), 100u);
+  // False facts exist but truth dominates (high-specificity world).
+  const double true_rate = static_cast<double>(ds.labels.NumLabeledTrue()) /
+                           ds.labels.NumLabeled();
+  EXPECT_GT(true_rate, 0.6);
+  EXPECT_LT(true_rate, 1.0);
+}
+
+TEST(BookSimulatorTest, DeterministicForSeed) {
+  synth::BookSimOptions opts;
+  opts.num_books = 60;
+  opts.num_sources = 40;
+  Dataset a = synth::GenerateBookDataset(opts);
+  Dataset b = synth::GenerateBookDataset(opts);
+  EXPECT_EQ(a.raw.NumRows(), b.raw.NumRows());
+  EXPECT_EQ(a.facts.NumFacts(), b.facts.NumFacts());
+}
+
+TEST(MovieSimulatorTest, TwelveSourcesNamedAsTable8) {
+  synth::MovieSimOptions opts;
+  opts.num_movies = 400;
+  Dataset ds = synth::GenerateMovieDataset(opts);
+  EXPECT_EQ(ds.raw.NumSources(), 12u);
+  EXPECT_TRUE(ds.raw.sources().Find("imdb").has_value());
+  EXPECT_TRUE(ds.raw.sources().Find("netflix").has_value());
+  EXPECT_TRUE(ds.raw.sources().Find("fandango").has_value());
+}
+
+TEST(MovieSimulatorTest, ConflictFilterKeepsOnlyContested) {
+  synth::MovieSimOptions opts;
+  opts.num_movies = 500;
+  opts.conflicting_only = true;
+  Dataset ds = synth::GenerateMovieDataset(opts);
+  // Every surviving movie has >= 2 claimed directors and >= 2 sources.
+  for (size_t e = 0; e < ds.raw.NumEntities(); ++e) {
+    const auto& facts = ds.facts.FactsOfEntity(static_cast<EntityId>(e));
+    EXPECT_GE(facts.size(), 2u);
+    std::set<SourceId> sources;
+    for (FactId f : facts) {
+      for (const Claim& c : ds.claims.ClaimsOfFact(f)) {
+        if (c.observation) sources.insert(c.source);
+      }
+    }
+    EXPECT_GE(sources.size(), 2u);
+  }
+}
+
+TEST(MovieSimulatorTest, NoConflictFilterKeepsMore) {
+  synth::MovieSimOptions filtered;
+  filtered.num_movies = 500;
+  filtered.conflicting_only = true;
+  synth::MovieSimOptions unfiltered = filtered;
+  unfiltered.conflicting_only = false;
+  Dataset a = synth::GenerateMovieDataset(filtered);
+  Dataset b = synth::GenerateMovieDataset(unfiltered);
+  EXPECT_LT(a.raw.NumEntities(), b.raw.NumEntities());
+}
+
+TEST(LabelingTest, SampleEntitiesIsUniqueAndSized) {
+  synth::MovieSimOptions opts;
+  opts.num_movies = 300;
+  Dataset ds = synth::GenerateMovieDataset(opts);
+  auto sample = synth::SampleEntities(ds, 50, 9);
+  EXPECT_EQ(sample.size(), 50u);
+  std::set<EntityId> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (EntityId e : sample) EXPECT_LT(e, ds.raw.NumEntities());
+}
+
+TEST(LabelingTest, SampleLargerThanPopulationReturnsAll) {
+  synth::BookSimOptions opts;
+  opts.num_books = 20;
+  opts.num_sources = 30;
+  Dataset ds = synth::GenerateBookDataset(opts);
+  auto sample = synth::SampleEntities(ds, 100, 1);
+  EXPECT_EQ(sample.size(), ds.raw.NumEntities());
+}
+
+TEST(LabelingTest, LabelsRestrictedToSampledEntities) {
+  synth::MovieSimOptions opts;
+  opts.num_movies = 300;
+  Dataset ds = synth::GenerateMovieDataset(opts);
+  auto sample = synth::SampleEntities(ds, 30, 77);
+  TruthLabels labels = synth::LabelsForEntities(ds, sample);
+  std::set<EntityId> sampled(sample.begin(), sample.end());
+  for (FactId f = 0; f < labels.NumFacts(); ++f) {
+    const bool in_sample = sampled.count(ds.facts.fact(f).entity) > 0;
+    EXPECT_EQ(labels.IsLabeled(f), in_sample);
+    if (labels.IsLabeled(f)) {
+      EXPECT_EQ(labels.Get(f), ds.labels.Get(f));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ltm

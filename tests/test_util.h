@@ -1,0 +1,79 @@
+#ifndef LTM_TESTS_TEST_UTIL_H_
+#define LTM_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace ltm {
+namespace testing {
+
+/// The paper's running example: the raw movie database of Table 1
+/// (Watson spelled correctly; the extra Pirates 4 row included).
+inline RawDatabase PaperTable1() {
+  RawDatabase raw;
+  raw.Add("Harry Potter", "Daniel Radcliffe", "IMDB");
+  raw.Add("Harry Potter", "Emma Watson", "IMDB");
+  raw.Add("Harry Potter", "Rupert Grint", "IMDB");
+  raw.Add("Harry Potter", "Daniel Radcliffe", "Netflix");
+  raw.Add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+  raw.Add("Harry Potter", "Emma Watson", "BadSource.com");
+  raw.Add("Harry Potter", "Johnny Depp", "BadSource.com");
+  raw.Add("Pirates 4", "Johnny Depp", "Hulu.com");
+  return raw;
+}
+
+/// Ground truth of Table 4 for the dataset above, applied to `ds`.
+inline void ApplyPaperTable4Labels(Dataset* ds) {
+  auto set = [&](const std::string& e, const std::string& a, bool truth) {
+    auto eid = ds->raw.entities().Find(e);
+    auto aid = ds->raw.attributes().Find(a);
+    ASSERT_TRUE(eid.has_value() && aid.has_value());
+    auto f = ds->facts.Find(*eid, *aid);
+    ASSERT_TRUE(f.has_value());
+    ds->labels.Set(*f, truth);
+  };
+  set("Harry Potter", "Daniel Radcliffe", true);
+  set("Harry Potter", "Emma Watson", true);
+  set("Harry Potter", "Rupert Grint", true);
+  set("Harry Potter", "Johnny Depp", false);
+  set("Pirates 4", "Johnny Depp", true);
+}
+
+/// A random raw database for property tests: `entities` entities with up
+/// to `max_attrs` attribute values each, asserted by up to `sources`
+/// sources with coverage `coverage`.
+inline RawDatabase RandomRaw(uint64_t seed, size_t entities = 30,
+                             size_t max_attrs = 4, size_t sources = 10,
+                             double coverage = 0.5) {
+  Rng rng(seed);
+  RawDatabase raw;
+  for (size_t e = 0; e < entities; ++e) {
+    const size_t num_attrs = 1 + rng.UniformInt(max_attrs);
+    for (size_t s = 0; s < sources; ++s) {
+      if (!rng.Bernoulli(coverage)) continue;
+      bool any = false;
+      for (size_t a = 0; a < num_attrs; ++a) {
+        if (rng.Bernoulli(0.6)) {
+          raw.Add("e" + std::to_string(e), "a" + std::to_string(e * 100 + a),
+                  "s" + std::to_string(s));
+          any = true;
+        }
+      }
+      if (!any) {
+        raw.Add("e" + std::to_string(e), "a" + std::to_string(e * 100),
+                "s" + std::to_string(s));
+      }
+    }
+  }
+  return raw;
+}
+
+}  // namespace testing
+}  // namespace ltm
+
+#endif  // LTM_TESTS_TEST_UTIL_H_

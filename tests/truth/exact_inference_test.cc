@@ -1,0 +1,144 @@
+#include "truth/exact_inference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "truth/ltm.h"
+
+namespace ltm {
+namespace {
+
+LtmOptions TinyOptions(uint64_t seed = 5) {
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{1.0, 10.0};
+  opts.alpha1 = BetaPrior{2.0, 2.0};
+  opts.beta = BetaPrior{1.0, 1.0};
+  opts.iterations = 4000;
+  opts.burnin = 500;
+  opts.sample_gap = 1;
+  opts.seed = seed;
+  return opts;
+}
+
+/// Random small claim instance with f facts and s sources.
+ClaimTable RandomTinyClaims(uint64_t seed, size_t num_facts,
+                            size_t num_sources) {
+  Rng rng(seed);
+  std::vector<Claim> claims;
+  for (FactId f = 0; f < num_facts; ++f) {
+    for (SourceId s = 0; s < num_sources; ++s) {
+      if (rng.Bernoulli(0.3)) continue;  // Source silent on this fact.
+      claims.push_back(Claim{f, s, rng.Bernoulli(0.5)});
+    }
+  }
+  return ClaimTable::FromClaims(std::move(claims), num_facts, num_sources);
+}
+
+TEST(ExactPosteriorTest, SingleFactSinglepositiveClaim) {
+  // One positive claim; marginal must favour truth (since alpha1 mean 0.5
+  // >> alpha0 mean ~0.09 for a positive observation).
+  ClaimTable claims = ClaimTable::FromClaims({{0, 0, true}}, 1, 1);
+  auto marginals = ExactPosterior(claims, TinyOptions());
+  ASSERT_TRUE(marginals.ok());
+  // Closed form: p(t=1) ∝ beta1 * a1_pos/a1_sum; p(t=0) ∝ beta0 *
+  // a0_pos/a0_sum = 0.5 vs 1/11.
+  const double p1 = 0.5;
+  const double p0 = 1.0 / 11.0;
+  EXPECT_NEAR((*marginals)[0], p1 / (p1 + p0), 1e-9);
+}
+
+TEST(ExactPosteriorTest, SingleFactNegativeClaimIsSymmetric) {
+  ClaimTable claims = ClaimTable::FromClaims({{0, 0, false}}, 1, 1);
+  auto marginals = ExactPosterior(claims, TinyOptions());
+  ASSERT_TRUE(marginals.ok());
+  const double p1 = 0.5;         // beta1 * (a1_neg / a1_sum) = 1 * 0.5
+  const double p0 = 10.0 / 11.0; // beta0 * (a0_neg / a0_sum)
+  EXPECT_NEAR((*marginals)[0], p1 / (p1 + p0), 1e-9);
+}
+
+TEST(ExactPosteriorTest, RejectsOversizedInstances) {
+  ClaimTable claims = RandomTinyClaims(1, 20, 3);
+  auto marginals = ExactPosterior(claims, TinyOptions(), /*max_facts=*/16);
+  ASSERT_FALSE(marginals.ok());
+  EXPECT_EQ(marginals.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExactPosteriorTest, MarginalsAreProbabilities) {
+  ClaimTable claims = RandomTinyClaims(7, 8, 4);
+  auto marginals = ExactPosterior(claims, TinyOptions());
+  ASSERT_TRUE(marginals.ok());
+  for (double p : *marginals) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogCollapsedJointTest, FlippingAFactChangesJointConsistently) {
+  // The Gibbs conditional (Eq. 2) must equal the ratio of collapsed
+  // joints: p(t_f=1|rest) / p(t_f=0|rest) = exp(J(1) - J(0)).
+  ClaimTable claims = RandomTinyClaims(11, 6, 3);
+  LtmOptions opts = TinyOptions();
+  std::vector<uint8_t> truth(6, 0);
+  truth[1] = 1;
+  truth[4] = 1;
+
+  std::vector<uint8_t> with_f2(truth);
+  with_f2[2] = 1;
+  const double log_ratio_joint = LogCollapsedJoint(claims, with_f2, opts) -
+                                 LogCollapsedJoint(claims, truth, opts);
+
+  // Independent computation of the same ratio from Eq. 2's count form.
+  std::vector<int64_t> n(claims.NumSources() * 4, 0);
+  for (const Claim& c : claims.claims()) {
+    if (c.fact == 2) continue;  // Counts exclude the flipped fact.
+    ++n[c.source * 4 + truth[c.fact] * 2 + (c.observation ? 1 : 0)];
+  }
+  const double a[2][2] = {{opts.alpha0.neg, opts.alpha0.pos},
+                          {opts.alpha1.neg, opts.alpha1.pos}};
+  double log_ratio_eq2 =
+      std::log(opts.beta.pos) - std::log(opts.beta.neg);
+  for (int i : {1, 0}) {
+    const double sign = i == 1 ? 1.0 : -1.0;
+    // Sequentially add fact 2's claims to the count state to honour the
+    // within-fact dependence of repeated claims from one source.
+    std::vector<int64_t> local(n);
+    for (const Claim& c : claims.ClaimsOfFact(2)) {
+      const int j = c.observation ? 1 : 0;
+      const int64_t nij = local[c.source * 4 + i * 2 + j];
+      const int64_t ni = local[c.source * 4 + i * 2] +
+                         local[c.source * 4 + i * 2 + 1];
+      log_ratio_eq2 +=
+          sign * (std::log(static_cast<double>(nij) + a[i][j]) -
+                  std::log(static_cast<double>(ni) + a[i][0] + a[i][1]));
+      ++local[c.source * 4 + i * 2 + j];
+    }
+  }
+  EXPECT_NEAR(log_ratio_joint, log_ratio_eq2, 1e-9);
+}
+
+// The headline validation: the collapsed Gibbs sampler's posterior means
+// converge to the exact enumerated marginals on small random instances.
+class GibbsVsExactTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GibbsVsExactTest, PosteriorMeansMatchEnumeration) {
+  ClaimTable claims = RandomTinyClaims(GetParam(), 7, 3);
+  LtmOptions opts = TinyOptions(GetParam() * 31 + 7);
+  auto exact = ExactPosterior(claims, opts);
+  ASSERT_TRUE(exact.ok());
+
+  LtmGibbs sampler(claims, opts);
+  TruthEstimate est = sampler.Run();
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    EXPECT_NEAR(est.probability[f], (*exact)[f], 0.05)
+        << "fact " << f << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GibbsVsExactTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 42, 99));
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,274 @@
+#include "truth/ltm.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "synth/ltm_process.h"
+#include "test_util.h"
+
+namespace ltm {
+namespace {
+
+LtmOptions SmallDataOptions() {
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{1.0, 100.0};
+  opts.alpha1 = BetaPrior{1.0, 1.0};
+  opts.beta = BetaPrior{1.0, 1.0};
+  opts.iterations = 300;
+  opts.burnin = 50;
+  opts.sample_gap = 2;
+  opts.seed = 7;
+  return opts;
+}
+
+TEST(LtmOptionsTest, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(LtmOptions().Validate().ok());
+  EXPECT_TRUE(LtmOptions::BookDataDefaults().Validate().ok());
+  EXPECT_TRUE(LtmOptions::MovieDataDefaults().Validate().ok());
+}
+
+TEST(LtmOptionsTest, ValidateRejectsBadRanges) {
+  LtmOptions opts;
+  opts.alpha0.pos = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+
+  opts = LtmOptions();
+  opts.iterations = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+
+  opts = LtmOptions();
+  opts.burnin = opts.iterations;
+  EXPECT_FALSE(opts.Validate().ok());
+
+  opts = LtmOptions();
+  opts.sample_gap = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+
+  opts = LtmOptions();
+  opts.truth_threshold = 1.5;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(LtmOptionsTest, PaperPriorsAreAsPublished) {
+  LtmOptions book = LtmOptions::BookDataDefaults();
+  EXPECT_DOUBLE_EQ(book.alpha0.pos, 10.0);
+  EXPECT_DOUBLE_EQ(book.alpha0.neg, 1000.0);
+  LtmOptions movie = LtmOptions::MovieDataDefaults();
+  EXPECT_DOUBLE_EQ(movie.alpha0.pos, 100.0);
+  EXPECT_DOUBLE_EQ(movie.alpha0.neg, 10000.0);
+  EXPECT_DOUBLE_EQ(movie.alpha1.pos, 50.0);
+  EXPECT_DOUBLE_EQ(movie.alpha1.neg, 50.0);
+  EXPECT_DOUBLE_EQ(movie.beta.pos, 10.0);
+  EXPECT_DOUBLE_EQ(movie.beta.neg, 10.0);
+}
+
+class LtmGibbsCountsTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Invariant: the per-source count matrix always equals a fresh recount of
+// the claim table against the current truth vector, after any number of
+// sweeps.
+TEST_P(LtmGibbsCountsTest, CountsStayConsistentWithTruth) {
+  RawDatabase raw = testing::RandomRaw(GetParam());
+  FactTable facts = FactTable::Build(raw);
+  ClaimTable claims = ClaimTable::Build(raw, facts);
+  LtmOptions opts = SmallDataOptions();
+  opts.seed = GetParam();
+  LtmGibbs sampler(claims, opts);
+
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    sampler.RunSweep();
+    std::vector<int64_t> recount(claims.NumSources() * 4, 0);
+    for (const Claim& c : claims.claims()) {
+      const int i = sampler.truth()[c.fact];
+      const int j = c.observation ? 1 : 0;
+      ++recount[c.source * 4 + i * 2 + j];
+    }
+    for (SourceId s = 0; s < claims.NumSources(); ++s) {
+      for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+          ASSERT_EQ(sampler.Count(s, i, j), recount[s * 4 + i * 2 + j])
+              << "s=" << s << " i=" << i << " j=" << j << " sweep=" << sweep;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LtmGibbsCountsTest,
+                         ::testing::Values(3, 17, 29, 61));
+
+TEST(LtmGibbsTest, CountsSumToClaimCount) {
+  RawDatabase raw = testing::PaperTable1();
+  FactTable facts = FactTable::Build(raw);
+  ClaimTable claims = ClaimTable::Build(raw, facts);
+  LtmGibbs sampler(claims, SmallDataOptions());
+  sampler.RunSweep();
+  int64_t total = 0;
+  for (SourceId s = 0; s < claims.NumSources(); ++s) {
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) total += sampler.Count(s, i, j);
+    }
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(claims.NumClaims()));
+}
+
+TEST(LtmGibbsTest, PosteriorMeanBeforeSamplingIsHalf) {
+  RawDatabase raw = testing::PaperTable1();
+  FactTable facts = FactTable::Build(raw);
+  ClaimTable claims = ClaimTable::Build(raw, facts);
+  LtmGibbs sampler(claims, SmallDataOptions());
+  TruthEstimate est = sampler.PosteriorMean();
+  for (double p : est.probability) EXPECT_DOUBLE_EQ(p, 0.5);
+}
+
+TEST(LtmGibbsTest, ProbabilitiesAreValid) {
+  RawDatabase raw = testing::RandomRaw(123);
+  FactTable facts = FactTable::Build(raw);
+  ClaimTable claims = ClaimTable::Build(raw, facts);
+  LtmGibbs sampler(claims, SmallDataOptions());
+  TruthEstimate est = sampler.Run();
+  ASSERT_EQ(est.probability.size(), claims.NumFacts());
+  for (double p : est.probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LtmGibbsTest, DeterministicForSeed) {
+  RawDatabase raw = testing::RandomRaw(55);
+  FactTable facts = FactTable::Build(raw);
+  ClaimTable claims = ClaimTable::Build(raw, facts);
+  LtmOptions opts = SmallDataOptions();
+  TruthEstimate a = LtmGibbs(claims, opts).Run();
+  TruthEstimate b = LtmGibbs(claims, opts).Run();
+  EXPECT_EQ(a.probability, b.probability);
+}
+
+TEST(LtmGibbsTest, DifferentSeedsStillAgreeOnDecisions) {
+  // Chains from different seeds should converge to the same posterior
+  // mode on well-separated synthetic data.
+  synth::LtmProcessOptions gen;
+  gen.num_facts = 400;
+  gen.num_sources = 12;
+  gen.alpha0 = BetaPrior{5.0, 95.0};   // High specificity.
+  gen.alpha1 = BetaPrior{80.0, 20.0};  // High sensitivity.
+  gen.seed = 9;
+  synth::LtmProcessData data = synth::GenerateLtmProcess(gen);
+
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{10.0, 400.0};
+  opts.iterations = 120;
+  opts.burnin = 20;
+  opts.sample_gap = 2;
+
+  opts.seed = 1;
+  TruthEstimate a = LtmGibbs(data.claims, opts).Run();
+  opts.seed = 2;
+  TruthEstimate b = LtmGibbs(data.claims, opts).Run();
+  size_t disagreements = 0;
+  for (FactId f = 0; f < data.claims.NumFacts(); ++f) {
+    if ((a.probability[f] >= 0.5) != (b.probability[f] >= 0.5)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_LT(disagreements, data.claims.NumFacts() / 50);
+}
+
+TEST(LatentTruthModelTest, RecoversTruthOnGoodSyntheticData) {
+  synth::LtmProcessOptions gen;
+  gen.num_facts = 1000;
+  gen.num_sources = 20;
+  gen.alpha0 = BetaPrior{10.0, 90.0};
+  gen.alpha1 = BetaPrior{90.0, 10.0};
+  gen.seed = 21;
+  synth::LtmProcessData data = synth::GenerateLtmProcess(gen);
+
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{10.0, 1000.0};
+  opts.iterations = 100;
+  opts.burnin = 20;
+  opts.sample_gap = 4;
+  LatentTruthModel model(opts);
+  TruthEstimate est = model.Run(data.facts, data.claims);
+  PointMetrics m = EvaluateAtThreshold(est.probability, data.truth, 0.5);
+  EXPECT_GT(m.accuracy(), 0.95) << m.confusion.ToString();
+}
+
+TEST(LatentTruthModelTest, PaperExampleInference) {
+  // On the enriched Table 1 example, LTM should keep all IMDB-supported
+  // facts true; the key paper inference is about two-sided quality.
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  LatentTruthModel model(SmallDataOptions());
+  SourceQuality quality;
+  TruthEstimate est = model.RunWithQuality(ds.claims, &quality);
+
+  auto fact_prob = [&](const std::string& e, const std::string& a) {
+    auto eid = ds.raw.entities().Find(e);
+    auto aid = ds.raw.attributes().Find(a);
+    return est.probability[*ds.facts.Find(*eid, *aid)];
+  };
+  EXPECT_GT(fact_prob("Harry Potter", "Daniel Radcliffe"), 0.9);
+  EXPECT_GT(fact_prob("Harry Potter", "Emma Watson"), 0.9);
+
+  // Netflix asserted only correct facts: specificity must stay high.
+  SourceId netflix = *ds.raw.sources().Find("Netflix");
+  EXPECT_GT(quality.specificity[netflix], 0.9);
+  // Netflix omitted two true cast members: sensitivity must be below
+  // IMDB's, which asserted all of them (paper Example 4).
+  SourceId imdb = *ds.raw.sources().Find("IMDB");
+  EXPECT_LT(quality.sensitivity[netflix], quality.sensitivity[imdb]);
+}
+
+TEST(LatentTruthModelTest, LtmPosPredictsEverythingTrue) {
+  // §6.2.1: without negative claims, every fact has only supporting
+  // evidence, so all posterior probabilities land at or above 0.5.
+  RawDatabase raw = testing::RandomRaw(77, 40, 4, 12, 0.6);
+  FactTable facts = FactTable::Build(raw);
+  ClaimTable claims = ClaimTable::Build(raw, facts);
+  LtmOptions opts = SmallDataOptions();
+  opts.positive_claims_only = true;
+  LatentTruthModel model(opts);
+  TruthEstimate est = model.Run(facts, claims);
+  size_t below = 0;
+  for (double p : est.probability) {
+    if (p < 0.5) ++below;
+  }
+  EXPECT_EQ(below, 0u);
+}
+
+TEST(LatentTruthModelTest, NameReflectsVariant) {
+  EXPECT_EQ(LatentTruthModel(LtmOptions()).name(), "LTM");
+  LtmOptions pos;
+  pos.positive_claims_only = true;
+  EXPECT_EQ(LatentTruthModel(pos).name(), "LTMpos");
+}
+
+TEST(LatentTruthModelTest, InvalidOptionsFallBackToDefaults) {
+  LtmOptions bad;
+  bad.iterations = -5;
+  bad.seed = 123;
+  LatentTruthModel model(bad);
+  EXPECT_TRUE(model.options().Validate().ok());
+  EXPECT_EQ(model.options().seed, 123u);
+}
+
+TEST(LatentTruthModelTest, EmptyClaimTable) {
+  ClaimTable empty;
+  LatentTruthModel model(SmallDataOptions());
+  FactTable facts;
+  TruthEstimate est = model.Run(facts, empty);
+  EXPECT_TRUE(est.probability.empty());
+}
+
+TEST(TruthEstimateTest, DecisionsUseThreshold) {
+  TruthEstimate est;
+  est.probability = {0.1, 0.5, 0.9};
+  auto d = est.Decisions(0.5);
+  EXPECT_EQ(d, (std::vector<bool>{false, true, true}));
+  auto strict = est.Decisions(0.95);
+  EXPECT_EQ(strict, (std::vector<bool>{false, false, false}));
+}
+
+}  // namespace
+}  // namespace ltm

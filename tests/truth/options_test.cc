@@ -1,0 +1,50 @@
+#include "truth/options.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(BetaPriorTest, MeanAndSum) {
+  BetaPrior p{10.0, 90.0};
+  EXPECT_DOUBLE_EQ(p.Sum(), 100.0);
+  EXPECT_DOUBLE_EQ(p.Mean(), 0.1);
+}
+
+TEST(ScaledDefaultsTest, ReproducesPaperMoviePriorAtFullScale) {
+  // The paper used (100, 10000) for 33526 movie facts: strength 10100 is
+  // ~0.3 * facts at mean ~0.0099. ScaledDefaults at that scale should
+  // land in the same configuration.
+  LtmOptions opts = LtmOptions::ScaledDefaults(33526);
+  EXPECT_NEAR(opts.alpha0.Mean(), 0.01, 1e-9);
+  EXPECT_NEAR(opts.alpha0.Sum(), 0.3 * 33526, 1.0);
+}
+
+TEST(ScaledDefaultsTest, StrengthScalesLinearlyWithFacts) {
+  LtmOptions small = LtmOptions::ScaledDefaults(1000);
+  LtmOptions big = LtmOptions::ScaledDefaults(10000);
+  EXPECT_NEAR(big.alpha0.Sum() / small.alpha0.Sum(), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(small.alpha0.Mean(), big.alpha0.Mean());
+}
+
+TEST(ScaledDefaultsTest, FloorsStrengthForTinyData) {
+  // Tiny datasets still get a usable prior (floor of 100 pseudo-counts).
+  LtmOptions opts = LtmOptions::ScaledDefaults(10);
+  EXPECT_GE(opts.alpha0.Sum(), 100.0);
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(ScaledDefaultsTest, CustomMeanAndFraction) {
+  LtmOptions opts = LtmOptions::ScaledDefaults(1000, 0.05, 1.0);
+  EXPECT_NEAR(opts.alpha0.Mean(), 0.05, 1e-9);
+  EXPECT_NEAR(opts.alpha0.Sum(), 1000.0, 1e-9);
+}
+
+TEST(ScaledDefaultsTest, AlwaysValid) {
+  for (size_t facts : {0u, 1u, 100u, 100000u}) {
+    EXPECT_TRUE(LtmOptions::ScaledDefaults(facts).Validate().ok()) << facts;
+  }
+}
+
+}  // namespace
+}  // namespace ltm

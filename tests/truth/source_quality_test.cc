@@ -1,0 +1,89 @@
+#include "truth/source_quality.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace ltm {
+namespace {
+
+// With hard (0/1) truth probabilities and negligible priors, the expected
+// counts must equal the deterministic confusion counts of paper Table 6.
+TEST(SourceQualityTest, HardTruthReproducesPaperTable6Counts) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  // Truth per Table 4: facts 0..2 true, 3 false, 4 true (id order follows
+  // Table 1 first-appearance: Radcliffe, Watson, Grint, Depp@HP, Depp@P4).
+  std::vector<double> p_true{1.0, 1.0, 1.0, 0.0, 1.0};
+  const BetaPrior tiny{1e-9, 1e-9};
+  SourceQuality q = EstimateSourceQuality(ds.claims, p_true, tiny, tiny);
+
+  SourceId imdb = *ds.raw.sources().Find("IMDB");
+  SourceId netflix = *ds.raw.sources().Find("Netflix");
+  SourceId bad = *ds.raw.sources().Find("BadSource.com");
+
+  // expected_counts[s] = {n00, n01, n10, n11}.
+  EXPECT_DOUBLE_EQ(q.expected_counts[imdb][3], 3.0);  // TP
+  EXPECT_DOUBLE_EQ(q.expected_counts[imdb][1], 0.0);  // FP
+  EXPECT_DOUBLE_EQ(q.expected_counts[imdb][2], 0.0);  // FN
+  EXPECT_DOUBLE_EQ(q.expected_counts[imdb][0], 1.0);  // TN
+
+  EXPECT_DOUBLE_EQ(q.expected_counts[netflix][3], 1.0);
+  EXPECT_DOUBLE_EQ(q.expected_counts[netflix][2], 2.0);
+  EXPECT_DOUBLE_EQ(q.expected_counts[netflix][0], 1.0);
+
+  EXPECT_DOUBLE_EQ(q.expected_counts[bad][3], 2.0);
+  EXPECT_DOUBLE_EQ(q.expected_counts[bad][1], 1.0);
+  EXPECT_DOUBLE_EQ(q.expected_counts[bad][2], 1.0);
+  EXPECT_DOUBLE_EQ(q.expected_counts[bad][0], 0.0);
+
+  // Derived measures with negligible priors match Table 6.
+  EXPECT_NEAR(q.sensitivity[imdb], 1.0, 1e-6);
+  EXPECT_NEAR(q.specificity[imdb], 1.0, 1e-6);
+  EXPECT_NEAR(q.sensitivity[netflix], 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(q.specificity[netflix], 1.0, 1e-6);
+  EXPECT_NEAR(q.sensitivity[bad], 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(q.specificity[bad], 0.0, 1e-6);
+  EXPECT_NEAR(q.precision[imdb], 1.0, 1e-6);
+  EXPECT_NEAR(q.precision[bad], 2.0 / 3.0, 1e-6);
+}
+
+TEST(SourceQualityTest, SoftTruthSplitsCounts) {
+  // One positive claim with p(true) = 0.7 contributes 0.7 to TP and 0.3
+  // to FP.
+  ClaimTable claims = ClaimTable::FromClaims({{0, 0, true}}, 1, 1);
+  const BetaPrior tiny{1e-9, 1e-9};
+  SourceQuality q =
+      EstimateSourceQuality(claims, std::vector<double>{0.7}, tiny, tiny);
+  EXPECT_NEAR(q.expected_counts[0][3], 0.7, 1e-12);
+  EXPECT_NEAR(q.expected_counts[0][1], 0.3, 1e-12);
+}
+
+TEST(SourceQualityTest, PriorsDominateWithoutData) {
+  ClaimTable claims = ClaimTable::FromClaims({}, 0, 2);
+  const BetaPrior alpha0{10.0, 90.0};
+  const BetaPrior alpha1{80.0, 20.0};
+  SourceQuality q = EstimateSourceQuality(claims, {}, alpha0, alpha1);
+  ASSERT_EQ(q.NumSources(), 2u);
+  EXPECT_NEAR(q.sensitivity[0], 0.8, 1e-12);
+  EXPECT_NEAR(q.specificity[0], 0.9, 1e-12);
+  EXPECT_NEAR(q.FalsePositiveRate(0), 0.1, 1e-12);
+}
+
+TEST(SourceQualityTest, QualitiesStayInUnitInterval) {
+  Dataset ds = Dataset::FromRaw("rand", testing::RandomRaw(31));
+  std::vector<double> p(ds.facts.NumFacts(), 0.37);
+  SourceQuality q = EstimateSourceQuality(ds.claims, p, BetaPrior{10, 1000},
+                                          BetaPrior{50, 50});
+  for (size_t s = 0; s < q.NumSources(); ++s) {
+    EXPECT_GE(q.sensitivity[s], 0.0);
+    EXPECT_LE(q.sensitivity[s], 1.0);
+    EXPECT_GE(q.specificity[s], 0.0);
+    EXPECT_LE(q.specificity[s], 1.0);
+    EXPECT_GE(q.precision[s], 0.0);
+    EXPECT_LE(q.precision[s], 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ltm

@@ -1,0 +1,38 @@
+// Compile-level check: the umbrella header exposes the whole public API
+// in one include, and the core flow works through it.
+
+#include "ltm.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(UmbrellaHeaderTest, CoreFlowCompilesAndRuns) {
+  RawDatabase raw;
+  raw.Add("e1", "a1", "s1");
+  raw.Add("e1", "a1", "s2");
+  raw.Add("e1", "a2", "s2");
+  Dataset ds = Dataset::FromRaw("umbrella", std::move(raw));
+
+  LtmOptions options = LtmOptions::ScaledDefaults(ds.facts.NumFacts());
+  options.iterations = 20;
+  options.burnin = 5;
+  LatentTruthModel model(options);
+  SourceQuality quality;
+  TruthEstimate estimate = model.RunWithQuality(ds.claims, &quality);
+
+  EXPECT_EQ(estimate.probability.size(), ds.facts.NumFacts());
+  EXPECT_EQ(quality.NumSources(), ds.raw.NumSources());
+
+  ClaimStats stats = ComputeClaimStats(ds.facts, ds.claims);
+  EXPECT_EQ(stats.num_facts, 2u);
+
+  TruthLabels labels(ds.facts.NumFacts());
+  labels.Set(0, true);
+  PointMetrics m = EvaluateAtThreshold(estimate.probability, labels, 0.5);
+  EXPECT_EQ(m.confusion.Total(), 1u);
+}
+
+}  // namespace
+}  // namespace ltm
