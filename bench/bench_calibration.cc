@@ -19,9 +19,9 @@ namespace {
 void RunDataset(const std::string& title, const BenchDataset& bench) {
   PrintHeader("Calibration (" + title + ")");
   TablePrinter table({"Method", "Brier", "ECE"});
-  for (const std::string& name : MethodNames()) {
+  for (const std::string& name : BatchMethodNames()) {
     auto method = CreateMethod(name, bench.ltm_options);
-    TruthEstimate est = (*method)->Run(bench.data.facts, bench.data.claims);
+    TruthEstimate est = (*method)->Score(bench.data.facts, bench.data.claims);
     CalibrationReport report =
         Calibrate(est.probability, bench.eval_labels, 10);
     table.AddRow(name, {report.brier, report.ece});

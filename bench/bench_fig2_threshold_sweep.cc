@@ -22,9 +22,9 @@ void RunDataset(const std::string& title, const BenchDataset& bench) {
   }
   TablePrinter table(header);
 
-  for (const std::string& name : MethodNames()) {
+  for (const std::string& name : BatchMethodNames()) {
     auto method = CreateMethod(name, bench.ltm_options);
-    TruthEstimate est = (*method)->Run(bench.data.facts, bench.data.claims);
+    TruthEstimate est = (*method)->Score(bench.data.facts, bench.data.claims);
     ThresholdSweep sweep =
         SweepThresholds(est.probability, bench.eval_labels, 0.0, 1.0, steps);
     std::vector<double> accuracies;

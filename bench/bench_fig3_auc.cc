@@ -33,7 +33,7 @@ double LtmIncAuc(const BenchDataset& bench) {
   SourceQuality quality;
   model.RunWithQuality(train.claims, &quality);
   LtmIncremental inc(quality, bench.ltm_options);
-  TruthEstimate est = inc.Run(test.facts, test.claims);
+  TruthEstimate est = inc.Score(test.facts, test.claims);
   return AucScore(est.probability, test.labels);
 }
 
@@ -48,18 +48,18 @@ void Run() {
   };
   std::vector<Row> rows;
   rows.push_back({"LTMinc", LtmIncAuc(books), LtmIncAuc(movies)});
-  for (const std::string& name : MethodNames()) {
+  for (const std::string& name : BatchMethodNames()) {
     Row row;
     row.name = name;
     {
       auto method = CreateMethod(name, books.ltm_options);
-      TruthEstimate est = (*method)->Run(books.data.facts, books.data.claims);
+      TruthEstimate est = (*method)->Score(books.data.facts, books.data.claims);
       row.book_auc = AucScore(est.probability, books.eval_labels);
     }
     {
       auto method = CreateMethod(name, movies.ltm_options);
       TruthEstimate est =
-          (*method)->Run(movies.data.facts, movies.data.claims);
+          (*method)->Score(movies.data.facts, movies.data.claims);
       row.movie_auc = AucScore(est.probability, movies.eval_labels);
     }
     rows.push_back(row);

@@ -35,17 +35,28 @@ void Run() {
   std::vector<std::vector<double>> accuracy(checkpoints.size());
   for (int rep = 0; rep < repeats; ++rep) {
     LtmOptions opts = movies.ltm_options;
-    opts.seed = 1000 + rep;
-    // Drive the sampler manually: one run of 500 sweeps; at each
-    // checkpoint compute the estimate from that prefix of the chain.
-    LtmGibbs sampler(movies.data.claims, opts);
-    sampler.Initialize();
-
+    opts.iterations = 500;
+    opts.burnin = 0;
+    opts.sample_gap = 1;
+    // One engine run of 500 sweeps; the RunContext's on_state hook streams
+    // every sweep's hard truth assignment, from which each checkpoint's
+    // estimate is computed as a prefix-of-chain posterior mean. This is
+    // the observability path bench code used to hand-roll with LtmGibbs.
     std::vector<std::vector<uint8_t>> snapshots;
-    snapshots.reserve(500);
-    for (int iter = 0; iter < 500; ++iter) {
-      sampler.RunSweep();
-      snapshots.push_back(sampler.truth());
+    snapshots.reserve(opts.iterations);
+    RunContext ctx;
+    ctx.seed = 1000 + rep;
+    ctx.on_state = [&](int iteration, const TruthEstimate& state) {
+      (void)iteration;
+      snapshots.emplace_back(state.probability.begin(),
+                             state.probability.end());
+    };
+    LatentTruthModel model(opts);
+    auto run = model.Run(ctx, movies.data.facts, movies.data.claims);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return;
     }
 
     for (size_t c = 0; c < checkpoints.size(); ++c) {

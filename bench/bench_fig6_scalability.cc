@@ -32,11 +32,11 @@ void Run() {
     LatentTruthModel model(opts);
 
     // Warm-up + 3 timed repeats.
-    model.Run(sub.facts, sub.claims);
+    model.Score(sub.facts, sub.claims);
     double total = 0.0;
     for (int rep = 0; rep < 3; ++rep) {
       WallTimer timer;
-      model.Run(sub.facts, sub.claims);
+      model.Score(sub.facts, sub.claims);
       total += timer.ElapsedSeconds();
     }
     const double seconds = total / 3.0;

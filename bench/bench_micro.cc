@@ -61,7 +61,7 @@ void BM_LtmIncPredict(benchmark::State& state) {
   LtmIncremental inc(quality, opts);
   FactTable facts;
   for (auto _ : state) {
-    TruthEstimate est = inc.Run(facts, data.claims);
+    TruthEstimate est = inc.Score(facts, data.claims);
     benchmark::DoNotOptimize(est.probability.data());
   }
   state.SetItemsProcessed(state.iterations() *

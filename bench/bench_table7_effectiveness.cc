@@ -43,15 +43,15 @@ std::vector<MethodRow> EvaluateAll(const BenchDataset& bench) {
     SourceQuality quality;
     model.RunWithQuality(train.claims, &quality);
     LtmIncremental inc(quality, bench.ltm_options);
-    TruthEstimate est = inc.Run(test.facts, test.claims);
+    TruthEstimate est = inc.Score(test.facts, test.claims);
     rows.push_back({"LTMinc",
                     EvaluateAtThreshold(est.probability, test.labels, 0.5)});
   }
 
-  for (const std::string& name : MethodNames()) {
+  for (const std::string& name : BatchMethodNames()) {
     auto method = CreateMethod(name, bench.ltm_options);
     TruthEstimate est =
-        (*method)->Run(bench.data.facts, bench.data.claims);
+        (*method)->Score(bench.data.facts, bench.data.claims);
     rows.push_back(
         {name, EvaluateAtThreshold(est.probability, bench.eval_labels, 0.5)});
   }

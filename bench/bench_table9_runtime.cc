@@ -20,7 +20,7 @@ double TimeMethod(TruthMethod* method, const Dataset& data) {
   double total = 0.0;
   for (int rep = 0; rep < kRepeats; ++rep) {
     WallTimer timer;
-    TruthEstimate est = method->Run(data.facts, data.claims);
+    TruthEstimate est = method->Score(data.facts, data.claims);
     total += timer.ElapsedSeconds();
     if (est.probability.size() != data.facts.NumFacts()) return -1.0;
   }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "data/dataset.h"
 #include "ext/adversarial.h"
@@ -56,16 +57,27 @@ int main() {
 
   // Baseline: plain LTM without filtering.
   ltm::LatentTruthModel plain(opts.ltm);
-  ltm::TruthEstimate plain_est = plain.Run(ds.facts, ds.claims);
+  ltm::TruthEstimate plain_est = plain.Score(ds.facts, ds.claims);
   std::printf("plain LTM accepts %zu of %zu fabricated authors\n",
               count_fakes_accepted(plain_est.probability),
               static_cast<size_t>(gen.num_books / 2));
 
-  // Iterative filter.
-  ltm::ext::AdversarialResult result =
-      ltm::ext::RunAdversarialFilter(ds.facts, ds.claims, opts);
-  std::printf("filter ran %d round(s), removed %zu source(s):\n",
-              result.rounds, result.removed_sources.size());
+  // Iterative filter, reporting per-round progress through the context.
+  ltm::RunContext ctx;
+  ctx.on_progress = [](std::string_view stage, double fraction) {
+    std::fprintf(stderr, "  [%.0f%%] %.*s\n", fraction * 100.0,
+                 static_cast<int>(stage.size()), stage.data());
+  };
+  auto filtered = ltm::ext::RunAdversarialFilter(ds.facts, ds.claims, opts, ctx);
+  if (!filtered.ok()) {
+    std::fprintf(stderr, "filter failed: %s\n",
+                 filtered.status().ToString().c_str());
+    return 1;
+  }
+  const ltm::ext::AdversarialResult& result = *filtered;
+  std::printf("filter ran %d round(s) in %.2fs, removed %zu source(s):\n",
+              result.rounds, result.wall_seconds,
+              result.removed_sources.size());
   for (ltm::SourceId s : result.removed_sources) {
     std::printf("  - %s (specificity %.3f, precision %.3f)\n",
                 std::string(ds.raw.sources().Get(s)).c_str(),

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
 
   // Compare with voting at threshold 0.5.
   auto voting = ltm::CreateMethod("Voting");
-  ltm::TruthEstimate vote_est = (*voting)->Run(ds.facts, ds.claims);
+  ltm::TruthEstimate vote_est = (*voting)->Score(ds.facts, ds.claims);
 
   ltm::TablePrinter table(
       {"Method", "Precision", "Recall", "Accuracy", "F1"});

@@ -25,11 +25,17 @@ namespace {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: ltm_cli <raw.tsv> [--method NAME] [--threshold P]\n"
+      "usage: ltm_cli <raw.tsv> [--method SPEC] [--threshold P]\n"
       "               [--out truth.tsv] [--quality quality.tsv]\n"
       "               [--iterations N] [--seed S] [--labels labels.tsv]\n"
-      "methods: LTM LTMpos Voting TruthFinder HubAuthority AvgLog\n"
-      "         Investment PooledInvestment 3-Estimates\n");
+      "               [--deadline SECONDS] [--trace]\n"
+      "SPEC is a method name, optionally parameterized:\n"
+      "  LTM  \"LTM(iterations=200,seed=7)\"  \"TruthFinder(rho=0.5,gamma=0.3)\"\n"
+      "methods:");
+  for (const std::string& name : ltm::MethodNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
 }
 
 }  // namespace
@@ -41,13 +47,20 @@ int main(int argc, char** argv) {
   }
   std::string raw_path = argv[1];
   std::map<std::string, std::string> flags;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
       Usage();
       return 2;
     }
-    flags[key.substr(2)] = argv[i + 1];
+    // Value-less flags (e.g. --trace) are stored as "1".
+    const std::string flag_name = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      ++i;
+      flags[flag_name] = std::string(argv[i]);
+    } else {
+      flags[flag_name] = std::string("1");
+    }
   }
 
   auto loaded = ltm::LoadRawDatabaseFromTsv(raw_path);
@@ -84,12 +97,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  ltm::TruthEstimate est;
-  if (ltm::ToLower(method_name) == "ltm" && flags.count("quality")) {
-    // Run LTM with quality read-off when a quality report is requested.
-    ltm::LatentTruthModel model(opts);
-    ltm::SourceQuality quality;
-    est = model.RunWithQuality(ds.claims, &quality);
+  // One unified run path for every method: quality, convergence trace and
+  // deadline all flow through the RunContext.
+  ltm::RunContext ctx;
+  ctx.with_quality = flags.count("quality") > 0;
+  ctx.collect_trace = flags.count("trace") > 0;
+  if (flags.count("deadline")) {
+    ctx.deadline_seconds = std::atof(flags["deadline"].c_str());
+  }
+  auto run = (*method)->Run(ctx, ds.facts, ds.claims);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: %d iteration(s) in %.2fs%s\n",
+               (*method)->name().c_str(), run->iterations, run->wall_seconds,
+               run->converged ? "" : " (not converged)");
+  if (ctx.collect_trace) {
+    for (const ltm::IterationStat& stat : run->trace) {
+      std::fprintf(stderr, "  iter %4d  delta %.6f  t %.3fs\n",
+                   stat.iteration, stat.delta, stat.elapsed_seconds);
+    }
+  }
+
+  if (flags.count("quality")) {
+    if (!run->quality.has_value()) {
+      std::fprintf(stderr, "error: %s does not expose source quality\n",
+                   (*method)->name().c_str());
+      return 1;
+    }
+    const ltm::SourceQuality& quality = *run->quality;
     FILE* qf = std::fopen(flags["quality"].c_str(), "w");
     if (qf == nullptr) {
       std::fprintf(stderr, "error: cannot write %s\n",
@@ -106,9 +143,8 @@ int main(int argc, char** argv) {
     std::fclose(qf);
     std::fprintf(stderr, "source quality written to %s\n",
                  flags["quality"].c_str());
-  } else {
-    est = (*method)->Run(ds.facts, ds.claims);
   }
+  ltm::TruthEstimate est = std::move(run.value()).estimate;
 
   if (flags.count("out")) {
     ltm::Status st =

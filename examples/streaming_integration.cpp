@@ -56,7 +56,11 @@ int main() {
   ltm::ext::StreamingPipeline pipeline(opts);
   {
     ltm::WallTimer timer;
-    pipeline.Bootstrap(history);
+    ltm::Status st = pipeline.Bootstrap(history);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bootstrap failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
     std::printf("bootstrap batch fit on %zu claims: %.2fs\n\n",
                 history.claims.NumClaims(), timer.ElapsedSeconds());
   }
@@ -67,7 +71,13 @@ int main() {
     const ltm::Dataset& chunk = chunks[c];
 
     ltm::WallTimer inc_timer;
-    ltm::ext::ChunkResult r = pipeline.IngestChunk(chunk);
+    auto ingested = pipeline.IngestChunk(chunk);
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   ingested.status().ToString().c_str());
+      return 1;
+    }
+    const ltm::ext::ChunkResult& r = *ingested;
     const double inc_ms = inc_timer.ElapsedMillis();
     const double inc_acc =
         ltm::EvaluateAtThreshold(r.estimate.probability, chunk.labels, 0.5)
@@ -76,7 +86,7 @@ int main() {
     // Alternative: full batch LTM on this chunk alone.
     ltm::WallTimer batch_timer;
     ltm::LatentTruthModel batch(opts.ltm);
-    ltm::TruthEstimate batch_est = batch.Run(chunk.facts, chunk.claims);
+    ltm::TruthEstimate batch_est = batch.Score(chunk.facts, chunk.claims);
     const double batch_ms = batch_timer.ElapsedMillis();
     const double batch_acc =
         ltm::EvaluateAtThreshold(batch_est.probability, chunk.labels, 0.5)
@@ -90,6 +100,19 @@ int main() {
                   ltm::FormatDouble(batch_ms, 1), r.refit ? "yes" : ""});
   }
   table.Print();
+
+  // The same pipeline through the generic capability interface: any
+  // StreamingTruthMethod supports Observe / Estimate / AccumulatedPriors.
+  ltm::StreamingTruthMethod& stream = pipeline;
+  auto last = stream.Estimate();
+  ltm::UpdatedPriors priors = stream.AccumulatedPriors();
+  if (last.ok()) {
+    std::printf(
+        "\n%s served %zu chunks; last estimate covers %zu facts; "
+        "accumulated priors span %zu sources\n",
+        stream.name().c_str(), pipeline.num_chunks_ingested(),
+        last->estimate.probability.size(), priors.alpha0.size());
+  }
   std::printf(
       "\nLTMinc resolves each chunk in O(claims) without sampling; batch\n"
       "re-fitting per chunk is slower and no more accurate on small\n"

@@ -7,18 +7,27 @@
 namespace ltm {
 namespace ext {
 
-AdversarialResult RunAdversarialFilter(const FactTable& facts,
-                                       const ClaimTable& claims,
-                                       const AdversarialOptions& options) {
+Result<AdversarialResult> RunAdversarialFilter(const FactTable& facts,
+                                               const ClaimTable& claims,
+                                               const AdversarialOptions& options,
+                                               const RunContext& ctx) {
+  RunObserver obs(ctx, "AdversarialFilter");
   AdversarialResult result;
   std::vector<uint8_t> removed(claims.NumSources(), 0);
   ClaimTable current = claims;
   LatentTruthModel model(options.ltm);
 
   for (int round = 0; round < options.max_rounds; ++round) {
+    LTM_RETURN_IF_ERROR(obs.Check());
     ++result.rounds;
-    SourceQuality quality;
-    result.estimate = model.RunWithQuality(current, &quality);
+    RunContext fit_ctx = obs.NestedContext();
+    fit_ctx.with_quality = true;
+    fit_ctx.seed = ctx.seed;
+    Result<TruthResult> fit = model.Run(fit_ctx, facts, current);
+    if (!fit.ok()) return fit.status();
+    result.estimate = std::move(fit->estimate);
+    SourceQuality quality = std::move(*fit->quality);
+    obs.Progress(static_cast<double>(round + 1) / options.max_rounds);
     if (round == 0) {
       result.quality = quality;
     } else {
@@ -73,6 +82,7 @@ AdversarialResult RunAdversarialFilter(const FactTable& facts,
     }
     if (!has_support) result.estimate.probability[f] = 0.0;
   }
+  result.wall_seconds = obs.ElapsedSeconds();
   return result;
 }
 

@@ -32,14 +32,18 @@ struct AdversarialResult {
   /// Sources removed as adversarial, in removal order.
   std::vector<SourceId> removed_sources;
   int rounds = 0;
+  /// Total wall-clock time across all rounds in seconds.
+  double wall_seconds = 0.0;
 };
 
 /// Runs the iterative filter. Claims of removed sources are deleted
 /// between rounds (facts keep their ids; facts left with no claims score
-/// at the prior mean).
-AdversarialResult RunAdversarialFilter(const FactTable& facts,
-                                       const ClaimTable& claims,
-                                       const AdversarialOptions& options);
+/// at the prior mean). The context's cancel/deadline interrupt between
+/// LTM refits (Cancelled / DeadlineExceeded); its on_progress callback
+/// reports completed rounds.
+Result<AdversarialResult> RunAdversarialFilter(
+    const FactTable& facts, const ClaimTable& claims,
+    const AdversarialOptions& options, const RunContext& ctx = RunContext());
 
 }  // namespace ext
 }  // namespace ltm

@@ -1,6 +1,11 @@
 #include "ext/streaming.h"
 
+#include <memory>
+#include <string>
+#include <utility>
+
 #include "common/logging.h"
+#include "truth/registry.h"
 
 namespace ltm {
 namespace ext {
@@ -19,49 +24,128 @@ void MergeRaw(const RawDatabase& src, RawDatabase* dst) {
 }  // namespace
 
 StreamingPipeline::StreamingPipeline(StreamingOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), serving_(options_.ltm) {}
 
-void StreamingPipeline::Bootstrap(const Dataset& history) {
+Result<TruthResult> StreamingPipeline::Run(const RunContext& ctx,
+                                           const FactTable& facts,
+                                           const ClaimTable& claims) const {
+  return serving_.Run(ctx, facts, claims);
+}
+
+Status StreamingPipeline::Bootstrap(const Dataset& history,
+                                    const RunContext& ctx) {
   // Keep the shared source id space: intern history's sources first.
+  // Re-merging on a retried bootstrap is harmless: RawDatabase dedups.
   for (const std::string& s : history.raw.sources().strings()) {
     cumulative_.mutable_sources().Intern(s);
   }
   MergeRaw(history.raw, &cumulative_);
-  Refit();
+  LTM_RETURN_IF_ERROR(Refit(ctx));
   bootstrapped_ = true;
+  return Status::OK();
 }
 
-ChunkResult StreamingPipeline::IngestChunk(const Dataset& chunk) {
-  ChunkResult result;
+Status StreamingPipeline::Observe(const Dataset& chunk, const RunContext& ctx) {
+  // One observer spans the whole ingest so the caller's deadline budget
+  // covers scoring *and* refitting; each nested run gets the remainder.
+  RunObserver obs(ctx, "StreamingLTM");
+  last_refit_ = false;
   if (!bootstrapped_) {
-    // No quality yet: bootstrap from this very chunk (cold start).
-    Bootstrap(chunk);
+    // No quality yet: bootstrap from this very chunk (cold start). The
+    // refit absorbs the chunk's evidence, so score it statelessly rather
+    // than accumulating it into serving_ a second time.
+    LTM_RETURN_IF_ERROR(Bootstrap(chunk, obs.NestedContext()));
+    LTM_ASSIGN_OR_RETURN(
+        last_result_,
+        serving_.Run(obs.NestedContext(), chunk.facts, chunk.claims));
+    has_estimate_ = true;
     chunks_.push_back(chunk.claims.NumClaims());
-    LtmIncremental inc(quality_, options_.ltm);
-    result.estimate = inc.Run(chunk.facts, chunk.claims);
-    result.refit = true;
-    return result;
+    last_refit_ = true;
+    return Status::OK();
   }
-  LtmIncremental inc(quality_, options_.ltm);
-  result.estimate = inc.Run(chunk.facts, chunk.claims);
+  // Score + accumulate the chunk's expected counts under the current
+  // quality, then cache its result for Estimate().
+  LTM_RETURN_IF_ERROR(serving_.Observe(chunk, obs.NestedContext()));
+  LTM_ASSIGN_OR_RETURN(last_result_, serving_.Estimate());
+  has_estimate_ = true;
   MergeRaw(chunk.raw, &cumulative_);
   chunks_.push_back(chunk.claims.NumClaims());
   if (options_.refit_every_chunks > 0 &&
       chunks_.size() % options_.refit_every_chunks == 0) {
-    Refit();
-    result.refit = true;
+    Status refit = Refit(obs.NestedContext());
+    if (!refit.ok()) {
+      // Roll the chunk count back so a retried Observe does not double
+      // count it (the raw merge is deduped; serving_'s transient double
+      // accumulation is discarded by the next successful refit).
+      chunks_.pop_back();
+      return refit;
+    }
+    last_refit_ = true;
   }
+  return Status::OK();
+}
+
+Result<TruthResult> StreamingPipeline::Estimate(const RunContext& ctx) const {
+  (void)ctx;
+  if (!has_estimate_) {
+    return Status::FailedPrecondition(
+        "StreamingLTM: Estimate() before any Observe(); ingest a chunk first");
+  }
+  return last_result_;
+}
+
+UpdatedPriors StreamingPipeline::AccumulatedPriors() const {
+  return serving_.AccumulatedPriors();
+}
+
+Result<ChunkResult> StreamingPipeline::IngestChunk(const Dataset& chunk,
+                                                   const RunContext& ctx) {
+  LTM_RETURN_IF_ERROR(Observe(chunk, ctx));
+  ChunkResult result;
+  result.estimate = last_result_.estimate;
+  result.refit = last_refit_;
   return result;
 }
 
-void StreamingPipeline::Refit() {
+Status StreamingPipeline::Refit(const RunContext& ctx) {
   FactTable facts = FactTable::Build(cumulative_);
   ClaimTable claims = ClaimTable::Build(cumulative_, facts);
   LatentTruthModel model(options_.ltm);
-  model.RunWithQuality(claims, &quality_);
+  // `ctx` already carries the caller's remaining budget (Observe derives
+  // it via NestedContext), so it is copied through as-is.
+  RunContext refit_ctx;
+  refit_ctx.cancel = ctx.cancel;
+  refit_ctx.deadline_seconds = ctx.deadline_seconds;
+  refit_ctx.with_quality = true;
+  refit_ctx.on_progress = ctx.on_progress;
+  LTM_ASSIGN_OR_RETURN(TruthResult result, model.Run(refit_ctx, facts, claims));
+  quality_ = std::move(*result.quality);
+  // The refit absorbed everything serving_ had accumulated; restart it
+  // from the fresh read-off.
+  serving_ = LtmIncremental(quality_, options_.ltm);
   LTM_LOG(Info) << "streaming refit on " << claims.NumClaims() << " claims, "
                 << quality_.NumSources() << " sources";
+  return Status::OK();
 }
+
+LTM_REGISTER_TRUTH_METHOD(
+    "StreamingLTM", {"streamingpipeline"},
+    [](const MethodOptions& opts, const LtmOptions& base)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      StreamingOptions options;
+      LTM_ASSIGN_OR_RETURN(
+          const int refit_every,
+          opts.GetInt("refit_every",
+                      static_cast<int>(options.refit_every_chunks)));
+      if (refit_every < 0) {
+        return Status::InvalidArgument(
+            "StreamingLTM refit_every must be >= 0, got " +
+            std::to_string(refit_every));
+      }
+      options.refit_every_chunks = static_cast<size_t>(refit_every);
+      LTM_ASSIGN_OR_RETURN(options.ltm, LtmOptionsFromSpec(opts, base));
+      return std::unique_ptr<TruthMethod>(new StreamingPipeline(options));
+    });
 
 }  // namespace ext
 }  // namespace ltm

@@ -8,6 +8,7 @@
 #include "truth/ltm.h"
 #include "truth/ltm_incremental.h"
 #include "truth/options.h"
+#include "truth/streaming_method.h"
 
 namespace ltm {
 namespace ext {
@@ -29,24 +30,60 @@ struct ChunkResult {
   bool refit = false;
 };
 
-/// Incremental truth-finding pipeline. Chunks must share a source
-/// vocabulary (same SourceId space, e.g. produced by Dataset splits or a
-/// shared interner); entities may be entirely new in each chunk.
+/// Incremental truth-finding pipeline: the StreamingTruthMethod protocol
+/// backed by Eq. 3 serving plus periodic batch refits. Chunks must share a
+/// source vocabulary (same SourceId space, e.g. produced by Dataset splits
+/// or a shared interner); entities may be entirely new in each chunk.
 ///
 ///   StreamingPipeline p(options);
 ///   p.Bootstrap(history);              // initial batch fit
-///   auto r = p.IngestChunk(chunk1);    // Eq. 3 prediction, O(claims)
+///   p.Observe(chunk1);                 // Eq. 3 prediction, O(claims)
+///   auto r = p.Estimate();             // chunk1's TruthResult
 ///   ...
-class StreamingPipeline {
+///
+/// Also registered as "StreamingLTM" (spec options: refit_every plus the
+/// LTM keys), so engine harnesses can create it by name and downcast via
+/// AsStreaming().
+class StreamingPipeline : public StreamingTruthMethod {
  public:
   explicit StreamingPipeline(StreamingOptions options);
 
+  std::string name() const override { return "StreamingLTM"; }
+
+  /// Scores a one-off claim table under the current quality (Eq. 3)
+  /// without ingesting it. Before any Bootstrap/Observe every source
+  /// scores at its prior mean.
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
+
   /// Fits batch LTM on `history` and installs the learned source quality.
-  void Bootstrap(const Dataset& history);
+  /// The context's cancel/deadline interrupt the fit; on error the
+  /// pipeline stays un-bootstrapped and Bootstrap may be retried.
+  Status Bootstrap(const Dataset& history,
+                   const RunContext& ctx = RunContext());
 
   /// Scores `chunk` with LTMinc under the current quality, accumulates the
-  /// chunk for future refits, and refits per `refit_every_chunks`.
-  ChunkResult IngestChunk(const Dataset& chunk);
+  /// chunk for future refits, and refits per `refit_every_chunks`. The
+  /// chunk's TruthResult is available from Estimate() until the next
+  /// Observe. The context's cancel/deadline interrupt the refit; an
+  /// interrupted Observe may be retried with the same chunk (the raw
+  /// merge is idempotent — RawDatabase dedups — and the chunk is only
+  /// counted once).
+  Status Observe(const Dataset& chunk,
+                 const RunContext& ctx = RunContext()) override;
+
+  /// Result for the most recently observed chunk.
+  Result<TruthResult> Estimate(
+      const RunContext& ctx = RunContext()) const override;
+
+  /// Priors folded with all evidence so far (§5.4): the latest batch
+  /// read-off (which covers every chunk absorbed by a refit) plus the
+  /// chunks observed since that refit.
+  UpdatedPriors AccumulatedPriors() const override;
+
+  /// Observe + the chunk estimate and refit flag in one call.
+  Result<ChunkResult> IngestChunk(const Dataset& chunk,
+                                  const RunContext& ctx = RunContext());
 
   /// Quality currently used for incremental predictions.
   const SourceQuality& quality() const { return quality_; }
@@ -54,7 +91,9 @@ class StreamingPipeline {
   size_t num_chunks_ingested() const { return chunks_.size(); }
 
  private:
-  void Refit();
+  /// Batch-fits on cumulative_, installs the quality, and resets serving_
+  /// (whose accumulated chunk evidence the refit just absorbed).
+  Status Refit(const RunContext& ctx);
 
   StreamingOptions options_;
   SourceQuality quality_;
@@ -62,6 +101,14 @@ class StreamingPipeline {
   // Cumulative raw data (history + chunks) for periodic batch refits.
   RawDatabase cumulative_;
   std::vector<size_t> chunks_;  // claim counts per ingested chunk (stats)
+
+  /// Persistent Eq. 3 server: scores chunks under the current quality and
+  /// accumulates their expected counts between refits.
+  LtmIncremental serving_;
+
+  bool has_estimate_ = false;
+  TruthResult last_result_;
+  bool last_refit_ = false;
 };
 
 }  // namespace ext

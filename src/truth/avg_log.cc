@@ -2,12 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
+
+#include "truth/registry.h"
 
 namespace ltm {
 
-TruthEstimate AvgLog::Run(const FactTable& facts,
-                          const ClaimTable& claims) const {
+namespace {
+
+Status ValidateIterations(int iterations) {
+  if (iterations <= 0) {
+    return Status::InvalidArgument("AvgLog iterations must be > 0, got " +
+                                   std::to_string(iterations));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TruthResult> AvgLog::Run(const RunContext& ctx, const FactTable& facts,
+                                const ClaimTable& claims) const {
   (void)facts;
+  LTM_RETURN_IF_ERROR(ValidateIterations(iterations_));
+  RunObserver obs(ctx, name());
   const size_t num_facts = claims.NumFacts();
   const size_t num_sources = claims.NumSources();
 
@@ -19,6 +37,7 @@ TruthEstimate AvgLog::Run(const FactTable& facts,
 
   std::vector<double> belief(num_facts, 1.0);
   std::vector<double> trust(num_sources, 0.0);
+  std::vector<double> prev_belief;
 
   auto max_normalize = [](std::vector<double>* v) {
     double m = 0.0;
@@ -27,7 +46,10 @@ TruthEstimate AvgLog::Run(const FactTable& facts,
     for (double& x : *v) x /= m;
   };
 
+  TruthResult result;
   for (int iter = 0; iter < iterations_; ++iter) {
+    LTM_RETURN_IF_ERROR(obs.Check());
+    prev_belief = belief;
     std::fill(trust.begin(), trust.end(), 0.0);
     for (const Claim& c : claims.claims()) {
       if (c.observation) trust[c.source] += belief[c.fact];
@@ -44,11 +66,27 @@ TruthEstimate AvgLog::Run(const FactTable& facts,
       if (c.observation) belief[c.fact] += trust[c.source];
     }
     max_normalize(&belief);
+
+    double max_delta = 0.0;
+    for (size_t f = 0; f < num_facts; ++f) {
+      max_delta = std::max(max_delta, std::fabs(belief[f] - prev_belief[f]));
+    }
+    obs.OnIteration(iter, max_delta, &result);
+    obs.Progress(static_cast<double>(iter + 1) / iterations_);
   }
 
-  TruthEstimate est;
-  est.probability = std::move(belief);
-  return est;
+  result.estimate.probability = std::move(belief);
+  obs.Finish(&result, iterations_, /*converged=*/true);
+  return result;
 }
+
+LTM_REGISTER_TRUTH_METHOD(
+    "AvgLog", {},
+    [](const MethodOptions& opts, const LtmOptions&)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      LTM_ASSIGN_OR_RETURN(const int iterations, opts.GetInt("iterations", 20));
+      LTM_RETURN_IF_ERROR(ValidateIterations(iterations));
+      return std::unique_ptr<TruthMethod>(new AvgLog(iterations));
+    });
 
 }  // namespace ltm

@@ -19,8 +19,8 @@ class AvgLog : public TruthMethod {
 
   std::string name() const override { return "AvgLog"; }
 
-  TruthEstimate Run(const FactTable& facts,
-                    const ClaimTable& claims) const override;
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
 
  private:
   int iterations_;

@@ -1,9 +1,12 @@
 #include "truth/exact_inference.h"
 
 #include <cmath>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/math_util.h"
+#include "truth/registry.h"
 
 namespace ltm {
 
@@ -71,5 +74,34 @@ Result<std::vector<double>> ExactPosterior(const ClaimTable& claims,
   }
   return marginal;
 }
+
+Result<TruthResult> ExactLatentTruthModel::Run(const RunContext& ctx,
+                                               const FactTable& facts,
+                                               const ClaimTable& claims) const {
+  (void)facts;
+  RunObserver obs(ctx, name());
+  LTM_RETURN_IF_ERROR(obs.Check());
+  TruthResult result;
+  LTM_ASSIGN_OR_RETURN(result.estimate.probability,
+                       ExactPosterior(claims, options_, max_facts_));
+  obs.Finish(&result, /*iterations=*/0, /*converged=*/true);
+  return result;
+}
+
+LTM_REGISTER_TRUTH_METHOD(
+    "ExactLTM", {"exact"},
+    [](const MethodOptions& opts, const LtmOptions& base)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      LTM_ASSIGN_OR_RETURN(const int max_facts, opts.GetInt("max_facts", 16));
+      if (max_facts <= 0 || max_facts > 30) {
+        return Status::InvalidArgument(
+            "ExactLTM max_facts must be in [1, 30], got " +
+            std::to_string(max_facts));
+      }
+      LTM_ASSIGN_OR_RETURN(const LtmOptions options,
+                           LtmOptionsFromSpec(opts, base));
+      return std::unique_ptr<TruthMethod>(new ExactLatentTruthModel(
+          options, static_cast<size_t>(max_facts)));
+    });
 
 }  // namespace ltm

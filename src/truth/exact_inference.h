@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "data/claim_table.h"
 #include "truth/options.h"
+#include "truth/truth_method.h"
 
 namespace ltm {
 
@@ -32,6 +33,26 @@ Result<std::vector<double>> ExactPosterior(const ClaimTable& claims,
 double LogCollapsedJoint(const ClaimTable& claims,
                          const std::vector<uint8_t>& truth,
                          const LtmOptions& options);
+
+/// ExactPosterior behind the unified TruthMethod interface (registry name
+/// "ExactLTM"): the oracle becomes directly comparable with the sampler in
+/// any harness that drives methods by name. InvalidArgument beyond
+/// `max_facts` — it is an oracle for tiny instances, not a scalable method.
+class ExactLatentTruthModel : public TruthMethod {
+ public:
+  explicit ExactLatentTruthModel(LtmOptions options = LtmOptions(),
+                                 size_t max_facts = 16)
+      : options_(options), max_facts_(max_facts) {}
+
+  std::string name() const override { return "ExactLTM"; }
+
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
+
+ private:
+  LtmOptions options_;
+  size_t max_facts_;
+};
 
 }  // namespace ltm
 

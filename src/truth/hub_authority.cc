@@ -2,17 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
+
+#include "truth/registry.h"
 
 namespace ltm {
 
-TruthEstimate HubAuthority::Run(const FactTable& facts,
-                                const ClaimTable& claims) const {
+namespace {
+
+Status ValidateIterations(int iterations) {
+  if (iterations <= 0) {
+    return Status::InvalidArgument("HubAuthority iterations must be > 0, got " +
+                                   std::to_string(iterations));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TruthResult> HubAuthority::Run(const RunContext& ctx,
+                                      const FactTable& facts,
+                                      const ClaimTable& claims) const {
   (void)facts;
+  LTM_RETURN_IF_ERROR(ValidateIterations(iterations_));
+  RunObserver obs(ctx, name());
   const size_t num_facts = claims.NumFacts();
   const size_t num_sources = claims.NumSources();
 
   std::vector<double> hub(num_sources, 1.0);
   std::vector<double> auth(num_facts, 1.0);
+  std::vector<double> prev_auth;
 
   auto l2_normalize = [](std::vector<double>* v) {
     double norm = 0.0;
@@ -22,7 +42,10 @@ TruthEstimate HubAuthority::Run(const FactTable& facts,
     for (double& x : *v) x /= norm;
   };
 
+  TruthResult result;
   for (int iter = 0; iter < iterations_; ++iter) {
+    LTM_RETURN_IF_ERROR(obs.Check());
+    prev_auth = auth;
     std::fill(auth.begin(), auth.end(), 0.0);
     for (const Claim& c : claims.claims()) {
       if (c.observation) auth[c.fact] += hub[c.source];
@@ -33,18 +56,34 @@ TruthEstimate HubAuthority::Run(const FactTable& facts,
       if (c.observation) hub[c.source] += auth[c.fact];
     }
     l2_normalize(&hub);
+
+    double max_delta = 0.0;
+    for (size_t f = 0; f < num_facts; ++f) {
+      max_delta = std::max(max_delta, std::fabs(auth[f] - prev_auth[f]));
+    }
+    obs.OnIteration(iter, max_delta, &result);
+    obs.Progress(static_cast<double>(iter + 1) / iterations_);
   }
 
   double max_auth = 0.0;
   for (double a : auth) max_auth = std::max(max_auth, a);
-  TruthEstimate est;
-  est.probability.resize(num_facts, 0.0);
+  result.estimate.probability.assign(num_facts, 0.0);
   if (max_auth > 0.0) {
     for (FactId f = 0; f < num_facts; ++f) {
-      est.probability[f] = auth[f] / max_auth;
+      result.estimate.probability[f] = auth[f] / max_auth;
     }
   }
-  return est;
+  obs.Finish(&result, iterations_, /*converged=*/true);
+  return result;
 }
+
+LTM_REGISTER_TRUTH_METHOD(
+    "HubAuthority", {"hits"},
+    [](const MethodOptions& opts, const LtmOptions&)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      LTM_ASSIGN_OR_RETURN(const int iterations, opts.GetInt("iterations", 50));
+      LTM_RETURN_IF_ERROR(ValidateIterations(iterations));
+      return std::unique_ptr<TruthMethod>(new HubAuthority(iterations));
+    });
 
 }  // namespace ltm

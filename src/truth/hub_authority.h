@@ -18,8 +18,8 @@ class HubAuthority : public TruthMethod {
 
   std::string name() const override { return "HubAuthority"; }
 
-  TruthEstimate Run(const FactTable& facts,
-                    const ClaimTable& claims) const override;
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
 
  private:
   int iterations_;

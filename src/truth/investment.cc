@@ -2,14 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "common/math_util.h"
+#include "truth/registry.h"
 
 namespace ltm {
 
-TruthEstimate Investment::Run(const FactTable& facts,
-                              const ClaimTable& claims) const {
+namespace {
+
+Status ValidateParams(int iterations, double exponent) {
+  if (iterations <= 0) {
+    return Status::InvalidArgument("Investment iterations must be > 0, got " +
+                                   std::to_string(iterations));
+  }
+  if (!std::isfinite(exponent) || exponent <= 0.0) {
+    return Status::InvalidArgument("Investment exponent must be > 0, got " +
+                                   std::to_string(exponent));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TruthResult> Investment::Run(const RunContext& ctx,
+                                    const FactTable& facts,
+                                    const ClaimTable& claims) const {
   (void)facts;
+  LTM_RETURN_IF_ERROR(ValidateParams(iterations_, exponent_));
+  RunObserver obs(ctx, name());
   const size_t num_facts = claims.NumFacts();
   const size_t num_sources = claims.NumSources();
 
@@ -27,7 +49,9 @@ TruthEstimate Investment::Run(const FactTable& facts,
   std::vector<double> trust(num_sources, 1.0);
   std::vector<double> invested(num_facts, 0.0);
 
+  TruthResult result;
   for (int iter = 0; iter < iterations_; ++iter) {
+    LTM_RETURN_IF_ERROR(obs.Check());
     // Sources earn belief back pro-rata to their investment share, using
     // the previous round's beliefs.
     std::fill(invested.begin(), invested.end(), 0.0);
@@ -44,6 +68,10 @@ TruthEstimate Investment::Run(const FactTable& facts,
       if (invested[c.fact] > 0.0) {
         updated[c.source] += belief[c.fact] * share / invested[c.fact];
       }
+    }
+    double max_delta = 0.0;
+    for (SourceId s = 0; s < num_sources; ++s) {
+      max_delta = std::max(max_delta, std::fabs(updated[s] - trust[s]));
     }
     trust = std::move(updated);
 
@@ -64,18 +92,31 @@ TruthEstimate Investment::Run(const FactTable& facts,
       for (double& b : belief) b *= 1e-50;
       for (double& t : trust) t *= 1e-50;
     }
+    obs.OnIteration(iter, max_delta, &result);
+    obs.Progress(static_cast<double>(iter + 1) / iterations_);
   }
 
   // Monotone squash x/(1+x): preserves the ranking (so AUC is meaningful)
   // while mapping the unbounded scores into [0, 1) with everything at or
   // above one vote landing >= 0.5 — the paper's observed thresholding
   // behaviour.
-  TruthEstimate est;
-  est.probability.resize(num_facts);
+  result.estimate.probability.resize(num_facts);
   for (FactId f = 0; f < num_facts; ++f) {
-    est.probability[f] = belief[f] / (1.0 + belief[f]);
+    result.estimate.probability[f] = belief[f] / (1.0 + belief[f]);
   }
-  return est;
+  obs.Finish(&result, iterations_, /*converged=*/true);
+  return result;
 }
+
+LTM_REGISTER_TRUTH_METHOD(
+    "Investment", {},
+    [](const MethodOptions& opts, const LtmOptions&)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      LTM_ASSIGN_OR_RETURN(const int iterations, opts.GetInt("iterations", 10));
+      LTM_ASSIGN_OR_RETURN(double exponent, opts.GetDouble("g", 1.2));
+      LTM_ASSIGN_OR_RETURN(exponent, opts.GetDouble("exponent", exponent));
+      LTM_RETURN_IF_ERROR(ValidateParams(iterations, exponent));
+      return std::unique_ptr<TruthMethod>(new Investment(iterations, exponent));
+    });
 
 }  // namespace ltm

@@ -26,8 +26,8 @@ class Investment : public TruthMethod {
 
   std::string name() const override { return "Investment"; }
 
-  TruthEstimate Run(const FactTable& facts,
-                    const ClaimTable& claims) const override;
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
 
  private:
   int iterations_;

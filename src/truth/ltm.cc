@@ -1,9 +1,13 @@
 #include "truth/ltm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "common/logging.h"
+#include "truth/registry.h"
 
 namespace ltm {
 
@@ -48,7 +52,8 @@ double LtmGibbs::LogConditional(FactId f, int i, bool exclude_self) const {
   return lp;
 }
 
-void LtmGibbs::RunSweep() {
+int LtmGibbs::RunSweep() {
+  int flips = 0;
   for (FactId f = 0; f < truth_.size(); ++f) {
     const int cur = truth_[f];
     const int other = 1 - cur;
@@ -57,6 +62,7 @@ void LtmGibbs::RunSweep() {
     // p(flip) = p_other / (p_cur + p_other) = sigmoid(lp_other - lp_cur).
     const double p_flip = 1.0 / (1.0 + std::exp(lp_cur - lp_other));
     if (rng_.Uniform() < p_flip) {
+      ++flips;
       truth_[f] = static_cast<uint8_t>(other);
       for (const Claim& c : claims_.ClaimsOfFact(f)) {
         const int j = c.observation ? 1 : 0;
@@ -65,6 +71,7 @@ void LtmGibbs::RunSweep() {
       }
     }
   }
+  return flips;
 }
 
 void LtmGibbs::AccumulateSample() {
@@ -116,36 +123,100 @@ ClaimTable LatentTruthModel::FilterClaims(const ClaimTable& claims) const {
   return claims.PositiveOnly();
 }
 
-TruthEstimate LatentTruthModel::Run(const FactTable& facts,
-                                    const ClaimTable& claims) const {
+Result<TruthResult> LatentTruthModel::Run(const RunContext& ctx,
+                                          const FactTable& facts,
+                                          const ClaimTable& claims) const {
   (void)facts;
-  if (options_.positive_claims_only) {
-    ClaimTable positive = FilterClaims(claims);
-    LtmGibbs sampler(positive, options_);
-    return sampler.Run();
+  LtmOptions opts = options_;
+  if (ctx.seed.has_value()) opts.seed = *ctx.seed;
+  LTM_RETURN_IF_ERROR(opts.Validate());
+
+  RunObserver obs(ctx, name());
+  const ClaimTable* table = &claims;
+  ClaimTable positive;
+  if (opts.positive_claims_only) {
+    positive = FilterClaims(claims);
+    table = &positive;
   }
-  LtmGibbs sampler(claims, options_);
-  return sampler.Run();
+
+  // Construction plus the explicit Initialize() below replays the exact
+  // RNG stream of LtmGibbs::Run (whose constructor also initializes), so
+  // posteriors are bit-identical to the low-level sampler for a seed.
+  LtmGibbs sampler(*table, opts);
+  sampler.Initialize();
+
+  TruthResult result;
+  const double num_facts = std::max<double>(1.0, sampler.truth().size());
+  TruthEstimate state;  // reused buffer for on_state reporting
+  for (int iter = 0; iter < opts.iterations; ++iter) {
+    LTM_RETURN_IF_ERROR(obs.Check());
+    const int flips = sampler.RunSweep();
+    if (iter >= opts.burnin && (iter - opts.burnin) % opts.sample_gap == 0) {
+      sampler.AccumulateSample();
+    }
+    obs.OnIteration(iter, flips / num_facts, &result);
+    if (ctx.on_state) {
+      state.probability.assign(sampler.truth().begin(), sampler.truth().end());
+      obs.OnState(iter, state);
+    }
+    obs.Progress(static_cast<double>(iter + 1) / opts.iterations);
+  }
+
+  result.estimate = sampler.PosteriorMean();
+  if (ctx.with_quality) {
+    // Quality is read off the full claim table (§5.3) so that negative
+    // claims inform specificity even for LTMpos.
+    result.quality = EstimateSourceQuality(
+        claims, result.estimate.probability, opts.alpha0, opts.alpha1);
+  }
+  obs.Finish(&result, opts.iterations, /*converged=*/true);
+  return result;
 }
 
 TruthEstimate LatentTruthModel::RunWithQuality(const ClaimTable& claims,
                                                SourceQuality* quality) const {
-  TruthEstimate est;
-  if (options_.positive_claims_only) {
-    ClaimTable positive = FilterClaims(claims);
-    LtmGibbs sampler(positive, options_);
-    est = sampler.Run();
-  } else {
-    LtmGibbs sampler(claims, options_);
-    est = sampler.Run();
+  RunContext ctx;
+  ctx.with_quality = quality != nullptr;
+  FactTable unused;
+  Result<TruthResult> result = Run(ctx, unused, claims);
+  if (!result.ok()) {
+    LTM_LOG(Warning) << name() << "::RunWithQuality failed ("
+                     << result.status().ToString()
+                     << "); scoring every fact at the 0.5 prior";
+    TruthEstimate prior;
+    prior.probability.assign(claims.NumFacts(), 0.5);
+    return prior;
   }
   if (quality != nullptr) {
-    // Quality is read off the full claim table (§5.3) so that negative
-    // claims inform specificity even for LTMpos.
-    *quality = EstimateSourceQuality(claims, est.probability, options_.alpha0,
-                                     options_.alpha1);
+    *quality = std::move(*result->quality);
   }
-  return est;
+  return std::move(*result).estimate;
 }
+
+namespace {
+
+/// Shared LTM/LTMpos factory: seeds the ablation flag, applies spec
+/// options (which may still override it explicitly), validates.
+Result<std::unique_ptr<TruthMethod>> MakeLtm(const MethodOptions& opts,
+                                             LtmOptions base,
+                                             bool positive_claims_only) {
+  base.positive_claims_only = positive_claims_only;
+  LTM_ASSIGN_OR_RETURN(const LtmOptions options, LtmOptionsFromSpec(opts, base));
+  return std::unique_ptr<TruthMethod>(new LatentTruthModel(options));
+}
+
+}  // namespace
+
+LTM_REGISTER_TRUTH_METHOD(
+    "LTM", {"latenttruthmodel"},
+    [](const MethodOptions& opts, const LtmOptions& base) {
+      return MakeLtm(opts, base, /*positive_claims_only=*/false);
+    });
+
+LTM_REGISTER_TRUTH_METHOD(
+    "LTMpos", {},
+    [](const MethodOptions& opts, const LtmOptions& base) {
+      return MakeLtm(opts, base, /*positive_claims_only=*/true);
+    });
 
 }  // namespace ltm

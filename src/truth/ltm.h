@@ -34,8 +34,11 @@ class LtmGibbs {
   /// Randomly (re-)initializes the truth assignment and rebuilds counts.
   void Initialize();
 
-  /// Runs one full Gibbs sweep over all facts (Eq. 2 per fact).
-  void RunSweep();
+  /// Runs one full Gibbs sweep over all facts (Eq. 2 per fact). Returns
+  /// the number of facts whose truth flipped — the sampler's natural
+  /// convergence/mixing measure (reported as IterationStat::delta by the
+  /// TruthMethod wrapper, as a fraction of facts).
+  int RunSweep();
 
   /// Adds the current truth assignment into the running posterior mean.
   void AccumulateSample();
@@ -85,8 +88,17 @@ class LatentTruthModel : public TruthMethod {
   explicit LatentTruthModel(LtmOptions options = LtmOptions());
 
   std::string name() const override;
-  TruthEstimate Run(const FactTable& facts,
-                    const ClaimTable& claims) const override;
+
+  /// Steps the Gibbs sampler under `ctx`: the chain is seeded from
+  /// `ctx.seed` (falling back to the options seed) and visits sweeps in
+  /// exactly the LtmGibbs::Run order, so posteriors are bit-identical to
+  /// the low-level sampler for the same seed. Per sweep: checks
+  /// cancellation/deadline, reports the flip fraction as the convergence
+  /// delta, and (with ctx.on_state) the hard truth assignment. With
+  /// ctx.with_quality the §5.3 quality read-off is attached, computed from
+  /// the full claim table even for the LTMpos ablation.
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
 
   /// Runs and additionally reads off two-sided source quality (§5.3) from
   /// the posterior truth probabilities.

@@ -1,13 +1,24 @@
 #include "truth/ltm_incremental.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "common/math_util.h"
+#include "truth/registry.h"
 
 namespace ltm {
 
 LtmIncremental::LtmIncremental(SourceQuality quality, LtmOptions options)
     : quality_(std::move(quality)), options_(std::move(options)) {}
+
+LtmIncremental::LtmIncremental(LtmOptions options)
+    : options_(std::move(options)) {}
+
+void LtmIncremental::SetQuality(SourceQuality quality) {
+  quality_ = std::move(quality);
+}
 
 double LtmIncremental::Phi(SourceId s, int truth_value) const {
   if (s < quality_.NumSources()) {
@@ -18,10 +29,14 @@ double LtmIncremental::Phi(SourceId s, int truth_value) const {
   return truth_value == 1 ? options_.alpha1.Mean() : options_.alpha0.Mean();
 }
 
-TruthEstimate LtmIncremental::Run(const FactTable& facts,
-                                  const ClaimTable& claims) const {
+Result<TruthResult> LtmIncremental::Run(const RunContext& ctx,
+                                        const FactTable& facts,
+                                        const ClaimTable& claims) const {
   (void)facts;
-  TruthEstimate est;
+  RunObserver obs(ctx, name());
+  LTM_RETURN_IF_ERROR(obs.Check());
+  TruthResult result;
+  TruthEstimate& est = result.estimate;
   est.probability.resize(claims.NumFacts(), 0.5);
   const double eps = 1e-12;
   for (FactId f = 0; f < claims.NumFacts(); ++f) {
@@ -40,16 +55,57 @@ TruthEstimate LtmIncremental::Run(const FactTable& facts,
     }
     est.probability[f] = Sigmoid(lp1 - lp0);
   }
-  return est;
+  if (ctx.with_quality) {
+    result.quality = quality_;
+  }
+  obs.Finish(&result, /*iterations=*/0, /*converged=*/true);
+  return result;
 }
 
-LtmIncremental::UpdatedPriors LtmIncremental::AccumulatedPriors() const {
+void LtmIncremental::AccumulateExpectedCounts(
+    const ClaimTable& claims, const std::vector<double>& p_true) {
+  if (claims.NumSources() > streamed_counts_.size()) {
+    streamed_counts_.resize(claims.NumSources(),
+                            std::array<double, 4>{0.0, 0.0, 0.0, 0.0});
+  }
+  for (const Claim& c : claims.claims()) {
+    const int j = c.observation ? 1 : 0;
+    const double p = p_true[c.fact];
+    streamed_counts_[c.source][0 * 2 + j] += 1.0 - p;  // E[n_{s,0,j}]
+    streamed_counts_[c.source][1 * 2 + j] += p;        // E[n_{s,1,j}]
+  }
+}
+
+Status LtmIncremental::Observe(const Dataset& chunk, const RunContext& ctx) {
+  LTM_ASSIGN_OR_RETURN(TruthResult result, Run(ctx, chunk.facts, chunk.claims));
+  AccumulateExpectedCounts(chunk.claims, result.estimate.probability);
+  last_result_ = std::move(result);
+  has_estimate_ = true;
+  return Status::OK();
+}
+
+Result<TruthResult> LtmIncremental::Estimate(const RunContext& ctx) const {
+  (void)ctx;
+  if (!has_estimate_) {
+    return Status::FailedPrecondition(
+        "LTMinc: Estimate() before any Observe(); ingest a chunk first");
+  }
+  return last_result_;
+}
+
+UpdatedPriors LtmIncremental::AccumulatedPriors() const {
   UpdatedPriors out;
-  const size_t n = quality_.NumSources();
+  const size_t n = std::max(quality_.NumSources(), streamed_counts_.size());
   out.alpha0.resize(n);
   out.alpha1.resize(n);
   for (size_t s = 0; s < n; ++s) {
-    const auto& c = quality_.expected_counts[s];
+    std::array<double, 4> c{0.0, 0.0, 0.0, 0.0};
+    if (s < quality_.NumSources()) {
+      c = quality_.expected_counts[s];
+    }
+    if (s < streamed_counts_.size()) {
+      for (size_t k = 0; k < 4; ++k) c[k] += streamed_counts_[s][k];
+    }
     out.alpha0[s] = BetaPrior{options_.alpha0.pos + c[1],   // + E[n_s01]
                               options_.alpha0.neg + c[0]};  // + E[n_s00]
     out.alpha1[s] = BetaPrior{options_.alpha1.pos + c[3],   // + E[n_s11]
@@ -57,5 +113,14 @@ LtmIncremental::UpdatedPriors LtmIncremental::AccumulatedPriors() const {
   }
   return out;
 }
+
+LTM_REGISTER_TRUTH_METHOD(
+    "LTMinc", {"ltmincremental"},
+    [](const MethodOptions& opts, const LtmOptions& base)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      LTM_ASSIGN_OR_RETURN(const LtmOptions options,
+                           LtmOptionsFromSpec(opts, base));
+      return std::unique_ptr<TruthMethod>(new LtmIncremental(options));
+    });
 
 }  // namespace ltm

@@ -1,11 +1,13 @@
 #ifndef LTM_TRUTH_LTM_INCREMENTAL_H_
 #define LTM_TRUTH_LTM_INCREMENTAL_H_
 
+#include <array>
 #include <vector>
 
 #include "data/claim_table.h"
 #include "truth/options.h"
 #include "truth/source_quality.h"
+#include "truth/streaming_method.h"
 #include "truth/truth_method.h"
 
 namespace ltm {
@@ -18,35 +20,65 @@ namespace ltm {
 ///   p(t_f = 0 | o, s) ∝ beta0 * prod_c (phi0_sc)^{o_c} (1-phi0_sc)^{1-o_c}
 ///
 /// Sources unseen at training time fall back to their prior-mean quality.
-class LtmIncremental : public TruthMethod {
+///
+/// As a StreamingTruthMethod, Observe(chunk) scores the chunk and folds
+/// its expected confusion counts into the running accumulator, so
+/// AccumulatedPriors() always reflects the training read-off plus every
+/// observed chunk — the priors to seed the next batch refit with (§5.4).
+class LtmIncremental : public StreamingTruthMethod {
  public:
   /// `quality` is the read-off from a previous batch LTM fit; `options`
   /// supplies the beta prior and the prior-mean fallback for new sources.
-  LtmIncremental(SourceQuality quality, LtmOptions options = LtmOptions());
+  explicit LtmIncremental(SourceQuality quality,
+                          LtmOptions options = LtmOptions());
+
+  /// Cold-start construction (registry path): no learned quality yet;
+  /// every source scores at its prior mean until SetQuality installs a
+  /// batch read-off.
+  explicit LtmIncremental(LtmOptions options = LtmOptions());
 
   std::string name() const override { return "LTMinc"; }
 
   /// Scores all facts in `claims` via Eq. 3 using the frozen quality.
-  TruthEstimate Run(const FactTable& facts,
-                    const ClaimTable& claims) const override;
+  /// Closed-form: the trace is empty and iterations is 0. With
+  /// ctx.with_quality the frozen quality is attached.
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
 
-  /// Per-source quality priors folded with the evidence accumulated so far:
-  /// alpha'_{i,j} = alpha_{i,j} + E[n_{s,i,j}] (paper §5.4). Feed these back
-  /// as per-source priors when periodically re-fitting LTM batch-style.
-  /// Entry s holds {alpha0', alpha1'} for source s.
-  struct UpdatedPriors {
-    std::vector<BetaPrior> alpha0;
-    std::vector<BetaPrior> alpha1;
-  };
-  UpdatedPriors AccumulatedPriors() const;
+  /// Scores `chunk` (available via Estimate() until the next Observe) and
+  /// accumulates its expected confusion counts under the chunk posterior.
+  Status Observe(const Dataset& chunk,
+                 const RunContext& ctx = RunContext()) override;
+
+  /// Result for the most recently observed chunk.
+  Result<TruthResult> Estimate(
+      const RunContext& ctx = RunContext()) const override;
+
+  /// Priors folded with the training read-off plus all observed chunks.
+  UpdatedPriors AccumulatedPriors() const override;
+
+  /// Installs a fresh batch read-off (periodic refit) without discarding
+  /// the accumulated chunk evidence.
+  void SetQuality(SourceQuality quality);
 
   const SourceQuality& quality() const { return quality_; }
 
  private:
   double Phi(SourceId s, int truth_value) const;
 
+  /// E[n_{s,i,j}] += p(t_f = i) per claim of the chunk.
+  void AccumulateExpectedCounts(const ClaimTable& claims,
+                                const std::vector<double>& p_true);
+
   SourceQuality quality_;
   LtmOptions options_;
+
+  /// Evidence accumulated from Observe'd chunks, indexed like
+  /// SourceQuality::expected_counts (grown on demand).
+  std::vector<std::array<double, 4>> streamed_counts_;
+
+  bool has_estimate_ = false;
+  TruthResult last_result_;
 };
 
 }  // namespace ltm

@@ -1,0 +1,203 @@
+#include "truth/method_spec.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace ltm {
+
+namespace {
+
+/// Full-string strtod with errno/endptr checking.
+Result<double> ParseDouble(const std::string& key, const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument("option '" + key + "' has an empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("option '" + key + "' has non-numeric value '" +
+                                   value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Status MethodOptions::Set(std::string key, std::string value) {
+  std::string lower = ToLower(key);
+  if (Find(lower) != nullptr) {
+    return Status::AlreadyExists("duplicate option '" + lower + "'");
+  }
+  entries_.emplace_back(std::move(lower), std::move(value));
+  return Status::OK();
+}
+
+const std::string* MethodOptions::Find(const std::string& lower_key) const {
+  for (const auto& [key, value] : entries_) {
+    if (key == lower_key) return &value;
+  }
+  return nullptr;
+}
+
+bool MethodOptions::Has(const std::string& key) const {
+  return Find(ToLower(key)) != nullptr;
+}
+
+std::vector<std::string> MethodOptions::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, value] : entries_) keys.push_back(key);
+  return keys;
+}
+
+Result<double> MethodOptions::GetDouble(const std::string& key,
+                                        double fallback) const {
+  const std::string lower = ToLower(key);
+  consumed_.insert(lower);
+  const std::string* value = Find(lower);
+  if (value == nullptr) return fallback;
+  return ParseDouble(lower, *value);
+}
+
+Result<int> MethodOptions::GetInt(const std::string& key, int fallback) const {
+  const std::string lower = ToLower(key);
+  consumed_.insert(lower);
+  const std::string* value = Find(lower);
+  if (value == nullptr) return fallback;
+  LTM_ASSIGN_OR_RETURN(const double parsed, ParseDouble(lower, *value));
+  const int as_int = static_cast<int>(parsed);
+  if (static_cast<double>(as_int) != parsed) {
+    return Status::InvalidArgument("option '" + lower +
+                                   "' must be an integer, got '" + *value + "'");
+  }
+  return as_int;
+}
+
+Result<uint64_t> MethodOptions::GetUint64(const std::string& key,
+                                          uint64_t fallback) const {
+  const std::string lower = ToLower(key);
+  consumed_.insert(lower);
+  const std::string* value = Find(lower);
+  if (value == nullptr) return fallback;
+  if (value->empty() || value->front() == '-') {
+    return Status::InvalidArgument("option '" + lower +
+                                   "' must be a non-negative integer, got '" +
+                                   *value + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const uint64_t parsed = std::strtoull(value->c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("option '" + lower +
+                                   "' must be a non-negative integer, got '" +
+                                   *value + "'");
+  }
+  return parsed;
+}
+
+Result<bool> MethodOptions::GetBool(const std::string& key,
+                                    bool fallback) const {
+  const std::string lower = ToLower(key);
+  consumed_.insert(lower);
+  const std::string* value = Find(lower);
+  if (value == nullptr) return fallback;
+  const std::string v = ToLower(*value);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return Status::InvalidArgument("option '" + lower +
+                                 "' must be a boolean, got '" + *value + "'");
+}
+
+Result<std::string> MethodOptions::GetString(const std::string& key,
+                                             std::string fallback) const {
+  const std::string lower = ToLower(key);
+  consumed_.insert(lower);
+  const std::string* value = Find(lower);
+  if (value == nullptr) return fallback;
+  return *value;
+}
+
+Status MethodOptions::CheckAllConsumed(const std::string& method_name) const {
+  for (const auto& [key, value] : entries_) {
+    if (consumed_.count(key) == 0) {
+      return Status::InvalidArgument(method_name + " does not accept option '" +
+                                     key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<MethodSpec> MethodSpec::Parse(const std::string& spec) {
+  const std::string_view trimmed = Trim(spec);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty method spec");
+  }
+
+  MethodSpec parsed;
+  const size_t open = trimmed.find('(');
+  if (open == std::string_view::npos) {
+    if (trimmed.find(')') != std::string_view::npos) {
+      return Status::InvalidArgument("unbalanced ')' in method spec '" +
+                                     spec + "'");
+    }
+    parsed.name = std::string(Trim(trimmed));
+    return parsed;
+  }
+
+  parsed.name = std::string(Trim(trimmed.substr(0, open)));
+  if (parsed.name.empty()) {
+    return Status::InvalidArgument("missing method name in spec '" + spec +
+                                   "'");
+  }
+  if (trimmed.back() != ')') {
+    return Status::InvalidArgument("expected ')' at the end of spec '" + spec +
+                                   "'");
+  }
+  const std::string_view args =
+      trimmed.substr(open + 1, trimmed.size() - open - 2);
+  if (args.find('(') != std::string_view::npos ||
+      args.find(')') != std::string_view::npos) {
+    return Status::InvalidArgument("nested parentheses in method spec '" +
+                                   spec + "'");
+  }
+  if (Trim(args).empty()) {
+    return parsed;  // "Name()" — explicit empty option list.
+  }
+  for (const std::string& pair : Split(args, ',')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value, got '" +
+                                     std::string(Trim(pair)) + "' in spec '" +
+                                     spec + "'");
+    }
+    const std::string key(Trim(std::string_view(pair).substr(0, eq)));
+    const std::string value(Trim(std::string_view(pair).substr(eq + 1)));
+    if (key.empty()) {
+      return Status::InvalidArgument("empty option key in spec '" + spec +
+                                     "'");
+    }
+    Status st = parsed.options.Set(key, value);
+    if (!st.ok()) {
+      return Status::InvalidArgument(st.message() + " in spec '" + spec + "'");
+    }
+  }
+  return parsed;
+}
+
+std::string MethodSpec::ToString() const {
+  if (options.empty()) return name;
+  std::string out = name + "(";
+  bool first = true;
+  for (const std::string& key : options.Keys()) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=" + options.GetString(key, "").value();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ltm

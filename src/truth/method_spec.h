@@ -1,0 +1,72 @@
+#ifndef LTM_TRUTH_METHOD_SPEC_H_
+#define LTM_TRUTH_METHOD_SPEC_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ltm {
+
+/// Generic key-value option layer carried by a MethodSpec. Keys are
+/// case-insensitive (stored lowercased); values are the raw spec tokens,
+/// converted on access. Typed getters record which keys a factory
+/// consumed so CheckAllConsumed can reject misspelled or unsupported
+/// options per method ("TruthFinder(gama=0.3)" -> InvalidArgument).
+class MethodOptions {
+ public:
+  MethodOptions() = default;
+
+  /// Sets `key` (lowercased) to `value`; AlreadyExists on duplicates.
+  Status Set(std::string key, std::string value);
+
+  bool Has(const std::string& key) const;
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Keys in spec order (lowercased).
+  std::vector<std::string> Keys() const;
+
+  /// Typed access; returns `fallback` when the key is absent and
+  /// InvalidArgument when the value does not parse. Each call marks the
+  /// key consumed.
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<int> GetInt(const std::string& key, int fallback) const;
+  Result<uint64_t> GetUint64(const std::string& key, uint64_t fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+  Result<std::string> GetString(const std::string& key,
+                                std::string fallback) const;
+
+  /// InvalidArgument naming the first never-consumed key, OK otherwise.
+  /// Factories call this last so every unknown option is diagnosed.
+  Status CheckAllConsumed(const std::string& method_name) const;
+
+ private:
+  const std::string* Find(const std::string& lower_key) const;
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+  mutable std::set<std::string> consumed_;
+};
+
+/// A parsed method specification: a name plus optional key-value options,
+/// written `Name` or `Name(key=value, key=value)` — e.g.
+/// "TruthFinder(rho=0.5, gamma=0.3)", "LTM(iterations=200, seed=7)".
+struct MethodSpec {
+  std::string name;       ///< As written, without the argument list.
+  MethodOptions options;  ///< Parsed key-value arguments (possibly empty).
+
+  /// Parses a spec string. InvalidArgument on malformed input: empty name,
+  /// unbalanced parentheses, a pair without '=', duplicate keys, or
+  /// trailing characters after ')'.
+  static Result<MethodSpec> Parse(const std::string& spec);
+
+  /// Canonical round-trippable form: "name(k=v,k=v)" or bare "name".
+  std::string ToString() const;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_METHOD_SPEC_H_

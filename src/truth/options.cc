@@ -1,27 +1,94 @@
 #include "truth/options.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "truth/method_spec.h"
 
 namespace ltm {
 
-Status LtmOptions::Validate() const {
-  if (alpha0.pos <= 0 || alpha0.neg <= 0 || alpha1.pos <= 0 ||
-      alpha1.neg <= 0 || beta.pos <= 0 || beta.neg <= 0) {
-    return Status::InvalidArgument("all Beta prior pseudo-counts must be > 0");
+namespace {
+
+/// One prior pseudo-count: must be finite and strictly positive.
+Status ValidatePseudoCount(const char* name, double value) {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " pseudo-count must be finite, got " +
+                                   std::to_string(value));
   }
-  if (iterations <= 0) {
-    return Status::InvalidArgument("iterations must be > 0");
-  }
-  if (burnin < 0 || burnin >= iterations) {
-    return Status::InvalidArgument("burnin must be in [0, iterations)");
-  }
-  if (sample_gap < 1) {
-    return Status::InvalidArgument("sample_gap must be >= 1");
-  }
-  if (truth_threshold < 0.0 || truth_threshold > 1.0) {
-    return Status::InvalidArgument("truth_threshold must be in [0, 1]");
+  if (value <= 0.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " pseudo-count must be > 0, got " +
+                                   std::to_string(value));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status LtmOptions::Validate() const {
+  LTM_RETURN_IF_ERROR(ValidatePseudoCount("alpha0.pos", alpha0.pos));
+  LTM_RETURN_IF_ERROR(ValidatePseudoCount("alpha0.neg", alpha0.neg));
+  LTM_RETURN_IF_ERROR(ValidatePseudoCount("alpha1.pos", alpha1.pos));
+  LTM_RETURN_IF_ERROR(ValidatePseudoCount("alpha1.neg", alpha1.neg));
+  LTM_RETURN_IF_ERROR(ValidatePseudoCount("beta.pos", beta.pos));
+  LTM_RETURN_IF_ERROR(ValidatePseudoCount("beta.neg", beta.neg));
+  if (iterations <= 0) {
+    return Status::InvalidArgument("iterations must be > 0, got " +
+                                   std::to_string(iterations));
+  }
+  if (burnin < 0 || burnin >= iterations) {
+    return Status::InvalidArgument(
+        "burnin must be in [0, iterations); got burnin=" +
+        std::to_string(burnin) + " with iterations=" +
+        std::to_string(iterations));
+  }
+  if (sample_gap <= 0) {
+    return Status::InvalidArgument("sample_gap must be >= 1, got " +
+                                   std::to_string(sample_gap));
+  }
+  if (!std::isfinite(truth_threshold) || truth_threshold < 0.0 ||
+      truth_threshold > 1.0) {
+    return Status::InvalidArgument("truth_threshold must be in [0, 1], got " +
+                                   std::to_string(truth_threshold));
+  }
+  return Status::OK();
+}
+
+Result<LtmOptions> LtmOptionsFromSpec(const MethodOptions& spec_options,
+                                      LtmOptions base) {
+  LTM_ASSIGN_OR_RETURN(base.iterations,
+                       spec_options.GetInt("iterations", base.iterations));
+  LTM_ASSIGN_OR_RETURN(base.burnin, spec_options.GetInt("burnin", base.burnin));
+  LTM_ASSIGN_OR_RETURN(base.sample_gap,
+                       spec_options.GetInt("sample_gap", base.sample_gap));
+  LTM_ASSIGN_OR_RETURN(base.sample_gap,
+                       spec_options.GetInt("gap", base.sample_gap));
+  LTM_ASSIGN_OR_RETURN(base.seed, spec_options.GetUint64("seed", base.seed));
+  LTM_ASSIGN_OR_RETURN(
+      base.truth_threshold,
+      spec_options.GetDouble("threshold", base.truth_threshold));
+  LTM_ASSIGN_OR_RETURN(
+      base.truth_threshold,
+      spec_options.GetDouble("truth_threshold", base.truth_threshold));
+  LTM_ASSIGN_OR_RETURN(
+      base.positive_claims_only,
+      spec_options.GetBool("positive_only", base.positive_claims_only));
+  LTM_ASSIGN_OR_RETURN(base.alpha0.pos,
+                       spec_options.GetDouble("alpha0_pos", base.alpha0.pos));
+  LTM_ASSIGN_OR_RETURN(base.alpha0.neg,
+                       spec_options.GetDouble("alpha0_neg", base.alpha0.neg));
+  LTM_ASSIGN_OR_RETURN(base.alpha1.pos,
+                       spec_options.GetDouble("alpha1_pos", base.alpha1.pos));
+  LTM_ASSIGN_OR_RETURN(base.alpha1.neg,
+                       spec_options.GetDouble("alpha1_neg", base.alpha1.neg));
+  LTM_ASSIGN_OR_RETURN(base.beta.pos,
+                       spec_options.GetDouble("beta_pos", base.beta.pos));
+  LTM_ASSIGN_OR_RETURN(base.beta.neg,
+                       spec_options.GetDouble("beta_neg", base.beta.neg));
+  LTM_RETURN_IF_ERROR(base.Validate());
+  return base;
 }
 
 LtmOptions LtmOptions::BookDataDefaults() {

@@ -7,6 +7,8 @@
 
 namespace ltm {
 
+class MethodOptions;  // truth/method_spec.h
+
 /// A Beta(pos, neg) prior expressed as pseudo-counts, following the paper's
 /// convention: `pos` is the prior count of positive observations (j = 1)
 /// and `neg` of negative observations (j = 0). E.g. the false-positive-rate
@@ -73,6 +75,14 @@ struct LtmOptions {
   static LtmOptions ScaledDefaults(size_t num_facts, double fpr_mean = 0.01,
                                    double strength_fraction = 0.3);
 };
+
+/// Applies spec-string options (truth/method_spec.h) on top of `base` and
+/// validates the result. Accepted keys: iterations, burnin,
+/// sample_gap|gap, seed, threshold|truth_threshold, positive_only, and the
+/// six prior pseudo-counts alpha0_pos, alpha0_neg, alpha1_pos, alpha1_neg,
+/// beta_pos, beta_neg. Used by every LTM-family registry factory.
+Result<LtmOptions> LtmOptionsFromSpec(const MethodOptions& spec_options,
+                                      LtmOptions base);
 
 }  // namespace ltm
 

@@ -2,11 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
+
+#include "truth/registry.h"
 
 namespace ltm {
 
-TruthEstimate PooledInvestment::Run(const FactTable& facts,
-                                    const ClaimTable& claims) const {
+namespace {
+
+Status ValidateParams(int iterations, double exponent) {
+  if (iterations <= 0) {
+    return Status::InvalidArgument(
+        "PooledInvestment iterations must be > 0, got " +
+        std::to_string(iterations));
+  }
+  if (!std::isfinite(exponent) || exponent <= 0.0) {
+    return Status::InvalidArgument(
+        "PooledInvestment exponent must be > 0, got " +
+        std::to_string(exponent));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TruthResult> PooledInvestment::Run(const RunContext& ctx,
+                                          const FactTable& facts,
+                                          const ClaimTable& claims) const {
+  LTM_RETURN_IF_ERROR(ValidateParams(iterations_, exponent_));
+  RunObserver obs(ctx, name());
   const size_t num_facts = claims.NumFacts();
   const size_t num_sources = claims.NumSources();
 
@@ -18,6 +43,7 @@ TruthEstimate PooledInvestment::Run(const FactTable& facts,
   std::vector<double> trust(num_sources, 1.0);
   std::vector<double> pooled(num_facts, 0.0);   // H(f)
   std::vector<double> belief(num_facts, 0.0);   // B(f)
+  std::vector<double> prev_belief;
 
   auto max_normalize = [](std::vector<double>* v) {
     double m = 0.0;
@@ -26,7 +52,10 @@ TruthEstimate PooledInvestment::Run(const FactTable& facts,
     for (double& x : *v) x /= m;
   };
 
+  TruthResult result;
   for (int iter = 0; iter < iterations_; ++iter) {
+    LTM_RETURN_IF_ERROR(obs.Check());
+    prev_belief = belief;
     std::fill(pooled.begin(), pooled.end(), 0.0);
     for (const Claim& c : claims.claims()) {
       if (!c.observation || claims_per_source[c.source] == 0) continue;
@@ -57,11 +86,30 @@ TruthEstimate PooledInvestment::Run(const FactTable& facts,
     }
     trust = std::move(updated);
     max_normalize(&trust);
+
+    double max_delta = 0.0;
+    for (size_t f = 0; f < num_facts; ++f) {
+      max_delta = std::max(max_delta, std::fabs(belief[f] - prev_belief[f]));
+    }
+    obs.OnIteration(iter, max_delta, &result);
+    obs.Progress(static_cast<double>(iter + 1) / iterations_);
   }
 
-  TruthEstimate est;
-  est.probability = std::move(belief);
-  return est;
+  result.estimate.probability = std::move(belief);
+  obs.Finish(&result, iterations_, /*converged=*/true);
+  return result;
 }
+
+LTM_REGISTER_TRUTH_METHOD(
+    "PooledInvestment", {},
+    [](const MethodOptions& opts, const LtmOptions&)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      LTM_ASSIGN_OR_RETURN(const int iterations, opts.GetInt("iterations", 10));
+      LTM_ASSIGN_OR_RETURN(double exponent, opts.GetDouble("g", 1.2));
+      LTM_ASSIGN_OR_RETURN(exponent, opts.GetDouble("exponent", exponent));
+      LTM_RETURN_IF_ERROR(ValidateParams(iterations, exponent));
+      return std::unique_ptr<TruthMethod>(
+          new PooledInvestment(iterations, exponent));
+    });
 
 }  // namespace ltm

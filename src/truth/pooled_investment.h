@@ -21,8 +21,8 @@ class PooledInvestment : public TruthMethod {
 
   std::string name() const override { return "PooledInvestment"; }
 
-  TruthEstimate Run(const FactTable& facts,
-                    const ClaimTable& claims) const override;
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
 
  private:
   int iterations_;

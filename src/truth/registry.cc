@@ -1,65 +1,127 @@
 #include "truth/registry.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
 #include "common/string_util.h"
-#include "truth/avg_log.h"
-#include "truth/hub_authority.h"
-#include "truth/investment.h"
-#include "truth/ltm.h"
-#include "truth/pooled_investment.h"
-#include "truth/three_estimates.h"
-#include "truth/truth_finder.h"
-#include "truth/voting.h"
 
 namespace ltm {
 
-Result<std::unique_ptr<TruthMethod>> CreateMethod(
-    const std::string& name, const LtmOptions& ltm_options) {
-  const std::string key = ToLower(name);
-  if (key == "ltm") {
-    LtmOptions opts = ltm_options;
-    opts.positive_claims_only = false;
-    return std::unique_ptr<TruthMethod>(new LatentTruthModel(opts));
+MethodRegistry& MethodRegistry::Global() {
+  static MethodRegistry* registry = new MethodRegistry();
+  return *registry;
+}
+
+Status MethodRegistry::Register(std::string canonical_name,
+                                std::vector<std::string> aliases,
+                                MethodFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.push_back(ToLower(canonical_name));
+  for (const std::string& alias : aliases) keys.push_back(ToLower(alias));
+  for (const std::string& key : keys) {
+    if (by_alias_.count(key) != 0) {
+      return Status::AlreadyExists("method name '" + key +
+                                   "' is already registered");
+    }
   }
-  if (key == "ltmpos") {
-    LtmOptions opts = ltm_options;
-    opts.positive_claims_only = true;
-    return std::unique_ptr<TruthMethod>(new LatentTruthModel(opts));
+  entries_.push_back(Entry{std::move(canonical_name), std::move(factory)});
+  for (std::string& key : keys) {
+    by_alias_.emplace(std::move(key), entries_.size() - 1);
   }
-  if (key == "voting") {
-    return std::unique_ptr<TruthMethod>(new Voting());
+  return Status::OK();
+}
+
+Status MethodRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_alias_.find(ToLower(name));
+  if (it == by_alias_.end()) {
+    return Status::NotFound("unknown truth-finding method: " + name);
   }
-  if (key == "truthfinder") {
-    return std::unique_ptr<TruthMethod>(new TruthFinder());
+  const size_t index = it->second;
+  // Entries are indexed by by_alias_; clear the slot instead of erasing so
+  // other indices stay valid.
+  entries_[index].factory = nullptr;
+  entries_[index].canonical.clear();
+  for (auto alias = by_alias_.begin(); alias != by_alias_.end();) {
+    alias = alias->second == index ? by_alias_.erase(alias) : std::next(alias);
   }
-  if (key == "hubauthority") {
-    return std::unique_ptr<TruthMethod>(new HubAuthority());
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TruthMethod>> MethodRegistry::Create(
+    const MethodSpec& spec, const LtmOptions& base_ltm) const {
+  MethodFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_alias_.find(ToLower(spec.name));
+    if (it == by_alias_.end() || !entries_[it->second].factory) {
+      return Status::NotFound("unknown truth-finding method: " + spec.name);
+    }
+    factory = entries_[it->second].factory;
   }
-  if (key == "avglog") {
-    return std::unique_ptr<TruthMethod>(new AvgLog());
+  LTM_ASSIGN_OR_RETURN(std::unique_ptr<TruthMethod> method,
+                       factory(spec.options, base_ltm));
+  LTM_RETURN_IF_ERROR(spec.options.CheckAllConsumed(method->name()));
+  return method;
+}
+
+bool MethodRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_alias_.count(ToLower(name)) != 0;
+}
+
+std::vector<std::string> MethodRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    if (!entry.canonical.empty()) names.push_back(entry.canonical);
   }
-  if (key == "investment") {
-    return std::unique_ptr<TruthMethod>(new Investment());
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              return ToLower(a) < ToLower(b);
+            });
+  return names;
+}
+
+MethodRegistrar::MethodRegistrar(const char* canonical_name,
+                                 std::initializer_list<const char*> aliases,
+                                 MethodFactory factory) {
+  std::vector<std::string> alias_strings(aliases.begin(), aliases.end());
+  Status st = MethodRegistry::Global().Register(
+      canonical_name, std::move(alias_strings), std::move(factory));
+  if (!st.ok()) {
+    LTM_LOG(Error) << "method registration failed: " << st.ToString();
   }
-  if (key == "pooledinvestment") {
-    return std::unique_ptr<TruthMethod>(new PooledInvestment());
-  }
-  if (key == "3-estimates" || key == "3estimates" || key == "threeestimates") {
-    return std::unique_ptr<TruthMethod>(new ThreeEstimates());
-  }
-  return Status::NotFound("unknown truth-finding method: " + name);
+}
+
+Result<std::unique_ptr<TruthMethod>> CreateMethod(const std::string& spec,
+                                                  const LtmOptions& base_ltm) {
+  LTM_ASSIGN_OR_RETURN(const MethodSpec parsed, MethodSpec::Parse(spec));
+  return MethodRegistry::Global().Create(parsed, base_ltm);
+}
+
+StreamingTruthMethod* AsStreaming(TruthMethod* method) {
+  return dynamic_cast<StreamingTruthMethod*>(method);
 }
 
 std::vector<std::string> MethodNames() {
+  return MethodRegistry::Global().Names();
+}
+
+std::vector<std::string> BatchMethodNames() {
   return {"LTM",        "3-Estimates", "Voting",
           "TruthFinder", "Investment",  "LTMpos",
           "HubAuthority", "AvgLog",     "PooledInvestment"};
 }
 
 std::vector<std::unique_ptr<TruthMethod>> CreateAllMethods(
-    const LtmOptions& ltm_options) {
+    const LtmOptions& base_ltm) {
   std::vector<std::unique_ptr<TruthMethod>> methods;
-  for (const std::string& name : MethodNames()) {
-    auto m = CreateMethod(name, ltm_options);
+  for (const std::string& name : BatchMethodNames()) {
+    auto m = CreateMethod(name, base_ltm);
     methods.push_back(std::move(m).value());
   }
   return methods;

@@ -1,32 +1,111 @@
 #ifndef LTM_TRUTH_REGISTRY_H_
 #define LTM_TRUTH_REGISTRY_H_
 
+#include <functional>
+#include <initializer_list>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "truth/method_spec.h"
 #include "truth/options.h"
+#include "truth/streaming_method.h"
 #include "truth/truth_method.h"
 
 namespace ltm {
 
-/// Creates a truth-finding method by its paper name (case-insensitive):
-/// "LTM", "LTMpos", "Voting", "TruthFinder", "HubAuthority", "AvgLog",
-/// "Investment", "PooledInvestment", "3-Estimates". LTM variants take
-/// `ltm_options`; baselines use their published defaults. Returns NotFound
-/// for an unknown name.
+/// Builds a method from its parsed spec options. `base_ltm` seeds the
+/// LTM-family hyper-parameters (ignored by baselines); spec options are
+/// applied on top of it. Factories validate their options and return
+/// InvalidArgument for unknown keys or out-of-range values.
+using MethodFactory = std::function<Result<std::unique_ptr<TruthMethod>>(
+    const MethodOptions& options, const LtmOptions& base_ltm)>;
+
+/// Process-wide registry of truth-finding methods. Built-in methods
+/// self-register from their translation units via MethodRegistrar (see
+/// LTM_REGISTER_TRUTH_METHOD); extensions and tests may Register at
+/// runtime. Lookup is case-insensitive over canonical names and aliases.
+class MethodRegistry {
+ public:
+  static MethodRegistry& Global();
+
+  /// Registers `factory` under `canonical_name` plus `aliases`.
+  /// AlreadyExists when any name is taken.
+  Status Register(std::string canonical_name,
+                  std::vector<std::string> aliases, MethodFactory factory);
+
+  /// Removes a method and its aliases (tests). NotFound when absent.
+  Status Unregister(const std::string& name);
+
+  /// Instantiates the method named by `spec`. NotFound for an unknown
+  /// name; InvalidArgument for bad options.
+  Result<std::unique_ptr<TruthMethod>> Create(
+      const MethodSpec& spec, const LtmOptions& base_ltm = LtmOptions()) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Canonical registered names, sorted case-insensitively (deterministic
+  /// regardless of registration order across translation units).
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    std::string canonical;
+    MethodFactory factory;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::map<std::string, size_t> by_alias_;  ///< lowercase name -> entry index
+};
+
+/// Static-initialization helper behind LTM_REGISTER_TRUTH_METHOD. A
+/// registration failure (duplicate name) is a programming error; it is
+/// logged at Error level and the duplicate is skipped.
+struct MethodRegistrar {
+  MethodRegistrar(const char* canonical_name,
+                  std::initializer_list<const char*> aliases,
+                  MethodFactory factory);
+};
+
+/// Registers a method from namespace scope of its own translation unit:
+///
+///   LTM_REGISTER_TRUTH_METHOD(
+///       "Voting", {},
+///       [](const MethodOptions& opts, const LtmOptions&)
+///           -> Result<std::unique_ptr<TruthMethod>> { ... });
+#define LTM_REGISTER_TRUTH_METHOD(canonical, ...)            \
+  static const ::ltm::MethodRegistrar LTM_CONCAT_(           \
+      ltm_method_registrar_, __COUNTER__)(canonical, __VA_ARGS__)
+
+/// Creates a truth-finding method from a spec string: a paper name, case-
+/// insensitive ("LTM", "LTMpos", "Voting", "TruthFinder", "HubAuthority",
+/// "AvgLog", "Investment", "PooledInvestment", "3-Estimates", "LTMinc",
+/// "StreamingLTM"), optionally parameterized —
+/// "TruthFinder(rho=0.5,gamma=0.3)", "LTM(iterations=200,seed=7)".
+/// `base_ltm` seeds LTM-family hyper-parameters below the spec overrides.
+/// NotFound for an unknown name, InvalidArgument for a malformed spec or
+/// bad option.
 Result<std::unique_ptr<TruthMethod>> CreateMethod(
-    const std::string& name, const LtmOptions& ltm_options = LtmOptions());
+    const std::string& spec, const LtmOptions& base_ltm = LtmOptions());
 
-/// All batch methods compared in Table 7 (everything except LTMinc, whose
-/// train-on-unlabeled / predict-on-labeled protocol is driven by the
-/// benchmark harness), in the paper's comparison order.
+/// Downcast to the streaming capability interface; nullptr when `method`
+/// does not support the incremental protocol.
+StreamingTruthMethod* AsStreaming(TruthMethod* method);
+
+/// All batch methods compared in Table 7, in the paper's comparison order.
 std::vector<std::unique_ptr<TruthMethod>> CreateAllMethods(
-    const LtmOptions& ltm_options = LtmOptions());
+    const LtmOptions& base_ltm = LtmOptions());
 
-/// Names accepted by CreateMethod, in comparison order.
+/// Every name accepted by CreateMethod (canonical spellings), sorted.
 std::vector<std::string> MethodNames();
+
+/// The nine batch methods of Table 7 in the paper's comparison order — the
+/// subset of MethodNames() that CreateAllMethods instantiates.
+std::vector<std::string> BatchMethodNames();
 
 }  // namespace ltm
 

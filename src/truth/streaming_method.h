@@ -1,0 +1,53 @@
+#ifndef LTM_TRUTH_STREAMING_METHOD_H_
+#define LTM_TRUTH_STREAMING_METHOD_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "truth/options.h"
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// Per-source quality priors folded with the evidence accumulated so far:
+/// alpha'_{i,j} = alpha_{i,j} + E[n_{s,i,j}] (paper §5.4). Feed these back
+/// as per-source priors when periodically re-fitting LTM batch-style.
+/// Entry s holds {alpha0', alpha1'} for source s.
+struct UpdatedPriors {
+  std::vector<BetaPrior> alpha0;
+  std::vector<BetaPrior> alpha1;
+};
+
+/// Capability interface for methods that support the paper's incremental /
+/// streaming protocol (§5.4): data arrives in chunks, each chunk is scored
+/// online, and the per-source evidence is accumulated so a periodic batch
+/// refit can start from informed priors. Implemented by LtmIncremental
+/// (closed-form Eq. 3 scoring under frozen source quality) and by
+/// ext::StreamingPipeline (LTMinc serving plus periodic batch refits).
+///
+/// Chunks must share a source vocabulary (same SourceId space, e.g.
+/// produced by Dataset splits or a shared interner); entities and facts
+/// may be entirely new in each chunk. The inherited batch
+/// Run(ctx, facts, claims) scores a one-off table under the current state
+/// without ingesting it.
+class StreamingTruthMethod : public TruthMethod {
+ public:
+  /// Ingests one chunk: scores it under the current state, accumulates its
+  /// evidence, and (implementation-dependent) refits. The chunk's estimate
+  /// is available from Estimate() until the next Observe call.
+  virtual Status Observe(const Dataset& chunk,
+                         const RunContext& ctx = RunContext()) = 0;
+
+  /// Result for the most recently observed chunk. FailedPrecondition when
+  /// nothing has been observed yet.
+  virtual Result<TruthResult> Estimate(
+      const RunContext& ctx = RunContext()) const = 0;
+
+  /// Priors folded with all evidence accumulated so far (training read-off
+  /// plus every observed chunk).
+  virtual UpdatedPriors AccumulatedPriors() const = 0;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_STREAMING_METHOD_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "common/math_util.h"
+#include "truth/registry.h"
 
 namespace ltm {
 
@@ -30,15 +33,43 @@ void RescaleUnit(std::vector<double>* v, double floor) {
 
 }  // namespace
 
-TruthEstimate ThreeEstimates::Run(const FactTable& facts,
-                                  const ClaimTable& claims) const {
+Status ThreeEstimatesOptions::Validate() const {
+  if (iterations <= 0) {
+    return Status::InvalidArgument("3-Estimates iterations must be > 0, got " +
+                                   std::to_string(iterations));
+  }
+  if (!std::isfinite(initial_error) || initial_error <= 0.0 ||
+      initial_error >= 1.0) {
+    return Status::InvalidArgument(
+        "3-Estimates initial_error must be in (0, 1), got " +
+        std::to_string(initial_error));
+  }
+  if (!std::isfinite(initial_difficulty) || initial_difficulty <= 0.0 ||
+      initial_difficulty >= 1.0) {
+    return Status::InvalidArgument(
+        "3-Estimates initial_difficulty must be in (0, 1), got " +
+        std::to_string(initial_difficulty));
+  }
+  if (!std::isfinite(floor) || floor <= 0.0 || floor >= 0.5) {
+    return Status::InvalidArgument(
+        "3-Estimates floor must be in (0, 0.5), got " + std::to_string(floor));
+  }
+  return Status::OK();
+}
+
+Result<TruthResult> ThreeEstimates::Run(const RunContext& ctx,
+                                        const FactTable& facts,
+                                        const ClaimTable& claims) const {
   (void)facts;
+  LTM_RETURN_IF_ERROR(options_.Validate());
+  RunObserver obs(ctx, name());
   const size_t num_facts = claims.NumFacts();
   const size_t num_sources = claims.NumSources();
 
   std::vector<double> truth(num_facts, 0.5);
   std::vector<double> error(num_sources, options_.initial_error);
   std::vector<double> difficulty(num_facts, options_.initial_difficulty);
+  std::vector<double> prev_truth;
 
   std::vector<size_t> claims_per_fact(num_facts, 0);
   std::vector<size_t> claims_per_source(num_sources, 0);
@@ -47,8 +78,11 @@ TruthEstimate ThreeEstimates::Run(const FactTable& facts,
     ++claims_per_source[c.source];
   }
 
+  TruthResult result;
   const double floor = options_.floor;
   for (int iter = 0; iter < options_.iterations; ++iter) {
+    LTM_RETURN_IF_ERROR(obs.Check());
+    prev_truth = truth;
     // T(f) given eps, delta.
     std::fill(truth.begin(), truth.end(), 0.0);
     for (const Claim& c : claims.claims()) {
@@ -94,11 +128,37 @@ TruthEstimate ThreeEstimates::Run(const FactTable& facts,
       }
     }
     RescaleUnit(&error, floor);
+
+    double max_delta = 0.0;
+    for (size_t f = 0; f < num_facts; ++f) {
+      max_delta = std::max(max_delta, std::fabs(truth[f] - prev_truth[f]));
+    }
+    obs.OnIteration(iter, max_delta, &result);
+    obs.Progress(static_cast<double>(iter + 1) / options_.iterations);
   }
 
-  TruthEstimate est;
-  est.probability = std::move(truth);
-  return est;
+  result.estimate.probability = std::move(truth);
+  obs.Finish(&result, options_.iterations, /*converged=*/true);
+  return result;
 }
+
+LTM_REGISTER_TRUTH_METHOD(
+    "3-Estimates", {"3estimates", "threeestimates"},
+    [](const MethodOptions& opts, const LtmOptions&)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      ThreeEstimatesOptions options;
+      LTM_ASSIGN_OR_RETURN(options.iterations,
+                           opts.GetInt("iterations", options.iterations));
+      LTM_ASSIGN_OR_RETURN(
+          options.initial_error,
+          opts.GetDouble("initial_error", options.initial_error));
+      LTM_ASSIGN_OR_RETURN(
+          options.initial_difficulty,
+          opts.GetDouble("initial_difficulty", options.initial_difficulty));
+      LTM_ASSIGN_OR_RETURN(options.floor,
+                           opts.GetDouble("floor", options.floor));
+      LTM_RETURN_IF_ERROR(options.Validate());
+      return std::unique_ptr<TruthMethod>(new ThreeEstimates(options));
+    });
 
 }  // namespace ltm

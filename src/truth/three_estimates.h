@@ -16,6 +16,9 @@ struct ThreeEstimatesOptions {
   /// Values are kept inside [floor, 1 - floor] after each rescaling to
   /// avoid degenerate divisions.
   double floor = 1e-3;
+
+  /// Range checks; InvalidArgument with a descriptive message otherwise.
+  Status Validate() const;
 };
 
 /// 3-Estimates baseline: the strongest competitor in the paper's Table 7.
@@ -37,8 +40,8 @@ class ThreeEstimates : public TruthMethod {
 
   std::string name() const override { return "3-Estimates"; }
 
-  TruthEstimate Run(const FactTable& facts,
-                    const ClaimTable& claims) const override;
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
 
  private:
   ThreeEstimatesOptions options_;

@@ -2,22 +2,53 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "common/math_util.h"
+#include "truth/registry.h"
 
 namespace ltm {
 
-TruthEstimate TruthFinder::Run(const FactTable& facts,
-                               const ClaimTable& claims) const {
+Status TruthFinderOptions::Validate() const {
+  if (!std::isfinite(initial_trust) || initial_trust <= 0.0 ||
+      initial_trust >= 1.0) {
+    return Status::InvalidArgument("TruthFinder rho must be in (0, 1), got " +
+                                   std::to_string(initial_trust));
+  }
+  if (!std::isfinite(dampening) || dampening <= 0.0) {
+    return Status::InvalidArgument("TruthFinder gamma must be > 0, got " +
+                                   std::to_string(dampening));
+  }
+  if (!std::isfinite(tolerance) || tolerance <= 0.0) {
+    return Status::InvalidArgument("TruthFinder tolerance must be > 0, got " +
+                                   std::to_string(tolerance));
+  }
+  if (max_iterations <= 0) {
+    return Status::InvalidArgument("TruthFinder iterations must be > 0, got " +
+                                   std::to_string(max_iterations));
+  }
+  return Status::OK();
+}
+
+Result<TruthResult> TruthFinder::Run(const RunContext& ctx,
+                                     const FactTable& facts,
+                                     const ClaimTable& claims) const {
   (void)facts;
+  RunObserver obs(ctx, name());
   const size_t num_facts = claims.NumFacts();
   const size_t num_sources = claims.NumSources();
 
   std::vector<double> trust(num_sources, options_.initial_trust);
-  std::vector<double> conf(num_facts, 0.0);
+  TruthResult result;
+  std::vector<double>& conf = result.estimate.probability;
+  conf.assign(num_facts, 0.0);
 
   const double trust_cap = 1.0 - 1e-9;
+  int iterations_run = 0;
+  bool converged = false;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    LTM_RETURN_IF_ERROR(obs.Check());
     // Fact confidence from source trust.
     for (FactId f = 0; f < num_facts; ++f) {
       double sigma = 0.0;
@@ -42,12 +73,39 @@ TruthEstimate TruthFinder::Run(const FactTable& facts,
       max_delta = std::max(max_delta, std::fabs(updated - trust[s]));
       trust[s] = updated;
     }
-    if (max_delta < options_.tolerance) break;
+    ++iterations_run;
+    obs.OnIteration(iter, max_delta, &result);
+    obs.OnState(iter, result.estimate);
+    obs.Progress(static_cast<double>(iter + 1) / options_.max_iterations);
+    if (max_delta < options_.tolerance) {
+      converged = true;
+      break;
+    }
   }
-
-  TruthEstimate est;
-  est.probability = std::move(conf);
-  return est;
+  obs.Finish(&result, iterations_run, converged);
+  return result;
 }
+
+LTM_REGISTER_TRUTH_METHOD(
+    "TruthFinder", {},
+    [](const MethodOptions& opts, const LtmOptions&)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      TruthFinderOptions options;
+      LTM_ASSIGN_OR_RETURN(options.initial_trust,
+                           opts.GetDouble("rho", options.initial_trust));
+      LTM_ASSIGN_OR_RETURN(
+          options.initial_trust,
+          opts.GetDouble("initial_trust", options.initial_trust));
+      LTM_ASSIGN_OR_RETURN(options.dampening,
+                           opts.GetDouble("gamma", options.dampening));
+      LTM_ASSIGN_OR_RETURN(options.dampening,
+                           opts.GetDouble("dampening", options.dampening));
+      LTM_ASSIGN_OR_RETURN(options.tolerance,
+                           opts.GetDouble("tolerance", options.tolerance));
+      LTM_ASSIGN_OR_RETURN(options.max_iterations,
+                           opts.GetInt("iterations", options.max_iterations));
+      LTM_RETURN_IF_ERROR(options.Validate());
+      return std::unique_ptr<TruthMethod>(new TruthFinder(options));
+    });
 
 }  // namespace ltm

@@ -7,13 +7,17 @@ namespace ltm {
 
 /// Controls for the TruthFinder baseline (Yin, Han & Yu, KDD 2007).
 struct TruthFinderOptions {
-  /// Initial source trustworthiness t_0.
+  /// Initial source trustworthiness t_0 (spec key: rho | initial_trust).
   double initial_trust = 0.9;
-  /// Dampening factor gamma compensating claim dependence.
+  /// Dampening factor gamma compensating claim dependence (spec key:
+  /// gamma | dampening).
   double dampening = 0.3;
   /// Stop when the max change in source trust falls below this.
   double tolerance = 1e-6;
   int max_iterations = 100;
+
+  /// Range checks; InvalidArgument with a descriptive message otherwise.
+  Status Validate() const;
 };
 
 /// TruthFinder baseline: positive claims only. Iterates
@@ -31,8 +35,8 @@ class TruthFinder : public TruthMethod {
 
   std::string name() const override { return "TruthFinder"; }
 
-  TruthEstimate Run(const FactTable& facts,
-                    const ClaimTable& claims) const override;
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
 
  private:
   TruthFinderOptions options_;

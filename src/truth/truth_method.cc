@@ -1,0 +1,89 @@
+#include "truth/truth_method.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ltm {
+
+TruthEstimate TruthMethod::Score(const FactTable& facts,
+                                 const ClaimTable& claims) const {
+  Result<TruthResult> result = Run(RunContext(), facts, claims);
+  if (result.ok()) {
+    return std::move(*result).estimate;
+  }
+  LTM_LOG(Warning) << name() << "::Run failed ("
+                   << result.status().ToString()
+                   << "); scoring every fact at the 0.5 prior";
+  TruthEstimate prior;
+  prior.probability.assign(claims.NumFacts(), 0.5);
+  return prior;
+}
+
+RunObserver::RunObserver(const RunContext& ctx, std::string stage)
+    : ctx_(ctx), stage_(std::move(stage)) {}
+
+Status RunObserver::Check() const {
+  if (ctx_.cancel != nullptr &&
+      ctx_.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled(stage_ + ": cancelled by caller");
+  }
+  if (ctx_.deadline_seconds > 0.0 &&
+      timer_.ElapsedSeconds() > ctx_.deadline_seconds) {
+    return Status::DeadlineExceeded(
+        stage_ + ": exceeded deadline of " +
+        FormatDouble(ctx_.deadline_seconds, 3) + "s");
+  }
+  return Status::OK();
+}
+
+void RunObserver::OnIteration(int iteration, double delta,
+                              TruthResult* result) const {
+  if (!ctx_.collect_trace && !ctx_.on_iteration) return;
+  IterationStat stat;
+  stat.iteration = iteration;
+  stat.delta = delta;
+  stat.elapsed_seconds = timer_.ElapsedSeconds();
+  if (ctx_.collect_trace && result != nullptr) {
+    result->trace.push_back(stat);
+  }
+  if (ctx_.on_iteration) {
+    ctx_.on_iteration(stat);
+  }
+}
+
+void RunObserver::OnState(int iteration, const TruthEstimate& state) const {
+  if (ctx_.on_state) {
+    ctx_.on_state(iteration, state);
+  }
+}
+
+RunContext RunObserver::NestedContext() const {
+  RunContext out;
+  out.cancel = ctx_.cancel;
+  if (ctx_.deadline_seconds > 0.0) {
+    // Keep a non-zero remainder so an exhausted budget still reports
+    // DeadlineExceeded from the nested run's first check.
+    out.deadline_seconds =
+        std::max(1e-9, ctx_.deadline_seconds - timer_.ElapsedSeconds());
+  }
+  return out;
+}
+
+void RunObserver::Progress(double fraction) const {
+  if (ctx_.on_progress) {
+    ctx_.on_progress(stage_, fraction);
+  }
+}
+
+void RunObserver::Finish(TruthResult* result, int iterations,
+                         bool converged) const {
+  result->iterations = iterations;
+  result->converged = converged;
+  result->wall_seconds = timer_.ElapsedSeconds();
+  Progress(1.0);
+}
+
+}  // namespace ltm

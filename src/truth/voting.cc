@@ -1,11 +1,18 @@
 #include "truth/voting.h"
 
+#include <memory>
+
+#include "truth/registry.h"
+
 namespace ltm {
 
-TruthEstimate Voting::Run(const FactTable& facts,
-                          const ClaimTable& claims) const {
+Result<TruthResult> Voting::Run(const RunContext& ctx, const FactTable& facts,
+                                const ClaimTable& claims) const {
   (void)facts;
-  TruthEstimate est;
+  RunObserver obs(ctx, name());
+  LTM_RETURN_IF_ERROR(obs.Check());
+  TruthResult result;
+  TruthEstimate& est = result.estimate;
   est.probability.resize(claims.NumFacts(), 0.0);
   for (FactId f = 0; f < claims.NumFacts(); ++f) {
     auto fact_claims = claims.ClaimsOfFact(f);
@@ -17,7 +24,15 @@ TruthEstimate Voting::Run(const FactTable& facts,
     est.probability[f] =
         static_cast<double>(pos) / static_cast<double>(fact_claims.size());
   }
-  return est;
+  obs.Finish(&result, /*iterations=*/0, /*converged=*/true);
+  return result;
 }
+
+LTM_REGISTER_TRUTH_METHOD(
+    "Voting", {},
+    [](const MethodOptions&, const LtmOptions&)
+        -> Result<std::unique_ptr<TruthMethod>> {
+      return std::unique_ptr<TruthMethod>(new Voting());
+    });
 
 }  // namespace ltm

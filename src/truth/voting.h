@@ -13,8 +13,8 @@ class Voting : public TruthMethod {
  public:
   std::string name() const override { return "Voting"; }
 
-  TruthEstimate Run(const FactTable& facts,
-                    const ClaimTable& claims) const override;
+  Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
+                          const ClaimTable& claims) const override;
 };
 
 }  // namespace ltm

@@ -28,6 +28,9 @@ TEST(StatusTest, AllConstructorsMapToCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -46,6 +49,9 @@ TEST(StatusCodeNameTest, CoversAllCodes) {
             "FailedPrecondition");
   EXPECT_EQ(StatusCodeName(StatusCode::kIOError), "IOError");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -59,18 +59,32 @@ TEST(StreamingTest, BootstrapThenIncrementalPredictions) {
   opts.ltm = FastOptions();
   opts.refit_every_chunks = 2;
   ext::StreamingPipeline pipeline(opts);
-  pipeline.Bootstrap(rest);
+  ASSERT_TRUE(pipeline.Bootstrap(rest).ok());
   EXPECT_EQ(pipeline.quality().NumSources(), ds.raw.NumSources());
 
-  ext::ChunkResult r1 = pipeline.IngestChunk(chunk12);
-  EXPECT_EQ(r1.estimate.probability.size(), chunk12.facts.NumFacts());
-  PointMetrics m = EvaluateAtThreshold(r1.estimate.probability,
+  auto r1 = pipeline.IngestChunk(chunk12);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->estimate.probability.size(), chunk12.facts.NumFacts());
+  PointMetrics m = EvaluateAtThreshold(r1->estimate.probability,
                                        chunk12.labels, 0.5);
   EXPECT_GT(m.accuracy(), 0.75) << m.confusion.ToString();
 
-  ext::ChunkResult r2 = pipeline.IngestChunk(chunk3);
-  EXPECT_TRUE(r2.refit);  // Second chunk triggers the periodic refit.
+  auto r2 = pipeline.IngestChunk(chunk3);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_TRUE(r2->refit);  // Second chunk triggers the periodic refit.
   EXPECT_EQ(pipeline.num_chunks_ingested(), 2u);
+
+  // The same pipeline through the streaming capability interface.
+  StreamingTruthMethod& stream = pipeline;
+  EXPECT_EQ(stream.name(), "StreamingLTM");
+  auto last = stream.Estimate();
+  ASSERT_TRUE(last.ok()) << last.status().ToString();
+  EXPECT_EQ(last->estimate.probability.size(), chunk3.facts.NumFacts());
+  UpdatedPriors priors = stream.AccumulatedPriors();
+  EXPECT_EQ(priors.alpha0.size(), ds.raw.NumSources());
+  for (const BetaPrior& a0 : priors.alpha0) {
+    EXPECT_GE(a0.Sum(), opts.ltm.alpha0.Sum());
+  }
 }
 
 TEST(StreamingTest, ColdStartBootstrapsFromFirstChunk) {
@@ -80,9 +94,34 @@ TEST(StreamingTest, ColdStartBootstrapsFromFirstChunk) {
   ext::StreamingOptions opts;
   opts.ltm = FastOptions();
   ext::StreamingPipeline pipeline(opts);
-  ext::ChunkResult r = pipeline.IngestChunk(ds);
-  EXPECT_TRUE(r.refit);
-  EXPECT_EQ(r.estimate.probability.size(), ds.facts.NumFacts());
+  auto r = pipeline.IngestChunk(ds);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->refit);
+  EXPECT_EQ(r->estimate.probability.size(), ds.facts.NumFacts());
+}
+
+TEST(StreamingTest, AccumulatedPriorsGrowWithObservedChunks) {
+  // Contract: priors reflect the batch read-off plus every chunk observed
+  // since, even when refits are disabled entirely.
+  synth::MovieSimOptions gen;
+  gen.num_movies = 200;
+  Dataset ds = synth::GenerateMovieDataset(gen);
+  ext::StreamingOptions opts;
+  opts.ltm = FastOptions();
+  opts.refit_every_chunks = 0;  // Never refit.
+  ext::StreamingPipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.Bootstrap(ds).ok());
+  auto mass = [](const UpdatedPriors& p) {
+    double m = 0.0;
+    for (const BetaPrior& a : p.alpha0) m += a.Sum();
+    for (const BetaPrior& a : p.alpha1) m += a.Sum();
+    return m;
+  };
+  const double before = mass(pipeline.AccumulatedPriors());
+  ASSERT_TRUE(pipeline.Observe(ds).ok());
+  const double after = mass(pipeline.AccumulatedPriors());
+  // Each observed claim contributes one unit of expected count mass.
+  EXPECT_NEAR(after - before, ds.claims.NumClaims(), 1e-6);
 }
 
 // -------------------------------------------------------------- adversarial
@@ -119,8 +158,9 @@ TEST(AdversarialTest, DetectsInjectedAdversary) {
   opts.ltm.sample_gap = 2;
   opts.min_precision = 0.5;
   opts.min_specificity = 0.5;
-  ext::AdversarialResult result =
-      ext::RunAdversarialFilter(ds.facts, ds.claims, opts);
+  auto filtered = ext::RunAdversarialFilter(ds.facts, ds.claims, opts);
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  const ext::AdversarialResult& result = *filtered;
 
   bool evil_removed = false;
   for (SourceId s : result.removed_sources) {
@@ -140,7 +180,7 @@ TEST(AdversarialTest, DetectsInjectedAdversary) {
     return n;
   };
   LatentTruthModel unfiltered(opts.ltm);
-  TruthEstimate raw_est = unfiltered.Run(ds.facts, ds.claims);
+  TruthEstimate raw_est = unfiltered.Score(ds.facts, ds.claims);
   const size_t evil_true_after = count_evil_true(result.estimate.probability);
   const size_t evil_true_before = count_evil_true(raw_est.probability);
   EXPECT_LT(evil_true_after, 5u);
@@ -159,10 +199,10 @@ TEST(AdversarialTest, CleanDataRemovesNothing) {
   opts.ltm.iterations = 50;
   opts.ltm.burnin = 10;
   opts.ltm.sample_gap = 2;
-  ext::AdversarialResult result =
-      ext::RunAdversarialFilter(ds.facts, ds.claims, opts);
-  EXPECT_TRUE(result.removed_sources.empty());
-  EXPECT_EQ(result.rounds, 1);
+  auto filtered = ext::RunAdversarialFilter(ds.facts, ds.claims, opts);
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_TRUE(filtered->removed_sources.empty());
+  EXPECT_EQ(filtered->rounds, 1);
 }
 
 // ------------------------------------------------------------ gaussian ltm

@@ -31,7 +31,7 @@ class BaselineFixture : public ::testing::Test {
 
 TEST_F(BaselineFixture, VotingProportionsMatchTable3) {
   Voting voting;
-  TruthEstimate est = voting.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = voting.Score(ds_.facts, ds_.claims);
   // Radcliffe: 3/3 positive, Watson: 2/3, Grint: 1/3, Depp@HP: 1/3,
   // Depp@P4: 1/1.
   EXPECT_DOUBLE_EQ(Score(est, "Harry Potter", "Daniel Radcliffe"), 1.0);
@@ -45,7 +45,7 @@ TEST_F(BaselineFixture, VotingCannotSeparateGrintFromDepp) {
   // The paper's motivating failure (Example 1): both land at 1/3, so any
   // threshold treats them identically.
   Voting voting;
-  TruthEstimate est = voting.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = voting.Score(ds_.facts, ds_.claims);
   EXPECT_DOUBLE_EQ(Score(est, "Harry Potter", "Rupert Grint"),
                    Score(est, "Harry Potter", "Johnny Depp"));
 }
@@ -53,7 +53,7 @@ TEST_F(BaselineFixture, VotingCannotSeparateGrintFromDepp) {
 TEST_F(BaselineFixture, TruthFinderScoresAtLeastHalf) {
   // Structural over-optimism: dampened sigmoid of non-negative support.
   TruthFinder tf;
-  TruthEstimate est = tf.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = tf.Score(ds_.facts, ds_.claims);
   for (double p : est.probability) {
     EXPECT_GE(p, 0.5);
     EXPECT_LE(p, 1.0);
@@ -62,14 +62,14 @@ TEST_F(BaselineFixture, TruthFinderScoresAtLeastHalf) {
 
 TEST_F(BaselineFixture, TruthFinderRanksBySupport) {
   TruthFinder tf;
-  TruthEstimate est = tf.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = tf.Score(ds_.facts, ds_.claims);
   EXPECT_GT(Score(est, "Harry Potter", "Daniel Radcliffe"),
             Score(est, "Harry Potter", "Rupert Grint"));
 }
 
 TEST_F(BaselineFixture, HubAuthorityMaxNormalized) {
   HubAuthority ha;
-  TruthEstimate est = ha.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = ha.Score(ds_.facts, ds_.claims);
   double max_score = 0.0;
   for (double p : est.probability) {
     EXPECT_GE(p, 0.0);
@@ -85,13 +85,13 @@ TEST_F(BaselineFixture, HubAuthorityIsConservative) {
   // Facts asserted by a single low-degree source score far below 0.5 —
   // the paper's "overly conservative" family.
   HubAuthority ha;
-  TruthEstimate est = ha.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = ha.Score(ds_.facts, ds_.claims);
   EXPECT_LT(Score(est, "Pirates 4", "Johnny Depp"), 0.5);
 }
 
 TEST_F(BaselineFixture, AvgLogBoundsAndRanking) {
   AvgLog al;
-  TruthEstimate est = al.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = al.Score(ds_.facts, ds_.claims);
   for (double p : est.probability) {
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
@@ -102,7 +102,7 @@ TEST_F(BaselineFixture, AvgLogBoundsAndRanking) {
 
 TEST_F(BaselineFixture, InvestmentBoundsAndRanking) {
   Investment inv;
-  TruthEstimate est = inv.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = inv.Score(ds_.facts, ds_.claims);
   for (double p : est.probability) {
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
@@ -113,7 +113,7 @@ TEST_F(BaselineFixture, InvestmentBoundsAndRanking) {
 
 TEST_F(BaselineFixture, PooledInvestmentPoolsWithinEntity) {
   PooledInvestment pi;
-  TruthEstimate est = pi.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = pi.Score(ds_.facts, ds_.claims);
   // Beliefs of one entity's facts are shares of a pool: they are bounded
   // by the pool total (<= 1 each, and the 4 HP facts cannot all be ~1).
   double hp_sum = Score(est, "Harry Potter", "Daniel Radcliffe") +
@@ -129,7 +129,7 @@ TEST_F(BaselineFixture, PooledInvestmentPoolsWithinEntity) {
 
 TEST_F(BaselineFixture, ThreeEstimatesUsesNegativeClaims) {
   ThreeEstimates te;
-  TruthEstimate est = te.Run(ds_.facts, ds_.claims);
+  TruthEstimate est = te.Score(ds_.facts, ds_.claims);
   for (double p : est.probability) {
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
@@ -149,7 +149,7 @@ TEST_F(BaselineFixture, AllMethodsSizeOutputToFactCount) {
   methods.emplace_back(new PooledInvestment());
   methods.emplace_back(new ThreeEstimates());
   for (const auto& m : methods) {
-    TruthEstimate est = m->Run(ds_.facts, ds_.claims);
+    TruthEstimate est = m->Score(ds_.facts, ds_.claims);
     EXPECT_EQ(est.probability.size(), ds_.facts.NumFacts()) << m->name();
   }
 }
@@ -166,7 +166,7 @@ TEST_F(BaselineFixture, AllMethodsHandleEmptyInput) {
   methods.emplace_back(new PooledInvestment());
   methods.emplace_back(new ThreeEstimates());
   for (const auto& m : methods) {
-    TruthEstimate est = m->Run(facts, claims);
+    TruthEstimate est = m->Score(facts, claims);
     EXPECT_TRUE(est.probability.empty()) << m->name();
   }
 }
@@ -188,8 +188,8 @@ TEST_P(BaselinePropertyTest, BoundedAndDeterministic) {
   methods.emplace_back(new PooledInvestment());
   methods.emplace_back(new ThreeEstimates());
   for (const auto& m : methods) {
-    TruthEstimate a = m->Run(facts, claims);
-    TruthEstimate b = m->Run(facts, claims);
+    TruthEstimate a = m->Score(facts, claims);
+    TruthEstimate b = m->Score(facts, claims);
     EXPECT_EQ(a.probability, b.probability) << m->name();
     for (double p : a.probability) {
       ASSERT_GE(p, 0.0) << m->name();

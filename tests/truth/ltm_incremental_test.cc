@@ -31,7 +31,7 @@ TEST(LtmIncrementalTest, Eq3ClosedFormOnSingleClaim) {
   LtmIncremental inc(q, opts);
   ClaimTable claims = ClaimTable::FromClaims({{0, 0, true}}, 1, 2);
   FactTable facts;
-  TruthEstimate est = inc.Run(facts, claims);
+  TruthEstimate est = inc.Score(facts, claims);
   ASSERT_EQ(est.probability.size(), 1u);
   EXPECT_NEAR(est.probability[0], 0.95 / (0.95 + 0.01), 1e-9);
 }
@@ -45,7 +45,7 @@ TEST(LtmIncrementalTest, NegativeClaimFromSensitiveSourceSuppresses) {
   LtmIncremental inc(q, opts);
   ClaimTable claims = ClaimTable::FromClaims({{0, 0, false}}, 1, 2);
   FactTable facts;
-  TruthEstimate est = inc.Run(facts, claims);
+  TruthEstimate est = inc.Score(facts, claims);
   EXPECT_NEAR(est.probability[0], 0.05 / (0.05 + 0.99), 1e-9);
 }
 
@@ -58,7 +58,7 @@ TEST(LtmIncrementalTest, NegativeClaimFromLowSensitivitySourceIsWeak) {
   LtmIncremental inc(q, opts);
   ClaimTable claims = ClaimTable::FromClaims({{0, 1, false}}, 1, 2);
   FactTable facts;
-  TruthEstimate est = inc.Run(facts, claims);
+  TruthEstimate est = inc.Score(facts, claims);
   EXPECT_NEAR(est.probability[0], 0.60 / (0.60 + 0.99), 1e-9);
   EXPECT_GT(est.probability[0], 0.3);  // Much weaker suppression.
 }
@@ -73,7 +73,7 @@ TEST(LtmIncrementalTest, PriorMeanFallbackForUnseenSources) {
   // Source id 5 was never seen at training time.
   ClaimTable claims = ClaimTable::FromClaims({{0, 5, true}}, 1, 6);
   FactTable facts;
-  TruthEstimate est = inc.Run(facts, claims);
+  TruthEstimate est = inc.Score(facts, claims);
   EXPECT_NEAR(est.probability[0], 0.5 / (0.5 + 0.01), 1e-9);
 }
 
@@ -84,7 +84,7 @@ TEST(LtmIncrementalTest, TruthPriorShiftsPosterior) {
   LtmIncremental inc(q, skeptical);
   ClaimTable claims = ClaimTable::FromClaims({{0, 0, true}}, 1, 2);
   FactTable facts;
-  TruthEstimate est = inc.Run(facts, claims);
+  TruthEstimate est = inc.Score(facts, claims);
   const double expected = (1.0 * 0.95) / (1.0 * 0.95 + 9.0 * 0.01);
   EXPECT_NEAR(est.probability[0], expected, 1e-9);
 }
@@ -102,6 +102,54 @@ TEST(LtmIncrementalTest, AccumulatedPriorsFoldCounts) {
   EXPECT_DOUBLE_EQ(priors.alpha0[0].neg, 1000.0 + 7.0);
   EXPECT_DOUBLE_EQ(priors.alpha1[0].pos, 50.0 + 8.0);
   EXPECT_DOUBLE_EQ(priors.alpha1[0].neg, 50.0 + 2.0);
+}
+
+TEST(LtmIncrementalTest, EstimateBeforeObserveIsFailedPrecondition) {
+  LtmIncremental inc{LtmOptions()};
+  auto est = inc.Estimate();
+  ASSERT_FALSE(est.ok());
+  EXPECT_EQ(est.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LtmIncrementalTest, ObserveCachesEstimateAndAccumulatesEvidence) {
+  SourceQuality q = PerfectQualityForTwoSources();
+  LtmOptions opts;
+  opts.beta = BetaPrior{1.0, 1.0};
+  LtmIncremental inc(q, opts);
+
+  Dataset chunk;
+  chunk.raw.Add("e0", "a0", "s0");
+  chunk.raw.Add("e0", "a1", "s1");
+  chunk = Dataset::FromRaw("chunk", std::move(chunk.raw));
+  ASSERT_TRUE(inc.Observe(chunk).ok());
+
+  auto est = inc.Estimate();
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->estimate.probability.size(), chunk.facts.NumFacts());
+  // Run() on the same chunk is stateless and must agree with the cache.
+  auto rerun = inc.Run(RunContext(), chunk.facts, chunk.claims);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_EQ(rerun->estimate.probability, est->estimate.probability);
+
+  // The observed chunk's expected counts are folded into the priors: for
+  // every source that claimed something, the prior mass strictly grows.
+  UpdatedPriors before = LtmIncremental(q, opts).AccumulatedPriors();
+  UpdatedPriors after = inc.AccumulatedPriors();
+  ASSERT_EQ(after.alpha0.size(), before.alpha0.size());
+  double before_mass = 0.0;
+  double after_mass = 0.0;
+  for (size_t s = 0; s < after.alpha0.size(); ++s) {
+    before_mass += before.alpha0[s].Sum() + before.alpha1[s].Sum();
+    after_mass += after.alpha0[s].Sum() + after.alpha1[s].Sum();
+  }
+  // Each claim contributes exactly one unit of expected count mass.
+  EXPECT_NEAR(after_mass - before_mass, chunk.claims.NumClaims(), 1e-9);
+}
+
+TEST(LtmIncrementalTest, IsDiscoverableViaStreamingInterface) {
+  LtmIncremental inc{LtmOptions()};
+  StreamingTruthMethod* stream = &inc;
+  EXPECT_EQ(stream->name(), "LTMinc");
 }
 
 // Integration: the paper's LTMinc protocol — batch-fit on the unlabeled
@@ -126,11 +174,11 @@ TEST(LtmIncrementalTest, MatchesBatchOnHeldOutMovies) {
   batch.RunWithQuality(train.claims, &quality);
 
   LtmIncremental inc(quality, opts);
-  TruthEstimate inc_est = inc.Run(test.facts, test.claims);
+  TruthEstimate inc_est = inc.Score(test.facts, test.claims);
   PointMetrics inc_m = EvaluateAtThreshold(inc_est.probability, test.labels,
                                            0.5);
 
-  TruthEstimate batch_est = batch.Run(test.facts, test.claims);
+  TruthEstimate batch_est = batch.Score(test.facts, test.claims);
   PointMetrics batch_m =
       EvaluateAtThreshold(batch_est.probability, test.labels, 0.5);
 

@@ -190,7 +190,7 @@ TEST(LatentTruthModelTest, RecoversTruthOnGoodSyntheticData) {
   opts.burnin = 20;
   opts.sample_gap = 4;
   LatentTruthModel model(opts);
-  TruthEstimate est = model.Run(data.facts, data.claims);
+  TruthEstimate est = model.Score(data.facts, data.claims);
   PointMetrics m = EvaluateAtThreshold(est.probability, data.truth, 0.5);
   EXPECT_GT(m.accuracy(), 0.95) << m.confusion.ToString();
 }
@@ -229,7 +229,7 @@ TEST(LatentTruthModelTest, LtmPosPredictsEverythingTrue) {
   LtmOptions opts = SmallDataOptions();
   opts.positive_claims_only = true;
   LatentTruthModel model(opts);
-  TruthEstimate est = model.Run(facts, claims);
+  TruthEstimate est = model.Score(facts, claims);
   size_t below = 0;
   for (double p : est.probability) {
     if (p < 0.5) ++below;
@@ -257,7 +257,7 @@ TEST(LatentTruthModelTest, EmptyClaimTable) {
   ClaimTable empty;
   LatentTruthModel model(SmallDataOptions());
   FactTable facts;
-  TruthEstimate est = model.Run(facts, empty);
+  TruthEstimate est = model.Score(facts, empty);
   EXPECT_TRUE(est.probability.empty());
 }
 

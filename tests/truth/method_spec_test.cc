@@ -1,0 +1,95 @@
+#include "truth/method_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace {
+
+TEST(MethodSpecTest, BareNameParses) {
+  auto spec = MethodSpec::Parse("LTM");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "LTM");
+  EXPECT_TRUE(spec->options.empty());
+}
+
+TEST(MethodSpecTest, WhitespaceIsTolerated) {
+  auto spec = MethodSpec::Parse("  TruthFinder ( rho = 0.5 , gamma = 0.3 ) ");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "TruthFinder");
+  EXPECT_EQ(spec->options.size(), 2u);
+  EXPECT_TRUE(spec->options.Has("rho"));
+  EXPECT_TRUE(spec->options.Has("GAMMA"));  // Keys are case-insensitive.
+}
+
+TEST(MethodSpecTest, EmptyArgumentListParses) {
+  auto spec = MethodSpec::Parse("Voting()");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "Voting");
+  EXPECT_TRUE(spec->options.empty());
+}
+
+TEST(MethodSpecTest, TypedGetters) {
+  auto spec = MethodSpec::Parse(
+      "M(d=0.25,i=42,u=18446744073709551615,b1=true,b2=off,s=hello)");
+  ASSERT_TRUE(spec.ok());
+  const MethodOptions& o = spec->options;
+  EXPECT_DOUBLE_EQ(o.GetDouble("d", 0.0).value(), 0.25);
+  EXPECT_EQ(o.GetInt("i", 0).value(), 42);
+  EXPECT_EQ(o.GetUint64("u", 0).value(), 18446744073709551615ull);
+  EXPECT_TRUE(o.GetBool("b1", false).value());
+  EXPECT_FALSE(o.GetBool("b2", true).value());
+  EXPECT_EQ(o.GetString("s", "").value(), "hello");
+  // Absent keys fall back.
+  EXPECT_DOUBLE_EQ(o.GetDouble("missing", 7.5).value(), 7.5);
+  EXPECT_EQ(o.GetInt("missing2", -3).value(), -3);
+}
+
+TEST(MethodSpecTest, TypeMismatchesAreInvalidArgument) {
+  auto spec = MethodSpec::Parse("M(d=abc,i=1.5,u=-4,b=maybe,e=)");
+  ASSERT_TRUE(spec.ok());
+  const MethodOptions& o = spec->options;
+  EXPECT_EQ(o.GetDouble("d", 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(o.GetInt("i", 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(o.GetUint64("u", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(o.GetBool("b", false).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(o.GetDouble("e", 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MethodSpecTest, ConsumptionTracking) {
+  auto spec = MethodSpec::Parse("M(known=1,unknown=2)");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(spec->options.GetInt("known", 0).ok());
+  Status st = spec->options.CheckAllConsumed("M");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("unknown"), std::string::npos);
+  // After consuming the remaining key the check passes.
+  ASSERT_TRUE(spec->options.GetInt("unknown", 0).ok());
+  EXPECT_TRUE(spec->options.CheckAllConsumed("M").ok());
+}
+
+TEST(MethodSpecTest, MalformedSpecs) {
+  for (const char* bad :
+       {"", "  ", "(x=1)", "M(x=1", "M)", "M(x)", "M(=1)", "M(x=1,x=2)",
+        "M((x=1))", "M(x=1))"}) {
+    auto spec = MethodSpec::Parse(bad);
+    EXPECT_FALSE(spec.ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(MethodSpecTest, ToStringRoundTrips) {
+  auto spec = MethodSpec::Parse("LTM(iterations=200, seed=7)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->ToString(), "LTM(iterations=200,seed=7)");
+  auto reparsed = MethodSpec::Parse(spec->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->name, "LTM");
+  EXPECT_EQ(reparsed->options.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ltm

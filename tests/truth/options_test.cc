@@ -2,8 +2,96 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "truth/method_spec.h"
+
 namespace ltm {
 namespace {
+
+TEST(LtmOptionsValidateTest, DefaultsAreValid) {
+  EXPECT_TRUE(LtmOptions().Validate().ok());
+  EXPECT_TRUE(LtmOptions::BookDataDefaults().Validate().ok());
+  EXPECT_TRUE(LtmOptions::MovieDataDefaults().Validate().ok());
+}
+
+TEST(LtmOptionsValidateTest, RejectsNonPositiveSampleGap) {
+  LtmOptions opts;
+  opts.sample_gap = 0;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+  opts.sample_gap = -3;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+  opts.sample_gap = 1;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(LtmOptionsValidateTest, RejectsBurninAtOrAboveIterations) {
+  LtmOptions opts;
+  opts.iterations = 50;
+  opts.burnin = 50;
+  Status st = opts.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("burnin"), std::string::npos);
+  opts.burnin = 51;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.burnin = 49;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.burnin = -1;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(LtmOptionsValidateTest, RejectsNonFinitePseudoCounts) {
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(), 0.0, -5.0}) {
+    LtmOptions opts;
+    opts.alpha0.pos = bad;
+    EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    opts = LtmOptions();
+    opts.alpha1.neg = bad;
+    EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    opts = LtmOptions();
+    opts.beta.pos = bad;
+    EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(LtmOptionsValidateTest, MessagesNameTheOffendingField) {
+  LtmOptions opts;
+  opts.beta.neg = std::nan("");
+  EXPECT_NE(opts.Validate().message().find("beta.neg"), std::string::npos);
+  opts = LtmOptions();
+  opts.sample_gap = 0;
+  EXPECT_NE(opts.Validate().message().find("sample_gap"), std::string::npos);
+}
+
+TEST(LtmOptionsValidateTest, RejectsNonFiniteThreshold) {
+  LtmOptions opts;
+  opts.truth_threshold = std::nan("");
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.truth_threshold = 1.5;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(LtmOptionsFromSpecTest, AppliesAndValidates) {
+  auto spec = MethodSpec::Parse(
+      "LTM(iterations=80,burnin=20,gap=2,seed=11,alpha0_pos=5,alpha0_neg=500)");
+  ASSERT_TRUE(spec.ok());
+  auto opts = LtmOptionsFromSpec(spec->options, LtmOptions());
+  ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+  EXPECT_EQ(opts->iterations, 80);
+  EXPECT_EQ(opts->burnin, 20);
+  EXPECT_EQ(opts->sample_gap, 2);
+  EXPECT_EQ(opts->seed, 11u);
+  EXPECT_DOUBLE_EQ(opts->alpha0.pos, 5.0);
+  EXPECT_DOUBLE_EQ(opts->alpha0.neg, 500.0);
+
+  auto bad = MethodSpec::Parse("LTM(iterations=10,burnin=10)");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(LtmOptionsFromSpec(bad->options, LtmOptions()).status().code(),
+            StatusCode::kInvalidArgument);
+}
 
 TEST(BetaPriorTest, MeanAndSum) {
   BetaPrior p{10.0, 90.0};

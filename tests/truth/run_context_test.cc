@@ -1,0 +1,241 @@
+// Tests for the RunContext / TruthResult engine API: cancellation,
+// deadlines, seed override, per-iteration traces and callbacks, quality
+// attachment, and the bit-identical determinism guarantee of the
+// LatentTruthModel wrapper versus the low-level Gibbs sampler.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "data/dataset.h"
+#include "test_util.h"
+#include "truth/ltm.h"
+#include "truth/registry.h"
+
+namespace ltm {
+namespace {
+
+Dataset SmallDataset() {
+  return Dataset::FromRaw("table1", testing::PaperTable1());
+}
+
+LtmOptions FastOptions() {
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{1.0, 100.0};
+  opts.alpha1 = BetaPrior{1.0, 1.0};
+  opts.beta = BetaPrior{1.0, 1.0};
+  opts.iterations = 50;
+  opts.burnin = 10;
+  opts.sample_gap = 2;
+  opts.seed = 99;
+  return opts;
+}
+
+TEST(RunContextTest, DefaultContextMatchesScore) {
+  Dataset ds = SmallDataset();
+  LatentTruthModel model(FastOptions());
+  auto result = model.Run(RunContext(), ds.facts, ds.claims);
+  ASSERT_TRUE(result.ok());
+  TruthEstimate scored = model.Score(ds.facts, ds.claims);
+  EXPECT_EQ(result->estimate.probability, scored.probability);
+  EXPECT_EQ(result->iterations, 50);
+  EXPECT_TRUE(result->converged);
+  EXPECT_GE(result->wall_seconds, 0.0);
+  EXPECT_TRUE(result->trace.empty());       // Not requested.
+  EXPECT_FALSE(result->quality.has_value());  // Not requested.
+}
+
+TEST(RunContextTest, PosteriorsBitIdenticalToLowLevelSampler) {
+  // Acceptance criterion: for a fixed seed the session API reproduces the
+  // pre-refactor sampler exactly, bit for bit.
+  Dataset ds = SmallDataset();
+  LtmOptions opts = FastOptions();
+  LtmGibbs sampler(ds.claims, opts);
+  TruthEstimate reference = sampler.Run();
+
+  LatentTruthModel model(opts);
+  auto via_api = model.Run(RunContext(), ds.facts, ds.claims);
+  ASSERT_TRUE(via_api.ok());
+  ASSERT_EQ(via_api->estimate.probability.size(),
+            reference.probability.size());
+  for (size_t f = 0; f < reference.probability.size(); ++f) {
+    EXPECT_EQ(via_api->estimate.probability[f], reference.probability[f])
+        << "fact " << f;  // EXPECT_EQ, not NEAR: bit-identical.
+  }
+}
+
+TEST(RunContextTest, SeedOverrideChangesAndReproducesChains) {
+  Dataset ds = SmallDataset();
+  LatentTruthModel model(FastOptions());
+  RunContext seed1;
+  seed1.seed = 1234;
+  RunContext seed2;
+  seed2.seed = 5678;
+  auto a = model.Run(seed1, ds.facts, ds.claims);
+  auto b = model.Run(seed1, ds.facts, ds.claims);
+  auto c = model.Run(seed2, ds.facts, ds.claims);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->estimate.probability, b->estimate.probability);
+  EXPECT_NE(a->estimate.probability, c->estimate.probability);
+  // The override matches configuring the seed in the options directly.
+  LtmOptions direct = FastOptions();
+  direct.seed = 1234;
+  TruthEstimate expected = LatentTruthModel(direct).Score(ds.facts, ds.claims);
+  EXPECT_EQ(a->estimate.probability, expected.probability);
+}
+
+TEST(RunContextTest, CancellationReturnsCancelled) {
+  Dataset ds = SmallDataset();
+  LatentTruthModel model(FastOptions());
+  std::atomic<bool> cancel{true};  // Pre-cancelled: stops on first check.
+  RunContext ctx;
+  ctx.cancel = &cancel;
+  auto result = model.Run(ctx, ds.facts, ds.claims);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, MidRunCancellationFromCallback) {
+  Dataset ds = SmallDataset();
+  LatentTruthModel model(FastOptions());
+  std::atomic<bool> cancel{false};
+  int iterations_seen = 0;
+  RunContext ctx;
+  ctx.cancel = &cancel;
+  ctx.on_iteration = [&](const IterationStat& stat) {
+    ++iterations_seen;
+    if (stat.iteration == 4) cancel.store(true);
+  };
+  auto result = model.Run(ctx, ds.facts, ds.claims);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(iterations_seen, 5);  // Iterations 0..4 ran, then the check hit.
+}
+
+TEST(RunContextTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  Dataset ds = SmallDataset();
+  LtmOptions opts = FastOptions();
+  opts.iterations = 100000;  // Long enough that the deadline fires.
+  opts.burnin = 10;
+  LatentTruthModel model(opts);
+  RunContext ctx;
+  ctx.deadline_seconds = 1e-9;
+  auto result = model.Run(ctx, ds.facts, ds.claims);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, TraceRecordsEveryIteration) {
+  Dataset ds = SmallDataset();
+  LatentTruthModel model(FastOptions());
+  RunContext ctx;
+  ctx.collect_trace = true;
+  auto result = model.Run(ctx, ds.facts, ds.claims);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->trace.size(), 50u);
+  for (size_t i = 0; i < result->trace.size(); ++i) {
+    EXPECT_EQ(result->trace[i].iteration, static_cast<int>(i));
+    EXPECT_GE(result->trace[i].delta, 0.0);
+    EXPECT_LE(result->trace[i].delta, 1.0);  // Flip fraction.
+    if (i > 0) {
+      EXPECT_GE(result->trace[i].elapsed_seconds,
+                result->trace[i - 1].elapsed_seconds);
+    }
+  }
+}
+
+TEST(RunContextTest, CallbacksDoNotPerturbTheChain) {
+  Dataset ds = SmallDataset();
+  LatentTruthModel model(FastOptions());
+  auto plain = model.Run(RunContext(), ds.facts, ds.claims);
+
+  RunContext ctx;
+  ctx.collect_trace = true;
+  int progress_calls = 0;
+  int state_calls = 0;
+  ctx.on_progress = [&](std::string_view stage, double fraction) {
+    EXPECT_EQ(stage, "LTM");
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+    ++progress_calls;
+  };
+  ctx.on_state = [&](int iteration, const TruthEstimate& state) {
+    EXPECT_GE(iteration, 0);
+    EXPECT_EQ(state.probability.size(), ds.facts.NumFacts());
+    for (double p : state.probability) {
+      EXPECT_TRUE(p == 0.0 || p == 1.0);  // Hard per-sweep assignment.
+    }
+    ++state_calls;
+  };
+  auto observed = model.Run(ctx, ds.facts, ds.claims);
+  ASSERT_TRUE(plain.ok() && observed.ok());
+  EXPECT_EQ(plain->estimate.probability, observed->estimate.probability);
+  EXPECT_EQ(state_calls, 50);
+  EXPECT_GT(progress_calls, 50);  // Per-iteration plus the final 1.0.
+}
+
+TEST(RunContextTest, WithQualityAttachesSourceQuality) {
+  Dataset ds = SmallDataset();
+  LatentTruthModel model(FastOptions());
+  RunContext ctx;
+  ctx.with_quality = true;
+  auto result = model.Run(ctx, ds.facts, ds.claims);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->quality.has_value());
+  EXPECT_EQ(result->quality->NumSources(), ds.raw.NumSources());
+  // Identical to the legacy RunWithQuality read-off.
+  SourceQuality legacy;
+  TruthEstimate est = model.RunWithQuality(ds.claims, &legacy);
+  EXPECT_EQ(est.probability, result->estimate.probability);
+  EXPECT_EQ(legacy.sensitivity, result->quality->sensitivity);
+  EXPECT_EQ(legacy.specificity, result->quality->specificity);
+}
+
+TEST(RunContextTest, EveryRegisteredMethodHonoursCancellation) {
+  Dataset ds = SmallDataset();
+  std::atomic<bool> cancel{true};
+  RunContext ctx;
+  ctx.cancel = &cancel;
+  for (const std::string& name : MethodNames()) {
+    auto method = CreateMethod(name);
+    ASSERT_TRUE(method.ok()) << name;
+    auto result = (*method)->Run(ctx, ds.facts, ds.claims);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled) << name;
+  }
+}
+
+TEST(RunContextTest, EveryBatchMethodRunsThroughTheUnifiedApi) {
+  Dataset ds = SmallDataset();
+  for (auto& method : CreateAllMethods()) {
+    RunContext ctx;
+    ctx.collect_trace = true;
+    auto result = method->Run(ctx, ds.facts, ds.claims);
+    ASSERT_TRUE(result.ok()) << method->name();
+    EXPECT_EQ(result->estimate.probability.size(), ds.facts.NumFacts())
+        << method->name();
+    for (double p : result->estimate.probability) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+  // ... and so does LTMinc, through the very same interface.
+  auto inc = CreateMethod("LTMinc");
+  ASSERT_TRUE(inc.ok());
+  auto result = (*inc)->Run(RunContext(), ds.facts, ds.claims);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->estimate.probability.size(), ds.facts.NumFacts());
+}
+
+TEST(RunContextTest, IterativeBaselineReportsConvergence) {
+  Dataset ds = SmallDataset();
+  auto tf = CreateMethod("TruthFinder(tolerance=0.1)");
+  ASSERT_TRUE(tf.ok());
+  auto result = (*tf)->Run(RunContext(), ds.facts, ds.claims);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_LT(result->iterations, 100);  // Stopped well before the cap.
+}
+
+}  // namespace
+}  // namespace ltm

@@ -21,7 +21,7 @@ TEST(ThreeEstimatesTest, UnanimousPositiveBeatsContested) {
   ClaimTable table = ClaimTable::FromClaims(std::move(claims), 2, 3);
   FactTable facts = FactTable::FromFactList({{0, 0}, {0, 1}});
   ThreeEstimates te;
-  TruthEstimate est = te.Run(facts, table);
+  TruthEstimate est = te.Score(facts, table);
   EXPECT_GT(est.probability[0], est.probability[1]);
   EXPECT_GT(est.probability[0], 0.5);
   EXPECT_LT(est.probability[1], 0.5);
@@ -34,7 +34,7 @@ TEST(ThreeEstimatesTest, NegativeClaimsChangeTheAnswer) {
   ClaimTable table = ClaimTable::FromClaims(std::move(with_denials), 2, 3);
   FactTable facts = FactTable::FromFactList({{0, 0}, {0, 1}});
   ThreeEstimates te;
-  TruthEstimate est = te.Run(facts, table);
+  TruthEstimate est = te.Score(facts, table);
   EXPECT_LT(est.probability[0], est.probability[1]);
 }
 
@@ -51,7 +51,7 @@ TEST(ThreeEstimatesTest, FloorPreventsDegenerateDivision) {
   ClaimTable table = ClaimTable::FromClaims(std::move(claims), 20, 2);
   FactTable facts;
   ThreeEstimates te(opts);
-  TruthEstimate est = te.Run(facts, table);
+  TruthEstimate est = te.Score(facts, table);
   for (double p : est.probability) {
     EXPECT_TRUE(std::isfinite(p));
     EXPECT_GE(p, 0.0);
@@ -67,8 +67,8 @@ TEST(ThreeEstimatesTest, MoreIterationsStayStable) {
   short_opts.iterations = 100;
   ThreeEstimatesOptions long_opts;
   long_opts.iterations = 400;
-  TruthEstimate a = ThreeEstimates(short_opts).Run(facts, claims);
-  TruthEstimate b = ThreeEstimates(long_opts).Run(facts, claims);
+  TruthEstimate a = ThreeEstimates(short_opts).Score(facts, claims);
+  TruthEstimate b = ThreeEstimates(long_opts).Score(facts, claims);
   // Converged fixed point: decisions agree on nearly all facts.
   size_t disagree = 0;
   for (FactId f = 0; f < claims.NumFacts(); ++f) {

@@ -19,7 +19,7 @@ TEST(TruthFinderTest, MoreSupportersMeansHigherConfidence) {
   ClaimTable table = ClaimTable::FromClaims(std::move(claims), 2, 3);
   FactTable facts;
   TruthFinder tf;
-  TruthEstimate est = tf.Run(facts, table);
+  TruthEstimate est = tf.Score(facts, table);
   EXPECT_GT(est.probability[0], est.probability[1]);
 }
 
@@ -33,9 +33,9 @@ TEST(TruthFinderTest, IgnoresNegativeClaims) {
   FactTable facts;
   TruthFinder tf;
   TruthEstimate a =
-      tf.Run(facts, ClaimTable::FromClaims(std::move(base), 2, 2));
+      tf.Score(facts, ClaimTable::FromClaims(std::move(base), 2, 2));
   TruthEstimate b =
-      tf.Run(facts, ClaimTable::FromClaims(std::move(with_neg), 2, 2));
+      tf.Score(facts, ClaimTable::FromClaims(std::move(with_neg), 2, 2));
   EXPECT_EQ(a.probability, b.probability);
 }
 
@@ -47,8 +47,8 @@ TEST(TruthFinderTest, DampeningControlsSaturation) {
   TruthFinderOptions strong;
   strong.dampening = 1.0;
   ClaimTable table = ClaimTable::FromClaims(std::move(claims), 1, 3);
-  TruthEstimate w = TruthFinder(weak).Run(facts, table);
-  TruthEstimate s = TruthFinder(strong).Run(facts, table);
+  TruthEstimate w = TruthFinder(weak).Score(facts, table);
+  TruthEstimate s = TruthFinder(strong).Score(facts, table);
   // Stronger dampening factor amplifies support into higher confidence.
   EXPECT_LT(w.probability[0], s.probability[0]);
   EXPECT_GE(w.probability[0], 0.5);
@@ -64,8 +64,8 @@ TEST(TruthFinderTest, ConvergesOnLargerData) {
   TruthFinderOptions loose;
   loose.tolerance = 1e-9;
   loose.max_iterations = 1000;
-  TruthEstimate a = TruthFinder(tight).Run(facts, claims);
-  TruthEstimate b = TruthFinder(loose).Run(facts, claims);
+  TruthEstimate a = TruthFinder(tight).Score(facts, claims);
+  TruthEstimate b = TruthFinder(loose).Score(facts, claims);
   for (FactId f = 0; f < claims.NumFacts(); ++f) {
     EXPECT_NEAR(a.probability[f], b.probability[f], 1e-6);
   }
@@ -79,7 +79,7 @@ TEST(TruthFinderTest, PerfectInitialTrustDoesNotBlowUp) {
   std::vector<Claim> claims{{0, 0, true}};
   FactTable facts;
   TruthEstimate est =
-      TruthFinder(opts).Run(facts, ClaimTable::FromClaims(std::move(claims), 1, 1));
+      TruthFinder(opts).Score(facts, ClaimTable::FromClaims(std::move(claims), 1, 1));
   EXPECT_TRUE(std::isfinite(est.probability[0]));
   EXPECT_LE(est.probability[0], 1.0);
 }
