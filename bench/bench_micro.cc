@@ -4,11 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "data/claim_graph.h"
 #include "data/dataset.h"
 #include "synth/ltm_process.h"
 #include "synth/movie_simulator.h"
 #include "truth/ltm.h"
 #include "truth/ltm_incremental.h"
+#include "truth/ltm_parallel.h"
 #include "truth/source_quality.h"
 
 namespace ltm {
@@ -38,6 +40,31 @@ void BM_GibbsSweep(benchmark::State& state) {
                           static_cast<int64_t>(data.claims.NumClaims()));
 }
 BENCHMARK(BM_GibbsSweep)->Arg(1000)->Arg(10000);
+
+void BM_ShardedGibbsSweep(benchmark::State& state) {
+  const auto& data = SharedProcessData(10000);
+  LtmOptions opts = LtmOptions::ScaledDefaults(data.claims.NumFacts());
+  opts.threads = static_cast<int>(state.range(0));
+  ClaimGraph graph = ClaimGraph::Build(data.claims);
+  ParallelLtmGibbs sampler(graph, opts);
+  for (auto _ : state) {
+    sampler.RunSweep();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.claims.NumClaims()));
+}
+BENCHMARK(BM_ShardedGibbsSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ClaimGraphBuild(benchmark::State& state) {
+  const auto& data = SharedProcessData(state.range(0));
+  for (auto _ : state) {
+    ClaimGraph graph = ClaimGraph::Build(data.claims);
+    benchmark::DoNotOptimize(graph.NumClaims());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.claims.NumClaims()));
+}
+BENCHMARK(BM_ClaimGraphBuild)->Arg(1000)->Arg(10000);
 
 void BM_ClaimTableBuild(benchmark::State& state) {
   synth::MovieSimOptions gen;

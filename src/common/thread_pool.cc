@@ -1,0 +1,189 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace ltm {
+
+namespace {
+
+/// Shared state of one ParallelFor call. Runners (worker tasks and the
+/// calling thread) pull chunk indices from `cursor` until it is exhausted
+/// or `stopped` is raised; the caller waits until every runner task it
+/// submitted has exited.
+struct ParallelForState {
+  size_t begin = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  size_t range_end = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  const std::function<Status()>* stop_check = nullptr;
+
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> stopped{false};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  int live_runners = 0;      ///< submitted worker tasks not yet exited
+  Status first_error;        ///< first non-OK stop_check result
+  std::exception_ptr first_exception;
+
+  /// Executes chunks until exhaustion or stop. Never throws.
+  void RunLoop() {
+    for (;;) {
+      if (stopped.load(std::memory_order_acquire)) return;
+      if (*stop_check != nullptr) {
+        Status st = (*stop_check)();
+        if (!st.ok()) {
+          Stop(std::move(st), nullptr);
+          return;
+        }
+      }
+      const size_t chunk = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      const size_t lo = begin + chunk * grain;
+      const size_t hi = std::min(range_end, lo + grain);
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        Stop(Status::OK(), std::current_exception());
+        return;
+      }
+    }
+  }
+
+  void Stop(Status error, std::exception_ptr exception) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (first_error.ok() && !error.ok()) first_error = std::move(error);
+      if (!first_exception && exception) first_exception = exception;
+    }
+    stopped.store(true, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(0, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                               const std::function<void(size_t, size_t)>& fn,
+                               const std::function<Status()>& stop_check) {
+  if (begin >= end) return Status::OK();
+  grain = std::max<size_t>(1, grain);
+
+  auto state = std::make_shared<ParallelForState>();
+  state->begin = begin;
+  state->grain = grain;
+  state->num_chunks = (end - begin + grain - 1) / grain;
+  state->range_end = end;
+  state->fn = &fn;
+  state->stop_check = &stop_check;
+
+  // One runner task per worker, capped by the chunk count — the calling
+  // thread is always a runner too, so a zero-worker pool still makes
+  // progress (sequentially).
+  const size_t helper_count =
+      std::min<size_t>(workers_.size(), state->num_chunks);
+  state->live_runners = static_cast<int>(helper_count);
+  for (size_t i = 0; i < helper_count; ++i) {
+    Submit([state] {
+      state->RunLoop();
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->live_runners == 0) state->done.notify_all();
+    });
+  }
+
+  state->RunLoop();
+
+  // Barrier: wait for the submitted runner tasks to exit — but keep
+  // draining the pool's queue while doing so. Without this, nesting
+  // deadlocks: every worker blocks in some inner ParallelFor waiting for
+  // helper tasks that only a free worker could execute. A queued task we
+  // pick up here either belongs to a (possibly different) ParallelFor —
+  // it drains chunks and exits — or is a plain Submit task; either way
+  // the system keeps making progress. Any runner not in the queue is
+  // executing on some thread and will notify `done` when it exits, so the
+  // short timed wait below only bounds the window of that two-lock race.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      if (state->live_runners == 0) break;
+    }
+    if (!TryRunOneTask()) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->done.wait_for(lock, std::chrono::milliseconds(1),
+                           [&state] { return state->live_runners == 0; });
+      if (state->live_runners == 0) break;
+    }
+  }
+  if (state->first_exception) std::rethrow_exception(state->first_exception);
+  return state->first_error;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked intentionally: callers may use the pool during static
+  // destruction, and joining threads at exit is a portability hazard.
+  static ThreadPool* shared = new ThreadPool(HardwareConcurrency());
+  return *shared;
+}
+
+}  // namespace ltm

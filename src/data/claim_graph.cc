@@ -1,0 +1,68 @@
+#include "data/claim_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ltm {
+
+ClaimGraph ClaimGraph::Build(const ClaimTable& table) {
+  ClaimGraph g;
+  g.num_sources_ = table.NumSources();
+  const size_t num_facts = table.NumFacts();
+  const size_t num_claims = table.NumClaims();
+
+  g.fact_offsets_.assign(num_facts + 1, 0);
+  g.fact_claims_.reserve(num_claims);
+  g.source_offsets_.assign(g.num_sources_ + 1, 0);
+
+  for (FactId f = 0; f < num_facts; ++f) {
+    for (const Claim& c : table.ClaimsOfFact(f)) {
+      assert(c.source < (1u << 31) && c.fact < (1u << 31));
+      g.fact_claims_.push_back((c.source << 1) |
+                               (c.observation ? 1u : 0u));
+      ++g.source_offsets_[c.source + 1];
+    }
+    g.fact_offsets_[f + 1] = static_cast<uint32_t>(g.fact_claims_.size());
+  }
+
+  for (size_t s = 1; s < g.source_offsets_.size(); ++s) {
+    g.source_offsets_[s] += g.source_offsets_[s - 1];
+  }
+  g.source_claims_.resize(num_claims);
+  std::vector<uint32_t> cursor(g.source_offsets_.begin(),
+                               g.source_offsets_.end() - 1);
+  for (FactId f = 0; f < num_facts; ++f) {
+    for (const Claim& c : table.ClaimsOfFact(f)) {
+      g.source_claims_[cursor[c.source]++] =
+          (c.fact << 1) | (c.observation ? 1u : 0u);
+    }
+  }
+  return g;
+}
+
+std::vector<uint32_t> ClaimGraph::PartitionFacts(int num_shards) const {
+  const int shards = std::max(1, num_shards);
+  const size_t num_facts = NumFacts();
+  std::vector<uint32_t> bounds(static_cast<size_t>(shards) + 1, 0);
+  bounds.back() = static_cast<uint32_t>(num_facts);
+
+  // Cut where the cumulative claim count crosses each shard's pro-rata
+  // share. fact_offsets_ already is the cumulative claim count, so each
+  // boundary is a lower_bound over it: O(shards * log facts).
+  const uint64_t total = NumClaims();
+  for (int k = 1; k < shards; ++k) {
+    const uint64_t target = total * static_cast<uint64_t>(k) /
+                            static_cast<uint64_t>(shards);
+    const auto it =
+        std::lower_bound(fact_offsets_.begin(), fact_offsets_.end(),
+                         static_cast<uint32_t>(target));
+    uint32_t cut = static_cast<uint32_t>(it - fact_offsets_.begin());
+    cut = std::min<uint32_t>(cut, static_cast<uint32_t>(num_facts));
+    // Keep boundaries monotone even on degenerate inputs (e.g. all
+    // claims on one fact, or more shards than facts).
+    bounds[k] = std::max(bounds[k - 1], cut);
+  }
+  return bounds;
+}
+
+}  // namespace ltm

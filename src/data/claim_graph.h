@@ -1,0 +1,90 @@
+#ifndef LTM_DATA_CLAIM_GRAPH_H_
+#define LTM_DATA_CLAIM_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/claim_table.h"
+#include "data/types.h"
+
+namespace ltm {
+
+/// Cache-conscious CSR flattening of a ClaimTable, built once per run for
+/// the samplers' hot loops.
+///
+/// ClaimTable already stores claims fact-major, but each entry is a
+/// 12-byte {fact, source, observation} struct whose `fact` field is
+/// redundant inside a per-fact span, and whose by-source view is an
+/// index-indirection away from the claim payload. ClaimGraph drops both
+/// costs: every adjacency entry is a single uint32 packing the neighbor id
+/// with the observation bit —
+///
+///   fact side:   (source << 1) | observation, in ClaimTable claim order
+///   source side: (fact << 1) | observation, grouped by source
+///
+/// so one Gibbs conditional streams a contiguous run of 4-byte words
+/// (3x less memory traffic than the struct walk) and the per-source count
+/// rebuild walks its own contiguous run. Ids must stay below 2^31, which
+/// the uint32 id space already guarantees elsewhere via kInvalidId.
+///
+/// Immutable after Build(); spans remain valid for the graph's lifetime.
+class ClaimGraph {
+ public:
+  ClaimGraph() = default;
+
+  /// Flattens `table`. Per-fact adjacency order is exactly the
+  /// ClaimTable's claim order (positives before negatives, then by
+  /// source), so algorithms ported from ClaimTable iterate identical
+  /// sequences and reproduce identical floating-point sums.
+  static ClaimGraph Build(const ClaimTable& table);
+
+  size_t NumFacts() const {
+    return fact_offsets_.empty() ? 0 : fact_offsets_.size() - 1;
+  }
+  size_t NumSources() const { return num_sources_; }
+  size_t NumClaims() const { return fact_claims_.size(); }
+
+  /// Unpack helpers for adjacency entries.
+  static constexpr uint32_t PackedId(uint32_t entry) { return entry >> 1; }
+  static constexpr int PackedObs(uint32_t entry) {
+    return static_cast<int>(entry & 1u);
+  }
+
+  /// Packed (source << 1 | obs) entries of fact `f`'s claims (C_f).
+  std::span<const uint32_t> FactClaims(FactId f) const {
+    return std::span<const uint32_t>(fact_claims_.data() + fact_offsets_[f],
+                                     fact_offsets_[f + 1] - fact_offsets_[f]);
+  }
+
+  /// Packed (fact << 1 | obs) entries of source `s`'s claims.
+  std::span<const uint32_t> SourceClaims(SourceId s) const {
+    return std::span<const uint32_t>(
+        source_claims_.data() + source_offsets_[s],
+        source_offsets_[s + 1] - source_offsets_[s]);
+  }
+
+  uint32_t FactDegree(FactId f) const {
+    return fact_offsets_[f + 1] - fact_offsets_[f];
+  }
+
+  /// Partitions facts into `num_shards` contiguous ranges balanced by
+  /// claim count (the sweep's unit of work, since Eq. 2 is O(|C_f|)).
+  /// Returns `num_shards + 1` non-decreasing boundaries with front() == 0
+  /// and back() == NumFacts(); shard k owns [b[k], b[k+1]). Deterministic
+  /// for a given graph and shard count — the parallel sampler's
+  /// reproducibility rests on this.
+  std::vector<uint32_t> PartitionFacts(int num_shards) const;
+
+ private:
+  std::vector<uint32_t> fact_offsets_;    // size NumFacts()+1
+  std::vector<uint32_t> fact_claims_;     // packed source|obs, fact-major
+  std::vector<uint32_t> source_offsets_;  // size NumSources()+1
+  std::vector<uint32_t> source_claims_;   // packed fact|obs, source-major
+  size_t num_sources_ = 0;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_DATA_CLAIM_GRAPH_H_

@@ -35,8 +35,10 @@
 #include "common/rng.h"          // IWYU pragma: export
 #include "common/status.h"       // IWYU pragma: export
 #include "common/string_util.h"  // IWYU pragma: export
+#include "common/thread_pool.h"  // IWYU pragma: export
 #include "common/timer.h"        // IWYU pragma: export
 
+#include "data/claim_graph.h"    // IWYU pragma: export
 #include "data/claim_stats.h"    // IWYU pragma: export
 #include "data/claim_table.h"    // IWYU pragma: export
 #include "data/dataset.h"        // IWYU pragma: export
@@ -57,6 +59,7 @@
 #include "truth/exact_inference.h"   // IWYU pragma: export
 #include "truth/ltm.h"               // IWYU pragma: export
 #include "truth/ltm_incremental.h"   // IWYU pragma: export
+#include "truth/ltm_parallel.h"      // IWYU pragma: export
 #include "truth/method_spec.h"       // IWYU pragma: export
 #include "truth/options.h"           // IWYU pragma: export
 #include "truth/registry.h"          // IWYU pragma: export

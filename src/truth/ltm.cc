@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "truth/ltm_parallel.h"
 #include "truth/registry.h"
 
 namespace ltm {
@@ -131,7 +133,6 @@ Result<TruthResult> LatentTruthModel::Run(const RunContext& ctx,
   if (ctx.seed.has_value()) opts.seed = *ctx.seed;
   LTM_RETURN_IF_ERROR(opts.Validate());
 
-  RunObserver obs(ctx, name());
   const ClaimTable* table = &claims;
   ClaimTable positive;
   if (opts.positive_claims_only) {
@@ -139,6 +140,16 @@ Result<TruthResult> LatentTruthModel::Run(const RunContext& ctx,
     table = &positive;
   }
 
+  // threads=1 (the default) keeps the original sequential chain;
+  // anything else dispatches to the sharded CSR sampler (0 = one shard
+  // per hardware thread). Quality is always read off the full table.
+  const int shards =
+      opts.threads <= 0 ? ThreadPool::HardwareConcurrency() : opts.threads;
+  if (shards > 1) {
+    return RunShardedLtm(ctx, name(), claims, *table, opts);
+  }
+
+  RunObserver obs(ctx, name());
   // Construction plus the explicit Initialize() below replays the exact
   // RNG stream of LtmGibbs::Run (whose constructor also initializes), so
   // posteriors are bit-identical to the low-level sampler for a seed.

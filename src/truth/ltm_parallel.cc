@@ -1,0 +1,239 @@
+#include "truth/ltm_parallel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "truth/source_quality.h"
+
+namespace ltm {
+
+namespace {
+
+int ResolveShards(int threads) {
+  return threads <= 0 ? ThreadPool::HardwareConcurrency() : threads;
+}
+
+}  // namespace
+
+ParallelLtmGibbs::ParallelLtmGibbs(const ClaimGraph& graph,
+                                   const LtmOptions& options, ThreadPool* pool)
+    : graph_(graph),
+      options_(options),
+      pool_(pool != nullptr ? pool : &ThreadPool::Shared()),
+      num_shards_(ResolveShards(options.threads)),
+      shard_bounds_(graph.PartitionFacts(num_shards_)),
+      rng_(options.seed) {
+  alpha_[0][0] = options_.alpha0.neg;
+  alpha_[0][1] = options_.alpha0.pos;
+  alpha_[1][0] = options_.alpha1.neg;
+  alpha_[1][1] = options_.alpha1.pos;
+  truth_.assign(graph_.NumFacts(), 0);
+  counts_.assign(graph_.NumSources() * 4, 0);
+  truth_sum_.assign(graph_.NumFacts(), 0.0);
+  if (num_shards_ > 1) {
+    shard_rngs_.reserve(num_shards_);
+    for (int k = 0; k < num_shards_; ++k) {
+      // SplitStream depends only on (seed, k): shard streams are fixed by
+      // the options, not by construction order or thread scheduling.
+      shard_rngs_.push_back(rng_.SplitStream(static_cast<uint64_t>(k)));
+    }
+    shard_counts_.assign(num_shards_, std::vector<int64_t>());
+    shard_flips_.assign(num_shards_, 0);
+  }
+  Initialize();
+}
+
+void ParallelLtmGibbs::Initialize() {
+  std::fill(truth_sum_.begin(), truth_sum_.end(), 0.0);
+  num_samples_ = 0;
+  if (num_shards_ == 1) {
+    // Identical draw order to LtmGibbs::Initialize, continuing rng_.
+    for (FactId f = 0; f < truth_.size(); ++f) {
+      truth_[f] = rng_.Bernoulli(0.5) ? 1 : 0;
+    }
+  } else {
+    for (int k = 0; k < num_shards_; ++k) {
+      for (FactId f = shard_bounds_[k]; f < shard_bounds_[k + 1]; ++f) {
+        truth_[f] = shard_rngs_[k].Bernoulli(0.5) ? 1 : 0;
+      }
+    }
+  }
+  RebuildCounts();
+}
+
+void ParallelLtmGibbs::RebuildCounts() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  for (FactId f = 0; f < truth_.size(); ++f) {
+    const int i = truth_[f];
+    for (uint32_t entry : graph_.FactClaims(f)) {
+      ++counts_[ClaimGraph::PackedId(entry) * 4 + i * 2 +
+                ClaimGraph::PackedObs(entry)];
+    }
+  }
+}
+
+double ParallelLtmGibbs::LogConditional(
+    FactId f, int i, bool exclude_self,
+    const std::vector<int64_t>& counts) const {
+  // Same expression sequence as LtmGibbs::LogConditional so single-shard
+  // runs reproduce its floating-point results bit for bit.
+  double lp = std::log(i == 1 ? options_.beta.pos : options_.beta.neg);
+  const int64_t self = exclude_self ? 1 : 0;
+  const double alpha_sum = alpha_[i][0] + alpha_[i][1];
+  for (uint32_t entry : graph_.FactClaims(f)) {
+    const uint32_t s = ClaimGraph::PackedId(entry);
+    const int j = ClaimGraph::PackedObs(entry);
+    const int64_t n_ij = counts[s * 4 + i * 2 + j] - self;
+    const int64_t n_i =
+        counts[s * 4 + i * 2] + counts[s * 4 + i * 2 + 1] - self;
+    lp += std::log(static_cast<double>(n_ij) + alpha_[i][j]) -
+          std::log(static_cast<double>(n_i) + alpha_sum);
+  }
+  return lp;
+}
+
+int ParallelLtmGibbs::SweepRange(FactId begin, FactId end,
+                                 std::vector<int64_t>* counts, Rng* rng) {
+  int flips = 0;
+  for (FactId f = begin; f < end; ++f) {
+    const int cur = truth_[f];
+    const int other = 1 - cur;
+    const double lp_cur = LogConditional(f, cur, /*exclude_self=*/true,
+                                         *counts);
+    const double lp_other = LogConditional(f, other, /*exclude_self=*/false,
+                                           *counts);
+    const double p_flip = 1.0 / (1.0 + std::exp(lp_cur - lp_other));
+    if (rng->Uniform() < p_flip) {
+      ++flips;
+      truth_[f] = static_cast<uint8_t>(other);
+      for (uint32_t entry : graph_.FactClaims(f)) {
+        const uint32_t s = ClaimGraph::PackedId(entry);
+        const int j = ClaimGraph::PackedObs(entry);
+        --(*counts)[s * 4 + cur * 2 + j];
+        ++(*counts)[s * 4 + other * 2 + j];
+      }
+    }
+  }
+  return flips;
+}
+
+Status ParallelLtmGibbs::RunSweep(const std::function<Status()>& stop_check,
+                                  int* flips) {
+  if (num_shards_ == 1) {
+    if (stop_check) LTM_RETURN_IF_ERROR(stop_check());
+    *flips = SweepRange(0, static_cast<FactId>(truth_.size()), &counts_,
+                        &rng_);
+    return Status::OK();
+  }
+
+  // Shard k samples its fact range against a private copy of the counts;
+  // truth_ writes are disjoint byte ranges. counts_ is read-only until
+  // the barrier below.
+  Status st = pool_->ParallelFor(
+      0, static_cast<size_t>(num_shards_), 1,
+      [this](size_t lo, size_t) {
+        const int k = static_cast<int>(lo);
+        shard_counts_[k].assign(counts_.begin(), counts_.end());
+        shard_flips_[k] =
+            SweepRange(shard_bounds_[k], shard_bounds_[k + 1],
+                       &shard_counts_[k], &shard_rngs_[k]);
+      },
+      stop_check);
+  // A cancelled/expired sweep leaves the chain torn (some shards swept,
+  // none merged); callers abandon the run, so skip the merge.
+  LTM_RETURN_IF_ERROR(st);
+
+  // Barrier merge: integer deltas commute, so the result is independent
+  // of shard completion order.
+  for (size_t e = 0; e < counts_.size(); ++e) {
+    const int64_t base = counts_[e];
+    int64_t acc = base;
+    for (int k = 0; k < num_shards_; ++k) {
+      acc += shard_counts_[k][e] - base;
+    }
+    counts_[e] = acc;
+  }
+  int total_flips = 0;
+  for (int k = 0; k < num_shards_; ++k) total_flips += shard_flips_[k];
+  *flips = total_flips;
+  return Status::OK();
+}
+
+int ParallelLtmGibbs::RunSweep() {
+  int flips = 0;
+  Status st = RunSweep(nullptr, &flips);
+  (void)st;  // cannot fail without a stop_check
+  return flips;
+}
+
+void ParallelLtmGibbs::AccumulateSample() {
+  for (FactId f = 0; f < truth_.size(); ++f) {
+    truth_sum_[f] += truth_[f];
+  }
+  ++num_samples_;
+}
+
+TruthEstimate ParallelLtmGibbs::PosteriorMean() const {
+  TruthEstimate est;
+  est.probability.resize(truth_.size(), 0.5);
+  if (num_samples_ == 0) return est;
+  for (FactId f = 0; f < truth_.size(); ++f) {
+    est.probability[f] = truth_sum_[f] / num_samples_;
+  }
+  return est;
+}
+
+TruthEstimate ParallelLtmGibbs::Run() {
+  Initialize();
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    RunSweep();
+    if (iter >= options_.burnin &&
+        (iter - options_.burnin) % options_.sample_gap == 0) {
+      AccumulateSample();
+    }
+  }
+  return PosteriorMean();
+}
+
+Result<TruthResult> RunShardedLtm(const RunContext& ctx,
+                                  const std::string& name,
+                                  const ClaimTable& quality_claims,
+                                  const ClaimTable& claims,
+                                  const LtmOptions& options) {
+  RunObserver obs(ctx, name);
+  const ClaimGraph graph = ClaimGraph::Build(claims);
+  ParallelLtmGibbs sampler(graph, options);
+  sampler.Initialize();
+
+  TruthResult result;
+  const double num_facts = std::max<double>(1.0, sampler.truth().size());
+  TruthEstimate state;  // reused buffer for on_state reporting
+  const auto stop_check = [&obs] { return obs.Check(); };
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    int flips = 0;
+    LTM_RETURN_IF_ERROR(sampler.RunSweep(stop_check, &flips));
+    if (iter >= options.burnin &&
+        (iter - options.burnin) % options.sample_gap == 0) {
+      sampler.AccumulateSample();
+    }
+    obs.OnIteration(iter, flips / num_facts, &result);
+    if (ctx.on_state) {
+      state.probability.assign(sampler.truth().begin(),
+                               sampler.truth().end());
+      obs.OnState(iter, state);
+    }
+    obs.Progress(static_cast<double>(iter + 1) / options.iterations);
+  }
+
+  result.estimate = sampler.PosteriorMean();
+  if (ctx.with_quality) {
+    result.quality = EstimateSourceQuality(quality_claims,
+                                           result.estimate.probability,
+                                           options.alpha0, options.alpha1);
+  }
+  obs.Finish(&result, options.iterations, /*converged=*/true);
+  return result;
+}
+
+}  // namespace ltm

@@ -1,0 +1,132 @@
+#ifndef LTM_TRUTH_LTM_PARALLEL_H_
+#define LTM_TRUTH_LTM_PARALLEL_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "data/claim_graph.h"
+#include "data/claim_table.h"
+#include "truth/options.h"
+#include "truth/truth_method.h"
+
+namespace ltm {
+
+/// Sharded collapsed Gibbs sampler for the Latent Truth Model, the
+/// parallel port of LtmGibbs onto the CSR ClaimGraph.
+///
+/// Facts are partitioned into `options.threads` contiguous shards
+/// balanced by claim count (ClaimGraph::PartitionFacts). One sweep runs
+/// every shard concurrently on a thread pool:
+///
+///   - each shard copies the authoritative per-source count matrix,
+///     then Gibbs-samples its facts *sequentially against that copy*
+///     (in-shard flips are visible immediately, exactly like the
+///     sequential sampler; cross-shard flips only at the next sweep);
+///   - each shard draws from its own Rng::SplitStream(shard) stream, so
+///     results do not depend on thread scheduling;
+///   - at the sweep barrier the per-shard count deltas are merged back
+///     into the authoritative matrix (integer adds — order-independent).
+///
+/// This is the standard approximate-collapsed-Gibbs scheme (cf. AD-LDA):
+/// with one shard it degenerates to the exact sequential chain, and the
+/// single-shard configuration consumes the *identical* RNG stream and
+/// floating-point operation sequence as LtmGibbs, so its posteriors are
+/// bit-identical (pinned by tests/truth/ltm_parallel_test.cc). With
+/// multiple shards the chain differs from the sequential one but remains
+/// a valid sampler whose posterior agrees statistically, and is fully
+/// deterministic for a fixed (seed, threads) pair.
+class ParallelLtmGibbs {
+ public:
+  /// `graph` must outlive the sampler. `options.threads` <= 0 resolves to
+  /// ThreadPool::HardwareConcurrency(). `pool` (optional) supplies worker
+  /// threads; the process-wide ThreadPool::Shared() is used when null.
+  /// Mirrors LtmGibbs: the constructor seeds the RNG streams once and
+  /// runs Initialize(); a later Initialize() call continues the streams.
+  ParallelLtmGibbs(const ClaimGraph& graph, const LtmOptions& options,
+                   ThreadPool* pool = nullptr);
+
+  /// Randomly (re-)initializes the truth assignment (shard k draws its
+  /// facts from stream k), rebuilds counts, and clears the accumulator.
+  void Initialize();
+
+  /// One full sweep over all shards. Returns the number of flips.
+  int RunSweep();
+
+  /// RunSweep honoring `stop_check` between shard dispatches (the
+  /// RunContext cancellation/deadline hook; must be thread-safe). On a
+  /// non-OK status the sweep stops after in-flight shards and the chain
+  /// must be considered torn — callers abandon the run, as the wrapper
+  /// does. `flips` receives the sweep's flip count on OK.
+  Status RunSweep(const std::function<Status()>& stop_check, int* flips);
+
+  /// Adds the current truth assignment into the running posterior mean.
+  void AccumulateSample();
+
+  /// Posterior estimate from the accumulated samples; 0.5 prior when no
+  /// sample was accumulated yet.
+  TruthEstimate PosteriorMean() const;
+
+  /// Full schedule from `options`, like LtmGibbs::Run.
+  TruthEstimate Run();
+
+  const std::vector<uint8_t>& truth() const { return truth_; }
+
+  /// Authoritative count n_{s,i,j} (merged, between sweeps).
+  int64_t Count(SourceId s, int truth_value, int observation) const {
+    return counts_[s * 4 + truth_value * 2 + observation];
+  }
+
+  int num_shards() const { return num_shards_; }
+  int num_accumulated_samples() const { return num_samples_; }
+
+ private:
+  /// Eq. 2 log-conditional over `counts` (a shard's local view).
+  double LogConditional(FactId f, int i, bool exclude_self,
+                        const std::vector<int64_t>& counts) const;
+
+  /// Gibbs-samples facts [begin, end) against `counts` using `rng`,
+  /// updating `counts` and truth_ in place. Returns the flip count.
+  int SweepRange(FactId begin, FactId end, std::vector<int64_t>* counts,
+                 Rng* rng);
+
+  /// Recounts n_{s,i,j} from the graph and the current truth vector.
+  void RebuildCounts();
+
+  const ClaimGraph& graph_;
+  LtmOptions options_;
+  ThreadPool* pool_;
+  int num_shards_;
+  std::vector<uint32_t> shard_bounds_;  // num_shards_+1 fact boundaries
+
+  Rng rng_;                       // single-shard stream (LtmGibbs-identical)
+  std::vector<Rng> shard_rngs_;   // per-shard SplitStream engines
+
+  std::vector<uint8_t> truth_;
+  std::vector<int64_t> counts_;   // authoritative n_{s,i,j}
+  std::vector<std::vector<int64_t>> shard_counts_;  // per-shard local views
+  std::vector<int> shard_flips_;
+  std::vector<double> truth_sum_;
+  int num_samples_ = 0;
+  std::array<std::array<double, 2>, 2> alpha_;
+};
+
+/// Runs the sharded sampler under the engine protocol, mirroring
+/// LatentTruthModel::Run's sequential loop (observer checks, trace,
+/// on_state, progress, §5.3 quality read-off from `quality_claims`).
+/// Called by LatentTruthModel::Run when the resolved thread count is > 1;
+/// exposed for tests and benchmarks that want to bypass the registry.
+Result<TruthResult> RunShardedLtm(const RunContext& ctx,
+                                  const std::string& name,
+                                  const ClaimTable& quality_claims,
+                                  const ClaimTable& claims,
+                                  const LtmOptions& options);
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_LTM_PARALLEL_H_

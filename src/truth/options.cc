@@ -48,6 +48,11 @@ Status LtmOptions::Validate() const {
     return Status::InvalidArgument("sample_gap must be >= 1, got " +
                                    std::to_string(sample_gap));
   }
+  if (threads < 0 || threads > 1024) {
+    return Status::InvalidArgument(
+        "threads must be in [0, 1024] (0 = auto), got " +
+        std::to_string(threads));
+  }
   if (!std::isfinite(truth_threshold) || truth_threshold < 0.0 ||
       truth_threshold > 1.0) {
     return Status::InvalidArgument("truth_threshold must be in [0, 1], got " +
@@ -66,6 +71,8 @@ Result<LtmOptions> LtmOptionsFromSpec(const MethodOptions& spec_options,
   LTM_ASSIGN_OR_RETURN(base.sample_gap,
                        spec_options.GetInt("gap", base.sample_gap));
   LTM_ASSIGN_OR_RETURN(base.seed, spec_options.GetUint64("seed", base.seed));
+  LTM_ASSIGN_OR_RETURN(base.threads,
+                       spec_options.GetInt("threads", base.threads));
   LTM_ASSIGN_OR_RETURN(
       base.truth_threshold,
       spec_options.GetDouble("threshold", base.truth_threshold));

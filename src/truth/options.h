@@ -51,6 +51,17 @@ struct LtmOptions {
   /// Seed for the sampler's deterministic RNG.
   uint64_t seed = 42;
 
+  /// Gibbs-sweep shard count, spec key `threads`. 1 (default) runs the
+  /// sequential sampler, bit-identical to the original Algorithm 1
+  /// implementation. N > 1 runs the sharded sampler: facts are
+  /// partitioned into N contiguous shards, each driven by its own
+  /// SplitStream RNG, with per-shard count matrices merged at sweep
+  /// barriers — deterministic for a fixed (seed, threads) pair, but a
+  /// different chain than threads=1. 0 means auto (one shard per
+  /// hardware thread; reproducible only on machines with equal core
+  /// counts).
+  int threads = 1;
+
   /// When true, negative claims are ignored (the LTMpos ablation of §6.2).
   bool positive_claims_only = false;
 
@@ -78,7 +89,8 @@ struct LtmOptions {
 
 /// Applies spec-string options (truth/method_spec.h) on top of `base` and
 /// validates the result. Accepted keys: iterations, burnin,
-/// sample_gap|gap, seed, threshold|truth_threshold, positive_only, and the
+/// sample_gap|gap, seed, threads, threshold|truth_threshold,
+/// positive_only, and the
 /// six prior pseudo-counts alpha0_pos, alpha0_neg, alpha1_pos, alpha1_neg,
 /// beta_pos, beta_neg. Used by every LTM-family registry factory.
 Result<LtmOptions> LtmOptionsFromSpec(const MethodOptions& spec_options,

@@ -1,6 +1,7 @@
 #include "truth/registry.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
@@ -125,6 +126,50 @@ std::vector<std::unique_ptr<TruthMethod>> CreateAllMethods(
     methods.push_back(std::move(m).value());
   }
   return methods;
+}
+
+std::vector<MethodRunOutcome> RunMethodsConcurrently(
+    const std::vector<std::string>& specs, const RunContext& ctx,
+    const FactTable& facts, const ClaimTable& claims,
+    const LtmOptions& base_ltm, ThreadPool* pool) {
+  ThreadPool& runner = pool != nullptr ? *pool : ThreadPool::Shared();
+
+  // Instantiate up front (the registry lookup is mutex-guarded but cheap;
+  // instantiation errors short-circuit without occupying a pool slot).
+  std::vector<std::optional<Result<TruthResult>>> slots(specs.size());
+  std::vector<std::unique_ptr<TruthMethod>> methods(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Result<std::unique_ptr<TruthMethod>> made = CreateMethod(specs[i],
+                                                             base_ltm);
+    if (made.ok()) {
+      methods[i] = std::move(made).value();
+    } else {
+      slots[i].emplace(made.status());
+    }
+  }
+
+  RunContext quiet = ctx;  // callbacks are not thread-safe across methods
+  quiet.on_iteration = nullptr;
+  quiet.on_progress = nullptr;
+  quiet.on_state = nullptr;
+
+  // One chunk per method; the calling thread participates, so this also
+  // works on a zero-worker pool (sequentially, in spec order).
+  Status st = runner.ParallelFor(
+      0, specs.size(), 1, [&](size_t lo, size_t) {
+        if (methods[lo] == nullptr) return;  // instantiation failed
+        slots[lo].emplace(methods[lo]->Run(quiet, facts, claims));
+      });
+  (void)st;  // no stop_check; per-method cancellation is inside Run
+
+  std::vector<MethodRunOutcome> outcomes;
+  outcomes.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    outcomes.push_back(MethodRunOutcome{
+        specs[i], std::move(slots[i]).value_or(Result<TruthResult>(
+                      Status::Internal("method did not run")))});
+  }
+  return outcomes;
 }
 
 }  // namespace ltm

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "truth/method_spec.h"
 #include "truth/options.h"
 #include "truth/streaming_method.h"
@@ -99,6 +100,30 @@ StreamingTruthMethod* AsStreaming(TruthMethod* method);
 /// All batch methods compared in Table 7, in the paper's comparison order.
 std::vector<std::unique_ptr<TruthMethod>> CreateAllMethods(
     const LtmOptions& base_ltm = LtmOptions());
+
+/// Outcome of one spec from RunMethodsConcurrently: the spec as given and
+/// either the method's TruthResult or the instantiation/run error.
+struct MethodRunOutcome {
+  std::string spec;
+  Result<TruthResult> result;
+};
+
+/// Instantiates every spec and runs the resulting methods concurrently on
+/// `pool` (ThreadPool::Shared() when null) — independent methods are
+/// embarrassingly parallel, and a method that itself runs sharded (e.g.
+/// "LTM(threads=4)") fans out over the same pool without deadlock (see
+/// ThreadPool::ParallelFor). Outcomes are returned in spec order, so the
+/// output is deterministic regardless of scheduling.
+///
+/// `ctx` is copied per method with its callbacks dropped: on_iteration /
+/// on_progress / on_state are not required to be thread-safe and several
+/// methods would race on them. cancel, deadline_seconds (measured from
+/// each method's own Run entry), seed, collect_trace and with_quality are
+/// honored.
+std::vector<MethodRunOutcome> RunMethodsConcurrently(
+    const std::vector<std::string>& specs, const RunContext& ctx,
+    const FactTable& facts, const ClaimTable& claims,
+    const LtmOptions& base_ltm = LtmOptions(), ThreadPool* pool = nullptr);
 
 /// Every name accepted by CreateMethod (canonical spellings), sorted.
 std::vector<std::string> MethodNames();

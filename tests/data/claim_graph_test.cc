@@ -1,0 +1,127 @@
+#include "data/claim_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "data/fact_table.h"
+#include "data/raw_database.h"
+#include "test_util.h"
+
+namespace ltm {
+namespace {
+
+ClaimTable BuildTable(uint64_t seed) {
+  RawDatabase raw = testing::RandomRaw(seed);
+  FactTable facts = FactTable::Build(raw);
+  return ClaimTable::Build(raw, facts);
+}
+
+TEST(ClaimGraphTest, EmptyTable) {
+  ClaimGraph g = ClaimGraph::Build(ClaimTable());
+  EXPECT_EQ(g.NumFacts(), 0u);
+  EXPECT_EQ(g.NumSources(), 0u);
+  EXPECT_EQ(g.NumClaims(), 0u);
+  std::vector<uint32_t> bounds = g.PartitionFacts(4);
+  ASSERT_EQ(bounds.size(), 5u);
+  for (uint32_t b : bounds) EXPECT_EQ(b, 0u);
+}
+
+TEST(ClaimGraphTest, FactSideMatchesClaimTableOrder) {
+  ClaimTable table = BuildTable(11);
+  ClaimGraph g = ClaimGraph::Build(table);
+  ASSERT_EQ(g.NumFacts(), table.NumFacts());
+  ASSERT_EQ(g.NumSources(), table.NumSources());
+  ASSERT_EQ(g.NumClaims(), table.NumClaims());
+
+  for (FactId f = 0; f < table.NumFacts(); ++f) {
+    auto claims = table.ClaimsOfFact(f);
+    auto packed = g.FactClaims(f);
+    ASSERT_EQ(packed.size(), claims.size());
+    ASSERT_EQ(g.FactDegree(f), claims.size());
+    for (size_t i = 0; i < claims.size(); ++i) {
+      EXPECT_EQ(ClaimGraph::PackedId(packed[i]), claims[i].source);
+      EXPECT_EQ(ClaimGraph::PackedObs(packed[i]),
+                claims[i].observation ? 1 : 0);
+    }
+  }
+}
+
+TEST(ClaimGraphTest, SourceSideMatchesClaimTableIndex) {
+  ClaimTable table = BuildTable(23);
+  ClaimGraph g = ClaimGraph::Build(table);
+
+  for (SourceId s = 0; s < table.NumSources(); ++s) {
+    auto indices = table.ClaimIndicesOfSource(s);
+    auto packed = g.SourceClaims(s);
+    ASSERT_EQ(packed.size(), indices.size());
+    // Both sides enumerate the same multiset of (fact, obs) pairs; the
+    // graph groups them fact-major within the source, same as the
+    // index (claim indices ascend, claims are fact-major).
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const Claim& c = table.claim(indices[i]);
+      EXPECT_EQ(ClaimGraph::PackedId(packed[i]), c.fact);
+      EXPECT_EQ(ClaimGraph::PackedObs(packed[i]), c.observation ? 1 : 0);
+    }
+  }
+}
+
+TEST(ClaimGraphTest, PartitionBoundsAreMonotoneAndComplete) {
+  ClaimTable table = BuildTable(37);
+  ClaimGraph g = ClaimGraph::Build(table);
+  for (int shards : {1, 2, 3, 4, 7, 16, 1000}) {
+    std::vector<uint32_t> bounds = g.PartitionFacts(shards);
+    ASSERT_EQ(bounds.size(), static_cast<size_t>(shards) + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), g.NumFacts());
+    for (size_t k = 1; k < bounds.size(); ++k) {
+      EXPECT_LE(bounds[k - 1], bounds[k]);
+    }
+  }
+}
+
+TEST(ClaimGraphTest, PartitionBalancesClaimCounts) {
+  ClaimTable table = BuildTable(41);
+  ClaimGraph g = ClaimGraph::Build(table);
+  const int shards = 4;
+  std::vector<uint32_t> bounds = g.PartitionFacts(shards);
+
+  std::vector<uint64_t> load(shards, 0);
+  for (int k = 0; k < shards; ++k) {
+    for (FactId f = bounds[k]; f < bounds[k + 1]; ++f) {
+      load[k] += g.FactDegree(f);
+    }
+  }
+  const uint64_t total = std::accumulate(load.begin(), load.end(),
+                                         uint64_t{0});
+  EXPECT_EQ(total, g.NumClaims());
+  // Every shard within 2x of the ideal share plus the largest fact's
+  // degree (a fact is indivisible).
+  uint32_t max_degree = 0;
+  for (FactId f = 0; f < g.NumFacts(); ++f) {
+    max_degree = std::max(max_degree, g.FactDegree(f));
+  }
+  const uint64_t ideal = total / shards;
+  for (int k = 0; k < shards; ++k) {
+    EXPECT_LE(load[k], 2 * ideal + max_degree) << "shard " << k;
+  }
+}
+
+TEST(ClaimGraphTest, PartitionIsDeterministic) {
+  ClaimTable table = BuildTable(53);
+  ClaimGraph g1 = ClaimGraph::Build(table);
+  ClaimGraph g2 = ClaimGraph::Build(table);
+  EXPECT_EQ(g1.PartitionFacts(8), g2.PartitionFacts(8));
+}
+
+TEST(ClaimGraphTest, PackedRoundTrip) {
+  // Top of the id range: 2^31 - 1 with both observation values.
+  const uint32_t id = (1u << 31) - 1;
+  EXPECT_EQ(ClaimGraph::PackedId((id << 1) | 1u), id);
+  EXPECT_EQ(ClaimGraph::PackedObs((id << 1) | 1u), 1);
+  EXPECT_EQ(ClaimGraph::PackedObs(id << 1), 0);
+}
+
+}  // namespace
+}  // namespace ltm
