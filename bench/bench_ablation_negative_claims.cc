@@ -39,15 +39,15 @@ void Run() {
     opts.sample_gap = 2;
 
     LatentTruthModel ltm_model(opts);
-    TruthEstimate ltm_est = ltm_model.Score(ds.facts, ds.claims);
+    TruthEstimate ltm_est = ltm_model.Score(ds.facts, ds.graph);
 
     LtmOptions pos_opts = opts;
     pos_opts.positive_claims_only = true;
     LatentTruthModel pos_model(pos_opts);
-    TruthEstimate pos_est = pos_model.Score(ds.facts, ds.claims);
+    TruthEstimate pos_est = pos_model.Score(ds.facts, ds.graph);
 
     auto voting = CreateMethod("Voting");
-    TruthEstimate vote_est = (*voting)->Score(ds.facts, ds.claims);
+    TruthEstimate vote_est = (*voting)->Score(ds.facts, ds.graph);
 
     table.AddRow(
         FormatDouble(1.0 + extra, 1),

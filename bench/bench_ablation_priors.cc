@@ -30,7 +30,7 @@ void Run() {
       const double strength = frac * static_cast<double>(num_facts);
       opts.alpha0 = BetaPrior{0.01 * strength, 0.99 * strength};
       LatentTruthModel model(opts);
-      TruthEstimate est = model.Score(movies.data.facts, movies.data.claims);
+      TruthEstimate est = model.Score(movies.data.facts, movies.data.graph);
       PointMetrics m =
           EvaluateAtThreshold(est.probability, movies.eval_labels, 0.5);
       table.AddRow(FormatDouble(frac, 4), {m.accuracy(), m.f1(), m.fpr()});
@@ -50,7 +50,7 @@ void Run() {
       const double strength = 0.3 * static_cast<double>(num_facts);
       opts.alpha0 = BetaPrior{mean * strength, (1.0 - mean) * strength};
       LatentTruthModel model(opts);
-      TruthEstimate est = model.Score(movies.data.facts, movies.data.claims);
+      TruthEstimate est = model.Score(movies.data.facts, movies.data.graph);
       PointMetrics m =
           EvaluateAtThreshold(est.probability, movies.eval_labels, 0.5);
       table.AddRow(FormatDouble(mean, 3), {m.accuracy(), m.f1(), m.fpr()});

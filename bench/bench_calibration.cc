@@ -21,7 +21,7 @@ void RunDataset(const std::string& title, const BenchDataset& bench) {
   TablePrinter table({"Method", "Brier", "ECE"});
   for (const std::string& name : BatchMethodNames()) {
     auto method = CreateMethod(name, bench.ltm_options);
-    TruthEstimate est = (*method)->Score(bench.data.facts, bench.data.claims);
+    TruthEstimate est = (*method)->Score(bench.data.facts, bench.data.graph);
     CalibrationReport report =
         Calibrate(est.probability, bench.eval_labels, 10);
     table.AddRow(name, {report.brier, report.ece});

@@ -24,7 +24,7 @@ void RunDataset(const std::string& title, const BenchDataset& bench) {
 
   for (const std::string& name : BatchMethodNames()) {
     auto method = CreateMethod(name, bench.ltm_options);
-    TruthEstimate est = (*method)->Score(bench.data.facts, bench.data.claims);
+    TruthEstimate est = (*method)->Score(bench.data.facts, bench.data.graph);
     ThresholdSweep sweep =
         SweepThresholds(est.probability, bench.eval_labels, 0.0, 1.0, steps);
     std::vector<double> accuracies;

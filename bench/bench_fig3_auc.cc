@@ -31,9 +31,9 @@ double LtmIncAuc(const BenchDataset& bench) {
   auto [train, test] = bench.data.SplitByEntities(labeled_entities);
   LatentTruthModel model(bench.ltm_options);
   SourceQuality quality;
-  model.RunWithQuality(train.claims, &quality);
+  model.RunWithQuality(train.graph, &quality);
   LtmIncremental inc(quality, bench.ltm_options);
-  TruthEstimate est = inc.Score(test.facts, test.claims);
+  TruthEstimate est = inc.Score(test.facts, test.graph);
   return AucScore(est.probability, test.labels);
 }
 
@@ -53,13 +53,13 @@ void Run() {
     row.name = name;
     {
       auto method = CreateMethod(name, books.ltm_options);
-      TruthEstimate est = (*method)->Score(books.data.facts, books.data.claims);
+      TruthEstimate est = (*method)->Score(books.data.facts, books.data.graph);
       row.book_auc = AucScore(est.probability, books.eval_labels);
     }
     {
       auto method = CreateMethod(name, movies.ltm_options);
       TruthEstimate est =
-          (*method)->Score(movies.data.facts, movies.data.claims);
+          (*method)->Score(movies.data.facts, movies.data.graph);
       row.movie_auc = AucScore(est.probability, movies.eval_labels);
     }
     rows.push_back(row);

@@ -34,7 +34,7 @@ double AccuracyAt(const BetaPrior& gen_alpha0, const BetaPrior& gen_alpha1,
   opts.sample_gap = 4;
   opts.seed = seed + 1;
   LatentTruthModel model(opts);
-  TruthEstimate est = model.Score(data.facts, data.claims);
+  TruthEstimate est = model.Score(data.facts, data.graph);
   return EvaluateAtThreshold(est.probability, data.truth, 0.5).accuracy();
 }
 

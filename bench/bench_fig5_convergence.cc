@@ -52,7 +52,7 @@ void Run() {
                              state.probability.end());
     };
     LatentTruthModel model(opts);
-    auto run = model.Run(ctx, movies.data.facts, movies.data.claims);
+    auto run = model.Run(ctx, movies.data.facts, movies.data.graph);
     if (!run.ok()) {
       std::fprintf(stderr, "run failed: %s\n",
                    run.status().ToString().c_str());

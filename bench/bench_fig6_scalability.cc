@@ -32,18 +32,18 @@ void Run() {
     LatentTruthModel model(opts);
 
     // Warm-up + 3 timed repeats.
-    model.Score(sub.facts, sub.claims);
+    model.Score(sub.facts, sub.graph);
     double total = 0.0;
     for (int rep = 0; rep < 3; ++rep) {
       WallTimer timer;
-      model.Score(sub.facts, sub.claims);
+      model.Score(sub.facts, sub.graph);
       total += timer.ElapsedSeconds();
     }
     const double seconds = total / 3.0;
-    claims_counts.push_back(static_cast<double>(sub.claims.NumClaims()));
+    claims_counts.push_back(static_cast<double>(sub.graph.NumClaims()));
     runtimes.push_back(seconds);
     table.AddRow({std::to_string(sub.raw.NumEntities()),
-                  std::to_string(sub.claims.NumClaims()),
+                  std::to_string(sub.graph.NumClaims()),
                   FormatDouble(seconds, 4)});
   }
   table.Print();

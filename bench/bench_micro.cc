@@ -1,11 +1,32 @@
 // Google-benchmark micro-benchmarks for the hot paths: one collapsed
-// Gibbs sweep, claim-table construction, the LTMinc closed form (Eq. 3),
-// source-quality read-off, and the synthetic generators.
+// Gibbs sweep, claim materialization and graph flattening, the LTMinc
+// closed form (Eq. 3), source-quality read-off, the synthetic generators,
+// struct-walk vs packed-graph-walk method loops, and snapshot-load vs
+// TSV-ingest.
+//
+// The *Struct benchmarks re-implement the pre-refactor hot loops over the
+// 12-byte Claim structs that the methods used to iterate; the *Graph
+// benchmarks run the loops the migrated methods use today. Run with
+//   --benchmark_filter='Struct|Graph|Tsv|Snapshot'
+//   --benchmark_out=BENCH_methods.json
+// to emit the substrate-comparison artifact CI checks.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
 #include "data/claim_graph.h"
+#include "data/claim_table.h"
 #include "data/dataset.h"
+#include "data/snapshot.h"
+#include "data/tsv_io.h"
 #include "synth/ltm_process.h"
 #include "synth/movie_simulator.h"
 #include "truth/ltm.h"
@@ -29,80 +50,268 @@ const synth::LtmProcessData& SharedProcessData(size_t facts) {
   return it->second;
 }
 
+const Dataset& SharedMovieDataset(size_t movies) {
+  static auto* cache = new std::map<size_t, Dataset>();
+  auto it = cache->find(movies);
+  if (it == cache->end()) {
+    synth::MovieSimOptions gen;
+    gen.num_movies = movies;
+    it = cache->emplace(movies, synth::GenerateMovieDataset(gen)).first;
+  }
+  return it->second;
+}
+
+/// The demoted struct-of-claims table for the same movie world — the
+/// substrate every method iterated before the columnar refactor.
+const ClaimTable& SharedMovieTable(size_t movies) {
+  static auto* cache = new std::map<size_t, ClaimTable>();
+  auto it = cache->find(movies);
+  if (it == cache->end()) {
+    const Dataset& ds = SharedMovieDataset(movies);
+    it = cache->emplace(movies, ClaimTable::Build(ds.raw, ds.facts)).first;
+  }
+  return it->second;
+}
+
+std::string BenchFilePath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
 void BM_GibbsSweep(benchmark::State& state) {
   const auto& data = SharedProcessData(state.range(0));
-  LtmOptions opts = LtmOptions::ScaledDefaults(data.claims.NumFacts());
-  LtmGibbs sampler(data.claims, opts);
+  LtmOptions opts = LtmOptions::ScaledDefaults(data.graph.NumFacts());
+  LtmGibbs sampler(data.graph, opts);
   for (auto _ : state) {
     sampler.RunSweep();
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(data.claims.NumClaims()));
+                          static_cast<int64_t>(data.graph.NumClaims()));
 }
 BENCHMARK(BM_GibbsSweep)->Arg(1000)->Arg(10000);
 
 void BM_ShardedGibbsSweep(benchmark::State& state) {
   const auto& data = SharedProcessData(10000);
-  LtmOptions opts = LtmOptions::ScaledDefaults(data.claims.NumFacts());
+  LtmOptions opts = LtmOptions::ScaledDefaults(data.graph.NumFacts());
   opts.threads = static_cast<int>(state.range(0));
-  ClaimGraph graph = ClaimGraph::Build(data.claims);
-  ParallelLtmGibbs sampler(graph, opts);
+  ParallelLtmGibbs sampler(data.graph, opts);
   for (auto _ : state) {
     sampler.RunSweep();
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(data.claims.NumClaims()));
+                          static_cast<int64_t>(data.graph.NumClaims()));
 }
 BENCHMARK(BM_ShardedGibbsSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_ClaimGraphBuild(benchmark::State& state) {
-  const auto& data = SharedProcessData(state.range(0));
+  const ClaimTable& table = SharedMovieTable(state.range(0));
   for (auto _ : state) {
-    ClaimGraph graph = ClaimGraph::Build(data.claims);
+    ClaimGraph graph = ClaimGraph::Build(table);
     benchmark::DoNotOptimize(graph.NumClaims());
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(data.claims.NumClaims()));
+                          static_cast<int64_t>(table.NumClaims()));
 }
-BENCHMARK(BM_ClaimGraphBuild)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_ClaimGraphBuild)->Arg(1000)->Arg(4000);
 
 void BM_ClaimTableBuild(benchmark::State& state) {
-  synth::MovieSimOptions gen;
-  gen.num_movies = state.range(0);
-  Dataset ds = synth::GenerateMovieDataset(gen);
+  const Dataset& ds = SharedMovieDataset(state.range(0));
   for (auto _ : state) {
     ClaimTable table = ClaimTable::Build(ds.raw, ds.facts);
     benchmark::DoNotOptimize(table.NumClaims());
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(ds.claims.NumClaims()));
+                          static_cast<int64_t>(ds.graph.NumClaims()));
 }
 BENCHMARK(BM_ClaimTableBuild)->Arg(1000)->Arg(4000);
 
+// ---------------------------------------------------------------------------
+// Struct-walk vs graph-walk: one TruthFinder fixed-point iteration.
+
+constexpr double kTrustCap = 1.0 - 1e-9;
+constexpr double kDampening = 0.3;
+
+void BM_TruthFinderIterStruct(benchmark::State& state) {
+  const ClaimTable& table = SharedMovieTable(8000);
+  std::vector<double> trust(table.NumSources(), 0.8);
+  std::vector<double> conf(table.NumFacts(), 0.0);
+  std::vector<double> sum(table.NumSources());
+  std::vector<size_t> n(table.NumSources());
+  for (auto _ : state) {
+    for (FactId f = 0; f < table.NumFacts(); ++f) {
+      double sigma = 0.0;
+      for (const Claim& c : table.ClaimsOfFact(f)) {
+        if (!c.observation) continue;
+        sigma += -std::log(1.0 - std::min(trust[c.source], kTrustCap));
+      }
+      conf[f] = Sigmoid(kDampening * sigma);
+    }
+    std::fill(sum.begin(), sum.end(), 0.0);
+    std::fill(n.begin(), n.end(), 0);
+    for (const Claim& c : table.claims()) {
+      if (!c.observation) continue;
+      sum[c.source] += conf[c.fact];
+      ++n[c.source];
+    }
+    for (SourceId s = 0; s < table.NumSources(); ++s) {
+      if (n[s] > 0) trust[s] = sum[s] / static_cast<double>(n[s]);
+    }
+    benchmark::DoNotOptimize(trust.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.NumClaims()));
+}
+BENCHMARK(BM_TruthFinderIterStruct);
+
+void BM_TruthFinderIterGraph(benchmark::State& state) {
+  const ClaimGraph& graph = SharedMovieDataset(8000).graph;
+  std::vector<double> trust(graph.NumSources(), 0.8);
+  std::vector<double> weight(graph.NumSources(), 0.0);
+  std::vector<double> conf(graph.NumFacts(), 0.0);
+  for (auto _ : state) {
+    // The migrated method's loop: one log per source, then a pure
+    // streaming pass over the packed adjacency.
+    for (SourceId s = 0; s < graph.NumSources(); ++s) {
+      weight[s] = -std::log(1.0 - std::min(trust[s], kTrustCap));
+    }
+    for (FactId f = 0; f < graph.NumFacts(); ++f) {
+      double sigma = 0.0;
+      for (uint32_t entry : graph.FactClaims(f)) {
+        if (!ClaimGraph::PackedObs(entry)) continue;
+        sigma += weight[ClaimGraph::PackedId(entry)];
+      }
+      conf[f] = Sigmoid(kDampening * sigma);
+    }
+    for (SourceId s = 0; s < graph.NumSources(); ++s) {
+      double sum = 0.0;
+      for (uint32_t entry : graph.SourceClaims(s)) {
+        if (!ClaimGraph::PackedObs(entry)) continue;
+        sum += conf[ClaimGraph::PackedId(entry)];
+      }
+      const uint32_t n = graph.SourcePositiveCount(s);
+      if (n > 0) trust[s] = sum / static_cast<double>(n);
+    }
+    benchmark::DoNotOptimize(trust.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.NumClaims()));
+}
+BENCHMARK(BM_TruthFinderIterGraph);
+
+// ---------------------------------------------------------------------------
+// Struct-walk vs graph-walk: voting.
+
+void BM_VotingStruct(benchmark::State& state) {
+  const ClaimTable& table = SharedMovieTable(8000);
+  std::vector<double> prob(table.NumFacts(), 0.0);
+  for (auto _ : state) {
+    for (FactId f = 0; f < table.NumFacts(); ++f) {
+      auto fact_claims = table.ClaimsOfFact(f);
+      if (fact_claims.empty()) continue;
+      size_t pos = 0;
+      for (const Claim& c : fact_claims) {
+        if (c.observation) ++pos;
+      }
+      prob[f] = static_cast<double>(pos) /
+                static_cast<double>(fact_claims.size());
+    }
+    benchmark::DoNotOptimize(prob.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table.NumClaims()));
+}
+BENCHMARK(BM_VotingStruct);
+
+void BM_VotingGraph(benchmark::State& state) {
+  const ClaimGraph& graph = SharedMovieDataset(8000).graph;
+  std::vector<double> prob(graph.NumFacts(), 0.0);
+  for (auto _ : state) {
+    // The migrated method's loop: derived stats only, no adjacency walk.
+    for (FactId f = 0; f < graph.NumFacts(); ++f) {
+      const uint32_t degree = graph.FactDegree(f);
+      if (degree == 0) continue;
+      prob[f] = static_cast<double>(graph.FactPositiveCount(f)) /
+                static_cast<double>(degree);
+    }
+    benchmark::DoNotOptimize(prob.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.NumClaims()));
+}
+BENCHMARK(BM_VotingGraph);
+
+// ---------------------------------------------------------------------------
+// Snapshot-load vs TSV-ingest: the repeat-run path the snapshot format
+// exists for.
+
+void BM_DatasetIngestTsv(benchmark::State& state) {
+  const Dataset& ds = SharedMovieDataset(4000);
+  const std::string path = BenchFilePath("ltm_bench_micro.tsv");
+  Status st = WriteRawDatabaseToTsv(ds.raw, path);
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto raw = LoadRawDatabaseFromTsv(path);
+    if (!raw.ok()) {
+      state.SkipWithError(raw.status().ToString().c_str());
+      return;
+    }
+    Dataset loaded = Dataset::FromRaw("bench", std::move(raw).value());
+    benchmark::DoNotOptimize(loaded.graph.NumClaims());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.graph.NumClaims()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DatasetIngestTsv);
+
+void BM_DatasetLoadSnapshot(benchmark::State& state) {
+  const Dataset& ds = SharedMovieDataset(4000);
+  const std::string path = BenchFilePath("ltm_bench_micro.snap");
+  Status st = ds.SaveSnapshot(path);
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto loaded = Dataset::LoadSnapshot(path);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(loaded->graph.NumClaims());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.graph.NumClaims()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DatasetLoadSnapshot);
+
 void BM_LtmIncPredict(benchmark::State& state) {
   const auto& data = SharedProcessData(state.range(0));
-  LtmOptions opts = LtmOptions::ScaledDefaults(data.claims.NumFacts());
-  std::vector<double> p(data.claims.NumFacts(), 0.7);
+  LtmOptions opts = LtmOptions::ScaledDefaults(data.graph.NumFacts());
+  std::vector<double> p(data.graph.NumFacts(), 0.7);
   SourceQuality quality =
-      EstimateSourceQuality(data.claims, p, opts.alpha0, opts.alpha1);
+      EstimateSourceQuality(data.graph, p, opts.alpha0, opts.alpha1);
   LtmIncremental inc(quality, opts);
   FactTable facts;
   for (auto _ : state) {
-    TruthEstimate est = inc.Score(facts, data.claims);
+    TruthEstimate est = inc.Score(facts, data.graph);
     benchmark::DoNotOptimize(est.probability.data());
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(data.claims.NumClaims()));
+                          static_cast<int64_t>(data.graph.NumClaims()));
 }
 BENCHMARK(BM_LtmIncPredict)->Arg(1000)->Arg(10000);
 
 void BM_SourceQualityReadOff(benchmark::State& state) {
   const auto& data = SharedProcessData(10000);
-  std::vector<double> p(data.claims.NumFacts(), 0.6);
+  std::vector<double> p(data.graph.NumFacts(), 0.6);
   LtmOptions opts;
   for (auto _ : state) {
     SourceQuality q =
-        EstimateSourceQuality(data.claims, p, opts.alpha0, opts.alpha1);
+        EstimateSourceQuality(data.graph, p, opts.alpha0, opts.alpha1);
     benchmark::DoNotOptimize(q.sensitivity.data());
   }
 }
@@ -113,7 +322,7 @@ void BM_MovieGenerator(benchmark::State& state) {
     synth::MovieSimOptions gen;
     gen.num_movies = state.range(0);
     Dataset ds = synth::GenerateMovieDataset(gen);
-    benchmark::DoNotOptimize(ds.claims.NumClaims());
+    benchmark::DoNotOptimize(ds.graph.NumClaims());
   }
 }
 BENCHMARK(BM_MovieGenerator)->Arg(1000);

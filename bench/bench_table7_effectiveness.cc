@@ -41,9 +41,9 @@ std::vector<MethodRow> EvaluateAll(const BenchDataset& bench) {
     auto [train, test] = bench.data.SplitByEntities(labeled_entities);
     LatentTruthModel model(bench.ltm_options);
     SourceQuality quality;
-    model.RunWithQuality(train.claims, &quality);
+    model.RunWithQuality(train.graph, &quality);
     LtmIncremental inc(quality, bench.ltm_options);
-    TruthEstimate est = inc.Score(test.facts, test.claims);
+    TruthEstimate est = inc.Score(test.facts, test.graph);
     rows.push_back({"LTMinc",
                     EvaluateAtThreshold(est.probability, test.labels, 0.5)});
   }
@@ -51,7 +51,7 @@ std::vector<MethodRow> EvaluateAll(const BenchDataset& bench) {
   for (const std::string& name : BatchMethodNames()) {
     auto method = CreateMethod(name, bench.ltm_options);
     TruthEstimate est =
-        (*method)->Score(bench.data.facts, bench.data.claims);
+        (*method)->Score(bench.data.facts, bench.data.graph);
     rows.push_back(
         {name, EvaluateAtThreshold(est.probability, bench.eval_labels, 0.5)});
   }

@@ -20,7 +20,7 @@ void Run() {
 
   LatentTruthModel model(movies.ltm_options);
   SourceQuality quality;
-  model.RunWithQuality(movies.data.claims, &quality);
+  model.RunWithQuality(movies.data.graph, &quality);
 
   const auto profiles = synth::MovieSourceProfiles();
 

@@ -38,7 +38,7 @@ double TimeMethod(TruthMethod* method, const Dataset& data) {
   double total = 0.0;
   for (int rep = 0; rep < kRepeats; ++rep) {
     WallTimer timer;
-    TruthEstimate est = method->Score(data.facts, data.claims);
+    TruthEstimate est = method->Score(data.facts, data.graph);
     total += timer.ElapsedSeconds();
     if (est.probability.size() != data.facts.NumFacts()) return -1.0;
   }
@@ -58,8 +58,8 @@ struct ScalingConfig {
 bool RunScalingSweep(const BenchDataset& full, const ScalingConfig& cfg) {
   PrintHeader("Thread scaling: sharded LTM on the full movie world");
   std::printf("facts=%zu claims=%zu sources=%zu hardware_threads=%d\n\n",
-              full.data.facts.NumFacts(), full.data.claims.NumClaims(),
-              full.data.claims.NumSources(),
+              full.data.facts.NumFacts(), full.data.graph.NumClaims(),
+              full.data.graph.NumSources(),
               ThreadPool::HardwareConcurrency());
 
   LtmOptions opts = full.ltm_options;
@@ -73,11 +73,11 @@ bool RunScalingSweep(const BenchDataset& full, const ScalingConfig& cfg) {
   for (int threads : thread_counts) {
     opts.threads = threads;
     LatentTruthModel model(opts);
-    model.Score(full.data.facts, full.data.claims);  // warm-up
+    model.Score(full.data.facts, full.data.graph);  // warm-up
     double total = 0.0;
     for (int rep = 0; rep < cfg.repeats; ++rep) {
       WallTimer timer;
-      model.Score(full.data.facts, full.data.claims);
+      model.Score(full.data.facts, full.data.graph);
       total += timer.ElapsedSeconds();
     }
     seconds.push_back(total / cfg.repeats);
@@ -104,7 +104,7 @@ bool RunScalingSweep(const BenchDataset& full, const ScalingConfig& cfg) {
                "  \"hardware_threads\": %d,\n"
                "  \"results\": [",
                cfg.movies, full.data.facts.NumFacts(),
-               full.data.claims.NumClaims(), full.data.claims.NumSources(),
+               full.data.graph.NumClaims(), full.data.graph.NumSources(),
                cfg.iterations, cfg.repeats,
                ThreadPool::HardwareConcurrency());
   for (size_t i = 0; i < seconds.size(); ++i) {
@@ -143,7 +143,7 @@ bool Run(const ScalingConfig& cfg) {
   opts.sample_gap = 4;
   LatentTruthModel model(opts);
   SourceQuality quality;
-  model.RunWithQuality(full.data.claims, &quality);
+  model.RunWithQuality(full.data.graph, &quality);
 
   PrintHeader("Table 9: runtimes (seconds) vs #entities on the movie data");
   std::vector<std::string> header{"Method"};

@@ -57,7 +57,7 @@ int main() {
 
   // Baseline: plain LTM without filtering.
   ltm::LatentTruthModel plain(opts.ltm);
-  ltm::TruthEstimate plain_est = plain.Score(ds.facts, ds.claims);
+  ltm::TruthEstimate plain_est = plain.Score(ds.facts, ds.graph);
   std::printf("plain LTM accepts %zu of %zu fabricated authors\n",
               count_fakes_accepted(plain_est.probability),
               static_cast<size_t>(gen.num_books / 2));
@@ -68,7 +68,7 @@ int main() {
     std::fprintf(stderr, "  [%.0f%%] %.*s\n", fraction * 100.0,
                  static_cast<int>(stage.size()), stage.data());
   };
-  auto filtered = ltm::ext::RunAdversarialFilter(ds.facts, ds.claims, opts, ctx);
+  auto filtered = ltm::ext::RunAdversarialFilter(ds.facts, ds.graph, opts, ctx);
   if (!filtered.ok()) {
     std::fprintf(stderr, "filter failed: %s\n",
                  filtered.status().ToString().c_str());

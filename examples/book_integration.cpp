@@ -48,11 +48,11 @@ int main(int argc, char** argv) {
   opts.sample_gap = 4;
   ltm::LatentTruthModel model(opts);
   ltm::SourceQuality quality;
-  ltm::TruthEstimate ltm_est = model.RunWithQuality(ds.claims, &quality);
+  ltm::TruthEstimate ltm_est = model.RunWithQuality(ds.graph, &quality);
 
   // Compare with voting at threshold 0.5.
   auto voting = ltm::CreateMethod("Voting");
-  ltm::TruthEstimate vote_est = (*voting)->Score(ds.facts, ds.claims);
+  ltm::TruthEstimate vote_est = (*voting)->Score(ds.facts, ds.graph);
 
   ltm::TablePrinter table(
       {"Method", "Precision", "Recall", "Accuracy", "F1"});
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<double, ltm::SourceId>> ranked;
   for (ltm::SourceId s = 0; s < ds.raw.NumSources(); ++s) {
     // Only rank sellers with enough claims to judge.
-    if (ds.claims.ClaimIndicesOfSource(s).size() >= 50) {
+    if (ds.graph.SourceDegree(s) >= 50) {
       ranked.emplace_back(quality.sensitivity[s], s);
     }
   }

@@ -1,16 +1,21 @@
-// ltm_cli: command-line truth finding over a TSV raw database.
+// ltm_cli: command-line truth finding over a TSV raw database or a
+// binary dataset snapshot.
 //
 //   ltm_cli <raw.tsv> [--method LTM] [--threshold 0.5] [--out truth.tsv]
 //           [--quality quality.tsv] [--iterations 200] [--seed 42]
-//           [--labels labels.tsv]
+//           [--labels labels.tsv] [--save-snapshot data.snap]
+//   ltm_cli <data.snap> --snapshot [...]
 //
-// Input: one `entity<TAB>attribute<TAB>source` triple per line.
+// Input: one `entity<TAB>attribute<TAB>source` triple per line, or (with
+// --snapshot) a binary snapshot written by --save-snapshot — repeat runs
+// then skip TSV parsing and claim materialization entirely.
 // Output: per-fact probabilities/decisions; optional per-source quality;
 // optional evaluation against a label file.
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <utility>
 #include <string>
 
 #include "common/string_util.h"
@@ -25,10 +30,11 @@ namespace {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: ltm_cli <raw.tsv> [--method SPEC] [--threshold P]\n"
+      "usage: ltm_cli <raw.tsv|data.snap> [--method SPEC] [--threshold P]\n"
       "               [--out truth.tsv] [--quality quality.tsv]\n"
       "               [--iterations N] [--seed S] [--labels labels.tsv]\n"
       "               [--deadline SECONDS] [--trace]\n"
+      "               [--snapshot] [--save-snapshot data.snap]\n"
       "SPEC is a method name, optionally parameterized:\n"
       "  LTM  \"LTM(iterations=200,seed=7)\"  \"TruthFinder(rho=0.5,gamma=0.3)\"\n"
       "methods:");
@@ -63,13 +69,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto loaded = ltm::LoadRawDatabaseFromTsv(raw_path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-    return 1;
+  ltm::Dataset ds;
+  if (flags.count("snapshot")) {
+    auto loaded = ltm::Dataset::LoadSnapshot(raw_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    ds = std::move(loaded).value();
+  } else {
+    auto loaded = ltm::LoadRawDatabaseFromTsv(raw_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    ds = ltm::Dataset::FromRaw(raw_path, std::move(loaded).value());
   }
-  ltm::Dataset ds = ltm::Dataset::FromRaw(raw_path, std::move(loaded).value());
   std::fprintf(stderr, "%s\n", ds.SummaryString().c_str());
+
+  if (flags.count("save-snapshot")) {
+    ltm::Status st = ds.SaveSnapshot(flags["save-snapshot"]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "snapshot written to %s\n",
+                 flags["save-snapshot"].c_str());
+  }
 
   const std::string method_name =
       flags.count("method") ? flags["method"] : "LTM";
@@ -105,7 +131,7 @@ int main(int argc, char** argv) {
   if (flags.count("deadline")) {
     ctx.deadline_seconds = std::atof(flags["deadline"].c_str());
   }
-  auto run = (*method)->Run(ctx, ds.facts, ds.claims);
+  auto run = (*method)->Run(ctx, ds.facts, ds.graph);
   if (!run.ok()) {
     std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
     return 1;

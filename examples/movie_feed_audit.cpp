@@ -29,7 +29,7 @@ int main() {
   opts.sample_gap = 2;
   ltm::LatentTruthModel model(opts);
   ltm::SourceQuality quality;
-  ltm::TruthEstimate est = model.RunWithQuality(ds.claims, &quality);
+  ltm::TruthEstimate est = model.RunWithQuality(ds.graph, &quality);
 
   // Feed audit, sorted by sensitivity as in the paper's Table 8.
   struct FeedRow {
@@ -63,7 +63,7 @@ int main() {
     table.AddRow({feed.name, ltm::FormatDouble(sens, 3),
                   ltm::FormatDouble(spec, 3),
                   ltm::FormatDouble(quality.precision[feed.id], 3),
-                  std::to_string(ds.claims.ClaimIndicesOfSource(feed.id).size()),
+                  std::to_string(ds.graph.SourceDegree(feed.id)),
                   verdict});
   }
   table.Print();
@@ -82,23 +82,19 @@ int main() {
   std::printf("\nMost contested credits (support vs denials, P(true)):\n");
   std::vector<std::pair<size_t, ltm::FactId>> contested;
   for (ltm::FactId f = 0; f < ds.facts.NumFacts(); ++f) {
-    auto claims = ds.claims.ClaimsOfFact(f);
-    size_t pos = 0;
-    for (const ltm::Claim& c : claims) pos += c.observation ? 1 : 0;
-    const size_t neg = claims.size() - pos;
+    const size_t pos = ds.graph.FactPositiveCount(f);
+    const size_t neg = ds.graph.FactDegree(f) - pos;
     contested.emplace_back(std::min(pos, neg), f);
   }
   std::sort(contested.rbegin(), contested.rend());
   for (size_t i = 0; i < 5 && i < contested.size(); ++i) {
     const ltm::FactId f = contested[i].second;
     const ltm::Fact& fact = ds.facts.fact(f);
-    auto claims = ds.claims.ClaimsOfFact(f);
-    size_t pos = 0;
-    for (const ltm::Claim& c : claims) pos += c.observation ? 1 : 0;
+    const size_t pos = ds.graph.FactPositiveCount(f);
     std::printf("  %s directed by %s: %zu for / %zu against -> P(true)=%.2f\n",
                 std::string(ds.raw.entities().Get(fact.entity)).c_str(),
                 std::string(ds.raw.attributes().Get(fact.attribute)).c_str(),
-                pos, claims.size() - pos, est.probability[f]);
+                pos, ds.graph.FactDegree(f) - pos, est.probability[f]);
   }
   return 0;
 }

@@ -78,7 +78,7 @@ int main() {
 
   ltm::LatentTruthModel model(options);
   ltm::SourceQuality quality;
-  ltm::TruthEstimate estimate = model.RunWithQuality(ds.claims, &quality);
+  ltm::TruthEstimate estimate = model.RunWithQuality(ds.graph, &quality);
 
   ltm::TablePrinter truths({"Entity", "Attribute", "P(true)", "Decision"});
   for (ltm::FactId f = 0; f < ds.facts.NumFacts(); ++f) {

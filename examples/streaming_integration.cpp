@@ -62,7 +62,7 @@ int main() {
       return 1;
     }
     std::printf("bootstrap batch fit on %zu claims: %.2fs\n\n",
-                history.claims.NumClaims(), timer.ElapsedSeconds());
+                history.graph.NumClaims(), timer.ElapsedSeconds());
   }
 
   ltm::TablePrinter table({"Chunk", "Facts", "LTMinc acc", "LTMinc ms",
@@ -86,7 +86,7 @@ int main() {
     // Alternative: full batch LTM on this chunk alone.
     ltm::WallTimer batch_timer;
     ltm::LatentTruthModel batch(opts.ltm);
-    ltm::TruthEstimate batch_est = batch.Score(chunk.facts, chunk.claims);
+    ltm::TruthEstimate batch_est = batch.Score(chunk.facts, chunk.graph);
     const double batch_ms = batch_timer.ElapsedMillis();
     const double batch_acc =
         ltm::EvaluateAtThreshold(batch_est.probability, chunk.labels, 0.5)

@@ -1,43 +1,170 @@
 #include "data/claim_graph.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
 
 namespace ltm {
 
+namespace {
+
+constexpr size_t kMaxIds = size_t{1} << 31;  // packed ids use 31 bits
+
+}  // namespace
+
+Status ClaimGraph::ValidateIdBounds(size_t num_facts, size_t num_sources) {
+  if (num_facts > kMaxIds) {
+    return Status::InvalidArgument(
+        "ClaimGraph packs ids into 31 bits: " + std::to_string(num_facts) +
+        " facts exceeds the 2^31 limit");
+  }
+  if (num_sources > kMaxIds) {
+    return Status::InvalidArgument(
+        "ClaimGraph packs ids into 31 bits: " + std::to_string(num_sources) +
+        " sources exceeds the 2^31 limit");
+  }
+  return Status::OK();
+}
+
+void ClaimGraph::BuildSourceSideAndStats() {
+  const size_t num_facts = NumFacts();
+  const size_t num_claims = fact_claims_.size();
+
+  fact_pos_counts_.assign(num_facts, 0);
+  source_offsets_.assign(num_sources_ + 1, 0);
+  source_pos_counts_.assign(num_sources_, 0);
+  num_positive_ = 0;
+
+  for (FactId f = 0; f < num_facts; ++f) {
+    for (uint32_t entry : FactClaims(f)) {
+      const uint32_t s = PackedId(entry);
+      ++source_offsets_[s + 1];
+      if (PackedObs(entry)) {
+        ++fact_pos_counts_[f];
+        ++source_pos_counts_[s];
+        ++num_positive_;
+      }
+    }
+  }
+  for (size_t s = 1; s < source_offsets_.size(); ++s) {
+    source_offsets_[s] += source_offsets_[s - 1];
+  }
+  source_claims_.resize(num_claims);
+  std::vector<uint32_t> cursor(source_offsets_.begin(),
+                               source_offsets_.end() - 1);
+  for (FactId f = 0; f < num_facts; ++f) {
+    for (uint32_t entry : FactClaims(f)) {
+      source_claims_[cursor[PackedId(entry)]++] =
+          (f << 1) | static_cast<uint32_t>(PackedObs(entry));
+    }
+  }
+}
+
 ClaimGraph ClaimGraph::Build(const ClaimTable& table) {
+  const Status bounds = ValidateIdBounds(table.NumFacts(), table.NumSources());
+  if (!bounds.ok()) {
+    LTM_LOG(Error) << "ClaimGraph::Build: " << bounds.ToString();
+    std::abort();
+  }
   ClaimGraph g;
   g.num_sources_ = table.NumSources();
   const size_t num_facts = table.NumFacts();
-  const size_t num_claims = table.NumClaims();
 
   g.fact_offsets_.assign(num_facts + 1, 0);
-  g.fact_claims_.reserve(num_claims);
-  g.source_offsets_.assign(g.num_sources_ + 1, 0);
-
+  g.fact_claims_.reserve(table.NumClaims());
   for (FactId f = 0; f < num_facts; ++f) {
     for (const Claim& c : table.ClaimsOfFact(f)) {
-      assert(c.source < (1u << 31) && c.fact < (1u << 31));
-      g.fact_claims_.push_back((c.source << 1) |
-                               (c.observation ? 1u : 0u));
-      ++g.source_offsets_[c.source + 1];
+      g.fact_claims_.push_back((c.source << 1) | (c.observation ? 1u : 0u));
     }
     g.fact_offsets_[f + 1] = static_cast<uint32_t>(g.fact_claims_.size());
   }
+  g.BuildSourceSideAndStats();
+  return g;
+}
 
-  for (size_t s = 1; s < g.source_offsets_.size(); ++s) {
-    g.source_offsets_[s] += g.source_offsets_[s - 1];
+ClaimGraph ClaimGraph::FromClaims(std::vector<Claim> claims, size_t num_facts,
+                                  size_t num_sources) {
+  return Build(
+      ClaimTable::FromClaims(std::move(claims), num_facts, num_sources));
+}
+
+Result<ClaimGraph> ClaimGraph::FromCsr(std::vector<uint32_t> fact_offsets,
+                                       std::vector<uint32_t> fact_claims,
+                                       size_t num_sources) {
+  // A zero-fact graph serializes as a bare {0} offset array; normalize a
+  // fully empty one to that so the accessors stay safe.
+  if (fact_offsets.empty()) fact_offsets.push_back(0);
+  LTM_RETURN_IF_ERROR(ValidateIdBounds(fact_offsets.size() - 1, num_sources));
+  if (fact_offsets.front() != 0 ||
+      fact_offsets.back() != fact_claims.size()) {
+    return Status::InvalidArgument(
+        "ClaimGraph CSR: offsets must run from 0 to the claim count (got [" +
+        std::to_string(fact_offsets.front()) + ", " +
+        std::to_string(fact_offsets.back()) + "] over " +
+        std::to_string(fact_claims.size()) + " claims)");
   }
-  g.source_claims_.resize(num_claims);
-  std::vector<uint32_t> cursor(g.source_offsets_.begin(),
-                               g.source_offsets_.end() - 1);
-  for (FactId f = 0; f < num_facts; ++f) {
-    for (const Claim& c : table.ClaimsOfFact(f)) {
-      g.source_claims_[cursor[c.source]++] =
-          (c.fact << 1) | (c.observation ? 1u : 0u);
+  for (size_t f = 1; f < fact_offsets.size(); ++f) {
+    if (fact_offsets[f] < fact_offsets[f - 1]) {
+      return Status::InvalidArgument(
+          "ClaimGraph CSR: offsets not monotone at fact " +
+          std::to_string(f - 1));
     }
   }
+  for (size_t i = 0; i < fact_claims.size(); ++i) {
+    if (PackedId(fact_claims[i]) >= num_sources) {
+      return Status::InvalidArgument(
+          "ClaimGraph CSR: claim " + std::to_string(i) +
+          " references source " + std::to_string(PackedId(fact_claims[i])) +
+          " >= " + std::to_string(num_sources));
+    }
+  }
+  // Canonical per-fact order — positives before negatives, sources
+  // strictly ascending within each group — is what every builder emits
+  // and what the bit-identity guarantees rest on; it also rules out
+  // duplicate (fact, source) pairs, which would inflate the derived
+  // counts. Sort key: the flipped observation bit above the source id,
+  // so the canonical order is a strict ascent.
+  const auto order_key = [](uint32_t entry) {
+    return (((entry & 1u) ^ 1u) << 31) | (entry >> 1);
+  };
+  for (size_t f = 0; f + 1 < fact_offsets.size(); ++f) {
+    for (uint32_t i = fact_offsets[f] + 1; i < fact_offsets[f + 1]; ++i) {
+      const uint32_t prev = order_key(fact_claims[i - 1]);
+      const uint32_t cur = order_key(fact_claims[i]);
+      if (cur <= prev) {
+        return Status::InvalidArgument(
+            "ClaimGraph CSR: fact " + std::to_string(f) +
+            " adjacency is not in canonical order (positives before "
+            "negatives, sources ascending, no duplicates) at entry " +
+            std::to_string(i));
+      }
+    }
+  }
+  ClaimGraph g;
+  g.num_sources_ = num_sources;
+  g.fact_offsets_ = std::move(fact_offsets);
+  g.fact_claims_ = std::move(fact_claims);
+  g.BuildSourceSideAndStats();
   return g;
+}
+
+ClaimGraph ClaimGraph::PositiveOnly() const {
+  ClaimGraph out;
+  out.num_sources_ = num_sources_;
+  const size_t num_facts = NumFacts();
+  out.fact_offsets_.assign(num_facts + 1, 0);
+  out.fact_claims_.reserve(num_positive_);
+  for (FactId f = 0; f < num_facts; ++f) {
+    for (uint32_t entry : FactClaims(f)) {
+      if (PackedObs(entry)) out.fact_claims_.push_back(entry);
+    }
+    out.fact_offsets_[f + 1] = static_cast<uint32_t>(out.fact_claims_.size());
+  }
+  out.BuildSourceSideAndStats();
+  return out;
 }
 
 std::vector<uint32_t> ClaimGraph::PartitionFacts(int num_shards) const {

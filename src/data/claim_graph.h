@@ -6,45 +6,79 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "data/claim_table.h"
 #include "data/types.h"
 
 namespace ltm {
 
-/// Cache-conscious CSR flattening of a ClaimTable, built once per run for
-/// the samplers' hot loops.
+/// The canonical columnar inference substrate: a packed CSR claim graph.
 ///
-/// ClaimTable already stores claims fact-major, but each entry is a
-/// 12-byte {fact, source, observation} struct whose `fact` field is
-/// redundant inside a per-fact span, and whose by-source view is an
-/// index-indirection away from the claim payload. ClaimGraph drops both
-/// costs: every adjacency entry is a single uint32 packing the neighbor id
-/// with the observation bit —
+/// Every truth-finding method in the library iterates this structure.
+/// ClaimTable is only the ingestion-time builder that materializes claims
+/// (paper Definition 3) and hands off here; after Build() the 12-byte
+/// {fact, source, observation} structs are gone from the hot path.
+///
+/// Each adjacency entry is a single uint32 packing the neighbor id with
+/// the observation bit —
 ///
 ///   fact side:   (source << 1) | observation, in ClaimTable claim order
 ///   source side: (fact << 1) | observation, grouped by source
 ///
-/// so one Gibbs conditional streams a contiguous run of 4-byte words
-/// (3x less memory traffic than the struct walk) and the per-source count
-/// rebuild walks its own contiguous run. Ids must stay below 2^31, which
-/// the uint32 id space already guarantees elsewhere via kInvalidId.
+/// so one Gibbs conditional (or one fixed-point accumulation pass) streams
+/// a contiguous run of 4-byte words — 3x less memory traffic than the
+/// struct walk — and the per-source pass walks its own contiguous run.
+/// Derived stats the methods need (per-fact/per-source degrees and
+/// positive-claim counts; the fact offsets double as the claim-count
+/// prefix sum) are computed once at build time.
 ///
-/// Immutable after Build(); spans remain valid for the graph's lifetime.
+/// Ids must stay below 2^31 so the shifted pack cannot overflow;
+/// ValidateIdBounds makes that limit an explicit checked failure.
+///
+/// Immutable after construction; spans remain valid for the graph's
+/// lifetime.
 class ClaimGraph {
  public:
   ClaimGraph() = default;
+
+  /// OK iff every fact and source id fits the 31-bit packed id space
+  /// (ids are dense, so the counts bound the ids). Build() CHECK-fails on
+  /// a violation; snapshot loading surfaces it as a Status.
+  static Status ValidateIdBounds(size_t num_facts, size_t num_sources);
 
   /// Flattens `table`. Per-fact adjacency order is exactly the
   /// ClaimTable's claim order (positives before negatives, then by
   /// source), so algorithms ported from ClaimTable iterate identical
   /// sequences and reproduce identical floating-point sums.
+  /// Aborts with a clear message when ValidateIdBounds fails.
   static ClaimGraph Build(const ClaimTable& table);
+
+  /// Builds a graph directly from an explicit claim list (synthetic
+  /// generators, filtered re-builds). Equivalent to
+  /// Build(ClaimTable::FromClaims(...)): claims are sorted fact-major
+  /// (positives before negatives, then by source) and duplicate
+  /// (fact, source) pairs keep the first occurrence.
+  static ClaimGraph FromClaims(std::vector<Claim> claims, size_t num_facts,
+                               size_t num_sources);
+
+  /// Reassembles a graph from a serialized fact-side CSR (snapshot load).
+  /// Validates the invariants — offsets monotone from 0 to
+  /// fact_claims.size(), every packed source id below `num_sources`, id
+  /// bounds — and rebuilds the source side and derived stats. Returns
+  /// InvalidArgument on any violation instead of trusting the input.
+  static Result<ClaimGraph> FromCsr(std::vector<uint32_t> fact_offsets,
+                                    std::vector<uint32_t> fact_claims,
+                                    size_t num_sources);
 
   size_t NumFacts() const {
     return fact_offsets_.empty() ? 0 : fact_offsets_.size() - 1;
   }
   size_t NumSources() const { return num_sources_; }
   size_t NumClaims() const { return fact_claims_.size(); }
+  size_t NumPositiveClaims() const { return num_positive_; }
+  size_t NumNegativeClaims() const {
+    return fact_claims_.size() - num_positive_;
+  }
 
   /// Unpack helpers for adjacency entries.
   static constexpr uint32_t PackedId(uint32_t entry) { return entry >> 1; }
@@ -58,7 +92,9 @@ class ClaimGraph {
                                      fact_offsets_[f + 1] - fact_offsets_[f]);
   }
 
-  /// Packed (fact << 1 | obs) entries of source `s`'s claims.
+  /// Packed (fact << 1 | obs) entries of source `s`'s claims, in
+  /// fact-major order (identical to the order ClaimTable's by-source
+  /// index visited, so per-source sums stay bit-identical).
   std::span<const uint32_t> SourceClaims(SourceId s) const {
     return std::span<const uint32_t>(
         source_claims_.data() + source_offsets_[s],
@@ -68,6 +104,22 @@ class ClaimGraph {
   uint32_t FactDegree(FactId f) const {
     return fact_offsets_[f + 1] - fact_offsets_[f];
   }
+  /// Number of positive claims on fact `f` (|S_f| restricted to
+  /// asserters). Positives precede negatives within FactClaims(f).
+  uint32_t FactPositiveCount(FactId f) const { return fact_pos_counts_[f]; }
+
+  uint32_t SourceDegree(SourceId s) const {
+    return source_offsets_[s + 1] - source_offsets_[s];
+  }
+  /// Number of positive claims made by source `s`.
+  uint32_t SourcePositiveCount(SourceId s) const {
+    return source_pos_counts_[s];
+  }
+
+  /// A copy of this graph with all negative claims removed (same facts
+  /// and sources, per-fact order preserved). Used by the LTMpos ablation
+  /// and positive-only baselines.
+  ClaimGraph PositiveOnly() const;
 
   /// Partitions facts into `num_shards` contiguous ranges balanced by
   /// claim count (the sweep's unit of work, since Eq. 2 is O(|C_f|)).
@@ -77,12 +129,23 @@ class ClaimGraph {
   /// reproducibility rests on this.
   std::vector<uint32_t> PartitionFacts(int num_shards) const;
 
+  /// Raw fact-side CSR arrays, the snapshot serialization payload.
+  const std::vector<uint32_t>& fact_offsets() const { return fact_offsets_; }
+  const std::vector<uint32_t>& fact_claims() const { return fact_claims_; }
+
  private:
-  std::vector<uint32_t> fact_offsets_;    // size NumFacts()+1
-  std::vector<uint32_t> fact_claims_;     // packed source|obs, fact-major
-  std::vector<uint32_t> source_offsets_;  // size NumSources()+1
-  std::vector<uint32_t> source_claims_;   // packed fact|obs, source-major
+  /// Rebuilds source_offsets_/source_claims_ and all derived stats from
+  /// the fact side. The single code path shared by every builder.
+  void BuildSourceSideAndStats();
+
+  std::vector<uint32_t> fact_offsets_;      // size NumFacts()+1
+  std::vector<uint32_t> fact_claims_;       // packed source|obs, fact-major
+  std::vector<uint32_t> fact_pos_counts_;   // positives per fact
+  std::vector<uint32_t> source_offsets_;    // size NumSources()+1
+  std::vector<uint32_t> source_claims_;     // packed fact|obs, source-major
+  std::vector<uint32_t> source_pos_counts_; // positives per source
   size_t num_sources_ = 0;
+  size_t num_positive_ = 0;
 };
 
 }  // namespace ltm

@@ -10,19 +10,19 @@ constexpr size_t kHistogramBuckets = 11;  // 0..9 and "10+".
 }
 
 ClaimStats ComputeClaimStats(const FactTable& facts,
-                             const ClaimTable& claims) {
+                             const ClaimGraph& graph) {
   ClaimStats stats;
-  stats.num_facts = claims.NumFacts();
-  stats.num_sources = claims.NumSources();
-  stats.num_claims = claims.NumClaims();
-  stats.num_positive = claims.NumPositiveClaims();
+  stats.num_facts = graph.NumFacts();
+  stats.num_sources = graph.NumSources();
+  stats.num_claims = graph.NumClaims();
+  stats.num_positive = graph.NumPositiveClaims();
   stats.positive_support_histogram.assign(kHistogramBuckets, 0);
 
   size_t total_positive = 0;
-  for (FactId f = 0; f < claims.NumFacts(); ++f) {
-    const size_t n = claims.ClaimsOfFact(f).size();
+  for (FactId f = 0; f < graph.NumFacts(); ++f) {
+    const size_t n = graph.FactDegree(f);
     stats.max_claims_per_fact = std::max(stats.max_claims_per_fact, n);
-    const size_t pos = claims.NumPositiveClaimsOfFact(f);
+    const size_t pos = graph.FactPositiveCount(f);
     total_positive += pos;
     ++stats.positive_support_histogram[std::min(pos, kHistogramBuckets - 1)];
   }
@@ -45,8 +45,8 @@ ClaimStats ComputeClaimStats(const FactTable& facts,
   }
 
   size_t active_claim_total = 0;
-  for (SourceId s = 0; s < claims.NumSources(); ++s) {
-    const size_t n = claims.ClaimIndicesOfSource(s).size();
+  for (SourceId s = 0; s < graph.NumSources(); ++s) {
+    const size_t n = graph.SourceDegree(s);
     if (n == 0) continue;
     ++stats.active_sources;
     active_claim_total += n;

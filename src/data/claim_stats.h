@@ -5,12 +5,12 @@
 #include <string>
 #include <vector>
 
-#include "data/claim_table.h"
+#include "data/claim_graph.h"
 #include "data/fact_table.h"
 
 namespace ltm {
 
-/// Structural statistics of a claim table — the dataset-shape numbers the
+/// Structural statistics of a claim graph — the dataset-shape numbers the
 /// paper reports in §6.1.1 (entities, facts, claims, sources) plus the
 /// distributions that drive method behaviour: claims per fact, facts per
 /// entity, positive-claim share, and per-source activity. Used by benches
@@ -39,8 +39,8 @@ struct ClaimStats {
   std::string ToString() const;
 };
 
-/// Computes statistics over `claims` (and `facts` for entity grouping).
-ClaimStats ComputeClaimStats(const FactTable& facts, const ClaimTable& claims);
+/// Computes statistics over `graph` (and `facts` for entity grouping).
+ClaimStats ComputeClaimStats(const FactTable& facts, const ClaimGraph& graph);
 
 }  // namespace ltm
 

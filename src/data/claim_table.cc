@@ -50,24 +50,7 @@ ClaimTable ClaimTable::Build(const RawDatabase& raw, const FactTable& facts) {
     table.fact_offsets_.push_back(static_cast<uint32_t>(table.claims_.size()));
   }
 
-  table.BuildSourceIndex();
   return table;
-}
-
-void ClaimTable::BuildSourceIndex() {
-  source_offsets_.assign(num_sources_ + 1, 0);
-  for (const Claim& c : claims_) {
-    ++source_offsets_[c.source + 1];
-  }
-  for (size_t s = 1; s < source_offsets_.size(); ++s) {
-    source_offsets_[s] += source_offsets_[s - 1];
-  }
-  source_claims_.resize(claims_.size());
-  std::vector<uint32_t> cursor(source_offsets_.begin(),
-                               source_offsets_.end() - 1);
-  for (uint32_t idx = 0; idx < claims_.size(); ++idx) {
-    source_claims_[cursor[claims_[idx].source]++] = idx;
-  }
 }
 
 ClaimTable ClaimTable::FromClaims(std::vector<Claim> claims, size_t num_facts,
@@ -110,33 +93,7 @@ ClaimTable ClaimTable::FromClaims(std::vector<Claim> claims, size_t num_facts,
   for (size_t f = 1; f < table.fact_offsets_.size(); ++f) {
     table.fact_offsets_[f] += table.fact_offsets_[f - 1];
   }
-  table.BuildSourceIndex();
   return table;
-}
-
-ClaimTable ClaimTable::PositiveOnly() const {
-  ClaimTable out;
-  out.num_sources_ = num_sources_;
-  const size_t num_facts = NumFacts();
-  out.fact_offsets_.reserve(num_facts + 1);
-  out.fact_offsets_.push_back(0);
-  for (FactId f = 0; f < num_facts; ++f) {
-    for (const Claim& c : ClaimsOfFact(f)) {
-      if (c.observation) out.claims_.push_back(c);
-    }
-    out.fact_offsets_.push_back(static_cast<uint32_t>(out.claims_.size()));
-  }
-  out.num_positive_ = out.claims_.size();
-  out.BuildSourceIndex();
-  return out;
-}
-
-size_t ClaimTable::NumPositiveClaimsOfFact(FactId f) const {
-  size_t n = 0;
-  for (const Claim& c : ClaimsOfFact(f)) {
-    if (c.observation) ++n;
-  }
-  return n;
 }
 
 }  // namespace ltm

@@ -23,25 +23,26 @@ struct Claim {
   bool operator==(const Claim&) const = default;
 };
 
-/// The claim table C, materialized from a RawDatabase + FactTable using the
-/// paper's generation rule (Definition 3):
+/// Ingestion-time builder for the claim table C, materialized from a
+/// RawDatabase + FactTable using the paper's generation rule
+/// (Definition 3):
 ///
 ///   - positive claim (f, s, true): s asserted fact f in the raw data;
 ///   - negative claim (f, s, false): s did not assert f but asserted some
 ///     other fact of f's entity;
 ///   - no claim: s is silent about f's entity.
 ///
-/// Claims are stored fact-major (CSR): `ClaimsOfFact(f)` is a contiguous
-/// span, which is what the collapsed Gibbs sampler iterates over. A
-/// secondary by-source CSR index supports quality read-off and per-source
-/// statistics. Immutable after Build().
+/// Claims are stored fact-major (CSR): within a fact, positive claims
+/// precede negative claims and each group is ordered by SourceId, so
+/// output is deterministic. This struct-of-claims layout exists only to
+/// materialize and order claims; inference runs on the packed CSR
+/// ClaimGraph built from it (ClaimGraph::Build), which is what every
+/// method consumes. Immutable after Build().
 class ClaimTable {
  public:
   ClaimTable() = default;
 
   /// Materializes claims for all facts in `facts` from `raw`.
-  /// Within a fact, positive claims precede negative claims and each group
-  /// is ordered by SourceId, so output is deterministic.
   static ClaimTable Build(const RawDatabase& raw, const FactTable& facts);
 
   /// Builds a table directly from an explicit claim list — used by the
@@ -70,30 +71,9 @@ class ClaimTable {
                                   fact_offsets_[f + 1] - fact_offsets_[f]);
   }
 
-  /// Indices (into claims()) of the claims made by source `s`.
-  std::span<const uint32_t> ClaimIndicesOfSource(SourceId s) const {
-    return std::span<const uint32_t>(
-        source_claims_.data() + source_offsets_[s],
-        source_offsets_[s + 1] - source_offsets_[s]);
-  }
-
-  /// Number of sources with at least one positive claim on fact `f`
-  /// (|S_f| restricted to asserters).
-  size_t NumPositiveClaimsOfFact(FactId f) const;
-
-  /// A copy of this table with all negative claims removed (same facts and
-  /// sources). Used by the LTMpos ablation and by positive-only baselines'
-  /// tests.
-  ClaimTable PositiveOnly() const;
-
  private:
-  /// Rebuilds the by-source CSR index from `claims_`.
-  void BuildSourceIndex();
-
   std::vector<Claim> claims_;
-  std::vector<uint32_t> fact_offsets_;    // size NumFacts()+1
-  std::vector<uint32_t> source_claims_;   // claim indices grouped by source
-  std::vector<uint32_t> source_offsets_;  // size NumSources()+1
+  std::vector<uint32_t> fact_offsets_;  // size NumFacts()+1
   size_t num_sources_ = 0;
   size_t num_positive_ = 0;
 };

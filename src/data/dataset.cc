@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "data/claim_table.h"
+
 namespace ltm {
 
 Dataset Dataset::FromRaw(std::string name, RawDatabase raw) {
@@ -10,7 +12,9 @@ Dataset Dataset::FromRaw(std::string name, RawDatabase raw) {
   ds.name = std::move(name);
   ds.raw = std::move(raw);
   ds.facts = FactTable::Build(ds.raw);
-  ds.claims = ClaimTable::Build(ds.raw, ds.facts);
+  // The struct-of-claims table is a build-time intermediate: materialize,
+  // flatten into the packed CSR graph, discard.
+  ds.graph = ClaimGraph::Build(ClaimTable::Build(ds.raw, ds.facts));
   ds.labels = TruthLabels(ds.facts.NumFacts());
   return ds;
 }
@@ -75,8 +79,8 @@ std::pair<Dataset, Dataset> Dataset::SplitByEntities(
 std::string Dataset::SummaryString() const {
   std::ostringstream os;
   os << name << ": " << raw.NumEntities() << " entities, " << facts.NumFacts()
-     << " facts, " << claims.NumClaims() << " claims ("
-     << claims.NumPositiveClaims() << " positive) from " << raw.NumSources()
+     << " facts, " << graph.NumClaims() << " claims ("
+     << graph.NumPositiveClaims() << " positive) from " << raw.NumSources()
      << " sources; " << labels.NumLabeled() << " labeled facts ("
      << labels.NumLabeledTrue() << " true)";
   return os.str();

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "data/claim_table.h"
+#include "data/claim_graph.h"
 #include "data/fact_table.h"
 #include "data/raw_database.h"
 #include "data/truth_labels.h"
@@ -14,18 +14,19 @@
 namespace ltm {
 
 /// A fully materialized truth-finding input: the raw triples plus the
-/// derived fact and claim tables, and (for evaluation or synthetic data)
-/// ground-truth labels. Methods consume `claims`; evaluation consumes
-/// `labels`.
+/// derived fact table and packed claim graph, and (for evaluation or
+/// synthetic data) ground-truth labels. Methods consume `graph`;
+/// evaluation consumes `labels`. The intermediate ClaimTable exists only
+/// inside FromRaw — the graph is the single inference substrate.
 struct Dataset {
   std::string name;
   RawDatabase raw;
   FactTable facts;
-  ClaimTable claims;
+  ClaimGraph graph;
   TruthLabels labels;
 
-  /// Derives facts/claims from `raw` and sizes an empty label store.
-  /// `raw` is moved in.
+  /// Derives facts and the claim graph from `raw` (via the ClaimTable
+  /// builder) and sizes an empty label store. `raw` is moved in.
   static Dataset FromRaw(std::string name, RawDatabase raw);
 
   /// Restricts to the first `max_entities` entities (by EntityId) and
@@ -42,6 +43,17 @@ struct Dataset {
   /// the 100 labeled entities with Eq. 3). Labels are carried over.
   std::pair<Dataset, Dataset> SplitByEntities(
       const std::vector<EntityId>& test_entities) const;
+
+  /// Serializes the dataset — interners, raw rows, facts, claim graph,
+  /// labels — as a versioned little-endian binary snapshot with header
+  /// magic and checksum (see data/snapshot.h for the format). Repeat runs
+  /// LoadSnapshot() and skip TSV parsing and claim materialization.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Loads a snapshot written by SaveSnapshot. Rejects corrupt input —
+  /// bad magic, unsupported version, truncation, checksum mismatch,
+  /// inconsistent tables — with a descriptive non-OK Status.
+  static Result<Dataset> LoadSnapshot(const std::string& path);
 
   /// Facts per entity, entity coverage and claim counts; for logging and
   /// README tables.

@@ -1,0 +1,371 @@
+#include "data/snapshot.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ltm {
+
+namespace {
+
+constexpr size_t kHeaderSize = 24;
+
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Status RequireLittleEndianHost() {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::FailedPrecondition(
+        "snapshot I/O is little-endian only; this host is big-endian");
+  }
+  return Status::OK();
+}
+
+/// Appends fixed-width integers and length-prefixed blobs to a byte
+/// buffer. On a little-endian host the in-memory representation is the
+/// on-disk format, so writes are plain memcpys.
+class PayloadWriter {
+ public:
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI8(int8_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutString(std::string_view s) {
+    PutU64(s.size());
+    PutRaw(s.data(), s.size());
+  }
+
+  void PutU32Array(const std::vector<uint32_t>& v) {
+    PutU64(v.size());
+    PutRaw(v.data(), v.size() * sizeof(uint32_t));
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  void PutRaw(const void* data, size_t size) {
+    bytes_.append(static_cast<const char*>(data), size);
+  }
+
+  std::string bytes_;
+};
+
+/// Bounds-checked cursor over the payload. Every getter fails with
+/// InvalidArgument instead of reading past the end, so a truncated
+/// payload (that somehow passed the size check) cannot crash the loader.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint32_t> GetU32() {
+    uint32_t v = 0;
+    LTM_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint64_t> GetU64() {
+    uint64_t v = 0;
+    LTM_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<int8_t> GetI8() {
+    int8_t v = 0;
+    LTM_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<std::string> GetString() {
+    LTM_ASSIGN_OR_RETURN(const uint64_t len, GetU64());
+    if (len > Remaining()) return Truncated("string");
+    std::string s(data_ + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  Result<std::vector<uint32_t>> GetU32Array() {
+    LTM_ASSIGN_OR_RETURN(const uint64_t count, GetU64());
+    if (count > Remaining() / sizeof(uint32_t)) return Truncated("u32 array");
+    std::vector<uint32_t> v(count);
+    if (count > 0) {
+      std::memcpy(v.data(), data_ + pos_, count * sizeof(uint32_t));
+      pos_ += count * sizeof(uint32_t);
+    }
+    return v;
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+
+ private:
+  Status GetRaw(void* out, size_t size) {
+    if (size > Remaining()) {
+      return Status::InvalidArgument(
+          "corrupt snapshot: payload truncated at byte " +
+          std::to_string(pos_));
+    }
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return Status::OK();
+  }
+
+  Status Truncated(const char* what) const {
+    return Status::InvalidArgument(
+        std::string("corrupt snapshot: truncated ") + what + " at byte " +
+        std::to_string(pos_));
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void PutInterner(PayloadWriter* w, const StringInterner& interner) {
+  w->PutU64(interner.size());
+  for (const std::string& s : interner.strings()) {
+    w->PutString(s);
+  }
+}
+
+Result<std::vector<std::string>> GetInterner(PayloadReader* r) {
+  LTM_ASSIGN_OR_RETURN(const uint64_t count, r->GetU64());
+  std::vector<std::string> strings;
+  if (count > r->Remaining()) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: interner claims more strings than payload bytes");
+  }
+  strings.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LTM_ASSIGN_OR_RETURN(std::string s, r->GetString());
+    strings.push_back(std::move(s));
+  }
+  return strings;
+}
+
+}  // namespace
+
+Status SaveDatasetSnapshot(const Dataset& dataset, const std::string& path) {
+  LTM_RETURN_IF_ERROR(RequireLittleEndianHost());
+
+  PayloadWriter payload;
+  payload.PutString(dataset.name);
+
+  PutInterner(&payload, dataset.raw.entities());
+  PutInterner(&payload, dataset.raw.attributes());
+  PutInterner(&payload, dataset.raw.sources());
+
+  payload.PutU64(dataset.raw.NumRows());
+  for (const RawRow& row : dataset.raw.rows()) {
+    payload.PutU32(row.entity);
+    payload.PutU32(row.attribute);
+    payload.PutU32(row.source);
+  }
+
+  payload.PutU64(dataset.facts.NumFacts());
+  for (const Fact& fact : dataset.facts.facts()) {
+    payload.PutU32(fact.entity);
+    payload.PutU32(fact.attribute);
+  }
+
+  payload.PutU64(dataset.graph.NumSources());
+  payload.PutU32Array(dataset.graph.fact_offsets());
+  payload.PutU32Array(dataset.graph.fact_claims());
+
+  payload.PutU64(dataset.labels.NumFacts());
+  for (FactId f = 0; f < dataset.labels.NumFacts(); ++f) {
+    const auto label = dataset.labels.Get(f);
+    payload.PutI8(!label.has_value() ? int8_t{-1}
+                                     : (*label ? int8_t{1} : int8_t{0}));
+  }
+
+  const std::string& bytes = payload.bytes();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open snapshot for writing: " + path);
+  }
+  char header[kHeaderSize];
+  std::memcpy(header, kSnapshotMagic, 4);
+  const uint32_t version = kSnapshotVersion;
+  std::memcpy(header + 4, &version, 4);
+  const uint64_t payload_size = bytes.size();
+  std::memcpy(header + 8, &payload_size, 8);
+  const uint64_t checksum = Fnv1a64(bytes.data(), bytes.size());
+  std::memcpy(header + 16, &checksum, 8);
+  out.write(header, kHeaderSize);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("snapshot write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetSnapshot(const std::string& path) {
+  LTM_RETURN_IF_ERROR(RequireLittleEndianHost());
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open snapshot: " + path);
+  }
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("snapshot read failed: " + path);
+
+  if (file.size() < kHeaderSize) {
+    return Status::InvalidArgument("corrupt snapshot: file shorter than the " +
+                                   std::to_string(kHeaderSize) +
+                                   "-byte header: " + path);
+  }
+  if (std::memcmp(file.data(), kSnapshotMagic, 4) != 0) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: bad magic (not an LTMS snapshot): " + path);
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, file.data() + 4, 4);
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        "): " + path);
+  }
+  uint64_t payload_size = 0;
+  std::memcpy(&payload_size, file.data() + 8, 8);
+  if (payload_size != file.size() - kHeaderSize) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: header promises " + std::to_string(payload_size) +
+        " payload bytes, file has " +
+        std::to_string(file.size() - kHeaderSize) + ": " + path);
+  }
+  uint64_t expected_checksum = 0;
+  std::memcpy(&expected_checksum, file.data() + 16, 8);
+  const uint64_t actual_checksum =
+      Fnv1a64(file.data() + kHeaderSize, payload_size);
+  if (actual_checksum != expected_checksum) {
+    return Status::InvalidArgument("corrupt snapshot: checksum mismatch: " +
+                                   path);
+  }
+
+  PayloadReader r(file.data() + kHeaderSize, payload_size);
+  Dataset ds;
+  LTM_ASSIGN_OR_RETURN(ds.name, r.GetString());
+
+  LTM_ASSIGN_OR_RETURN(const std::vector<std::string> entities,
+                       GetInterner(&r));
+  LTM_ASSIGN_OR_RETURN(const std::vector<std::string> attributes,
+                       GetInterner(&r));
+  LTM_ASSIGN_OR_RETURN(const std::vector<std::string> sources,
+                       GetInterner(&r));
+  for (const std::string& s : entities) ds.raw.mutable_entities().Intern(s);
+  for (const std::string& s : attributes) {
+    ds.raw.mutable_attributes().Intern(s);
+  }
+  for (const std::string& s : sources) ds.raw.mutable_sources().Intern(s);
+  if (ds.raw.NumEntities() != entities.size() ||
+      ds.raw.NumAttributes() != attributes.size() ||
+      ds.raw.NumSources() != sources.size()) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: duplicate strings in an interner section");
+  }
+
+  LTM_ASSIGN_OR_RETURN(const uint64_t num_rows, r.GetU64());
+  if (num_rows > r.Remaining() / (3 * sizeof(uint32_t))) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: row section larger than payload");
+  }
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    LTM_ASSIGN_OR_RETURN(const uint32_t e, r.GetU32());
+    LTM_ASSIGN_OR_RETURN(const uint32_t a, r.GetU32());
+    LTM_ASSIGN_OR_RETURN(const uint32_t s, r.GetU32());
+    if (e >= entities.size() || a >= attributes.size() ||
+        s >= sources.size()) {
+      return Status::InvalidArgument(
+          "corrupt snapshot: raw row " + std::to_string(i) +
+          " references an id outside the interners");
+    }
+    ds.raw.AddRow(e, a, s);
+  }
+
+  LTM_ASSIGN_OR_RETURN(const uint64_t num_facts, r.GetU64());
+  if (num_facts > r.Remaining() / (2 * sizeof(uint32_t))) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: fact section larger than payload");
+  }
+  std::vector<Fact> fact_list;
+  fact_list.reserve(num_facts);
+  for (uint64_t i = 0; i < num_facts; ++i) {
+    LTM_ASSIGN_OR_RETURN(const uint32_t e, r.GetU32());
+    LTM_ASSIGN_OR_RETURN(const uint32_t a, r.GetU32());
+    if (e >= entities.size() || a >= attributes.size()) {
+      return Status::InvalidArgument(
+          "corrupt snapshot: fact " + std::to_string(i) +
+          " references an id outside the interners");
+    }
+    fact_list.push_back(Fact{e, a});
+  }
+  ds.facts = FactTable::FromFactList(fact_list);
+  if (ds.facts.NumFacts() != num_facts) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: duplicate (entity, attribute) pairs in the fact "
+        "section");
+  }
+
+  LTM_ASSIGN_OR_RETURN(const uint64_t num_graph_sources, r.GetU64());
+  if (num_graph_sources != sources.size()) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: graph has " + std::to_string(num_graph_sources) +
+        " sources, interner has " + std::to_string(sources.size()));
+  }
+  LTM_ASSIGN_OR_RETURN(std::vector<uint32_t> fact_offsets, r.GetU32Array());
+  LTM_ASSIGN_OR_RETURN(std::vector<uint32_t> fact_claims, r.GetU32Array());
+  // A default-constructed (zero-fact) graph serializes an empty offset
+  // array; normalize to the canonical {0} before the shape check.
+  if (fact_offsets.empty()) fact_offsets.push_back(0);
+  if (fact_offsets.size() != num_facts + 1) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: graph covers " +
+        std::to_string(fact_offsets.size() - 1) + " facts, fact table has " +
+        std::to_string(num_facts));
+  }
+  LTM_ASSIGN_OR_RETURN(
+      ds.graph, ClaimGraph::FromCsr(std::move(fact_offsets),
+                                    std::move(fact_claims),
+                                    num_graph_sources));
+
+  LTM_ASSIGN_OR_RETURN(const uint64_t num_labels, r.GetU64());
+  if (num_labels != num_facts) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: " + std::to_string(num_labels) + " labels for " +
+        std::to_string(num_facts) + " facts");
+  }
+  ds.labels = TruthLabels(num_labels);
+  for (uint64_t f = 0; f < num_labels; ++f) {
+    LTM_ASSIGN_OR_RETURN(const int8_t v, r.GetI8());
+    if (v < -1 || v > 1) {
+      return Status::InvalidArgument(
+          "corrupt snapshot: label " + std::to_string(f) + " has value " +
+          std::to_string(v) + " (want -1/0/1)");
+    }
+    if (v >= 0) ds.labels.Set(static_cast<FactId>(f), v == 1);
+  }
+
+  if (r.Remaining() != 0) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: " + std::to_string(r.Remaining()) +
+        " trailing bytes after the label section");
+  }
+  return ds;
+}
+
+Status Dataset::SaveSnapshot(const std::string& path) const {
+  return SaveDatasetSnapshot(*this, path);
+}
+
+Result<Dataset> Dataset::LoadSnapshot(const std::string& path) {
+  return LoadDatasetSnapshot(path);
+}
+
+}  // namespace ltm

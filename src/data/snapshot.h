@@ -1,0 +1,55 @@
+#ifndef LTM_DATA_SNAPSHOT_H_
+#define LTM_DATA_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace ltm {
+
+/// Versioned binary snapshot of a Dataset, so benches and serving-style
+/// repeat runs skip TSV parsing and claim materialization entirely — the
+/// packed CSR graph is loaded back as-is (one-time build cost, fast
+/// downstream passes).
+///
+/// File layout (all integers little-endian):
+///
+///   header, 24 bytes:
+///     [0..3]   magic "LTMS"
+///     [4..7]   uint32 format version (kSnapshotVersion)
+///     [8..15]  uint64 payload size in bytes
+///     [16..23] uint64 FNV-1a 64 checksum of the payload
+///   payload:
+///     name:        uint64 length + bytes
+///     interners:   entities, attributes, sources — each uint64 count,
+///                  then per string uint64 length + bytes
+///     raw rows:    uint64 count, then per row 3x uint32 (e, a, s)
+///     facts:       uint64 count, then per fact 2x uint32 (entity, attr)
+///     claim graph: uint64 num_sources, uint64 offset count + uint32[]
+///                  fact offsets, uint64 claim count + uint32[] packed
+///                  fact-side entries (source << 1 | obs); the source-side
+///                  CSR and derived stats are rebuilt on load
+///     labels:      uint64 count, then int8 per fact (-1/0/1)
+///
+/// Loading verifies magic, version, payload size and checksum before
+/// parsing, bounds-checks every read, and cross-validates the sections
+/// (row ids against interner sizes, graph against fact/source counts),
+/// so truncated or corrupted files are rejected with a non-OK Status
+/// instead of producing a broken Dataset.
+
+inline constexpr char kSnapshotMagic[4] = {'L', 'T', 'M', 'S'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Writes `dataset` to `path`. IOError when the file cannot be written.
+Status SaveDatasetSnapshot(const Dataset& dataset, const std::string& path);
+
+/// Reads a snapshot written by SaveDatasetSnapshot. IOError when the file
+/// cannot be read; InvalidArgument for bad magic, unsupported version,
+/// truncation, checksum mismatch, or inconsistent content.
+Result<Dataset> LoadDatasetSnapshot(const std::string& path);
+
+}  // namespace ltm
+
+#endif  // LTM_DATA_SNAPSHOT_H_

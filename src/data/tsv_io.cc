@@ -7,6 +7,19 @@
 
 namespace ltm {
 
+namespace {
+
+/// The offending text quoted in parse errors, truncated so a pathological
+/// line cannot blow up the message.
+std::string QuoteForError(std::string_view text) {
+  constexpr size_t kMaxQuoted = 80;
+  std::string out(text.substr(0, kMaxQuoted));
+  if (text.size() > kMaxQuoted) out += "...";
+  return out;
+}
+
+}  // namespace
+
 Result<RawDatabase> LoadRawDatabaseFromTsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -24,7 +37,7 @@ Result<RawDatabase> LoadRawDatabaseFromTsv(const std::string& path) {
       std::ostringstream msg;
       msg << path << ":" << lineno
           << ": expected entity<TAB>attribute<TAB>source, got " << fields.size()
-          << " field(s)";
+          << " field(s) in '" << QuoteForError(sv) << "'";
       return Status::InvalidArgument(msg.str());
     }
     raw.Add(Trim(fields[0]), Trim(fields[1]), Trim(fields[2]));
@@ -62,7 +75,8 @@ Status LoadTruthLabelsFromTsv(const std::string& path, Dataset* dataset) {
     if (fields.size() < 3) {
       std::ostringstream msg;
       msg << path << ":" << lineno
-          << ": expected entity<TAB>attribute<TAB>label";
+          << ": expected entity<TAB>attribute<TAB>label, got "
+          << fields.size() << " field(s) in '" << QuoteForError(sv) << "'";
       return Status::InvalidArgument(msg.str());
     }
     std::string label = ToLower(Trim(fields[2]));

@@ -14,7 +14,8 @@ namespace ltm {
 /// `entity<TAB>attribute<TAB>source` triple per line. Blank lines and lines
 /// starting with '#' are skipped. Duplicate triples are silently deduped
 /// (Definition 1). Fails with IOError when the file cannot be opened and
-/// InvalidArgument on a malformed line (fewer than 3 fields).
+/// InvalidArgument on a malformed line (fewer than 3 fields), citing the
+/// path, line number, and offending text.
 Result<RawDatabase> LoadRawDatabaseFromTsv(const std::string& path);
 
 /// Writes `raw` back as `entity<TAB>attribute<TAB>source` lines.

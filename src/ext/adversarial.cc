@@ -8,13 +8,13 @@ namespace ltm {
 namespace ext {
 
 Result<AdversarialResult> RunAdversarialFilter(const FactTable& facts,
-                                               const ClaimTable& claims,
+                                               const ClaimGraph& graph,
                                                const AdversarialOptions& options,
                                                const RunContext& ctx) {
   RunObserver obs(ctx, "AdversarialFilter");
   AdversarialResult result;
-  std::vector<uint8_t> removed(claims.NumSources(), 0);
-  ClaimTable current = claims;
+  std::vector<uint8_t> removed(graph.NumSources(), 0);
+  ClaimGraph current = graph;
   LatentTruthModel model(options.ltm);
 
   for (int round = 0; round < options.max_rounds; ++round) {
@@ -47,7 +47,7 @@ Result<AdversarialResult> RunAdversarialFilter(const FactTable& facts,
     for (SourceId s = 0; s < quality.NumSources(); ++s) {
       if (removed[s]) continue;
       // Only judge sources that still have claims.
-      if (current.ClaimIndicesOfSource(s).empty()) continue;
+      if (current.SourceDegree(s) == 0) continue;
       if (quality.specificity[s] < options.min_specificity ||
           quality.precision[s] < options.min_precision) {
         to_remove.push_back(s);
@@ -60,27 +60,29 @@ Result<AdversarialResult> RunAdversarialFilter(const FactTable& facts,
       LTM_LOG(Info) << "adversarial filter: removing source " << s;
     }
 
-    // Rebuild the claim table without the removed sources' claims.
+    // Rebuild the graph without the removed sources' claims (through the
+    // ingestion-time ClaimTable builder, like any other re-ingest).
     std::vector<Claim> surviving;
     surviving.reserve(current.NumClaims());
-    for (const Claim& c : current.claims()) {
-      if (!removed[c.source]) surviving.push_back(c);
+    for (FactId f = 0; f < current.NumFacts(); ++f) {
+      for (uint32_t entry : current.FactClaims(f)) {
+        const SourceId cs = ClaimGraph::PackedId(entry);
+        if (!removed[cs]) {
+          surviving.push_back(
+              Claim{f, cs, ClaimGraph::PackedObs(entry) != 0});
+        }
+      }
     }
-    current = ClaimTable::FromClaims(std::move(surviving), facts.NumFacts(),
-                                     claims.NumSources());
+    current = ClaimGraph::FromClaims(std::move(surviving), facts.NumFacts(),
+                                     graph.NumSources());
   }
   // Facts whose every assertion came from removed sources have no
   // surviving positive evidence: mark them false rather than leaving them
   // at the prior mean.
   for (FactId f = 0; f < facts.NumFacts(); ++f) {
-    bool has_support = false;
-    for (const Claim& c : current.ClaimsOfFact(f)) {
-      if (c.observation) {
-        has_support = true;
-        break;
-      }
+    if (current.FactPositiveCount(f) == 0) {
+      result.estimate.probability[f] = 0.0;
     }
-    if (!has_support) result.estimate.probability[f] = 0.0;
   }
   result.wall_seconds = obs.ElapsedSeconds();
   return result;

@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "data/claim_table.h"
+#include "data/claim_graph.h"
 #include "data/fact_table.h"
 #include "truth/ltm.h"
 #include "truth/options.h"
@@ -42,7 +42,7 @@ struct AdversarialResult {
 /// LTM refits (Cancelled / DeadlineExceeded); its on_progress callback
 /// reports completed rounds.
 Result<AdversarialResult> RunAdversarialFilter(
-    const FactTable& facts, const ClaimTable& claims,
+    const FactTable& facts, const ClaimGraph& graph,
     const AdversarialOptions& options, const RunContext& ctx = RunContext());
 
 }  // namespace ext

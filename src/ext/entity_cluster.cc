@@ -22,8 +22,10 @@ std::vector<std::vector<double>> CoverageFingerprints(const Dataset& ds) {
   for (FactId f = 0; f < ds.facts.NumFacts(); ++f) {
     const EntityId e = ds.facts.fact(f).entity;
     facts_per_entity[e] += 1.0;
-    for (const Claim& c : ds.claims.ClaimsOfFact(f)) {
-      if (c.observation) prints[e][c.source] += 1.0;
+    for (uint32_t entry : ds.graph.FactClaims(f)) {
+      if (ClaimGraph::PackedObs(entry)) {
+        prints[e][ClaimGraph::PackedId(entry)] += 1.0;
+      }
     }
   }
   for (size_t e = 0; e < num_entities; ++e) {
@@ -118,12 +120,13 @@ EntityClusterResult RunEntityClusteredLtm(
       const EntityId e = dataset.facts.fact(f).entity;
       if (result.cluster_of_entity[e] != cluster) continue;
       in_cluster[f] = 1;
-      for (const Claim& c : dataset.claims.ClaimsOfFact(f)) {
-        cluster_claims.push_back(c);
+      for (uint32_t entry : dataset.graph.FactClaims(f)) {
+        cluster_claims.push_back(Claim{f, ClaimGraph::PackedId(entry),
+                                       ClaimGraph::PackedObs(entry) != 0});
       }
     }
     if (cluster_claims.empty()) continue;
-    ClaimTable sub = ClaimTable::FromClaims(
+    ClaimGraph sub = ClaimGraph::FromClaims(
         std::move(cluster_claims), num_facts, dataset.raw.NumSources());
 
     LtmOptions opts = options.ltm;

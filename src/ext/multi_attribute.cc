@@ -41,11 +41,10 @@ MultiAttributeResult RunMultiAttributeLtm(
       LatentTruthModel model(opts);
       AttributeTypeResult& slot = result.per_type[i];
       slot.type_name = datasets[i].name;
-      slot.estimate = model.RunWithQuality(datasets[i].claims, &slot.quality);
+      slot.estimate = model.RunWithQuality(datasets[i].graph, &slot.quality);
       for (size_t s = 0; s < slot.quality.NumSources(); ++s) {
         // Only sources with real evidence inform the shared prior.
-        if (datasets[i].claims.ClaimIndicesOfSource(static_cast<SourceId>(s))
-                .empty()) {
+        if (datasets[i].graph.SourceDegree(static_cast<SourceId>(s)) == 0) {
           continue;
         }
         all_fpr.push_back(slot.quality.FalsePositiveRate(s));

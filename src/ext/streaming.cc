@@ -28,8 +28,8 @@ StreamingPipeline::StreamingPipeline(StreamingOptions options)
 
 Result<TruthResult> StreamingPipeline::Run(const RunContext& ctx,
                                            const FactTable& facts,
-                                           const ClaimTable& claims) const {
-  return serving_.Run(ctx, facts, claims);
+                                           const ClaimGraph& graph) const {
+  return serving_.Run(ctx, facts, graph);
 }
 
 Status StreamingPipeline::Bootstrap(const Dataset& history,
@@ -57,9 +57,9 @@ Status StreamingPipeline::Observe(const Dataset& chunk, const RunContext& ctx) {
     LTM_RETURN_IF_ERROR(Bootstrap(chunk, obs.NestedContext()));
     LTM_ASSIGN_OR_RETURN(
         last_result_,
-        serving_.Run(obs.NestedContext(), chunk.facts, chunk.claims));
+        serving_.Run(obs.NestedContext(), chunk.facts, chunk.graph));
     has_estimate_ = true;
-    chunks_.push_back(chunk.claims.NumClaims());
+    chunks_.push_back(chunk.graph.NumClaims());
     last_refit_ = true;
     return Status::OK();
   }
@@ -69,7 +69,7 @@ Status StreamingPipeline::Observe(const Dataset& chunk, const RunContext& ctx) {
   LTM_ASSIGN_OR_RETURN(last_result_, serving_.Estimate());
   has_estimate_ = true;
   MergeRaw(chunk.raw, &cumulative_);
-  chunks_.push_back(chunk.claims.NumClaims());
+  chunks_.push_back(chunk.graph.NumClaims());
   if (options_.refit_every_chunks > 0 &&
       chunks_.size() % options_.refit_every_chunks == 0) {
     Status refit = Refit(obs.NestedContext());
@@ -109,7 +109,8 @@ Result<ChunkResult> StreamingPipeline::IngestChunk(const Dataset& chunk,
 
 Status StreamingPipeline::Refit(const RunContext& ctx) {
   FactTable facts = FactTable::Build(cumulative_);
-  ClaimTable claims = ClaimTable::Build(cumulative_, facts);
+  const ClaimGraph graph =
+      ClaimGraph::Build(ClaimTable::Build(cumulative_, facts));
   LatentTruthModel model(options_.ltm);
   // `ctx` already carries the caller's remaining budget (Observe derives
   // it via NestedContext), so it is copied through as-is.
@@ -118,12 +119,12 @@ Status StreamingPipeline::Refit(const RunContext& ctx) {
   refit_ctx.deadline_seconds = ctx.deadline_seconds;
   refit_ctx.with_quality = true;
   refit_ctx.on_progress = ctx.on_progress;
-  LTM_ASSIGN_OR_RETURN(TruthResult result, model.Run(refit_ctx, facts, claims));
+  LTM_ASSIGN_OR_RETURN(TruthResult result, model.Run(refit_ctx, facts, graph));
   quality_ = std::move(*result.quality);
   // The refit absorbed everything serving_ had accumulated; restart it
   // from the fresh read-off.
   serving_ = LtmIncremental(quality_, options_.ltm);
-  LTM_LOG(Info) << "streaming refit on " << claims.NumClaims() << " claims, "
+  LTM_LOG(Info) << "streaming refit on " << graph.NumClaims() << " claims, "
                 << quality_.NumSources() << " sources";
   return Status::OK();
 }

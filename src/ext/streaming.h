@@ -54,7 +54,7 @@ class StreamingPipeline : public StreamingTruthMethod {
   /// without ingesting it. Before any Bootstrap/Observe every source
   /// scores at its prior mean.
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
   /// Fits batch LTM on `history` and installs the learned source quality.
   /// The context's cancel/deadline interrupt the fit; on error the

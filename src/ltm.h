@@ -6,7 +6,11 @@
 /// Typical flow:
 ///   1. Build a RawDatabase from (entity, attribute, source) triples —
 ///      by hand, via tsv_io, or with a synth generator.
-///   2. Derive a Dataset (fact table + claim table, paper §2).
+///   2. Derive a Dataset (fact table + packed CSR claim graph, paper §2)
+///      with Dataset::FromRaw — the ClaimTable materializer is an
+///      ingestion-time builder; every method consumes the ClaimGraph.
+///      Snapshot the result (Dataset::SaveSnapshot / LoadSnapshot) so
+///      repeat runs skip TSV parsing and claim materialization.
 ///   3. Create a method from a spec string — CreateMethod("LTM"),
 ///      CreateMethod("TruthFinder(rho=0.5,gamma=0.3)"),
 ///      CreateMethod("LTM(iterations=200,seed=7)") — or construct one
@@ -19,10 +23,10 @@
 ///        ctx.cancel = &my_atomic_flag;     // cooperative cancellation
 ///        ctx.collect_trace = true;         // per-iteration convergence
 ///        ctx.with_quality = true;          // §5.3 source-quality read-off
-///        auto result = method->Run(ctx, ds.facts, ds.claims);
+///        auto result = method->Run(ctx, ds.facts, ds.graph);
 ///      Run returns Result<TruthResult>: posterior probabilities plus the
 ///      optional SourceQuality, the IterationStat trace, iteration count
-///      and wall-clock time. TruthMethod::Score(facts, claims) is the
+///      and wall-clock time. TruthMethod::Score(facts, graph) is the
 ///      one-line convenience wrapper when none of that is needed.
 ///   5. Streaming (§5.4): methods that implement StreamingTruthMethod
 ///      (LtmIncremental, ext::StreamingPipeline) additionally support
@@ -45,6 +49,7 @@
 #include "data/fact_table.h"     // IWYU pragma: export
 #include "data/interner.h"       // IWYU pragma: export
 #include "data/raw_database.h"   // IWYU pragma: export
+#include "data/snapshot.h"       // IWYU pragma: export
 #include "data/truth_labels.h"   // IWYU pragma: export
 #include "data/tsv_io.h"         // IWYU pragma: export
 

@@ -39,8 +39,8 @@ LtmProcessData GenerateLtmProcess(const LtmProcessOptions& options) {
       claims.push_back(Claim{f, s, rng.Bernoulli(p_positive)});
     }
   }
-  data.claims = ClaimTable::FromClaims(std::move(claims), options.num_facts,
-                                       options.num_sources);
+  data.graph = ClaimGraph::FromClaims(std::move(claims), options.num_facts,
+                                      options.num_sources);
   return data;
 }
 

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "data/claim_table.h"
+#include "data/claim_graph.h"
 #include "data/fact_table.h"
 #include "data/truth_labels.h"
 #include "truth/options.h"
@@ -31,12 +31,12 @@ struct LtmProcessOptions {
   uint64_t seed = 7;
 };
 
-/// Output of the generative process: the claim table, the ground truth of
-/// every fact, and the actual quality parameters drawn for every source
-/// (handy for tests that check LTM recovers them).
+/// Output of the generative process: the packed claim graph, the ground
+/// truth of every fact, and the actual quality parameters drawn for every
+/// source (handy for tests that check LTM recovers them).
 struct LtmProcessData {
   FactTable facts;
-  ClaimTable claims;
+  ClaimGraph graph;
   TruthLabels truth;
   std::vector<double> true_fpr;          // phi0_s actually drawn
   std::vector<double> true_sensitivity;  // phi1_s actually drawn

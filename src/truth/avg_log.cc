@@ -22,18 +22,12 @@ Status ValidateIterations(int iterations) {
 }  // namespace
 
 Result<TruthResult> AvgLog::Run(const RunContext& ctx, const FactTable& facts,
-                                const ClaimTable& claims) const {
+                                const ClaimGraph& graph) const {
   (void)facts;
   LTM_RETURN_IF_ERROR(ValidateIterations(iterations_));
   RunObserver obs(ctx, name());
-  const size_t num_facts = claims.NumFacts();
-  const size_t num_sources = claims.NumSources();
-
-  // Positive-claim adjacency.
-  std::vector<size_t> claims_per_source(num_sources, 0);
-  for (const Claim& c : claims.claims()) {
-    if (c.observation) ++claims_per_source[c.source];
-  }
+  const size_t num_facts = graph.NumFacts();
+  const size_t num_sources = graph.NumSources();
 
   std::vector<double> belief(num_facts, 1.0);
   std::vector<double> trust(num_sources, 0.0);
@@ -51,19 +45,26 @@ Result<TruthResult> AvgLog::Run(const RunContext& ctx, const FactTable& facts,
     LTM_RETURN_IF_ERROR(obs.Check());
     prev_belief = belief;
     std::fill(trust.begin(), trust.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      if (c.observation) trust[c.source] += belief[c.fact];
-    }
     for (SourceId s = 0; s < num_sources; ++s) {
-      if (claims_per_source[s] == 0) continue;
-      double n = static_cast<double>(claims_per_source[s]);
+      for (uint32_t entry : graph.SourceClaims(s)) {
+        if (ClaimGraph::PackedObs(entry)) {
+          trust[s] += belief[ClaimGraph::PackedId(entry)];
+        }
+      }
+      const uint32_t pos = graph.SourcePositiveCount(s);
+      if (pos == 0) continue;
+      double n = static_cast<double>(pos);
       trust[s] = (trust[s] / n) * std::log(n + 1.0);
     }
     max_normalize(&trust);
 
     std::fill(belief.begin(), belief.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      if (c.observation) belief[c.fact] += trust[c.source];
+    for (FactId f = 0; f < num_facts; ++f) {
+      for (uint32_t entry : graph.FactClaims(f)) {
+        if (ClaimGraph::PackedObs(entry)) {
+          belief[f] += trust[ClaimGraph::PackedId(entry)];
+        }
+      }
     }
     max_normalize(&belief);
 

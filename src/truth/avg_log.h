@@ -20,7 +20,7 @@ class AvgLog : public TruthMethod {
   std::string name() const override { return "AvgLog"; }
 
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
  private:
   int iterations_;

@@ -10,16 +10,18 @@
 
 namespace ltm {
 
-double LogCollapsedJoint(const ClaimTable& claims,
+double LogCollapsedJoint(const ClaimGraph& graph,
                          const std::vector<uint8_t>& truth,
                          const LtmOptions& options) {
-  const size_t num_sources = claims.NumSources();
+  const size_t num_sources = graph.NumSources();
   // n[s][i][j] packed as s*4 + i*2 + j.
   std::vector<double> n(num_sources * 4, 0.0);
-  for (const Claim& c : claims.claims()) {
-    const int i = truth[c.fact];
-    const int j = c.observation ? 1 : 0;
-    n[c.source * 4 + i * 2 + j] += 1.0;
+  for (FactId f = 0; f < graph.NumFacts(); ++f) {
+    const int i = truth[f];
+    for (uint32_t entry : graph.FactClaims(f)) {
+      n[ClaimGraph::PackedId(entry) * 4 + i * 2 +
+        ClaimGraph::PackedObs(entry)] += 1.0;
+    }
   }
 
   double lp = 0.0;
@@ -43,10 +45,10 @@ double LogCollapsedJoint(const ClaimTable& claims,
   return lp;
 }
 
-Result<std::vector<double>> ExactPosterior(const ClaimTable& claims,
+Result<std::vector<double>> ExactPosterior(const ClaimGraph& graph,
                                            const LtmOptions& options,
                                            size_t max_facts) {
-  const size_t num_facts = claims.NumFacts();
+  const size_t num_facts = graph.NumFacts();
   if (num_facts > max_facts) {
     return Status::InvalidArgument(
         "exact inference over " + std::to_string(num_facts) +
@@ -61,7 +63,7 @@ Result<std::vector<double>> ExactPosterior(const ClaimTable& claims,
     for (size_t f = 0; f < num_facts; ++f) {
       truth[f] = (mask >> f) & 1 ? 1 : 0;
     }
-    log_joint[mask] = LogCollapsedJoint(claims, truth, options);
+    log_joint[mask] = LogCollapsedJoint(graph, truth, options);
   }
   const double log_z = LogSumExp(log_joint);
 
@@ -77,13 +79,13 @@ Result<std::vector<double>> ExactPosterior(const ClaimTable& claims,
 
 Result<TruthResult> ExactLatentTruthModel::Run(const RunContext& ctx,
                                                const FactTable& facts,
-                                               const ClaimTable& claims) const {
+                                               const ClaimGraph& graph) const {
   (void)facts;
   RunObserver obs(ctx, name());
   LTM_RETURN_IF_ERROR(obs.Check());
   TruthResult result;
   LTM_ASSIGN_OR_RETURN(result.estimate.probability,
-                       ExactPosterior(claims, options_, max_facts_));
+                       ExactPosterior(graph, options_, max_facts_));
   obs.Finish(&result, /*iterations=*/0, /*converged=*/true);
   return result;
 }

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "data/claim_table.h"
+#include "data/claim_graph.h"
 #include "truth/options.h"
 #include "truth/truth_method.h"
 
@@ -23,14 +23,14 @@ namespace ltm {
 /// the ground-truth oracle for validating the sampler on small instances
 /// (tests cap F at ~16). Returns InvalidArgument when the instance has
 /// more than `max_facts` facts.
-Result<std::vector<double>> ExactPosterior(const ClaimTable& claims,
+Result<std::vector<double>> ExactPosterior(const ClaimGraph& graph,
                                            const LtmOptions& options,
                                            size_t max_facts = 16);
 
 /// Log of the unnormalized collapsed joint p(t, o) for a full assignment
 /// (exposed for tests that check the Gibbs conditional against joint
 /// ratios). `truth` must have one entry per fact.
-double LogCollapsedJoint(const ClaimTable& claims,
+double LogCollapsedJoint(const ClaimGraph& graph,
                          const std::vector<uint8_t>& truth,
                          const LtmOptions& options);
 
@@ -47,7 +47,7 @@ class ExactLatentTruthModel : public TruthMethod {
   std::string name() const override { return "ExactLTM"; }
 
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
  private:
   LtmOptions options_;

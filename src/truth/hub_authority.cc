@@ -23,12 +23,12 @@ Status ValidateIterations(int iterations) {
 
 Result<TruthResult> HubAuthority::Run(const RunContext& ctx,
                                       const FactTable& facts,
-                                      const ClaimTable& claims) const {
+                                      const ClaimGraph& graph) const {
   (void)facts;
   LTM_RETURN_IF_ERROR(ValidateIterations(iterations_));
   RunObserver obs(ctx, name());
-  const size_t num_facts = claims.NumFacts();
-  const size_t num_sources = claims.NumSources();
+  const size_t num_facts = graph.NumFacts();
+  const size_t num_sources = graph.NumSources();
 
   std::vector<double> hub(num_sources, 1.0);
   std::vector<double> auth(num_facts, 1.0);
@@ -47,13 +47,21 @@ Result<TruthResult> HubAuthority::Run(const RunContext& ctx,
     LTM_RETURN_IF_ERROR(obs.Check());
     prev_auth = auth;
     std::fill(auth.begin(), auth.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      if (c.observation) auth[c.fact] += hub[c.source];
+    for (FactId f = 0; f < num_facts; ++f) {
+      for (uint32_t entry : graph.FactClaims(f)) {
+        if (ClaimGraph::PackedObs(entry)) {
+          auth[f] += hub[ClaimGraph::PackedId(entry)];
+        }
+      }
     }
     l2_normalize(&auth);
     std::fill(hub.begin(), hub.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      if (c.observation) hub[c.source] += auth[c.fact];
+    for (SourceId s = 0; s < num_sources; ++s) {
+      for (uint32_t entry : graph.SourceClaims(s)) {
+        if (ClaimGraph::PackedObs(entry)) {
+          hub[s] += auth[ClaimGraph::PackedId(entry)];
+        }
+      }
     }
     l2_normalize(&hub);
 

@@ -19,7 +19,7 @@ class HubAuthority : public TruthMethod {
   std::string name() const override { return "HubAuthority"; }
 
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
  private:
   int iterations_;

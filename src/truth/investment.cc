@@ -28,23 +28,18 @@ Status ValidateParams(int iterations, double exponent) {
 
 Result<TruthResult> Investment::Run(const RunContext& ctx,
                                     const FactTable& facts,
-                                    const ClaimTable& claims) const {
+                                    const ClaimGraph& graph) const {
   (void)facts;
   LTM_RETURN_IF_ERROR(ValidateParams(iterations_, exponent_));
   RunObserver obs(ctx, name());
-  const size_t num_facts = claims.NumFacts();
-  const size_t num_sources = claims.NumSources();
-
-  std::vector<size_t> claims_per_source(num_sources, 0);
-  for (const Claim& c : claims.claims()) {
-    if (c.observation) ++claims_per_source[c.source];
-  }
+  const size_t num_facts = graph.NumFacts();
+  const size_t num_sources = graph.NumSources();
 
   // B_0: vote counts (>= 1 for every claimed fact), per the original
-  // formulation's voting initialization.
+  // formulation's voting initialization — a derived stat of the graph.
   std::vector<double> belief(num_facts, 0.0);
-  for (const Claim& c : claims.claims()) {
-    if (c.observation) belief[c.fact] += 1.0;
+  for (FactId f = 0; f < num_facts; ++f) {
+    belief[f] = static_cast<double>(graph.FactPositiveCount(f));
   }
   std::vector<double> trust(num_sources, 1.0);
   std::vector<double> invested(num_facts, 0.0);
@@ -55,18 +50,26 @@ Result<TruthResult> Investment::Run(const RunContext& ctx,
     // Sources earn belief back pro-rata to their investment share, using
     // the previous round's beliefs.
     std::fill(invested.begin(), invested.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      if (!c.observation || claims_per_source[c.source] == 0) continue;
-      invested[c.fact] +=
-          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
+    for (FactId f = 0; f < num_facts; ++f) {
+      for (uint32_t entry : graph.FactClaims(f)) {
+        if (!ClaimGraph::PackedObs(entry)) continue;
+        const SourceId cs = ClaimGraph::PackedId(entry);
+        if (graph.SourcePositiveCount(cs) == 0) continue;
+        invested[f] +=
+            trust[cs] / static_cast<double>(graph.SourcePositiveCount(cs));
+      }
     }
     std::vector<double> updated(num_sources, 0.0);
-    for (const Claim& c : claims.claims()) {
-      if (!c.observation || claims_per_source[c.source] == 0) continue;
-      const double share =
-          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
-      if (invested[c.fact] > 0.0) {
-        updated[c.source] += belief[c.fact] * share / invested[c.fact];
+    for (SourceId cs = 0; cs < num_sources; ++cs) {
+      const uint32_t pos = graph.SourcePositiveCount(cs);
+      if (pos == 0) continue;
+      const double share = trust[cs] / static_cast<double>(pos);
+      for (uint32_t entry : graph.SourceClaims(cs)) {
+        if (!ClaimGraph::PackedObs(entry)) continue;
+        const FactId cf = ClaimGraph::PackedId(entry);
+        if (invested[cf] > 0.0) {
+          updated[cs] += belief[cf] * share / invested[cf];
+        }
       }
     }
     double max_delta = 0.0;
@@ -77,10 +80,14 @@ Result<TruthResult> Investment::Run(const RunContext& ctx,
 
     // New beliefs from the new trust, unnormalized (G super-linear).
     std::fill(invested.begin(), invested.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      if (!c.observation || claims_per_source[c.source] == 0) continue;
-      invested[c.fact] +=
-          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
+    for (FactId f = 0; f < num_facts; ++f) {
+      for (uint32_t entry : graph.FactClaims(f)) {
+        if (!ClaimGraph::PackedObs(entry)) continue;
+        const SourceId cs = ClaimGraph::PackedId(entry);
+        if (graph.SourcePositiveCount(cs) == 0) continue;
+        invested[f] +=
+            trust[cs] / static_cast<double>(graph.SourcePositiveCount(cs));
+      }
     }
     double max_belief = 0.0;
     for (FactId f = 0; f < num_facts; ++f) {

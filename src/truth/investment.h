@@ -27,7 +27,7 @@ class Investment : public TruthMethod {
   std::string name() const override { return "Investment"; }
 
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
  private:
   int iterations_;

@@ -13,15 +13,15 @@
 
 namespace ltm {
 
-LtmGibbs::LtmGibbs(const ClaimTable& claims, const LtmOptions& options)
-    : claims_(claims), options_(options), rng_(options.seed) {
+LtmGibbs::LtmGibbs(const ClaimGraph& graph, const LtmOptions& options)
+    : graph_(graph), options_(options), rng_(options.seed) {
   alpha_[0][0] = options_.alpha0.neg;  // prior true negative count
   alpha_[0][1] = options_.alpha0.pos;  // prior false positive count
   alpha_[1][0] = options_.alpha1.neg;  // prior false negative count
   alpha_[1][1] = options_.alpha1.pos;  // prior true positive count
-  truth_.assign(claims_.NumFacts(), 0);
-  counts_.assign(claims_.NumSources() * 4, 0);
-  truth_sum_.assign(claims_.NumFacts(), 0.0);
+  truth_.assign(graph_.NumFacts(), 0);
+  counts_.assign(graph_.NumSources() * 4, 0);
+  truth_sum_.assign(graph_.NumFacts(), 0.0);
   Initialize();
 }
 
@@ -31,8 +31,9 @@ void LtmGibbs::Initialize() {
   num_samples_ = 0;
   for (FactId f = 0; f < truth_.size(); ++f) {
     truth_[f] = rng_.Bernoulli(0.5) ? 1 : 0;
-    for (const Claim& c : claims_.ClaimsOfFact(f)) {
-      ++counts_[c.source * 4 + truth_[f] * 2 + (c.observation ? 1 : 0)];
+    for (uint32_t entry : graph_.FactClaims(f)) {
+      ++counts_[ClaimGraph::PackedId(entry) * 4 + truth_[f] * 2 +
+                ClaimGraph::PackedObs(entry)];
     }
   }
 }
@@ -42,12 +43,12 @@ double LtmGibbs::LogConditional(FactId f, int i, bool exclude_self) const {
   double lp = std::log(i == 1 ? options_.beta.pos : options_.beta.neg);
   const int64_t self = exclude_self ? 1 : 0;
   const double alpha_sum = alpha_[i][0] + alpha_[i][1];
-  for (const Claim& c : claims_.ClaimsOfFact(f)) {
-    const int j = c.observation ? 1 : 0;
-    const int64_t n_ij = counts_[c.source * 4 + i * 2 + j] - self;
+  for (uint32_t entry : graph_.FactClaims(f)) {
+    const uint32_t cs = ClaimGraph::PackedId(entry);
+    const int j = ClaimGraph::PackedObs(entry);
+    const int64_t n_ij = counts_[cs * 4 + i * 2 + j] - self;
     const int64_t n_i =
-        counts_[c.source * 4 + i * 2] + counts_[c.source * 4 + i * 2 + 1] -
-        self;
+        counts_[cs * 4 + i * 2] + counts_[cs * 4 + i * 2 + 1] - self;
     lp += std::log(static_cast<double>(n_ij) + alpha_[i][j]) -
           std::log(static_cast<double>(n_i) + alpha_sum);
   }
@@ -66,10 +67,11 @@ int LtmGibbs::RunSweep() {
     if (rng_.Uniform() < p_flip) {
       ++flips;
       truth_[f] = static_cast<uint8_t>(other);
-      for (const Claim& c : claims_.ClaimsOfFact(f)) {
-        const int j = c.observation ? 1 : 0;
-        --counts_[c.source * 4 + cur * 2 + j];
-        ++counts_[c.source * 4 + other * 2 + j];
+      for (uint32_t entry : graph_.FactClaims(f)) {
+        const uint32_t cs = ClaimGraph::PackedId(entry);
+        const int j = ClaimGraph::PackedObs(entry);
+        --counts_[cs * 4 + cur * 2 + j];
+        ++counts_[cs * 4 + other * 2 + j];
       }
     }
   }
@@ -121,39 +123,35 @@ std::string LatentTruthModel::name() const {
   return options_.positive_claims_only ? "LTMpos" : "LTM";
 }
 
-ClaimTable LatentTruthModel::FilterClaims(const ClaimTable& claims) const {
-  return claims.PositiveOnly();
-}
-
 Result<TruthResult> LatentTruthModel::Run(const RunContext& ctx,
                                           const FactTable& facts,
-                                          const ClaimTable& claims) const {
+                                          const ClaimGraph& graph) const {
   (void)facts;
   LtmOptions opts = options_;
   if (ctx.seed.has_value()) opts.seed = *ctx.seed;
   LTM_RETURN_IF_ERROR(opts.Validate());
 
-  const ClaimTable* table = &claims;
-  ClaimTable positive;
+  const ClaimGraph* active = &graph;
+  ClaimGraph positive;
   if (opts.positive_claims_only) {
-    positive = FilterClaims(claims);
-    table = &positive;
+    positive = graph.PositiveOnly();
+    active = &positive;
   }
 
   // threads=1 (the default) keeps the original sequential chain;
-  // anything else dispatches to the sharded CSR sampler (0 = one shard
-  // per hardware thread). Quality is always read off the full table.
+  // anything else dispatches to the sharded sampler (0 = one shard per
+  // hardware thread). Quality is always read off the full graph.
   const int shards =
       opts.threads <= 0 ? ThreadPool::HardwareConcurrency() : opts.threads;
   if (shards > 1) {
-    return RunShardedLtm(ctx, name(), claims, *table, opts);
+    return RunShardedLtm(ctx, name(), graph, *active, opts);
   }
 
   RunObserver obs(ctx, name());
   // Construction plus the explicit Initialize() below replays the exact
   // RNG stream of LtmGibbs::Run (whose constructor also initializes), so
   // posteriors are bit-identical to the low-level sampler for a seed.
-  LtmGibbs sampler(*table, opts);
+  LtmGibbs sampler(*active, opts);
   sampler.Initialize();
 
   TruthResult result;
@@ -175,27 +173,27 @@ Result<TruthResult> LatentTruthModel::Run(const RunContext& ctx,
 
   result.estimate = sampler.PosteriorMean();
   if (ctx.with_quality) {
-    // Quality is read off the full claim table (§5.3) so that negative
+    // Quality is read off the full claim graph (§5.3) so that negative
     // claims inform specificity even for LTMpos.
     result.quality = EstimateSourceQuality(
-        claims, result.estimate.probability, opts.alpha0, opts.alpha1);
+        graph, result.estimate.probability, opts.alpha0, opts.alpha1);
   }
   obs.Finish(&result, opts.iterations, /*converged=*/true);
   return result;
 }
 
-TruthEstimate LatentTruthModel::RunWithQuality(const ClaimTable& claims,
+TruthEstimate LatentTruthModel::RunWithQuality(const ClaimGraph& graph,
                                                SourceQuality* quality) const {
   RunContext ctx;
   ctx.with_quality = quality != nullptr;
   FactTable unused;
-  Result<TruthResult> result = Run(ctx, unused, claims);
+  Result<TruthResult> result = Run(ctx, unused, graph);
   if (!result.ok()) {
     LTM_LOG(Warning) << name() << "::RunWithQuality failed ("
                      << result.status().ToString()
                      << "); scoring every fact at the 0.5 prior";
     TruthEstimate prior;
-    prior.probability.assign(claims.NumFacts(), 0.5);
+    prior.probability.assign(graph.NumFacts(), 0.5);
     return prior;
   }
   if (quality != nullptr) {

@@ -7,7 +7,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
-#include "data/claim_table.h"
+#include "data/claim_graph.h"
 #include "data/fact_table.h"
 #include "truth/options.h"
 #include "truth/source_quality.h"
@@ -16,20 +16,22 @@
 namespace ltm {
 
 /// Low-level collapsed Gibbs sampler for the Latent Truth Model (paper
-/// Algorithm 1). Exposed separately from the TruthMethod wrapper so that
-/// convergence studies (Fig. 5) and tests can step sweeps manually and
-/// inspect the internal truth assignment and quality counts.
+/// Algorithm 1), running on the packed CSR ClaimGraph. Exposed separately
+/// from the TruthMethod wrapper so that convergence studies (Fig. 5) and
+/// tests can step sweeps manually and inspect the internal truth
+/// assignment and quality counts.
 ///
 /// State per sweep: the Boolean truth vector t and, per source, the 2x2
 /// integer count matrix n_{s,i,j} (i = current truth of the claimed fact,
 /// j = observation). Equation 2 is evaluated in log space so facts with
-/// hundreds of claims cannot underflow.
+/// hundreds of claims cannot underflow. One conditional streams a fact's
+/// contiguous run of packed 4-byte adjacency words.
 class LtmGibbs {
  public:
-  /// `claims` must outlive the sampler. Options are validated; an invalid
+  /// `graph` must outlive the sampler. Options are validated; an invalid
   /// configuration falls back to defaults with the same seed (callers that
   /// care should Validate() first — the TruthMethod wrapper does).
-  LtmGibbs(const ClaimTable& claims, const LtmOptions& options);
+  LtmGibbs(const ClaimGraph& graph, const LtmOptions& options);
 
   /// Randomly (re-)initializes the truth assignment and rebuilds counts.
   void Initialize();
@@ -68,7 +70,7 @@ class LtmGibbs {
   /// the fact's own claims are removed from the counts.
   double LogConditional(FactId f, int i, bool exclude_self) const;
 
-  const ClaimTable& claims_;
+  const ClaimGraph& graph_;
   LtmOptions options_;
   Rng rng_;
 
@@ -96,21 +98,18 @@ class LatentTruthModel : public TruthMethod {
   /// cancellation/deadline, reports the flip fraction as the convergence
   /// delta, and (with ctx.on_state) the hard truth assignment. With
   /// ctx.with_quality the §5.3 quality read-off is attached, computed from
-  /// the full claim table even for the LTMpos ablation.
+  /// the full claim graph even for the LTMpos ablation.
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
   /// Runs and additionally reads off two-sided source quality (§5.3) from
   /// the posterior truth probabilities.
-  TruthEstimate RunWithQuality(const ClaimTable& claims,
+  TruthEstimate RunWithQuality(const ClaimGraph& graph,
                                SourceQuality* quality) const;
 
   const LtmOptions& options() const { return options_; }
 
  private:
-  /// Drops negative claims when configured as LTMpos.
-  ClaimTable FilterClaims(const ClaimTable& claims) const;
-
   LtmOptions options_;
 };
 

@@ -31,21 +31,22 @@ double LtmIncremental::Phi(SourceId s, int truth_value) const {
 
 Result<TruthResult> LtmIncremental::Run(const RunContext& ctx,
                                         const FactTable& facts,
-                                        const ClaimTable& claims) const {
+                                        const ClaimGraph& graph) const {
   (void)facts;
   RunObserver obs(ctx, name());
   LTM_RETURN_IF_ERROR(obs.Check());
   TruthResult result;
   TruthEstimate& est = result.estimate;
-  est.probability.resize(claims.NumFacts(), 0.5);
+  est.probability.resize(graph.NumFacts(), 0.5);
   const double eps = 1e-12;
-  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+  for (FactId f = 0; f < graph.NumFacts(); ++f) {
     double lp1 = std::log(options_.beta.pos);
     double lp0 = std::log(options_.beta.neg);
-    for (const Claim& c : claims.ClaimsOfFact(f)) {
-      const double phi1 = Clamp(Phi(c.source, 1), eps, 1.0 - eps);
-      const double phi0 = Clamp(Phi(c.source, 0), eps, 1.0 - eps);
-      if (c.observation) {
+    for (uint32_t entry : graph.FactClaims(f)) {
+      const SourceId cs = ClaimGraph::PackedId(entry);
+      const double phi1 = Clamp(Phi(cs, 1), eps, 1.0 - eps);
+      const double phi0 = Clamp(Phi(cs, 0), eps, 1.0 - eps);
+      if (ClaimGraph::PackedObs(entry)) {
         lp1 += std::log(phi1);
         lp0 += std::log(phi0);
       } else {
@@ -63,22 +64,24 @@ Result<TruthResult> LtmIncremental::Run(const RunContext& ctx,
 }
 
 void LtmIncremental::AccumulateExpectedCounts(
-    const ClaimTable& claims, const std::vector<double>& p_true) {
-  if (claims.NumSources() > streamed_counts_.size()) {
-    streamed_counts_.resize(claims.NumSources(),
+    const ClaimGraph& graph, const std::vector<double>& p_true) {
+  if (graph.NumSources() > streamed_counts_.size()) {
+    streamed_counts_.resize(graph.NumSources(),
                             std::array<double, 4>{0.0, 0.0, 0.0, 0.0});
   }
-  for (const Claim& c : claims.claims()) {
-    const int j = c.observation ? 1 : 0;
-    const double p = p_true[c.fact];
-    streamed_counts_[c.source][0 * 2 + j] += 1.0 - p;  // E[n_{s,0,j}]
-    streamed_counts_[c.source][1 * 2 + j] += p;        // E[n_{s,1,j}]
+  for (SourceId s = 0; s < graph.NumSources(); ++s) {
+    for (uint32_t entry : graph.SourceClaims(s)) {
+      const int j = ClaimGraph::PackedObs(entry);
+      const double p = p_true[ClaimGraph::PackedId(entry)];
+      streamed_counts_[s][0 * 2 + j] += 1.0 - p;  // E[n_{s,0,j}]
+      streamed_counts_[s][1 * 2 + j] += p;        // E[n_{s,1,j}]
+    }
   }
 }
 
 Status LtmIncremental::Observe(const Dataset& chunk, const RunContext& ctx) {
-  LTM_ASSIGN_OR_RETURN(TruthResult result, Run(ctx, chunk.facts, chunk.claims));
-  AccumulateExpectedCounts(chunk.claims, result.estimate.probability);
+  LTM_ASSIGN_OR_RETURN(TruthResult result, Run(ctx, chunk.facts, chunk.graph));
+  AccumulateExpectedCounts(chunk.graph, result.estimate.probability);
   last_result_ = std::move(result);
   has_estimate_ = true;
   return Status::OK();

@@ -4,7 +4,7 @@
 #include <array>
 #include <vector>
 
-#include "data/claim_table.h"
+#include "data/claim_graph.h"
 #include "truth/options.h"
 #include "truth/source_quality.h"
 #include "truth/streaming_method.h"
@@ -39,11 +39,11 @@ class LtmIncremental : public StreamingTruthMethod {
 
   std::string name() const override { return "LTMinc"; }
 
-  /// Scores all facts in `claims` via Eq. 3 using the frozen quality.
+  /// Scores all facts in `graph` via Eq. 3 using the frozen quality.
   /// Closed-form: the trace is empty and iterations is 0. With
   /// ctx.with_quality the frozen quality is attached.
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
   /// Scores `chunk` (available via Estimate() until the next Observe) and
   /// accumulates its expected confusion counts under the chunk posterior.
@@ -67,7 +67,7 @@ class LtmIncremental : public StreamingTruthMethod {
   double Phi(SourceId s, int truth_value) const;
 
   /// E[n_{s,i,j}] += p(t_f = i) per claim of the chunk.
-  void AccumulateExpectedCounts(const ClaimTable& claims,
+  void AccumulateExpectedCounts(const ClaimGraph& graph,
                                 const std::vector<double>& p_true);
 
   SourceQuality quality_;

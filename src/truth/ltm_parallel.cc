@@ -198,11 +198,10 @@ TruthEstimate ParallelLtmGibbs::Run() {
 
 Result<TruthResult> RunShardedLtm(const RunContext& ctx,
                                   const std::string& name,
-                                  const ClaimTable& quality_claims,
-                                  const ClaimTable& claims,
+                                  const ClaimGraph& quality_graph,
+                                  const ClaimGraph& graph,
                                   const LtmOptions& options) {
   RunObserver obs(ctx, name);
-  const ClaimGraph graph = ClaimGraph::Build(claims);
   ParallelLtmGibbs sampler(graph, options);
   sampler.Initialize();
 
@@ -228,7 +227,7 @@ Result<TruthResult> RunShardedLtm(const RunContext& ctx,
 
   result.estimate = sampler.PosteriorMean();
   if (ctx.with_quality) {
-    result.quality = EstimateSourceQuality(quality_claims,
+    result.quality = EstimateSourceQuality(quality_graph,
                                            result.estimate.probability,
                                            options.alpha0, options.alpha1);
   }

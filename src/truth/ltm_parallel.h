@@ -11,7 +11,6 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/claim_graph.h"
-#include "data/claim_table.h"
 #include "truth/options.h"
 #include "truth/truth_method.h"
 
@@ -118,13 +117,15 @@ class ParallelLtmGibbs {
 
 /// Runs the sharded sampler under the engine protocol, mirroring
 /// LatentTruthModel::Run's sequential loop (observer checks, trace,
-/// on_state, progress, §5.3 quality read-off from `quality_claims`).
-/// Called by LatentTruthModel::Run when the resolved thread count is > 1;
+/// on_state, progress, §5.3 quality read-off from `quality_graph`).
+/// `graph` is what the chain samples (the positive-only projection for
+/// LTMpos); `quality_graph` is the full graph the read-off uses. Called
+/// by LatentTruthModel::Run when the resolved thread count is > 1;
 /// exposed for tests and benchmarks that want to bypass the registry.
 Result<TruthResult> RunShardedLtm(const RunContext& ctx,
                                   const std::string& name,
-                                  const ClaimTable& quality_claims,
-                                  const ClaimTable& claims,
+                                  const ClaimGraph& quality_graph,
+                                  const ClaimGraph& graph,
                                   const LtmOptions& options);
 
 }  // namespace ltm

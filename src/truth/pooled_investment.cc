@@ -29,16 +29,11 @@ Status ValidateParams(int iterations, double exponent) {
 
 Result<TruthResult> PooledInvestment::Run(const RunContext& ctx,
                                           const FactTable& facts,
-                                          const ClaimTable& claims) const {
+                                          const ClaimGraph& graph) const {
   LTM_RETURN_IF_ERROR(ValidateParams(iterations_, exponent_));
   RunObserver obs(ctx, name());
-  const size_t num_facts = claims.NumFacts();
-  const size_t num_sources = claims.NumSources();
-
-  std::vector<size_t> claims_per_source(num_sources, 0);
-  for (const Claim& c : claims.claims()) {
-    if (c.observation) ++claims_per_source[c.source];
-  }
+  const size_t num_facts = graph.NumFacts();
+  const size_t num_sources = graph.NumSources();
 
   std::vector<double> trust(num_sources, 1.0);
   std::vector<double> pooled(num_facts, 0.0);   // H(f)
@@ -57,10 +52,13 @@ Result<TruthResult> PooledInvestment::Run(const RunContext& ctx,
     LTM_RETURN_IF_ERROR(obs.Check());
     prev_belief = belief;
     std::fill(pooled.begin(), pooled.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      if (!c.observation || claims_per_source[c.source] == 0) continue;
-      pooled[c.fact] +=
-          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
+    for (FactId f = 0; f < num_facts; ++f) {
+      for (uint32_t entry : graph.FactClaims(f)) {
+        if (!ClaimGraph::PackedObs(entry)) continue;
+        const SourceId cs = ClaimGraph::PackedId(entry);
+        pooled[f] +=
+            trust[cs] / static_cast<double>(graph.SourcePositiveCount(cs));
+      }
     }
     // Pool within each entity's fact group.
     for (size_t e = 0; e < facts.NumEntities(); ++e) {
@@ -76,12 +74,16 @@ Result<TruthResult> PooledInvestment::Run(const RunContext& ctx,
     }
 
     std::vector<double> updated(num_sources, 0.0);
-    for (const Claim& c : claims.claims()) {
-      if (!c.observation || claims_per_source[c.source] == 0) continue;
-      const double share =
-          trust[c.source] / static_cast<double>(claims_per_source[c.source]);
-      if (pooled[c.fact] > 0.0) {
-        updated[c.source] += belief[c.fact] * share / pooled[c.fact];
+    for (SourceId cs = 0; cs < num_sources; ++cs) {
+      const uint32_t pos = graph.SourcePositiveCount(cs);
+      if (pos == 0) continue;
+      const double share = trust[cs] / static_cast<double>(pos);
+      for (uint32_t entry : graph.SourceClaims(cs)) {
+        if (!ClaimGraph::PackedObs(entry)) continue;
+        const FactId cf = ClaimGraph::PackedId(entry);
+        if (pooled[cf] > 0.0) {
+          updated[cs] += belief[cf] * share / pooled[cf];
+        }
       }
     }
     trust = std::move(updated);

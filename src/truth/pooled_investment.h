@@ -22,7 +22,7 @@ class PooledInvestment : public TruthMethod {
   std::string name() const override { return "PooledInvestment"; }
 
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
  private:
   int iterations_;

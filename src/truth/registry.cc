@@ -130,7 +130,7 @@ std::vector<std::unique_ptr<TruthMethod>> CreateAllMethods(
 
 std::vector<MethodRunOutcome> RunMethodsConcurrently(
     const std::vector<std::string>& specs, const RunContext& ctx,
-    const FactTable& facts, const ClaimTable& claims,
+    const FactTable& facts, const ClaimGraph& graph,
     const LtmOptions& base_ltm, ThreadPool* pool) {
   ThreadPool& runner = pool != nullptr ? *pool : ThreadPool::Shared();
 
@@ -158,7 +158,7 @@ std::vector<MethodRunOutcome> RunMethodsConcurrently(
   Status st = runner.ParallelFor(
       0, specs.size(), 1, [&](size_t lo, size_t) {
         if (methods[lo] == nullptr) return;  // instantiation failed
-        slots[lo].emplace(methods[lo]->Run(quiet, facts, claims));
+        slots[lo].emplace(methods[lo]->Run(quiet, facts, graph));
       });
   (void)st;  // no stop_check; per-method cancellation is inside Run
 

@@ -122,7 +122,7 @@ struct MethodRunOutcome {
 /// honored.
 std::vector<MethodRunOutcome> RunMethodsConcurrently(
     const std::vector<std::string>& specs, const RunContext& ctx,
-    const FactTable& facts, const ClaimTable& claims,
+    const FactTable& facts, const ClaimGraph& graph,
     const LtmOptions& base_ltm = LtmOptions(), ThreadPool* pool = nullptr);
 
 /// Every name accepted by CreateMethod (canonical spellings), sorted.

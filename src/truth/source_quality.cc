@@ -4,12 +4,12 @@
 
 namespace ltm {
 
-SourceQuality EstimateSourceQuality(const ClaimTable& claims,
+SourceQuality EstimateSourceQuality(const ClaimGraph& graph,
                                     const std::vector<double>& p_true,
                                     const BetaPrior& alpha0,
                                     const BetaPrior& alpha1) {
-  assert(p_true.size() == claims.NumFacts());
-  const size_t num_sources = claims.NumSources();
+  assert(p_true.size() == graph.NumFacts());
+  const size_t num_sources = graph.NumSources();
   SourceQuality q;
   q.sensitivity.resize(num_sources);
   q.specificity.resize(num_sources);
@@ -17,12 +17,14 @@ SourceQuality EstimateSourceQuality(const ClaimTable& claims,
   q.accuracy.resize(num_sources);
   q.expected_counts.assign(num_sources, {0.0, 0.0, 0.0, 0.0});
 
-  for (const Claim& c : claims.claims()) {
-    const double pt = p_true[c.fact];
-    const int j = c.observation ? 1 : 0;
-    // i = 1 contributes p(t=1), i = 0 contributes 1 - p(t=1).
-    q.expected_counts[c.source][2 + j] += pt;
-    q.expected_counts[c.source][0 + j] += 1.0 - pt;
+  for (SourceId s = 0; s < num_sources; ++s) {
+    for (uint32_t entry : graph.SourceClaims(s)) {
+      const double pt = p_true[ClaimGraph::PackedId(entry)];
+      const int j = ClaimGraph::PackedObs(entry);
+      // i = 1 contributes p(t=1), i = 0 contributes 1 - p(t=1).
+      q.expected_counts[s][2 + j] += pt;
+      q.expected_counts[s][0 + j] += 1.0 - pt;
+    }
   }
 
   for (size_t s = 0; s < num_sources; ++s) {

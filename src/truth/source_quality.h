@@ -4,7 +4,7 @@
 #include <array>
 #include <vector>
 
-#include "data/claim_table.h"
+#include "data/claim_graph.h"
 #include "truth/options.h"
 
 namespace ltm {
@@ -34,7 +34,7 @@ struct SourceQuality {
 ///   sensitivity(s) = (E[n_s11] + a1.pos) / (E[n_s10] + E[n_s11] + a1.sum)
 ///   specificity(s) = (E[n_s00] + a0.neg) / (E[n_s00] + E[n_s01] + a0.sum)
 ///   precision(s)   = (E[n_s11] + a1.pos) / (E[n_s01] + E[n_s11] + a0.pos + a1.pos)
-SourceQuality EstimateSourceQuality(const ClaimTable& claims,
+SourceQuality EstimateSourceQuality(const ClaimGraph& graph,
                                     const std::vector<double>& p_true,
                                     const BetaPrior& alpha0,
                                     const BetaPrior& alpha1);

@@ -59,24 +59,17 @@ Status ThreeEstimatesOptions::Validate() const {
 
 Result<TruthResult> ThreeEstimates::Run(const RunContext& ctx,
                                         const FactTable& facts,
-                                        const ClaimTable& claims) const {
+                                        const ClaimGraph& graph) const {
   (void)facts;
   LTM_RETURN_IF_ERROR(options_.Validate());
   RunObserver obs(ctx, name());
-  const size_t num_facts = claims.NumFacts();
-  const size_t num_sources = claims.NumSources();
+  const size_t num_facts = graph.NumFacts();
+  const size_t num_sources = graph.NumSources();
 
   std::vector<double> truth(num_facts, 0.5);
   std::vector<double> error(num_sources, options_.initial_error);
   std::vector<double> difficulty(num_facts, options_.initial_difficulty);
   std::vector<double> prev_truth;
-
-  std::vector<size_t> claims_per_fact(num_facts, 0);
-  std::vector<size_t> claims_per_source(num_sources, 0);
-  for (const Claim& c : claims.claims()) {
-    ++claims_per_fact[c.fact];
-    ++claims_per_source[c.source];
-  }
 
   TruthResult result;
   const double floor = options_.floor;
@@ -85,14 +78,15 @@ Result<TruthResult> ThreeEstimates::Run(const RunContext& ctx,
     prev_truth = truth;
     // T(f) given eps, delta.
     std::fill(truth.begin(), truth.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      const double wrong = Clamp(error[c.source] * difficulty[c.fact], floor,
-                                 1.0 - floor);
-      truth[c.fact] += c.observation ? 1.0 - wrong : wrong;
-    }
     for (FactId f = 0; f < num_facts; ++f) {
-      if (claims_per_fact[f] > 0) {
-        truth[f] /= static_cast<double>(claims_per_fact[f]);
+      for (uint32_t entry : graph.FactClaims(f)) {
+        const double wrong =
+            Clamp(error[ClaimGraph::PackedId(entry)] * difficulty[f], floor,
+                  1.0 - floor);
+        truth[f] += ClaimGraph::PackedObs(entry) ? 1.0 - wrong : wrong;
+      }
+      if (graph.FactDegree(f) > 0) {
+        truth[f] /= static_cast<double>(graph.FactDegree(f));
       } else {
         truth[f] = 0.5;
       }
@@ -101,13 +95,15 @@ Result<TruthResult> ThreeEstimates::Run(const RunContext& ctx,
 
     // delta(f) given T, eps.
     std::fill(difficulty.begin(), difficulty.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      const double mistake = c.observation ? 1.0 - truth[c.fact] : truth[c.fact];
-      difficulty[c.fact] += mistake / std::max(error[c.source], floor);
-    }
     for (FactId f = 0; f < num_facts; ++f) {
-      if (claims_per_fact[f] > 0) {
-        difficulty[f] /= static_cast<double>(claims_per_fact[f]);
+      for (uint32_t entry : graph.FactClaims(f)) {
+        const double mistake =
+            ClaimGraph::PackedObs(entry) ? 1.0 - truth[f] : truth[f];
+        difficulty[f] +=
+            mistake / std::max(error[ClaimGraph::PackedId(entry)], floor);
+      }
+      if (graph.FactDegree(f) > 0) {
+        difficulty[f] /= static_cast<double>(graph.FactDegree(f));
       } else {
         difficulty[f] = options_.initial_difficulty;
       }
@@ -116,13 +112,15 @@ Result<TruthResult> ThreeEstimates::Run(const RunContext& ctx,
 
     // eps(s) given T, delta.
     std::fill(error.begin(), error.end(), 0.0);
-    for (const Claim& c : claims.claims()) {
-      const double mistake = c.observation ? 1.0 - truth[c.fact] : truth[c.fact];
-      error[c.source] += mistake / std::max(difficulty[c.fact], floor);
-    }
     for (SourceId s = 0; s < num_sources; ++s) {
-      if (claims_per_source[s] > 0) {
-        error[s] /= static_cast<double>(claims_per_source[s]);
+      for (uint32_t entry : graph.SourceClaims(s)) {
+        const FactId cf = ClaimGraph::PackedId(entry);
+        const double mistake =
+            ClaimGraph::PackedObs(entry) ? 1.0 - truth[cf] : truth[cf];
+        error[s] += mistake / std::max(difficulty[cf], floor);
+      }
+      if (graph.SourceDegree(s) > 0) {
+        error[s] /= static_cast<double>(graph.SourceDegree(s));
       } else {
         error[s] = options_.initial_error;
       }

@@ -41,7 +41,7 @@ class ThreeEstimates : public TruthMethod {
   std::string name() const override { return "3-Estimates"; }
 
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
  private:
   ThreeEstimatesOptions options_;

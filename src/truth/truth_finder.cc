@@ -33,13 +33,14 @@ Status TruthFinderOptions::Validate() const {
 
 Result<TruthResult> TruthFinder::Run(const RunContext& ctx,
                                      const FactTable& facts,
-                                     const ClaimTable& claims) const {
+                                     const ClaimGraph& graph) const {
   (void)facts;
   RunObserver obs(ctx, name());
-  const size_t num_facts = claims.NumFacts();
-  const size_t num_sources = claims.NumSources();
+  const size_t num_facts = graph.NumFacts();
+  const size_t num_sources = graph.NumSources();
 
   std::vector<double> trust(num_sources, options_.initial_trust);
+  std::vector<double> weight(num_sources, 0.0);  // -ln(1 - trust), cached
   TruthResult result;
   std::vector<double>& conf = result.estimate.probability;
   conf.assign(num_facts, 0.0);
@@ -49,26 +50,32 @@ Result<TruthResult> TruthFinder::Run(const RunContext& ctx,
   bool converged = false;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     LTM_RETURN_IF_ERROR(obs.Check());
-    // Fact confidence from source trust.
+    // Fact confidence from source trust: the per-claim weight depends
+    // only on the source, so take the log once per source and stream the
+    // packed fact-side adjacency as pure table lookups. The sigma sums
+    // add the identical doubles in the identical order as the per-claim
+    // log, so results are bit-identical — just without a transcendental
+    // per claim.
+    for (SourceId s = 0; s < num_sources; ++s) {
+      weight[s] = -std::log(1.0 - std::min(trust[s], trust_cap));
+    }
     for (FactId f = 0; f < num_facts; ++f) {
       double sigma = 0.0;
-      for (const Claim& c : claims.ClaimsOfFact(f)) {
-        if (!c.observation) continue;
-        sigma += -std::log(1.0 - std::min(trust[c.source], trust_cap));
+      for (uint32_t entry : graph.FactClaims(f)) {
+        if (!ClaimGraph::PackedObs(entry)) continue;
+        sigma += weight[ClaimGraph::PackedId(entry)];
       }
       conf[f] = Sigmoid(options_.dampening * sigma);
     }
-    // Source trust from fact confidence.
+    // Source trust from fact confidence, over the source-side adjacency.
     double max_delta = 0.0;
     for (SourceId s = 0; s < num_sources; ++s) {
       double sum = 0.0;
-      size_t n = 0;
-      for (uint32_t idx : claims.ClaimIndicesOfSource(s)) {
-        const Claim& c = claims.claim(idx);
-        if (!c.observation) continue;
-        sum += conf[c.fact];
-        ++n;
+      for (uint32_t entry : graph.SourceClaims(s)) {
+        if (!ClaimGraph::PackedObs(entry)) continue;
+        sum += conf[ClaimGraph::PackedId(entry)];
       }
+      const size_t n = graph.SourcePositiveCount(s);
       double updated = n > 0 ? sum / static_cast<double>(n) : trust[s];
       max_delta = std::max(max_delta, std::fabs(updated - trust[s]));
       trust[s] = updated;

@@ -36,7 +36,7 @@ class TruthFinder : public TruthMethod {
   std::string name() const override { return "TruthFinder"; }
 
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 
  private:
   TruthFinderOptions options_;

@@ -9,8 +9,8 @@
 namespace ltm {
 
 TruthEstimate TruthMethod::Score(const FactTable& facts,
-                                 const ClaimTable& claims) const {
-  Result<TruthResult> result = Run(RunContext(), facts, claims);
+                                 const ClaimGraph& graph) const {
+  Result<TruthResult> result = Run(RunContext(), facts, graph);
   if (result.ok()) {
     return std::move(*result).estimate;
   }
@@ -18,7 +18,7 @@ TruthEstimate TruthMethod::Score(const FactTable& facts,
                    << result.status().ToString()
                    << "); scoring every fact at the 0.5 prior";
   TruthEstimate prior;
-  prior.probability.assign(claims.NumFacts(), 0.5);
+  prior.probability.assign(graph.NumFacts(), 0.5);
   return prior;
 }
 

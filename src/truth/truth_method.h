@@ -10,7 +10,7 @@
 
 #include "common/status.h"
 #include "common/timer.h"
-#include "data/claim_table.h"
+#include "data/claim_graph.h"
 #include "data/fact_table.h"
 #include "truth/source_quality.h"
 
@@ -115,19 +115,21 @@ class TruthMethod {
   /// Display name as used in the paper's tables ("LTM", "Voting", ...).
   virtual std::string name() const = 0;
 
-  /// Scores every fact in `claims` under `ctx`. `facts` provides entity
-  /// grouping for methods that need it (e.g. PooledInvestment's
-  /// mutual-exclusion pools). Returns Cancelled/DeadlineExceeded when the
-  /// context interrupts the run, InvalidArgument for unusable options.
+  /// Scores every fact in `graph` under `ctx`. The packed CSR ClaimGraph
+  /// is the single inference substrate — every method streams its
+  /// adjacency entries. `facts` provides entity grouping for methods that
+  /// need it (e.g. PooledInvestment's mutual-exclusion pools). Returns
+  /// Cancelled/DeadlineExceeded when the context interrupts the run,
+  /// InvalidArgument for unusable options.
   virtual Result<TruthResult> Run(const RunContext& ctx,
                                   const FactTable& facts,
-                                  const ClaimTable& claims) const = 0;
+                                  const ClaimGraph& graph) const = 0;
 
   /// Convenience wrapper: default context, estimate only. A default
   /// context cannot be cancelled or expire, so this only fails on
   /// misconfiguration — in that case the failure is logged and every fact
   /// scores at the 0.5 prior.
-  TruthEstimate Score(const FactTable& facts, const ClaimTable& claims) const;
+  TruthEstimate Score(const FactTable& facts, const ClaimGraph& graph) const;
 };
 
 /// Bundles the RunContext bookkeeping iterative solvers share: a wall

@@ -7,22 +7,20 @@
 namespace ltm {
 
 Result<TruthResult> Voting::Run(const RunContext& ctx, const FactTable& facts,
-                                const ClaimTable& claims) const {
+                                const ClaimGraph& graph) const {
   (void)facts;
   RunObserver obs(ctx, name());
   LTM_RETURN_IF_ERROR(obs.Check());
   TruthResult result;
   TruthEstimate& est = result.estimate;
-  est.probability.resize(claims.NumFacts(), 0.0);
-  for (FactId f = 0; f < claims.NumFacts(); ++f) {
-    auto fact_claims = claims.ClaimsOfFact(f);
-    if (fact_claims.empty()) continue;
-    size_t pos = 0;
-    for (const Claim& c : fact_claims) {
-      if (c.observation) ++pos;
-    }
-    est.probability[f] =
-        static_cast<double>(pos) / static_cast<double>(fact_claims.size());
+  est.probability.resize(graph.NumFacts(), 0.0);
+  // The graph's derived stats make voting a single O(facts) pass — no
+  // adjacency walk at all.
+  for (FactId f = 0; f < graph.NumFacts(); ++f) {
+    const uint32_t degree = graph.FactDegree(f);
+    if (degree == 0) continue;
+    est.probability[f] = static_cast<double>(graph.FactPositiveCount(f)) /
+                         static_cast<double>(degree);
   }
   obs.Finish(&result, /*iterations=*/0, /*converged=*/true);
   return result;

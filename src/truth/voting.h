@@ -14,7 +14,7 @@ class Voting : public TruthMethod {
   std::string name() const override { return "Voting"; }
 
   Result<TruthResult> Run(const RunContext& ctx, const FactTable& facts,
-                          const ClaimTable& claims) const override;
+                          const ClaimGraph& graph) const override;
 };
 
 }  // namespace ltm

@@ -48,23 +48,141 @@ TEST(ClaimGraphTest, FactSideMatchesClaimTableOrder) {
   }
 }
 
-TEST(ClaimGraphTest, SourceSideMatchesClaimTableIndex) {
+TEST(ClaimGraphTest, SourceSideGroupsClaimsFactMajor) {
   ClaimTable table = BuildTable(23);
   ClaimGraph g = ClaimGraph::Build(table);
 
+  // Reference by-source index: claim indices in fact-major order.
+  std::vector<std::vector<const Claim*>> by_source(table.NumSources());
+  for (const Claim& c : table.claims()) {
+    by_source[c.source].push_back(&c);
+  }
   for (SourceId s = 0; s < table.NumSources(); ++s) {
-    auto indices = table.ClaimIndicesOfSource(s);
     auto packed = g.SourceClaims(s);
-    ASSERT_EQ(packed.size(), indices.size());
-    // Both sides enumerate the same multiset of (fact, obs) pairs; the
-    // graph groups them fact-major within the source, same as the
-    // index (claim indices ascend, claims are fact-major).
-    for (size_t i = 0; i < indices.size(); ++i) {
-      const Claim& c = table.claim(indices[i]);
-      EXPECT_EQ(ClaimGraph::PackedId(packed[i]), c.fact);
-      EXPECT_EQ(ClaimGraph::PackedObs(packed[i]), c.observation ? 1 : 0);
+    ASSERT_EQ(packed.size(), by_source[s].size());
+    ASSERT_EQ(g.SourceDegree(s), by_source[s].size());
+    for (size_t i = 0; i < packed.size(); ++i) {
+      EXPECT_EQ(ClaimGraph::PackedId(packed[i]), by_source[s][i]->fact);
+      EXPECT_EQ(ClaimGraph::PackedObs(packed[i]),
+                by_source[s][i]->observation ? 1 : 0);
     }
   }
+}
+
+TEST(ClaimGraphTest, DerivedStatsMatchBruteForce) {
+  ClaimTable table = BuildTable(61);
+  ClaimGraph g = ClaimGraph::Build(table);
+  EXPECT_EQ(g.NumPositiveClaims(), table.NumPositiveClaims());
+  EXPECT_EQ(g.NumNegativeClaims(), table.NumNegativeClaims());
+
+  std::vector<uint32_t> fact_pos(g.NumFacts(), 0);
+  std::vector<uint32_t> source_pos(g.NumSources(), 0);
+  std::vector<uint32_t> source_deg(g.NumSources(), 0);
+  for (const Claim& c : table.claims()) {
+    ++source_deg[c.source];
+    if (c.observation) {
+      ++fact_pos[c.fact];
+      ++source_pos[c.source];
+    }
+  }
+  for (FactId f = 0; f < g.NumFacts(); ++f) {
+    EXPECT_EQ(g.FactPositiveCount(f), fact_pos[f]) << "f=" << f;
+  }
+  for (SourceId s = 0; s < g.NumSources(); ++s) {
+    EXPECT_EQ(g.SourcePositiveCount(s), source_pos[s]) << "s=" << s;
+    EXPECT_EQ(g.SourceDegree(s), source_deg[s]) << "s=" << s;
+  }
+}
+
+TEST(ClaimGraphTest, PositiveOnlyDropsNegativesKeepingOrder) {
+  ClaimTable table = ClaimTable::Build(
+      testing::PaperTable1(),
+      FactTable::Build(testing::PaperTable1()));
+  ClaimGraph g = ClaimGraph::Build(table);
+  ClaimGraph pos = g.PositiveOnly();
+  EXPECT_EQ(pos.NumClaims(), 8u);
+  EXPECT_EQ(pos.NumNegativeClaims(), 0u);
+  EXPECT_EQ(pos.NumFacts(), g.NumFacts());
+  EXPECT_EQ(pos.NumSources(), g.NumSources());
+  for (FactId f = 0; f < pos.NumFacts(); ++f) {
+    auto full = g.FactClaims(f);
+    auto filtered = pos.FactClaims(f);
+    ASSERT_EQ(filtered.size(), g.FactPositiveCount(f));
+    // Positives precede negatives, so the filtered adjacency is exactly
+    // the prefix of the full one.
+    for (size_t i = 0; i < filtered.size(); ++i) {
+      EXPECT_EQ(filtered[i], full[i]);
+    }
+  }
+}
+
+TEST(ClaimGraphTest, FromClaimsEqualsBuildOfFromClaimsTable) {
+  std::vector<Claim> input{
+      {2, 0, false}, {0, 1, true}, {0, 0, false}, {1, 0, true}};
+  ClaimGraph direct = ClaimGraph::FromClaims(input, 3, 2);
+  ClaimGraph via_table =
+      ClaimGraph::Build(ClaimTable::FromClaims(input, 3, 2));
+  ASSERT_EQ(direct.NumClaims(), via_table.NumClaims());
+  EXPECT_EQ(direct.fact_offsets(), via_table.fact_offsets());
+  EXPECT_EQ(direct.fact_claims(), via_table.fact_claims());
+}
+
+TEST(ClaimGraphTest, FromCsrRoundTripsBuildOutput) {
+  ClaimTable table = BuildTable(67);
+  ClaimGraph g = ClaimGraph::Build(table);
+  auto rebuilt = ClaimGraph::FromCsr(g.fact_offsets(), g.fact_claims(),
+                                     g.NumSources());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(rebuilt->fact_offsets(), g.fact_offsets());
+  EXPECT_EQ(rebuilt->fact_claims(), g.fact_claims());
+  EXPECT_EQ(rebuilt->NumPositiveClaims(), g.NumPositiveClaims());
+  for (SourceId s = 0; s < g.NumSources(); ++s) {
+    auto a = g.SourceClaims(s);
+    auto b = rebuilt->SourceClaims(s);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(ClaimGraphTest, FromCsrRejectsCorruptInput) {
+  // Offsets not starting at 0.
+  EXPECT_FALSE(ClaimGraph::FromCsr({1, 2}, {0u << 1, 0u << 1}, 1).ok());
+  // Offsets not ending at the claim count.
+  EXPECT_FALSE(ClaimGraph::FromCsr({0, 1}, {(0u << 1), (0u << 1)}, 1).ok());
+  // Non-monotone offsets.
+  EXPECT_FALSE(ClaimGraph::FromCsr({0, 2, 1, 2}, {1u, 1u}, 1).ok());
+  // Source id out of range.
+  EXPECT_FALSE(ClaimGraph::FromCsr({0, 1}, {(5u << 1) | 1u}, 5).ok());
+  // Duplicate (fact, source) pair — would inflate the derived counts.
+  EXPECT_FALSE(
+      ClaimGraph::FromCsr({0, 2}, {(1u << 1) | 1u, (1u << 1) | 1u}, 2).ok());
+  // Negative claim before a positive one violates canonical order.
+  EXPECT_FALSE(
+      ClaimGraph::FromCsr({0, 2}, {(0u << 1), (1u << 1) | 1u}, 2).ok());
+  // Sources out of ascending order within the positive group.
+  EXPECT_FALSE(
+      ClaimGraph::FromCsr({0, 2}, {(1u << 1) | 1u, (0u << 1) | 1u}, 2).ok());
+  // Canonical order across both groups is accepted.
+  EXPECT_TRUE(ClaimGraph::FromCsr(
+                  {0, 3}, {(0u << 1) | 1u, (2u << 1) | 1u, (1u << 1)}, 3)
+                  .ok());
+  // Valid tiny graph.
+  auto ok = ClaimGraph::FromCsr({0, 1}, {(4u << 1) | 1u}, 5);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->NumFacts(), 1u);
+  EXPECT_EQ(ok->SourcePositiveCount(4), 1u);
+}
+
+TEST(ClaimGraphTest, ValidateIdBoundsAtTheBoundary) {
+  // Ids are dense, so counts up to 2^31 keep every id below 2^31.
+  const size_t limit = size_t{1} << 31;
+  EXPECT_TRUE(ClaimGraph::ValidateIdBounds(limit, limit).ok());
+  const Status facts_over = ClaimGraph::ValidateIdBounds(limit + 1, 1);
+  EXPECT_EQ(facts_over.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(facts_over.message().find("2^31"), std::string::npos);
+  const Status sources_over = ClaimGraph::ValidateIdBounds(1, limit + 1);
+  EXPECT_EQ(sources_over.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(sources_over.message().find("sources"), std::string::npos);
 }
 
 TEST(ClaimGraphTest, PartitionBoundsAreMonotoneAndComplete) {

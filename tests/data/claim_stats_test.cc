@@ -10,7 +10,7 @@ namespace {
 TEST(ClaimStatsTest, PaperExampleCounts) {
   RawDatabase raw = testing::PaperTable1();
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   ClaimStats stats = ComputeClaimStats(facts, claims);
 
   EXPECT_EQ(stats.num_facts, 5u);
@@ -28,7 +28,7 @@ TEST(ClaimStatsTest, PaperExampleCounts) {
 TEST(ClaimStatsTest, SupportHistogramSums) {
   RawDatabase raw = testing::RandomRaw(9);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   ClaimStats stats = ComputeClaimStats(facts, claims);
   size_t total = 0;
   for (size_t c : stats.positive_support_histogram) total += c;
@@ -39,7 +39,7 @@ TEST(ClaimStatsTest, SupportHistogramSums) {
 
 TEST(ClaimStatsTest, EmptyTableIsSafe) {
   FactTable facts;
-  ClaimTable claims;
+  ClaimGraph claims;
   ClaimStats stats = ComputeClaimStats(facts, claims);
   EXPECT_EQ(stats.num_facts, 0u);
   EXPECT_EQ(stats.num_claims, 0u);
@@ -49,7 +49,7 @@ TEST(ClaimStatsTest, EmptyTableIsSafe) {
 
 TEST(ClaimStatsTest, InactiveSourcesExcludedFromMeans) {
   // Source id space of 5, but only 2 sources make claims.
-  ClaimTable claims = ClaimTable::FromClaims(
+  ClaimGraph claims = ClaimGraph::FromClaims(
       {{0, 0, true}, {0, 1, true}, {1, 0, true}}, 2, 5);
   FactTable facts = FactTable::FromFactList({{0, 0}, {0, 1}});
   ClaimStats stats = ComputeClaimStats(facts, claims);

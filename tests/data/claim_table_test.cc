@@ -94,26 +94,6 @@ TEST_F(PaperExampleTest, PositiveClaimsPrecedeNegativeWithinFact) {
   }
 }
 
-TEST_F(PaperExampleTest, SourceIndexIsConsistent) {
-  size_t total = 0;
-  for (SourceId s = 0; s < claims_.NumSources(); ++s) {
-    for (uint32_t idx : claims_.ClaimIndicesOfSource(s)) {
-      EXPECT_EQ(claims_.claim(idx).source, s);
-      ++total;
-    }
-  }
-  EXPECT_EQ(total, claims_.NumClaims());
-}
-
-TEST_F(PaperExampleTest, PositiveOnlyDropsNegatives) {
-  ClaimTable pos = claims_.PositiveOnly();
-  EXPECT_EQ(pos.NumClaims(), 8u);
-  EXPECT_EQ(pos.NumNegativeClaims(), 0u);
-  EXPECT_EQ(pos.NumFacts(), claims_.NumFacts());
-  EXPECT_EQ(pos.NumSources(), claims_.NumSources());
-  for (const Claim& c : pos.claims()) EXPECT_TRUE(c.observation);
-}
-
 TEST(ClaimTableFromClaimsTest, SortsAndDedups) {
   std::vector<Claim> input{
       {2, 0, false}, {0, 1, true}, {0, 0, false}, {1, 0, true},

@@ -11,7 +11,7 @@ TEST(DatasetTest, FromRawBuildsEverything) {
   Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
   EXPECT_EQ(ds.name, "paper");
   EXPECT_EQ(ds.facts.NumFacts(), 5u);
-  EXPECT_EQ(ds.claims.NumClaims(), 13u);
+  EXPECT_EQ(ds.graph.NumClaims(), 13u);
   EXPECT_EQ(ds.labels.NumFacts(), 5u);
   EXPECT_EQ(ds.labels.NumLabeled(), 0u);
 }
@@ -40,7 +40,7 @@ TEST(DatasetTest, SubsetOfEverythingIsIdentityShaped) {
   Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
   Dataset sub = ds.Subset(ds.raw.NumEntities());
   EXPECT_EQ(sub.facts.NumFacts(), ds.facts.NumFacts());
-  EXPECT_EQ(sub.claims.NumClaims(), ds.claims.NumClaims());
+  EXPECT_EQ(sub.graph.NumClaims(), ds.graph.NumClaims());
 }
 
 TEST(DatasetTest, SplitByEntitiesPartitionsFacts) {
@@ -69,8 +69,8 @@ TEST(DatasetTest, SplitSharesSourceIdSpace) {
     EXPECT_EQ(test.raw.sources().Get(s), ds.raw.sources().Get(s));
   }
   // Claim tables size their quality vectors by the shared vocabulary.
-  EXPECT_EQ(train.claims.NumSources(), ds.raw.NumSources());
-  EXPECT_EQ(test.claims.NumSources(), ds.raw.NumSources());
+  EXPECT_EQ(train.graph.NumSources(), ds.raw.NumSources());
+  EXPECT_EQ(test.graph.NumSources(), ds.raw.NumSources());
 }
 
 TEST(DatasetTest, SplitWithUnknownEntityIdsIsSafe) {

@@ -1,0 +1,193 @@
+#include "data/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/tsv_io.h"
+#include "test_util.h"
+#include "truth/ltm.h"
+#include "truth/registry.h"
+
+namespace ltm {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = ::testing::TempDir(); }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  Dataset LabeledDataset() {
+    Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+    testing::ApplyPaperTable4Labels(&ds);
+    return ds;
+  }
+
+  std::string dir_;
+};
+
+void ExpectDatasetsEqual(const Dataset& a, const Dataset& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.raw.rows(), b.raw.rows());
+  EXPECT_EQ(a.raw.entities().strings(), b.raw.entities().strings());
+  EXPECT_EQ(a.raw.attributes().strings(), b.raw.attributes().strings());
+  EXPECT_EQ(a.raw.sources().strings(), b.raw.sources().strings());
+  EXPECT_EQ(a.facts.facts(), b.facts.facts());
+  EXPECT_EQ(a.graph.fact_offsets(), b.graph.fact_offsets());
+  EXPECT_EQ(a.graph.fact_claims(), b.graph.fact_claims());
+  EXPECT_EQ(a.graph.NumSources(), b.graph.NumSources());
+  EXPECT_EQ(a.graph.NumPositiveClaims(), b.graph.NumPositiveClaims());
+  ASSERT_EQ(a.labels.NumFacts(), b.labels.NumFacts());
+  for (FactId f = 0; f < a.labels.NumFacts(); ++f) {
+    EXPECT_EQ(a.labels.Get(f), b.labels.Get(f)) << "f=" << f;
+  }
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesEverything) {
+  Dataset ds = LabeledDataset();
+  const std::string path = Path("roundtrip.snap");
+  ASSERT_TRUE(ds.SaveSnapshot(path).ok());
+  auto loaded = Dataset::LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(ds, *loaded);
+}
+
+TEST_F(SnapshotTest, RoundTripOnRandomDataset) {
+  Dataset ds = Dataset::FromRaw("rand", testing::RandomRaw(77));
+  ds.labels.Set(0, true);
+  ds.labels.Set(3, false);
+  const std::string path = Path("rand.snap");
+  ASSERT_TRUE(ds.SaveSnapshot(path).ok());
+  auto loaded = Dataset::LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(ds, *loaded);
+}
+
+TEST_F(SnapshotTest, RoundTripEmptyDataset) {
+  Dataset ds;
+  ds.name = "empty";
+  const std::string path = Path("empty.snap");
+  ASSERT_TRUE(ds.SaveSnapshot(path).ok());
+  auto loaded = Dataset::LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, "empty");
+  EXPECT_EQ(loaded->graph.NumClaims(), 0u);
+  EXPECT_EQ(loaded->facts.NumFacts(), 0u);
+}
+
+// A method run from a loaded snapshot must match a run from TSV
+// ingestion exactly — both paths feed the identical graph.
+TEST_F(SnapshotTest, MethodRunFromSnapshotMatchesTsvIngestion) {
+  Dataset original = LabeledDataset();
+  const std::string tsv_path = Path("raw.tsv");
+  ASSERT_TRUE(WriteRawDatabaseToTsv(original.raw, tsv_path).ok());
+
+  auto raw = LoadRawDatabaseFromTsv(tsv_path);
+  ASSERT_TRUE(raw.ok());
+  Dataset from_tsv = Dataset::FromRaw("paper", std::move(raw).value());
+
+  const std::string snap_path = Path("method.snap");
+  ASSERT_TRUE(from_tsv.SaveSnapshot(snap_path).ok());
+  auto from_snap = Dataset::LoadSnapshot(snap_path);
+  ASSERT_TRUE(from_snap.ok()) << from_snap.status().ToString();
+
+  for (const char* spec : {"Voting", "LTM(iterations=40,seed=11)",
+                           "TruthFinder"}) {
+    auto method = CreateMethod(spec);
+    ASSERT_TRUE(method.ok()) << spec;
+    TruthEstimate a = (*method)->Score(from_tsv.facts, from_tsv.graph);
+    TruthEstimate b = (*method)->Score(from_snap->facts, from_snap->graph);
+    EXPECT_EQ(a.probability, b.probability) << spec;
+  }
+}
+
+TEST_F(SnapshotTest, MissingFileIsIOError) {
+  auto loaded = Dataset::LoadSnapshot(Path("does-not-exist.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(SnapshotTest, RejectsBadMagic) {
+  const std::string path = Path("badmagic.snap");
+  ASSERT_TRUE(LabeledDataset().SaveSnapshot(path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[0] = 'X';
+  WriteFile(path, bytes);
+  auto loaded = Dataset::LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, RejectsUnsupportedVersion) {
+  const std::string path = Path("badversion.snap");
+  ASSERT_TRUE(LabeledDataset().SaveSnapshot(path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[4] = static_cast<char>(kSnapshotVersion + 1);
+  WriteFile(path, bytes);
+  auto loaded = Dataset::LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, RejectsTruncation) {
+  const std::string path = Path("trunc.snap");
+  ASSERT_TRUE(LabeledDataset().SaveSnapshot(path).ok());
+  const std::string bytes = ReadFile(path);
+  // Every strict prefix must be rejected, never crash: drop the last
+  // byte, half the payload, and everything but a partial header.
+  for (size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{10}}) {
+    WriteFile(path, bytes.substr(0, keep));
+    auto loaded = Dataset::LoadSnapshot(path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(SnapshotTest, RejectsPayloadCorruption) {
+  const std::string path = Path("corrupt.snap");
+  ASSERT_TRUE(LabeledDataset().SaveSnapshot(path).ok());
+  std::string bytes = ReadFile(path);
+  // Flip one payload byte: the checksum must catch it.
+  bytes[bytes.size() - 3] ^= 0x5a;
+  WriteFile(path, bytes);
+  auto loaded = Dataset::LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, RejectsTrailingGarbage) {
+  const std::string path = Path("trailing.snap");
+  ASSERT_TRUE(LabeledDataset().SaveSnapshot(path).ok());
+  std::string bytes = ReadFile(path);
+  bytes += "extra";
+  WriteFile(path, bytes);
+  auto loaded = Dataset::LoadSnapshot(path);
+  // The payload-size header no longer matches the file size.
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, SaveToUnwritablePathIsIOError) {
+  Dataset ds = LabeledDataset();
+  Status st = ds.SaveSnapshot(dir_ + "/no-such-dir/x.snap");
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace ltm

@@ -91,6 +91,32 @@ TEST_F(TsvIoTest, MalformedLineIsInvalidArgumentWithLocation) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(loaded.status().message().find(":2"), std::string::npos)
       << "error should cite the line number: " << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("only-one-field"),
+            std::string::npos)
+      << "error should quote the offending text: "
+      << loaded.status().message();
+}
+
+TEST_F(TsvIoTest, MalformedLineErrorTruncatesHugeLines) {
+  const std::string path = Path("huge.tsv");
+  WriteFile(path, std::string(10000, 'x') + "\n");
+  auto loaded = LoadRawDatabaseFromTsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_LT(loaded.status().message().size(), 300u);
+  EXPECT_NE(loaded.status().message().find("xxx"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("..."), std::string::npos);
+}
+
+TEST_F(TsvIoTest, MalformedLabelLineCitesOffendingText) {
+  Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
+  const std::string path = Path("badlabelline.tsv");
+  WriteFile(path, "Harry Potter\tDaniel Radcliffe\ttrue\nno-tabs-here\n");
+  Status st = LoadTruthLabelsFromTsv(path, &ds);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find(":2"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("no-tabs-here"), std::string::npos)
+      << st.message();
 }
 
 TEST_F(TsvIoTest, LoadTruthLabels) {

@@ -53,7 +53,7 @@ TEST(EntityClusterTest, AccuracyComparableToGlobalFit) {
                                         ds.labels, 0.5);
 
   LatentTruthModel global(opts.ltm);
-  TruthEstimate global_est = global.Score(ds.facts, ds.claims);
+  TruthEstimate global_est = global.Score(ds.facts, ds.graph);
   PointMetrics gm =
       EvaluateAtThreshold(global_est.probability, ds.labels, 0.5);
 

@@ -121,7 +121,7 @@ TEST(StreamingTest, AccumulatedPriorsGrowWithObservedChunks) {
   ASSERT_TRUE(pipeline.Observe(ds).ok());
   const double after = mass(pipeline.AccumulatedPriors());
   // Each observed claim contributes one unit of expected count mass.
-  EXPECT_NEAR(after - before, ds.claims.NumClaims(), 1e-6);
+  EXPECT_NEAR(after - before, ds.graph.NumClaims(), 1e-6);
 }
 
 // -------------------------------------------------------------- adversarial
@@ -158,7 +158,7 @@ TEST(AdversarialTest, DetectsInjectedAdversary) {
   opts.ltm.sample_gap = 2;
   opts.min_precision = 0.5;
   opts.min_specificity = 0.5;
-  auto filtered = ext::RunAdversarialFilter(ds.facts, ds.claims, opts);
+  auto filtered = ext::RunAdversarialFilter(ds.facts, ds.graph, opts);
   ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
   const ext::AdversarialResult& result = *filtered;
 
@@ -180,7 +180,7 @@ TEST(AdversarialTest, DetectsInjectedAdversary) {
     return n;
   };
   LatentTruthModel unfiltered(opts.ltm);
-  TruthEstimate raw_est = unfiltered.Score(ds.facts, ds.claims);
+  TruthEstimate raw_est = unfiltered.Score(ds.facts, ds.graph);
   const size_t evil_true_after = count_evil_true(result.estimate.probability);
   const size_t evil_true_before = count_evil_true(raw_est.probability);
   EXPECT_LT(evil_true_after, 5u);
@@ -199,7 +199,7 @@ TEST(AdversarialTest, CleanDataRemovesNothing) {
   opts.ltm.iterations = 50;
   opts.ltm.burnin = 10;
   opts.ltm.sample_gap = 2;
-  auto filtered = ext::RunAdversarialFilter(ds.facts, ds.claims, opts);
+  auto filtered = ext::RunAdversarialFilter(ds.facts, ds.graph, opts);
   ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
   EXPECT_TRUE(filtered->removed_sources.empty());
   EXPECT_EQ(filtered->rounds, 1);

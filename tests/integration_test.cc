@@ -57,11 +57,11 @@ TruthLabels* MovieIntegrationTest::labels_ = nullptr;
 
 TEST_F(MovieIntegrationTest, LtmBeatsVotingOnAccuracyAndF1) {
   LatentTruthModel ltm_model(FastMovieOptions(dataset_->facts.NumFacts()));
-  TruthEstimate ltm_est = ltm_model.Score(dataset_->facts, dataset_->claims);
+  TruthEstimate ltm_est = ltm_model.Score(dataset_->facts, dataset_->graph);
   PointMetrics ltm_m = EvaluateAtThreshold(ltm_est.probability, *labels_, 0.5);
 
   auto voting = CreateMethod("Voting");
-  TruthEstimate vote_est = (*voting)->Score(dataset_->facts, dataset_->claims);
+  TruthEstimate vote_est = (*voting)->Score(dataset_->facts, dataset_->graph);
   PointMetrics vote_m = EvaluateAtThreshold(vote_est.probability, *labels_,
                                             0.5);
 
@@ -76,7 +76,7 @@ TEST_F(MovieIntegrationTest, PositiveOnlyMethodsPredictEverythingTrue) {
   // Paper §6.2.1: TruthFinder / Investment / LTMpos have FPR 1.0 at 0.5.
   for (const char* name : {"TruthFinder", "LTMpos", "Investment"}) {
     auto method = CreateMethod(name, FastMovieOptions(dataset_->facts.NumFacts()));
-    TruthEstimate est = (*method)->Score(dataset_->facts, dataset_->claims);
+    TruthEstimate est = (*method)->Score(dataset_->facts, dataset_->graph);
     PointMetrics m = EvaluateAtThreshold(est.probability, *labels_, 0.5);
     EXPECT_DOUBLE_EQ(m.fpr(), 1.0) << name;
     EXPECT_DOUBLE_EQ(m.recall(), 1.0) << name;
@@ -88,7 +88,7 @@ TEST_F(MovieIntegrationTest, ConservativeMethodsHavePerfectPrecision) {
   // 1.0 but low recall at threshold 0.5.
   for (const char* name : {"HubAuthority", "AvgLog", "PooledInvestment"}) {
     auto method = CreateMethod(name);
-    TruthEstimate est = (*method)->Score(dataset_->facts, dataset_->claims);
+    TruthEstimate est = (*method)->Score(dataset_->facts, dataset_->graph);
     PointMetrics m = EvaluateAtThreshold(est.probability, *labels_, 0.5);
     EXPECT_GT(m.precision(), 0.95) << name;
     EXPECT_LT(m.recall(), 0.8) << name;
@@ -97,12 +97,12 @@ TEST_F(MovieIntegrationTest, ConservativeMethodsHavePerfectPrecision) {
 
 TEST_F(MovieIntegrationTest, LtmHasTopAuc) {
   LatentTruthModel ltm_model(FastMovieOptions(dataset_->facts.NumFacts()));
-  TruthEstimate ltm_est = ltm_model.Score(dataset_->facts, dataset_->claims);
+  TruthEstimate ltm_est = ltm_model.Score(dataset_->facts, dataset_->graph);
   const double ltm_auc = AucScore(ltm_est.probability, *labels_);
   EXPECT_GT(ltm_auc, 0.85);
   for (const char* name : {"Voting", "TruthFinder", "HubAuthority"}) {
     auto method = CreateMethod(name);
-    TruthEstimate est = (*method)->Score(dataset_->facts, dataset_->claims);
+    TruthEstimate est = (*method)->Score(dataset_->facts, dataset_->graph);
     EXPECT_GE(ltm_auc + 1e-9, AucScore(est.probability, *labels_)) << name;
   }
 }
@@ -113,7 +113,7 @@ TEST_F(MovieIntegrationTest, QualityReadOffTracksGeneratingProfiles) {
   // with a clear margin).
   LatentTruthModel model(FastMovieOptions(dataset_->facts.NumFacts()));
   SourceQuality quality;
-  model.RunWithQuality(dataset_->claims, &quality);
+  model.RunWithQuality(dataset_->graph, &quality);
 
   const auto profiles = synth::MovieSourceProfiles();
   std::map<std::string, double> true_sens;
@@ -158,7 +158,7 @@ TEST(BookIntegrationTest, LtmNearPerfectOnBooks) {
   opts.burnin = 20;
   opts.sample_gap = 2;
   LatentTruthModel model(opts);
-  TruthEstimate est = model.Score(ds.facts, ds.claims);
+  TruthEstimate est = model.Score(ds.facts, ds.graph);
   PointMetrics m = EvaluateAtThreshold(est.probability, labels, 0.5);
   // Paper Table 7 reports accuracy 0.995 on books; the simulator world
   // should land in the same regime.
@@ -183,11 +183,11 @@ TEST(BookIntegrationTest, VotingLosesRecallToFirstAuthorBias) {
   opts.burnin = 20;
   opts.sample_gap = 2;
   LatentTruthModel model(opts);
-  TruthEstimate ltm_est = model.Score(ds.facts, ds.claims);
+  TruthEstimate ltm_est = model.Score(ds.facts, ds.graph);
   PointMetrics ltm_m = EvaluateAtThreshold(ltm_est.probability, labels, 0.5);
 
   auto voting = CreateMethod("Voting");
-  TruthEstimate vote_est = (*voting)->Score(ds.facts, ds.claims);
+  TruthEstimate vote_est = (*voting)->Score(ds.facts, ds.graph);
   PointMetrics vote_m = EvaluateAtThreshold(vote_est.probability, labels, 0.5);
 
   EXPECT_GT(ltm_m.recall(), vote_m.recall());

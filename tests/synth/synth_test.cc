@@ -16,10 +16,10 @@ TEST(LtmProcessTest, ShapeMatchesOptions) {
   opts.num_sources = 7;
   synth::LtmProcessData data = synth::GenerateLtmProcess(opts);
   EXPECT_EQ(data.facts.NumFacts(), 200u);
-  EXPECT_EQ(data.claims.NumFacts(), 200u);
-  EXPECT_EQ(data.claims.NumSources(), 7u);
+  EXPECT_EQ(data.graph.NumFacts(), 200u);
+  EXPECT_EQ(data.graph.NumSources(), 7u);
   // Paper §6.1.1: every source claims every fact.
-  EXPECT_EQ(data.claims.NumClaims(), 200u * 7u);
+  EXPECT_EQ(data.graph.NumClaims(), 200u * 7u);
   EXPECT_EQ(data.truth.NumLabeled(), 200u);
   EXPECT_EQ(data.true_fpr.size(), 7u);
   EXPECT_EQ(data.true_sensitivity.size(), 7u);
@@ -59,7 +59,8 @@ TEST(LtmProcessTest, DeterministicForSeed) {
   opts.num_sources = 3;
   synth::LtmProcessData a = synth::GenerateLtmProcess(opts);
   synth::LtmProcessData b = synth::GenerateLtmProcess(opts);
-  EXPECT_EQ(a.claims.claims(), b.claims.claims());
+  EXPECT_EQ(a.graph.fact_offsets(), b.graph.fact_offsets());
+  EXPECT_EQ(a.graph.fact_claims(), b.graph.fact_claims());
   EXPECT_EQ(a.true_fpr, b.true_fpr);
 }
 
@@ -72,7 +73,7 @@ TEST(BookSimulatorTest, ShapeResemblesPaperDataset) {
   // All facts carry ground truth.
   EXPECT_EQ(ds.labels.NumLabeled(), ds.facts.NumFacts());
   // Plenty of claims, mostly from many distinct sellers.
-  EXPECT_GT(ds.claims.NumClaims(), 10000u);
+  EXPECT_GT(ds.graph.NumClaims(), 10000u);
   EXPECT_GT(ds.raw.NumSources(), 100u);
   // False facts exist but truth dominates (high-specificity world).
   const double true_rate = static_cast<double>(ds.labels.NumLabeledTrue()) /
@@ -112,8 +113,10 @@ TEST(MovieSimulatorTest, ConflictFilterKeepsOnlyContested) {
     EXPECT_GE(facts.size(), 2u);
     std::set<SourceId> sources;
     for (FactId f : facts) {
-      for (const Claim& c : ds.claims.ClaimsOfFact(f)) {
-        if (c.observation) sources.insert(c.source);
+      for (uint32_t entry : ds.graph.FactClaims(f)) {
+        if (ClaimGraph::PackedObs(entry)) {
+          sources.insert(ClaimGraph::PackedId(entry));
+        }
       }
     }
     EXPECT_GE(sources.size(), 2u);

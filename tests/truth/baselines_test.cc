@@ -31,7 +31,7 @@ class BaselineFixture : public ::testing::Test {
 
 TEST_F(BaselineFixture, VotingProportionsMatchTable3) {
   Voting voting;
-  TruthEstimate est = voting.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = voting.Score(ds_.facts, ds_.graph);
   // Radcliffe: 3/3 positive, Watson: 2/3, Grint: 1/3, Depp@HP: 1/3,
   // Depp@P4: 1/1.
   EXPECT_DOUBLE_EQ(Score(est, "Harry Potter", "Daniel Radcliffe"), 1.0);
@@ -45,7 +45,7 @@ TEST_F(BaselineFixture, VotingCannotSeparateGrintFromDepp) {
   // The paper's motivating failure (Example 1): both land at 1/3, so any
   // threshold treats them identically.
   Voting voting;
-  TruthEstimate est = voting.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = voting.Score(ds_.facts, ds_.graph);
   EXPECT_DOUBLE_EQ(Score(est, "Harry Potter", "Rupert Grint"),
                    Score(est, "Harry Potter", "Johnny Depp"));
 }
@@ -53,7 +53,7 @@ TEST_F(BaselineFixture, VotingCannotSeparateGrintFromDepp) {
 TEST_F(BaselineFixture, TruthFinderScoresAtLeastHalf) {
   // Structural over-optimism: dampened sigmoid of non-negative support.
   TruthFinder tf;
-  TruthEstimate est = tf.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = tf.Score(ds_.facts, ds_.graph);
   for (double p : est.probability) {
     EXPECT_GE(p, 0.5);
     EXPECT_LE(p, 1.0);
@@ -62,14 +62,14 @@ TEST_F(BaselineFixture, TruthFinderScoresAtLeastHalf) {
 
 TEST_F(BaselineFixture, TruthFinderRanksBySupport) {
   TruthFinder tf;
-  TruthEstimate est = tf.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = tf.Score(ds_.facts, ds_.graph);
   EXPECT_GT(Score(est, "Harry Potter", "Daniel Radcliffe"),
             Score(est, "Harry Potter", "Rupert Grint"));
 }
 
 TEST_F(BaselineFixture, HubAuthorityMaxNormalized) {
   HubAuthority ha;
-  TruthEstimate est = ha.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = ha.Score(ds_.facts, ds_.graph);
   double max_score = 0.0;
   for (double p : est.probability) {
     EXPECT_GE(p, 0.0);
@@ -85,13 +85,13 @@ TEST_F(BaselineFixture, HubAuthorityIsConservative) {
   // Facts asserted by a single low-degree source score far below 0.5 —
   // the paper's "overly conservative" family.
   HubAuthority ha;
-  TruthEstimate est = ha.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = ha.Score(ds_.facts, ds_.graph);
   EXPECT_LT(Score(est, "Pirates 4", "Johnny Depp"), 0.5);
 }
 
 TEST_F(BaselineFixture, AvgLogBoundsAndRanking) {
   AvgLog al;
-  TruthEstimate est = al.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = al.Score(ds_.facts, ds_.graph);
   for (double p : est.probability) {
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
@@ -102,7 +102,7 @@ TEST_F(BaselineFixture, AvgLogBoundsAndRanking) {
 
 TEST_F(BaselineFixture, InvestmentBoundsAndRanking) {
   Investment inv;
-  TruthEstimate est = inv.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = inv.Score(ds_.facts, ds_.graph);
   for (double p : est.probability) {
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
@@ -113,7 +113,7 @@ TEST_F(BaselineFixture, InvestmentBoundsAndRanking) {
 
 TEST_F(BaselineFixture, PooledInvestmentPoolsWithinEntity) {
   PooledInvestment pi;
-  TruthEstimate est = pi.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = pi.Score(ds_.facts, ds_.graph);
   // Beliefs of one entity's facts are shares of a pool: they are bounded
   // by the pool total (<= 1 each, and the 4 HP facts cannot all be ~1).
   double hp_sum = Score(est, "Harry Potter", "Daniel Radcliffe") +
@@ -129,7 +129,7 @@ TEST_F(BaselineFixture, PooledInvestmentPoolsWithinEntity) {
 
 TEST_F(BaselineFixture, ThreeEstimatesUsesNegativeClaims) {
   ThreeEstimates te;
-  TruthEstimate est = te.Score(ds_.facts, ds_.claims);
+  TruthEstimate est = te.Score(ds_.facts, ds_.graph);
   for (double p : est.probability) {
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
@@ -149,14 +149,14 @@ TEST_F(BaselineFixture, AllMethodsSizeOutputToFactCount) {
   methods.emplace_back(new PooledInvestment());
   methods.emplace_back(new ThreeEstimates());
   for (const auto& m : methods) {
-    TruthEstimate est = m->Score(ds_.facts, ds_.claims);
+    TruthEstimate est = m->Score(ds_.facts, ds_.graph);
     EXPECT_EQ(est.probability.size(), ds_.facts.NumFacts()) << m->name();
   }
 }
 
 TEST_F(BaselineFixture, AllMethodsHandleEmptyInput) {
   FactTable facts;
-  ClaimTable claims;
+  ClaimGraph claims;
   std::vector<std::unique_ptr<TruthMethod>> methods;
   methods.emplace_back(new Voting());
   methods.emplace_back(new TruthFinder());
@@ -178,7 +178,7 @@ class BaselinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(BaselinePropertyTest, BoundedAndDeterministic) {
   RawDatabase raw = testing::RandomRaw(GetParam(), 25, 3, 8, 0.5);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   std::vector<std::unique_ptr<TruthMethod>> methods;
   methods.emplace_back(new Voting());
   methods.emplace_back(new TruthFinder());

@@ -24,7 +24,7 @@ LtmOptions TinyOptions(uint64_t seed = 5) {
 }
 
 /// Random small claim instance with f facts and s sources.
-ClaimTable RandomTinyClaims(uint64_t seed, size_t num_facts,
+ClaimGraph RandomTinyClaims(uint64_t seed, size_t num_facts,
                             size_t num_sources) {
   Rng rng(seed);
   std::vector<Claim> claims;
@@ -34,13 +34,13 @@ ClaimTable RandomTinyClaims(uint64_t seed, size_t num_facts,
       claims.push_back(Claim{f, s, rng.Bernoulli(0.5)});
     }
   }
-  return ClaimTable::FromClaims(std::move(claims), num_facts, num_sources);
+  return ClaimGraph::FromClaims(std::move(claims), num_facts, num_sources);
 }
 
 TEST(ExactPosteriorTest, SingleFactSinglepositiveClaim) {
   // One positive claim; marginal must favour truth (since alpha1 mean 0.5
   // >> alpha0 mean ~0.09 for a positive observation).
-  ClaimTable claims = ClaimTable::FromClaims({{0, 0, true}}, 1, 1);
+  ClaimGraph claims = ClaimGraph::FromClaims({{0, 0, true}}, 1, 1);
   auto marginals = ExactPosterior(claims, TinyOptions());
   ASSERT_TRUE(marginals.ok());
   // Closed form: p(t=1) ∝ beta1 * a1_pos/a1_sum; p(t=0) ∝ beta0 *
@@ -51,7 +51,7 @@ TEST(ExactPosteriorTest, SingleFactSinglepositiveClaim) {
 }
 
 TEST(ExactPosteriorTest, SingleFactNegativeClaimIsSymmetric) {
-  ClaimTable claims = ClaimTable::FromClaims({{0, 0, false}}, 1, 1);
+  ClaimGraph claims = ClaimGraph::FromClaims({{0, 0, false}}, 1, 1);
   auto marginals = ExactPosterior(claims, TinyOptions());
   ASSERT_TRUE(marginals.ok());
   const double p1 = 0.5;         // beta1 * (a1_neg / a1_sum) = 1 * 0.5
@@ -60,14 +60,14 @@ TEST(ExactPosteriorTest, SingleFactNegativeClaimIsSymmetric) {
 }
 
 TEST(ExactPosteriorTest, RejectsOversizedInstances) {
-  ClaimTable claims = RandomTinyClaims(1, 20, 3);
+  ClaimGraph claims = RandomTinyClaims(1, 20, 3);
   auto marginals = ExactPosterior(claims, TinyOptions(), /*max_facts=*/16);
   ASSERT_FALSE(marginals.ok());
   EXPECT_EQ(marginals.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ExactPosteriorTest, MarginalsAreProbabilities) {
-  ClaimTable claims = RandomTinyClaims(7, 8, 4);
+  ClaimGraph claims = RandomTinyClaims(7, 8, 4);
   auto marginals = ExactPosterior(claims, TinyOptions());
   ASSERT_TRUE(marginals.ok());
   for (double p : *marginals) {
@@ -79,7 +79,7 @@ TEST(ExactPosteriorTest, MarginalsAreProbabilities) {
 TEST(LogCollapsedJointTest, FlippingAFactChangesJointConsistently) {
   // The Gibbs conditional (Eq. 2) must equal the ratio of collapsed
   // joints: p(t_f=1|rest) / p(t_f=0|rest) = exp(J(1) - J(0)).
-  ClaimTable claims = RandomTinyClaims(11, 6, 3);
+  ClaimGraph claims = RandomTinyClaims(11, 6, 3);
   LtmOptions opts = TinyOptions();
   std::vector<uint8_t> truth(6, 0);
   truth[1] = 1;
@@ -92,9 +92,12 @@ TEST(LogCollapsedJointTest, FlippingAFactChangesJointConsistently) {
 
   // Independent computation of the same ratio from Eq. 2's count form.
   std::vector<int64_t> n(claims.NumSources() * 4, 0);
-  for (const Claim& c : claims.claims()) {
-    if (c.fact == 2) continue;  // Counts exclude the flipped fact.
-    ++n[c.source * 4 + truth[c.fact] * 2 + (c.observation ? 1 : 0)];
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    if (f == 2) continue;  // Counts exclude the flipped fact.
+    for (uint32_t entry : claims.FactClaims(f)) {
+      ++n[ClaimGraph::PackedId(entry) * 4 + truth[f] * 2 +
+          ClaimGraph::PackedObs(entry)];
+    }
   }
   const double a[2][2] = {{opts.alpha0.neg, opts.alpha0.pos},
                           {opts.alpha1.neg, opts.alpha1.pos}};
@@ -105,15 +108,15 @@ TEST(LogCollapsedJointTest, FlippingAFactChangesJointConsistently) {
     // Sequentially add fact 2's claims to the count state to honour the
     // within-fact dependence of repeated claims from one source.
     std::vector<int64_t> local(n);
-    for (const Claim& c : claims.ClaimsOfFact(2)) {
-      const int j = c.observation ? 1 : 0;
-      const int64_t nij = local[c.source * 4 + i * 2 + j];
-      const int64_t ni = local[c.source * 4 + i * 2] +
-                         local[c.source * 4 + i * 2 + 1];
+    for (uint32_t entry : claims.FactClaims(2)) {
+      const uint32_t cs = ClaimGraph::PackedId(entry);
+      const int j = ClaimGraph::PackedObs(entry);
+      const int64_t nij = local[cs * 4 + i * 2 + j];
+      const int64_t ni = local[cs * 4 + i * 2] + local[cs * 4 + i * 2 + 1];
       log_ratio_eq2 +=
           sign * (std::log(static_cast<double>(nij) + a[i][j]) -
                   std::log(static_cast<double>(ni) + a[i][0] + a[i][1]));
-      ++local[c.source * 4 + i * 2 + j];
+      ++local[cs * 4 + i * 2 + j];
     }
   }
   EXPECT_NEAR(log_ratio_joint, log_ratio_eq2, 1e-9);
@@ -124,7 +127,7 @@ TEST(LogCollapsedJointTest, FlippingAFactChangesJointConsistently) {
 class GibbsVsExactTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(GibbsVsExactTest, PosteriorMeansMatchEnumeration) {
-  ClaimTable claims = RandomTinyClaims(GetParam(), 7, 3);
+  ClaimGraph claims = RandomTinyClaims(GetParam(), 7, 3);
   LtmOptions opts = TinyOptions(GetParam() * 31 + 7);
   auto exact = ExactPosterior(claims, opts);
   ASSERT_TRUE(exact.ok());

@@ -31,7 +31,7 @@ LtmOptions ChainOptions(uint64_t seed) {
 TEST(GibbsStatisticsTest, IndependentChainsAgreeOnMarginals) {
   RawDatabase raw = testing::RandomRaw(1234, 12, 3, 5, 0.7);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
 
   TruthEstimate a = LtmGibbs(claims, ChainOptions(1)).Run();
   TruthEstimate b = LtmGibbs(claims, ChainOptions(2)).Run();
@@ -47,7 +47,7 @@ TEST(GibbsStatisticsTest, AllPositiveUnanimousFactsGoTrue) {
   for (FactId f = 0; f < 10; ++f) {
     for (SourceId s = 0; s < 5; ++s) claims.push_back({f, s, true});
   }
-  ClaimTable table = ClaimTable::FromClaims(std::move(claims), 10, 5);
+  ClaimGraph table = ClaimGraph::FromClaims(std::move(claims), 10, 5);
   TruthEstimate est = LtmGibbs(table, ChainOptions(3)).Run();
   for (double p : est.probability) EXPECT_GT(p, 0.9);
 }
@@ -60,7 +60,7 @@ TEST(GibbsStatisticsTest, AllNegativeUnanimousFactsGoFalse) {
   for (FactId f = 1; f < 8; ++f) {
     for (SourceId s = 0; s < 5; ++s) claims.push_back({f, s, false});
   }
-  ClaimTable table = ClaimTable::FromClaims(std::move(claims), 8, 5);
+  ClaimGraph table = ClaimGraph::FromClaims(std::move(claims), 8, 5);
   TruthEstimate est = LtmGibbs(table, ChainOptions(4)).Run();
   EXPECT_GT(est.probability[0], 0.5);
   for (FactId f = 1; f < 8; ++f) {
@@ -70,7 +70,7 @@ TEST(GibbsStatisticsTest, AllNegativeUnanimousFactsGoFalse) {
 
 TEST(GibbsStatisticsTest, ExtremeTruthPriorDominatesWeakEvidence) {
   // beta = (1, 999): a single positive claim cannot rescue a fact.
-  ClaimTable table = ClaimTable::FromClaims({{0, 0, true}}, 1, 1);
+  ClaimGraph table = ClaimGraph::FromClaims({{0, 0, true}}, 1, 1);
   LtmOptions opts = ChainOptions(5);
   opts.beta = BetaPrior{1.0, 999.0};
   TruthEstimate est = LtmGibbs(table, opts).Run();
@@ -89,7 +89,7 @@ TEST(GibbsStatisticsTest, SingleSourceSelfConsistency) {
   for (FactId f = 0; f < 30; ++f) {
     claims.push_back({f, 0, rng.Bernoulli(0.7)});
   }
-  ClaimTable table = ClaimTable::FromClaims(std::move(claims), 30, 1);
+  ClaimGraph table = ClaimGraph::FromClaims(std::move(claims), 30, 1);
   TruthEstimate est = LtmGibbs(table, ChainOptions(7)).Run();
   for (double p : est.probability) {
     EXPECT_GE(p, 0.0);
@@ -101,7 +101,7 @@ TEST(GibbsStatisticsTest, FactsWithNoClaimsFollowTruthPrior) {
   // Fact 1 has no claims at all: its conditional is driven by beta only
   // (Eq. 2 with an empty product), so the posterior mean approaches
   // beta1 / (beta1 + beta0).
-  ClaimTable table = ClaimTable::FromClaims({{0, 0, true}}, 2, 1);
+  ClaimGraph table = ClaimGraph::FromClaims({{0, 0, true}}, 2, 1);
   LtmOptions opts = ChainOptions(8);
   opts.beta = BetaPrior{3.0, 1.0};
   TruthEstimate est = LtmGibbs(table, opts).Run();
@@ -125,7 +125,7 @@ TEST(GibbsStatisticsTest, QualityRecoveryOnGenerativeData) {
   opts.sample_gap = 2;
   LatentTruthModel model(opts);
   SourceQuality quality;
-  model.RunWithQuality(data.claims, &quality);
+  model.RunWithQuality(data.graph, &quality);
 
   // Pearson correlation between generating and inferred sensitivity.
   double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
@@ -150,7 +150,7 @@ TEST(GibbsStatisticsTest, DegenerateInputsAreSafe) {
   // FromClaims dedups (fact, source) pairs; feed adversarial duplicates.
   std::vector<Claim> messy{{0, 0, true},  {0, 0, false}, {0, 0, true},
                            {1, 0, false}, {1, 0, false}};
-  ClaimTable table = ClaimTable::FromClaims(std::move(messy), 3, 2);
+  ClaimGraph table = ClaimGraph::FromClaims(std::move(messy), 3, 2);
   EXPECT_EQ(table.NumClaims(), 2u);
   LtmGibbs sampler(table, ChainOptions(9));
   for (int i = 0; i < 50; ++i) sampler.RunSweep();

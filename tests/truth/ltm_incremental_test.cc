@@ -29,7 +29,7 @@ TEST(LtmIncrementalTest, Eq3ClosedFormOnSingleClaim) {
   LtmOptions opts;
   opts.beta = BetaPrior{1.0, 1.0};
   LtmIncremental inc(q, opts);
-  ClaimTable claims = ClaimTable::FromClaims({{0, 0, true}}, 1, 2);
+  ClaimGraph claims = ClaimGraph::FromClaims({{0, 0, true}}, 1, 2);
   FactTable facts;
   TruthEstimate est = inc.Score(facts, claims);
   ASSERT_EQ(est.probability.size(), 1u);
@@ -43,7 +43,7 @@ TEST(LtmIncrementalTest, NegativeClaimFromSensitiveSourceSuppresses) {
   LtmOptions opts;
   opts.beta = BetaPrior{1.0, 1.0};
   LtmIncremental inc(q, opts);
-  ClaimTable claims = ClaimTable::FromClaims({{0, 0, false}}, 1, 2);
+  ClaimGraph claims = ClaimGraph::FromClaims({{0, 0, false}}, 1, 2);
   FactTable facts;
   TruthEstimate est = inc.Score(facts, claims);
   EXPECT_NEAR(est.probability[0], 0.05 / (0.05 + 0.99), 1e-9);
@@ -56,7 +56,7 @@ TEST(LtmIncrementalTest, NegativeClaimFromLowSensitivitySourceIsWeak) {
   LtmOptions opts;
   opts.beta = BetaPrior{1.0, 1.0};
   LtmIncremental inc(q, opts);
-  ClaimTable claims = ClaimTable::FromClaims({{0, 1, false}}, 1, 2);
+  ClaimGraph claims = ClaimGraph::FromClaims({{0, 1, false}}, 1, 2);
   FactTable facts;
   TruthEstimate est = inc.Score(facts, claims);
   EXPECT_NEAR(est.probability[0], 0.60 / (0.60 + 0.99), 1e-9);
@@ -71,7 +71,7 @@ TEST(LtmIncrementalTest, PriorMeanFallbackForUnseenSources) {
   opts.beta = BetaPrior{1.0, 1.0};
   LtmIncremental inc(q, opts);
   // Source id 5 was never seen at training time.
-  ClaimTable claims = ClaimTable::FromClaims({{0, 5, true}}, 1, 6);
+  ClaimGraph claims = ClaimGraph::FromClaims({{0, 5, true}}, 1, 6);
   FactTable facts;
   TruthEstimate est = inc.Score(facts, claims);
   EXPECT_NEAR(est.probability[0], 0.5 / (0.5 + 0.01), 1e-9);
@@ -82,7 +82,7 @@ TEST(LtmIncrementalTest, TruthPriorShiftsPosterior) {
   LtmOptions skeptical;
   skeptical.beta = BetaPrior{1.0, 9.0};  // 10% prior truth rate.
   LtmIncremental inc(q, skeptical);
-  ClaimTable claims = ClaimTable::FromClaims({{0, 0, true}}, 1, 2);
+  ClaimGraph claims = ClaimGraph::FromClaims({{0, 0, true}}, 1, 2);
   FactTable facts;
   TruthEstimate est = inc.Score(facts, claims);
   const double expected = (1.0 * 0.95) / (1.0 * 0.95 + 9.0 * 0.01);
@@ -127,7 +127,7 @@ TEST(LtmIncrementalTest, ObserveCachesEstimateAndAccumulatesEvidence) {
   ASSERT_TRUE(est.ok());
   EXPECT_EQ(est->estimate.probability.size(), chunk.facts.NumFacts());
   // Run() on the same chunk is stateless and must agree with the cache.
-  auto rerun = inc.Run(RunContext(), chunk.facts, chunk.claims);
+  auto rerun = inc.Run(RunContext(), chunk.facts, chunk.graph);
   ASSERT_TRUE(rerun.ok());
   EXPECT_EQ(rerun->estimate.probability, est->estimate.probability);
 
@@ -143,7 +143,7 @@ TEST(LtmIncrementalTest, ObserveCachesEstimateAndAccumulatesEvidence) {
     after_mass += after.alpha0[s].Sum() + after.alpha1[s].Sum();
   }
   // Each claim contributes exactly one unit of expected count mass.
-  EXPECT_NEAR(after_mass - before_mass, chunk.claims.NumClaims(), 1e-9);
+  EXPECT_NEAR(after_mass - before_mass, chunk.graph.NumClaims(), 1e-9);
 }
 
 TEST(LtmIncrementalTest, IsDiscoverableViaStreamingInterface) {
@@ -171,14 +171,14 @@ TEST(LtmIncrementalTest, MatchesBatchOnHeldOutMovies) {
 
   LatentTruthModel batch(opts);
   SourceQuality quality;
-  batch.RunWithQuality(train.claims, &quality);
+  batch.RunWithQuality(train.graph, &quality);
 
   LtmIncremental inc(quality, opts);
-  TruthEstimate inc_est = inc.Score(test.facts, test.claims);
+  TruthEstimate inc_est = inc.Score(test.facts, test.graph);
   PointMetrics inc_m = EvaluateAtThreshold(inc_est.probability, test.labels,
                                            0.5);
 
-  TruthEstimate batch_est = batch.Score(test.facts, test.claims);
+  TruthEstimate batch_est = batch.Score(test.facts, test.graph);
   PointMetrics batch_m =
       EvaluateAtThreshold(batch_est.probability, test.labels, 0.5);
 

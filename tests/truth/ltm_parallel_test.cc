@@ -42,7 +42,7 @@ TEST(ParallelLtmGibbsTest, SingleShardBitIdenticalToSequentialSampler) {
   LtmOptions opts = SmallDataOptions();
   opts.threads = 1;
 
-  TruthEstimate sequential = LtmGibbs(table, opts).Run();
+  TruthEstimate sequential = LtmGibbs(graph, opts).Run();
   TruthEstimate sharded = ParallelLtmGibbs(graph, opts).Run();
   ASSERT_EQ(sequential.probability.size(), sharded.probability.size());
   for (size_t f = 0; f < sequential.probability.size(); ++f) {
@@ -55,7 +55,7 @@ TEST(ParallelLtmGibbsTest, SingleShardBitIdenticalToSequentialSampler) {
 TEST(ParallelLtmGibbsTest, RegistryThreads1BitIdenticalToLtmGibbs) {
   RawDatabase raw = testing::RandomRaw(55);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmOptions opts = SmallDataOptions();
 
   auto method = CreateMethod("LTM(threads=1)", opts);
@@ -79,7 +79,7 @@ TEST(ParallelLtmGibbsTest, MultiShardDeterministicAcrossRepeatedRuns) {
 TEST(ParallelLtmGibbsTest, RegistryThreads4DeterministicForFixedSeed) {
   RawDatabase raw = testing::RandomRaw(71);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
 
   auto method = CreateMethod("LTM(threads=4,seed=7)", SmallDataOptions());
   ASSERT_TRUE(method.ok()) << method.status().ToString();
@@ -140,7 +140,7 @@ TEST(ParallelLtmGibbsTest, MultiShardRecoversTruthOnGoodSyntheticData) {
   opts.sample_gap = 4;
   opts.threads = 4;
   LatentTruthModel model(opts);
-  TruthEstimate est = model.Score(data.facts, data.claims);
+  TruthEstimate est = model.Score(data.facts, data.graph);
   PointMetrics m = EvaluateAtThreshold(est.probability, data.truth, 0.5);
   EXPECT_GT(m.accuracy(), 0.95) << m.confusion.ToString();
 }
@@ -148,7 +148,7 @@ TEST(ParallelLtmGibbsTest, MultiShardRecoversTruthOnGoodSyntheticData) {
 TEST(ParallelLtmGibbsTest, ThreadsZeroAutoResolvesAndRuns) {
   RawDatabase raw = testing::RandomRaw(13);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   auto method = CreateMethod("LTM(threads=0,iterations=30,burnin=5)");
   ASSERT_TRUE(method.ok()) << method.status().ToString();
   TruthEstimate est = (*method)->Score(facts, claims);
@@ -163,12 +163,11 @@ TEST(ParallelLtmGibbsTest, MoreShardsThanFactsIsHarmless) {
   RawDatabase raw = testing::RandomRaw(99, /*entities=*/2, /*max_attrs=*/2,
                                        /*sources=*/3);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
-  ClaimGraph graph = ClaimGraph::Build(claims);
+  const ClaimGraph& graph = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmOptions opts = SmallDataOptions();
   opts.threads = 64;
   TruthEstimate est = ParallelLtmGibbs(graph, opts).Run();
-  EXPECT_EQ(est.probability.size(), claims.NumFacts());
+  EXPECT_EQ(est.probability.size(), graph.NumFacts());
 }
 
 TEST(ParallelLtmGibbsTest, EmptyClaimTable) {
@@ -182,7 +181,7 @@ TEST(ParallelLtmGibbsTest, EmptyClaimTable) {
 TEST(ParallelLtmGibbsTest, CancelledContextStopsShardedRun) {
   RawDatabase raw = testing::RandomRaw(31);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmOptions opts = SmallDataOptions();
   opts.threads = 4;
   LatentTruthModel model(opts);
@@ -198,7 +197,7 @@ TEST(ParallelLtmGibbsTest, CancelledContextStopsShardedRun) {
 TEST(ParallelLtmGibbsTest, DeadlineExpiresShardedRun) {
   RawDatabase raw = testing::RandomRaw(31);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmOptions opts = SmallDataOptions();
   opts.threads = 4;
   opts.iterations = 100000;  // would take far longer than the deadline
@@ -219,17 +218,17 @@ TEST(ParallelLtmGibbsTest, ShardedQualityReadOffMatchesSequentialShape) {
   LatentTruthModel model(opts);
   RunContext ctx;
   ctx.with_quality = true;
-  Result<TruthResult> result = model.Run(ctx, ds.facts, ds.claims);
+  Result<TruthResult> result = model.Run(ctx, ds.facts, ds.graph);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_TRUE(result->quality.has_value());
-  EXPECT_EQ(result->quality->specificity.size(), ds.claims.NumSources());
-  EXPECT_EQ(result->quality->sensitivity.size(), ds.claims.NumSources());
+  EXPECT_EQ(result->quality->specificity.size(), ds.graph.NumSources());
+  EXPECT_EQ(result->quality->sensitivity.size(), ds.graph.NumSources());
 }
 
 TEST(ParallelLtmGibbsTest, LtmPosShardedUsesFilteredClaims) {
   RawDatabase raw = testing::RandomRaw(77, 40, 4, 12, 0.6);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   auto method = CreateMethod("LTMpos(threads=4,iterations=60,burnin=10)");
   ASSERT_TRUE(method.ok()) << method.status().ToString();
   TruthEstimate est = (*method)->Score(facts, claims);
@@ -257,7 +256,7 @@ TEST(LtmOptionsThreadsTest, SpecParsesThreads) {
 TEST(RunMethodsConcurrentlyTest, MatchesSequentialRuns) {
   RawDatabase raw = testing::RandomRaw(17);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmOptions base = SmallDataOptions();
   base.iterations = 40;
   base.burnin = 10;
@@ -285,7 +284,7 @@ TEST(RunMethodsConcurrentlyTest, MatchesSequentialRuns) {
 TEST(RunMethodsConcurrentlyTest, BadSpecYieldsErrorOutcomeInOrder) {
   RawDatabase raw = testing::RandomRaw(17);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
 
   const std::vector<std::string> specs{"Voting", "NoSuchMethod", "AvgLog"};
   std::vector<MethodRunOutcome> outcomes = RunMethodsConcurrently(

@@ -71,7 +71,7 @@ class LtmGibbsCountsTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(LtmGibbsCountsTest, CountsStayConsistentWithTruth) {
   RawDatabase raw = testing::RandomRaw(GetParam());
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmOptions opts = SmallDataOptions();
   opts.seed = GetParam();
   LtmGibbs sampler(claims, opts);
@@ -79,10 +79,12 @@ TEST_P(LtmGibbsCountsTest, CountsStayConsistentWithTruth) {
   for (int sweep = 0; sweep < 5; ++sweep) {
     sampler.RunSweep();
     std::vector<int64_t> recount(claims.NumSources() * 4, 0);
-    for (const Claim& c : claims.claims()) {
-      const int i = sampler.truth()[c.fact];
-      const int j = c.observation ? 1 : 0;
-      ++recount[c.source * 4 + i * 2 + j];
+    for (FactId f = 0; f < claims.NumFacts(); ++f) {
+      const int i = sampler.truth()[f];
+      for (uint32_t entry : claims.FactClaims(f)) {
+        ++recount[ClaimGraph::PackedId(entry) * 4 + i * 2 +
+                  ClaimGraph::PackedObs(entry)];
+      }
     }
     for (SourceId s = 0; s < claims.NumSources(); ++s) {
       for (int i = 0; i < 2; ++i) {
@@ -101,7 +103,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, LtmGibbsCountsTest,
 TEST(LtmGibbsTest, CountsSumToClaimCount) {
   RawDatabase raw = testing::PaperTable1();
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmGibbs sampler(claims, SmallDataOptions());
   sampler.RunSweep();
   int64_t total = 0;
@@ -116,7 +118,7 @@ TEST(LtmGibbsTest, CountsSumToClaimCount) {
 TEST(LtmGibbsTest, PosteriorMeanBeforeSamplingIsHalf) {
   RawDatabase raw = testing::PaperTable1();
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmGibbs sampler(claims, SmallDataOptions());
   TruthEstimate est = sampler.PosteriorMean();
   for (double p : est.probability) EXPECT_DOUBLE_EQ(p, 0.5);
@@ -125,7 +127,7 @@ TEST(LtmGibbsTest, PosteriorMeanBeforeSamplingIsHalf) {
 TEST(LtmGibbsTest, ProbabilitiesAreValid) {
   RawDatabase raw = testing::RandomRaw(123);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmGibbs sampler(claims, SmallDataOptions());
   TruthEstimate est = sampler.Run();
   ASSERT_EQ(est.probability.size(), claims.NumFacts());
@@ -138,7 +140,7 @@ TEST(LtmGibbsTest, ProbabilitiesAreValid) {
 TEST(LtmGibbsTest, DeterministicForSeed) {
   RawDatabase raw = testing::RandomRaw(55);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmOptions opts = SmallDataOptions();
   TruthEstimate a = LtmGibbs(claims, opts).Run();
   TruthEstimate b = LtmGibbs(claims, opts).Run();
@@ -163,16 +165,16 @@ TEST(LtmGibbsTest, DifferentSeedsStillAgreeOnDecisions) {
   opts.sample_gap = 2;
 
   opts.seed = 1;
-  TruthEstimate a = LtmGibbs(data.claims, opts).Run();
+  TruthEstimate a = LtmGibbs(data.graph, opts).Run();
   opts.seed = 2;
-  TruthEstimate b = LtmGibbs(data.claims, opts).Run();
+  TruthEstimate b = LtmGibbs(data.graph, opts).Run();
   size_t disagreements = 0;
-  for (FactId f = 0; f < data.claims.NumFacts(); ++f) {
+  for (FactId f = 0; f < data.graph.NumFacts(); ++f) {
     if ((a.probability[f] >= 0.5) != (b.probability[f] >= 0.5)) {
       ++disagreements;
     }
   }
-  EXPECT_LT(disagreements, data.claims.NumFacts() / 50);
+  EXPECT_LT(disagreements, data.graph.NumFacts() / 50);
 }
 
 TEST(LatentTruthModelTest, RecoversTruthOnGoodSyntheticData) {
@@ -190,7 +192,7 @@ TEST(LatentTruthModelTest, RecoversTruthOnGoodSyntheticData) {
   opts.burnin = 20;
   opts.sample_gap = 4;
   LatentTruthModel model(opts);
-  TruthEstimate est = model.Score(data.facts, data.claims);
+  TruthEstimate est = model.Score(data.facts, data.graph);
   PointMetrics m = EvaluateAtThreshold(est.probability, data.truth, 0.5);
   EXPECT_GT(m.accuracy(), 0.95) << m.confusion.ToString();
 }
@@ -201,7 +203,7 @@ TEST(LatentTruthModelTest, PaperExampleInference) {
   Dataset ds = Dataset::FromRaw("paper", testing::PaperTable1());
   LatentTruthModel model(SmallDataOptions());
   SourceQuality quality;
-  TruthEstimate est = model.RunWithQuality(ds.claims, &quality);
+  TruthEstimate est = model.RunWithQuality(ds.graph, &quality);
 
   auto fact_prob = [&](const std::string& e, const std::string& a) {
     auto eid = ds.raw.entities().Find(e);
@@ -225,7 +227,7 @@ TEST(LatentTruthModelTest, LtmPosPredictsEverythingTrue) {
   // evidence, so all posterior probabilities land at or above 0.5.
   RawDatabase raw = testing::RandomRaw(77, 40, 4, 12, 0.6);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   LtmOptions opts = SmallDataOptions();
   opts.positive_claims_only = true;
   LatentTruthModel model(opts);
@@ -253,8 +255,8 @@ TEST(LatentTruthModelTest, InvalidOptionsFallBackToDefaults) {
   EXPECT_EQ(model.options().seed, 123u);
 }
 
-TEST(LatentTruthModelTest, EmptyClaimTable) {
-  ClaimTable empty;
+TEST(LatentTruthModelTest, EmptyClaimGraph) {
+  ClaimGraph empty;
   LatentTruthModel model(SmallDataOptions());
   FactTable facts;
   TruthEstimate est = model.Score(facts, empty);

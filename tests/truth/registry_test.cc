@@ -109,7 +109,7 @@ TEST(RegistryTest, ParameterizedSpecsCreateForEveryName) {
 
 TEST(RegistryTest, SpecOptionsChangeBehaviour) {
   // Two LTM seeds differ; the same seed reproduces bit-identically.
-  ClaimTable claims = ClaimTable::FromClaims(
+  ClaimGraph claims = ClaimGraph::FromClaims(
       {{0, 0, true}, {0, 1, false}, {1, 0, true}, {1, 1, true}, {2, 2, false}},
       3, 3);
   FactTable facts;

@@ -34,9 +34,9 @@ LtmOptions FastOptions() {
 TEST(RunContextTest, DefaultContextMatchesScore) {
   Dataset ds = SmallDataset();
   LatentTruthModel model(FastOptions());
-  auto result = model.Run(RunContext(), ds.facts, ds.claims);
+  auto result = model.Run(RunContext(), ds.facts, ds.graph);
   ASSERT_TRUE(result.ok());
-  TruthEstimate scored = model.Score(ds.facts, ds.claims);
+  TruthEstimate scored = model.Score(ds.facts, ds.graph);
   EXPECT_EQ(result->estimate.probability, scored.probability);
   EXPECT_EQ(result->iterations, 50);
   EXPECT_TRUE(result->converged);
@@ -50,11 +50,11 @@ TEST(RunContextTest, PosteriorsBitIdenticalToLowLevelSampler) {
   // pre-refactor sampler exactly, bit for bit.
   Dataset ds = SmallDataset();
   LtmOptions opts = FastOptions();
-  LtmGibbs sampler(ds.claims, opts);
+  LtmGibbs sampler(ds.graph, opts);
   TruthEstimate reference = sampler.Run();
 
   LatentTruthModel model(opts);
-  auto via_api = model.Run(RunContext(), ds.facts, ds.claims);
+  auto via_api = model.Run(RunContext(), ds.facts, ds.graph);
   ASSERT_TRUE(via_api.ok());
   ASSERT_EQ(via_api->estimate.probability.size(),
             reference.probability.size());
@@ -71,16 +71,16 @@ TEST(RunContextTest, SeedOverrideChangesAndReproducesChains) {
   seed1.seed = 1234;
   RunContext seed2;
   seed2.seed = 5678;
-  auto a = model.Run(seed1, ds.facts, ds.claims);
-  auto b = model.Run(seed1, ds.facts, ds.claims);
-  auto c = model.Run(seed2, ds.facts, ds.claims);
+  auto a = model.Run(seed1, ds.facts, ds.graph);
+  auto b = model.Run(seed1, ds.facts, ds.graph);
+  auto c = model.Run(seed2, ds.facts, ds.graph);
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
   EXPECT_EQ(a->estimate.probability, b->estimate.probability);
   EXPECT_NE(a->estimate.probability, c->estimate.probability);
   // The override matches configuring the seed in the options directly.
   LtmOptions direct = FastOptions();
   direct.seed = 1234;
-  TruthEstimate expected = LatentTruthModel(direct).Score(ds.facts, ds.claims);
+  TruthEstimate expected = LatentTruthModel(direct).Score(ds.facts, ds.graph);
   EXPECT_EQ(a->estimate.probability, expected.probability);
 }
 
@@ -90,7 +90,7 @@ TEST(RunContextTest, CancellationReturnsCancelled) {
   std::atomic<bool> cancel{true};  // Pre-cancelled: stops on first check.
   RunContext ctx;
   ctx.cancel = &cancel;
-  auto result = model.Run(ctx, ds.facts, ds.claims);
+  auto result = model.Run(ctx, ds.facts, ds.graph);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
 }
@@ -106,7 +106,7 @@ TEST(RunContextTest, MidRunCancellationFromCallback) {
     ++iterations_seen;
     if (stat.iteration == 4) cancel.store(true);
   };
-  auto result = model.Run(ctx, ds.facts, ds.claims);
+  auto result = model.Run(ctx, ds.facts, ds.graph);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
   EXPECT_EQ(iterations_seen, 5);  // Iterations 0..4 ran, then the check hit.
@@ -120,7 +120,7 @@ TEST(RunContextTest, ExpiredDeadlineReturnsDeadlineExceeded) {
   LatentTruthModel model(opts);
   RunContext ctx;
   ctx.deadline_seconds = 1e-9;
-  auto result = model.Run(ctx, ds.facts, ds.claims);
+  auto result = model.Run(ctx, ds.facts, ds.graph);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
 }
@@ -130,7 +130,7 @@ TEST(RunContextTest, TraceRecordsEveryIteration) {
   LatentTruthModel model(FastOptions());
   RunContext ctx;
   ctx.collect_trace = true;
-  auto result = model.Run(ctx, ds.facts, ds.claims);
+  auto result = model.Run(ctx, ds.facts, ds.graph);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->trace.size(), 50u);
   for (size_t i = 0; i < result->trace.size(); ++i) {
@@ -147,7 +147,7 @@ TEST(RunContextTest, TraceRecordsEveryIteration) {
 TEST(RunContextTest, CallbacksDoNotPerturbTheChain) {
   Dataset ds = SmallDataset();
   LatentTruthModel model(FastOptions());
-  auto plain = model.Run(RunContext(), ds.facts, ds.claims);
+  auto plain = model.Run(RunContext(), ds.facts, ds.graph);
 
   RunContext ctx;
   ctx.collect_trace = true;
@@ -167,7 +167,7 @@ TEST(RunContextTest, CallbacksDoNotPerturbTheChain) {
     }
     ++state_calls;
   };
-  auto observed = model.Run(ctx, ds.facts, ds.claims);
+  auto observed = model.Run(ctx, ds.facts, ds.graph);
   ASSERT_TRUE(plain.ok() && observed.ok());
   EXPECT_EQ(plain->estimate.probability, observed->estimate.probability);
   EXPECT_EQ(state_calls, 50);
@@ -179,13 +179,13 @@ TEST(RunContextTest, WithQualityAttachesSourceQuality) {
   LatentTruthModel model(FastOptions());
   RunContext ctx;
   ctx.with_quality = true;
-  auto result = model.Run(ctx, ds.facts, ds.claims);
+  auto result = model.Run(ctx, ds.facts, ds.graph);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->quality.has_value());
   EXPECT_EQ(result->quality->NumSources(), ds.raw.NumSources());
   // Identical to the legacy RunWithQuality read-off.
   SourceQuality legacy;
-  TruthEstimate est = model.RunWithQuality(ds.claims, &legacy);
+  TruthEstimate est = model.RunWithQuality(ds.graph, &legacy);
   EXPECT_EQ(est.probability, result->estimate.probability);
   EXPECT_EQ(legacy.sensitivity, result->quality->sensitivity);
   EXPECT_EQ(legacy.specificity, result->quality->specificity);
@@ -199,7 +199,7 @@ TEST(RunContextTest, EveryRegisteredMethodHonoursCancellation) {
   for (const std::string& name : MethodNames()) {
     auto method = CreateMethod(name);
     ASSERT_TRUE(method.ok()) << name;
-    auto result = (*method)->Run(ctx, ds.facts, ds.claims);
+    auto result = (*method)->Run(ctx, ds.facts, ds.graph);
     ASSERT_FALSE(result.ok()) << name;
     EXPECT_EQ(result.status().code(), StatusCode::kCancelled) << name;
   }
@@ -210,7 +210,7 @@ TEST(RunContextTest, EveryBatchMethodRunsThroughTheUnifiedApi) {
   for (auto& method : CreateAllMethods()) {
     RunContext ctx;
     ctx.collect_trace = true;
-    auto result = method->Run(ctx, ds.facts, ds.claims);
+    auto result = method->Run(ctx, ds.facts, ds.graph);
     ASSERT_TRUE(result.ok()) << method->name();
     EXPECT_EQ(result->estimate.probability.size(), ds.facts.NumFacts())
         << method->name();
@@ -222,7 +222,7 @@ TEST(RunContextTest, EveryBatchMethodRunsThroughTheUnifiedApi) {
   // ... and so does LTMinc, through the very same interface.
   auto inc = CreateMethod("LTMinc");
   ASSERT_TRUE(inc.ok());
-  auto result = (*inc)->Run(RunContext(), ds.facts, ds.claims);
+  auto result = (*inc)->Run(RunContext(), ds.facts, ds.graph);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->estimate.probability.size(), ds.facts.NumFacts());
 }
@@ -231,7 +231,7 @@ TEST(RunContextTest, IterativeBaselineReportsConvergence) {
   Dataset ds = SmallDataset();
   auto tf = CreateMethod("TruthFinder(tolerance=0.1)");
   ASSERT_TRUE(tf.ok());
-  auto result = (*tf)->Run(RunContext(), ds.facts, ds.claims);
+  auto result = (*tf)->Run(RunContext(), ds.facts, ds.graph);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->converged);
   EXPECT_LT(result->iterations, 100);  // Stopped well before the cap.

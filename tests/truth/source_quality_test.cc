@@ -16,7 +16,7 @@ TEST(SourceQualityTest, HardTruthReproducesPaperTable6Counts) {
   // Table 1 first-appearance: Radcliffe, Watson, Grint, Depp@HP, Depp@P4).
   std::vector<double> p_true{1.0, 1.0, 1.0, 0.0, 1.0};
   const BetaPrior tiny{1e-9, 1e-9};
-  SourceQuality q = EstimateSourceQuality(ds.claims, p_true, tiny, tiny);
+  SourceQuality q = EstimateSourceQuality(ds.graph, p_true, tiny, tiny);
 
   SourceId imdb = *ds.raw.sources().Find("IMDB");
   SourceId netflix = *ds.raw.sources().Find("Netflix");
@@ -51,7 +51,7 @@ TEST(SourceQualityTest, HardTruthReproducesPaperTable6Counts) {
 TEST(SourceQualityTest, SoftTruthSplitsCounts) {
   // One positive claim with p(true) = 0.7 contributes 0.7 to TP and 0.3
   // to FP.
-  ClaimTable claims = ClaimTable::FromClaims({{0, 0, true}}, 1, 1);
+  ClaimGraph claims = ClaimGraph::FromClaims({{0, 0, true}}, 1, 1);
   const BetaPrior tiny{1e-9, 1e-9};
   SourceQuality q =
       EstimateSourceQuality(claims, std::vector<double>{0.7}, tiny, tiny);
@@ -60,7 +60,7 @@ TEST(SourceQualityTest, SoftTruthSplitsCounts) {
 }
 
 TEST(SourceQualityTest, PriorsDominateWithoutData) {
-  ClaimTable claims = ClaimTable::FromClaims({}, 0, 2);
+  ClaimGraph claims = ClaimGraph::FromClaims({}, 0, 2);
   const BetaPrior alpha0{10.0, 90.0};
   const BetaPrior alpha1{80.0, 20.0};
   SourceQuality q = EstimateSourceQuality(claims, {}, alpha0, alpha1);
@@ -73,7 +73,7 @@ TEST(SourceQualityTest, PriorsDominateWithoutData) {
 TEST(SourceQualityTest, QualitiesStayInUnitInterval) {
   Dataset ds = Dataset::FromRaw("rand", testing::RandomRaw(31));
   std::vector<double> p(ds.facts.NumFacts(), 0.37);
-  SourceQuality q = EstimateSourceQuality(ds.claims, p, BetaPrior{10, 1000},
+  SourceQuality q = EstimateSourceQuality(ds.graph, p, BetaPrior{10, 1000},
                                           BetaPrior{50, 50});
   for (size_t s = 0; s < q.NumSources(); ++s) {
     EXPECT_GE(q.sensitivity[s], 0.0);

@@ -18,7 +18,7 @@ TEST(ThreeEstimatesTest, UnanimousPositiveBeatsContested) {
   // Fact 0: 3 supporters, no denials. Fact 1: 1 supporter, 2 denials.
   std::vector<Claim> claims{{0, 0, true},  {0, 1, true},  {0, 2, true},
                             {1, 0, false}, {1, 1, false}, {1, 2, true}};
-  ClaimTable table = ClaimTable::FromClaims(std::move(claims), 2, 3);
+  ClaimGraph table = ClaimGraph::FromClaims(std::move(claims), 2, 3);
   FactTable facts = FactTable::FromFactList({{0, 0}, {0, 1}});
   ThreeEstimates te;
   TruthEstimate est = te.Score(facts, table);
@@ -31,7 +31,7 @@ TEST(ThreeEstimatesTest, NegativeClaimsChangeTheAnswer) {
   // Same positive support; only the negative claims distinguish the facts.
   std::vector<Claim> with_denials{{0, 0, true}, {0, 1, false}, {0, 2, false},
                                   {1, 0, true}};
-  ClaimTable table = ClaimTable::FromClaims(std::move(with_denials), 2, 3);
+  ClaimGraph table = ClaimGraph::FromClaims(std::move(with_denials), 2, 3);
   FactTable facts = FactTable::FromFactList({{0, 0}, {0, 1}});
   ThreeEstimates te;
   TruthEstimate est = te.Score(facts, table);
@@ -48,7 +48,7 @@ TEST(ThreeEstimatesTest, FloorPreventsDegenerateDivision) {
     claims.push_back({f, 0, true});
     claims.push_back({f, 1, true});
   }
-  ClaimTable table = ClaimTable::FromClaims(std::move(claims), 20, 2);
+  ClaimGraph table = ClaimGraph::FromClaims(std::move(claims), 20, 2);
   FactTable facts;
   ThreeEstimates te(opts);
   TruthEstimate est = te.Score(facts, table);
@@ -62,7 +62,7 @@ TEST(ThreeEstimatesTest, FloorPreventsDegenerateDivision) {
 TEST(ThreeEstimatesTest, MoreIterationsStayStable) {
   RawDatabase raw = testing::RandomRaw(71);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   ThreeEstimatesOptions short_opts;
   short_opts.iterations = 100;
   ThreeEstimatesOptions long_opts;

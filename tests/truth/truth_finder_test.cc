@@ -16,7 +16,7 @@ namespace {
 TEST(TruthFinderTest, MoreSupportersMeansHigherConfidence) {
   std::vector<Claim> claims{{0, 0, true}, {0, 1, true}, {0, 2, true},
                             {1, 0, true}};
-  ClaimTable table = ClaimTable::FromClaims(std::move(claims), 2, 3);
+  ClaimGraph table = ClaimGraph::FromClaims(std::move(claims), 2, 3);
   FactTable facts;
   TruthFinder tf;
   TruthEstimate est = tf.Score(facts, table);
@@ -33,9 +33,9 @@ TEST(TruthFinderTest, IgnoresNegativeClaims) {
   FactTable facts;
   TruthFinder tf;
   TruthEstimate a =
-      tf.Score(facts, ClaimTable::FromClaims(std::move(base), 2, 2));
+      tf.Score(facts, ClaimGraph::FromClaims(std::move(base), 2, 2));
   TruthEstimate b =
-      tf.Score(facts, ClaimTable::FromClaims(std::move(with_neg), 2, 2));
+      tf.Score(facts, ClaimGraph::FromClaims(std::move(with_neg), 2, 2));
   EXPECT_EQ(a.probability, b.probability);
 }
 
@@ -46,7 +46,7 @@ TEST(TruthFinderTest, DampeningControlsSaturation) {
   weak.dampening = 0.1;
   TruthFinderOptions strong;
   strong.dampening = 1.0;
-  ClaimTable table = ClaimTable::FromClaims(std::move(claims), 1, 3);
+  ClaimGraph table = ClaimGraph::FromClaims(std::move(claims), 1, 3);
   TruthEstimate w = TruthFinder(weak).Score(facts, table);
   TruthEstimate s = TruthFinder(strong).Score(facts, table);
   // Stronger dampening factor amplifies support into higher confidence.
@@ -57,7 +57,7 @@ TEST(TruthFinderTest, DampeningControlsSaturation) {
 TEST(TruthFinderTest, ConvergesOnLargerData) {
   RawDatabase raw = testing::RandomRaw(83, 40, 4, 10, 0.6);
   FactTable facts = FactTable::Build(raw);
-  ClaimTable claims = ClaimTable::Build(raw, facts);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
   TruthFinderOptions tight;
   tight.tolerance = 1e-9;
   tight.max_iterations = 500;
@@ -79,7 +79,7 @@ TEST(TruthFinderTest, PerfectInitialTrustDoesNotBlowUp) {
   std::vector<Claim> claims{{0, 0, true}};
   FactTable facts;
   TruthEstimate est =
-      TruthFinder(opts).Score(facts, ClaimTable::FromClaims(std::move(claims), 1, 1));
+      TruthFinder(opts).Score(facts, ClaimGraph::FromClaims(std::move(claims), 1, 1));
   EXPECT_TRUE(std::isfinite(est.probability[0]));
   EXPECT_LE(est.probability[0], 1.0);
 }

@@ -20,12 +20,12 @@ TEST(UmbrellaHeaderTest, CoreFlowCompilesAndRuns) {
   options.burnin = 5;
   LatentTruthModel model(options);
   SourceQuality quality;
-  TruthEstimate estimate = model.RunWithQuality(ds.claims, &quality);
+  TruthEstimate estimate = model.RunWithQuality(ds.graph, &quality);
 
   EXPECT_EQ(estimate.probability.size(), ds.facts.NumFacts());
   EXPECT_EQ(quality.NumSources(), ds.raw.NumSources());
 
-  ClaimStats stats = ComputeClaimStats(ds.facts, ds.claims);
+  ClaimStats stats = ComputeClaimStats(ds.facts, ds.graph);
   EXPECT_EQ(stats.num_facts, 2u);
 
   TruthLabels labels(ds.facts.NumFacts());
