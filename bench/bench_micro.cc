@@ -27,6 +27,8 @@
 #include "data/dataset.h"
 #include "data/snapshot.h"
 #include "data/tsv_io.h"
+#include "store/truth_store.h"
+#include "store/wal.h"
 #include "synth/ltm_process.h"
 #include "synth/movie_simulator.h"
 #include "truth/ltm.h"
@@ -287,6 +289,99 @@ void BM_DatasetLoadSnapshot(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_DatasetLoadSnapshot);
+
+// ---------------------------------------------------------------------------
+// TruthStore ingest and recovery: WAL append throughput (the store's
+// write hot path — buffered appends, group-commit fsync excluded) and
+// WAL replay (the recovery hot path).
+
+std::vector<store::WalRecord> SampleWalRecords(size_t count) {
+  std::vector<store::WalRecord> records;
+  records.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    store::WalRecord r;
+    r.entity = "movie-" + std::to_string(i % 4096);
+    r.attribute = "director-" + std::to_string(i % 512);
+    r.source = "source-" + std::to_string(i % 64);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+void BM_WalAppend(benchmark::State& state) {
+  const std::string path = BenchFilePath("ltm_bench_wal_append.log");
+  std::remove(path.c_str());
+  auto writer = store::WalWriter::Open(path);
+  if (!writer.ok()) {
+    state.SkipWithError(writer.status().ToString().c_str());
+    return;
+  }
+  const std::vector<store::WalRecord> records = SampleWalRecords(1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    Status st = writer->Append(records[i++ & 1023]);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  (void)writer->Sync();  // one group commit for the whole run
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_StoreAppend(benchmark::State& state) {
+  const std::string dir = BenchFilePath("ltm_bench_store_append");
+  std::filesystem::remove_all(dir);
+  auto st = store::TruthStore::Open(dir);
+  if (!st.ok()) {
+    state.SkipWithError(st.status().ToString().c_str());
+    return;
+  }
+  const std::vector<store::WalRecord> records = SampleWalRecords(1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    Status s = (*st)->Append(records[i++ & 1023]);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  (void)(*st)->Sync();
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_StoreAppend);
+
+void BM_WalReplayRecovery(benchmark::State& state) {
+  const size_t num_records = static_cast<size_t>(state.range(0));
+  const std::string path = BenchFilePath("ltm_bench_wal_replay.log");
+  std::remove(path.c_str());
+  {
+    auto writer = store::WalWriter::Open(path);
+    if (!writer.ok()) {
+      state.SkipWithError(writer.status().ToString().c_str());
+      return;
+    }
+    for (const store::WalRecord& r : SampleWalRecords(num_records)) {
+      (void)writer->Append(r);
+    }
+    (void)writer->Sync();
+  }
+  for (auto _ : state) {
+    auto replay = store::ReplayWal(path);
+    if (!replay.ok()) {
+      state.SkipWithError(replay.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(replay->records.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_records));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_WalReplayRecovery)->Arg(10000)->Arg(100000);
 
 void BM_LtmIncPredict(benchmark::State& state) {
   const auto& data = SharedProcessData(state.range(0));

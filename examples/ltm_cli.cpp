@@ -1,14 +1,18 @@
-// ltm_cli: command-line truth finding over a TSV raw database or a
-// binary dataset snapshot.
+// ltm_cli: command-line truth finding over a TSV raw database, a binary
+// dataset snapshot, or a durable TruthStore directory.
 //
 //   ltm_cli <raw.tsv> [--method LTM] [--threshold 0.5] [--out truth.tsv]
 //           [--quality quality.tsv] [--iterations 200] [--seed 42]
 //           [--labels labels.tsv] [--save-snapshot data.snap]
 //   ltm_cli <data.snap> --snapshot [...]
+//   ltm_cli --store DIR [--append chunk.tsv] [--flush] [...]
 //
 // Input: one `entity<TAB>attribute<TAB>source` triple per line, or (with
 // --snapshot) a binary snapshot written by --save-snapshot — repeat runs
-// then skip TSV parsing and claim materialization entirely.
+// then skip TSV parsing and claim materialization entirely. With --store,
+// the dataset is materialized from a TruthStore directory (segments +
+// WAL-recovered tail); --append first durably ingests a TSV chunk into
+// the store's WAL (--flush also compacts the memtable into a segment).
 // Output: per-fact probabilities/decisions; optional per-source quality;
 // optional evaluation against a label file.
 
@@ -22,6 +26,7 @@
 #include "data/tsv_io.h"
 #include "eval/metrics.h"
 #include "eval/table_printer.h"
+#include "store/truth_store.h"
 #include "truth/ltm.h"
 #include "truth/registry.h"
 
@@ -35,6 +40,7 @@ void Usage() {
       "               [--iterations N] [--seed S] [--labels labels.tsv]\n"
       "               [--deadline SECONDS] [--trace]\n"
       "               [--snapshot] [--save-snapshot data.snap]\n"
+      "       ltm_cli --store DIR [--append chunk.tsv] [--flush] [...]\n"
       "SPEC is a method name, optionally parameterized:\n"
       "  LTM  \"LTM(iterations=200,seed=7)\"  \"TruthFinder(rho=0.5,gamma=0.3)\"\n"
       "methods:");
@@ -51,9 +57,15 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  std::string raw_path = argv[1];
+  // The positional input is optional when --store names the data source.
+  std::string raw_path;
+  int first_flag = 1;
+  if (std::string(argv[1]).rfind("--", 0) != 0) {
+    raw_path = argv[1];
+    first_flag = 2;
+  }
   std::map<std::string, std::string> flags;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = first_flag; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
       Usage();
@@ -69,8 +81,55 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (raw_path.empty() && !flags.count("store")) {
+    Usage();
+    return 2;
+  }
+  if (!raw_path.empty() && flags.count("store")) {
+    std::fprintf(stderr,
+                 "error: give either a positional input file or --store, not "
+                 "both (use --store DIR --append %s to ingest the file)\n",
+                 raw_path.c_str());
+    return 2;
+  }
+
   ltm::Dataset ds;
-  if (flags.count("snapshot")) {
+  if (flags.count("store")) {
+    auto store = ltm::store::TruthStore::Open(flags["store"]);
+    if (!store.ok()) {
+      std::fprintf(stderr, "error: %s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    if (flags.count("append")) {
+      auto chunk_raw = ltm::LoadRawDatabaseFromTsv(flags["append"]);
+      if (!chunk_raw.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     chunk_raw.status().ToString().c_str());
+        return 1;
+      }
+      ltm::Status st = (*store)->AppendRaw(*chunk_raw);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "appended %zu row(s) from %s\n",
+                   chunk_raw->NumRows(), flags["append"].c_str());
+    }
+    if (flags.count("flush")) {
+      ltm::Status st = (*store)->Flush();
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    auto materialized = (*store)->Materialize();
+    if (!materialized.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   materialized.status().ToString().c_str());
+      return 1;
+    }
+    ds = std::move(materialized).value();
+  } else if (flags.count("snapshot")) {
     auto loaded = ltm::Dataset::LoadSnapshot(raw_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());

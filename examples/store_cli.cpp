@@ -1,0 +1,152 @@
+// store_cli: operate on a TruthStore directory — ingest TSV chunks,
+// flush/compact, inspect, and verify integrity.
+//
+//   store_cli <dir> ingest <chunk.tsv> [--flush] [--sync-every-append]
+//   store_cli <dir> flush
+//   store_cli <dir> compact
+//   store_cli <dir> inspect
+//   store_cli <dir> verify
+//   store_cli <dir> materialize --out <raw.tsv>
+//
+// Every mutating command accepts --fail-at POINT: the process _exit()s
+// the moment a durability failpoint whose name contains POINT is hit —
+// a deterministic stand-in for SIGKILL at that instant, used by the CI
+// recovery smoke test. Useful POINTs: wal-append,
+// store-flush-segment-written, store-flush-wal-rotated,
+// store-compact-segment-written, atomic-write-before-rename (add
+// "MANIFEST" to target only the manifest commit).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "data/tsv_io.h"
+#include "store/truth_store.h"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: store_cli <dir> <command> [args]\n"
+      "commands:\n"
+      "  ingest <chunk.tsv> [--flush] [--sync-every-append]\n"
+      "  flush | compact | inspect | verify\n"
+      "  materialize --out <raw.tsv>\n"
+      "all mutating commands accept --fail-at POINT (simulated kill)\n");
+  return 2;
+}
+
+void ArmFailAt(const std::string& point) {
+  ltm::SetFailpointHandler([point](std::string_view at) -> ltm::Status {
+    if (at.find(point) != std::string_view::npos) {
+      std::fprintf(stderr, "store_cli: simulated kill at %.*s\n",
+                   static_cast<int>(at.size()), at.data());
+#if defined(_WIN32)
+      std::_Exit(137);
+#else
+      _exit(137);  // no cleanup, no buffer flush — like SIGKILL
+#endif
+    }
+    return ltm::Status::OK();
+  });
+}
+
+int Fail(const ltm::Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[1];
+  const std::string command = argv[2];
+  std::vector<std::string> rest(argv + 3, argv + argc);
+
+  std::string fail_at;
+  std::string tsv_path;
+  std::string out_path;
+  bool flush_after = false;
+  ltm::store::TruthStoreOptions options;
+  for (size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--fail-at" && i + 1 < rest.size()) {
+      fail_at = rest[++i];
+    } else if (rest[i] == "--flush") {
+      flush_after = true;
+    } else if (rest[i] == "--sync-every-append") {
+      options.sync_every_append = true;
+    } else if (rest[i] == "--out" && i + 1 < rest.size()) {
+      out_path = rest[++i];
+    } else if (rest[i].rfind("--", 0) != 0 && tsv_path.empty()) {
+      tsv_path = rest[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (!fail_at.empty()) ArmFailAt(fail_at);
+
+  if (command == "verify") {
+    auto report = ltm::store::TruthStore::Verify(dir);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s\n", report->Summary().c_str());
+    return 0;
+  }
+
+  auto store = ltm::store::TruthStore::Open(dir, options);
+  if (!store.ok()) return Fail(store.status());
+
+  if (command == "ingest") {
+    if (tsv_path.empty()) return Usage();
+    auto raw = ltm::LoadRawDatabaseFromTsv(tsv_path);
+    if (!raw.ok()) return Fail(raw.status());
+    // Ingest fast path: raw rows go straight to the WAL — no fact table
+    // or claim graph is built for an append.
+    ltm::Status st = (*store)->AppendRaw(*raw);
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "appended %zu row(s) from %s\n", raw->NumRows(),
+                 tsv_path.c_str());
+    if (flush_after) {
+      st = (*store)->Flush();
+      if (!st.ok()) return Fail(st);
+      std::fprintf(stderr, "flushed\n");
+    }
+  } else if (command == "flush") {
+    ltm::Status st = (*store)->Flush();
+    if (!st.ok()) return Fail(st);
+  } else if (command == "compact") {
+    ltm::Status st = (*store)->Compact();
+    if (!st.ok()) return Fail(st);
+  } else if (command == "inspect") {
+    const ltm::store::TruthStoreStats stats = (*store)->Stats();
+    std::printf("epoch:                %llu\n",
+                static_cast<unsigned long long>(stats.epoch));
+    std::printf("manifest generation:  %llu\n",
+                static_cast<unsigned long long>(stats.generation));
+    std::printf("segments:             %zu (%llu row(s))\n",
+                stats.num_segments,
+                static_cast<unsigned long long>(stats.segment_rows));
+    std::printf("memtable rows:        %zu\n", stats.memtable_rows);
+    std::printf("WAL records replayed: %llu%s\n",
+                static_cast<unsigned long long>(stats.wal_records_replayed),
+                stats.recovered_torn_tail ? " (torn tail truncated)" : "");
+  } else if (command == "materialize") {
+    if (out_path.empty()) return Usage();
+    auto ds = (*store)->Materialize();
+    if (!ds.ok()) return Fail(ds.status());
+    ltm::Status st = ltm::WriteRawDatabaseToTsv(ds->raw, out_path);
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "materialized %zu row(s) to %s\n",
+                 ds->raw.NumRows(), out_path.c_str());
+  } else {
+    return Usage();
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+namespace ltm {
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+std::function<Status(std::string_view)>& Handler() {
+  static auto* handler = new std::function<Status(std::string_view)>();
+  return *handler;
+}
+
+}  // namespace
+
+Status FailpointCheck(std::string_view point) {
+  if (!g_armed.load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!Handler()) return Status::OK();
+  return Handler()(point);
+}
+
+void SetFailpointHandler(std::function<Status(std::string_view)> handler) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Handler() = std::move(handler);
+  g_armed.store(static_cast<bool>(Handler()), std::memory_order_relaxed);
+}
+
+}  // namespace ltm

@@ -1,0 +1,47 @@
+#ifndef LTM_COMMON_FAILPOINT_H_
+#define LTM_COMMON_FAILPOINT_H_
+
+#include <functional>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ltm {
+
+/// Deterministic failure injection for crash-safety tests.
+///
+/// Durability-sensitive code (snapshot save, TruthStore flush/compaction)
+/// calls FailpointCheck("<point>") at each boundary where a real crash
+/// would leave partial on-disk state. In production no handler is
+/// installed and the check is a single relaxed atomic load. Tests install
+/// a handler that returns a non-OK Status at a chosen point — the
+/// operation stops right there, leaving the directory exactly as a
+/// process kill at that instant would (no cleanup, no in-memory state
+/// update) — and then reopen the store to exercise recovery. store_cli
+/// goes further and _exit()s at the point, for true-process-death smoke
+/// tests in CI.
+///
+/// Point names are hierarchical strings such as
+/// "atomic-write-before-rename:/path/to/MANIFEST" or
+/// "store-flush-segment-written"; handlers typically substring-match.
+Status FailpointCheck(std::string_view point);
+
+/// Installs (or with nullptr clears) the process-wide handler. Not
+/// thread-safe against concurrent FailpointCheck callers racing the
+/// installation itself — install before starting threads. Test-only.
+void SetFailpointHandler(std::function<Status(std::string_view)> handler);
+
+/// RAII installer: clears the handler on scope exit.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::function<Status(std::string_view)> handler) {
+    SetFailpointHandler(std::move(handler));
+  }
+  ~ScopedFailpoint() { SetFailpointHandler(nullptr); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_COMMON_FAILPOINT_H_

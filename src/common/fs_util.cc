@@ -1,0 +1,106 @@
+#include "common/fs_util.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/failpoint.h"
+
+#if defined(_WIN32)
+// No fsync on Windows in this codebase's toolchain scope; writes still go
+// through the atomic-rename protocol, only the durability barrier is a
+// no-op.
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#define LTM_HAVE_FSYNC 1
+#endif
+
+namespace ltm {
+
+Status FsyncFd(int fd, const std::string& path_for_error) {
+#ifdef LTM_HAVE_FSYNC
+  if (::fsync(fd) != 0) {
+    return Status::IOError("fsync failed: " + path_for_error);
+  }
+#else
+  (void)fd;
+  (void)path_for_error;
+#endif
+  return Status::OK();
+}
+
+Status FsyncFile(const std::string& path) {
+#ifdef LTM_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open for fsync: " + path);
+  Status st = FsyncFd(fd, path);
+  ::close(fd);
+  return st;
+#else
+  (void)path;
+  return Status::OK();
+#endif
+}
+
+Status SyncDirectory(const std::string& dir) {
+#ifdef LTM_HAVE_FSYNC
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IOError("cannot open directory for fsync: " + dir);
+  Status st = FsyncFd(fd, dir);
+  ::close(fd);
+  return st;
+#else
+  (void)dir;
+  return Status::OK();
+#endif
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  return AtomicWriteFile(path, contents, std::string_view());
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view header,
+                       std::string_view payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for writing: " + tmp);
+    if (!header.empty()) {
+      out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    }
+    if (!payload.empty()) {
+      out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
+  }
+  Status sync = FsyncFile(tmp);
+  if (!sync.ok()) {
+    std::remove(tmp.c_str());
+    return sync;
+  }
+
+  Status injected = FailpointCheck("atomic-write-before-rename:" + path);
+  if (!injected.ok()) {
+    std::remove(tmp.c_str());
+    return injected;
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IOError("atomic rename " + tmp + " -> " + path +
+                           " failed: " + ec.message());
+  }
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  return SyncDirectory(parent.empty() ? "." : parent);
+}
+
+}  // namespace ltm

@@ -1,0 +1,42 @@
+#ifndef LTM_COMMON_FS_UTIL_H_
+#define LTM_COMMON_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ltm {
+
+/// Durable-file primitives for the on-disk formats (snapshots, the
+/// TruthStore WAL and manifest). POSIX-only where it matters: fsync is a
+/// no-op stub on platforms without <unistd.h>.
+
+/// fsyncs an open file descriptor.
+Status FsyncFd(int fd, const std::string& path_for_error);
+
+/// Opens `path`, fsyncs it, closes it.
+Status FsyncFile(const std::string& path);
+
+/// fsyncs a directory so a rename/create inside it survives power loss.
+Status SyncDirectory(const std::string& dir);
+
+/// Writes `contents` to `path` crash-safely: write to `path + ".tmp"`,
+/// fsync, atomically rename over `path`, fsync the parent directory.
+/// An interrupted write can therefore never corrupt an existing `path` —
+/// either the old file survives intact or the new one is fully in place.
+///
+/// Calls FailpointCheck("atomic-write-before-rename:" + path) between the
+/// synced temp write and the rename; on injected failure the temp file is
+/// removed and the target left untouched, exactly like a crash there.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Same protocol, writing `header` then `payload` back to back — callers
+/// with a separately built header (snapshots, manifests) avoid
+/// concatenating a second full-size copy of the payload in memory.
+Status AtomicWriteFile(const std::string& path, std::string_view header,
+                       std::string_view payload);
+
+}  // namespace ltm
+
+#endif  // LTM_COMMON_FS_UTIL_H_

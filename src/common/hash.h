@@ -1,0 +1,28 @@
+#ifndef LTM_COMMON_HASH_H_
+#define LTM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ltm {
+
+/// FNV-1a 64-bit — the library's checksum for on-disk formats (dataset
+/// snapshots, WAL records, store manifests). Not cryptographic; it guards
+/// against truncation and bit rot, not adversaries.
+inline uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+}  // namespace ltm
+
+#endif  // LTM_COMMON_HASH_H_

@@ -93,6 +93,28 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
+std::shared_future<Status> ThreadPool::SubmitWithStatus(
+    std::function<Status()> job) {
+  auto promise = std::make_shared<std::promise<Status>>();
+  std::shared_future<Status> future = promise->get_future().share();
+  auto run = [promise, job = std::move(job)] {
+    try {
+      promise->set_value(job());
+    } catch (const std::exception& e) {
+      promise->set_value(
+          Status::Internal(std::string("background job threw: ") + e.what()));
+    } catch (...) {
+      promise->set_value(Status::Internal("background job threw"));
+    }
+  };
+  if (workers_.empty()) {
+    run();  // no workers to hand off to; run inline so the future resolves
+  } else {
+    Submit(std::move(run));
+  }
+  return future;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

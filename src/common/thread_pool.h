@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -42,6 +43,14 @@ class ThreadPool {
   /// Enqueues a task for any worker. Tasks must not throw (ParallelFor
   /// wraps user callbacks; raw Submit callers own their error handling).
   void Submit(std::function<void()> task);
+
+  /// Enqueues a background job whose outcome the caller wants to observe —
+  /// the TruthStore's background compaction is the canonical user. The
+  /// returned future yields the job's Status; an exception escaping `job`
+  /// is captured as an Internal status instead of terminating the worker.
+  /// The future is shared so several observers may wait on one job. On a
+  /// zero-worker pool the job runs inline before this returns.
+  std::shared_future<Status> SubmitWithStatus(std::function<Status()> job);
 
   /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) in chunks of
   /// `grain` (clamped to >= 1), concurrently on the workers plus the

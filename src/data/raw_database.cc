@@ -22,4 +22,18 @@ bool RawDatabase::Contains(EntityId e, AttributeId a, SourceId s) const {
   return seen_.contains(RawRow{e, a, s});
 }
 
+void RawDatabase::MergeRowsFrom(const RawDatabase& src,
+                                const std::string* min_entity,
+                                const std::string* max_entity) {
+  for (const RawRow& row : src.rows()) {
+    const std::string_view entity = src.entities().Get(row.entity);
+    if ((min_entity != nullptr && entity < *min_entity) ||
+        (max_entity != nullptr && entity > *max_entity)) {
+      continue;
+    }
+    Add(entity, src.attributes().Get(row.attribute),
+        src.sources().Get(row.source));
+  }
+}
+
 }  // namespace ltm

@@ -2,6 +2,7 @@
 #define LTM_DATA_RAW_DATABASE_H_
 
 #include <cstddef>
+#include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
@@ -69,6 +70,16 @@ class RawDatabase {
 
   /// True when the exact triple is present.
   bool Contains(EntityId e, AttributeId a, SourceId s) const;
+
+  /// Re-adds every row of `src` (by string, in row order, deduped),
+  /// optionally restricted to entities with key in
+  /// [*min_entity, *max_entity]. String-level adds rebuild a
+  /// first-appearance interning order identical to batch ingestion of the
+  /// concatenated row stream — the property the streaming pipeline and
+  /// the TruthStore's bit-identical materialization both rest on.
+  void MergeRowsFrom(const RawDatabase& src,
+                     const std::string* min_entity = nullptr,
+                     const std::string* max_entity = nullptr);
 
  private:
   StringInterner entities_;

@@ -8,20 +8,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/fs_util.h"
+#include "common/hash.h"
+
 namespace ltm {
 
 namespace {
 
 constexpr size_t kHeaderSize = 24;
-
-uint64_t Fnv1a64(const char* data, size_t size) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < size; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 Status RequireLittleEndianHost() {
   if constexpr (std::endian::native != std::endian::little) {
@@ -186,10 +180,6 @@ Status SaveDatasetSnapshot(const Dataset& dataset, const std::string& path) {
   }
 
   const std::string& bytes = payload.bytes();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open snapshot for writing: " + path);
-  }
   char header[kHeaderSize];
   std::memcpy(header, kSnapshotMagic, 4);
   const uint32_t version = kSnapshotVersion;
@@ -198,10 +188,12 @@ Status SaveDatasetSnapshot(const Dataset& dataset, const std::string& path) {
   std::memcpy(header + 8, &payload_size, 8);
   const uint64_t checksum = Fnv1a64(bytes.data(), bytes.size());
   std::memcpy(header + 16, &checksum, 8);
-  out.write(header, kHeaderSize);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::IOError("snapshot write failed: " + path);
-  return Status::OK();
+
+  // Crash-safe: temp write + fsync + atomic rename. An interrupted save
+  // can never corrupt an existing snapshot at `path`. Header and payload
+  // are passed separately so the (potentially large) payload is not
+  // copied a second time just to prepend 24 bytes.
+  return AtomicWriteFile(path, std::string_view(header, kHeaderSize), bytes);
 }
 
 Result<Dataset> LoadDatasetSnapshot(const std::string& path) {
@@ -234,11 +226,18 @@ Result<Dataset> LoadDatasetSnapshot(const std::string& path) {
   }
   uint64_t payload_size = 0;
   std::memcpy(&payload_size, file.data() + 8, 8);
-  if (payload_size != file.size() - kHeaderSize) {
+  const uint64_t actual_size = file.size() - kHeaderSize;
+  if (payload_size < actual_size) {
     return Status::InvalidArgument(
-        "corrupt snapshot: header promises " + std::to_string(payload_size) +
-        " payload bytes, file has " +
-        std::to_string(file.size() - kHeaderSize) + ": " + path);
+        "corrupt snapshot: " + std::to_string(actual_size - payload_size) +
+        " trailing garbage bytes after the " + std::to_string(payload_size) +
+        "-byte checksummed payload: " + path);
+  }
+  if (payload_size > actual_size) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: truncated — header promises " +
+        std::to_string(payload_size) + " payload bytes, file has " +
+        std::to_string(actual_size) + ": " + path);
   }
   uint64_t expected_checksum = 0;
   std::memcpy(&expected_checksum, file.data() + 16, 8);

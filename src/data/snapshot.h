@@ -42,7 +42,10 @@ namespace ltm {
 inline constexpr char kSnapshotMagic[4] = {'L', 'T', 'M', 'S'};
 inline constexpr uint32_t kSnapshotVersion = 1;
 
-/// Writes `dataset` to `path`. IOError when the file cannot be written.
+/// Writes `dataset` to `path` crash-safely: the bytes go to `path + ".tmp"`,
+/// are fsynced, and are atomically renamed over `path` — an interrupted
+/// save can never corrupt an existing snapshot. IOError when the file
+/// cannot be written.
 Status SaveDatasetSnapshot(const Dataset& dataset, const std::string& path);
 
 /// Reads a snapshot written by SaveDatasetSnapshot. IOError when the file

@@ -4,24 +4,13 @@
 #include <string>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/logging.h"
+#include "store/truth_store.h"
 #include "truth/registry.h"
 
 namespace ltm {
 namespace ext {
-
-namespace {
-
-/// Copies every row of `src` into `dst` (interning strings through dst's
-/// dictionaries; duplicates are deduped by RawDatabase).
-void MergeRaw(const RawDatabase& src, RawDatabase* dst) {
-  for (const RawRow& row : src.rows()) {
-    dst->Add(src.entities().Get(row.entity), src.attributes().Get(row.attribute),
-             src.sources().Get(row.source));
-  }
-}
-
-}  // namespace
 
 StreamingPipeline::StreamingPipeline(StreamingOptions options)
     : options_(std::move(options)), serving_(options_.ltm) {}
@@ -39,7 +28,7 @@ Status StreamingPipeline::Bootstrap(const Dataset& history,
   for (const std::string& s : history.raw.sources().strings()) {
     cumulative_.mutable_sources().Intern(s);
   }
-  MergeRaw(history.raw, &cumulative_);
+  cumulative_.MergeRowsFrom(history.raw);
   LTM_RETURN_IF_ERROR(Refit(ctx));
   bootstrapped_ = true;
   return Status::OK();
@@ -68,7 +57,7 @@ Status StreamingPipeline::Observe(const Dataset& chunk, const RunContext& ctx) {
   LTM_RETURN_IF_ERROR(serving_.Observe(chunk, obs.NestedContext()));
   LTM_ASSIGN_OR_RETURN(last_result_, serving_.Estimate());
   has_estimate_ = true;
-  MergeRaw(chunk.raw, &cumulative_);
+  cumulative_.MergeRowsFrom(chunk.raw);
   chunks_.push_back(chunk.graph.NumClaims());
   if (options_.refit_every_chunks > 0 &&
       chunks_.size() % options_.refit_every_chunks == 0) {
@@ -105,6 +94,163 @@ Result<ChunkResult> StreamingPipeline::IngestChunk(const Dataset& chunk,
   result.estimate = last_result_.estimate;
   result.refit = last_refit_;
   return result;
+}
+
+Status StreamingPipeline::BootstrapFromStore(store::TruthStore* store,
+                                             const RunContext& ctx) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("BootstrapFromStore: store is null");
+  }
+  uint64_t epoch = 0;
+  LTM_ASSIGN_OR_RETURN(const Dataset history, store->Materialize(&epoch));
+  if (history.raw.NumRows() > 0) {
+    LTM_RETURN_IF_ERROR(Bootstrap(history, ctx));
+  }
+  // Attach only after a successful fit so a failed bootstrap leaves the
+  // pipeline unchanged and retryable.
+  store_ = store;
+  last_fit_epoch_ = epoch;
+  return Status::OK();
+}
+
+Status StreamingPipeline::ObserveToStore(const Dataset& chunk,
+                                         const RunContext& ctx) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ObserveToStore: no store attached; call BootstrapFromStore first");
+  }
+  // One observer spans the append, the scoring, and a possible epoch
+  // refit, so the caller's deadline budget covers the whole ingest.
+  RunObserver obs(ctx, "StreamingLTM");
+  // Durability first: the chunk reaches the WAL (one group commit) before
+  // any scoring, so a crash after this line loses no evidence. A retry of
+  // a failed ObserveToStore skips the re-append when the identical chunk
+  // already reached the WAL — materialization would stay correct anyway
+  // (RawDatabase dedups) but the log and the epoch should not inflate.
+  uint64_t chunk_hash = 0xcbf29ce484222325ULL;
+  for (const RawRow& row : chunk.raw.rows()) {
+    chunk_hash = (chunk_hash ^ Fnv1a64(chunk.raw.entities().Get(row.entity))) *
+                 0x100000001b3ULL;
+    chunk_hash =
+        (chunk_hash ^ Fnv1a64(chunk.raw.attributes().Get(row.attribute))) *
+        0x100000001b3ULL;
+    chunk_hash = (chunk_hash ^ Fnv1a64(chunk.raw.sources().Get(row.source))) *
+                 0x100000001b3ULL;
+  }
+  if (!(pending_store_append_ && pending_append_hash_ == chunk_hash)) {
+    LTM_RETURN_IF_ERROR(store_->AppendDataset(chunk));
+    // Marked AFTER the append on purpose: a partially appended chunk
+    // (append error mid-way) must be re-appended on retry so its missing
+    // rows reach the WAL — the duplicated prefix is deduped by the
+    // memtable and only costs log bytes. Skipping is safe exactly when
+    // the whole chunk made it in.
+    pending_append_hash_ = chunk_hash;
+    pending_store_append_ = true;
+  }
+  // Rebuild the chunk with the pipeline's cumulative source-id space.
+  // Observe's contract requires chunks to share the fitted SourceId
+  // space, but a store-materialized bootstrap interns sources in ingest
+  // order — generally different from the caller's chunk vocabulary — so
+  // the durable path re-keys by source *name* instead of trusting ids.
+  // Entities and attributes stay chunk-local (row order is preserved, so
+  // the rebuilt FactTable matches the caller's fact indices).
+  RawDatabase rekeyed;
+  for (const std::string& s : cumulative_.sources().strings()) {
+    rekeyed.mutable_sources().Intern(s);
+  }
+  rekeyed.MergeRowsFrom(chunk.raw);
+  const Dataset canonical = Dataset::FromRaw(chunk.name, std::move(rekeyed));
+  LTM_RETURN_IF_ERROR(Observe(canonical, obs.NestedContext()));
+  // The epoch trigger runs even when a chunk-count refit just fired:
+  // that refit only covered cumulative_, while the epoch counts *all*
+  // durable evidence — including appends that never went through this
+  // pipeline (a foreign writer, or a chunk whose scoring failed after
+  // its WAL append). Conversely, last_fit_epoch_ advances ONLY here,
+  // where the fit provably covered the store's contents.
+  if (options_.ltm.refit_epoch_delta > 0 &&
+      store_->epoch() - last_fit_epoch_ >= options_.ltm.refit_epoch_delta) {
+    // Resync the in-memory cumulative mirror from the store so the refit
+    // covers exactly the evidence whose arrival triggered it —
+    // transactionally: the mirror swap is rolled back if the refit
+    // fails, so quality_ and cumulative_ can never be left with
+    // mismatched source-interning orders. NestedContext carries the
+    // budget remaining after the observe, so the refit cannot exceed the
+    // caller's deadline.
+    uint64_t fit_epoch = 0;
+    LTM_ASSIGN_OR_RETURN(Dataset durable, store_->Materialize(&fit_epoch));
+    std::swap(cumulative_, durable.raw);  // durable.raw now holds the old
+    Status refit = Refit(obs.NestedContext());
+    if (!refit.ok()) {
+      std::swap(cumulative_, durable.raw);  // Refit left quality_ as-is
+      // Undo the chunk count too: a retried ObserveToStore re-runs
+      // Observe in full. serving_'s transient double accumulation is
+      // absorbed by the next successful refit (same as Observe's own
+      // failed-refit path).
+      chunks_.pop_back();
+      return refit;
+    }
+    last_refit_ = true;
+    last_fit_epoch_ = fit_epoch;
+  }
+  pending_store_append_ = false;  // the chunk is fully absorbed
+  // The posterior cache is deliberately NOT warmed with last_result_:
+  // chunk posteriors only reflect the chunk's own claims, while a served
+  // posterior must combine all durable evidence for the fact. ServeFact
+  // computes (and caches) exactly that on first read.
+  return Status::OK();
+}
+
+Result<double> StreamingPipeline::ServeFact(const std::string& entity,
+                                            const std::string& attribute) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ServeFact: no store attached; call BootstrapFromStore first");
+  }
+  const std::string key = entity + "\t" + attribute;
+  if (auto hit = store_->posterior_cache().Get(key, store_->epoch())) {
+    return *hit;
+  }
+  // Miss: rebuild just this entity's slice — zone stats skip every
+  // segment whose entity range excludes it — and apply Eq. 3.
+  uint64_t epoch = 0;
+  LTM_ASSIGN_OR_RETURN(
+      const Dataset slice,
+      store_->MaterializeEntityRange(entity, entity, nullptr, &epoch));
+  double posterior = options_.ltm.beta.Mean();  // no-claim prior (Eq. 3)
+  const auto eid = slice.raw.entities().Find(entity);
+  const auto aid = slice.raw.attributes().Find(attribute);
+  if (eid.has_value() && aid.has_value()) {
+    if (const auto f = slice.facts.Find(*eid, *aid)) {
+      // The slice interns its own source ids; remap the learned quality
+      // by source name, falling back to the prior means for sources the
+      // last fit never saw (matching LtmIncremental's unseen-source rule).
+      SourceQuality sliced;
+      const size_t n = slice.raw.NumSources();
+      sliced.sensitivity.resize(n);
+      sliced.specificity.resize(n);
+      sliced.precision.resize(n, 0.0);
+      sliced.accuracy.resize(n, 0.0);
+      sliced.expected_counts.resize(n);
+      for (SourceId s = 0; s < n; ++s) {
+        const auto global =
+            cumulative_.sources().Find(slice.raw.sources().Get(s));
+        if (global.has_value() && *global < quality_.NumSources()) {
+          sliced.sensitivity[s] = quality_.sensitivity[*global];
+          sliced.specificity[s] = quality_.specificity[*global];
+        } else {
+          sliced.sensitivity[s] = options_.ltm.alpha1.Mean();
+          sliced.specificity[s] = 1.0 - options_.ltm.alpha0.Mean();
+        }
+      }
+      LtmIncremental scorer(std::move(sliced), options_.ltm);
+      RunContext rctx;
+      LTM_ASSIGN_OR_RETURN(const TruthResult result,
+                           scorer.Run(rctx, slice.facts, slice.graph));
+      posterior = result.estimate.probability[*f];
+    }
+  }
+  store_->posterior_cache().Put(key, epoch, posterior);
+  return posterior;
 }
 
 Status StreamingPipeline::Refit(const RunContext& ctx) {

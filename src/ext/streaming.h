@@ -2,6 +2,8 @@
 #define LTM_EXT_STREAMING_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
@@ -11,6 +13,9 @@
 #include "truth/streaming_method.h"
 
 namespace ltm {
+namespace store {
+class TruthStore;  // store/truth_store.h — only pointers appear here
+}  // namespace store
 namespace ext {
 
 /// Controls for the streaming deployment pattern of §5.4: LTMinc answers
@@ -85,10 +90,46 @@ class StreamingPipeline : public StreamingTruthMethod {
   Result<ChunkResult> IngestChunk(const Dataset& chunk,
                                   const RunContext& ctx = RunContext());
 
+  /// Attaches a durable TruthStore and bootstraps from it: materializes
+  /// the store's full dataset (segments + WAL-recovered memtable) and
+  /// batch-fits on it. This is the restartable-service entry point — a
+  /// process that crashed mid-stream reopens the store and resumes with
+  /// the identical cumulative evidence. `store` must outlive the
+  /// pipeline. An empty store attaches without fitting; the first
+  /// ObserveToStore cold-starts as usual.
+  Status BootstrapFromStore(store::TruthStore* store,
+                            const RunContext& ctx = RunContext());
+
+  /// Durable Observe: appends `chunk` to the attached store (one WAL
+  /// group commit) *before* scoring it with LTMinc. Refits batch-style
+  /// when either trigger fires: the chunk-count rule
+  /// (StreamingOptions::refit_every_chunks) or the epoch rule
+  /// (LtmOptions::refit_epoch_delta — the store advanced that many
+  /// epochs since the last fit; this refit resyncs the cumulative mirror
+  /// from the store, so durable appends that bypassed this pipeline are
+  /// covered too).
+  Status ObserveToStore(const Dataset& chunk,
+                        const RunContext& ctx = RunContext());
+
+  /// Online point read against the attached store: the posterior truth
+  /// probability of (entity, attribute) under the current source quality
+  /// (Eq. 3). Served from the store's LRU posterior cache when the entry
+  /// is current for the store epoch; on a miss, materializes only the
+  /// entity's segment range (zone-stat skipping) and scores it — no
+  /// refit, no full materialization. Unknown facts score at the beta
+  /// prior mean.
+  Result<double> ServeFact(const std::string& entity,
+                           const std::string& attribute);
+
+  store::TruthStore* attached_store() const { return store_; }
+
   /// Quality currently used for incremental predictions.
   const SourceQuality& quality() const { return quality_; }
 
   size_t num_chunks_ingested() const { return chunks_.size(); }
+
+  /// True when the most recent Observe/ObserveToStore triggered a refit.
+  bool last_refit() const { return last_refit_; }
 
  private:
   /// Batch-fits on cumulative_, installs the quality, and resets serving_
@@ -98,6 +139,15 @@ class StreamingPipeline : public StreamingTruthMethod {
   StreamingOptions options_;
   SourceQuality quality_;
   bool bootstrapped_ = false;
+  /// Durable backing store (not owned); null when running in-memory only.
+  store::TruthStore* store_ = nullptr;
+  /// Store epoch at the last batch fit, for the refit_epoch_delta trigger.
+  uint64_t last_fit_epoch_ = 0;
+  /// Retry bookkeeping for ObserveToStore: when an ingest failed after
+  /// its WAL append, a retry of the identical chunk (matched by content
+  /// hash) skips the re-append so the log and epoch do not inflate.
+  bool pending_store_append_ = false;
+  uint64_t pending_append_hash_ = 0;
   // Cumulative raw data (history + chunks) for periodic batch refits.
   RawDatabase cumulative_;
   std::vector<size_t> chunks_;  // claim counts per ingested chunk (stats)

@@ -1,0 +1,140 @@
+#include "store/manifest.h"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "common/fs_util.h"
+#include "common/hash.h"
+#include "store/record_io.h"
+
+namespace ltm {
+namespace store {
+
+namespace {
+
+constexpr size_t kManifestHeaderSize = 24;
+
+}  // namespace
+
+uint64_t Manifest::TotalSegmentRows() const {
+  uint64_t total = 0;
+  for (const SegmentInfo& seg : segments) total += seg.num_rows;
+  return total;
+}
+
+Result<Manifest> LoadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestFileName;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no manifest at " + path);
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("manifest read failed: " + path);
+
+  if (file.size() < kManifestHeaderSize) {
+    return Status::InvalidArgument(
+        "corrupt manifest: shorter than the header: " + path);
+  }
+  if (std::memcmp(file.data(), kManifestMagic, 4) != 0) {
+    return Status::InvalidArgument("corrupt manifest: bad magic: " + path);
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, file.data() + 4, sizeof(version));
+  if (version != kManifestVersion) {
+    return Status::InvalidArgument(
+        "unsupported manifest version " + std::to_string(version) + ": " +
+        path);
+  }
+  uint64_t payload_size = 0;
+  std::memcpy(&payload_size, file.data() + 8, sizeof(payload_size));
+  if (payload_size != file.size() - kManifestHeaderSize) {
+    return Status::InvalidArgument(
+        "corrupt manifest: payload size mismatch: " + path);
+  }
+  uint64_t expected_checksum = 0;
+  std::memcpy(&expected_checksum, file.data() + 16, sizeof(expected_checksum));
+  if (Fnv1a64(file.data() + kManifestHeaderSize, payload_size) !=
+      expected_checksum) {
+    return Status::InvalidArgument(
+        "corrupt manifest: checksum mismatch: " + path);
+  }
+
+  ByteReader r(file.data() + kManifestHeaderSize, payload_size);
+  Manifest m;
+  LTM_ASSIGN_OR_RETURN(m.generation, r.GetU64());
+  LTM_ASSIGN_OR_RETURN(m.next_segment_id, r.GetU64());
+  LTM_ASSIGN_OR_RETURN(m.wal_seq, r.GetU64());
+  LTM_ASSIGN_OR_RETURN(m.wal_file, r.GetString());
+  LTM_ASSIGN_OR_RETURN(const uint64_t num_segments, r.GetU64());
+  if (num_segments > r.Remaining()) {
+    return Status::InvalidArgument(
+        "corrupt manifest: segment count larger than payload: " + path);
+  }
+  m.segments.reserve(num_segments);
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    SegmentInfo seg;
+    LTM_ASSIGN_OR_RETURN(seg.id, r.GetU64());
+    LTM_ASSIGN_OR_RETURN(seg.file, r.GetString());
+    LTM_ASSIGN_OR_RETURN(seg.num_rows, r.GetU64());
+    LTM_ASSIGN_OR_RETURN(seg.num_facts, r.GetU64());
+    LTM_ASSIGN_OR_RETURN(seg.num_sources, r.GetU64());
+    LTM_ASSIGN_OR_RETURN(seg.num_claims, r.GetU64());
+    LTM_ASSIGN_OR_RETURN(seg.num_positive, r.GetU64());
+    LTM_ASSIGN_OR_RETURN(seg.min_entity, r.GetString());
+    LTM_ASSIGN_OR_RETURN(seg.max_entity, r.GetString());
+    if (seg.id >= m.next_segment_id) {
+      return Status::InvalidArgument(
+          "corrupt manifest: segment id " + std::to_string(seg.id) +
+          " >= next_segment_id " + std::to_string(m.next_segment_id) + ": " +
+          path);
+    }
+    if (!m.segments.empty() && seg.id <= m.segments.back().id) {
+      return Status::InvalidArgument(
+          "corrupt manifest: segment ids not strictly increasing: " + path);
+    }
+    m.segments.push_back(std::move(seg));
+  }
+  if (r.Remaining() != 0) {
+    return Status::InvalidArgument(
+        "corrupt manifest: " + std::to_string(r.Remaining()) +
+        " trailing bytes: " + path);
+  }
+  return m;
+}
+
+Status CommitManifest(const std::string& dir, const Manifest& manifest) {
+  ByteWriter payload;
+  payload.PutU64(manifest.generation);
+  payload.PutU64(manifest.next_segment_id);
+  payload.PutU64(manifest.wal_seq);
+  payload.PutString(manifest.wal_file);
+  payload.PutU64(manifest.segments.size());
+  for (const SegmentInfo& seg : manifest.segments) {
+    payload.PutU64(seg.id);
+    payload.PutString(seg.file);
+    payload.PutU64(seg.num_rows);
+    payload.PutU64(seg.num_facts);
+    payload.PutU64(seg.num_sources);
+    payload.PutU64(seg.num_claims);
+    payload.PutU64(seg.num_positive);
+    payload.PutString(seg.min_entity);
+    payload.PutString(seg.max_entity);
+  }
+
+  const std::string& bytes = payload.bytes();
+  char header[kManifestHeaderSize];
+  std::memcpy(header, kManifestMagic, 4);
+  const uint32_t version = kManifestVersion;
+  std::memcpy(header + 4, &version, sizeof(version));
+  const uint64_t payload_size = bytes.size();
+  std::memcpy(header + 8, &payload_size, sizeof(payload_size));
+  const uint64_t checksum = Fnv1a64(bytes);
+  std::memcpy(header + 16, &checksum, sizeof(checksum));
+
+  return AtomicWriteFile(dir + "/" + kManifestFileName,
+                         std::string_view(header, kManifestHeaderSize), bytes);
+}
+
+}  // namespace store
+}  // namespace ltm

@@ -1,0 +1,71 @@
+#ifndef LTM_STORE_MANIFEST_H_
+#define LTM_STORE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ltm {
+namespace store {
+
+/// Per-segment metadata tracked by the manifest. The zone stats
+/// (degree/positive counts and the lexicographic entity range) let
+/// materialization skip segments that cannot contain a query's entities
+/// without opening the files — the scan-skipping idea of
+/// provenance-based data skipping applied to claim segments.
+struct SegmentInfo {
+  uint64_t id = 0;
+  std::string file;  ///< filename relative to the store directory
+
+  // Zone stats, computed at flush/compaction time from the segment's
+  // materialized dataset.
+  uint64_t num_rows = 0;
+  uint64_t num_facts = 0;
+  uint64_t num_sources = 0;
+  uint64_t num_claims = 0;     ///< claim-graph degree total
+  uint64_t num_positive = 0;   ///< positive-claim count
+  std::string min_entity;      ///< lexicographically smallest entity key
+  std::string max_entity;      ///< lexicographically largest entity key
+
+  bool operator==(const SegmentInfo&) const = default;
+};
+
+/// The store's committed state: which segments exist (in ingest order —
+/// materialization replays them by ascending id to reproduce batch row
+/// order exactly) and which WAL file holds the tail that is newer than
+/// every segment. Commits are atomic (temp + fsync + rename), so a crash
+/// leaves either the old or the new manifest, never a mix.
+///
+/// File format: magic "LTMM", uint32 version, uint64 payload size,
+/// uint64 FNV-1a 64 checksum, then the checksummed payload (generation,
+/// next_segment_id, wal_seq, wal_file, segment list).
+struct Manifest {
+  uint64_t generation = 0;       ///< commit counter, monotonic
+  uint64_t next_segment_id = 1;  ///< id the next flush/compaction takes
+  uint64_t wal_seq = 1;          ///< sequence number of the active WAL
+  std::string wal_file;          ///< active WAL filename, e.g. wal-000001.log
+  std::vector<SegmentInfo> segments;
+
+  /// Sum of num_rows over all segments.
+  uint64_t TotalSegmentRows() const;
+};
+
+inline constexpr char kManifestMagic[4] = {'L', 'T', 'M', 'M'};
+inline constexpr uint32_t kManifestVersion = 1;
+inline constexpr char kManifestFileName[] = "MANIFEST";
+
+/// Loads `dir`/MANIFEST. NotFound when the file does not exist (a fresh
+/// store directory); InvalidArgument on any corruption — bad magic,
+/// version, truncation, checksum mismatch, or trailing bytes.
+Result<Manifest> LoadManifest(const std::string& dir);
+
+/// Serializes `manifest` and commits it to `dir`/MANIFEST via
+/// AtomicWriteFile (temp + fsync + atomic rename + directory fsync).
+Status CommitManifest(const std::string& dir, const Manifest& manifest);
+
+}  // namespace store
+}  // namespace ltm
+
+#endif  // LTM_STORE_MANIFEST_H_

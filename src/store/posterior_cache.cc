@@ -1,0 +1,68 @@
+#include "store/posterior_cache.h"
+
+namespace ltm {
+namespace store {
+
+std::optional<double> PosteriorCache::Get(const std::string& fact_key,
+                                          uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(fact_key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch) {
+    // Stale: computed against different evidence. Evict eagerly so the
+    // slot is free for the recomputed value.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->posterior;
+}
+
+void PosteriorCache::Put(const std::string& fact_key, uint64_t epoch,
+                         double posterior) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(fact_key);
+  if (it != index_.end()) {
+    it->second->epoch = epoch;
+    it->second->posterior = posterior;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{fact_key, epoch, posterior});
+  index_[fact_key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void PosteriorCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PosteriorCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+uint64_t PosteriorCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t PosteriorCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace store
+}  // namespace ltm

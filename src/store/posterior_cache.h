@@ -1,0 +1,59 @@
+#ifndef LTM_STORE_POSTERIOR_CACHE_H_
+#define LTM_STORE_POSTERIOR_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace ltm {
+namespace store {
+
+/// Thread-safe LRU cache of served fact posteriors, keyed on
+/// (fact key, store epoch). The epoch is the TruthStore's in-memory data
+/// version — it advances on every append and every manifest commit — so
+/// an entry computed before new evidence arrived can never be served
+/// afterwards: a Get with a newer epoch treats the stale entry as a miss
+/// and evicts it. This is what lets StreamingPipeline answer repeated
+/// online reads without refitting (§5.4 serving).
+class PosteriorCache {
+ public:
+  explicit PosteriorCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached posterior for `fact_key` when present *and*
+  /// computed at exactly `epoch`; a stale entry is erased and reported as
+  /// a miss.
+  std::optional<double> Get(const std::string& fact_key, uint64_t epoch);
+
+  /// Inserts or refreshes an entry, evicting least-recently-used entries
+  /// beyond capacity. A capacity of 0 disables caching.
+  void Put(const std::string& fact_key, uint64_t epoch, double posterior);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t epoch;
+    double posterior;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace store
+}  // namespace ltm
+
+#endif  // LTM_STORE_POSTERIOR_CACHE_H_

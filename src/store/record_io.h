@@ -1,0 +1,97 @@
+#ifndef LTM_STORE_RECORD_IO_H_
+#define LTM_STORE_RECORD_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ltm {
+namespace store {
+
+/// Little-endian byte serialization shared by the WAL and the manifest.
+/// The same shape as the snapshot's internal PayloadWriter/Reader, kept
+/// separate because the store formats are independent of the snapshot
+/// version and evolve on their own schedule.
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  void PutRaw(const void* data, size_t size) {
+    bytes_.append(static_cast<const char*>(data), size);
+  }
+
+  std::string bytes_;
+};
+
+/// Bounds-checked cursor: every getter fails with InvalidArgument instead
+/// of reading past the end, so a truncated or corrupted buffer cannot
+/// crash the reader.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  Result<uint8_t> GetU8() {
+    uint8_t v = 0;
+    LTM_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint32_t> GetU32() {
+    uint32_t v = 0;
+    LTM_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint64_t> GetU64() {
+    uint64_t v = 0;
+    LTM_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<std::string> GetString() {
+    LTM_ASSIGN_OR_RETURN(const uint32_t len, GetU32());
+    if (len > Remaining()) {
+      return Status::InvalidArgument(
+          "corrupt record: truncated string at byte " + std::to_string(pos_));
+    }
+    std::string s(data_ + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+
+ private:
+  Status GetRaw(void* out, size_t size) {
+    if (size > Remaining()) {
+      return Status::InvalidArgument(
+          "corrupt record: truncated at byte " + std::to_string(pos_));
+    }
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace store
+}  // namespace ltm
+
+#endif  // LTM_STORE_RECORD_IO_H_

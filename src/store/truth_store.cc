@@ -1,0 +1,566 @@
+#include "store/truth_store.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "data/snapshot.h"
+
+namespace ltm {
+namespace store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool MatchesPattern(std::string_view name, std::string_view prefix,
+                    std::string_view suffix) {
+  return name.size() >= prefix.size() + suffix.size() &&
+         name.substr(0, prefix.size()) == prefix &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+SegmentInfo MakeSegmentInfo(uint64_t id, const Dataset& ds) {
+  SegmentInfo info;
+  info.id = id;
+  info.file = SegmentFileName(id);
+  info.num_rows = ds.raw.NumRows();
+  info.num_facts = ds.facts.NumFacts();
+  info.num_sources = ds.raw.NumSources();
+  info.num_claims = ds.graph.NumClaims();
+  info.num_positive = ds.graph.NumPositiveClaims();
+  bool first = true;
+  for (const std::string& entity : ds.raw.entities().strings()) {
+    if (first || entity < info.min_entity) info.min_entity = entity;
+    if (first || entity > info.max_entity) info.max_entity = entity;
+    first = false;
+  }
+  return info;
+}
+
+/// Files in `dir` that the committed `manifest` does not account for:
+/// temp files, segments it never committed, rotated-but-uncommitted
+/// WALs. Open() removes them, Verify() reports them — one classifier so
+/// the two can never drift apart.
+std::vector<std::string> FindOrphanFiles(const std::string& dir,
+                                         const Manifest& manifest) {
+  std::vector<std::string> orphans;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    bool orphan = false;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      orphan = true;
+    } else if (MatchesPattern(name, "seg-", ".snap")) {
+      orphan = true;
+      for (const SegmentInfo& seg : manifest.segments) {
+        if (seg.file == name) orphan = false;
+      }
+    } else if (MatchesPattern(name, "wal-", ".log")) {
+      orphan = name != manifest.wal_file;
+    }
+    if (orphan) orphans.push_back(name);
+  }
+  return orphans;
+}
+
+}  // namespace
+
+std::string SegmentFileName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.snap",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string WalFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string StoreVerifyReport::Summary() const {
+  std::string s = "manifest generation " + std::to_string(generation) + ": " +
+                  std::to_string(segments) + " segment(s), " +
+                  std::to_string(segment_rows) + " segment row(s), " +
+                  std::to_string(wal_records) + " WAL record(s)";
+  if (wal_torn_tail) s += " (torn WAL tail ignored)";
+  if (!orphan_files.empty()) {
+    s += "; orphans:";
+    for (const std::string& f : orphan_files) s += " " + f;
+  }
+  return s;
+}
+
+TruthStore::TruthStore(std::string dir, TruthStoreOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      cache_(options.posterior_cache_capacity) {}
+
+std::string TruthStore::SegmentPath(const SegmentInfo& seg) const {
+  return dir_ + "/" + seg.file;
+}
+
+std::string TruthStore::WalPath(const std::string& file) const {
+  return dir_ + "/" + file;
+}
+
+Result<std::unique_ptr<TruthStore>> TruthStore::Open(
+    const std::string& dir, TruthStoreOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory " + dir + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<TruthStore> st(new TruthStore(dir, options));
+
+  Result<Manifest> loaded = LoadManifest(dir);
+  if (!loaded.ok() && loaded.status().code() == StatusCode::kNotFound) {
+    // Fresh directory: create the first WAL, then commit the first
+    // manifest (in that order, so a committed manifest never references a
+    // WAL that was never created).
+    // Distinguish a genuinely fresh directory (possibly with droppings of
+    // a crashed first open: a torn or empty WAL) from a store that LOST
+    // its manifest. Appends are only acknowledged after the first
+    // manifest commit, so a first-open crash can leave at most a
+    // header-sized WAL and no segments; anything more means committed
+    // data whose manifest is missing — re-initializing would destroy it.
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (MatchesPattern(name, "seg-", ".snap") ||
+          (MatchesPattern(name, "wal-", ".log") &&
+           fs::file_size(entry.path(), ec) > kWalHeaderSize)) {
+        return Status::FailedPrecondition(
+            "store directory " + dir + " has no MANIFEST but contains " +
+            name + "; refusing to re-initialize over existing store data");
+      }
+    }
+    Manifest fresh;
+    fresh.generation = 1;
+    fresh.next_segment_id = 1;
+    fresh.wal_seq = 1;
+    fresh.wal_file = WalFileName(1);
+    // Discard the crashed first open's torn/empty WAL (checked above to
+    // hold no records) rather than refusing to open.
+    fs::remove(dir + "/" + fresh.wal_file, ec);
+    LTM_ASSIGN_OR_RETURN(WalWriter wal,
+                         WalWriter::Open(dir + "/" + fresh.wal_file));
+    LTM_RETURN_IF_ERROR(CommitManifest(dir, fresh));
+    st->manifest_ = std::move(fresh);
+    st->wal_ = std::move(wal);
+    st->epoch_ = st->manifest_.generation;
+    return st;
+  }
+  LTM_RETURN_IF_ERROR(loaded.status());
+  st->manifest_ = std::move(loaded).value();
+
+  // Remove droppings of interrupted flushes/compactions: segment files
+  // the manifest never committed, rotated-but-uncommitted WALs, temp
+  // files. Everything the committed manifest references is kept.
+  for (const std::string& name : FindOrphanFiles(dir, st->manifest_)) {
+    LTM_LOG(Info) << "truthstore: removing orphan " << name;
+    fs::remove(dir + "/" + name, ec);
+  }
+
+  // Replay the WAL tail over the committed segment set, truncating any
+  // torn suffix so the appender resumes at the last intact record.
+  const std::string wal_path = st->WalPath(st->manifest_.wal_file);
+  if (fs::exists(wal_path)) {
+    LTM_ASSIGN_OR_RETURN(WalReplay replay, ReplayWal(wal_path));
+    if (replay.torn_tail) {
+      fs::resize_file(wal_path, replay.valid_bytes, ec);
+      if (ec) {
+        return Status::IOError("cannot truncate torn WAL tail of " + wal_path +
+                               ": " + ec.message());
+      }
+      st->recovered_torn_tail_ = true;
+      LTM_LOG(Info) << "truthstore: truncated torn WAL tail of " << wal_path
+                    << " at byte " << replay.valid_bytes;
+    }
+    for (const WalRecord& record : replay.records) {
+      if (record.observation != 1) {
+        return Status::InvalidArgument(
+            "WAL record with observation bit " +
+            std::to_string(record.observation) +
+            " (explicit negative observations are reserved): " + wal_path);
+      }
+      st->memtable_.Add(record.entity, record.attribute, record.source);
+    }
+    st->wal_records_replayed_ = replay.records.size();
+  } else {
+    LTM_LOG(Warning) << "truthstore: manifest references missing WAL "
+                     << wal_path << "; starting it empty";
+  }
+  LTM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(wal_path));
+  st->wal_ = std::move(wal);
+  st->epoch_ = st->manifest_.generation + st->wal_records_replayed_;
+  return st;
+}
+
+Status TruthStore::Append(const WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(record);
+}
+
+Status TruthStore::AppendLocked(const WalRecord& record) {
+  if (record.observation != 1) {
+    return Status::InvalidArgument(
+        "explicit negative observations are reserved; the store only "
+        "accepts observation = 1");
+  }
+  LTM_RETURN_IF_ERROR(wal_->Append(record));
+  if (options_.sync_every_append) {
+    LTM_RETURN_IF_ERROR(wal_->Sync());
+  }
+  memtable_.Add(record.entity, record.attribute, record.source);
+  ++epoch_;
+  if (options_.memtable_flush_rows > 0 &&
+      memtable_.NumRows() >= options_.memtable_flush_rows) {
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+Status TruthStore::AppendRaw(const RawDatabase& raw) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const RawRow& row : raw.rows()) {
+      WalRecord record;
+      record.entity = std::string(raw.entities().Get(row.entity));
+      record.attribute = std::string(raw.attributes().Get(row.attribute));
+      record.source = std::string(raw.sources().Get(row.source));
+      LTM_RETURN_IF_ERROR(AppendLocked(record));
+    }
+  }
+  return Sync();
+}
+
+Status TruthStore::AppendDataset(const Dataset& chunk) {
+  return AppendRaw(chunk.raw);
+}
+
+Status TruthStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->Sync();
+}
+
+Status TruthStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Result<bool> TruthStore::CommitOrAdopt(const Manifest& next) {
+  Status commit = CommitManifest(dir_, next);
+  if (commit.ok()) return false;
+  // CommitManifest can fail *after* its rename became visible (the
+  // trailing directory fsync). Treating that as "nothing happened" would
+  // leave this process appending to a WAL the on-disk manifest no longer
+  // references — silently losing acknowledged appends at the next open.
+  // So reconcile against disk: if the new manifest is the one visible,
+  // adopt the commit (degraded durability) instead of diverging from it.
+  Result<Manifest> on_disk = LoadManifest(dir_);
+  if (!on_disk.ok() || on_disk->generation != next.generation) {
+    return commit;  // the rename really did not land
+  }
+  LTM_LOG(Warning) << "truthstore: manifest commit generation "
+                   << next.generation
+                   << " is visible but not directory-synced ("
+                   << commit.ToString() << "); adopting it and keeping "
+                   << "superseded files";
+  return true;
+}
+
+Status TruthStore::FlushLocked() {
+  if (memtable_.NumRows() == 0) return Status::OK();
+
+  const uint64_t seg_id = manifest_.next_segment_id;
+  // Move the memtable into the segment dataset instead of copying it —
+  // the lock is held for the whole flush, so no appends race; Dataset
+  // keeps the raw rows, and a failed flush moves them straight back.
+  Dataset ds = Dataset::FromRaw(SegmentFileName(seg_id), std::move(memtable_));
+  memtable_ = RawDatabase();
+  const auto fail = [&](Status st) {
+    memtable_ = std::move(ds.raw);
+    return st;
+  };
+
+  Status save = SaveDatasetSnapshot(ds, dir_ + "/" + SegmentFileName(seg_id));
+  if (!save.ok()) return fail(std::move(save));
+  Status inject = FailpointCheck("store-flush-segment-written");
+  if (!inject.ok()) return fail(std::move(inject));
+
+  // Rotate the WAL before committing, so the committed manifest always
+  // references an existing file. A crash in between leaves an orphan WAL
+  // the next Open removes.
+  const uint64_t new_seq = manifest_.wal_seq + 1;
+  Result<WalWriter> new_wal = WalWriter::Open(WalPath(WalFileName(new_seq)));
+  if (!new_wal.ok()) return fail(new_wal.status());
+  inject = FailpointCheck("store-flush-wal-rotated");
+  if (!inject.ok()) return fail(std::move(inject));
+
+  Manifest next = manifest_;
+  next.generation++;
+  next.next_segment_id = seg_id + 1;
+  next.wal_seq = new_seq;
+  next.wal_file = WalFileName(new_seq);
+  next.segments.push_back(MakeSegmentInfo(seg_id, ds));
+  Result<bool> commit_adopted = CommitOrAdopt(next);
+  if (!commit_adopted.ok()) return fail(commit_adopted.status());
+
+  // Committed: only now mutate in-memory state and drop the old WAL.
+  // On an adopted (visible-but-unsynced) commit the old WAL is kept: if
+  // power loss reverts the rename, the old manifest still finds it.
+  const std::string old_wal = WalPath(manifest_.wal_file);
+  manifest_ = std::move(next);
+  wal_ = std::move(new_wal).value();
+  ++epoch_;
+  if (!*commit_adopted) {
+    std::error_code ec;
+    fs::remove(old_wal, ec);  // best-effort; Open() reaps leftovers
+  }
+  return Status::OK();
+}
+
+Status TruthStore::Compact() {
+  // One compaction at a time: a second caller (sync or async) would
+  // capture the same segment set, race the first commit, and could
+  // produce a manifest with out-of-order segment ids.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (compacting_) {
+      return Status::FailedPrecondition(
+          "a compaction is already running");
+    }
+    compacting_ = true;
+  }
+  Status st = CompactInner();
+  std::lock_guard<std::mutex> lock(mu_);
+  compacting_ = false;
+  return st;
+}
+
+Status TruthStore::CompactInner() {
+  std::vector<SegmentInfo> captured;
+  uint64_t merged_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (manifest_.segments.size() < 2) return Status::OK();
+    captured = manifest_.segments;
+    // Reserve the merged segment's id now so a concurrent flush cannot
+    // take it while the merge runs outside the lock.
+    merged_id = manifest_.next_segment_id++;
+  }
+
+  // Merge outside the lock: segment files are immutable, so appends and
+  // flushes proceed concurrently.
+  RawDatabase merged;
+  for (const SegmentInfo& seg : captured) {
+    LTM_ASSIGN_OR_RETURN(const Dataset ds,
+                         LoadDatasetSnapshot(SegmentPath(seg)));
+    merged.MergeRowsFrom(ds.raw);
+  }
+  Dataset ds = Dataset::FromRaw(SegmentFileName(merged_id), std::move(merged));
+  LTM_RETURN_IF_ERROR(
+      SaveDatasetSnapshot(ds, dir_ + "/" + SegmentFileName(merged_id)));
+  LTM_RETURN_IF_ERROR(FailpointCheck("store-compact-segment-written"));
+
+  bool commit_adopted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Manifest next = manifest_;
+    next.generation++;
+    next.segments.clear();
+    next.segments.push_back(MakeSegmentInfo(merged_id, ds));
+    // Segments flushed while the merge ran have ids above merged_id and
+    // stay, in order — their rows are newer than everything merged.
+    for (const SegmentInfo& seg : manifest_.segments) {
+      bool was_merged = false;
+      for (const SegmentInfo& old : captured) {
+        if (old.id == seg.id) was_merged = true;
+      }
+      if (!was_merged) next.segments.push_back(seg);
+    }
+    LTM_ASSIGN_OR_RETURN(commit_adopted, CommitOrAdopt(next));
+    manifest_ = std::move(next);
+    ++epoch_;
+  }
+
+  if (!commit_adopted) {
+    // Keep the merged-away segments when the commit's directory sync
+    // degraded: if power loss reverts the un-synced rename, the old
+    // manifest still finds its segment files on the next open.
+    std::error_code ec;
+    for (const SegmentInfo& seg : captured) {
+      fs::remove(SegmentPath(seg), ec);  // best-effort
+    }
+  }
+  LTM_LOG(Info) << "truthstore: compacted " << captured.size()
+                << " segments into " << SegmentFileName(merged_id) << " ("
+                << ds.raw.NumRows() << " rows)";
+  return Status::OK();
+}
+
+std::shared_future<Status> TruthStore::CompactAsync(ThreadPool& pool) {
+  std::shared_future<Status> job =
+      pool.SubmitWithStatus([this] { return Compact(); });
+  std::lock_guard<std::mutex> lock(mu_);
+  // Track every outstanding job (not just the latest — a fast-failing
+  // duplicate must not drop the handle to a still-running merge), pruning
+  // the ones that already resolved.
+  std::erase_if(pending_compactions_, [](const std::shared_future<Status>& f) {
+    return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  });
+  pending_compactions_.push_back(job);
+  return job;
+}
+
+TruthStore::~TruthStore() {
+  // Join all background compactions: their jobs captured `this` raw, so
+  // the store must stay alive until the pool has run (or drained) them.
+  std::vector<std::shared_future<Status>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(pending_compactions_);
+  }
+  for (const std::shared_future<Status>& job : pending) {
+    if (job.valid()) job.wait();
+  }
+}
+
+void TruthStore::SnapshotForRead(const std::string* min_entity,
+                                 const std::string* max_entity,
+                                 std::vector<SegmentInfo>* segments,
+                                 std::vector<WalRecord>* memtable_rows,
+                                 uint64_t* epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *segments = manifest_.segments;
+  *epoch = epoch_;
+  // Copy out only the rows the query needs — a point read must not stall
+  // concurrent appends for a full-memtable copy.
+  memtable_rows->clear();
+  for (const RawRow& row : memtable_.rows()) {
+    const std::string_view entity = memtable_.entities().Get(row.entity);
+    if ((min_entity != nullptr && entity < *min_entity) ||
+        (max_entity != nullptr && entity > *max_entity)) {
+      continue;
+    }
+    WalRecord record;
+    record.entity = std::string(entity);
+    record.attribute = std::string(memtable_.attributes().Get(row.attribute));
+    record.source = std::string(memtable_.sources().Get(row.source));
+    memtable_rows->push_back(std::move(record));
+  }
+}
+
+Result<Dataset> TruthStore::Materialize(uint64_t* epoch_out) const {
+  return MaterializeImpl(nullptr, nullptr, nullptr, epoch_out);
+}
+
+Result<Dataset> TruthStore::MaterializeEntityRange(
+    const std::string& min_entity, const std::string& max_entity,
+    RangeScanStats* stats, uint64_t* epoch_out) const {
+  return MaterializeImpl(&min_entity, &max_entity, stats, epoch_out);
+}
+
+Result<Dataset> TruthStore::MaterializeImpl(const std::string* min_entity,
+                                            const std::string* max_entity,
+                                            RangeScanStats* stats,
+                                            uint64_t* epoch_out) const {
+  // A concurrent compaction can commit and delete a segment file between
+  // our list snapshot and the load. The manifest it committed replaces
+  // the deleted files, so re-snapshotting and retrying converges; only a
+  // persistent failure (true corruption/removal) propagates.
+  Status last_error = Status::OK();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::vector<SegmentInfo> segments;
+    std::vector<WalRecord> memtable_rows;
+    uint64_t epoch = 0;
+    SnapshotForRead(min_entity, max_entity, &segments, &memtable_rows,
+                    &epoch);
+
+    RangeScanStats scan;
+    RawDatabase combined;
+    bool retry = false;
+    for (const SegmentInfo& seg : segments) {
+      if ((min_entity != nullptr && seg.max_entity < *min_entity) ||
+          (max_entity != nullptr && seg.min_entity > *max_entity)) {
+        ++scan.segments_skipped;
+        continue;  // zone stats prove the segment is outside the range
+      }
+      ++scan.segments_scanned;
+      Result<Dataset> ds = LoadDatasetSnapshot(SegmentPath(seg));
+      if (!ds.ok()) {
+        last_error = ds.status();
+        retry = true;
+        break;
+      }
+      combined.MergeRowsFrom(ds->raw, min_entity, max_entity);
+    }
+    if (retry) continue;
+    for (const WalRecord& record : memtable_rows) {
+      combined.Add(record.entity, record.attribute, record.source);
+    }
+    if (stats != nullptr) *stats = scan;
+    if (epoch_out != nullptr) *epoch_out = epoch;
+    return Dataset::FromRaw("truthstore:" + dir_, std::move(combined));
+  }
+  return last_error;
+}
+
+uint64_t TruthStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+TruthStoreStats TruthStore::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TruthStoreStats stats;
+  stats.epoch = epoch_;
+  stats.generation = manifest_.generation;
+  stats.num_segments = manifest_.segments.size();
+  stats.segment_rows = manifest_.TotalSegmentRows();
+  stats.memtable_rows = memtable_.NumRows();
+  stats.wal_records_replayed = wal_records_replayed_;
+  stats.recovered_torn_tail = recovered_torn_tail_;
+  return stats;
+}
+
+Result<StoreVerifyReport> TruthStore::Verify(const std::string& dir) {
+  LTM_ASSIGN_OR_RETURN(const Manifest manifest, LoadManifest(dir));
+  StoreVerifyReport report;
+  report.generation = manifest.generation;
+  for (const SegmentInfo& seg : manifest.segments) {
+    LTM_ASSIGN_OR_RETURN(const Dataset ds,
+                         LoadDatasetSnapshot(dir + "/" + seg.file));
+    const SegmentInfo actual = MakeSegmentInfo(seg.id, ds);
+    if (actual.num_rows != seg.num_rows ||
+        actual.num_facts != seg.num_facts ||
+        actual.num_sources != seg.num_sources ||
+        actual.num_claims != seg.num_claims ||
+        actual.num_positive != seg.num_positive ||
+        actual.min_entity != seg.min_entity ||
+        actual.max_entity != seg.max_entity) {
+      return Status::InvalidArgument(
+          "segment " + seg.file + " does not match its manifest zone stats");
+    }
+    ++report.segments;
+    report.segment_rows += seg.num_rows;
+  }
+  const std::string wal_path = dir + "/" + manifest.wal_file;
+  if (fs::exists(wal_path)) {
+    LTM_ASSIGN_OR_RETURN(const WalReplay replay, ReplayWal(wal_path));
+    report.wal_records = replay.records.size();
+    report.wal_torn_tail = replay.torn_tail;
+  }
+  report.orphan_files = FindOrphanFiles(dir, manifest);
+  return report;
+}
+
+}  // namespace store
+}  // namespace ltm

@@ -1,0 +1,224 @@
+#ifndef LTM_STORE_TRUTH_STORE_H_
+#define LTM_STORE_TRUTH_STORE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "store/manifest.h"
+#include "store/posterior_cache.h"
+#include "store/wal.h"
+
+namespace ltm {
+namespace store {
+
+/// Knobs for a TruthStore instance.
+struct TruthStoreOptions {
+  /// Auto-flush the memtable into a segment once it holds this many rows
+  /// (0 = flush only when Flush() is called).
+  size_t memtable_flush_rows = 0;
+  /// Capacity of the served-posterior LRU cache (0 disables it).
+  size_t posterior_cache_capacity = 4096;
+  /// fsync the WAL after every append. Off by default: appends are
+  /// durable at the next Sync()/Flush() (group commit), and a crash loses
+  /// at most the unsynced suffix.
+  bool sync_every_append = false;
+};
+
+/// Segment-skipping counters reported by MaterializeEntityRange.
+struct RangeScanStats {
+  size_t segments_scanned = 0;
+  size_t segments_skipped = 0;
+};
+
+/// Point-in-time store counters.
+struct TruthStoreStats {
+  uint64_t epoch = 0;
+  uint64_t generation = 0;
+  size_t num_segments = 0;
+  uint64_t segment_rows = 0;
+  size_t memtable_rows = 0;
+  uint64_t wal_records_replayed = 0;
+  bool recovered_torn_tail = false;
+};
+
+/// Offline integrity report (see TruthStore::Verify).
+struct StoreVerifyReport {
+  uint64_t generation = 0;
+  size_t segments = 0;
+  uint64_t segment_rows = 0;
+  uint64_t wal_records = 0;
+  bool wal_torn_tail = false;
+  std::vector<std::string> orphan_files;
+
+  std::string Summary() const;
+};
+
+/// A WAL-backed incremental claim store: the durable substrate for the
+/// §5.4 deployment story (LTMinc answers online while batch LTM refits
+/// periodically). LSM-shaped:
+///
+///   Append ─► WAL (checksummed records, group-commit fsync)
+///          └► memtable (an in-memory RawDatabase delta)
+///   Flush  ─► memtable becomes an immutable segment file (a PR 3 dataset
+///             snapshot) + the WAL rotates + the manifest commits
+///   Compact ─► all segments merge into one (optionally on a background
+///              common::ThreadPool job); appends proceed concurrently
+///
+/// The manifest commit is a temp-write + fsync + atomic rename, so every
+/// crash lands on a well-defined state: the committed segment set plus
+/// the active WAL's intact record prefix. Open() replays that WAL tail
+/// over the newest segment set, truncates any torn suffix, and removes
+/// orphan files from interrupted flushes/compactions.
+///
+/// Materialize() rebuilds the full Dataset by replaying segments in id
+/// order and then the memtable — the exact row order batch ingestion
+/// would have seen, so downstream posteriors are bit-identical to a
+/// one-shot batch load. MaterializeEntityRange() consults each segment's
+/// manifest zone stats (lexicographic entity range) to skip segments that
+/// cannot contain the queried entities without opening their files.
+///
+/// Thread-safe: appends, flushes, reads, and one background compaction
+/// may run concurrently. Not multi-process-safe — one TruthStore instance
+/// owns a directory at a time.
+class TruthStore {
+ public:
+  /// Opens (or initializes) the store at `dir`, creating the directory if
+  /// needed, and runs crash recovery as described above.
+  static Result<std::unique_ptr<TruthStore>> Open(
+      const std::string& dir, TruthStoreOptions options = TruthStoreOptions());
+
+  /// Joins any in-flight background compaction before tearing down.
+  ~TruthStore();
+
+  /// Appends one observation: WAL first, then the memtable. Records with
+  /// observation != 1 are rejected (explicit negative claims are reserved
+  /// in the record format but not yet served). May trigger an auto-flush
+  /// per `memtable_flush_rows`.
+  Status Append(const WalRecord& record);
+
+  /// Appends every row of `raw` (in row order) and then Sync()s — one
+  /// durable group commit per chunk. The ingest fast path: no fact table
+  /// or claim graph is needed or built.
+  Status AppendRaw(const RawDatabase& raw);
+
+  /// AppendRaw over `chunk.raw` (convenience for callers that already
+  /// materialized the chunk).
+  Status AppendDataset(const Dataset& chunk);
+
+  /// Makes all buffered appends durable (WAL fsync).
+  Status Sync();
+
+  /// Writes the memtable as a new immutable segment, rotates the WAL, and
+  /// commits the manifest. No-op on an empty memtable.
+  Status Flush();
+
+  /// Merges every segment into one, preserving ingest order, and commits.
+  /// No-op with fewer than two segments. Appends may proceed concurrently;
+  /// segments flushed while the merge runs survive unmerged. At most one
+  /// compaction (sync or async) at a time — a second concurrent call
+  /// fails with FailedPrecondition.
+  Status Compact();
+
+  /// Runs Compact() as a background job on `pool`; the future resolves
+  /// to FailedPrecondition when a compaction is already in flight. The
+  /// store's destructor joins the job, so destroying the store without
+  /// waiting on the future is safe (the pool must outlive the store).
+  std::shared_future<Status> CompactAsync(ThreadPool& pool);
+
+  /// Full rebuild: segments in id order, then the memtable. When
+  /// `epoch_out` is non-null it receives the epoch the materialized data
+  /// corresponds to (for posterior-cache keying).
+  Result<Dataset> Materialize(uint64_t* epoch_out = nullptr) const;
+
+  /// Rebuild restricted to entities with lexicographic key in
+  /// [min_entity, max_entity], skipping segments whose zone stats exclude
+  /// the range entirely.
+  Result<Dataset> MaterializeEntityRange(const std::string& min_entity,
+                                         const std::string& max_entity,
+                                         RangeScanStats* stats = nullptr,
+                                         uint64_t* epoch_out = nullptr) const;
+
+  /// In-memory data version: advances on every append and every manifest
+  /// commit. Keys the posterior cache.
+  uint64_t epoch() const;
+
+  TruthStoreStats Stats() const;
+
+  PosteriorCache& posterior_cache() { return cache_; }
+
+  const std::string& dir() const { return dir_; }
+
+  /// Offline integrity check of a store directory: manifest readable,
+  /// every segment loads with a valid checksum and matches its manifest
+  /// zone stats, the WAL replays (reporting a torn tail), and orphan
+  /// files are listed. Does not modify anything.
+  static Result<StoreVerifyReport> Verify(const std::string& dir);
+
+ private:
+  TruthStore(std::string dir, TruthStoreOptions options);
+
+  Status FlushLocked();
+  Status AppendLocked(const WalRecord& record);
+  /// Compact() body, running with the compacting_ flag held.
+  Status CompactInner();
+  /// Commits `next`, reconciling a failure against what is visible on
+  /// disk: returns false for a clean commit, true when the commit's
+  /// rename landed but the trailing directory fsync failed (the caller
+  /// must then keep superseded files so a power-loss rollback of the
+  /// un-synced rename still finds them). Any other failure propagates.
+  /// Caller holds mu_.
+  Result<bool> CommitOrAdopt(const Manifest& next);
+  std::string SegmentPath(const SegmentInfo& seg) const;
+  std::string WalPath(const std::string& file) const;
+
+  /// Shared body of Materialize / MaterializeEntityRange; a null bound
+  /// means unbounded on that side.
+  Result<Dataset> MaterializeImpl(const std::string* min_entity,
+                                  const std::string* max_entity,
+                                  RangeScanStats* stats,
+                                  uint64_t* epoch_out) const;
+
+  /// Copies the state Materialize needs under the lock: the segment
+  /// list, the epoch, and the memtable rows (as strings, restricted to
+  /// [*min_entity, *max_entity] when non-null).
+  void SnapshotForRead(const std::string* min_entity,
+                       const std::string* max_entity,
+                       std::vector<SegmentInfo>* segments,
+                       std::vector<WalRecord>* memtable_rows,
+                       uint64_t* epoch) const;
+
+  const std::string dir_;
+  const TruthStoreOptions options_;
+
+  mutable std::mutex mu_;
+  Manifest manifest_;
+  RawDatabase memtable_;
+  std::optional<WalWriter> wal_;
+  uint64_t epoch_ = 0;
+  uint64_t wal_records_replayed_ = 0;
+  bool recovered_torn_tail_ = false;
+  bool compacting_ = false;
+  /// Outstanding CompactAsync jobs (each captures `this`); pruned as they
+  /// resolve and joined by the destructor.
+  std::vector<std::shared_future<Status>> pending_compactions_;
+
+  PosteriorCache cache_;
+};
+
+/// Formats a segment filename ("seg-000042.snap") / WAL filename
+/// ("wal-000007.log") for `id`.
+std::string SegmentFileName(uint64_t id);
+std::string WalFileName(uint64_t seq);
+
+}  // namespace store
+}  // namespace ltm
+
+#endif  // LTM_STORE_TRUTH_STORE_H_

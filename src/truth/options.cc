@@ -82,6 +82,9 @@ Result<LtmOptions> LtmOptionsFromSpec(const MethodOptions& spec_options,
   LTM_ASSIGN_OR_RETURN(
       base.positive_claims_only,
       spec_options.GetBool("positive_only", base.positive_claims_only));
+  LTM_ASSIGN_OR_RETURN(
+      base.refit_epoch_delta,
+      spec_options.GetUint64("refit_epoch_delta", base.refit_epoch_delta));
   LTM_ASSIGN_OR_RETURN(base.alpha0.pos,
                        spec_options.GetDouble("alpha0_pos", base.alpha0.pos));
   LTM_ASSIGN_OR_RETURN(base.alpha0.neg,

@@ -65,6 +65,15 @@ struct LtmOptions {
   /// When true, negative claims are ignored (the LTMpos ablation of §6.2).
   bool positive_claims_only = false;
 
+  /// Epoch-aware refit trigger for store-backed streaming (§5.4 online
+  /// serving over a TruthStore), spec key `refit_epoch_delta`. The
+  /// store's epoch advances on every append and every flush/compaction
+  /// commit; a store-attached StreamingPipeline refits batch LTM once the
+  /// store has advanced at least this many epochs past the last fit.
+  /// 0 (default) disables the epoch trigger — only the chunk-count
+  /// trigger (StreamingOptions::refit_every_chunks) applies.
+  uint64_t refit_epoch_delta = 0;
+
   /// Decision threshold on the posterior truth probability (§5.2).
   double truth_threshold = 0.5;
 

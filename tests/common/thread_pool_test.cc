@@ -151,5 +151,35 @@ TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
   EXPECT_GE(ThreadPool::Shared().num_workers(), 1);
 }
 
+TEST(ThreadPoolTest, SubmitWithStatusResolvesTheFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.SubmitWithStatus([] { return Status::OK(); });
+  EXPECT_TRUE(ok.get().ok());
+  auto err = pool.SubmitWithStatus(
+      [] { return Status::IOError("disk on fire"); });
+  EXPECT_EQ(err.get().code(), StatusCode::kIOError);
+  EXPECT_EQ(err.get().message(), "disk on fire");
+}
+
+TEST(ThreadPoolTest, SubmitWithStatusCapturesExceptionsAsInternal) {
+  ThreadPool pool(1);
+  auto f = pool.SubmitWithStatus(
+      []() -> Status { throw std::runtime_error("boom"); });
+  EXPECT_EQ(f.get().code(), StatusCode::kInternal);
+  EXPECT_NE(f.get().message().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, SubmitWithStatusRunsInlineOnAZeroWorkerPool) {
+  ThreadPool pool(0);
+  std::atomic<bool> ran{false};
+  auto f = pool.SubmitWithStatus([&] {
+    ran = true;
+    return Status::OK();
+  });
+  // No workers exist, so the job must already have run.
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(f.get().ok());
+}
+
 }  // namespace
 }  // namespace ltm

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
+#include "common/failpoint.h"
 #include "data/tsv_io.h"
 #include "test_util.h"
 #include "truth/ltm.h"
@@ -181,6 +183,59 @@ TEST_F(SnapshotTest, RejectsTrailingGarbage) {
   // The payload-size header no longer matches the file size.
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression (satellite): a single appended byte is called out as
+// trailing garbage, not misreported as truncation or a checksum error.
+TEST_F(SnapshotTest, SingleTrailingByteIsReportedAsTrailingGarbage) {
+  const std::string path = Path("trailing1.snap");
+  ASSERT_TRUE(LabeledDataset().SaveSnapshot(path).ok());
+  std::string bytes = ReadFile(path);
+  bytes += '\0';
+  WriteFile(path, bytes);
+  auto loaded = Dataset::LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("trailing garbage"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("1 trailing"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+// Crash-safety (satellite): a failure injected between the temp-file
+// write and the atomic rename must leave an existing snapshot untouched
+// and byte-identical — an interrupted save can never corrupt it.
+TEST_F(SnapshotTest, InterruptedSaveLeavesExistingSnapshotIntact) {
+  const std::string path = Path("atomic.snap");
+  Dataset original = LabeledDataset();
+  ASSERT_TRUE(original.SaveSnapshot(path).ok());
+  const std::string before = ReadFile(path);
+
+  Dataset replacement = Dataset::FromRaw("rand", testing::RandomRaw(3));
+  {
+    ScopedFailpoint crash([](std::string_view point) {
+      return point.find("atomic-write-before-rename") != std::string_view::npos
+                 ? Status::Internal("injected crash before rename")
+                 : Status::OK();
+    });
+    Status st = replacement.SaveSnapshot(path);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInternal);
+  }
+  // The original bytes survive, the file still loads, and no temp file
+  // is left behind.
+  EXPECT_EQ(ReadFile(path), before);
+  auto loaded = Dataset::LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(original, *loaded);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // With the failpoint cleared the save goes through.
+  ASSERT_TRUE(replacement.SaveSnapshot(path).ok());
+  loaded = Dataset::LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectDatasetsEqual(replacement, *loaded);
 }
 
 TEST_F(SnapshotTest, SaveToUnwritablePathIsIOError) {

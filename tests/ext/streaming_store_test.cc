@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ext/streaming.h"
+#include "store/truth_store.h"
+#include "test_util.h"
+#include "truth/ltm.h"
+#include "truth/ltm_incremental.h"
+
+namespace ltm {
+namespace ext {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StreamingStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/streaming_store_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    world_ = Dataset::FromRaw("world", testing::RandomRaw(17));
+    // Split entities into a bootstrap history and two arriving chunks.
+    std::vector<EntityId> first_half;
+    for (EntityId e = 0; e < world_.raw.NumEntities() / 2; ++e) {
+      first_half.push_back(e);
+    }
+    auto [arrivals, history] = world_.SplitByEntities(first_half);
+    history_ = std::move(history);
+    std::vector<EntityId> odd;
+    for (EntityId e = 0; e < arrivals.raw.NumEntities(); e += 2) {
+      odd.push_back(e);
+    }
+    auto [chunk_b, chunk_a] = arrivals.SplitByEntities(odd);
+    chunk_a_ = std::move(chunk_a);
+    chunk_b_ = std::move(chunk_b);
+  }
+
+  StreamingOptions Options() {
+    StreamingOptions options;
+    options.ltm = LtmOptions::ScaledDefaults(world_.facts.NumFacts());
+    options.ltm.iterations = 40;
+    options.ltm.burnin = 10;
+    options.ltm.seed = 5;
+    options.refit_every_chunks = 0;  // tests arm triggers explicitly
+    return options;
+  }
+
+  std::string FactKey(const Dataset& ds, FactId f, std::string* entity,
+                      std::string* attribute) {
+    const Fact& fact = ds.facts.fact(f);
+    *entity = std::string(ds.raw.entities().Get(fact.entity));
+    *attribute = std::string(ds.raw.attributes().Get(fact.attribute));
+    return *entity + "\t" + *attribute;
+  }
+
+  std::string dir_;
+  Dataset world_;
+  Dataset history_;
+  Dataset chunk_a_;
+  Dataset chunk_b_;
+};
+
+TEST_F(StreamingStoreTest, ObserveToStoreRequiresAnAttachedStore) {
+  StreamingPipeline pipeline(Options());
+  Status st = pipeline.ObserveToStore(chunk_a_);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pipeline.ServeFact("e", "a").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StreamingStoreTest, BootstrapObserveAndServeAgainstTheStore) {
+  auto store = store::TruthStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendDataset(history_).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  StreamingPipeline pipeline(Options());
+  ASSERT_TRUE(pipeline.BootstrapFromStore(store->get()).ok());
+  ASSERT_TRUE(pipeline.ObserveToStore(chunk_a_).ok());
+
+  // The store now durably holds history + chunk_a.
+  auto ds = (*store)->Materialize();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->raw.NumRows(),
+            history_.raw.NumRows() + chunk_a_.raw.NumRows());
+
+  // ServeFact answers a point read: the first read computes from the
+  // entity's slice and caches; a repeat read at the same epoch is a hit.
+  std::string entity, attribute;
+  FactKey(chunk_a_, 0, &entity, &attribute);
+  auto served = pipeline.ServeFact(entity, attribute);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  const uint64_t hits_before = (*store)->posterior_cache().hits();
+  auto repeat = pipeline.ServeFact(entity, attribute);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_GT((*store)->posterior_cache().hits(), hits_before);
+  EXPECT_DOUBLE_EQ(*served, *repeat);
+
+  // The chunk's entities are new, so the full-evidence posterior agrees
+  // with the chunk estimate LTMinc produced.
+  auto estimate = pipeline.Estimate();
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*served, estimate->estimate.probability[0], 1e-9);
+
+  // An entity nobody ever claimed scores at the beta prior mean.
+  auto unknown = pipeline.ServeFact("no-such-entity", "no-such-attr");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_DOUBLE_EQ(*unknown, Options().ltm.beta.Mean());
+}
+
+TEST_F(StreamingStoreTest, ServeFactRecomputesAfterNewEvidence) {
+  auto store = store::TruthStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendDataset(history_).ok());
+
+  StreamingPipeline pipeline(Options());
+  ASSERT_TRUE(pipeline.BootstrapFromStore(store->get()).ok());
+
+  std::string entity, attribute;
+  FactKey(history_, 0, &entity, &attribute);
+  auto first = pipeline.ServeFact(entity, attribute);
+  ASSERT_TRUE(first.ok());
+  // Second read at the same epoch: served from cache.
+  const uint64_t misses_before = (*store)->posterior_cache().misses();
+  auto second = pipeline.ServeFact(entity, attribute);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*store)->posterior_cache().misses(), misses_before);
+  EXPECT_DOUBLE_EQ(*first, *second);
+
+  // New evidence advances the store epoch; the stale entry must not be
+  // served even though the key is cached.
+  ASSERT_TRUE(pipeline.ObserveToStore(chunk_a_).ok());
+  auto third = pipeline.ServeFact(entity, attribute);
+  ASSERT_TRUE(third.ok());
+  EXPECT_GT((*store)->posterior_cache().misses(), misses_before);
+}
+
+TEST_F(StreamingStoreTest, ServeFactMatchesFullGraphClosedForm) {
+  auto store = store::TruthStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendDataset(history_).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  StreamingPipeline pipeline(Options());
+  ASSERT_TRUE(pipeline.BootstrapFromStore(store->get()).ok());
+
+  // Reference: LTMinc over the full materialized graph with the
+  // pipeline's learned quality. ServeFact rebuilds only the entity's
+  // slice; per-fact Eq. 3 must agree to FP noise.
+  auto full = (*store)->Materialize();
+  ASSERT_TRUE(full.ok());
+  LtmIncremental reference(pipeline.quality(), Options().ltm);
+  TruthEstimate est = reference.Score(full->facts, full->graph);
+  for (FactId f = 0; f < full->facts.NumFacts(); f += 7) {
+    std::string entity, attribute;
+    FactKey(*full, f, &entity, &attribute);
+    auto served = pipeline.ServeFact(entity, attribute);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_NEAR(*served, est.probability[f], 1e-9) << "fact " << f;
+  }
+}
+
+TEST_F(StreamingStoreTest, EpochDeltaTriggersRefit) {
+  auto store = store::TruthStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendDataset(history_).ok());
+
+  StreamingOptions options = Options();
+  options.ltm.refit_epoch_delta = 1;  // any new evidence forces a refit
+  StreamingPipeline eager(options);
+  ASSERT_TRUE(eager.BootstrapFromStore(store->get()).ok());
+  ASSERT_TRUE(eager.ObserveToStore(chunk_a_).ok());
+  EXPECT_TRUE(eager.last_refit());
+
+  // With the trigger disabled, the same ingest does not refit.
+  auto store2 = store::TruthStore::Open(dir_ + "_no_trigger");
+  ASSERT_TRUE(store2.ok());
+  ASSERT_TRUE((*store2)->AppendDataset(history_).ok());
+  StreamingPipeline lazy(Options());
+  ASSERT_TRUE(lazy.BootstrapFromStore(store2->get()).ok());
+  ASSERT_TRUE(lazy.ObserveToStore(chunk_a_).ok());
+  EXPECT_FALSE(lazy.last_refit());
+}
+
+// The epoch trigger covers durable evidence that bypassed this pipeline
+// (a foreign writer appending straight to the store) — even when the
+// chunk-count trigger also fires, which only refits the in-memory mirror.
+TEST_F(StreamingStoreTest, EpochRefitCoversForeignDurableAppends) {
+  auto store = store::TruthStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendDataset(history_).ok());
+
+  StreamingOptions options = Options();
+  options.refit_every_chunks = 1;     // chunk-count refit every observe
+  options.ltm.refit_epoch_delta = 1;  // and the epoch trigger is armed
+  StreamingPipeline pipeline(options);
+  ASSERT_TRUE(pipeline.BootstrapFromStore(store->get()).ok());
+
+  // Foreign writer: evidence reaches the store without the pipeline.
+  ASSERT_TRUE((*store)->AppendDataset(chunk_b_).ok());
+  ASSERT_TRUE(pipeline.ObserveToStore(chunk_a_).ok());
+  EXPECT_TRUE(pipeline.last_refit());
+
+  // The final fit must equal a batch fit over the store's full contents
+  // (history + foreign chunk_b + chunk_a) — bit-identical, same seed.
+  auto full = (*store)->Materialize();
+  ASSERT_TRUE(full.ok());
+  LatentTruthModel reference(options.ltm);
+  RunContext ctx;
+  ctx.with_quality = true;
+  auto ref = reference.Run(ctx, full->facts, full->graph);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(pipeline.quality().sensitivity, ref->quality->sensitivity);
+  EXPECT_EQ(pipeline.quality().specificity, ref->quality->specificity);
+}
+
+// The restartable-service pin: a fresh process that reopens the store and
+// bootstraps sees exactly the batch fit over everything ever ingested.
+TEST_F(StreamingStoreTest, RestartResumesFromDurableState) {
+  {
+    auto store = store::TruthStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    StreamingPipeline pipeline(Options());
+    ASSERT_TRUE((*store)->AppendDataset(history_).ok());
+    ASSERT_TRUE(pipeline.BootstrapFromStore(store->get()).ok());
+    ASSERT_TRUE(pipeline.ObserveToStore(chunk_a_).ok());
+    ASSERT_TRUE(pipeline.ObserveToStore(chunk_b_).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }  // process "dies"
+
+  auto reopened = store::TruthStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  StreamingPipeline resumed(Options());
+  ASSERT_TRUE(resumed.BootstrapFromStore(reopened->get()).ok());
+
+  // Reference: batch LTM on the store's materialized cumulative data.
+  auto cumulative = (*reopened)->Materialize();
+  ASSERT_TRUE(cumulative.ok());
+  LtmOptions opts = Options().ltm;
+  LatentTruthModel reference(opts);
+  RunContext ctx;
+  ctx.with_quality = true;
+  auto ref = reference.Run(ctx, cumulative->facts, cumulative->graph);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(resumed.quality().sensitivity, ref->quality->sensitivity);
+  EXPECT_EQ(resumed.quality().specificity, ref->quality->specificity);
+}
+
+}  // namespace
+}  // namespace ext
+}  // namespace ltm

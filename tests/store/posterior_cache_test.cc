@@ -1,0 +1,76 @@
+#include "store/posterior_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace ltm {
+namespace store {
+namespace {
+
+TEST(PosteriorCacheTest, HitAfterPut) {
+  PosteriorCache cache(4);
+  cache.Put("hp\tradcliffe", 7, 0.9);
+  auto hit = cache.Get("hp\tradcliffe", 7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.9);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(PosteriorCacheTest, MissOnUnknownKey) {
+  PosteriorCache cache(4);
+  EXPECT_FALSE(cache.Get("nope", 1).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PosteriorCacheTest, StaleEpochIsAMissAndEvicts) {
+  PosteriorCache cache(4);
+  cache.Put("k", 1, 0.4);
+  // New evidence arrived (epoch advanced): the cached posterior no longer
+  // reflects the store and must not be served.
+  EXPECT_FALSE(cache.Get("k", 2).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  // Even asking again with the original epoch misses now.
+  EXPECT_FALSE(cache.Get("k", 1).has_value());
+}
+
+TEST(PosteriorCacheTest, LruEvictionDropsTheColdestEntry) {
+  PosteriorCache cache(2);
+  cache.Put("a", 1, 0.1);
+  cache.Put("b", 1, 0.2);
+  ASSERT_TRUE(cache.Get("a", 1).has_value());  // warms "a"
+  cache.Put("c", 1, 0.3);                      // evicts "b"
+  EXPECT_TRUE(cache.Get("a", 1).has_value());
+  EXPECT_FALSE(cache.Get("b", 1).has_value());
+  EXPECT_TRUE(cache.Get("c", 1).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PosteriorCacheTest, PutRefreshesExistingKey) {
+  PosteriorCache cache(2);
+  cache.Put("k", 1, 0.1);
+  cache.Put("k", 2, 0.9);
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Get("k", 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.9);
+}
+
+TEST(PosteriorCacheTest, ZeroCapacityDisablesCaching) {
+  PosteriorCache cache(0);
+  cache.Put("k", 1, 0.5);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("k", 1).has_value());
+}
+
+TEST(PosteriorCacheTest, ClearEmptiesTheCache) {
+  PosteriorCache cache(4);
+  cache.Put("a", 1, 0.1);
+  cache.Put("b", 1, 0.2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a", 1).has_value());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace ltm

@@ -74,6 +74,16 @@ TEST(LtmOptionsValidateTest, RejectsNonFiniteThreshold) {
   EXPECT_FALSE(opts.Validate().ok());
 }
 
+TEST(LtmOptionsFromSpecTest, ParsesRefitEpochDelta) {
+  auto spec = MethodSpec::Parse("StreamingLTM(refit_epoch_delta=64)");
+  ASSERT_TRUE(spec.ok());
+  auto opts = LtmOptionsFromSpec(spec->options, LtmOptions());
+  ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+  EXPECT_EQ(opts->refit_epoch_delta, 64u);
+  // Default: the epoch trigger is disabled.
+  EXPECT_EQ(LtmOptions().refit_epoch_delta, 0u);
+}
+
 TEST(LtmOptionsFromSpecTest, AppliesAndValidates) {
   auto spec = MethodSpec::Parse(
       "LTM(iterations=80,burnin=20,gap=2,seed=11,alpha0_pos=5,alpha0_neg=500)");
