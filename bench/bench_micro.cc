@@ -9,7 +9,10 @@
 // benchmarks run the loops the migrated methods use today. Run with
 //   --benchmark_filter='Struct|Graph|Tsv|Snapshot'
 //   --benchmark_out=BENCH_methods.json
-// to emit the substrate-comparison artifact CI checks.
+// to emit the substrate-comparison artifact CI checks, and with
+//   --benchmark_filter='GibbsSweep' --benchmark_out=BENCH_kernel.json
+// to emit the fused-vs-reference Gibbs kernel comparison CI gates at
+// >= 2x single-thread throughput.
 
 #include <benchmark/benchmark.h>
 
@@ -79,9 +82,14 @@ std::string BenchFilePath(const char* name) {
   return (std::filesystem::temp_directory_path() / name).string();
 }
 
+// The reference (bit-pinned) kernel: two LogConditional passes per fact,
+// four std::log calls per packed entry. BM_GibbsSweepFused below runs the
+// same sweep on the fused kernel; CI emits both into BENCH_kernel.json
+// (filter 'GibbsSweep') and gates fused >= 2x reference.
 void BM_GibbsSweep(benchmark::State& state) {
   const auto& data = SharedProcessData(state.range(0));
   LtmOptions opts = LtmOptions::ScaledDefaults(data.graph.NumFacts());
+  opts.kernel = LtmKernel::kReference;
   LtmGibbs sampler(data.graph, opts);
   for (auto _ : state) {
     sampler.RunSweep();
@@ -91,6 +99,24 @@ void BM_GibbsSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_GibbsSweep)->Arg(1000)->Arg(10000);
 
+// The fused log-odds kernel: one adjacency pass per fact, all
+// transcendentals memoized in log(count + alpha) tables.
+void BM_GibbsSweepFused(benchmark::State& state) {
+  const auto& data = SharedProcessData(state.range(0));
+  LtmOptions opts = LtmOptions::ScaledDefaults(data.graph.NumFacts());
+  opts.kernel = LtmKernel::kFused;
+  LtmGibbs sampler(data.graph, opts);
+  for (auto _ : state) {
+    sampler.RunSweep();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.graph.NumClaims()));
+}
+BENCHMARK(BM_GibbsSweepFused)->Arg(1000)->Arg(10000);
+
+// Sharded sweep on the production default kernel (kAuto: reference at
+// one shard, fused beyond), so the curve shows the compounded
+// kernel-times-sharding throughput a `threads=N` spec actually gets.
 void BM_ShardedGibbsSweep(benchmark::State& state) {
   const auto& data = SharedProcessData(10000);
   LtmOptions opts = LtmOptions::ScaledDefaults(data.graph.NumFacts());

@@ -62,6 +62,7 @@
 #include "eval/threshold_sweep.h"  // IWYU pragma: export
 
 #include "truth/exact_inference.h"   // IWYU pragma: export
+#include "truth/gibbs_kernel.h"      // IWYU pragma: export
 #include "truth/ltm.h"               // IWYU pragma: export
 #include "truth/ltm_incremental.h"   // IWYU pragma: export
 #include "truth/ltm_parallel.h"      // IWYU pragma: export

@@ -12,10 +12,16 @@ std::optional<double> PosteriorCache::Get(const std::string& fact_key,
     return std::nullopt;
   }
   if (it->second->epoch != epoch) {
-    // Stale: computed against different evidence. Evict eagerly so the
-    // slot is free for the recomputed value.
-    lru_.erase(it->second);
-    index_.erase(it);
+    if (epoch > it->second->epoch) {
+      // Stale entry: computed against evidence older than the reader's.
+      // Evict eagerly so the slot is free for the recomputed value.
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    // A reader still at an older epoch just misses: the cached entry is
+    // fresher than the reader, so evicting it here would let that
+    // reader's follow-up Put re-insert a stale posterior unguarded —
+    // the same clobber Put's downgrade check exists to stop.
     ++misses_;
     return std::nullopt;
   }
@@ -30,6 +36,11 @@ void PosteriorCache::Put(const std::string& fact_key, uint64_t epoch,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(fact_key);
   if (it != index_.end()) {
+    // A slow writer that materialized against an older store state must
+    // not clobber a posterior computed after the epoch advanced — serving
+    // would then hand out evidence-stale values until the next advance.
+    // Same-epoch writes refresh (recomputation is idempotent).
+    if (epoch < it->second->epoch) return;
     it->second->epoch = epoch;
     it->second->posterior = posterior;
     lru_.splice(lru_.begin(), lru_, it->second);

@@ -23,12 +23,17 @@ class PosteriorCache {
   explicit PosteriorCache(size_t capacity) : capacity_(capacity) {}
 
   /// Returns the cached posterior for `fact_key` when present *and*
-  /// computed at exactly `epoch`; a stale entry is erased and reported as
-  /// a miss.
+  /// computed at exactly `epoch`. An entry older than the reader's epoch
+  /// is erased and reported as a miss; a reader *behind* the cached
+  /// epoch just misses (the fresher entry stays, so a lagging reader's
+  /// later Put cannot sneak a stale value past the downgrade guard).
   std::optional<double> Get(const std::string& fact_key, uint64_t epoch);
 
   /// Inserts or refreshes an entry, evicting least-recently-used entries
-  /// beyond capacity. A capacity of 0 disables caching.
+  /// beyond capacity. A write whose epoch is older than the cached
+  /// entry's is dropped: a slow writer racing a store advance must not
+  /// overwrite a posterior computed against fresher evidence. A capacity
+  /// of 0 disables caching.
   void Put(const std::string& fact_key, uint64_t epoch, double posterior);
 
   void Clear();

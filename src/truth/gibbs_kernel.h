@@ -1,0 +1,131 @@
+#ifndef LTM_TRUTH_GIBBS_KERNEL_H_
+#define LTM_TRUTH_GIBBS_KERNEL_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/claim_graph.h"
+#include "truth/options.h"
+
+namespace ltm {
+
+/// Memoized transcendental tables for the fused Gibbs kernel: the Eq. 2
+/// conditional depends on the per-source counts n_{s,i,j} only through
+/// log(n + alpha_{i,j}) and log(n_{s,i,0} + n_{s,i,1} + alpha_i0 +
+/// alpha_i1), and the counts are small non-negative integers (bounded by
+/// the busiest source's claim count). So each distinct argument is
+/// log()'d once and every later sweep reads it back from a lazily-grown
+/// table — the precompute-the-transcendentals idiom of large-scale
+/// collapsed Gibbs/LDA samplers.
+///
+/// Tables are keyed by the truth label i (and observation j for the
+/// numerator family) because the Beta pseudo-counts differ per (i, j).
+/// One instance serves one chain (or one shard: growth is not
+/// synchronized — give concurrent shards their own instance).
+class LogCountTables {
+ public:
+  /// Per-table memoization cap. Counts at or beyond the cap (a source
+  /// with > 64k claims) fall back to a direct std::log of the identical
+  /// argument — same value to the bit, so behavior is unaffected — which
+  /// bounds each table at 512 KB and the eager Grow fill at 64k logs no
+  /// matter how prolific the busiest source is (tables are duplicated
+  /// per shard, so an uncapped build would multiply by thread count).
+  static constexpr size_t kMaxEntries = 1 << 16;
+
+  LogCountTables() = default;
+
+  /// (Re-)binds the tables to a prior configuration and drops any
+  /// memoized entries. alpha[i][j] is the Eq. 2 pseudo-count layout used
+  /// by the samplers: alpha[0] = {alpha0.neg, alpha0.pos}, alpha[1] =
+  /// {alpha1.neg, alpha1.pos}.
+  void Reset(const std::array<std::array<double, 2>, 2>& alpha);
+
+  /// log(n + alpha[i][j]); n >= 0.
+  double LogNum(int i, int j, int64_t n) {
+    const size_t idx = static_cast<size_t>(n);
+    if (idx >= kMaxEntries) {
+      return std::log(static_cast<double>(n) + alpha_[i][j]);
+    }
+    std::vector<double>& t = num_[i][j];
+    if (idx >= t.size()) Grow(&t, alpha_[i][j], idx);
+    return t[idx];
+  }
+
+  /// log(n + alpha[i][0] + alpha[i][1]); n >= 0.
+  double LogDen(int i, int64_t n) {
+    const size_t idx = static_cast<size_t>(n);
+    if (idx >= kMaxEntries) {
+      return std::log(static_cast<double>(n) + alpha_sum_[i]);
+    }
+    std::vector<double>& t = den_[i];
+    if (idx >= t.size()) Grow(&t, alpha_sum_[i], idx);
+    return t[idx];
+  }
+
+ private:
+  /// Extends `t` so index `needed` exists (callers guarantee `needed` is
+  /// below kMaxEntries), filling log(k + offset). Doubling growth keeps
+  /// the amortized cost per distinct count O(1).
+  static void Grow(std::vector<double>* t, double offset, size_t needed);
+
+  std::array<std::array<std::vector<double>, 2>, 2> num_;
+  std::array<std::vector<double>, 2> den_;
+  std::array<std::array<double, 2>, 2> alpha_{};
+  std::array<double, 2> alpha_sum_{};
+};
+
+/// The fused per-fact Gibbs update: returns the flip log-odds
+///
+///   delta = log p(t_f = 1-cur | t_-f, o) - log p(t_f = cur | t_-f, o)
+///
+/// in a single pass over fact f's packed adjacency, with the cur-side
+/// self-exclusion folded into the table indices (fact f's own claim is
+/// always counted under cur, so n_{s,cur,j} - 1 and n_{s,cur,+} - 1 are
+/// the excluded counts and never go negative). The reference kernel
+/// walks the adjacency twice and calls std::log four times per entry;
+/// this walks it once and calls std::log zero times once the tables are
+/// warm. p(flip) = sigmoid(delta).
+///
+/// `counts` is the n_{s,i,j} matrix flattened s*4 + i*2 + j — the
+/// authoritative matrix of a sequential chain or a shard's private copy.
+/// `log_beta[i]` is log(beta_i) of the truth prior. Both samplers call
+/// this exact function so fused chains share one floating-point
+/// operation sequence regardless of which sampler runs them.
+double FusedFlipLogOdds(const ClaimGraph& graph, FactId f, int cur,
+                        const std::vector<int64_t>& counts,
+                        const std::array<double, 2>& log_beta,
+                        LogCountTables* tables);
+
+/// One fused Gibbs pass over facts [begin, end): per fact, evaluate
+/// FusedFlipLogOdds, draw one uniform from `rng`, and on a flip update
+/// `truth` and `counts` in place. Returns the flip count. Both LtmGibbs
+/// and ParallelLtmGibbs run their fused sweeps through this single
+/// function, so the bit-identical-across-samplers guarantee for a fused
+/// (single-shard) chain holds by construction rather than by keeping two
+/// loop copies in sync.
+int FusedSweepRange(const ClaimGraph& graph, FactId begin, FactId end,
+                    std::vector<uint8_t>* truth,
+                    std::vector<int64_t>* counts,
+                    const std::array<double, 2>& log_beta,
+                    LogCountTables* tables, Rng* rng);
+
+/// Rebuilds the flattened n_{s,i,j} count matrix (s*4 + i*2 + j, the
+/// layout both kernels index) from the graph and a truth assignment.
+/// `counts` must already be sized NumSources()*4; it is zeroed first.
+/// Shared by both samplers' lazy count builds so the packing layout
+/// cannot drift between the sequential and sharded chains.
+void RecountClaims(const ClaimGraph& graph,
+                   const std::vector<uint8_t>& truth,
+                   std::vector<int64_t>* counts);
+
+/// Resolves LtmKernel::kAuto for a sampler running `num_shards` shards:
+/// one shard keeps the bit-pinned reference kernel, a sharded run gets
+/// the fused kernel. Explicit choices pass through.
+LtmKernel ResolveKernel(LtmKernel kernel, int num_shards);
+
+}  // namespace ltm
+
+#endif  // LTM_TRUTH_GIBBS_KERNEL_H_

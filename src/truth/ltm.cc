@@ -14,28 +14,44 @@
 namespace ltm {
 
 LtmGibbs::LtmGibbs(const ClaimGraph& graph, const LtmOptions& options)
-    : graph_(graph), options_(options), rng_(options.seed) {
+    : graph_(graph),
+      options_(options),
+      rng_(options.seed),
+      kernel_(ResolveKernel(options.kernel, /*num_shards=*/1)) {
   alpha_[0][0] = options_.alpha0.neg;  // prior true negative count
   alpha_[0][1] = options_.alpha0.pos;  // prior false positive count
   alpha_[1][0] = options_.alpha1.neg;  // prior false negative count
   alpha_[1][1] = options_.alpha1.pos;  // prior true positive count
+  log_beta_[0] = std::log(options_.beta.neg);
+  log_beta_[1] = std::log(options_.beta.pos);
+  tables_.Reset(alpha_);
   truth_.assign(graph_.NumFacts(), 0);
   counts_.assign(graph_.NumSources() * 4, 0);
   truth_sum_.assign(graph_.NumFacts(), 0.0);
-  Initialize();
+  // Consumes the same NumFacts draws the constructor always has, but
+  // defers the O(edges) count build to first use: Run() re-initializes
+  // anyway, so eager counts here would be paid twice per run.
+  DrawInitialTruth();
+}
+
+void LtmGibbs::DrawInitialTruth() {
+  for (FactId f = 0; f < truth_.size(); ++f) {
+    truth_[f] = rng_.Bernoulli(0.5) ? 1 : 0;
+  }
+  counts_stale_ = true;
+}
+
+void LtmGibbs::EnsureCounts() const {
+  std::lock_guard<std::mutex> lock(counts_mutex_);
+  if (!counts_stale_) return;
+  RecountClaims(graph_, truth_, &counts_);
+  counts_stale_ = false;
 }
 
 void LtmGibbs::Initialize() {
-  std::fill(counts_.begin(), counts_.end(), 0);
   std::fill(truth_sum_.begin(), truth_sum_.end(), 0.0);
   num_samples_ = 0;
-  for (FactId f = 0; f < truth_.size(); ++f) {
-    truth_[f] = rng_.Bernoulli(0.5) ? 1 : 0;
-    for (uint32_t entry : graph_.FactClaims(f)) {
-      ++counts_[ClaimGraph::PackedId(entry) * 4 + truth_[f] * 2 +
-                ClaimGraph::PackedObs(entry)];
-    }
-  }
+  DrawInitialTruth();
 }
 
 double LtmGibbs::LogConditional(FactId f, int i, bool exclude_self) const {
@@ -56,6 +72,11 @@ double LtmGibbs::LogConditional(FactId f, int i, bool exclude_self) const {
 }
 
 int LtmGibbs::RunSweep() {
+  EnsureCounts();
+  return kernel_ == LtmKernel::kFused ? RunSweepFused() : RunSweepReference();
+}
+
+int LtmGibbs::RunSweepReference() {
   int flips = 0;
   for (FactId f = 0; f < truth_.size(); ++f) {
     const int cur = truth_[f];
@@ -76,6 +97,11 @@ int LtmGibbs::RunSweep() {
     }
   }
   return flips;
+}
+
+int LtmGibbs::RunSweepFused() {
+  return FusedSweepRange(graph_, 0, static_cast<FactId>(truth_.size()),
+                         &truth_, &counts_, log_beta_, &tables_, &rng_);
 }
 
 void LtmGibbs::AccumulateSample() {
@@ -149,8 +175,10 @@ Result<TruthResult> LatentTruthModel::Run(const RunContext& ctx,
 
   RunObserver obs(ctx, name());
   // Construction plus the explicit Initialize() below replays the exact
-  // RNG stream of LtmGibbs::Run (whose constructor also initializes), so
-  // posteriors are bit-identical to the low-level sampler for a seed.
+  // RNG stream of LtmGibbs::Run (whose constructor also draws an initial
+  // assignment), so posteriors are bit-identical to the low-level sampler
+  // for a seed. The count matrix is built lazily, so the double
+  // initialization costs two draw passes but only one count pass.
   LtmGibbs sampler(*active, opts);
   sampler.Initialize();
 

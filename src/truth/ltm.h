@@ -3,12 +3,14 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "data/claim_graph.h"
 #include "data/fact_table.h"
+#include "truth/gibbs_kernel.h"
 #include "truth/options.h"
 #include "truth/source_quality.h"
 #include "truth/truth_method.h"
@@ -26,11 +28,21 @@ namespace ltm {
 /// j = observation). Equation 2 is evaluated in log space so facts with
 /// hundreds of claims cannot underflow. One conditional streams a fact's
 /// contiguous run of packed 4-byte adjacency words.
+///
+/// Two kernels evaluate the per-fact update (LtmOptions::kernel):
+/// `reference` calls LogConditional twice per fact (bit-pinned chain),
+/// `fused` accumulates the flip log-odds in one adjacency pass from
+/// memoized log-count tables (truth/gibbs_kernel.h) — same RNG draw
+/// sequence, statistically equivalent posteriors, ~2x+ sweep throughput.
+/// kAuto resolves to `reference` here (one sequential chain).
 class LtmGibbs {
  public:
   /// `graph` must outlive the sampler. Options are validated; an invalid
   /// configuration falls back to defaults with the same seed (callers that
   /// care should Validate() first — the TruthMethod wrapper does).
+  /// Draws the initial truth assignment; the count matrix is built
+  /// lazily on first use so that a Run() call (whose Initialize()
+  /// redraws) never pays the O(edges) count pass twice.
   LtmGibbs(const ClaimGraph& graph, const LtmOptions& options);
 
   /// Randomly (re-)initializes the truth assignment and rebuilds counts.
@@ -59,10 +71,14 @@ class LtmGibbs {
 
   /// Current count n_{s,i,j} maintained by the chain.
   int64_t Count(SourceId s, int truth_value, int observation) const {
+    EnsureCounts();
     return counts_[s * 4 + truth_value * 2 + observation];
   }
 
   int num_accumulated_samples() const { return num_samples_; }
+
+  /// The kernel this chain runs (kAuto already resolved).
+  LtmKernel kernel() const { return kernel_; }
 
  private:
   /// Log of the unnormalized conditional p(t_f = i | t_-f, o, s) (Eq. 2).
@@ -70,16 +86,38 @@ class LtmGibbs {
   /// the fact's own claims are removed from the counts.
   double LogConditional(FactId f, int i, bool exclude_self) const;
 
+  /// Draws a fresh Bernoulli(0.5) truth assignment, continuing rng_, and
+  /// marks the count matrix stale. Consumes exactly NumFacts draws — the
+  /// stream contract the bit-pinned posteriors depend on.
+  void DrawInitialTruth();
+
+  /// Rebuilds counts_ from the graph and truth_ if a DrawInitialTruth
+  /// since the last build left them stale. Mutex-guarded so concurrent
+  /// const Count() inspections stay race-free, as they were when the
+  /// constructor built counts eagerly. (Count()/RunSweep concurrency is
+  /// unsupported either way — RunSweep mutates the chain.)
+  void EnsureCounts() const;
+
+  int RunSweepReference();
+  int RunSweepFused();
+
   const ClaimGraph& graph_;
   LtmOptions options_;
   Rng rng_;
+  LtmKernel kernel_;
 
   std::vector<uint8_t> truth_;       // current t_f per fact
-  std::vector<int64_t> counts_;      // n_{s,i,j}, flattened s*4 + i*2 + j
+  // n_{s,i,j}, flattened s*4 + i*2 + j; rebuilt lazily (EnsureCounts)
+  // after a truth redraw so construction + Run() pays one count pass.
+  mutable std::vector<int64_t> counts_;
+  mutable bool counts_stale_ = true;
+  mutable std::mutex counts_mutex_;  // guards the lazy build only
   std::vector<double> truth_sum_;    // sum of sampled t_f
   int num_samples_ = 0;
   // log(alpha_{i,j} ) cached view: alpha_[i][j] pseudo-count.
   std::array<std::array<double, 2>, 2> alpha_;
+  std::array<double, 2> log_beta_;   // log(beta.neg), log(beta.pos)
+  LogCountTables tables_;            // fused-kernel memoized logs
 };
 
 /// The paper's headline method as a TruthMethod: runs the collapsed Gibbs

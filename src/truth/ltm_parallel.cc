@@ -22,12 +22,15 @@ ParallelLtmGibbs::ParallelLtmGibbs(const ClaimGraph& graph,
       options_(options),
       pool_(pool != nullptr ? pool : &ThreadPool::Shared()),
       num_shards_(ResolveShards(options.threads)),
+      kernel_(ResolveKernel(options.kernel, num_shards_)),
       shard_bounds_(graph.PartitionFacts(num_shards_)),
       rng_(options.seed) {
   alpha_[0][0] = options_.alpha0.neg;
   alpha_[0][1] = options_.alpha0.pos;
   alpha_[1][0] = options_.alpha1.neg;
   alpha_[1][1] = options_.alpha1.pos;
+  log_beta_[0] = std::log(options_.beta.neg);
+  log_beta_[1] = std::log(options_.beta.pos);
   truth_.assign(graph_.NumFacts(), 0);
   counts_.assign(graph_.NumSources() * 4, 0);
   truth_sum_.assign(graph_.NumFacts(), 0.0);
@@ -41,14 +44,16 @@ ParallelLtmGibbs::ParallelLtmGibbs(const ClaimGraph& graph,
     shard_counts_.assign(num_shards_, std::vector<int64_t>());
     shard_flips_.assign(num_shards_, 0);
   }
-  Initialize();
+  if (kernel_ == LtmKernel::kFused) {
+    shard_tables_.resize(static_cast<size_t>(num_shards_));
+    for (LogCountTables& tables : shard_tables_) tables.Reset(alpha_);
+  }
+  DrawInitialTruth();
 }
 
-void ParallelLtmGibbs::Initialize() {
-  std::fill(truth_sum_.begin(), truth_sum_.end(), 0.0);
-  num_samples_ = 0;
+void ParallelLtmGibbs::DrawInitialTruth() {
   if (num_shards_ == 1) {
-    // Identical draw order to LtmGibbs::Initialize, continuing rng_.
+    // Identical draw order to LtmGibbs, continuing rng_.
     for (FactId f = 0; f < truth_.size(); ++f) {
       truth_[f] = rng_.Bernoulli(0.5) ? 1 : 0;
     }
@@ -59,18 +64,20 @@ void ParallelLtmGibbs::Initialize() {
       }
     }
   }
-  RebuildCounts();
+  counts_stale_ = true;
 }
 
-void ParallelLtmGibbs::RebuildCounts() {
-  std::fill(counts_.begin(), counts_.end(), 0);
-  for (FactId f = 0; f < truth_.size(); ++f) {
-    const int i = truth_[f];
-    for (uint32_t entry : graph_.FactClaims(f)) {
-      ++counts_[ClaimGraph::PackedId(entry) * 4 + i * 2 +
-                ClaimGraph::PackedObs(entry)];
-    }
-  }
+void ParallelLtmGibbs::Initialize() {
+  std::fill(truth_sum_.begin(), truth_sum_.end(), 0.0);
+  num_samples_ = 0;
+  DrawInitialTruth();
+}
+
+void ParallelLtmGibbs::EnsureCounts() const {
+  std::lock_guard<std::mutex> lock(counts_mutex_);
+  if (!counts_stale_) return;
+  RecountClaims(graph_, truth_, &counts_);
+  counts_stale_ = false;
 }
 
 double ParallelLtmGibbs::LogConditional(
@@ -94,7 +101,14 @@ double ParallelLtmGibbs::LogConditional(
 }
 
 int ParallelLtmGibbs::SweepRange(FactId begin, FactId end,
-                                 std::vector<int64_t>* counts, Rng* rng) {
+                                 std::vector<int64_t>* counts, Rng* rng,
+                                 LogCountTables* tables) {
+  if (kernel_ == LtmKernel::kFused) {
+    // Shared with LtmGibbs::RunSweepFused, so one fused shard is
+    // bit-identical to the fused sequential chain by construction.
+    return FusedSweepRange(graph_, begin, end, &truth_, counts, log_beta_,
+                           tables, rng);
+  }
   int flips = 0;
   for (FactId f = begin; f < end; ++f) {
     const int cur = truth_[f];
@@ -120,10 +134,13 @@ int ParallelLtmGibbs::SweepRange(FactId begin, FactId end,
 
 Status ParallelLtmGibbs::RunSweep(const std::function<Status()>& stop_check,
                                   int* flips) {
+  EnsureCounts();
+  LogCountTables* tables =
+      shard_tables_.empty() ? nullptr : &shard_tables_[0];
   if (num_shards_ == 1) {
     if (stop_check) LTM_RETURN_IF_ERROR(stop_check());
     *flips = SweepRange(0, static_cast<FactId>(truth_.size()), &counts_,
-                        &rng_);
+                        &rng_, tables);
     return Status::OK();
   }
 
@@ -137,7 +154,8 @@ Status ParallelLtmGibbs::RunSweep(const std::function<Status()>& stop_check,
         shard_counts_[k].assign(counts_.begin(), counts_.end());
         shard_flips_[k] =
             SweepRange(shard_bounds_[k], shard_bounds_[k + 1],
-                       &shard_counts_[k], &shard_rngs_[k]);
+                       &shard_counts_[k], &shard_rngs_[k],
+                       shard_tables_.empty() ? nullptr : &shard_tables_[k]);
       },
       stop_check);
   // A cancelled/expired sweep leaves the chain torn (some shards swept,

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/claim_graph.h"
+#include "truth/gibbs_kernel.h"
 #include "truth/options.h"
 #include "truth/truth_method.h"
 
@@ -40,18 +42,28 @@ namespace ltm {
 /// multiple shards the chain differs from the sequential one but remains
 /// a valid sampler whose posterior agrees statistically, and is fully
 /// deterministic for a fixed (seed, threads) pair.
+///
+/// The per-fact update runs on either Gibbs kernel (LtmOptions::kernel);
+/// under kAuto a sharded run resolves to the fused kernel (each shard
+/// owns its memoized log-count tables) while one shard keeps the
+/// bit-pinned reference kernel. Either way the same FusedFlipLogOdds /
+/// LogConditional routines as LtmGibbs evaluate the update, so a
+/// single-shard run is bit-identical to LtmGibbs under both kernels.
 class ParallelLtmGibbs {
  public:
   /// `graph` must outlive the sampler. `options.threads` <= 0 resolves to
   /// ThreadPool::HardwareConcurrency(). `pool` (optional) supplies worker
   /// threads; the process-wide ThreadPool::Shared() is used when null.
   /// Mirrors LtmGibbs: the constructor seeds the RNG streams once and
-  /// runs Initialize(); a later Initialize() call continues the streams.
+  /// draws an initial assignment; a later Initialize() call continues
+  /// the streams. The count matrix is built lazily on first use, so
+  /// construction followed by Run() pays a single O(edges) count pass.
   ParallelLtmGibbs(const ClaimGraph& graph, const LtmOptions& options,
                    ThreadPool* pool = nullptr);
 
   /// Randomly (re-)initializes the truth assignment (shard k draws its
-  /// facts from stream k), rebuilds counts, and clears the accumulator.
+  /// facts from stream k) and clears the accumulator; counts rebuild
+  /// lazily on the next sweep.
   void Initialize();
 
   /// One full sweep over all shards. Returns the number of flips.
@@ -78,41 +90,61 @@ class ParallelLtmGibbs {
 
   /// Authoritative count n_{s,i,j} (merged, between sweeps).
   int64_t Count(SourceId s, int truth_value, int observation) const {
+    EnsureCounts();
     return counts_[s * 4 + truth_value * 2 + observation];
   }
 
   int num_shards() const { return num_shards_; }
   int num_accumulated_samples() const { return num_samples_; }
 
+  /// The kernel this sampler runs (kAuto already resolved).
+  LtmKernel kernel() const { return kernel_; }
+
  private:
   /// Eq. 2 log-conditional over `counts` (a shard's local view).
   double LogConditional(FactId f, int i, bool exclude_self,
                         const std::vector<int64_t>& counts) const;
 
-  /// Gibbs-samples facts [begin, end) against `counts` using `rng`,
-  /// updating `counts` and truth_ in place. Returns the flip count.
+  /// Gibbs-samples facts [begin, end) against `counts` using `rng` and
+  /// the selected kernel (`tables` backs the fused one), updating
+  /// `counts` and truth_ in place. Returns the flip count.
   int SweepRange(FactId begin, FactId end, std::vector<int64_t>* counts,
-                 Rng* rng);
+                 Rng* rng, LogCountTables* tables);
 
-  /// Recounts n_{s,i,j} from the graph and the current truth vector.
-  void RebuildCounts();
+  /// Draws a fresh truth assignment (shard k from stream k) and marks
+  /// the count matrix stale; consumes exactly NumFacts draws per stream.
+  void DrawInitialTruth();
+
+  /// Recounts n_{s,i,j} from the graph and the current truth vector if a
+  /// redraw left them stale. Mutex-guarded so concurrent const Count()
+  /// inspections stay race-free (see LtmGibbs::EnsureCounts).
+  void EnsureCounts() const;
 
   const ClaimGraph& graph_;
   LtmOptions options_;
   ThreadPool* pool_;
   int num_shards_;
+  LtmKernel kernel_;
   std::vector<uint32_t> shard_bounds_;  // num_shards_+1 fact boundaries
 
   Rng rng_;                       // single-shard stream (LtmGibbs-identical)
   std::vector<Rng> shard_rngs_;   // per-shard SplitStream engines
 
   std::vector<uint8_t> truth_;
-  std::vector<int64_t> counts_;   // authoritative n_{s,i,j}
+  // Authoritative n_{s,i,j}; rebuilt lazily after a truth redraw so
+  // construction + Run() pays one count pass (see LtmGibbs).
+  mutable std::vector<int64_t> counts_;
+  mutable bool counts_stale_ = true;
+  mutable std::mutex counts_mutex_;  // guards the lazy build only
   std::vector<std::vector<int64_t>> shard_counts_;  // per-shard local views
+  // Fused-kernel memo tables: one per shard, never shared across threads
+  // (lazy growth is unsynchronized).
+  std::vector<LogCountTables> shard_tables_;
   std::vector<int> shard_flips_;
   std::vector<double> truth_sum_;
   int num_samples_ = 0;
   std::array<std::array<double, 2>, 2> alpha_;
+  std::array<double, 2> log_beta_;  // log(beta.neg), log(beta.pos)
 };
 
 /// Runs the sharded sampler under the engine protocol, mirroring

@@ -36,8 +36,14 @@ SourceQuality EstimateSourceQuality(const ClaimGraph& graph,
         (n00 + alpha0.neg) / (n00 + n01 + alpha0.pos + alpha0.neg);
     q.precision[s] =
         (n11 + alpha1.pos) / (n01 + n11 + alpha0.pos + alpha1.pos);
+    // Prior-smoothed like the other measures: the correct outcomes (TP +
+    // TN) get the alpha1.pos + alpha0.neg pseudo-counts, the total gets
+    // both prior strengths, so a claimless source reports the
+    // strength-weighted mean of the prior sensitivity and specificity
+    // instead of a hard 0.0 that used to skew Table-8-style reports.
     const double total = n00 + n01 + n10 + n11;
-    q.accuracy[s] = total > 0.0 ? (n11 + n00) / total : 0.0;
+    q.accuracy[s] = (n11 + n00 + alpha1.pos + alpha0.neg) /
+                    (total + alpha0.Sum() + alpha1.Sum());
   }
   return q;
 }

@@ -34,6 +34,11 @@ struct SourceQuality {
 ///   sensitivity(s) = (E[n_s11] + a1.pos) / (E[n_s10] + E[n_s11] + a1.sum)
 ///   specificity(s) = (E[n_s00] + a0.neg) / (E[n_s00] + E[n_s01] + a0.sum)
 ///   precision(s)   = (E[n_s11] + a1.pos) / (E[n_s01] + E[n_s11] + a0.pos + a1.pos)
+///   accuracy(s)    = (E[n_s11] + E[n_s00] + a1.pos + a0.neg)
+///                  / (E[n_s..] + a0.sum + a1.sum)
+/// Every measure is Beta-prior-smoothed, so a source with no claims
+/// reports its prior mean (accuracy: the strength-weighted mean of the
+/// prior sensitivity and specificity) rather than a hard 0.
 SourceQuality EstimateSourceQuality(const ClaimGraph& graph,
                                     const std::vector<double>& p_true,
                                     const BetaPrior& alpha0,

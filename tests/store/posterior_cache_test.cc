@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace ltm {
 namespace store {
 namespace {
@@ -43,6 +45,72 @@ TEST(PosteriorCacheTest, LruEvictionDropsTheColdestEntry) {
   EXPECT_FALSE(cache.Get("b", 1).has_value());
   EXPECT_TRUE(cache.Get("c", 1).has_value());
   EXPECT_EQ(cache.size(), 2u);
+}
+
+// Two writers race a store advance: writer A materializes at epoch 1,
+// the store advances, writer B recomputes and publishes at epoch 2, and
+// only then does slow A finish its Put. A's stale posterior must not
+// clobber B's — readers at epoch 2 keep getting B's value, and A's
+// pre-advance value is gone for good.
+TEST(PosteriorCacheTest, SlowWriterCannotDowngradeEpoch) {
+  PosteriorCache cache(4);
+  cache.Put("k", 2, 0.9);  // writer B, fresh evidence
+  cache.Put("k", 1, 0.1);  // writer A, stale epoch — dropped
+  auto hit = cache.Get("k", 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.9);
+  EXPECT_FALSE(cache.Get("k", 1).has_value());
+  // The lagging Get above must NOT have evicted the fresher entry —
+  // otherwise A's full miss-then-recompute-then-Put cycle would launder
+  // its stale posterior past the downgrade guard via an empty slot.
+  auto still_fresh = cache.Get("k", 2);
+  ASSERT_TRUE(still_fresh.has_value());
+  EXPECT_DOUBLE_EQ(*still_fresh, 0.9);
+}
+
+// The full slow-reader cycle: Get at the old epoch (miss), recompute,
+// Put at the old epoch. The fresher posterior must survive the whole
+// sequence, not just a bare Put.
+TEST(PosteriorCacheTest, StaleGetThenPutCannotEvictFresherEntry) {
+  PosteriorCache cache(4);
+  cache.Put("k", 2, 0.9);
+  EXPECT_FALSE(cache.Get("k", 1).has_value());  // lagging reader misses
+  cache.Put("k", 1, 0.1);                       // ...and republishes stale
+  auto hit = cache.Get("k", 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.9);
+}
+
+TEST(PosteriorCacheTest, SameEpochPutRefreshes) {
+  PosteriorCache cache(4);
+  cache.Put("k", 3, 0.4);
+  cache.Put("k", 3, 0.6);  // idempotent recomputation wins
+  auto hit = cache.Get("k", 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.6);
+}
+
+// The concurrent shape of the same regression: one thread keeps
+// publishing at the old epoch while another publishes at the new one.
+// Whatever the interleaving, the entry's final epoch must be the newer
+// one — Get(new) never misses because a stale writer won the race.
+TEST(PosteriorCacheTest, ConcurrentStaleWriterNeverWins) {
+  PosteriorCache cache(8);
+  cache.Put("k", 2, 0.9);
+  std::thread stale([&] {
+    for (int i = 0; i < 1000; ++i) {
+      (void)cache.Get("k", 1);  // the real serving cycle: miss first...
+      cache.Put("k", 1, 0.1);   // ...then republish at the old epoch
+    }
+  });
+  std::thread fresh([&] {
+    for (int i = 0; i < 1000; ++i) cache.Put("k", 2, 0.9);
+  });
+  stale.join();
+  fresh.join();
+  auto hit = cache.Get("k", 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.9);
 }
 
 TEST(PosteriorCacheTest, PutRefreshesExistingKey) {

@@ -1,0 +1,444 @@
+// Statistical-equivalence harness for the fused Gibbs kernel: the fused
+// kernel draws the same RNG sequence as the reference kernel but rounds
+// differently (one fused accumulation instead of two LogConditional
+// passes), so its chain diverges bit-wise while remaining a sampler of
+// the identical collapsed posterior. These tests pin the contract: fused
+// marginals match the exact enumeration oracle on small instances, fused
+// and reference posterior means agree within sampling tolerance on
+// synthetic LTM-process data, the counts invariant holds sweep by sweep,
+// and the kernel option wires through specs, the registry, and both
+// samplers (including the sharded thread-pool path the TSan leg covers).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "synth/ltm_process.h"
+#include "test_util.h"
+#include "truth/exact_inference.h"
+#include "truth/gibbs_kernel.h"
+#include "truth/ltm.h"
+#include "truth/ltm_parallel.h"
+#include "truth/registry.h"
+
+namespace ltm {
+namespace {
+
+LtmOptions TinyOptions(uint64_t seed = 5) {
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{1.0, 10.0};
+  opts.alpha1 = BetaPrior{2.0, 2.0};
+  opts.beta = BetaPrior{1.0, 1.0};
+  opts.iterations = 4000;
+  opts.burnin = 500;
+  opts.sample_gap = 1;
+  opts.seed = seed;
+  return opts;
+}
+
+ClaimGraph RandomTinyClaims(uint64_t seed, size_t num_facts,
+                            size_t num_sources) {
+  Rng rng(seed);
+  std::vector<Claim> claims;
+  for (FactId f = 0; f < num_facts; ++f) {
+    for (SourceId s = 0; s < num_sources; ++s) {
+      if (rng.Bernoulli(0.3)) continue;
+      claims.push_back(Claim{f, s, rng.Bernoulli(0.5)});
+    }
+  }
+  return ClaimGraph::FromClaims(std::move(claims), num_facts, num_sources);
+}
+
+// ---------------------------------------------------------------------------
+// Option plumbing.
+
+TEST(GibbsKernelTest, ParseAndNameRoundTrip) {
+  for (LtmKernel k : {LtmKernel::kAuto, LtmKernel::kReference,
+                      LtmKernel::kFused}) {
+    auto parsed = ParseLtmKernel(LtmKernelName(k));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+  auto upper = ParseLtmKernel("FUSED");  // values are case-insensitive
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(*upper, LtmKernel::kFused);
+  EXPECT_FALSE(ParseLtmKernel("vectorized").ok());
+}
+
+TEST(GibbsKernelTest, SpecParsesKernelForLtmFamily) {
+  for (const char* spec : {"LTM(kernel=fused)", "LTMpos(kernel=reference)",
+                           "LTMinc(kernel=fused)", "LTM(kernel=auto)"}) {
+    auto method = CreateMethod(spec);
+    EXPECT_TRUE(method.ok()) << spec << ": " << method.status().ToString();
+  }
+  auto bad = CreateMethod("LTM(kernel=nope)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GibbsKernelTest, AutoResolvesPerSamplerShape) {
+  EXPECT_EQ(ResolveKernel(LtmKernel::kAuto, 1), LtmKernel::kReference);
+  EXPECT_EQ(ResolveKernel(LtmKernel::kAuto, 8), LtmKernel::kFused);
+  EXPECT_EQ(ResolveKernel(LtmKernel::kFused, 1), LtmKernel::kFused);
+  EXPECT_EQ(ResolveKernel(LtmKernel::kReference, 8), LtmKernel::kReference);
+
+  ClaimGraph graph = RandomTinyClaims(3, 10, 4);
+  LtmOptions opts = TinyOptions();
+  opts.iterations = 10;
+  opts.burnin = 2;
+  EXPECT_EQ(LtmGibbs(graph, opts).kernel(), LtmKernel::kReference);
+  opts.threads = 1;
+  EXPECT_EQ(ParallelLtmGibbs(graph, opts).kernel(), LtmKernel::kReference);
+  opts.threads = 4;
+  EXPECT_EQ(ParallelLtmGibbs(graph, opts).kernel(), LtmKernel::kFused);
+  opts.kernel = LtmKernel::kReference;
+  EXPECT_EQ(ParallelLtmGibbs(graph, opts).kernel(), LtmKernel::kReference);
+}
+
+// kernel=reference must be the exact chain kAuto runs sequentially —
+// the spelled-out form of today's bit-pinned default.
+TEST(GibbsKernelTest, ExplicitReferenceBitIdenticalToAutoSequential) {
+  ClaimGraph graph = RandomTinyClaims(17, 14, 5);
+  LtmOptions opts = TinyOptions(9);
+  opts.iterations = 200;
+  opts.burnin = 40;
+  TruthEstimate auto_run = LtmGibbs(graph, opts).Run();
+  opts.kernel = LtmKernel::kReference;
+  TruthEstimate ref_run = LtmGibbs(graph, opts).Run();
+  EXPECT_EQ(auto_run.probability, ref_run.probability);
+}
+
+// ---------------------------------------------------------------------------
+// Counts invariant under the fused kernel.
+
+class FusedCountsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FusedCountsTest, CountsStayConsistentWithTruth) {
+  RawDatabase raw = testing::RandomRaw(GetParam());
+  FactTable facts = FactTable::Build(raw);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
+  LtmOptions opts = TinyOptions(GetParam());
+  opts.iterations = 20;
+  opts.burnin = 5;
+  opts.kernel = LtmKernel::kFused;
+  LtmGibbs sampler(claims, opts);
+
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    sampler.RunSweep();
+    std::vector<int64_t> recount(claims.NumSources() * 4, 0);
+    for (FactId f = 0; f < claims.NumFacts(); ++f) {
+      const int i = sampler.truth()[f];
+      for (uint32_t entry : claims.FactClaims(f)) {
+        ++recount[ClaimGraph::PackedId(entry) * 4 + i * 2 +
+                  ClaimGraph::PackedObs(entry)];
+      }
+    }
+    for (SourceId s = 0; s < claims.NumSources(); ++s) {
+      for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+          ASSERT_EQ(sampler.Count(s, i, j), recount[s * 4 + i * 2 + j])
+              << "s=" << s << " i=" << i << " j=" << j << " sweep=" << sweep;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedCountsTest,
+                         ::testing::Values(3, 17, 29, 61));
+
+// ---------------------------------------------------------------------------
+// Exact-marginal equivalence: the fused chain converges to the same
+// enumerated posterior as the reference chain (the oracle knows nothing
+// about either kernel).
+
+class FusedVsExactTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FusedVsExactTest, PosteriorMeansMatchEnumeration) {
+  ClaimGraph claims = RandomTinyClaims(GetParam(), 7, 3);
+  LtmOptions opts = TinyOptions(GetParam() * 31 + 7);
+  auto exact = ExactPosterior(claims, opts);
+  ASSERT_TRUE(exact.ok());
+
+  opts.kernel = LtmKernel::kFused;
+  TruthEstimate est = LtmGibbs(claims, opts).Run();
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    EXPECT_NEAR(est.probability[f], (*exact)[f], 0.05)
+        << "fact " << f << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedVsExactTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 42, 99));
+
+// ---------------------------------------------------------------------------
+// Fused-vs-reference agreement on synthetic LTM-process data.
+
+TEST(GibbsKernelTest, FusedAndReferenceMarginalsAgreeOnSmallGraphs) {
+  RawDatabase raw = testing::RandomRaw(1234, 12, 3, 5, 0.7);
+  FactTable facts = FactTable::Build(raw);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{1.0, 20.0};
+  opts.alpha1 = BetaPrior{2.0, 2.0};
+  opts.beta = BetaPrior{1.0, 1.0};
+  opts.iterations = 2000;
+  opts.burnin = 400;
+  opts.sample_gap = 1;
+  opts.seed = 11;
+
+  opts.kernel = LtmKernel::kReference;
+  TruthEstimate ref = LtmGibbs(claims, opts).Run();
+  opts.kernel = LtmKernel::kFused;
+  TruthEstimate fused = LtmGibbs(claims, opts).Run();
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    EXPECT_NEAR(fused.probability[f], ref.probability[f], 0.08)
+        << "fact " << f;
+  }
+}
+
+TEST(GibbsKernelTest, FusedAndReferenceAgreeOnLtmProcessData) {
+  synth::LtmProcessOptions gen;
+  gen.num_facts = 400;
+  gen.num_sources = 12;
+  gen.alpha0 = BetaPrior{5.0, 95.0};
+  gen.alpha1 = BetaPrior{80.0, 20.0};
+  gen.seed = 9;
+  synth::LtmProcessData data = synth::GenerateLtmProcess(gen);
+
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{10.0, 400.0};
+  opts.iterations = 120;
+  opts.burnin = 20;
+  opts.sample_gap = 2;
+  opts.seed = 4;
+
+  opts.kernel = LtmKernel::kReference;
+  TruthEstimate ref = LtmGibbs(data.graph, opts).Run();
+  opts.kernel = LtmKernel::kFused;
+  TruthEstimate fused = LtmGibbs(data.graph, opts).Run();
+
+  // Posterior-mean tolerance per fact plus a near-zero decision
+  // disagreement rate — the same bar two independently seeded reference
+  // chains are held to on this data.
+  size_t disagreements = 0;
+  double total_abs_diff = 0.0;
+  for (FactId f = 0; f < data.graph.NumFacts(); ++f) {
+    total_abs_diff += std::abs(fused.probability[f] - ref.probability[f]);
+    if ((fused.probability[f] >= 0.5) != (ref.probability[f] >= 0.5)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_LT(disagreements, data.graph.NumFacts() / 50);
+  EXPECT_LT(total_abs_diff / data.graph.NumFacts(), 0.02);
+
+  // Both kernels recover the generating truth.
+  PointMetrics m = EvaluateAtThreshold(fused.probability, data.truth, 0.5);
+  EXPECT_GT(m.accuracy(), 0.95) << m.confusion.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Sampler parity: both samplers run the same fused floating-point
+// sequence, and the sharded path (the kernel's production home) stays
+// deterministic and statistically sound.
+
+TEST(GibbsKernelTest, FusedSingleShardBitIdenticalAcrossSamplers) {
+  RawDatabase raw = testing::RandomRaw(55);
+  FactTable facts = FactTable::Build(raw);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
+  LtmOptions opts = TinyOptions(7);
+  opts.iterations = 120;
+  opts.burnin = 20;
+  opts.sample_gap = 2;
+  opts.kernel = LtmKernel::kFused;
+  opts.threads = 1;
+
+  TruthEstimate sequential = LtmGibbs(claims, opts).Run();
+  TruthEstimate sharded = ParallelLtmGibbs(claims, opts).Run();
+  EXPECT_EQ(sequential.probability, sharded.probability);
+
+  // The registry route (threads=1, kernel=fused) lands on the same chain.
+  auto method = CreateMethod("LTM(kernel=fused)", opts);
+  ASSERT_TRUE(method.ok()) << method.status().ToString();
+  TruthEstimate via_registry = (*method)->Score(facts, claims);
+  EXPECT_EQ(via_registry.probability, sequential.probability);
+}
+
+TEST(GibbsKernelTest, FusedShardedDeterministicForSeed) {
+  RawDatabase raw = testing::RandomRaw(71);
+  FactTable facts = FactTable::Build(raw);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
+  LtmOptions opts = TinyOptions(7);
+  opts.iterations = 60;
+  opts.burnin = 10;
+  opts.sample_gap = 2;
+  opts.threads = 4;  // kAuto resolves to the fused kernel here
+
+  ParallelLtmGibbs a(claims, opts);
+  EXPECT_EQ(a.kernel(), LtmKernel::kFused);
+  TruthEstimate ea = a.Run();
+  TruthEstimate eb = ParallelLtmGibbs(claims, opts).Run();
+  EXPECT_EQ(ea.probability, eb.probability);
+}
+
+TEST(GibbsKernelTest, FusedShardedRecoversTruthOnGoodSyntheticData) {
+  synth::LtmProcessOptions gen;
+  gen.num_facts = 800;
+  gen.num_sources = 16;
+  gen.alpha0 = BetaPrior{10.0, 90.0};
+  gen.alpha1 = BetaPrior{90.0, 10.0};
+  gen.seed = 21;
+  synth::LtmProcessData data = synth::GenerateLtmProcess(gen);
+
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{10.0, 1000.0};
+  opts.iterations = 100;
+  opts.burnin = 20;
+  opts.sample_gap = 4;
+  opts.threads = 4;  // default-fused parallel path
+  LatentTruthModel model(opts);
+  TruthEstimate est = model.Score(data.facts, data.graph);
+  PointMetrics m = EvaluateAtThreshold(est.probability, data.truth, 0.5);
+  EXPECT_GT(m.accuracy(), 0.95) << m.confusion.ToString();
+}
+
+// Sharded reference stays available behind the flag: the pre-fused
+// multi-shard chain is reproducible by spelling kernel=reference.
+TEST(GibbsKernelTest, ShardedReferenceKernelStillRuns) {
+  RawDatabase raw = testing::RandomRaw(71);
+  FactTable facts = FactTable::Build(raw);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
+  LtmOptions opts = TinyOptions(7);
+  opts.iterations = 60;
+  opts.burnin = 10;
+  opts.sample_gap = 2;
+  opts.threads = 3;
+  opts.kernel = LtmKernel::kReference;
+
+  ParallelLtmGibbs sampler(claims, opts);
+  EXPECT_EQ(sampler.kernel(), LtmKernel::kReference);
+  TruthEstimate a = sampler.Run();
+  TruthEstimate b = ParallelLtmGibbs(claims, opts).Run();
+  EXPECT_EQ(a.probability, b.probability);
+}
+
+// Const inspection stays race-free under the lazy count build: two
+// threads reading Count() right after construction (the only window
+// where the build hasn't happened yet) must not race — the guarantee
+// eager construction used to give, now held by the EnsureCounts guard.
+// Runs under the TSan CI leg.
+TEST(GibbsKernelTest, ConcurrentCountReadsAfterConstructionAreSafe) {
+  RawDatabase raw = testing::RandomRaw(41);
+  FactTable facts = FactTable::Build(raw);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
+  LtmOptions opts = TinyOptions();
+  opts.iterations = 10;
+  opts.burnin = 2;
+
+  const LtmGibbs sequential(claims, opts);
+  opts.threads = 2;
+  const ParallelLtmGibbs sharded(claims, opts);
+  auto reader = [&] {
+    int64_t total = 0;
+    for (SourceId s = 0; s < claims.NumSources(); ++s) {
+      for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+          total += sequential.Count(s, i, j) + sharded.Count(s, i, j);
+        }
+      }
+    }
+    // Each sampler's counts sum to the claim count.
+    EXPECT_EQ(total, 2 * static_cast<int64_t>(claims.NumClaims()));
+  };
+  std::thread a(reader);
+  std::thread b(reader);
+  a.join();
+  b.join();
+}
+
+// ---------------------------------------------------------------------------
+// The memo tables themselves.
+
+TEST(LogCountTablesTest, MatchesStdLogAcrossGrowth) {
+  LogCountTables tables;
+  const std::array<std::array<double, 2>, 2> alpha{
+      {{10000.0, 100.0}, {50.0, 50.0}}};
+  tables.Reset(alpha);
+  for (int i = 0; i < 2; ++i) {
+    const double alpha_sum = alpha[i][0] + alpha[i][1];
+    // Probe out of order, past several growth boundaries, and across the
+    // memoization cap (where the direct-std::log fallback takes over);
+    // every answer must be the exact std::log of the same argument.
+    const int64_t cap = static_cast<int64_t>(LogCountTables::kMaxEntries);
+    for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{7}, int64_t{1000},
+                      int64_t{63}, int64_t{64}, int64_t{65}, int64_t{4097},
+                      cap - 1, cap, cap + 1, cap * 16, int64_t{2},
+                      int64_t{0}}) {
+      for (int j = 0; j < 2; ++j) {
+        EXPECT_EQ(tables.LogNum(i, j, n),
+                  std::log(static_cast<double>(n) + alpha[i][j]))
+            << "i=" << i << " j=" << j << " n=" << n;
+      }
+      EXPECT_EQ(tables.LogDen(i, n),
+                std::log(static_cast<double>(n) + alpha_sum))
+          << "i=" << i << " n=" << n;
+    }
+  }
+}
+
+TEST(LogCountTablesTest, FusedFlipLogOddsMatchesTwoPassConditional) {
+  // The fused delta must equal lp(other) - lp(cur) computed the
+  // reference way, up to floating-point reassociation.
+  ClaimGraph claims = RandomTinyClaims(23, 9, 4);
+  LtmOptions opts = TinyOptions();
+  std::vector<uint8_t> truth(claims.NumFacts());
+  Rng rng(3);
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    truth[f] = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  std::vector<int64_t> counts(claims.NumSources() * 4, 0);
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    for (uint32_t entry : claims.FactClaims(f)) {
+      ++counts[ClaimGraph::PackedId(entry) * 4 + truth[f] * 2 +
+               ClaimGraph::PackedObs(entry)];
+    }
+  }
+
+  const std::array<std::array<double, 2>, 2> alpha{
+      {{opts.alpha0.neg, opts.alpha0.pos}, {opts.alpha1.neg, opts.alpha1.pos}}};
+  const std::array<double, 2> log_beta{std::log(opts.beta.neg),
+                                       std::log(opts.beta.pos)};
+  LogCountTables tables;
+  tables.Reset(alpha);
+
+  auto reference_lp = [&](FactId f, int i, bool exclude_self) {
+    double lp = std::log(i == 1 ? opts.beta.pos : opts.beta.neg);
+    const int64_t self = exclude_self ? 1 : 0;
+    const double alpha_sum = alpha[i][0] + alpha[i][1];
+    for (uint32_t entry : claims.FactClaims(f)) {
+      const uint32_t cs = ClaimGraph::PackedId(entry);
+      const int j = ClaimGraph::PackedObs(entry);
+      const int64_t n_ij = counts[cs * 4 + i * 2 + j] - self;
+      const int64_t n_i =
+          counts[cs * 4 + i * 2] + counts[cs * 4 + i * 2 + 1] - self;
+      lp += std::log(static_cast<double>(n_ij) + alpha[i][j]) -
+            std::log(static_cast<double>(n_i) + alpha_sum);
+    }
+    return lp;
+  };
+
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    const int cur = static_cast<int>(truth[f]);
+    const double fused =
+        FusedFlipLogOdds(claims, f, cur, counts, log_beta, &tables);
+    const double two_pass = reference_lp(f, 1 - cur, false) -
+                            reference_lp(f, cur, true);
+    EXPECT_NEAR(fused, two_pass, 1e-9) << "fact " << f;
+  }
+}
+
+}  // namespace
+}  // namespace ltm

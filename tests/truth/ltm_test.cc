@@ -137,6 +137,86 @@ TEST(LtmGibbsTest, ProbabilitiesAreValid) {
   }
 }
 
+// The RNG stream contract the bit-pinned posteriors depend on:
+// construction consumes exactly NumFacts Bernoulli draws, Initialize()
+// consumes NumFacts more, each sweep one Uniform per fact. The golden
+// values below were captured from the pre-lazy-counts sampler (which
+// built the count matrix eagerly in both the constructor and
+// Initialize()); eliminating the duplicated count pass must not move a
+// single bit of them.
+TEST(LtmGibbsTest, StreamContractPinsGoldenPosteriors) {
+  std::vector<Claim> claims;
+  for (FactId f = 0; f < 8; ++f) {
+    for (SourceId s = 0; s < 4; ++s) {
+      if ((f + s) % 3 == 0) {
+        claims.push_back({f, s, true});
+      } else if ((f * 2 + s) % 5 == 0) {
+        claims.push_back({f, s, false});
+      }
+    }
+  }
+  ClaimGraph graph = ClaimGraph::FromClaims(std::move(claims), 8, 4);
+
+  LtmOptions opts;
+  opts.alpha0 = BetaPrior{2.0, 8.0};
+  opts.alpha1 = BetaPrior{1.0, 1.0};
+  opts.beta = BetaPrior{1.0, 1.0};
+  opts.iterations = 48;
+  opts.burnin = 8;
+  opts.sample_gap = 1;
+  opts.seed = 7;
+
+  const std::vector<double> golden{0.9,   0.4,  0.775, 0.925,
+                                   0.675, 0.35, 0.9,   0.55};
+
+  TruthEstimate run = LtmGibbs(graph, opts).Run();
+  ASSERT_EQ(run.probability.size(), golden.size());
+  for (size_t f = 0; f < golden.size(); ++f) {
+    EXPECT_DOUBLE_EQ(run.probability[f], golden[f]) << "f=" << f;
+  }
+
+  // The TruthMethod wrapper's replay — construct, explicit Initialize(),
+  // manual sweep/accumulate loop — consumes the identical stream.
+  LtmGibbs sampler(graph, opts);
+  sampler.Initialize();
+  for (int it = 0; it < opts.iterations; ++it) {
+    sampler.RunSweep();
+    if (it >= opts.burnin && (it - opts.burnin) % opts.sample_gap == 0) {
+      sampler.AccumulateSample();
+    }
+  }
+  TruthEstimate replay = sampler.PosteriorMean();
+  for (size_t f = 0; f < golden.size(); ++f) {
+    EXPECT_DOUBLE_EQ(replay.probability[f], golden[f]) << "f=" << f;
+  }
+}
+
+// The lazy count build must be invisible: counts queried straight after
+// construction (before any sweep or Initialize) equal a fresh recount of
+// the graph against the constructor-drawn truth vector.
+TEST(LtmGibbsTest, CountsAvailableRightAfterConstruction) {
+  RawDatabase raw = testing::RandomRaw(91);
+  FactTable facts = FactTable::Build(raw);
+  ClaimGraph claims = ClaimGraph::Build(ClaimTable::Build(raw, facts));
+  LtmGibbs sampler(claims, SmallDataOptions());
+  std::vector<int64_t> recount(claims.NumSources() * 4, 0);
+  for (FactId f = 0; f < claims.NumFacts(); ++f) {
+    const int i = sampler.truth()[f];
+    for (uint32_t entry : claims.FactClaims(f)) {
+      ++recount[ClaimGraph::PackedId(entry) * 4 + i * 2 +
+                ClaimGraph::PackedObs(entry)];
+    }
+  }
+  for (SourceId s = 0; s < claims.NumSources(); ++s) {
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        ASSERT_EQ(sampler.Count(s, i, j), recount[s * 4 + i * 2 + j])
+            << "s=" << s << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
 TEST(LtmGibbsTest, DeterministicForSeed) {
   RawDatabase raw = testing::RandomRaw(55);
   FactTable facts = FactTable::Build(raw);

@@ -46,6 +46,11 @@ TEST(SourceQualityTest, HardTruthReproducesPaperTable6Counts) {
   EXPECT_NEAR(q.specificity[bad], 0.0, 1e-6);
   EXPECT_NEAR(q.precision[imdb], 1.0, 1e-6);
   EXPECT_NEAR(q.precision[bad], 2.0 / 3.0, 1e-6);
+  // Accuracy with negligible priors is the plain (TP + TN) / total of
+  // Table 6: IMDB 4/4, Netflix 2/4, BadSource 2/4.
+  EXPECT_NEAR(q.accuracy[imdb], 1.0, 1e-6);
+  EXPECT_NEAR(q.accuracy[netflix], 0.5, 1e-6);
+  EXPECT_NEAR(q.accuracy[bad], 0.5, 1e-6);
 }
 
 TEST(SourceQualityTest, SoftTruthSplitsCounts) {
@@ -68,6 +73,31 @@ TEST(SourceQualityTest, PriorsDominateWithoutData) {
   EXPECT_NEAR(q.sensitivity[0], 0.8, 1e-12);
   EXPECT_NEAR(q.specificity[0], 0.9, 1e-12);
   EXPECT_NEAR(q.FalsePositiveRate(0), 0.1, 1e-12);
+  // Accuracy is prior-smoothed like the other measures: a claimless
+  // source reports (a1.pos + a0.neg) / (a0.sum + a1.sum) = 170/200 —
+  // the strength-weighted mean of prior sensitivity and specificity —
+  // not the 0.0 the unsmoothed read-off used to emit.
+  EXPECT_NEAR(q.accuracy[0], 0.85, 1e-12);
+  EXPECT_NEAR(q.accuracy[1], 0.85, 1e-12);
+}
+
+// Regression for the claimless-source inconsistency: in one graph, a
+// source with claims and one without must both get prior-consistent
+// accuracy; the claimless one sits at its prior mean, strictly above 0.
+TEST(SourceQualityTest, ClaimlessSourceAccuracyMatchesPriorMean) {
+  // Source 0 claims, source 1 exists but never claims anything.
+  ClaimGraph claims = ClaimGraph::FromClaims({{0, 0, true}}, 1, 2);
+  const BetaPrior alpha0{10.0, 1000.0};
+  const BetaPrior alpha1{50.0, 50.0};
+  SourceQuality q = EstimateSourceQuality(
+      claims, std::vector<double>{1.0}, alpha0, alpha1);
+  const double prior_mean =
+      (alpha1.pos + alpha0.neg) / (alpha0.Sum() + alpha1.Sum());
+  EXPECT_NEAR(q.accuracy[1], prior_mean, 1e-12);
+  EXPECT_GT(q.accuracy[1], 0.0);
+  // The claiming source's one true positive nudges it above the prior.
+  EXPECT_GT(q.accuracy[0], prior_mean);
+  EXPECT_LE(q.accuracy[0], 1.0);
 }
 
 TEST(SourceQualityTest, QualitiesStayInUnitInterval) {
