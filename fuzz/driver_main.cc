@@ -1,0 +1,62 @@
+// Standalone corpus-replay driver: a `main` that feeds every file named
+// on the command line (or every regular file inside a named directory)
+// through LLVMFuzzerTestOneInput exactly once.
+//
+// This is what links against each fuzz_*.cc when the compiler is not
+// Clang (no libFuzzer): the checked-in seed corpus then runs as an
+// ordinary CTest regression test, so the "parser never crashes on these
+// bytes" property is enforced on every build — GCC+sanitizer legs
+// included — not just on the Clang fuzzing leg. Under Clang with
+// -DBUILD_FUZZERS=ON this file is NOT linked; libFuzzer provides main.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "driver: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(argv[i], ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(argv[i])) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-files>...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& f : files) {
+    if (!RunFile(f)) ++failures;
+  }
+  std::fprintf(stderr, "driver: replayed %zu input(s), %d unreadable\n",
+               files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

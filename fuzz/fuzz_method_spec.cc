@@ -1,0 +1,24 @@
+// Fuzz target for the MethodSpec grammar ("Name(key=value, ...)") — the
+// string that reaches the library straight from the command line. The
+// parser must reject malformed specs (unbalanced parens, empty keys,
+// duplicate options, trailing garbage) with InvalidArgument and never
+// crash on any input, printable or not.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "truth/method_spec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+  auto parsed = ltm::MethodSpec::Parse(spec);
+  if (parsed.ok()) {
+    // Exercise the option table the way a method factory would.
+    for (const std::string& key : parsed->options.Keys()) {
+      (void)parsed->options.GetString(key, "");
+    }
+    (void)parsed->options.CheckAllConsumed(parsed->name);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fuzz target for the WAL record reader — the store's most
+// corruption-exposed parser (it runs on every recovery, over whatever a
+// crash left on disk). Contract under test: ReplayWalBytes returns a
+// WalReplay (possibly with a torn tail) or a non-OK Status for EVERY byte
+// string; it never crashes, never reads out of bounds, and never sizes an
+// allocation from an unvalidated length field.
+//
+// Built with `-fsanitize=fuzzer,address,undefined` under Clang
+// (-DBUILD_FUZZERS=ON); under other compilers the same TU links against
+// fuzz/driver_main.cc and replays the checked-in corpus as a regression
+// test.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "store/wal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  auto replay = ltm::store::ReplayWalBytes(bytes, "fuzz-input");
+  if (replay.ok()) {
+    // Touch the parsed records so ASan sees any dangling internals.
+    size_t total = 0;
+    for (const auto& rec : replay->records) {
+      total += rec.entity.size() + rec.attribute.size() + rec.source.size();
+    }
+    (void)total;
+  }
+  return 0;
+}

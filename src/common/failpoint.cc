@@ -1,15 +1,16 @@
 #include "common/failpoint.h"
 
 #include <atomic>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace ltm {
 
 namespace {
 
 std::atomic<bool> g_armed{false};
-std::mutex g_mutex;
+Mutex g_mutex;
 std::function<Status(std::string_view)>& Handler() {
   static auto* handler = new std::function<Status(std::string_view)>();
   return *handler;
@@ -19,13 +20,13 @@ std::function<Status(std::string_view)>& Handler() {
 
 Status FailpointCheck(std::string_view point) {
   if (!g_armed.load(std::memory_order_relaxed)) return Status::OK();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   if (!Handler()) return Status::OK();
   return Handler()(point);
 }
 
 void SetFailpointHandler(std::function<Status(std::string_view)> handler) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   Handler() = std::move(handler);
   g_armed.store(static_cast<bool>(Handler()), std::memory_order_relaxed);
 }

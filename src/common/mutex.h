@@ -1,0 +1,91 @@
+#ifndef LTM_COMMON_MUTEX_H_
+#define LTM_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace ltm {
+
+/// std::mutex wrapped as a Clang thread-safety *capability*. libstdc++'s
+/// std::mutex carries no capability attributes, so `-Wthread-safety` can
+/// only prove anything about locks of this type — which is why every
+/// mutex-owning class in the repo holds an ltm::Mutex, never a bare
+/// std::mutex. Same cost: the wrapper is a std::mutex and the methods are
+/// trivial forwarders.
+///
+/// Conventions (enforced by the clang CI leg, see README):
+///   - every member a mutex protects is declared LTM_GUARDED_BY(mu_);
+///   - a private helper that runs with the lock already held is named
+///     `FooLocked()` and declared LTM_REQUIRES(mu_);
+///   - public methods that take the lock internally are declared
+///     LTM_EXCLUDES(mu_) when re-entry would self-deadlock;
+///   - LTM_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+///     comment explaining why the discipline is inexpressible.
+class LTM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LTM_ACQUIRE() { mu_.lock(); }
+  void Unlock() LTM_RELEASE() { mu_.unlock(); }
+  bool TryLock() LTM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spellings so CondVar (condition_variable_any) can
+  /// release/reacquire the mutex while waiting. The temporary release
+  /// inside a wait happens with the capability held on both sides of the
+  /// call, which is exactly what the static analysis needs to see.
+  void lock() LTM_ACQUIRE() { mu_.lock(); }
+  void unlock() LTM_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over ltm::Mutex, annotated as a scoped capability — the
+/// drop-in replacement for std::lock_guard<std::mutex> in annotated code.
+class LTM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LTM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() LTM_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with ltm::Mutex. Waits take the Mutex itself
+/// (condition_variable_any drives its BasicLockable interface), so call
+/// sites keep the capability visible to the analysis:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);   // ready_ is LTM_GUARDED_BY(mu_)
+///
+/// Predicate overloads are deliberately absent: the predicate lambda
+/// would be analyzed as a separate function without the capability, so
+/// explicit while-loops are both required and clearer.
+class CondVar {
+ public:
+  void Wait(Mutex& mu) LTM_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      LTM_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ltm
+
+#endif  // LTM_COMMON_MUTEX_H_

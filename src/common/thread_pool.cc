@@ -26,14 +26,16 @@ struct ParallelForState {
   std::atomic<size_t> cursor{0};
   std::atomic<bool> stopped{false};
 
-  std::mutex mutex;
-  std::condition_variable done;
-  int live_runners = 0;      ///< submitted worker tasks not yet exited
-  Status first_error;        ///< first non-OK stop_check result
-  std::exception_ptr first_exception;
+  Mutex mutex;
+  CondVar done;
+  /// Submitted worker tasks not yet exited.
+  int live_runners LTM_GUARDED_BY(mutex) = 0;
+  /// First non-OK stop_check result.
+  Status first_error LTM_GUARDED_BY(mutex);
+  std::exception_ptr first_exception LTM_GUARDED_BY(mutex);
 
   /// Executes chunks until exhaustion or stop. Never throws.
-  void RunLoop() {
+  void RunLoop() LTM_EXCLUDES(mutex) {
     for (;;) {
       if (stopped.load(std::memory_order_acquire)) return;
       if (*stop_check != nullptr) {
@@ -56,9 +58,9 @@ struct ParallelForState {
     }
   }
 
-  void Stop(Status error, std::exception_ptr exception) {
+  void Stop(Status error, std::exception_ptr exception) LTM_EXCLUDES(mutex) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (first_error.ok() && !error.ok()) first_error = std::move(error);
       if (!first_exception && exception) first_exception = exception;
     }
@@ -78,19 +80,19 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 std::shared_future<Status> ThreadPool::SubmitWithStatus(
@@ -119,8 +121,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) task_ready_.Wait(mutex_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -148,12 +150,15 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // progress (sequentially).
   const size_t helper_count =
       std::min<size_t>(workers_.size(), state->num_chunks);
-  state->live_runners = static_cast<int>(helper_count);
+  {
+    MutexLock lock(state->mutex);
+    state->live_runners = static_cast<int>(helper_count);
+  }
   for (size_t i = 0; i < helper_count; ++i) {
     Submit([state] {
       state->RunLoop();
-      std::lock_guard<std::mutex> lock(state->mutex);
-      if (--state->live_runners == 0) state->done.notify_all();
+      MutexLock lock(state->mutex);
+      if (--state->live_runners == 0) state->done.NotifyAll();
     });
   }
 
@@ -170,16 +175,20 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // short timed wait below only bounds the window of that two-lock race.
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       if (state->live_runners == 0) break;
     }
     if (!TryRunOneTask()) {
-      std::unique_lock<std::mutex> lock(state->mutex);
-      state->done.wait_for(lock, std::chrono::milliseconds(1),
-                           [&state] { return state->live_runners == 0; });
+      MutexLock lock(state->mutex);
+      if (state->live_runners != 0) {
+        state->done.WaitFor(state->mutex, std::chrono::milliseconds(1));
+      }
       if (state->live_runners == 0) break;
     }
   }
+  // All runners exited, so no thread can touch the guarded fields any
+  // more; the lock is for the analysis (and is uncontended).
+  MutexLock lock(state->mutex);
   if (state->first_exception) std::rethrow_exception(state->first_exception);
   return state->first_error;
 }
@@ -187,7 +196,7 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 bool ThreadPool::TryRunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();

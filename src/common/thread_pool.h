@@ -1,16 +1,16 @@
 #ifndef LTM_COMMON_THREAD_POOL_H_
 #define LTM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ltm {
 
@@ -37,12 +37,14 @@ class ThreadPool {
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(ThreadPool&&) = delete;
+  ThreadPool& operator=(ThreadPool&&) = delete;
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues a task for any worker. Tasks must not throw (ParallelFor
   /// wraps user callbacks; raw Submit callers own their error handling).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) LTM_EXCLUDES(mutex_);
 
   /// Enqueues a background job whose outcome the caller wants to observe —
   /// the TruthStore's background compaction is the canonical user. The
@@ -50,7 +52,8 @@ class ThreadPool {
   /// is captured as an Internal status instead of terminating the worker.
   /// The future is shared so several observers may wait on one job. On a
   /// zero-worker pool the job runs inline before this returns.
-  std::shared_future<Status> SubmitWithStatus(std::function<Status()> job);
+  std::shared_future<Status> SubmitWithStatus(std::function<Status()> job)
+      LTM_EXCLUDES(mutex_);
 
   /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) in chunks of
   /// `grain` (clamped to >= 1), concurrently on the workers plus the
@@ -67,7 +70,8 @@ class ThreadPool {
   /// rethrown on the calling thread after the barrier.
   Status ParallelFor(size_t begin, size_t end, size_t grain,
                      const std::function<void(size_t, size_t)>& fn,
-                     const std::function<Status()>& stop_check = nullptr);
+                     const std::function<Status()>& stop_check = nullptr)
+      LTM_EXCLUDES(mutex_);
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static int HardwareConcurrency();
@@ -77,18 +81,20 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() LTM_EXCLUDES(mutex_);
 
   /// Pops and runs one queued task on the calling thread; false when the
   /// queue is empty. Lets threads blocked at a ParallelFor barrier keep
   /// the pool making progress (the nesting deadlock-avoidance mechanism).
-  bool TryRunOneTask();
+  bool TryRunOneTask() LTM_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar task_ready_;
+  std::deque<std::function<void()>> queue_ LTM_GUARDED_BY(mutex_);
+  bool shutdown_ LTM_GUARDED_BY(mutex_) = false;
+  /// Immutable after construction (spawned in the constructor, joined in
+  /// the destructor), so reads need no lock.
   std::vector<std::thread> workers_;
-  bool shutdown_ = false;
 };
 
 }  // namespace ltm

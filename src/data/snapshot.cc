@@ -131,7 +131,12 @@ void PutInterner(PayloadWriter* w, const StringInterner& interner) {
 Result<std::vector<std::string>> GetInterner(PayloadReader* r) {
   LTM_ASSIGN_OR_RETURN(const uint64_t count, r->GetU64());
   std::vector<std::string> strings;
-  if (count > r->Remaining()) {
+  // Every string costs at least its 8-byte length prefix, so a count the
+  // remaining payload cannot possibly hold is corruption. Checked BEFORE
+  // the reserve: a forged count must never size an allocation (a 10 MB
+  // file claiming 2^40 strings would otherwise reserve ~32 TB of
+  // std::string headers before the first parse failure).
+  if (count > r->Remaining() / sizeof(uint64_t)) {
     return Status::InvalidArgument(
         "corrupt snapshot: interner claims more strings than payload bytes");
   }
@@ -197,8 +202,6 @@ Status SaveDatasetSnapshot(const Dataset& dataset, const std::string& path) {
 }
 
 Result<Dataset> LoadDatasetSnapshot(const std::string& path) {
-  LTM_RETURN_IF_ERROR(RequireLittleEndianHost());
-
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open snapshot: " + path);
@@ -206,6 +209,12 @@ Result<Dataset> LoadDatasetSnapshot(const std::string& path) {
   std::string file((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   if (in.bad()) return Status::IOError("snapshot read failed: " + path);
+  return LoadDatasetSnapshotFromBytes(file, path);
+}
+
+Result<Dataset> LoadDatasetSnapshotFromBytes(std::string_view file,
+                                             const std::string& path) {
+  LTM_RETURN_IF_ERROR(RequireLittleEndianHost());
 
   if (file.size() < kHeaderSize) {
     return Status::InvalidArgument("corrupt snapshot: file shorter than the " +

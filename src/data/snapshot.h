@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "data/dataset.h"
@@ -52,6 +53,16 @@ Status SaveDatasetSnapshot(const Dataset& dataset, const std::string& path);
 /// cannot be read; InvalidArgument for bad magic, unsupported version,
 /// truncation, checksum mismatch, or inconsistent content.
 Result<Dataset> LoadDatasetSnapshot(const std::string& path);
+
+/// LoadDatasetSnapshot over an in-memory image of a snapshot file (header
+/// included). `label` names the source in error messages. This is the
+/// actual parser — LoadDatasetSnapshot is a thin file-slurping wrapper —
+/// and the entry point the snapshot fuzzer drives: every byte string must
+/// yield a valid Dataset or a non-OK Status, never a crash, and every
+/// size field is bounds-checked against the bytes actually present
+/// *before* any allocation sized from it (allocation-bomb hardening).
+Result<Dataset> LoadDatasetSnapshotFromBytes(std::string_view file,
+                                             const std::string& label);
 
 }  // namespace ltm
 

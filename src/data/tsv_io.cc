@@ -25,6 +25,17 @@ Result<RawDatabase> LoadRawDatabaseFromTsv(const std::string& path) {
   if (!in) {
     return Status::IOError("cannot open raw database file: " + path);
   }
+  return LoadRawDatabaseFromTsvStream(in, path);
+}
+
+Result<RawDatabase> LoadRawDatabaseFromTsvString(std::string_view text,
+                                                 const std::string& label) {
+  std::istringstream in{std::string(text)};
+  return LoadRawDatabaseFromTsvStream(in, label);
+}
+
+Result<RawDatabase> LoadRawDatabaseFromTsvStream(std::istream& in,
+                                                 const std::string& path) {
   RawDatabase raw;
   std::string line;
   size_t lineno = 0;

@@ -1,7 +1,9 @@
 #ifndef LTM_DATA_TSV_IO_H_
 #define LTM_DATA_TSV_IO_H_
 
+#include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "data/dataset.h"
@@ -17,6 +19,15 @@ namespace ltm {
 /// InvalidArgument on a malformed line (fewer than 3 fields), citing the
 /// path, line number, and offending text.
 Result<RawDatabase> LoadRawDatabaseFromTsv(const std::string& path);
+
+/// LoadRawDatabaseFromTsv over an already-open stream / an in-memory
+/// buffer. `label` stands in for the path in error messages. The string
+/// overload is the entry point the TSV fuzzer drives: every byte string
+/// must parse or fail with a non-OK Status, never crash.
+Result<RawDatabase> LoadRawDatabaseFromTsvStream(std::istream& in,
+                                                 const std::string& label);
+Result<RawDatabase> LoadRawDatabaseFromTsvString(std::string_view text,
+                                                 const std::string& label);
 
 /// Writes `raw` back as `entity<TAB>attribute<TAB>source` lines.
 Status WriteRawDatabaseToTsv(const RawDatabase& raw, const std::string& path);

@@ -67,7 +67,12 @@ Result<Manifest> LoadManifest(const std::string& dir) {
   LTM_ASSIGN_OR_RETURN(m.wal_seq, r.GetU64());
   LTM_ASSIGN_OR_RETURN(m.wal_file, r.GetString());
   LTM_ASSIGN_OR_RETURN(const uint64_t num_segments, r.GetU64());
-  if (num_segments > r.Remaining()) {
+  // Each encoded segment costs at least 5 u64 counters, a u64 id and
+  // three u32 string length prefixes; checked against the bytes actually
+  // present BEFORE the reserve so a forged count cannot size a
+  // multi-gigabyte allocation.
+  constexpr uint64_t kMinEncodedSegmentBytes = 6 * 8 + 3 * 4;
+  if (num_segments > r.Remaining() / kMinEncodedSegmentBytes) {
     return Status::InvalidArgument(
         "corrupt manifest: segment count larger than payload: " + path);
   }

@@ -5,7 +5,7 @@ namespace store {
 
 std::optional<double> PosteriorCache::Get(const std::string& fact_key,
                                           uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(fact_key);
   if (it == index_.end()) {
     ++misses_;
@@ -33,7 +33,7 @@ std::optional<double> PosteriorCache::Get(const std::string& fact_key,
 void PosteriorCache::Put(const std::string& fact_key, uint64_t epoch,
                          double posterior) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(fact_key);
   if (it != index_.end()) {
     // A slow writer that materialized against an older store state must
@@ -55,23 +55,23 @@ void PosteriorCache::Put(const std::string& fact_key, uint64_t epoch,
 }
 
 void PosteriorCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
 }
 
 size_t PosteriorCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lru_.size();
 }
 
 uint64_t PosteriorCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 uint64_t PosteriorCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ltm {
 namespace store {
@@ -22,26 +24,36 @@ class PosteriorCache {
  public:
   explicit PosteriorCache(size_t capacity) : capacity_(capacity) {}
 
+  /// The LRU list's iterators are self-referential and the mutex is not
+  /// movable; copying a live cache is never meaningful, so neither is
+  /// allowed.
+  PosteriorCache(const PosteriorCache&) = delete;
+  PosteriorCache& operator=(const PosteriorCache&) = delete;
+  PosteriorCache(PosteriorCache&&) = delete;
+  PosteriorCache& operator=(PosteriorCache&&) = delete;
+
   /// Returns the cached posterior for `fact_key` when present *and*
   /// computed at exactly `epoch`. An entry older than the reader's epoch
   /// is erased and reported as a miss; a reader *behind* the cached
   /// epoch just misses (the fresher entry stays, so a lagging reader's
   /// later Put cannot sneak a stale value past the downgrade guard).
-  std::optional<double> Get(const std::string& fact_key, uint64_t epoch);
+  std::optional<double> Get(const std::string& fact_key, uint64_t epoch)
+      LTM_EXCLUDES(mutex_);
 
   /// Inserts or refreshes an entry, evicting least-recently-used entries
   /// beyond capacity. A write whose epoch is older than the cached
   /// entry's is dropped: a slow writer racing a store advance must not
   /// overwrite a posterior computed against fresher evidence. A capacity
   /// of 0 disables caching.
-  void Put(const std::string& fact_key, uint64_t epoch, double posterior);
+  void Put(const std::string& fact_key, uint64_t epoch, double posterior)
+      LTM_EXCLUDES(mutex_);
 
-  void Clear();
+  void Clear() LTM_EXCLUDES(mutex_);
 
-  size_t size() const;
+  size_t size() const LTM_EXCLUDES(mutex_);
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const;
-  uint64_t misses() const;
+  uint64_t hits() const LTM_EXCLUDES(mutex_);
+  uint64_t misses() const LTM_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -51,11 +63,13 @@ class PosteriorCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable Mutex mutex_;
+  /// front = most recently used
+  std::list<Entry> lru_ LTM_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      LTM_GUARDED_BY(mutex_);
+  uint64_t hits_ LTM_GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ LTM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace store

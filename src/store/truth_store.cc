@@ -119,6 +119,10 @@ Result<std::unique_ptr<TruthStore>> TruthStore::Open(
                            ec.message());
   }
   std::unique_ptr<TruthStore> st(new TruthStore(dir, options));
+  // Recovery below writes manifest_/wal_/memtable_ directly. No other
+  // thread can see the store yet, but the guarded fields still demand the
+  // capability, so hold the (uncontended) lock for the whole open.
+  MutexLock lock(st->mu_);
 
   Result<Manifest> loaded = LoadManifest(dir);
   if (!loaded.ok() && loaded.status().code() == StatusCode::kNotFound) {
@@ -204,7 +208,7 @@ Result<std::unique_ptr<TruthStore>> TruthStore::Open(
 }
 
 Status TruthStore::Append(const WalRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AppendLocked(record);
 }
 
@@ -229,7 +233,7 @@ Status TruthStore::AppendLocked(const WalRecord& record) {
 
 Status TruthStore::AppendRaw(const RawDatabase& raw) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const RawRow& row : raw.rows()) {
       WalRecord record;
       record.entity = std::string(raw.entities().Get(row.entity));
@@ -246,12 +250,12 @@ Status TruthStore::AppendDataset(const Dataset& chunk) {
 }
 
 Status TruthStore::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return wal_->Sync();
 }
 
 Status TruthStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FlushLocked();
 }
 
@@ -332,7 +336,7 @@ Status TruthStore::Compact() {
   // capture the same segment set, race the first commit, and could
   // produce a manifest with out-of-order segment ids.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (compacting_) {
       return Status::FailedPrecondition(
           "a compaction is already running");
@@ -340,7 +344,7 @@ Status TruthStore::Compact() {
     compacting_ = true;
   }
   Status st = CompactInner();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   compacting_ = false;
   return st;
 }
@@ -349,7 +353,7 @@ Status TruthStore::CompactInner() {
   std::vector<SegmentInfo> captured;
   uint64_t merged_id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (manifest_.segments.size() < 2) return Status::OK();
     captured = manifest_.segments;
     // Reserve the merged segment's id now so a concurrent flush cannot
@@ -372,7 +376,7 @@ Status TruthStore::CompactInner() {
 
   bool commit_adopted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Manifest next = manifest_;
     next.generation++;
     next.segments.clear();
@@ -409,7 +413,7 @@ Status TruthStore::CompactInner() {
 std::shared_future<Status> TruthStore::CompactAsync(ThreadPool& pool) {
   std::shared_future<Status> job =
       pool.SubmitWithStatus([this] { return Compact(); });
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Track every outstanding job (not just the latest — a fast-failing
   // duplicate must not drop the handle to a still-running merge), pruning
   // the ones that already resolved.
@@ -425,7 +429,7 @@ TruthStore::~TruthStore() {
   // the store must stay alive until the pool has run (or drained) them.
   std::vector<std::shared_future<Status>> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending.swap(pending_compactions_);
   }
   for (const std::shared_future<Status>& job : pending) {
@@ -438,7 +442,7 @@ void TruthStore::SnapshotForRead(const std::string* min_entity,
                                  std::vector<SegmentInfo>* segments,
                                  std::vector<WalRecord>* memtable_rows,
                                  uint64_t* epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *segments = manifest_.segments;
   *epoch = epoch_;
   // Copy out only the rows the query needs — a point read must not stall
@@ -514,12 +518,12 @@ Result<Dataset> TruthStore::MaterializeImpl(const std::string* min_entity,
 }
 
 uint64_t TruthStore::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return epoch_;
 }
 
 TruthStoreStats TruthStore::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TruthStoreStats stats;
   stats.epoch = epoch_;
   stats.generation = manifest_.generation;

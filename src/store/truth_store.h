@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "store/manifest.h"
@@ -98,40 +99,48 @@ class TruthStore {
   /// Joins any in-flight background compaction before tearing down.
   ~TruthStore();
 
+  /// Owns a directory, a WAL appender, and a mutex — copying or moving a
+  /// live store could never be correct, so both are compile errors.
+  TruthStore(const TruthStore&) = delete;
+  TruthStore& operator=(const TruthStore&) = delete;
+  TruthStore(TruthStore&&) = delete;
+  TruthStore& operator=(TruthStore&&) = delete;
+
   /// Appends one observation: WAL first, then the memtable. Records with
   /// observation != 1 are rejected (explicit negative claims are reserved
   /// in the record format but not yet served). May trigger an auto-flush
   /// per `memtable_flush_rows`.
-  Status Append(const WalRecord& record);
+  Status Append(const WalRecord& record) LTM_EXCLUDES(mu_);
 
   /// Appends every row of `raw` (in row order) and then Sync()s — one
   /// durable group commit per chunk. The ingest fast path: no fact table
   /// or claim graph is needed or built.
-  Status AppendRaw(const RawDatabase& raw);
+  Status AppendRaw(const RawDatabase& raw) LTM_EXCLUDES(mu_);
 
   /// AppendRaw over `chunk.raw` (convenience for callers that already
   /// materialized the chunk).
   Status AppendDataset(const Dataset& chunk);
 
   /// Makes all buffered appends durable (WAL fsync).
-  Status Sync();
+  Status Sync() LTM_EXCLUDES(mu_);
 
   /// Writes the memtable as a new immutable segment, rotates the WAL, and
   /// commits the manifest. No-op on an empty memtable.
-  Status Flush();
+  Status Flush() LTM_EXCLUDES(mu_);
 
   /// Merges every segment into one, preserving ingest order, and commits.
   /// No-op with fewer than two segments. Appends may proceed concurrently;
   /// segments flushed while the merge runs survive unmerged. At most one
   /// compaction (sync or async) at a time — a second concurrent call
   /// fails with FailedPrecondition.
-  Status Compact();
+  Status Compact() LTM_EXCLUDES(mu_);
 
   /// Runs Compact() as a background job on `pool`; the future resolves
   /// to FailedPrecondition when a compaction is already in flight. The
   /// store's destructor joins the job, so destroying the store without
   /// waiting on the future is safe (the pool must outlive the store).
-  std::shared_future<Status> CompactAsync(ThreadPool& pool);
+  std::shared_future<Status> CompactAsync(ThreadPool& pool)
+      LTM_EXCLUDES(mu_);
 
   /// Full rebuild: segments in id order, then the memtable. When
   /// `epoch_out` is non-null it receives the epoch the materialized data
@@ -148,9 +157,9 @@ class TruthStore {
 
   /// In-memory data version: advances on every append and every manifest
   /// commit. Keys the posterior cache.
-  uint64_t epoch() const;
+  uint64_t epoch() const LTM_EXCLUDES(mu_);
 
-  TruthStoreStats Stats() const;
+  TruthStoreStats Stats() const LTM_EXCLUDES(mu_);
 
   PosteriorCache& posterior_cache() { return cache_; }
 
@@ -165,17 +174,18 @@ class TruthStore {
  private:
   TruthStore(std::string dir, TruthStoreOptions options);
 
-  Status FlushLocked();
-  Status AppendLocked(const WalRecord& record);
-  /// Compact() body, running with the compacting_ flag held.
-  Status CompactInner();
+  Status FlushLocked() LTM_REQUIRES(mu_);
+  Status AppendLocked(const WalRecord& record) LTM_REQUIRES(mu_);
+  /// Compact() body, running with the compacting_ flag held. Takes and
+  /// releases mu_ around its capture and commit phases; the merge itself
+  /// runs unlocked.
+  Status CompactInner() LTM_EXCLUDES(mu_);
   /// Commits `next`, reconciling a failure against what is visible on
   /// disk: returns false for a clean commit, true when the commit's
   /// rename landed but the trailing directory fsync failed (the caller
   /// must then keep superseded files so a power-loss rollback of the
   /// un-synced rename still finds them). Any other failure propagates.
-  /// Caller holds mu_.
-  Result<bool> CommitOrAdopt(const Manifest& next);
+  Result<bool> CommitOrAdopt(const Manifest& next) LTM_REQUIRES(mu_);
   std::string SegmentPath(const SegmentInfo& seg) const;
   std::string WalPath(const std::string& file) const;
 
@@ -193,22 +203,23 @@ class TruthStore {
                        const std::string* max_entity,
                        std::vector<SegmentInfo>* segments,
                        std::vector<WalRecord>* memtable_rows,
-                       uint64_t* epoch) const;
+                       uint64_t* epoch) const LTM_EXCLUDES(mu_);
 
   const std::string dir_;
   const TruthStoreOptions options_;
 
-  mutable std::mutex mu_;
-  Manifest manifest_;
-  RawDatabase memtable_;
-  std::optional<WalWriter> wal_;
-  uint64_t epoch_ = 0;
-  uint64_t wal_records_replayed_ = 0;
-  bool recovered_torn_tail_ = false;
-  bool compacting_ = false;
+  mutable Mutex mu_;
+  Manifest manifest_ LTM_GUARDED_BY(mu_);
+  RawDatabase memtable_ LTM_GUARDED_BY(mu_);
+  std::optional<WalWriter> wal_ LTM_GUARDED_BY(mu_);
+  uint64_t epoch_ LTM_GUARDED_BY(mu_) = 0;
+  uint64_t wal_records_replayed_ LTM_GUARDED_BY(mu_) = 0;
+  bool recovered_torn_tail_ LTM_GUARDED_BY(mu_) = false;
+  bool compacting_ LTM_GUARDED_BY(mu_) = false;
   /// Outstanding CompactAsync jobs (each captures `this`); pruned as they
   /// resolve and joined by the destructor.
-  std::vector<std::shared_future<Status>> pending_compactions_;
+  std::vector<std::shared_future<Status>> pending_compactions_
+      LTM_GUARDED_BY(mu_);
 
   PosteriorCache cache_;
 };

@@ -123,7 +123,11 @@ Result<WalReplay> ReplayWal(const std::string& path) {
   std::string file((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   if (in.bad()) return Status::IOError("WAL read failed: " + path);
+  return ReplayWalBytes(file, path);
+}
 
+Result<WalReplay> ReplayWalBytes(std::string_view file,
+                                 const std::string& path) {
   const std::string canonical = CanonicalHeader();
   if (file.size() < kWalHeaderSize) {
     // A header prefix (including an empty file) is a torn fresh WAL:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -95,6 +96,14 @@ struct WalReplay {
 /// InvalidArgument when the header bytes present are not a prefix of a
 /// valid WAL header (wrong magic/version — corruption, not truncation).
 Result<WalReplay> ReplayWal(const std::string& path);
+
+/// ReplayWal over an in-memory image of a WAL file (header included).
+/// `label` names the source in error messages. This is the actual record
+/// reader — ReplayWal is a thin file-slurping wrapper — and the entry
+/// point the WAL fuzzer drives: it must return a valid record prefix or a
+/// non-OK Status for EVERY byte string, never crash or over-allocate.
+Result<WalReplay> ReplayWalBytes(std::string_view file,
+                                 const std::string& label);
 
 }  // namespace store
 }  // namespace ltm

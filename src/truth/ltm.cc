@@ -38,11 +38,12 @@ void LtmGibbs::DrawInitialTruth() {
   for (FactId f = 0; f < truth_.size(); ++f) {
     truth_[f] = rng_.Bernoulli(0.5) ? 1 : 0;
   }
+  MutexLock lock(counts_mutex_);
   counts_stale_ = true;
 }
 
 void LtmGibbs::EnsureCounts() const {
-  std::lock_guard<std::mutex> lock(counts_mutex_);
+  MutexLock lock(counts_mutex_);
   if (!counts_stale_) return;
   RecountClaims(graph_, truth_, &counts_);
   counts_stale_ = false;

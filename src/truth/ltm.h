@@ -3,10 +3,11 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "data/claim_graph.h"
 #include "data/fact_table.h"
@@ -44,6 +45,14 @@ class LtmGibbs {
   /// lazily on first use so that a Run() call (whose Initialize()
   /// redraws) never pays the O(edges) count pass twice.
   LtmGibbs(const ClaimGraph& graph, const LtmOptions& options);
+
+  /// The chain references the graph and owns a mutex; an accidental copy
+  /// would fork the RNG stream mid-sequence, so copies and moves are
+  /// compile errors.
+  LtmGibbs(const LtmGibbs&) = delete;
+  LtmGibbs& operator=(const LtmGibbs&) = delete;
+  LtmGibbs(LtmGibbs&&) = delete;
+  LtmGibbs& operator=(LtmGibbs&&) = delete;
 
   /// Randomly (re-)initializes the truth assignment and rebuilds counts.
   void Initialize();
@@ -96,7 +105,7 @@ class LtmGibbs {
   /// const Count() inspections stay race-free, as they were when the
   /// constructor built counts eagerly. (Count()/RunSweep concurrency is
   /// unsupported either way — RunSweep mutates the chain.)
-  void EnsureCounts() const;
+  void EnsureCounts() const LTM_EXCLUDES(counts_mutex_);
 
   int RunSweepReference();
   int RunSweepFused();
@@ -109,9 +118,13 @@ class LtmGibbs {
   std::vector<uint8_t> truth_;       // current t_f per fact
   // n_{s,i,j}, flattened s*4 + i*2 + j; rebuilt lazily (EnsureCounts)
   // after a truth redraw so construction + Run() pays one count pass.
+  // counts_ itself is covered by the chain's no-concurrent-mutation
+  // contract (sweeps mutate it lock-free after EnsureCounts), so only the
+  // staleness flag — the one field concurrent const readers race on — is
+  // lock-guarded.
   mutable std::vector<int64_t> counts_;
-  mutable bool counts_stale_ = true;
-  mutable std::mutex counts_mutex_;  // guards the lazy build only
+  mutable bool counts_stale_ LTM_GUARDED_BY(counts_mutex_) = true;
+  mutable Mutex counts_mutex_;  // guards the lazy build only
   std::vector<double> truth_sum_;    // sum of sampled t_f
   int num_samples_ = 0;
   // log(alpha_{i,j} ) cached view: alpha_[i][j] pseudo-count.

@@ -64,6 +64,7 @@ void ParallelLtmGibbs::DrawInitialTruth() {
       }
     }
   }
+  MutexLock lock(counts_mutex_);
   counts_stale_ = true;
 }
 
@@ -74,7 +75,7 @@ void ParallelLtmGibbs::Initialize() {
 }
 
 void ParallelLtmGibbs::EnsureCounts() const {
-  std::lock_guard<std::mutex> lock(counts_mutex_);
+  MutexLock lock(counts_mutex_);
   if (!counts_stale_) return;
   RecountClaims(graph_, truth_, &counts_);
   counts_stale_ = false;

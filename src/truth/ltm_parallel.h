@@ -4,11 +4,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/claim_graph.h"
@@ -60,6 +61,14 @@ class ParallelLtmGibbs {
   /// construction followed by Run() pays a single O(edges) count pass.
   ParallelLtmGibbs(const ClaimGraph& graph, const LtmOptions& options,
                    ThreadPool* pool = nullptr);
+
+  /// References the graph, owns per-shard RNG streams and a mutex; a copy
+  /// would alias the pool and fork the streams, so copies and moves are
+  /// compile errors.
+  ParallelLtmGibbs(const ParallelLtmGibbs&) = delete;
+  ParallelLtmGibbs& operator=(const ParallelLtmGibbs&) = delete;
+  ParallelLtmGibbs(ParallelLtmGibbs&&) = delete;
+  ParallelLtmGibbs& operator=(ParallelLtmGibbs&&) = delete;
 
   /// Randomly (re-)initializes the truth assignment (shard k draws its
   /// facts from stream k) and clears the accumulator; counts rebuild
@@ -118,7 +127,7 @@ class ParallelLtmGibbs {
   /// Recounts n_{s,i,j} from the graph and the current truth vector if a
   /// redraw left them stale. Mutex-guarded so concurrent const Count()
   /// inspections stay race-free (see LtmGibbs::EnsureCounts).
-  void EnsureCounts() const;
+  void EnsureCounts() const LTM_EXCLUDES(counts_mutex_);
 
   const ClaimGraph& graph_;
   LtmOptions options_;
@@ -133,9 +142,11 @@ class ParallelLtmGibbs {
   std::vector<uint8_t> truth_;
   // Authoritative n_{s,i,j}; rebuilt lazily after a truth redraw so
   // construction + Run() pays one count pass (see LtmGibbs).
+  // As in LtmGibbs: counts_ is covered by the no-concurrent-mutation
+  // contract, only the staleness flag is lock-guarded.
   mutable std::vector<int64_t> counts_;
-  mutable bool counts_stale_ = true;
-  mutable std::mutex counts_mutex_;  // guards the lazy build only
+  mutable bool counts_stale_ LTM_GUARDED_BY(counts_mutex_) = true;
+  mutable Mutex counts_mutex_;  // guards the lazy build only
   std::vector<std::vector<int64_t>> shard_counts_;  // per-shard local views
   // Fused-kernel memo tables: one per shard, never shared across threads
   // (lazy growth is unsynchronized).

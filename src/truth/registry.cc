@@ -17,7 +17,7 @@ MethodRegistry& MethodRegistry::Global() {
 Status MethodRegistry::Register(std::string canonical_name,
                                 std::vector<std::string> aliases,
                                 MethodFactory factory) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> keys;
   keys.push_back(ToLower(canonical_name));
   for (const std::string& alias : aliases) keys.push_back(ToLower(alias));
@@ -35,7 +35,7 @@ Status MethodRegistry::Register(std::string canonical_name,
 }
 
 Status MethodRegistry::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = by_alias_.find(ToLower(name));
   if (it == by_alias_.end()) {
     return Status::NotFound("unknown truth-finding method: " + name);
@@ -55,7 +55,7 @@ Result<std::unique_ptr<TruthMethod>> MethodRegistry::Create(
     const MethodSpec& spec, const LtmOptions& base_ltm) const {
   MethodFactory factory;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = by_alias_.find(ToLower(spec.name));
     if (it == by_alias_.end() || !entries_[it->second].factory) {
       return Status::NotFound("unknown truth-finding method: " + spec.name);
@@ -69,12 +69,12 @@ Result<std::unique_ptr<TruthMethod>> MethodRegistry::Create(
 }
 
 bool MethodRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return by_alias_.count(ToLower(name)) != 0;
 }
 
 std::vector<std::string> MethodRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const Entry& entry : entries_) {

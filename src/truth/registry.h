@@ -5,11 +5,12 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "truth/method_spec.h"
 #include "truth/options.h"
@@ -33,24 +34,35 @@ class MethodRegistry {
  public:
   static MethodRegistry& Global();
 
+  MethodRegistry() = default;
+  /// The registry is process-global, self-referential via by_alias_
+  /// indices, and mutex-owning; copies would silently fork the method
+  /// namespace, so they are compile errors.
+  MethodRegistry(const MethodRegistry&) = delete;
+  MethodRegistry& operator=(const MethodRegistry&) = delete;
+  MethodRegistry(MethodRegistry&&) = delete;
+  MethodRegistry& operator=(MethodRegistry&&) = delete;
+
   /// Registers `factory` under `canonical_name` plus `aliases`.
   /// AlreadyExists when any name is taken.
   Status Register(std::string canonical_name,
-                  std::vector<std::string> aliases, MethodFactory factory);
+                  std::vector<std::string> aliases, MethodFactory factory)
+      LTM_EXCLUDES(mutex_);
 
   /// Removes a method and its aliases (tests). NotFound when absent.
-  Status Unregister(const std::string& name);
+  Status Unregister(const std::string& name) LTM_EXCLUDES(mutex_);
 
   /// Instantiates the method named by `spec`. NotFound for an unknown
   /// name; InvalidArgument for bad options.
   Result<std::unique_ptr<TruthMethod>> Create(
-      const MethodSpec& spec, const LtmOptions& base_ltm = LtmOptions()) const;
+      const MethodSpec& spec, const LtmOptions& base_ltm = LtmOptions()) const
+      LTM_EXCLUDES(mutex_);
 
-  bool Contains(const std::string& name) const;
+  bool Contains(const std::string& name) const LTM_EXCLUDES(mutex_);
 
   /// Canonical registered names, sorted case-insensitively (deterministic
   /// regardless of registration order across translation units).
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const LTM_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -58,9 +70,10 @@ class MethodRegistry {
     MethodFactory factory;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
-  std::map<std::string, size_t> by_alias_;  ///< lowercase name -> entry index
+  mutable Mutex mutex_;
+  std::vector<Entry> entries_ LTM_GUARDED_BY(mutex_);
+  /// lowercase name -> entry index
+  std::map<std::string, size_t> by_alias_ LTM_GUARDED_BY(mutex_);
 };
 
 /// Static-initialization helper behind LTM_REGISTER_TRUTH_METHOD. A

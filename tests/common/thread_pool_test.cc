@@ -101,15 +101,69 @@ TEST(ThreadPoolTest, DeadlineExpiresMidParallelFor) {
 TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
   ThreadPool pool(2);
   std::atomic<int> chunks_run{0};
+  std::atomic<bool> thrown{false};
   EXPECT_THROW(
       pool.ParallelFor(0, 1000, 1,
-                       [&](size_t lo, size_t) {
+                       [&](size_t, size_t) {
+                         // The first chunk taken throws; every other chunk
+                         // is slow, so runners cannot burn through the
+                         // whole range inside the tiny window before they
+                         // observe the stop flag. (The previous version
+                         // threw on a fixed index with free chunks and
+                         // flaked under load when the throwing runner was
+                         // preempted mid-throw.)
+                         if (!thrown.exchange(true)) {
+                           throw std::runtime_error("boom");
+                         }
+                         std::this_thread::sleep_for(
+                             std::chrono::milliseconds(1));
                          ++chunks_run;
-                         if (lo == 3) throw std::runtime_error("boom");
                        }),
       std::runtime_error);
-  // The throw also stops dispatch of the remaining chunks.
-  EXPECT_LT(chunks_run.load(), 1000);
+  // The throw stops dispatch: each of the (at most 3) runners can start
+  // only a handful of 1ms chunks before seeing the stop flag, so almost
+  // all of the 999 non-throwing chunks must never have run.
+  EXPECT_LT(chunks_run.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsNonStdExceptionTypes) {
+  // The barrier transports exceptions as a type-erased
+  // std::exception_ptr, so a thrown value with no std::exception base
+  // must arrive at the caller intact — not sliced, swallowed, or
+  // converted to something else.
+  ThreadPool pool(2);
+  bool caught = false;
+  try {
+    (void)pool.ParallelFor(0, 8, 1, [](size_t lo, size_t) {
+      if (lo == 0) throw 42;
+    });
+  } catch (int e) {
+    caught = true;
+    EXPECT_EQ(e, 42);
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ThreadPoolTest, ExceptionWinsOverCancelRacingAtTheBarrier) {
+  // A task exception and a RunContext-style cancellation landing in the
+  // same ParallelFor must resolve deterministically: the exception is
+  // rethrown at the barrier and the cancel status is dropped. The
+  // stop_check below only starts cancelling once the throw has happened,
+  // so the two always race.
+  ThreadPool pool(2);
+  std::atomic<bool> thrown{false};
+  EXPECT_THROW(
+      pool.ParallelFor(
+          0, 1000, 1,
+          [&](size_t, size_t) {
+            if (!thrown.exchange(true)) throw std::runtime_error("boom");
+          },
+          [&]() -> Status {
+            return thrown.load(std::memory_order_acquire)
+                       ? Status::Cancelled("cancel raced the throw")
+                       : Status::OK();
+          }),
+      std::runtime_error);
 }
 
 TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
@@ -167,6 +221,15 @@ TEST(ThreadPoolTest, SubmitWithStatusCapturesExceptionsAsInternal) {
       []() -> Status { throw std::runtime_error("boom"); });
   EXPECT_EQ(f.get().code(), StatusCode::kInternal);
   EXPECT_NE(f.get().message().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, SubmitWithStatusCapturesNonStdExceptionAsInternal) {
+  // The catch(...) fallback: a thrown value outside the std::exception
+  // hierarchy still resolves the future (as Internal) instead of
+  // terminating the worker thread.
+  ThreadPool pool(1);
+  auto f = pool.SubmitWithStatus([]() -> Status { throw 42; });
+  EXPECT_EQ(f.get().code(), StatusCode::kInternal);
 }
 
 TEST(ThreadPoolTest, SubmitWithStatusRunsInlineOnAZeroWorkerPool) {

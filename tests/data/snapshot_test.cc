@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 
 #include "common/failpoint.h"
+#include "common/hash.h"
 #include "data/tsv_io.h"
 #include "test_util.h"
 #include "truth/ltm.h"
@@ -242,6 +244,62 @@ TEST_F(SnapshotTest, SaveToUnwritablePathIsIOError) {
   Dataset ds = LabeledDataset();
   Status st = ds.SaveSnapshot(dir_ + "/no-such-dir/x.snap");
   EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+// --- in-memory loader (the fuzzer entry point) ---------------------------
+
+std::string EncodeU64(uint64_t v) {
+  std::string out(sizeof(v), '\0');
+  std::memcpy(out.data(), &v, sizeof(v));
+  return out;
+}
+
+std::string SnapshotFileFor(const std::string& payload) {
+  std::string file(kSnapshotMagic, 4);
+  uint32_t version = kSnapshotVersion;
+  file.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  file += EncodeU64(payload.size());
+  file += EncodeU64(Fnv1a64(payload));
+  file += payload;
+  return file;
+}
+
+TEST_F(SnapshotTest, InMemoryLoaderMatchesFileLoader) {
+  const std::string path = Path("inmem.snap");
+  Dataset ds = LabeledDataset();
+  ASSERT_TRUE(ds.SaveSnapshot(path).ok());
+  auto from_bytes = LoadDatasetSnapshotFromBytes(ReadFile(path), "inmem");
+  ASSERT_TRUE(from_bytes.ok()) << from_bytes.status().message();
+  ExpectDatasetsEqual(ds, *from_bytes);
+}
+
+// Regression (satellite): a forged interner count must be rejected by
+// arithmetic on the bytes actually present, BEFORE any allocation is
+// sized from it. A 2^40 count in a tiny payload used to reserve ~32 TB
+// of std::string headers and die by OOM instead of by Status.
+TEST_F(SnapshotTest, RejectsInternerCountAllocationBomb) {
+  std::string payload;
+  payload += EncodeU64(4) + "bomb";          // dataset name
+  payload += EncodeU64(uint64_t{1} << 40);   // entity-interner count
+  payload += std::string(32, '\0');          // far fewer bytes than claimed
+  auto loaded = LoadDatasetSnapshotFromBytes(SnapshotFileFor(payload), "bomb");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("interner"), std::string::npos);
+}
+
+// Same property for the header: a payload-size field promising a terabyte
+// is rejected against the real file size before anything is read.
+TEST_F(SnapshotTest, RejectsHeaderPayloadSizeBomb) {
+  std::string file(kSnapshotMagic, 4);
+  uint32_t version = kSnapshotVersion;
+  file.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  file += EncodeU64(uint64_t{1} << 40);  // promised payload size
+  file += EncodeU64(0);                  // checksum (never reached)
+  file += std::string(16, '\0');         // actual payload: 16 bytes
+  auto loaded = LoadDatasetSnapshotFromBytes(file, "bomb");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

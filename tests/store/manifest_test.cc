@@ -1,0 +1,113 @@
+#include "store/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/hash.h"
+
+namespace ltm {
+namespace store {
+namespace {
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/manifest_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void WriteManifestFile(const std::string& content) {
+    std::ofstream out(dir_ + "/" + kManifestFileName,
+                      std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  std::string dir_;
+};
+
+template <typename T>
+std::string EncodeLe(T v) {
+  std::string out(sizeof(v), '\0');
+  std::memcpy(out.data(), &v, sizeof(v));
+  return out;
+}
+
+std::string EncodeString(const std::string& s) {
+  return EncodeLe<uint32_t>(static_cast<uint32_t>(s.size())) + s;
+}
+
+std::string ManifestFileFor(const std::string& payload) {
+  std::string file(kManifestMagic, 4);
+  file += EncodeLe<uint32_t>(kManifestVersion);
+  file += EncodeLe<uint64_t>(payload.size());
+  file += EncodeLe<uint64_t>(Fnv1a64(payload));
+  return file + payload;
+}
+
+TEST_F(ManifestTest, RoundTripPreservesSegments) {
+  Manifest m;
+  m.generation = 3;
+  m.next_segment_id = 7;
+  m.wal_seq = 4;
+  m.wal_file = "wal-000004.log";
+  SegmentInfo seg;
+  seg.id = 2;
+  seg.file = "seg-000002.snap";
+  seg.num_rows = 10;
+  seg.num_facts = 6;
+  seg.num_sources = 3;
+  seg.num_claims = 12;
+  seg.num_positive = 9;
+  seg.min_entity = "aardvark";
+  seg.max_entity = "zebra";
+  m.segments.push_back(seg);
+
+  ASSERT_TRUE(CommitManifest(dir_, m).ok());
+  auto loaded = LoadManifest(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->generation, m.generation);
+  EXPECT_EQ(loaded->next_segment_id, m.next_segment_id);
+  EXPECT_EQ(loaded->wal_seq, m.wal_seq);
+  EXPECT_EQ(loaded->wal_file, m.wal_file);
+  ASSERT_EQ(loaded->segments.size(), 1u);
+  EXPECT_EQ(loaded->segments[0], seg);
+}
+
+TEST_F(ManifestTest, MissingFileIsNotFound) {
+  auto loaded = LoadManifest(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// Regression (satellite): a forged segment count must be rejected by
+// arithmetic against the payload bytes actually present, BEFORE the
+// vector reserve it would otherwise size. A 2^40 count over a tiny
+// (correctly checksummed) payload used to attempt a ~100 TB reserve and
+// die by OOM instead of by Status.
+TEST_F(ManifestTest, RejectsSegmentCountAllocationBomb) {
+  std::string payload;
+  payload += EncodeLe<uint64_t>(1);             // generation
+  payload += EncodeLe<uint64_t>(1);             // next_segment_id
+  payload += EncodeLe<uint64_t>(1);             // wal_seq
+  payload += EncodeString("wal-000001.log");    // wal_file
+  payload += EncodeLe<uint64_t>(uint64_t{1} << 40);  // segment count: a lie
+  payload += std::string(64, '\0');             // far fewer bytes than that
+  WriteManifestFile(ManifestFileFor(payload));
+
+  auto loaded = LoadManifest(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("segment count"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace ltm

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "common/hash.h"
 
 namespace ltm {
 namespace store {
@@ -217,6 +220,79 @@ TEST_F(WalTest, ObservationBitRoundTrips) {
   ASSERT_TRUE(replay.ok());
   ASSERT_EQ(replay->records.size(), 1u);
   EXPECT_EQ(replay->records[0].observation, 0);
+}
+
+// --- in-memory reader (the fuzzer entry point) ---------------------------
+
+std::string WalHeaderBytes() {
+  std::string header(kWalMagic, 4);
+  uint32_t version = kWalVersion;
+  header.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  return header;
+}
+
+template <typename T>
+std::string EncodeLe(T v) {
+  std::string out(sizeof(v), '\0');
+  std::memcpy(out.data(), &v, sizeof(v));
+  return out;
+}
+
+TEST_F(WalTest, ReplayBytesMatchesReplayFromFile) {
+  const std::string path = Path("equiv.wal");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& r : SampleRecords()) {
+      ASSERT_TRUE(writer->Append(r).ok());
+    }
+    ASSERT_TRUE(writer->Sync().ok());
+  }
+  auto from_file = ReplayWal(path);
+  auto from_bytes = ReplayWalBytes(ReadFile(path), path);
+  ASSERT_TRUE(from_file.ok());
+  ASSERT_TRUE(from_bytes.ok());
+  EXPECT_EQ(from_file->valid_bytes, from_bytes->valid_bytes);
+  EXPECT_EQ(from_file->torn_tail, from_bytes->torn_tail);
+  ASSERT_EQ(from_file->records.size(), from_bytes->records.size());
+  for (size_t i = 0; i < from_file->records.size(); ++i) {
+    EXPECT_EQ(from_file->records[i].entity, from_bytes->records[i].entity);
+  }
+}
+
+// Regression (satellite): a record-size field claiming ~4 GB over a
+// 4-byte tail must be treated as a torn tail by comparing the size
+// against the bytes actually remaining — never by allocating or reading
+// 4 GB.
+TEST_F(WalTest, RecordSizeAllocationBombIsATornTail) {
+  const std::string bytes = WalHeaderBytes() +
+                            EncodeLe<uint32_t>(0xFFFFFFF0u) +  // record size
+                            EncodeLe<uint64_t>(0) +            // checksum
+                            std::string(4, '\0');              // actual tail
+  auto replay = ReplayWalBytes(bytes, "bomb");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_EQ(replay->valid_bytes, kWalHeaderSize);
+  EXPECT_TRUE(replay->torn_tail);
+}
+
+// A correctly-checksummed payload whose *inner* string length overruns
+// the payload stops the scan at that record (the bounds-checked
+// ByteReader refuses the read); nothing is over-allocated.
+TEST_F(WalTest, InnerStringLengthBombEndsTheScan) {
+  std::string payload;
+  payload += EncodeLe<uint8_t>(1);           // observation
+  payload += EncodeLe<uint32_t>(0xFFFFu);    // entity length: a lie
+  payload += "ab";                           // only two bytes follow
+  const std::string bytes = WalHeaderBytes() +
+                            EncodeLe<uint32_t>(
+                                static_cast<uint32_t>(payload.size())) +
+                            EncodeLe<uint64_t>(Fnv1a64(payload)) + payload;
+  auto replay = ReplayWalBytes(bytes, "bomb");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_EQ(replay->valid_bytes, kWalHeaderSize);
+  EXPECT_TRUE(replay->torn_tail);
 }
 
 }  // namespace

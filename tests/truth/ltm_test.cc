@@ -165,6 +165,10 @@ TEST(LtmGibbsTest, StreamContractPinsGoldenPosteriors) {
   opts.burnin = 8;
   opts.sample_gap = 1;
   opts.seed = 7;
+  // Pinned explicitly (kAuto resolves to kReference on the sequential
+  // chain today, but a golden bit-pin must not depend on that default —
+  // the determinism lint enforces this).
+  opts.kernel = LtmKernel::kReference;
 
   const std::vector<double> golden{0.9,   0.4,  0.775, 0.925,
                                    0.675, 0.35, 0.9,   0.55};
