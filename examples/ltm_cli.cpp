@@ -6,6 +6,7 @@
 //           [--labels labels.tsv] [--save-snapshot data.snap]
 //   ltm_cli <data.snap> --snapshot [...]
 //   ltm_cli --store DIR [--append chunk.tsv] [--flush] [...]
+//   ltm_cli --store DIR --serve-queries q.tsv [--serve-spec "serve(...)"]
 //
 // Input: one `entity<TAB>attribute<TAB>source` triple per line, or (with
 // --snapshot) a binary snapshot written by --save-snapshot — repeat runs
@@ -13,19 +14,27 @@
 // the dataset is materialized from a TruthStore directory (segments +
 // WAL-recovered tail); --append first durably ingests a TSV chunk into
 // the store's WAL (--flush also compacts the memtable into a segment).
+// --serve-queries answers `entity<TAB>attribute` rows online through a
+// serve::ServeSession (epoch-pinned reads over a pipeline bootstrapped
+// from the store) instead of running a batch method.
 // Output: per-fact probabilities/decisions; optional per-source quality;
 // optional evaluation against a label file.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <utility>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "data/tsv_io.h"
 #include "eval/metrics.h"
 #include "eval/table_printer.h"
+#include "ext/streaming.h"
+#include "serve/serve_options.h"
+#include "serve/serve_session.h"
 #include "store/truth_store.h"
 #include "truth/ltm.h"
 #include "truth/registry.h"
@@ -41,6 +50,8 @@ void Usage() {
       "               [--deadline SECONDS] [--trace]\n"
       "               [--snapshot] [--save-snapshot data.snap]\n"
       "       ltm_cli --store DIR [--append chunk.tsv] [--flush] [...]\n"
+      "       ltm_cli --store DIR --serve-queries q.tsv "
+      "[--serve-spec \"serve(...)\"]\n"
       "SPEC is a method name, optionally parameterized:\n"
       "  LTM  \"LTM(iterations=200,seed=7)\"  \"TruthFinder(rho=0.5,gamma=0.3)\"\n"
       "methods:");
@@ -121,6 +132,68 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
         return 1;
       }
+    }
+    if (flags.count("serve-queries")) {
+      // Online read path: no batch method run — bootstrap a pipeline
+      // from the store and serve the query file through a ServeSession.
+      std::ifstream in(flags["serve-queries"]);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     flags["serve-queries"].c_str());
+        return 1;
+      }
+      std::vector<ltm::serve::FactRef> queries;
+      std::string line;
+      while (std::getline(in, line)) {
+        const std::string_view trimmed = ltm::Trim(line);
+        if (trimmed.empty() || trimmed.front() == '#') continue;
+        const std::vector<std::string> fields = ltm::Split(trimmed, '\t');
+        if (fields.size() != 2) {
+          std::fprintf(stderr,
+                       "error: %s: want entity<TAB>attribute rows\n",
+                       flags["serve-queries"].c_str());
+          return 1;
+        }
+        ltm::serve::FactRef ref;
+        ref.entity = fields[0];
+        ref.attribute = fields[1];
+        queries.push_back(std::move(ref));
+      }
+      auto serve_options = ltm::serve::ParseServeSpec(
+          flags.count("serve-spec") ? flags["serve-spec"] : "serve");
+      if (!serve_options.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     serve_options.status().ToString().c_str());
+        return 1;
+      }
+      const ltm::store::TruthStoreStats sstats = (*store)->Stats();
+      ltm::ext::StreamingOptions stream_opts;
+      stream_opts.ltm = ltm::LtmOptions::ScaledDefaults(sstats.segment_rows +
+                                                        sstats.memtable_rows);
+      ltm::ext::StreamingPipeline pipeline(stream_opts);
+      if (ltm::Status st = pipeline.BootstrapFromStore(store->get());
+          !st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      auto session =
+          ltm::serve::ServeSession::Create(&pipeline, *serve_options);
+      if (!session.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     session.status().ToString().c_str());
+        return 1;
+      }
+      auto posteriors = (*session)->QueryBatch(queries);
+      if (!posteriors.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     posteriors.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t i = 0; i < queries.size(); ++i) {
+        std::printf("%s\t%s\t%.6f\n", queries[i].entity.c_str(),
+                    queries[i].attribute.c_str(), (*posteriors)[i]);
+      }
+      return 0;
     }
     auto materialized = (*store)->Materialize();
     if (!materialized.ok()) {

@@ -7,6 +7,7 @@
 //   store_cli <dir> inspect
 //   store_cli <dir> verify
 //   store_cli <dir> materialize --out <raw.tsv>
+//   store_cli <dir> serve <queries.tsv> [--spec "serve(...)"]
 //
 // Every mutating command accepts --fail-at POINT: the process _exit()s
 // the moment a durability failpoint whose name contains POINT is hit —
@@ -22,8 +23,14 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/string_util.h"
 #include "data/tsv_io.h"
+#include "ext/streaming.h"
+#include "serve/serve_options.h"
+#include "serve/serve_session.h"
 #include "store/truth_store.h"
+
+#include <fstream>
 
 #if !defined(_WIN32)
 #include <unistd.h>
@@ -39,6 +46,7 @@ int Usage() {
       "  ingest <chunk.tsv> [--flush] [--sync-every-append]\n"
       "  flush | compact | inspect | verify\n"
       "  materialize --out <raw.tsv>\n"
+      "  serve <queries.tsv> [--spec \"serve(key=value,...)\"]\n"
       "all mutating commands accept --fail-at POINT (simulated kill)\n");
   return 2;
 }
@@ -74,6 +82,7 @@ int main(int argc, char** argv) {
   std::string fail_at;
   std::string tsv_path;
   std::string out_path;
+  std::string serve_spec = "serve";
   bool flush_after = false;
   ltm::store::TruthStoreOptions options;
   for (size_t i = 0; i < rest.size(); ++i) {
@@ -85,6 +94,8 @@ int main(int argc, char** argv) {
       options.sync_every_append = true;
     } else if (rest[i] == "--out" && i + 1 < rest.size()) {
       out_path = rest[++i];
+    } else if (rest[i] == "--spec" && i + 1 < rest.size()) {
+      serve_spec = rest[++i];
     } else if (rest[i].rfind("--", 0) != 0 && tsv_path.empty()) {
       tsv_path = rest[i];
     } else {
@@ -145,6 +156,48 @@ int main(int argc, char** argv) {
     if (!st.ok()) return Fail(st);
     std::fprintf(stderr, "materialized %zu row(s) to %s\n",
                  ds->raw.NumRows(), out_path.c_str());
+  } else if (command == "serve") {
+    // Read path: bootstrap a pipeline from the store and answer the
+    // query file through a ServeSession (epoch-pinned snapshot reads).
+    if (tsv_path.empty()) return Usage();
+    std::ifstream in(tsv_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", tsv_path.c_str());
+      return 1;
+    }
+    std::vector<ltm::serve::FactRef> queries;
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string_view trimmed = ltm::Trim(line);
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      const std::vector<std::string> fields = ltm::Split(trimmed, '\t');
+      if (fields.size() != 2) {
+        std::fprintf(stderr, "error: %s: want entity<TAB>attribute rows\n",
+                     tsv_path.c_str());
+        return 1;
+      }
+      ltm::serve::FactRef ref;
+      ref.entity = fields[0];
+      ref.attribute = fields[1];
+      queries.push_back(std::move(ref));
+    }
+    auto serve_options = ltm::serve::ParseServeSpec(serve_spec);
+    if (!serve_options.ok()) return Fail(serve_options.status());
+    const ltm::store::TruthStoreStats stats = (*store)->Stats();
+    ltm::ext::StreamingOptions stream_opts;
+    stream_opts.ltm = ltm::LtmOptions::ScaledDefaults(stats.segment_rows +
+                                                      stats.memtable_rows);
+    ltm::ext::StreamingPipeline pipeline(stream_opts);
+    ltm::Status st = pipeline.BootstrapFromStore(store->get());
+    if (!st.ok()) return Fail(st);
+    auto session = ltm::serve::ServeSession::Create(&pipeline, *serve_options);
+    if (!session.ok()) return Fail(session.status());
+    auto posteriors = (*session)->QueryBatch(queries);
+    if (!posteriors.ok()) return Fail(posteriors.status());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::printf("%s\t%s\t%.6f\n", queries[i].entity.c_str(),
+                  queries[i].attribute.c_str(), (*posteriors)[i]);
+    }
   } else {
     return Usage();
   }

@@ -20,6 +20,7 @@
 #include "eval/metrics.h"
 #include "eval/table_printer.h"
 #include "ext/streaming.h"
+#include "serve/serve_session.h"
 #include "store/truth_store.h"
 #include "synth/labeling.h"
 #include "synth/movie_simulator.h"
@@ -139,25 +140,37 @@ int main() {
   }
   table.Print();
 
-  // Online point reads: the first ServeFact for a fact rebuilds only its
-  // entity's segment slice (zone-stat skipping) and caches the result;
-  // repeat reads are LRU hits until new evidence advances the store
-  // epoch. Probe a fact from the last-arrived chunk twice to show both.
+  // Online point reads now go through the serving front-end: a
+  // ServeSession wraps the pipeline + store with epoch-pinned reads,
+  // request coalescing, and admission control. The first Query for a
+  // fact pins the epoch, rebuilds only its entity's segment slice
+  // (zone-stat skipping), and caches every fact of that slice; repeat
+  // reads are LRU hits until new evidence advances the store epoch.
+  // (ObserveToStore drove the pipeline directly above, so refresh the
+  // session-visible quality by hand — a session with a background refit
+  // scheduler does this itself.)
+  auto session = ltm::serve::ServeSession::Create(
+      &pipeline, ltm::serve::ServeOptions{});
+  if (!session.ok()) {
+    std::fprintf(stderr, "serve session failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
   const ltm::Fact& probe = chunks.back().facts.fact(0);
-  const std::string entity =
-      std::string(chunks.back().raw.entities().Get(probe.entity));
-  const std::string attribute =
+  ltm::serve::FactRef ref;
+  ref.entity = std::string(chunks.back().raw.entities().Get(probe.entity));
+  ref.attribute =
       std::string(chunks.back().raw.attributes().Get(probe.attribute));
-  auto served = pipeline.ServeFact(entity, attribute);
-  served = pipeline.ServeFact(entity, attribute);  // repeat read: LRU hit
+  auto served = (*session)->Query(ref);
+  served = (*session)->Query(ref);  // repeat read: LRU hit
   if (served.ok()) {
-    std::printf("\nServeFact(\"%s\", \"%s\") = %.4f  (cache: %llu hit(s), "
-                "%llu miss(es))\n",
-                entity.c_str(), attribute.c_str(), *served,
-                static_cast<unsigned long long>(
-                    (*store)->posterior_cache().hits()),
-                static_cast<unsigned long long>(
-                    (*store)->posterior_cache().misses()));
+    const ltm::serve::ServeStats sstats = (*session)->Stats();
+    std::printf("\nServeSession::Query(\"%s\", \"%s\") = %.4f  (cache: "
+                "%llu hit(s), %llu miss(es); %llu slice compute(s))\n",
+                ref.entity.c_str(), ref.attribute.c_str(), *served,
+                static_cast<unsigned long long>(sstats.cache.hits),
+                static_cast<unsigned long long>(sstats.cache.misses),
+                static_cast<unsigned long long>(sstats.slice_computes));
   }
 
   // Compact the accumulated segments and show the durable footprint.

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -62,6 +63,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "serve/fact_scoring.h"
 #include "store/truth_store.h"
 #include "truth/registry.h"
 
@@ -169,28 +170,18 @@ Status StreamingPipeline::ObserveToStore(const Dataset& chunk,
   // where the fit provably covered the store's contents.
   if (options_.ltm.refit_epoch_delta > 0 &&
       store_->epoch() - last_fit_epoch_ >= options_.ltm.refit_epoch_delta) {
-    // Resync the in-memory cumulative mirror from the store so the refit
-    // covers exactly the evidence whose arrival triggered it —
-    // transactionally: the mirror swap is rolled back if the refit
-    // fails, so quality_ and cumulative_ can never be left with
-    // mismatched source-interning orders. NestedContext carries the
-    // budget remaining after the observe, so the refit cannot exceed the
-    // caller's deadline.
-    uint64_t fit_epoch = 0;
-    LTM_ASSIGN_OR_RETURN(Dataset durable, store_->Materialize(&fit_epoch));
-    std::swap(cumulative_, durable.raw);  // durable.raw now holds the old
-    Status refit = Refit(obs.NestedContext());
-    if (!refit.ok()) {
-      std::swap(cumulative_, durable.raw);  // Refit left quality_ as-is
-      // Undo the chunk count too: a retried ObserveToStore re-runs
-      // Observe in full. serving_'s transient double accumulation is
-      // absorbed by the next successful refit (same as Observe's own
-      // failed-refit path).
+    // NestedContext carries the budget remaining after the observe, so
+    // the refit cannot exceed the caller's deadline.
+    const Result<uint64_t> fit = RefitFromStore(obs.NestedContext());
+    if (!fit.ok()) {
+      // Undo the chunk count: a retried ObserveToStore re-runs Observe
+      // in full. serving_'s transient double accumulation is absorbed by
+      // the next successful refit (same as Observe's own failed-refit
+      // path).
       chunks_.pop_back();
-      return refit;
+      return fit.status();
     }
     last_refit_ = true;
-    last_fit_epoch_ = fit_epoch;
   }
   pending_store_append_ = false;  // the chunk is fully absorbed
   // The posterior cache is deliberately NOT warmed with last_result_:
@@ -210,47 +201,53 @@ Result<double> StreamingPipeline::ServeFact(const std::string& entity,
   if (auto hit = store_->posterior_cache().Get(key, store_->epoch())) {
     return *hit;
   }
-  // Miss: rebuild just this entity's slice — zone stats skip every
-  // segment whose entity range excludes it — and apply Eq. 3.
-  uint64_t epoch = 0;
-  LTM_ASSIGN_OR_RETURN(
-      const Dataset slice,
-      store_->MaterializeEntityRange(entity, entity, nullptr, &epoch));
-  double posterior = options_.ltm.beta.Mean();  // no-claim prior (Eq. 3)
+  // Miss: rebuild just this entity's slice from an epoch pin — zone
+  // stats skip every segment whose entity range excludes it, and the pin
+  // keeps a concurrent compaction from deleting files mid-read — then
+  // apply Eq. 3 via the shared serving scorer.
+  const auto pin = store_->PinEpoch(&entity, &entity);
+  LTM_ASSIGN_OR_RETURN(const Dataset slice,
+                       store_->MaterializeFromPin(*pin, &entity, &entity));
+  const serve::QualityLookup lookup = serve::BuildQualityLookup(
+      quality_, cumulative_.sources(), options_.ltm);
+  double posterior = lookup.no_claim_prior;
   const auto eid = slice.raw.entities().Find(entity);
   const auto aid = slice.raw.attributes().Find(attribute);
   if (eid.has_value() && aid.has_value()) {
     if (const auto f = slice.facts.Find(*eid, *aid)) {
-      // The slice interns its own source ids; remap the learned quality
-      // by source name, falling back to the prior means for sources the
-      // last fit never saw (matching LtmIncremental's unseen-source rule).
-      SourceQuality sliced;
-      const size_t n = slice.raw.NumSources();
-      sliced.sensitivity.resize(n);
-      sliced.specificity.resize(n);
-      sliced.precision.resize(n, 0.0);
-      sliced.accuracy.resize(n, 0.0);
-      sliced.expected_counts.resize(n);
-      for (SourceId s = 0; s < n; ++s) {
-        const auto global =
-            cumulative_.sources().Find(slice.raw.sources().Get(s));
-        if (global.has_value() && *global < quality_.NumSources()) {
-          sliced.sensitivity[s] = quality_.sensitivity[*global];
-          sliced.specificity[s] = quality_.specificity[*global];
-        } else {
-          sliced.sensitivity[s] = options_.ltm.alpha1.Mean();
-          sliced.specificity[s] = 1.0 - options_.ltm.alpha0.Mean();
-        }
-      }
-      LtmIncremental scorer(std::move(sliced), options_.ltm);
-      RunContext rctx;
-      LTM_ASSIGN_OR_RETURN(const TruthResult result,
-                           scorer.Run(rctx, slice.facts, slice.graph));
-      posterior = result.estimate.probability[*f];
+      LTM_ASSIGN_OR_RETURN(
+          const std::vector<double> probs,
+          serve::ScoreSlice(slice, lookup, options_.ltm, RunContext()));
+      posterior = probs[*f];
     }
   }
-  store_->posterior_cache().Put(key, epoch, posterior);
+  store_->posterior_cache().Put(key, pin->epoch(), posterior);
   return posterior;
+}
+
+Result<uint64_t> StreamingPipeline::RefitFromStore(const RunContext& ctx) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "RefitFromStore: no store attached; call BootstrapFromStore first");
+  }
+  // Resync the in-memory cumulative mirror from the store so the refit
+  // covers exactly the durable evidence — including appends that never
+  // went through this pipeline (a foreign writer, or a chunk whose
+  // scoring failed after its WAL append) — transactionally: the mirror
+  // swap is rolled back if the refit fails, so quality_ and cumulative_
+  // can never be left with mismatched source-interning orders.
+  uint64_t fit_epoch = 0;
+  LTM_ASSIGN_OR_RETURN(Dataset durable, store_->Materialize(&fit_epoch));
+  if (durable.raw.NumRows() == 0) return fit_epoch;  // nothing to fit
+  std::swap(cumulative_, durable.raw);  // durable.raw now holds the old
+  Status refit = Refit(ctx);
+  if (!refit.ok()) {
+    std::swap(cumulative_, durable.raw);  // Refit left quality_ as-is
+    return refit;
+  }
+  bootstrapped_ = true;
+  last_fit_epoch_ = fit_epoch;
+  return fit_epoch;
 }
 
 Status StreamingPipeline::Refit(const RunContext& ctx) {

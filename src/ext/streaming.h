@@ -111,17 +111,47 @@ class StreamingPipeline : public StreamingTruthMethod {
   Status ObserveToStore(const Dataset& chunk,
                         const RunContext& ctx = RunContext());
 
-  /// Online point read against the attached store: the posterior truth
-  /// probability of (entity, attribute) under the current source quality
-  /// (Eq. 3). Served from the store's LRU posterior cache when the entry
-  /// is current for the store epoch; on a miss, materializes only the
-  /// entity's segment range (zone-stat skipping) and scores it — no
-  /// refit, no full materialization. Unknown facts score at the beta
+  /// DEPRECATED as the public read path — create a serve::ServeSession
+  /// over this pipeline instead: it adds epoch-pinned snapshot reads,
+  /// duplicate-query coalescing, admission control, and latency stats,
+  /// and takes a RunContext like every other entry point. This thin shim
+  /// forwards to the same pinned-slice scoring the session uses
+  /// (serve::ScoreSlice over an epoch-pinned materialization), so its
+  /// outputs are unchanged; it remains for single-threaded callers and
+  /// compatibility.
+  ///
+  /// Semantics: the posterior truth probability of (entity, attribute)
+  /// under the current source quality (Eq. 3), served from the store's
+  /// LRU posterior cache when current for the store epoch; on a miss,
+  /// materializes only the entity's slice (zone-stat segment skipping)
+  /// from an epoch pin and scores it. Unknown facts score at the beta
   /// prior mean.
   Result<double> ServeFact(const std::string& entity,
                            const std::string& attribute);
 
+  /// Materializes the attached store at its current epoch, resyncs the
+  /// cumulative mirror from it, and batch-refits — transactionally: on
+  /// failure the mirror swap is rolled back and the previous quality
+  /// stays installed. Returns the epoch the fit covered (which re-arms
+  /// the refit_epoch_delta trigger). This is the refit entry point the
+  /// serving layer's background scheduler drives; ObserveToStore's epoch
+  /// trigger goes through it too. A store with no rows is a no-op
+  /// (returns the current epoch without fitting).
+  Result<uint64_t> RefitFromStore(const RunContext& ctx = RunContext());
+
   store::TruthStore* attached_store() const { return store_; }
+
+  /// Interner of the cumulative mirror: source name -> the id space the
+  /// installed quality() is indexed by. The serving layer uses this to
+  /// build its name-keyed quality lookup.
+  const StringInterner& cumulative_sources() const {
+    return cumulative_.sources();
+  }
+
+  const StreamingOptions& options() const { return options_; }
+
+  /// Store epoch covered by the most recent batch fit.
+  uint64_t last_fit_epoch() const { return last_fit_epoch_; }
 
   /// Quality currently used for incremental predictions.
   const SourceQuality& quality() const { return quality_; }

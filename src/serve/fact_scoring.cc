@@ -1,0 +1,55 @@
+#include "serve/fact_scoring.h"
+
+#include <algorithm>
+
+#include "truth/ltm_incremental.h"
+
+namespace ltm {
+namespace serve {
+
+QualityLookup BuildQualityLookup(const SourceQuality& quality,
+                                 const StringInterner& sources,
+                                 const LtmOptions& options) {
+  QualityLookup lookup;
+  const size_t n = std::min(sources.size(), quality.NumSources());
+  lookup.by_name.reserve(n);
+  for (SourceId s = 0; s < n; ++s) {
+    lookup.by_name.emplace(
+        std::string(sources.Get(s)),
+        std::make_pair(quality.sensitivity[s], quality.specificity[s]));
+  }
+  lookup.prior_sensitivity = options.alpha1.Mean();
+  lookup.prior_specificity = 1.0 - options.alpha0.Mean();
+  lookup.no_claim_prior = options.beta.Mean();
+  return lookup;
+}
+
+Result<std::vector<double>> ScoreSlice(const Dataset& slice,
+                                       const QualityLookup& lookup,
+                                       const LtmOptions& options,
+                                       const RunContext& ctx) {
+  SourceQuality sliced;
+  const size_t n = slice.raw.NumSources();
+  sliced.sensitivity.resize(n);
+  sliced.specificity.resize(n);
+  sliced.precision.resize(n, 0.0);
+  sliced.accuracy.resize(n, 0.0);
+  sliced.expected_counts.resize(n);
+  for (SourceId s = 0; s < n; ++s) {
+    const auto it = lookup.by_name.find(std::string(slice.raw.sources().Get(s)));
+    if (it != lookup.by_name.end()) {
+      sliced.sensitivity[s] = it->second.first;
+      sliced.specificity[s] = it->second.second;
+    } else {
+      sliced.sensitivity[s] = lookup.prior_sensitivity;
+      sliced.specificity[s] = lookup.prior_specificity;
+    }
+  }
+  LtmIncremental scorer(std::move(sliced), options);
+  LTM_ASSIGN_OR_RETURN(const TruthResult result,
+                       scorer.Run(ctx, slice.facts, slice.graph));
+  return result.estimate.probability;
+}
+
+}  // namespace serve
+}  // namespace ltm

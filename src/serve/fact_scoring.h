@@ -1,0 +1,52 @@
+#ifndef LTM_SERVE_FACT_SCORING_H_
+#define LTM_SERVE_FACT_SCORING_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/interner.h"
+#include "truth/options.h"
+#include "truth/source_quality.h"
+#include "truth/truth_method.h"
+
+namespace ltm {
+namespace serve {
+
+/// Frozen source quality keyed by source *name* — the serving-side view
+/// of a batch fit. Store slices intern their own source ids in slice
+/// order, so serving must remap the learned per-id quality by name;
+/// sources the fit never saw score at the prior means (matching
+/// LtmIncremental's unseen-source rule).
+struct QualityLookup {
+  /// name -> (sensitivity, specificity)
+  std::unordered_map<std::string, std::pair<double, double>> by_name;
+  double prior_sensitivity = 0.0;   ///< alpha1 prior mean
+  double prior_specificity = 0.0;   ///< 1 - alpha0 prior mean
+  double no_claim_prior = 0.5;      ///< beta prior mean (fact with no claims)
+};
+
+/// Builds the name-keyed lookup from a batch read-off. `quality` is
+/// indexed by `sources` ids (the fitted interner); ids beyond the
+/// read-off's range are ignored (they arrived after the fit and fall
+/// back to the priors at scoring time).
+QualityLookup BuildQualityLookup(const SourceQuality& quality,
+                                 const StringInterner& sources,
+                                 const LtmOptions& options);
+
+/// Scores every fact of `slice` in closed form (Eq. 3) under `lookup`,
+/// remapping quality onto the slice's own source ids by name. Returns
+/// posteriors aligned with slice.facts. Deterministic: no sampling, and
+/// the per-fact claim order follows the slice's packed adjacency.
+Result<std::vector<double>> ScoreSlice(const Dataset& slice,
+                                       const QualityLookup& lookup,
+                                       const LtmOptions& options,
+                                       const RunContext& ctx);
+
+}  // namespace serve
+}  // namespace ltm
+
+#endif  // LTM_SERVE_FACT_SCORING_H_

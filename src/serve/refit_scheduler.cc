@@ -1,0 +1,105 @@
+#include "serve/refit_scheduler.h"
+
+#include "common/logging.h"
+
+namespace ltm {
+namespace serve {
+
+RefitScheduler::RefitScheduler(ThreadPool* pool, RefitFn fn,
+                               RefitSchedulerOptions options,
+                               uint64_t initial_fit_epoch)
+    : pool_(pool),
+      fn_(std::move(fn)),
+      options_(options),
+      last_fit_epoch_(initial_fit_epoch) {}
+
+RefitScheduler::~RefitScheduler() {
+  // Abort an in-flight fit promptly (the callback's RunContext carries
+  // cancel_), then wait for it: the pool job captured `this` raw.
+  cancel_.store(true, std::memory_order_relaxed);
+  Drain();
+}
+
+Status RefitScheduler::NotifyEpoch(uint64_t epoch) {
+  MutexLock lock(mu_);
+  if (epoch < last_fit_epoch_ + options_.debounce_epochs) return Status::OK();
+  if (in_flight_) {
+    // The running fit may already cover this epoch; conservatively queue
+    // unless an equal-or-newer trigger is already waiting (one refit
+    // materializes everything, so the newest trigger subsumes the rest).
+    if (!pending_.empty() && pending_.back() >= epoch) return Status::OK();
+    if (pending_.size() >= options_.max_queue) {
+      pending_.pop_front();
+      ++shed_;
+      pending_.push_back(epoch);
+      return Status::ResourceExhausted(
+          "refit queue full (refit_queue=" +
+          std::to_string(options_.max_queue) +
+          "); shed the oldest pending trigger");
+    }
+    pending_.push_back(epoch);
+    return Status::OK();
+  }
+  in_flight_ = true;
+  LaunchLocked(epoch);
+  return Status::OK();
+}
+
+void RefitScheduler::LaunchLocked(uint64_t epoch) {
+  ++scheduled_;
+  pool_->Submit([this, epoch] { RunOne(epoch); });
+}
+
+void RefitScheduler::RunOne(uint64_t epoch) {
+  RunContext ctx;
+  ctx.cancel = &cancel_;
+  Result<uint64_t> fit = fn_(ctx);
+
+  MutexLock lock(mu_);
+  if (fit.ok()) {
+    ++completed_;
+    last_fit_epoch_ = *fit;
+  } else {
+    // Leave last_fit_epoch_ alone: the next NotifyEpoch past the
+    // threshold retries.
+    ++failed_;
+    LTM_LOG(Warning) << "serve: background refit (trigger epoch " << epoch
+                     << ") failed: " << fit.status().ToString();
+  }
+  // One fit covers all queued triggers up to its epoch; only the newest
+  // still-uncovered trigger warrants another pass.
+  uint64_t next = 0;
+  bool launch = false;
+  if (!pending_.empty()) {
+    next = pending_.back();
+    pending_.clear();
+    launch = !cancel_.load(std::memory_order_relaxed) &&
+             next >= last_fit_epoch_ + options_.debounce_epochs;
+  }
+  if (launch) {
+    LaunchLocked(next);  // in_flight_ stays true through the chain
+  } else {
+    in_flight_ = false;
+    idle_cv_.NotifyAll();
+  }
+}
+
+void RefitScheduler::Drain() {
+  MutexLock lock(mu_);
+  while (in_flight_) idle_cv_.Wait(mu_);
+}
+
+RefitSchedulerStats RefitScheduler::Stats() const {
+  MutexLock lock(mu_);
+  RefitSchedulerStats stats;
+  stats.scheduled = scheduled_;
+  stats.completed = completed_;
+  stats.failed = failed_;
+  stats.shed = shed_;
+  stats.last_fit_epoch = last_fit_epoch_;
+  stats.in_flight = in_flight_;
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace ltm

@@ -1,0 +1,66 @@
+#include "serve/serve_options.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ltm {
+namespace serve {
+
+Status ServeOptions::Validate() const {
+  if (max_inflight == 0) {
+    return Status::InvalidArgument(
+        "serve: max_inflight must be >= 1 (0 would shed every miss)");
+  }
+  if (refit_queue == 0) {
+    return Status::InvalidArgument("serve: refit_queue must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::string ServeOptions::ToSpecString() const {
+  std::string out = "serve(batch_window_us=";
+  out += std::to_string(batch_window_us);
+  out += ",max_inflight=" + std::to_string(max_inflight);
+  out += ",refit_debounce_epochs=" + std::to_string(refit_debounce_epochs);
+  out += ",refit_queue=" + std::to_string(refit_queue);
+  out += ")";
+  return out;
+}
+
+Result<ServeOptions> ServeOptionsFromSpec(const MethodOptions& opts,
+                                          ServeOptions base) {
+  ServeOptions out = base;
+  LTM_ASSIGN_OR_RETURN(out.batch_window_us,
+                       opts.GetUint64("batch_window_us", base.batch_window_us));
+  LTM_ASSIGN_OR_RETURN(
+      const uint64_t max_inflight,
+      opts.GetUint64("max_inflight", static_cast<uint64_t>(base.max_inflight)));
+  out.max_inflight = static_cast<size_t>(max_inflight);
+  LTM_ASSIGN_OR_RETURN(
+      out.refit_debounce_epochs,
+      opts.GetUint64("refit_debounce_epochs", base.refit_debounce_epochs));
+  LTM_ASSIGN_OR_RETURN(
+      const uint64_t refit_queue,
+      opts.GetUint64("refit_queue", static_cast<uint64_t>(base.refit_queue)));
+  out.refit_queue = static_cast<size_t>(refit_queue);
+  LTM_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+Result<ServeOptions> ParseServeSpec(const std::string& spec) {
+  LTM_ASSIGN_OR_RETURN(const MethodSpec parsed, MethodSpec::Parse(spec));
+  std::string lower = parsed.name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower != "serve") {
+    return Status::InvalidArgument("not a serve spec: \"" + parsed.name +
+                                   "\" (expected serve(...))");
+  }
+  LTM_ASSIGN_OR_RETURN(ServeOptions options,
+                       ServeOptionsFromSpec(parsed.options));
+  LTM_RETURN_IF_ERROR(parsed.options.CheckAllConsumed("serve"));
+  return options;
+}
+
+}  // namespace serve
+}  // namespace ltm

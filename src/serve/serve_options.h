@@ -1,0 +1,61 @@
+#ifndef LTM_SERVE_SERVE_OPTIONS_H_
+#define LTM_SERVE_SERVE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "truth/method_spec.h"
+
+namespace ltm {
+namespace serve {
+
+/// Knobs for a ServeSession, settable from a spec string via the same
+/// MethodSpec machinery as method options: `serve` or
+/// `serve(batch_window_us=200, max_inflight=8, refit_debounce_epochs=4,
+/// refit_queue=2)`.
+struct ServeOptions {
+  /// How long a cache-missing query leader waits (microseconds) before
+  /// materializing its entity slice, so concurrent lookups for the same
+  /// entity pile onto one computation. 0 = compute immediately.
+  uint64_t batch_window_us = 0;
+
+  /// Admission control: the maximum number of distinct entity-slice
+  /// computations in flight at once. A query that would start one beyond
+  /// this is shed with ResourceExhausted (joining an existing computation
+  /// or hitting the cache is always admitted). Must be >= 1.
+  size_t max_inflight = 64;
+
+  /// Background refit trigger: schedule a Gibbs refit once the store
+  /// epoch has advanced this far past the last fit. 0 disables the
+  /// scheduler (refits then only happen through the pipeline's own
+  /// ingest-path triggers).
+  uint64_t refit_debounce_epochs = 0;
+
+  /// Bounded pending-refit queue depth for the scheduler; when a trigger
+  /// arrives with the queue full, the oldest pending request is shed
+  /// (reported as ResourceExhausted). Must be >= 1.
+  size_t refit_queue = 1;
+
+  /// InvalidArgument when a field is out of range.
+  Status Validate() const;
+
+  /// Canonical round-trippable spec: "serve(batch_window_us=...,...)".
+  std::string ToSpecString() const;
+};
+
+/// Applies `serve` keys from parsed method options over `base`,
+/// consuming the keys it understands. Callers composing with other
+/// option layers run CheckAllConsumed themselves.
+Result<ServeOptions> ServeOptionsFromSpec(const MethodOptions& opts,
+                                          ServeOptions base = ServeOptions());
+
+/// Parses a standalone spec string ("serve" or "serve(key=value,...)"),
+/// rejecting unknown keys and any name other than "serve".
+Result<ServeOptions> ParseServeSpec(const std::string& spec);
+
+}  // namespace serve
+}  // namespace ltm
+
+#endif  // LTM_SERVE_SERVE_OPTIONS_H_

@@ -1,0 +1,343 @@
+#include "serve/serve_session.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace ltm {
+namespace serve {
+
+namespace {
+
+/// Wall-clock stamp for exported stats. Monitoring-only: the value never
+/// feeds a posterior, a cache key, or any other computation.
+int64_t NowUnixMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t ElapsedMicros(const WallTimer& timer) {
+  const double us = timer.ElapsedSeconds() * 1e6;
+  return us <= 0.0 ? 0 : static_cast<uint64_t>(us);
+}
+
+}  // namespace
+
+ServeSession::ServeSession(ext::StreamingPipeline* pipeline,
+                           ServeOptions options)
+    : pipeline_(pipeline),
+      store_(pipeline->attached_store()),
+      options_(options),
+      ltm_options_(pipeline->options().ltm) {}
+
+Result<std::unique_ptr<ServeSession>> ServeSession::Create(
+    ext::StreamingPipeline* pipeline, ServeOptions options,
+    ThreadPool* pool) {
+  if (pipeline == nullptr) {
+    return Status::InvalidArgument("ServeSession: pipeline is null");
+  }
+  if (pipeline->attached_store() == nullptr) {
+    return Status::FailedPrecondition(
+        "ServeSession: pipeline has no attached store; call "
+        "BootstrapFromStore first");
+  }
+  LTM_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<ServeSession> session(
+      new ServeSession(pipeline, options));
+  LTM_RETURN_IF_ERROR(session->RefreshQuality());
+  if (options.refit_debounce_epochs > 0) {
+    if (pool == nullptr) pool = &ThreadPool::Shared();
+    RefitSchedulerOptions sched;
+    sched.debounce_epochs = options.refit_debounce_epochs;
+    sched.max_queue = options.refit_queue;
+    ServeSession* raw = session.get();
+    session->scheduler_ = std::make_unique<RefitScheduler>(
+        pool,
+        [raw](const RunContext& ctx) -> Result<uint64_t> {
+          MutexLock plock(raw->pipeline_mu_);
+          LTM_ASSIGN_OR_RETURN(const uint64_t fit_epoch,
+                               raw->pipeline_->RefitFromStore(ctx));
+          raw->InstallQualityLocked();
+          return fit_epoch;
+        },
+        sched, pipeline->last_fit_epoch());
+  }
+  return session;
+}
+
+ServeSession::~ServeSession() {
+  // The scheduler's destructor cancels and drains its pool job before
+  // any member it captured goes away.
+  scheduler_.reset();
+}
+
+Status ServeSession::RefreshQuality() {
+  MutexLock plock(pipeline_mu_);
+  InstallQualityLocked();
+  return Status::OK();
+}
+
+void ServeSession::InstallQualityLocked() {
+  auto next = std::make_shared<VersionedQuality>();
+  next->lookup = BuildQualityLookup(
+      pipeline_->quality(), pipeline_->cumulative_sources(), ltm_options_);
+  MutexLock lock(mu_);
+  next->version = quality_versions_installed_++;
+  quality_ = std::move(next);
+  // A new fit changes every posterior at an unchanged epoch, so cached
+  // entries keyed under older quality versions must go.
+  cache().Clear();
+}
+
+std::shared_ptr<const ServeSession::VersionedQuality>
+ServeSession::CurrentQuality() const {
+  MutexLock lock(mu_);
+  return quality_;
+}
+
+Status ServeSession::NotifyIngest() {
+  if (scheduler_ == nullptr) return Status::OK();
+  return scheduler_->NotifyEpoch(store_->epoch());
+}
+
+Result<double> ServeSession::Query(const FactRef& fact,
+                                   const RunContext& ctx) {
+  const WallTimer timer;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  // Reads observe epoch advances too (a foreign writer may never call
+  // NotifyIngest); admission feedback from a read-side poke is folded
+  // into Stats().refit rather than failing the read.
+  if (scheduler_ != nullptr) (void)scheduler_->NotifyEpoch(store_->epoch());
+  Result<double> result = QueryInner(fact, ctx);
+  if (!result.ok() && result.status().code() == StatusCode::kResourceExhausted) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  latency_.Record(ElapsedMicros(timer));
+  return result;
+}
+
+Result<double> ServeSession::QueryInner(const FactRef& fact,
+                                        const RunContext& ctx) {
+  RunObserver obs(ctx, "ServeSession::Query");
+  const std::shared_ptr<const VersionedQuality> quality = CurrentQuality();
+  const std::string fact_key = FactKey(fact);
+  const std::string cache_key = CacheKey(fact_key, quality->version);
+  if (const auto hit = cache().Get(cache_key, store_->epoch())) return *hit;
+
+  // Singleflight: one slice computation per (entity, quality version) at
+  // a time; everyone else waits for it and shares the result.
+  const std::string slice_key =
+      fact.entity + "\x1f" + std::to_string(quality->version);
+  std::shared_ptr<Inflight> entry;
+  bool leader = false;
+  {
+    MutexLock lock(mu_);
+    const auto it = inflight_.find(slice_key);
+    if (it != inflight_.end()) {
+      entry = it->second;
+    } else {
+      if (inflight_.size() >= options_.max_inflight) {
+        return Status::ResourceExhausted(
+            "serve: " + std::to_string(inflight_.size()) +
+            " slice computations in flight (max_inflight=" +
+            std::to_string(options_.max_inflight) + "); query shed");
+      }
+      entry = std::make_shared<Inflight>();
+      inflight_.emplace(slice_key, entry);
+      leader = true;
+    }
+  }
+
+  if (leader) {
+    if (options_.batch_window_us > 0) {
+      // Pile-on window: near-simultaneous lookups for this entity join
+      // the map entry while we linger, then share the one computation.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.batch_window_us));
+    }
+    Result<SliceScore> computed =
+        ComputeEntitySlice(fact.entity, *quality, obs.NestedContext());
+    {
+      MutexLock lock(mu_);
+      if (computed.ok()) {
+        entry->score = std::move(*computed);
+      } else {
+        entry->error = computed.status();
+      }
+      entry->done = true;
+      inflight_.erase(slice_key);
+      cv_.NotifyAll();
+    }
+  } else {
+    MutexLock lock(mu_);
+    while (!entry->done) {
+      cv_.WaitFor(mu_, std::chrono::milliseconds(20));
+      if (!entry->done) LTM_RETURN_IF_ERROR(obs.Check());
+    }
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // entry is immutable once done (the leader's last write under mu_ was
+  // observed above, or made by this thread).
+  if (!entry->error.ok()) return entry->error;
+  const auto it = entry->score.posteriors.find(fact_key);
+  const double posterior = it != entry->score.posteriors.end()
+                               ? it->second
+                               : quality->lookup.no_claim_prior;
+  if (it == entry->score.posteriors.end()) {
+    // The slice fill only covered facts that exist; cache the no-claim
+    // prior for this queried-but-absent fact so repeat lookups hit.
+    cache().Put(cache_key, entry->score.epoch, posterior);
+  }
+  return posterior;
+}
+
+Result<ServeSession::SliceScore> ServeSession::ComputeEntitySlice(
+    const std::string& entity, const VersionedQuality& quality,
+    const RunContext& ctx) {
+  slice_computes_.fetch_add(1, std::memory_order_relaxed);
+  const auto pin = store_->PinEpoch(&entity, &entity);
+  SliceScore out;
+  out.epoch = pin->epoch();
+  LTM_ASSIGN_OR_RETURN(const Dataset slice,
+                       store_->MaterializeFromPin(*pin, &entity, &entity));
+  if (slice.facts.NumFacts() == 0) return out;
+  LTM_ASSIGN_OR_RETURN(const std::vector<double> probs,
+                       ScoreSlice(slice, quality.lookup, ltm_options_, ctx));
+  for (size_t f = 0; f < slice.facts.NumFacts(); ++f) {
+    const Fact& fact = slice.facts.fact(static_cast<FactId>(f));
+    std::string key = std::string(slice.raw.entities().Get(fact.entity));
+    key += "\t";
+    key += slice.raw.attributes().Get(fact.attribute);
+    cache().Put(CacheKey(key, quality.version), out.epoch, probs[f]);
+    out.posteriors.emplace(std::move(key), probs[f]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> ServeSession::QueryBatch(
+    const std::vector<FactRef>& facts, const RunContext& ctx) {
+  // One observer spans the batch so the deadline budget covers the whole
+  // call, not each item afresh.
+  RunObserver obs(ctx, "ServeSession::QueryBatch");
+  std::vector<double> out;
+  out.reserve(facts.size());
+  for (const FactRef& fact : facts) {
+    LTM_ASSIGN_OR_RETURN(const double p, Query(fact, obs.NestedContext()));
+    out.push_back(p);
+  }
+  return out;
+}
+
+Result<std::vector<ServedFact>> ServeSession::QueryEntityRange(
+    const std::string& min_entity, const std::string& max_entity,
+    const RunContext& ctx) {
+  range_queries_.fetch_add(1, std::memory_order_relaxed);
+  RunObserver obs(ctx, "ServeSession::QueryEntityRange");
+  const std::shared_ptr<const VersionedQuality> quality = CurrentQuality();
+  const auto pin = store_->PinEpoch(&min_entity, &max_entity);
+  LTM_ASSIGN_OR_RETURN(
+      const Dataset slice,
+      store_->MaterializeFromPin(*pin, &min_entity, &max_entity));
+  std::vector<ServedFact> out;
+  if (slice.facts.NumFacts() == 0) return out;
+  LTM_ASSIGN_OR_RETURN(
+      const std::vector<double> probs,
+      ScoreSlice(slice, quality->lookup, ltm_options_, obs.NestedContext()));
+  out.reserve(slice.facts.NumFacts());
+  for (size_t f = 0; f < slice.facts.NumFacts(); ++f) {
+    const Fact& fact = slice.facts.fact(static_cast<FactId>(f));
+    ServedFact served;
+    served.entity = std::string(slice.raw.entities().Get(fact.entity));
+    served.attribute = std::string(slice.raw.attributes().Get(fact.attribute));
+    served.posterior = probs[f];
+    cache().Put(CacheKey(served.entity + "\t" + served.attribute,
+                         quality->version),
+                pin->epoch(), probs[f]);
+    out.push_back(std::move(served));
+  }
+  return out;
+}
+
+std::unique_ptr<ServeSnapshot> ServeSession::AcquireSnapshot() {
+  return std::unique_ptr<ServeSnapshot>(
+      new ServeSnapshot(this, store_->PinEpoch(), CurrentQuality()));
+}
+
+ServeStats ServeSession::Stats() const {
+  ServeStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.snapshot_queries = snapshot_queries_.load(std::memory_order_relaxed);
+  stats.range_queries = range_queries_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.slice_computes = slice_computes_.load(std::memory_order_relaxed);
+  stats.cache = store_->posterior_cache().Stats();
+  if (scheduler_ != nullptr) stats.refit = scheduler_->Stats();
+  stats.epoch = store_->epoch();
+  {
+    MutexLock lock(mu_);
+    stats.quality_version = quality_->version;
+  }
+  stats.live_pins = store_->num_pinned_epochs();
+  stats.latency = latency_.Snapshot();
+  stats.unix_micros = NowUnixMicros();
+  return stats;
+}
+
+Result<double> ServeSnapshot::Query(const FactRef& fact,
+                                    const RunContext& ctx) {
+  const WallTimer timer;
+  session_->snapshot_queries_.fetch_add(1, std::memory_order_relaxed);
+  RunObserver obs(ctx, "ServeSnapshot::Query");
+  const std::string fact_key = ServeSession::FactKey(fact);
+  const std::string cache_key =
+      ServeSession::CacheKey(fact_key, quality_->version);
+  store::PosteriorCache& cache = session_->cache();
+  if (const auto hit = cache.Get(cache_key, pin_->epoch())) {
+    session_->latency_.Record(ElapsedMicros(timer));
+    return *hit;
+  }
+  // Recompute from this snapshot's own pin: the same replay order a
+  // sequential materialize at the pinned epoch would use, so the result
+  // is bit-identical no matter what runs concurrently.
+  LTM_ASSIGN_OR_RETURN(
+      const Dataset slice,
+      session_->store_->MaterializeFromPin(*pin_, &fact.entity,
+                                           &fact.entity));
+  double posterior = quality_->lookup.no_claim_prior;
+  const auto eid = slice.raw.entities().Find(fact.entity);
+  const auto aid = slice.raw.attributes().Find(fact.attribute);
+  if (eid.has_value() && aid.has_value()) {
+    if (const auto f = slice.facts.Find(*eid, *aid)) {
+      LTM_ASSIGN_OR_RETURN(const std::vector<double> probs,
+                           ScoreSlice(slice, quality_->lookup,
+                                      session_->ltm_options_,
+                                      obs.NestedContext()));
+      posterior = probs[*f];
+    }
+  }
+  // Best-effort warm: dropped by the downgrade guard when the live cache
+  // already holds a fresher-epoch entry for this key.
+  cache.Put(cache_key, pin_->epoch(), posterior);
+  session_->latency_.Record(ElapsedMicros(timer));
+  return posterior;
+}
+
+Result<std::vector<double>> ServeSnapshot::QueryBatch(
+    const std::vector<FactRef>& facts, const RunContext& ctx) {
+  RunObserver obs(ctx, "ServeSnapshot::QueryBatch");
+  std::vector<double> out;
+  out.reserve(facts.size());
+  for (const FactRef& fact : facts) {
+    LTM_ASSIGN_OR_RETURN(const double p, Query(fact, obs.NestedContext()));
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace ltm

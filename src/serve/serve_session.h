@@ -1,0 +1,290 @@
+#ifndef LTM_SERVE_SERVE_SESSION_H_
+#define LTM_SERVE_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "ext/streaming.h"
+#include "serve/fact_scoring.h"
+#include "serve/latency.h"
+#include "serve/refit_scheduler.h"
+#include "serve/serve_options.h"
+#include "store/posterior_cache.h"
+#include "store/truth_store.h"
+#include "truth/truth_method.h"
+
+namespace ltm {
+namespace serve {
+
+/// A client-visible fact identifier: (entity, attribute) by name. The
+/// dataset-local numeric FactId is an artifact of one materialization
+/// and is meaningless across epochs, so the serving API keys on names.
+struct FactRef {
+  std::string entity;
+  std::string attribute;
+};
+
+/// One scored fact from a range query.
+struct ServedFact {
+  std::string entity;
+  std::string attribute;
+  double posterior = 0.0;
+};
+
+/// One-call snapshot of a session's counters.
+struct ServeStats {
+  uint64_t queries = 0;         ///< Point queries (incl. batch items).
+  uint64_t snapshot_queries = 0;///< Queries served through ServeSnapshot.
+  uint64_t range_queries = 0;
+  uint64_t coalesced = 0;       ///< Queries that joined another's slice compute.
+  uint64_t shed = 0;            ///< Queries rejected by admission control.
+  uint64_t slice_computes = 0;  ///< Entity-slice materialize+score passes led.
+  store::CacheStats cache;
+  RefitSchedulerStats refit;    ///< Zeros when the scheduler is disabled.
+  uint64_t epoch = 0;
+  uint64_t quality_version = 0;
+  size_t live_pins = 0;
+  LatencyHistogram::Percentiles latency;
+  /// Wall-clock stamp (microseconds since the Unix epoch) so exported
+  /// stats can be correlated with external monitoring. Never feeds any
+  /// computation (see tools/determinism_allowlist.txt).
+  int64_t unix_micros = 0;
+};
+
+class ServeSnapshot;
+
+/// The client-facing online serving front-end (the redesigned read API):
+/// many concurrent clients query posteriors against a StreamingPipeline's
+/// attached TruthStore through one ServeSession. Replaces direct
+/// StreamingPipeline::ServeFact / TruthStore::MaterializeEntityRange /
+/// posterior-cache pokes as the public read path.
+///
+///   - Reads never block ingest: every materialization runs against an
+///     epoch-pinned MVCC snapshot (TruthStore::PinEpoch), so appends,
+///     flushes, and compactions proceed concurrently and a compaction
+///     can never delete a segment file out from under a reader.
+///   - Duplicate-query coalescing: concurrent cache-missing lookups for
+///     the same (entity, quality version) share one slice
+///     materialization and one PosteriorCache fill (singleflight); a
+///     leader may linger ServeOptions::batch_window_us before computing
+///     so near-simultaneous lookups pile on.
+///   - Admission control: at most ServeOptions::max_inflight distinct
+///     slice computations run at once; a query that would start one more
+///     is shed with ResourceExhausted (cache hits and coalesced joins
+///     are always admitted).
+///   - Background refits: with ServeOptions::refit_debounce_epochs > 0,
+///     epoch advances debounce into Gibbs refits on a ThreadPool (see
+///     RefitScheduler); queries keep serving the previous quality until
+///     the new fit installs (the install bumps the quality version and
+///     clears the cache).
+///
+/// Coalescing semantics: a coalesced read returns the posterior at the
+/// epoch its leader pinned, which is never older than the leader's call
+/// entry — bounded staleness of one in-flight computation. Cache entries
+/// are keyed (fact, quality version) and validated against the store
+/// epoch on every read, so nothing stale outlives the computation that
+/// produced it.
+///
+/// Thread-safe. The pipeline, its store, and the pool must outlive the
+/// session. While a session with a refit scheduler is live, all other
+/// pipeline mutation (Observe/ObserveToStore/Bootstrap) must be
+/// externally serialized against it — ingest that bypasses the pipeline
+/// (TruthStore::Append*) plus NotifyIngest() is always safe.
+class ServeSession {
+ public:
+  /// Validates options, captures the pipeline's current quality, and —
+  /// when options.refit_debounce_epochs > 0 — starts the background
+  /// refit scheduler on `pool` (ThreadPool::Shared() when null).
+  /// FailedPrecondition when the pipeline has no attached store.
+  static Result<std::unique_ptr<ServeSession>> Create(
+      ext::StreamingPipeline* pipeline, ServeOptions options,
+      ThreadPool* pool = nullptr);
+
+  /// Drains the refit scheduler. Outstanding ServeSnapshots must already
+  /// be destroyed.
+  ~ServeSession();
+
+  /// Owns mutexes and is captured by scheduler jobs; copying or moving a
+  /// live session could never be correct.
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+  ServeSession(ServeSession&&) = delete;
+  ServeSession& operator=(ServeSession&&) = delete;
+
+  /// Posterior truth probability of `fact` under the current quality at
+  /// the current store epoch (Eq. 3). Facts with no durable claims score
+  /// at the beta prior mean. Honors ctx cancel/deadline (a waiter gives
+  /// up; a leader's scoring pass is interrupted). ResourceExhausted when
+  /// shed by admission control.
+  Result<double> Query(const FactRef& fact,
+                       const RunContext& ctx = RunContext());
+
+  /// Queries in order; posteriors align with `facts`. One deadline
+  /// budget spans the whole batch. Duplicate entities resolve from the
+  /// cache filled by the first.
+  Result<std::vector<double>> QueryBatch(
+      const std::vector<FactRef>& facts,
+      const RunContext& ctx = RunContext());
+
+  /// Every known fact with entity in [min_entity, max_entity]
+  /// (lexicographic, inclusive), scored at one pinned epoch, in
+  /// materialization (ingest) order. Warms the cache for point reads.
+  Result<std::vector<ServedFact>> QueryEntityRange(
+      const std::string& min_entity, const std::string& max_entity,
+      const RunContext& ctx = RunContext());
+
+  /// An epoch-pinned read handle: every query through it sees exactly
+  /// the store state and quality of the acquisition instant, regardless
+  /// of concurrent ingest, compaction, or refits. Must not outlive the
+  /// session.
+  std::unique_ptr<ServeSnapshot> AcquireSnapshot();
+
+  /// Tells the refit scheduler the store advanced (call after out-of-band
+  /// TruthStore appends). Returns the scheduler's admission Status
+  /// (ResourceExhausted when the trigger shed an older one); OK when the
+  /// scheduler is disabled.
+  Status NotifyIngest();
+
+  /// Rebuilds the quality view from the pipeline (bumping the quality
+  /// version and clearing the cache). Call after driving the pipeline
+  /// directly (e.g. an ObserveToStore that refit). Sessions with a
+  /// scheduler do this automatically after their own background refits.
+  Status RefreshQuality() LTM_EXCLUDES(pipeline_mu_);
+
+  ServeStats Stats() const;
+
+  store::TruthStore* store() const { return store_; }
+
+ private:
+  friend class ServeSnapshot;
+
+  /// Immutable once published; swapped atomically under mu_ on refit.
+  struct VersionedQuality {
+    uint64_t version = 0;
+    QualityLookup lookup;
+  };
+
+  /// Result of one entity-slice computation, shared by coalesced waiters.
+  struct SliceScore {
+    uint64_t epoch = 0;
+    std::unordered_map<std::string, double> posteriors;  // fact_key -> p
+  };
+
+  /// Singleflight cell. Fields are written once by the leader (under
+  /// mu_, done last) and read by waiters only after observing done.
+  struct Inflight {
+    bool done = false;
+    Status error;
+    SliceScore score;
+  };
+
+  ServeSession(ext::StreamingPipeline* pipeline, ServeOptions options);
+
+  std::shared_ptr<const VersionedQuality> CurrentQuality() const
+      LTM_EXCLUDES(mu_);
+
+  /// Pins the entity's slice at the current epoch, scores every fact in
+  /// it, and fills the cache. The slow path behind Query.
+  Result<SliceScore> ComputeEntitySlice(const std::string& entity,
+                                        const VersionedQuality& quality,
+                                        const RunContext& ctx);
+
+  /// Query minus latency accounting.
+  Result<double> QueryInner(const FactRef& fact, const RunContext& ctx);
+
+  /// Rebuilds the lookup from the pipeline and publishes it (new
+  /// version, cache cleared).
+  void InstallQualityLocked() LTM_REQUIRES(pipeline_mu_);
+
+  store::PosteriorCache& cache() { return store_->posterior_cache(); }
+
+  static std::string FactKey(const FactRef& fact) {
+    return fact.entity + "\t" + fact.attribute;
+  }
+  static std::string CacheKey(const std::string& fact_key, uint64_t version) {
+    return fact_key + "\t#q" + std::to_string(version);
+  }
+
+  ext::StreamingPipeline* const pipeline_;
+  store::TruthStore* const store_;
+  const ServeOptions options_;
+  const LtmOptions ltm_options_;
+
+  /// Serializes every touch of pipeline_ (background refits and quality
+  /// rebuilds). Ordered before mu_: a thread holding mu_ never acquires
+  /// pipeline_mu_.
+  Mutex pipeline_mu_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::shared_ptr<const VersionedQuality> quality_ LTM_GUARDED_BY(mu_);
+  uint64_t quality_versions_installed_ LTM_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_
+      LTM_GUARDED_BY(mu_);
+
+  std::unique_ptr<RefitScheduler> scheduler_;  ///< Null when disabled.
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> snapshot_queries_{0};
+  std::atomic<uint64_t> range_queries_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> slice_computes_{0};
+  LatencyHistogram latency_;
+};
+
+/// An MVCC read handle from ServeSession::AcquireSnapshot(): holds a
+/// TruthStore::EpochPin plus the quality view of the acquisition
+/// instant, so repeated queries are mutually consistent — and
+/// bit-identical to a sequential read at that epoch — no matter what
+/// ingest, compaction, or refits run concurrently. Reads through a
+/// snapshot still use (and fill) the posterior cache under the
+/// snapshot's own quality version and epoch.
+///
+/// Thread-safe for concurrent Query calls. Drop the snapshot to release
+/// its pin (retained superseded segment files are then reclaimed).
+class ServeSnapshot {
+ public:
+  ~ServeSnapshot() = default;
+
+  ServeSnapshot(const ServeSnapshot&) = delete;
+  ServeSnapshot& operator=(const ServeSnapshot&) = delete;
+  ServeSnapshot(ServeSnapshot&&) = delete;
+  ServeSnapshot& operator=(ServeSnapshot&&) = delete;
+
+  /// Posterior of `fact` at exactly this snapshot's epoch and quality.
+  Result<double> Query(const FactRef& fact,
+                       const RunContext& ctx = RunContext());
+
+  /// Queries in order; posteriors align with `facts`.
+  Result<std::vector<double>> QueryBatch(
+      const std::vector<FactRef>& facts,
+      const RunContext& ctx = RunContext());
+
+  /// The store epoch this snapshot pinned.
+  uint64_t epoch() const { return pin_->epoch(); }
+  uint64_t quality_version() const { return quality_->version; }
+
+ private:
+  friend class ServeSession;
+  ServeSnapshot(ServeSession* session, std::unique_ptr<store::EpochPin> pin,
+                std::shared_ptr<const ServeSession::VersionedQuality> quality)
+      : session_(session), pin_(std::move(pin)), quality_(std::move(quality)) {}
+
+  ServeSession* const session_;
+  const std::unique_ptr<store::EpochPin> pin_;
+  const std::shared_ptr<const ServeSession::VersionedQuality> quality_;
+};
+
+}  // namespace serve
+}  // namespace ltm
+
+#endif  // LTM_SERVE_SERVE_SESSION_H_

@@ -17,6 +17,7 @@ std::optional<double> PosteriorCache::Get(const std::string& fact_key,
       // Evict eagerly so the slot is free for the recomputed value.
       lru_.erase(it->second);
       index_.erase(it);
+      ++evictions_;
     }
     // A reader still at an older epoch just misses: the cached entry is
     // fresher than the reader, so evicting it here would let that
@@ -26,6 +27,7 @@ std::optional<double> PosteriorCache::Get(const std::string& fact_key,
     return std::nullopt;
   }
   ++hits_;
+  if (it->second->writer != std::this_thread::get_id()) ++coalesced_;
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->posterior;
 }
@@ -34,6 +36,7 @@ void PosteriorCache::Put(const std::string& fact_key, uint64_t epoch,
                          double posterior) {
   if (capacity_ == 0) return;
   MutexLock lock(mutex_);
+  ++puts_;
   auto it = index_.find(fact_key);
   if (it != index_.end()) {
     // A slow writer that materialized against an older store state must
@@ -43,21 +46,37 @@ void PosteriorCache::Put(const std::string& fact_key, uint64_t epoch,
     if (epoch < it->second->epoch) return;
     it->second->epoch = epoch;
     it->second->posterior = posterior;
+    it->second->writer = std::this_thread::get_id();
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{fact_key, epoch, posterior});
+  lru_.push_front(Entry{fact_key, epoch, posterior, std::this_thread::get_id()});
   index_[fact_key] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
+    ++evictions_;
   }
 }
 
 void PosteriorCache::Clear() {
   MutexLock lock(mutex_);
+  evictions_ += lru_.size();
   lru_.clear();
   index_.clear();
+}
+
+CacheStats PosteriorCache::Stats() const {
+  MutexLock lock(mutex_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.coalesced = coalesced_;
+  stats.puts = puts_;
+  stats.evictions = evictions_;
+  stats.size = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
 }
 
 size_t PosteriorCache::size() const {

@@ -5,6 +5,7 @@
 #include <list>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "common/mutex.h"
@@ -12,6 +13,24 @@
 
 namespace ltm {
 namespace store {
+
+/// A single-lock snapshot of the cache's counters. All fields are read
+/// under the cache mutex in one critical section, so the numbers are
+/// mutually consistent (hits + misses equals the number of Get calls at
+/// the instant of the snapshot, even under concurrent readers).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Gets answered from an entry another thread wrote at the same epoch —
+  /// the cache-level signature of duplicate-query coalescing (hits on an
+  /// entry the reading thread did not Put itself).
+  uint64_t coalesced = 0;
+  uint64_t puts = 0;
+  /// Entries dropped for capacity (LRU) or staleness (epoch advance).
+  uint64_t evictions = 0;
+  size_t size = 0;
+  size_t capacity = 0;
+};
 
 /// Thread-safe LRU cache of served fact posteriors, keyed on
 /// (fact key, store epoch). The epoch is the TruthStore's in-memory data
@@ -50,6 +69,12 @@ class PosteriorCache {
 
   void Clear() LTM_EXCLUDES(mutex_);
 
+  /// One-lock snapshot of every counter plus current size/capacity.
+  /// Preferred over the scalar accessors when more than one field is
+  /// needed: two separate calls can interleave with concurrent Gets and
+  /// report totals from different instants.
+  CacheStats Stats() const LTM_EXCLUDES(mutex_);
+
   size_t size() const LTM_EXCLUDES(mutex_);
   size_t capacity() const { return capacity_; }
   uint64_t hits() const LTM_EXCLUDES(mutex_);
@@ -60,6 +85,9 @@ class PosteriorCache {
     std::string key;
     uint64_t epoch;
     double posterior;
+    /// Thread that wrote the entry; a hit from any other thread counts
+    /// as a coalesced read (it reused work it did not do itself).
+    std::thread::id writer;
   };
 
   const size_t capacity_;
@@ -70,6 +98,9 @@ class PosteriorCache {
       LTM_GUARDED_BY(mutex_);
   uint64_t hits_ LTM_GUARDED_BY(mutex_) = 0;
   uint64_t misses_ LTM_GUARDED_BY(mutex_) = 0;
+  uint64_t coalesced_ LTM_GUARDED_BY(mutex_) = 0;
+  uint64_t puts_ LTM_GUARDED_BY(mutex_) = 0;
+  uint64_t evictions_ LTM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace store

@@ -399,9 +399,22 @@ Status TruthStore::CompactInner() {
     // Keep the merged-away segments when the commit's directory sync
     // degraded: if power loss reverts the un-synced rename, the old
     // manifest still finds its segment files on the next open.
+    std::vector<std::string> doomed;
+    {
+      MutexLock lock(mu_);
+      for (const SegmentInfo& seg : captured) {
+        if (pin_refs_.count(seg.id) != 0) {
+          // A live EpochPin still reads this segment: defer the delete
+          // until the last referencing pin drops (see ReleasePin).
+          deferred_segments_.push_back(seg);
+        } else {
+          doomed.push_back(SegmentPath(seg));
+        }
+      }
+    }
     std::error_code ec;
-    for (const SegmentInfo& seg : captured) {
-      fs::remove(SegmentPath(seg), ec);  // best-effort
+    for (const std::string& path : doomed) {
+      fs::remove(path, ec);  // best-effort
     }
   }
   LTM_LOG(Info) << "truthstore: compacted " << captured.size()
@@ -437,29 +450,90 @@ TruthStore::~TruthStore() {
   }
 }
 
-void TruthStore::SnapshotForRead(const std::string* min_entity,
-                                 const std::string* max_entity,
-                                 std::vector<SegmentInfo>* segments,
-                                 std::vector<WalRecord>* memtable_rows,
-                                 uint64_t* epoch) const {
-  MutexLock lock(mu_);
-  *segments = manifest_.segments;
-  *epoch = epoch_;
-  // Copy out only the rows the query needs — a point read must not stall
-  // concurrent appends for a full-memtable copy.
-  memtable_rows->clear();
-  for (const RawRow& row : memtable_.rows()) {
-    const std::string_view entity = memtable_.entities().Get(row.entity);
-    if ((min_entity != nullptr && entity < *min_entity) ||
-        (max_entity != nullptr && entity > *max_entity)) {
+EpochPin::~EpochPin() { store_->ReleasePin(*this); }
+
+std::unique_ptr<EpochPin> TruthStore::PinEpoch(
+    const std::string* min_entity, const std::string* max_entity) const {
+  std::vector<SegmentInfo> segments;
+  std::vector<WalRecord> memtable_rows;
+  uint64_t epoch = 0;
+  {
+    MutexLock lock(mu_);
+    segments = manifest_.segments;
+    epoch = epoch_;
+    // Copy out only the rows the query needs — a point read must not
+    // stall concurrent appends for a full-memtable copy.
+    for (const RawRow& row : memtable_.rows()) {
+      const std::string_view entity = memtable_.entities().Get(row.entity);
+      if ((min_entity != nullptr && entity < *min_entity) ||
+          (max_entity != nullptr && entity > *max_entity)) {
+        continue;
+      }
+      WalRecord record;
+      record.entity = std::string(entity);
+      record.attribute = std::string(memtable_.attributes().Get(row.attribute));
+      record.source = std::string(memtable_.sources().Get(row.source));
+      memtable_rows.push_back(std::move(record));
+    }
+    // Reference every captured segment so a compaction that supersedes
+    // one defers deleting its file until this pin drops.
+    for (const SegmentInfo& seg : segments) ++pin_refs_[seg.id];
+    ++live_pins_;
+  }
+  return std::unique_ptr<EpochPin>(new EpochPin(
+      this, epoch, std::move(segments), std::move(memtable_rows)));
+}
+
+void TruthStore::ReleasePin(const EpochPin& pin) const {
+  std::vector<SegmentInfo> reclaim;
+  {
+    MutexLock lock(mu_);
+    --live_pins_;
+    for (const SegmentInfo& seg : pin.segments()) {
+      auto it = pin_refs_.find(seg.id);
+      if (it != pin_refs_.end() && --it->second == 0) pin_refs_.erase(it);
+    }
+    // A deferred segment with no remaining references can be reclaimed.
+    std::erase_if(deferred_segments_, [&](const SegmentInfo& seg) {
+      if (pin_refs_.count(seg.id) != 0) return false;
+      reclaim.push_back(seg);
+      return true;
+    });
+  }
+  std::error_code ec;
+  for (const SegmentInfo& seg : reclaim) {
+    fs::remove(SegmentPath(seg), ec);  // best-effort; Open() reaps leftovers
+  }
+}
+
+Result<Dataset> TruthStore::MaterializeFromPin(
+    const EpochPin& pin, const std::string* min_entity,
+    const std::string* max_entity, RangeScanStats* stats) const {
+  RangeScanStats scan;
+  RawDatabase combined;
+  for (const SegmentInfo& seg : pin.segments()) {
+    if ((min_entity != nullptr && seg.max_entity < *min_entity) ||
+        (max_entity != nullptr && seg.min_entity > *max_entity)) {
+      ++scan.segments_skipped;
+      continue;  // zone stats prove the segment is outside the range
+    }
+    ++scan.segments_scanned;
+    LTM_RETURN_IF_ERROR(FailpointCheck("store-pinned-read"));
+    // No retry loop: the pin's refcounts keep every referenced segment
+    // file on disk, so a load failure here is true corruption.
+    LTM_ASSIGN_OR_RETURN(const Dataset ds,
+                         LoadDatasetSnapshot(SegmentPath(seg)));
+    combined.MergeRowsFrom(ds.raw, min_entity, max_entity);
+  }
+  for (const WalRecord& record : pin.memtable_rows()) {
+    if ((min_entity != nullptr && record.entity < *min_entity) ||
+        (max_entity != nullptr && record.entity > *max_entity)) {
       continue;
     }
-    WalRecord record;
-    record.entity = std::string(entity);
-    record.attribute = std::string(memtable_.attributes().Get(row.attribute));
-    record.source = std::string(memtable_.sources().Get(row.source));
-    memtable_rows->push_back(std::move(record));
+    combined.Add(record.entity, record.attribute, record.source);
   }
+  if (stats != nullptr) *stats = scan;
+  return Dataset::FromRaw("truthstore:" + dir_, std::move(combined));
 }
 
 Result<Dataset> TruthStore::Materialize(uint64_t* epoch_out) const {
@@ -476,45 +550,15 @@ Result<Dataset> TruthStore::MaterializeImpl(const std::string* min_entity,
                                             const std::string* max_entity,
                                             RangeScanStats* stats,
                                             uint64_t* epoch_out) const {
-  // A concurrent compaction can commit and delete a segment file between
-  // our list snapshot and the load. The manifest it committed replaces
-  // the deleted files, so re-snapshotting and retrying converges; only a
-  // persistent failure (true corruption/removal) propagates.
-  Status last_error = Status::OK();
-  for (int attempt = 0; attempt < 3; ++attempt) {
-    std::vector<SegmentInfo> segments;
-    std::vector<WalRecord> memtable_rows;
-    uint64_t epoch = 0;
-    SnapshotForRead(min_entity, max_entity, &segments, &memtable_rows,
-                    &epoch);
-
-    RangeScanStats scan;
-    RawDatabase combined;
-    bool retry = false;
-    for (const SegmentInfo& seg : segments) {
-      if ((min_entity != nullptr && seg.max_entity < *min_entity) ||
-          (max_entity != nullptr && seg.min_entity > *max_entity)) {
-        ++scan.segments_skipped;
-        continue;  // zone stats prove the segment is outside the range
-      }
-      ++scan.segments_scanned;
-      Result<Dataset> ds = LoadDatasetSnapshot(SegmentPath(seg));
-      if (!ds.ok()) {
-        last_error = ds.status();
-        retry = true;
-        break;
-      }
-      combined.MergeRowsFrom(ds->raw, min_entity, max_entity);
-    }
-    if (retry) continue;
-    for (const WalRecord& record : memtable_rows) {
-      combined.Add(record.entity, record.attribute, record.source);
-    }
-    if (stats != nullptr) *stats = scan;
-    if (epoch_out != nullptr) *epoch_out = epoch;
-    return Dataset::FromRaw("truthstore:" + dir_, std::move(combined));
-  }
-  return last_error;
+  // Pinning replaces the old snapshot-and-retry dance: a concurrent
+  // compaction cannot delete a segment file this read references, so one
+  // pass always succeeds (any load failure is true corruption).
+  const std::unique_ptr<EpochPin> pin = PinEpoch(min_entity, max_entity);
+  LTM_ASSIGN_OR_RETURN(Dataset ds,
+                       MaterializeFromPin(*pin, min_entity, max_entity,
+                                          stats));
+  if (epoch_out != nullptr) *epoch_out = pin->epoch();
+  return ds;
 }
 
 uint64_t TruthStore::epoch() const {
@@ -532,7 +576,19 @@ TruthStoreStats TruthStore::Stats() const {
   stats.memtable_rows = memtable_.NumRows();
   stats.wal_records_replayed = wal_records_replayed_;
   stats.recovered_torn_tail = recovered_torn_tail_;
+  stats.live_pins = live_pins_;
+  stats.deferred_segments = deferred_segments_.size();
   return stats;
+}
+
+size_t TruthStore::num_pinned_epochs() const {
+  MutexLock lock(mu_);
+  return live_pins_;
+}
+
+size_t TruthStore::num_deferred_segments() const {
+  MutexLock lock(mu_);
+  return deferred_segments_.size();
 }
 
 Result<StoreVerifyReport> TruthStore::Verify(const std::string& dir) {

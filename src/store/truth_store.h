@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
@@ -48,6 +49,62 @@ struct TruthStoreStats {
   size_t memtable_rows = 0;
   uint64_t wal_records_replayed = 0;
   bool recovered_torn_tail = false;
+  /// Live EpochPin handles (MVCC read snapshots) outstanding right now.
+  size_t live_pins = 0;
+  /// Segments compacted away but kept on disk because a live pin still
+  /// references them; reclaimed when the last referencing pin drops.
+  size_t deferred_segments = 0;
+};
+
+class TruthStore;
+
+/// A ref-counted MVCC read snapshot of the store at one epoch: the
+/// committed segment list plus a copy of the memtable rows at pin time.
+/// While a pin is alive, compaction defers deleting any segment file the
+/// pin references, so reads against the pin never race file removal and
+/// never block appends, flushes, or compaction. Dropping the last pin on
+/// a superseded segment reclaims its file.
+///
+/// Obtained from TruthStore::PinEpoch(); read via
+/// TruthStore::MaterializeFromPin(). A pin created with entity bounds
+/// only holds the memtable rows inside those bounds — materializing a
+/// wider range from it would silently miss rows, so keep requests within
+/// the pin's bounds (MaterializeFromPin re-applies its own bounds on top).
+///
+/// Thread-safe for concurrent reads; the handle itself must be destroyed
+/// on one thread. Must not outlive the TruthStore that issued it.
+class EpochPin {
+ public:
+  ~EpochPin();
+
+  /// Holds a back-reference into the issuing store's refcount table;
+  /// duplicating it would double-release.
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+  EpochPin(EpochPin&&) = delete;
+  EpochPin& operator=(EpochPin&&) = delete;
+
+  /// The store epoch this pin captured (for posterior-cache keying).
+  uint64_t epoch() const { return epoch_; }
+  const std::vector<SegmentInfo>& segments() const { return segments_; }
+  const std::vector<WalRecord>& memtable_rows() const {
+    return memtable_rows_;
+  }
+
+ private:
+  friend class TruthStore;
+  EpochPin(const TruthStore* store, uint64_t epoch,
+           std::vector<SegmentInfo> segments,
+           std::vector<WalRecord> memtable_rows)
+      : store_(store),
+        epoch_(epoch),
+        segments_(std::move(segments)),
+        memtable_rows_(std::move(memtable_rows)) {}
+
+  const TruthStore* store_;
+  uint64_t epoch_;
+  std::vector<SegmentInfo> segments_;
+  std::vector<WalRecord> memtable_rows_;
 };
 
 /// Offline integrity report (see TruthStore::Verify).
@@ -142,6 +199,28 @@ class TruthStore {
   std::shared_future<Status> CompactAsync(ThreadPool& pool)
       LTM_EXCLUDES(mu_);
 
+  /// Acquires an MVCC read snapshot at the current epoch: copies the
+  /// committed segment list (bumping each segment's pin refcount so
+  /// compaction defers deleting its file) and the memtable rows
+  /// (restricted to [*min_entity, *max_entity] when non-null). Cheap for
+  /// point reads — only the matching memtable rows are copied. The pin
+  /// must not outlive this store.
+  std::unique_ptr<EpochPin> PinEpoch(
+      const std::string* min_entity = nullptr,
+      const std::string* max_entity = nullptr) const LTM_EXCLUDES(mu_);
+
+  /// Materializes from a pinned snapshot: the pin's segments in list
+  /// order, then its memtable rows — the same replay order Materialize()
+  /// uses, so posteriors computed from a pin are bit-identical to a
+  /// sequential materialize at the pin's epoch. Never retries: the pin's
+  /// refcounts guarantee every referenced segment file still exists.
+  /// `min_entity`/`max_entity` further restrict the read (must be within
+  /// the pin's own bounds, if it has them).
+  Result<Dataset> MaterializeFromPin(const EpochPin& pin,
+                                     const std::string* min_entity = nullptr,
+                                     const std::string* max_entity = nullptr,
+                                     RangeScanStats* stats = nullptr) const;
+
   /// Full rebuild: segments in id order, then the memtable. When
   /// `epoch_out` is non-null it receives the epoch the materialized data
   /// corresponds to (for posterior-cache keying).
@@ -161,6 +240,11 @@ class TruthStore {
 
   TruthStoreStats Stats() const LTM_EXCLUDES(mu_);
 
+  /// Live EpochPin handles outstanding (observability + tests).
+  size_t num_pinned_epochs() const LTM_EXCLUDES(mu_);
+  /// Superseded segments whose files are retained for live pins.
+  size_t num_deferred_segments() const LTM_EXCLUDES(mu_);
+
   PosteriorCache& posterior_cache() { return cache_; }
 
   const std::string& dir() const { return dir_; }
@@ -172,7 +256,13 @@ class TruthStore {
   static Result<StoreVerifyReport> Verify(const std::string& dir);
 
  private:
+  friend class EpochPin;
+
   TruthStore(std::string dir, TruthStoreOptions options);
+
+  /// EpochPin's destructor: drops the pin's segment references and
+  /// deletes any deferred segment file whose last reference this was.
+  void ReleasePin(const EpochPin& pin) const LTM_EXCLUDES(mu_);
 
   Status FlushLocked() LTM_REQUIRES(mu_);
   Status AppendLocked(const WalRecord& record) LTM_REQUIRES(mu_);
@@ -196,15 +286,6 @@ class TruthStore {
                                   RangeScanStats* stats,
                                   uint64_t* epoch_out) const;
 
-  /// Copies the state Materialize needs under the lock: the segment
-  /// list, the epoch, and the memtable rows (as strings, restricted to
-  /// [*min_entity, *max_entity] when non-null).
-  void SnapshotForRead(const std::string* min_entity,
-                       const std::string* max_entity,
-                       std::vector<SegmentInfo>* segments,
-                       std::vector<WalRecord>* memtable_rows,
-                       uint64_t* epoch) const LTM_EXCLUDES(mu_);
-
   const std::string dir_;
   const TruthStoreOptions options_;
 
@@ -220,6 +301,15 @@ class TruthStore {
   /// resolve and joined by the destructor.
   std::vector<std::shared_future<Status>> pending_compactions_
       LTM_GUARDED_BY(mu_);
+
+  /// MVCC pin state (mutable: pinning is a const read-side operation).
+  /// pin_refs_ maps segment id -> number of live pins referencing it;
+  /// deferred_segments_ holds segments compacted out of the manifest
+  /// whose files must survive until their refcount drops to zero.
+  mutable std::unordered_map<uint64_t, uint32_t> pin_refs_
+      LTM_GUARDED_BY(mu_);
+  mutable size_t live_pins_ LTM_GUARDED_BY(mu_) = 0;
+  mutable std::vector<SegmentInfo> deferred_segments_ LTM_GUARDED_BY(mu_);
 
   PosteriorCache cache_;
 };

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "serve/serve_options.h"
+
+namespace ltm {
+namespace serve {
+namespace {
+
+TEST(ServeOptionsTest, DefaultsValidate) {
+  ServeOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  EXPECT_EQ(options.batch_window_us, 0u);
+  EXPECT_EQ(options.max_inflight, 64u);
+  EXPECT_EQ(options.refit_debounce_epochs, 0u);
+  EXPECT_EQ(options.refit_queue, 1u);
+}
+
+TEST(ServeOptionsTest, ValidateRejectsOutOfRange) {
+  ServeOptions options;
+  options.max_inflight = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+
+  options = ServeOptions();
+  options.refit_queue = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeOptionsTest, ParseBareNameYieldsDefaults) {
+  auto parsed = ParseServeSpec("serve");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->batch_window_us, ServeOptions().batch_window_us);
+  EXPECT_EQ(parsed->max_inflight, ServeOptions().max_inflight);
+}
+
+TEST(ServeOptionsTest, ParseSetsEveryKey) {
+  auto parsed = ParseServeSpec(
+      "serve(batch_window_us=200, max_inflight=8, "
+      "refit_debounce_epochs=4, refit_queue=2)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->batch_window_us, 200u);
+  EXPECT_EQ(parsed->max_inflight, 8u);
+  EXPECT_EQ(parsed->refit_debounce_epochs, 4u);
+  EXPECT_EQ(parsed->refit_queue, 2u);
+}
+
+TEST(ServeOptionsTest, SpecStringRoundTrips) {
+  ServeOptions options;
+  options.batch_window_us = 350;
+  options.max_inflight = 12;
+  options.refit_debounce_epochs = 9;
+  options.refit_queue = 3;
+  auto parsed = ParseServeSpec(options.ToSpecString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->batch_window_us, options.batch_window_us);
+  EXPECT_EQ(parsed->max_inflight, options.max_inflight);
+  EXPECT_EQ(parsed->refit_debounce_epochs, options.refit_debounce_epochs);
+  EXPECT_EQ(parsed->refit_queue, options.refit_queue);
+  // And the canonical form is a fixed point.
+  EXPECT_EQ(parsed->ToSpecString(), options.ToSpecString());
+}
+
+TEST(ServeOptionsTest, ParseRejectsUnknownKeys) {
+  auto parsed = ParseServeSpec("serve(batch_window_us=1, no_such_key=2)");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeOptionsTest, ParseRejectsWrongName) {
+  EXPECT_FALSE(ParseServeSpec("LTM(iterations=10)").ok());
+  EXPECT_FALSE(ParseServeSpec("").ok());
+}
+
+TEST(ServeOptionsTest, ParseRejectsInvalidValues) {
+  // Parsed fine, but fails validation.
+  EXPECT_FALSE(ParseServeSpec("serve(max_inflight=0)").ok());
+  // Not an integer at all.
+  EXPECT_FALSE(ParseServeSpec("serve(batch_window_us=soon)").ok());
+}
+
+TEST(ServeOptionsTest, CaseInsensitiveName) {
+  EXPECT_TRUE(ParseServeSpec("Serve(max_inflight=2)").ok());
+  EXPECT_TRUE(ParseServeSpec("SERVE").ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ltm

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
+#include <vector>
 
 namespace ltm {
 namespace store {
@@ -137,6 +139,70 @@ TEST(PosteriorCacheTest, ClearEmptiesTheCache) {
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Get("a", 1).has_value());
+}
+
+TEST(PosteriorCacheTest, StatsSnapshotCountsEverything) {
+  PosteriorCache cache(2);
+  cache.Put("a", 1, 0.1);
+  cache.Put("b", 1, 0.2);
+  (void)cache.Get("a", 1);   // hit
+  (void)cache.Get("c", 1);   // miss
+  cache.Put("c", 1, 0.3);    // LRU-evicts "b"
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.puts, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // Same-thread hits are not coalesced reads.
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  // Stale-epoch eviction and Clear both count as evictions.
+  (void)cache.Get("a", 9);
+  EXPECT_EQ(cache.Stats().evictions, 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().evictions, 3u);
+  EXPECT_EQ(cache.Stats().size, 0u);
+}
+
+// A hit from any thread other than the entry's writer is a coalesced
+// read — the signal that one materialization served several clients.
+TEST(PosteriorCacheTest, CoalescedCountsOnlyCrossThreadHits) {
+  PosteriorCache cache(4);
+  cache.Put("k", 1, 0.5);
+  ASSERT_TRUE(cache.Get("k", 1).has_value());  // writer's own hit
+  EXPECT_EQ(cache.Stats().coalesced, 0u);
+  std::thread other([&] { ASSERT_TRUE(cache.Get("k", 1).has_value()); });
+  other.join();
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.coalesced, 1u);
+}
+
+// TSan-covered: concurrent Put/Get/Stats from several threads. The final
+// snapshot must be internally consistent — every Get resolved to exactly
+// one of hit or miss, and every Put was counted.
+TEST(PosteriorCacheTest, ConcurrentStatsStayConsistent) {
+  PosteriorCache cache(64);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string(i % 32);
+        if (i % 3 == t % 3) cache.Put(key, 1, 0.5);
+        (void)cache.Get(key, 1);
+        if (i % 50 == 0) (void)cache.Stats();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(stats.coalesced, stats.hits);
+  EXPECT_LE(stats.size, stats.capacity);
 }
 
 }  // namespace

@@ -12,13 +12,14 @@ which that happens:
                        randomness must flow through the seeded ltm::Rng.
   R2 wall-clock        wall-clock reads (std::chrono::system_clock, time(),
                        gettimeofday, clock(), localtime, gmtime) inside
-                       src/truth/ and src/store/ — sampler and store logic
-                       must be a function of inputs, not of the clock.
-                       steady_clock is allowed: it is monotonic, used only
-                       for deadlines/timing, and never feeds results.
+                       src/truth/, src/store/, and src/serve/ — sampler,
+                       store, and serving logic must be a function of
+                       inputs, not of the clock. steady_clock is allowed:
+                       it is monotonic, used only for deadlines/timing,
+                       and never feeds results.
   R3 unordered-iter    range-for over a std::unordered_{map,set} declared in
                        the same file, feeding `+=` accumulation within the
-                       loop body, in src/truth/ and src/store/ — hash-order
+                       loop body, in the same directories — hash-order
                        iteration makes float accumulation order (and thus
                        low bits) vary across libstdc++ versions.
   R4 golden-kernel-pin a golden bit-pin test (file mentioning "golden" with
@@ -164,7 +165,7 @@ def main():
         if not relpath.startswith("src/common/rng"):
             scan_patterns(relpath, lines, RANDOM_PATTERNS,
                           RULE_BANNED_RANDOM, findings, allow)
-        if relpath.startswith(("src/truth/", "src/store/")):
+        if relpath.startswith(("src/truth/", "src/store/", "src/serve/")):
             scan_patterns(relpath, lines, CLOCK_PATTERNS,
                           RULE_WALL_CLOCK, findings, allow)
             scan_unordered_iteration(relpath, lines, findings, allow)
