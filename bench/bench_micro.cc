@@ -409,6 +409,105 @@ void BM_WalReplayRecovery(benchmark::State& state) {
 }
 BENCHMARK(BM_WalReplayRecovery)->Arg(10000)->Arg(100000);
 
+// ---------------------------------------------------------------------------
+// Block-format read path: point lookup vs slice materialization over a
+// multi-segment store. Run with --benchmark_filter='StorePoint|StoreSlice'
+// for the read-amplification pair; bench_store_read emits the CI-gated
+// BENCH_store_read.json variant of the same comparison.
+
+store::TruthStore* SharedReadStore() {
+  static auto* cached = []() -> std::unique_ptr<store::TruthStore>* {
+    const std::string dir = BenchFilePath("ltm_bench_micro_store_read");
+    std::filesystem::remove_all(dir);
+    auto opened = store::TruthStore::Open(dir);
+    if (!opened.ok()) return new std::unique_ptr<store::TruthStore>();
+    // Eight flushed segments over disjoint entity ranges — the shape
+    // leveled compaction converges to — so a point read must pick the one
+    // covering segment (zone stats + bloom) and then one data block.
+    for (int seg = 0; seg < 8; ++seg) {
+      RawDatabase batch;
+      for (int i = 0; i < 512; ++i) {
+        char entity[32];
+        std::snprintf(entity, sizeof entity, "movie-%05d", seg * 512 + i);
+        for (int s = 0; s < 4; ++s) {
+          batch.Add(entity, "director", "source-" + std::to_string(s));
+        }
+      }
+      if (!(*opened)->AppendRaw(batch).ok() || !(*opened)->Flush().ok()) {
+        return new std::unique_ptr<store::TruthStore>();
+      }
+    }
+    return new std::unique_ptr<store::TruthStore>(std::move(*opened));
+  }();
+  return cached->get();
+}
+
+void BM_StorePointLookup(benchmark::State& state) {
+  store::TruthStore* ts = SharedReadStore();
+  if (ts == nullptr) {
+    state.SkipWithError("read-store fixture build failed");
+    return;
+  }
+  const std::unique_ptr<store::EpochPin> pin = ts->PinEpoch();
+  uint64_t blocks = 0;
+  uint64_t disk_bytes = 0;
+  uint64_t queries = 0;
+  int e = 0;
+  for (auto _ : state) {
+    char entity[32];
+    std::snprintf(entity, sizeof entity, "movie-%05d", e & 4095);
+    e += 997;  // prime stride: consecutive lookups land in far-apart blocks
+    const std::string key(entity);
+    store::RangeScanStats rs;
+    auto slice = ts->MaterializeFromPin(*pin, &key, &key, &rs);
+    if (!slice.ok()) {
+      state.SkipWithError(slice.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(slice->raw.NumRows());
+    blocks += rs.blocks_read;
+    disk_bytes += rs.bytes_read;
+    ++queries;
+  }
+  if (queries > 0) {
+    state.counters["blocks_per_query"] =
+        static_cast<double>(blocks) / static_cast<double>(queries);
+    state.counters["disk_bytes_per_query"] =
+        static_cast<double>(disk_bytes) / static_cast<double>(queries);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(queries));
+}
+BENCHMARK(BM_StorePointLookup);
+
+void BM_StoreSliceMaterialize(benchmark::State& state) {
+  store::TruthStore* ts = SharedReadStore();
+  if (ts == nullptr) {
+    state.SkipWithError("read-store fixture build failed");
+    return;
+  }
+  const std::string min = "movie-00000";
+  const std::string max = "movie-99999";
+  uint64_t blocks = 0;
+  uint64_t queries = 0;
+  for (auto _ : state) {
+    store::RangeScanStats rs;
+    auto slice = ts->MaterializeEntityRange(min, max, &rs);
+    if (!slice.ok()) {
+      state.SkipWithError(slice.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(slice->raw.NumRows());
+    blocks += rs.blocks_read;
+    ++queries;
+  }
+  if (queries > 0) {
+    state.counters["blocks_per_query"] =
+        static_cast<double>(blocks) / static_cast<double>(queries);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(queries));
+}
+BENCHMARK(BM_StoreSliceMaterialize);
+
 void BM_LtmIncPredict(benchmark::State& state) {
   const auto& data = SharedProcessData(state.range(0));
   LtmOptions opts = LtmOptions::ScaledDefaults(data.graph.NumFacts());

@@ -34,7 +34,7 @@ int Usage() {
       "                 [--query ENTITY ATTRIBUTE]... [--queries FILE]\n"
       "                 [--range MIN MAX] [--stats]\n"
       "spec keys: batch_window_us, max_inflight, refit_debounce_epochs,\n"
-      "           refit_queue\n");
+      "           refit_queue, block_cache_mb, bloom_bits_per_key\n");
   return 2;
 }
 
@@ -114,7 +114,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto store = ltm::store::TruthStore::Open(dir);
+  // The spec's block_cache_mb / bloom_bits_per_key are store knobs, so
+  // they configure the open itself.
+  auto store = ltm::store::TruthStore::Open(
+      dir, options->ApplyToStore(ltm::store::TruthStoreOptions()));
   if (!store.ok()) return Fail(store.status());
 
   // Size the Gibbs refit to the durable evidence, then bootstrap the
@@ -162,6 +165,13 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.cache.hits),
                  static_cast<unsigned long long>(stats.cache.misses),
                  static_cast<unsigned long long>(stats.slice_computes));
+    std::fprintf(stderr,
+                 "block cache: %llu hit(s) %llu miss(es) %llu eviction(s)  "
+                 "bloom point skips: %llu\n",
+                 static_cast<unsigned long long>(stats.block_cache.hits),
+                 static_cast<unsigned long long>(stats.block_cache.misses),
+                 static_cast<unsigned long long>(stats.block_cache.evictions),
+                 static_cast<unsigned long long>(stats.bloom_point_skips));
     std::fprintf(stderr,
                  "epoch: %llu  quality version: %llu  live pins: %zu\n",
                  static_cast<unsigned long long>(stats.epoch),

@@ -14,13 +14,17 @@
 // a deterministic stand-in for SIGKILL at that instant, used by the CI
 // recovery smoke test. Useful POINTs: wal-append,
 // store-flush-segment-written, store-flush-wal-rotated,
-// store-compact-segment-written, atomic-write-before-rename (add
-// "MANIFEST" to target only the manifest commit).
+// store-compact-segment-written, segment-block-write (mid-segment
+// write), manifest-edit-append (before a MANIFEST edit record), and
+// atomic-write-before-rename (add "MANIFEST" to target only the
+// manifest snapshot commit).
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
+
+#include <map>
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
@@ -28,6 +32,7 @@
 #include "ext/streaming.h"
 #include "serve/serve_options.h"
 #include "serve/serve_session.h"
+#include "store/segment.h"
 #include "store/truth_store.h"
 
 #include <fstream>
@@ -111,6 +116,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // The serve spec carries store-level knobs (block_cache_mb,
+  // bloom_bits_per_key), so it must be parsed before the store opens.
+  auto serve_options = ltm::serve::ParseServeSpec(serve_spec);
+  if (!serve_options.ok()) return Fail(serve_options.status());
+  options = serve_options->ApplyToStore(options);
+
   auto store = ltm::store::TruthStore::Open(dir, options);
   if (!store.ok()) return Fail(store.status());
 
@@ -141,13 +152,92 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.epoch));
     std::printf("manifest generation:  %llu\n",
                 static_cast<unsigned long long>(stats.generation));
-    std::printf("segments:             %zu (%llu row(s))\n",
+    std::printf("manifest edits:       %llu since last snapshot\n",
+                static_cast<unsigned long long>(
+                    stats.manifest_edits_since_snapshot));
+    std::printf("next row seq:         %llu\n",
+                static_cast<unsigned long long>(stats.next_row_seq));
+    std::printf("segments:             %zu (%llu row(s), max level %u, "
+                "%zu at L0)\n",
                 stats.num_segments,
-                static_cast<unsigned long long>(stats.segment_rows));
+                static_cast<unsigned long long>(stats.segment_rows),
+                stats.max_level, stats.l0_segments);
     std::printf("memtable rows:        %zu\n", stats.memtable_rows);
     std::printf("WAL records replayed: %llu%s\n",
                 static_cast<unsigned long long>(stats.wal_records_replayed),
                 stats.recovered_torn_tail ? " (torn tail truncated)" : "");
+
+    // Per-level layout with zone stats, plus a measured bloom
+    // false-positive rate: probe each segment's filter with keys that
+    // cannot exist in the store (entities starting with 0x01 and an
+    // embedded tab would have been split by the TSV loader).
+    std::map<uint32_t, std::vector<ltm::store::SegmentInfo>> levels;
+    for (const auto& seg : (*store)->segments()) {
+      levels[seg.level].push_back(seg);
+    }
+    for (const auto& [level, segs] : levels) {
+      uint64_t level_rows = 0;
+      uint64_t level_bytes = 0;
+      for (const auto& seg : segs) {
+        level_rows += seg.num_rows;
+        level_bytes += seg.file_bytes;
+      }
+      std::printf("level %u:              %zu segment(s), %llu row(s), "
+                  "%llu byte(s)\n",
+                  level, segs.size(),
+                  static_cast<unsigned long long>(level_rows),
+                  static_cast<unsigned long long>(level_bytes));
+      for (const auto& seg : segs) {
+        auto reader = ltm::store::BlockSegmentReader::Open(
+            dir + "/" + seg.file, seg.id);
+        if (!reader.ok()) return Fail(reader.status());
+        constexpr int kProbes = 4096;
+        int false_positives = 0;
+        for (int p = 0; p < kProbes; ++p) {
+          const std::string absent =
+              "\x01probe-" + std::to_string(p);
+          if ((*reader)->MayContainFact(absent, "x")) ++false_positives;
+        }
+        std::printf(
+            "  %s  rows=%llu facts=%llu sources=%llu blocks=%u "
+            "bytes=%llu seq=[%llu..%llu] entities=[%s..%s] "
+            "bloom=%ub/key fp=%.2f%%\n",
+            seg.file.c_str(), static_cast<unsigned long long>(seg.num_rows),
+            static_cast<unsigned long long>(seg.num_facts),
+            static_cast<unsigned long long>(seg.num_sources), seg.num_blocks,
+            static_cast<unsigned long long>(seg.file_bytes),
+            static_cast<unsigned long long>(seg.min_seq),
+            static_cast<unsigned long long>(seg.max_seq),
+            seg.min_entity.c_str(), seg.max_entity.c_str(),
+            (*reader)->footer().bloom_bits_per_key,
+            100.0 * false_positives / kProbes);
+      }
+    }
+    std::printf("block cache:          %llu hit(s), %llu miss(es), "
+                "%llu eviction(s), %llu/%llu byte(s)\n",
+                static_cast<unsigned long long>(stats.block_cache.hits),
+                static_cast<unsigned long long>(stats.block_cache.misses),
+                static_cast<unsigned long long>(stats.block_cache.evictions),
+                static_cast<unsigned long long>(stats.block_cache.size_bytes),
+                static_cast<unsigned long long>(
+                    stats.block_cache.capacity_bytes));
+    std::printf("bloom point skips:    %llu\n",
+                static_cast<unsigned long long>(stats.bloom_point_skips));
+    std::printf("compactions:          %llu (%llu trivial move(s), "
+                "%llu -> %llu segment(s), %llu read / %llu written "
+                "byte(s), %llu duplicate row(s) dropped)\n",
+                static_cast<unsigned long long>(stats.compaction.compactions),
+                static_cast<unsigned long long>(
+                    stats.compaction.trivial_moves),
+                static_cast<unsigned long long>(
+                    stats.compaction.input_segments),
+                static_cast<unsigned long long>(
+                    stats.compaction.output_segments),
+                static_cast<unsigned long long>(stats.compaction.bytes_read),
+                static_cast<unsigned long long>(
+                    stats.compaction.bytes_written),
+                static_cast<unsigned long long>(
+                    stats.compaction.rows_dropped));
   } else if (command == "materialize") {
     if (out_path.empty()) return Usage();
     auto ds = (*store)->Materialize();
@@ -181,8 +271,6 @@ int main(int argc, char** argv) {
       ref.attribute = fields[1];
       queries.push_back(std::move(ref));
     }
-    auto serve_options = ltm::serve::ParseServeSpec(serve_spec);
-    if (!serve_options.ok()) return Fail(serve_options.status());
     const ltm::store::TruthStoreStats stats = (*store)->Stats();
     ltm::ext::StreamingOptions stream_opts;
     stream_opts.ltm = ltm::LtmOptions::ScaledDefaults(stats.segment_rows +
@@ -198,6 +286,14 @@ int main(int argc, char** argv) {
       std::printf("%s\t%s\t%.6f\n", queries[i].entity.c_str(),
                   queries[i].attribute.c_str(), (*posteriors)[i]);
     }
+    const ltm::serve::ServeStats sstats = (*session)->Stats();
+    std::fprintf(stderr,
+                 "block cache: %llu hit(s) %llu miss(es) %llu eviction(s); "
+                 "bloom point skips: %llu\n",
+                 static_cast<unsigned long long>(sstats.block_cache.hits),
+                 static_cast<unsigned long long>(sstats.block_cache.misses),
+                 static_cast<unsigned long long>(sstats.block_cache.evictions),
+                 static_cast<unsigned long long>(sstats.bloom_point_skips));
   } else {
     return Usage();
   }

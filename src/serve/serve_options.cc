@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "store/truth_store.h"
+
 namespace ltm {
 namespace serve {
 
@@ -14,6 +16,11 @@ Status ServeOptions::Validate() const {
   if (refit_queue == 0) {
     return Status::InvalidArgument("serve: refit_queue must be >= 1");
   }
+  if (bloom_bits_per_key > 64) {
+    return Status::InvalidArgument(
+        "serve: bloom_bits_per_key must be <= 64 (got " +
+        std::to_string(bloom_bits_per_key) + ")");
+  }
   return Status::OK();
 }
 
@@ -23,8 +30,17 @@ std::string ServeOptions::ToSpecString() const {
   out += ",max_inflight=" + std::to_string(max_inflight);
   out += ",refit_debounce_epochs=" + std::to_string(refit_debounce_epochs);
   out += ",refit_queue=" + std::to_string(refit_queue);
+  out += ",block_cache_mb=" + std::to_string(block_cache_mb);
+  out += ",bloom_bits_per_key=" + std::to_string(bloom_bits_per_key);
   out += ")";
   return out;
+}
+
+store::TruthStoreOptions ServeOptions::ApplyToStore(
+    store::TruthStoreOptions base) const {
+  base.block_cache_mb = block_cache_mb;
+  base.bloom_bits_per_key = bloom_bits_per_key;
+  return base;
 }
 
 Result<ServeOptions> ServeOptionsFromSpec(const MethodOptions& opts,
@@ -43,6 +59,19 @@ Result<ServeOptions> ServeOptionsFromSpec(const MethodOptions& opts,
       const uint64_t refit_queue,
       opts.GetUint64("refit_queue", static_cast<uint64_t>(base.refit_queue)));
   out.refit_queue = static_cast<size_t>(refit_queue);
+  LTM_ASSIGN_OR_RETURN(const uint64_t block_cache_mb,
+                       opts.GetUint64("block_cache_mb",
+                                      static_cast<uint64_t>(base.block_cache_mb)));
+  out.block_cache_mb = static_cast<size_t>(block_cache_mb);
+  LTM_ASSIGN_OR_RETURN(
+      const uint64_t bloom_bits,
+      opts.GetUint64("bloom_bits_per_key", base.bloom_bits_per_key));
+  if (bloom_bits > 64) {
+    return Status::InvalidArgument(
+        "serve: bloom_bits_per_key must be <= 64 (got " +
+        std::to_string(bloom_bits) + ")");
+  }
+  out.bloom_bits_per_key = static_cast<uint32_t>(bloom_bits);
   LTM_RETURN_IF_ERROR(out.Validate());
   return out;
 }

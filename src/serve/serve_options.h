@@ -9,12 +9,16 @@
 #include "truth/method_spec.h"
 
 namespace ltm {
+namespace store {
+struct TruthStoreOptions;
+}  // namespace store
+
 namespace serve {
 
 /// Knobs for a ServeSession, settable from a spec string via the same
 /// MethodSpec machinery as method options: `serve` or
 /// `serve(batch_window_us=200, max_inflight=8, refit_debounce_epochs=4,
-/// refit_queue=2)`.
+/// refit_queue=2, block_cache_mb=8, bloom_bits_per_key=10)`.
 struct ServeOptions {
   /// How long a cache-missing query leader waits (microseconds) before
   /// materializing its entity slice, so concurrent lookups for the same
@@ -38,11 +42,25 @@ struct ServeOptions {
   /// (reported as ResourceExhausted). Must be >= 1.
   size_t refit_queue = 1;
 
+  /// Sharded data-block cache budget (MiB) for the served store; together
+  /// with the PosteriorCache this is the session's read-side memory
+  /// budget, set from one spec string. 0 disables the block cache.
+  size_t block_cache_mb = 8;
+
+  /// Bloom filter bits per key for segments the served store writes
+  /// (0 disables blooms; at most 64 — past that the filter is all ones).
+  uint32_t bloom_bits_per_key = 10;
+
   /// InvalidArgument when a field is out of range.
   Status Validate() const;
 
   /// Canonical round-trippable spec: "serve(batch_window_us=...,...)".
   std::string ToSpecString() const;
+
+  /// Copies the store-facing knobs (block_cache_mb, bloom_bits_per_key)
+  /// onto `base`, so serving tools open their TruthStore under the same
+  /// spec-configured budget.
+  store::TruthStoreOptions ApplyToStore(store::TruthStoreOptions base) const;
 };
 
 /// Applies `serve` keys from parsed method options over `base`,

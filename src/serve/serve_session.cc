@@ -276,6 +276,8 @@ ServeStats ServeSession::Stats() const {
   stats.shed = shed_.load(std::memory_order_relaxed);
   stats.slice_computes = slice_computes_.load(std::memory_order_relaxed);
   stats.cache = store_->posterior_cache().Stats();
+  stats.block_cache = store_->block_cache().Stats();
+  stats.bloom_point_skips = store_->Stats().bloom_point_skips;
   if (scheduler_ != nullptr) stats.refit = scheduler_->Stats();
   stats.epoch = store_->epoch();
   {
@@ -300,6 +302,20 @@ Result<double> ServeSnapshot::Query(const FactRef& fact,
   if (const auto hit = cache.Get(cache_key, pin_->epoch())) {
     session_->latency_.Record(ElapsedMicros(timer));
     return *hit;
+  }
+  // Bloom short-circuit: when every segment's filter denies the
+  // (entity, attribute) pair and the pin's memtable has no exact match,
+  // the fact cannot exist — serve the no-claim prior without reading a
+  // single data block. Blooms have no false negatives, so this is the
+  // same answer the materialize below would have produced.
+  LTM_ASSIGN_OR_RETURN(const bool may_exist,
+                       session_->store_->PinnedFactMayExist(
+                           *pin_, fact.entity, fact.attribute));
+  if (!may_exist) {
+    const double prior = quality_->lookup.no_claim_prior;
+    cache.Put(cache_key, pin_->epoch(), prior);
+    session_->latency_.Record(ElapsedMicros(timer));
+    return prior;
   }
   // Recompute from this snapshot's own pin: the same replay order a
   // sequential materialize at the pinned epoch would use, so the result

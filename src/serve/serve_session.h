@@ -48,6 +48,11 @@ struct ServeStats {
   uint64_t shed = 0;            ///< Queries rejected by admission control.
   uint64_t slice_computes = 0;  ///< Entity-slice materialize+score passes led.
   store::CacheStats cache;
+  /// The served store's data-block cache (hits/misses/evictions/bytes).
+  store::BlockCacheStats block_cache;
+  /// Point probes answered "fact cannot exist" purely from segment bloom
+  /// filters, reading zero data blocks (cumulative, store-wide).
+  uint64_t bloom_point_skips = 0;
   RefitSchedulerStats refit;    ///< Zeros when the scheduler is disabled.
   uint64_t epoch = 0;
   uint64_t quality_version = 0;

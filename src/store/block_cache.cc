@@ -1,0 +1,110 @@
+#include "store/block_cache.h"
+
+#include <utility>
+
+namespace ltm {
+namespace store {
+
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BlockCache::BlockCache(uint64_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes),
+      per_shard_capacity_(capacity_bytes /
+                          RoundUpToPowerOfTwo(num_shards < 1 ? 1 : num_shards)) {
+  const size_t shards = RoundUpToPowerOfTwo(num_shards < 1 ? 1 : num_shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BlockCache::Shard& BlockCache::ShardFor(uint64_t segment_id, uint64_t offset) {
+  const size_t h = KeyHash{}(Key{segment_id, offset});
+  // shards_.size() is a power of two, so the mask picks a shard uniformly.
+  return *shards_[(h >> 16) & (shards_.size() - 1)];
+}
+
+std::shared_ptr<const std::string> BlockCache::Get(uint64_t segment_id,
+                                                   uint64_t offset) {
+  Shard& shard = ShardFor(segment_id, offset);
+  MutexLock lock(shard.mu);
+  const auto it = shard.index.find(Key{segment_id, offset});
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(uint64_t segment_id, uint64_t offset,
+                        std::shared_ptr<const std::string> block) {
+  if (capacity_bytes_ == 0 || block == nullptr) return;
+  Shard& shard = ShardFor(segment_id, offset);
+  const Key key{segment_id, offset};
+  MutexLock lock(shard.mu);
+  ++shard.inserts;
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.size_bytes -= it->second->block->size();
+    shard.size_bytes += block->size();
+    it->second->block = std::move(block);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(block)});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.size_bytes += shard.lru.front().block->size();
+  }
+  // Evict cold entries beyond this shard's share, but always keep the one
+  // just touched — a single block larger than the shard budget must still
+  // be cacheable or a hot oversized block would thrash forever.
+  while (shard.size_bytes > per_shard_capacity_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.size_bytes -= victim.block->size();
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void BlockCache::EraseSegment(uint64_t segment_id) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.segment_id == segment_id) {
+        shard->size_bytes -= it->block->size();
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+BlockCacheStats BlockCache::Stats() const {
+  BlockCacheStats stats;
+  stats.capacity_bytes = capacity_bytes_;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.inserts += shard->inserts;
+    stats.evictions += shard->evictions;
+    stats.size_bytes += shard->size_bytes;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace store
+}  // namespace ltm

@@ -1,0 +1,114 @@
+#ifndef LTM_STORE_BLOCK_CACHE_H_
+#define LTM_STORE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ltm {
+namespace store {
+
+/// One-call snapshot of the cache's counters, summed over every shard
+/// (each shard's fields are read under its lock, so per-shard numbers are
+/// internally consistent; cross-shard sums can lag one another by
+/// in-flight operations, which is fine for monitoring).
+struct BlockCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t size_bytes = 0;
+  uint64_t capacity_bytes = 0;
+  size_t entries = 0;
+};
+
+/// Sharded LRU cache of verified data-block bytes, keyed
+/// (segment id, block offset) and charged by block size — the layer under
+/// PosteriorCache that turns a repeat point lookup's one block read into
+/// zero. Sharding splits the key space over independent LRU lists with
+/// one mutex each, so concurrent readers on different blocks rarely
+/// contend on a lock.
+///
+/// Values are shared_ptr<const string>: a lookup pins the bytes it got
+/// even if an eviction races it, so readers never copy a block and never
+/// observe a freed one. Segment ids are never reused (the manifest's
+/// next_segment_id is monotonic), so stale aliasing is impossible; a
+/// segment file reclaimed from disk is still purged eagerly with
+/// EraseSegment to release memory.
+///
+/// Thread-safe. A capacity of 0 disables caching (every Get misses,
+/// Insert drops).
+class BlockCache {
+ public:
+  explicit BlockCache(uint64_t capacity_bytes, size_t num_shards = 8);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+  BlockCache(BlockCache&&) = delete;
+  BlockCache& operator=(BlockCache&&) = delete;
+
+  /// The cached block, or null on a miss. A hit moves the entry to the
+  /// front of its shard's LRU list.
+  std::shared_ptr<const std::string> Get(uint64_t segment_id, uint64_t offset);
+
+  /// Inserts (or refreshes) a block, evicting least-recently-used entries
+  /// until the shard fits its share of the budget.
+  void Insert(uint64_t segment_id, uint64_t offset,
+              std::shared_ptr<const std::string> block);
+
+  /// Drops every cached block of one segment (called when the segment's
+  /// file is deleted or reclaimed). Dropped entries do not count as
+  /// capacity evictions.
+  void EraseSegment(uint64_t segment_id);
+
+  BlockCacheStats Stats() const;
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Key {
+    uint64_t segment_id;
+    uint64_t offset;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.segment_id * 0x9e3779b97f4a7c15ULL;
+      h ^= k.offset + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= h >> 29;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const std::string> block;
+  };
+  struct Shard {
+    mutable Mutex mu;
+    std::list<Entry> lru LTM_GUARDED_BY(mu);  ///< front = most recent
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index
+        LTM_GUARDED_BY(mu);
+    uint64_t size_bytes LTM_GUARDED_BY(mu) = 0;
+    uint64_t hits LTM_GUARDED_BY(mu) = 0;
+    uint64_t misses LTM_GUARDED_BY(mu) = 0;
+    uint64_t inserts LTM_GUARDED_BY(mu) = 0;
+    uint64_t evictions LTM_GUARDED_BY(mu) = 0;
+  };
+
+  Shard& ShardFor(uint64_t segment_id, uint64_t offset);
+
+  const uint64_t capacity_bytes_;
+  const uint64_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace store
+}  // namespace ltm
+
+#endif  // LTM_STORE_BLOCK_CACHE_H_

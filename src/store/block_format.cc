@@ -1,0 +1,216 @@
+#include "store/block_format.h"
+
+#include <cstring>
+
+namespace ltm {
+namespace store {
+
+namespace {
+
+/// LEB128 decode with strict bounds: at most 5 (u32) / 10 (u64) bytes,
+/// always inside [pos, size).
+Result<uint64_t> GetVarint(std::string_view data, size_t* pos, int max_bytes,
+                           const std::string& label) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < max_bytes; ++i) {
+    if (*pos >= data.size()) {
+      return Status::InvalidArgument("corrupt block: truncated varint in " +
+                                     label);
+    }
+    const uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return Status::InvalidArgument("corrupt block: over-long varint in " + label);
+}
+
+Result<uint32_t> GetVarint32(std::string_view data, size_t* pos,
+                             const std::string& label) {
+  LTM_ASSIGN_OR_RETURN(const uint64_t v, GetVarint(data, pos, 5, label));
+  if (v > UINT32_MAX) {
+    return Status::InvalidArgument("corrupt block: varint32 overflow in " +
+                                   label);
+  }
+  return static_cast<uint32_t>(v);
+}
+
+Result<std::string_view> GetBytes(std::string_view data, size_t* pos,
+                                  size_t len, const std::string& label) {
+  if (len > data.size() - *pos) {
+    return Status::InvalidArgument("corrupt block: truncated entry bytes in " +
+                                   label);
+  }
+  std::string_view out = data.substr(*pos, len);
+  *pos += len;
+  return out;
+}
+
+}  // namespace
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+BlockBuilder::BlockBuilder(size_t restart_interval)
+    : restart_interval_(restart_interval < 1 ? 1 : restart_interval) {}
+
+void BlockBuilder::Add(const SegmentRow& row) {
+  size_t shared = 0;
+  if (entries_since_restart_ >= restart_interval_ || num_entries_ == 0) {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    entries_since_restart_ = 0;
+  } else {
+    const size_t limit = std::min(last_entity_.size(), row.entity.size());
+    while (shared < limit && last_entity_[shared] == row.entity[shared]) {
+      ++shared;
+    }
+  }
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(row.entity.size() - shared));
+  buffer_.append(row.entity, shared, row.entity.size() - shared);
+  PutVarint32(&buffer_, static_cast<uint32_t>(row.attribute.size()));
+  buffer_.append(row.attribute);
+  PutVarint32(&buffer_, static_cast<uint32_t>(row.source.size()));
+  buffer_.append(row.source);
+  PutVarint64(&buffer_, row.seq);
+  buffer_.push_back(static_cast<char>(row.observation));
+  last_entity_ = row.entity;
+  ++entries_since_restart_;
+  ++num_entries_;
+}
+
+std::string BlockBuilder::Finish() {
+  for (const uint32_t offset : restarts_) {
+    char buf[sizeof(uint32_t)];
+    std::memcpy(buf, &offset, sizeof(offset));
+    buffer_.append(buf, sizeof(buf));
+  }
+  const uint32_t count = static_cast<uint32_t>(restarts_.size());
+  char buf[sizeof(uint32_t)];
+  std::memcpy(buf, &count, sizeof(count));
+  buffer_.append(buf, sizeof(buf));
+  std::string out = std::move(buffer_);
+  Reset();
+  return out;
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  last_entity_.clear();
+  entries_since_restart_ = 0;
+  num_entries_ = 0;
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * sizeof(uint32_t) +
+         sizeof(uint32_t);
+}
+
+Result<BlockCursor> BlockCursor::Parse(std::string_view block,
+                                       const std::string& label) {
+  if (block.size() < sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        "corrupt block: shorter than the restart trailer: " + label);
+  }
+  uint32_t num_restarts = 0;
+  std::memcpy(&num_restarts, block.data() + block.size() - sizeof(uint32_t),
+              sizeof(num_restarts));
+  const size_t trailer =
+      (static_cast<size_t>(num_restarts) + 1) * sizeof(uint32_t);
+  // The count is untrusted: checked against the bytes actually present so
+  // a forged value cannot push the entries window negative or huge.
+  if (trailer > block.size()) {
+    return Status::InvalidArgument(
+        "corrupt block: restart count " + std::to_string(num_restarts) +
+        " larger than the block: " + label);
+  }
+  const size_t entries_size = block.size() - trailer;
+  const char* restart_base = block.data() + entries_size;
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < num_restarts; ++i) {
+    uint32_t offset = 0;
+    std::memcpy(&offset, restart_base + i * sizeof(uint32_t), sizeof(offset));
+    if (offset >= entries_size || (i == 0 && offset != 0) ||
+        (i > 0 && offset <= prev)) {
+      return Status::InvalidArgument(
+          "corrupt block: bad restart offset " + std::to_string(offset) +
+          " at index " + std::to_string(i) + ": " + label);
+    }
+    prev = offset;
+  }
+  if (num_restarts == 0 && entries_size != 0) {
+    return Status::InvalidArgument(
+        "corrupt block: entry bytes with no restart points: " + label);
+  }
+  return BlockCursor(block.substr(0, entries_size), num_restarts, label);
+}
+
+Result<bool> BlockCursor::Next(SegmentRow* row) {
+  if (pos_ >= entries_.size()) return false;
+  LTM_ASSIGN_OR_RETURN(const uint32_t shared,
+                       GetVarint32(entries_, &pos_, label_));
+  LTM_ASSIGN_OR_RETURN(const uint32_t unshared,
+                       GetVarint32(entries_, &pos_, label_));
+  if (shared > prev_entity_.size()) {
+    return Status::InvalidArgument(
+        "corrupt block: shared prefix " + std::to_string(shared) +
+        " exceeds previous entity length: " + label_);
+  }
+  LTM_ASSIGN_OR_RETURN(const std::string_view entity_tail,
+                       GetBytes(entries_, &pos_, unshared, label_));
+  prev_entity_.resize(shared);
+  prev_entity_.append(entity_tail);
+  row->entity = prev_entity_;
+  LTM_ASSIGN_OR_RETURN(const uint32_t attr_len,
+                       GetVarint32(entries_, &pos_, label_));
+  LTM_ASSIGN_OR_RETURN(const std::string_view attr,
+                       GetBytes(entries_, &pos_, attr_len, label_));
+  row->attribute.assign(attr);
+  LTM_ASSIGN_OR_RETURN(const uint32_t source_len,
+                       GetVarint32(entries_, &pos_, label_));
+  LTM_ASSIGN_OR_RETURN(const std::string_view source,
+                       GetBytes(entries_, &pos_, source_len, label_));
+  row->source.assign(source);
+  LTM_ASSIGN_OR_RETURN(row->seq, GetVarint(entries_, &pos_, 10, label_));
+  if (pos_ >= entries_.size() + 1) {
+    return Status::InvalidArgument("corrupt block: truncated entry in " +
+                                   label_);
+  }
+  if (pos_ == entries_.size()) {
+    return Status::InvalidArgument(
+        "corrupt block: entry missing observation byte in " + label_);
+  }
+  row->observation = static_cast<uint8_t>(entries_[pos_++]);
+  return true;
+}
+
+Result<std::vector<SegmentRow>> DecodeBlockRows(std::string_view block,
+                                                const std::string& label) {
+  LTM_ASSIGN_OR_RETURN(BlockCursor cursor, BlockCursor::Parse(block, label));
+  std::vector<SegmentRow> rows;
+  SegmentRow row;
+  while (true) {
+    LTM_ASSIGN_OR_RETURN(const bool more, cursor.Next(&row));
+    if (!more) break;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace store
+}  // namespace ltm

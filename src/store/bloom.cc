@@ -1,0 +1,91 @@
+#include "store/bloom.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace ltm {
+namespace store {
+
+namespace {
+
+constexpr uint32_t kMaxProbes = 30;
+
+uint32_t ProbesForBitsPerKey(uint32_t bits_per_key) {
+  // k = bits_per_key * ln 2 minimizes the false-positive rate.
+  uint32_t k = static_cast<uint32_t>(bits_per_key * 0.69);
+  if (k < 1) k = 1;
+  if (k > kMaxProbes) k = kMaxProbes;
+  return k;
+}
+
+/// Second hash for double hashing: an odd mix of the first so the probe
+/// stride is never zero and decorrelates from the base position.
+uint64_t ProbeDelta(uint64_t h) { return (h >> 17) | (h << 47) | 1; }
+
+}  // namespace
+
+BloomFilterBuilder::BloomFilterBuilder(uint32_t bits_per_key)
+    : bits_per_key_(bits_per_key < 1 ? 1 : bits_per_key) {}
+
+void BloomFilterBuilder::AddKey(std::string_view key) {
+  hashes_.push_back(Fnv1a64(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  const uint32_t k = ProbesForBitsPerKey(bits_per_key_);
+  uint64_t nbits = static_cast<uint64_t>(hashes_.size()) * bits_per_key_;
+  if (nbits < 64) nbits = 64;  // tiny filters would saturate instantly
+  const uint64_t nbytes = (nbits + 7) / 8;
+  nbits = nbytes * 8;
+
+  std::string out;
+  out.resize(sizeof(uint32_t) + nbytes, '\0');
+  std::memcpy(out.data(), &k, sizeof(k));
+  unsigned char* bits =
+      reinterpret_cast<unsigned char*>(out.data()) + sizeof(uint32_t);
+  for (uint64_t h : hashes_) {
+    const uint64_t delta = ProbeDelta(h);
+    for (uint32_t i = 0; i < k; ++i) {
+      const uint64_t bit = h % nbits;
+      bits[bit / 8] |= static_cast<unsigned char>(1u << (bit % 8));
+      h += delta;
+    }
+  }
+  hashes_.clear();
+  return out;
+}
+
+Result<BloomFilterView> BloomFilterView::FromBytes(std::string_view bytes) {
+  if (bytes.empty()) return BloomFilterView(0, std::string());
+  if (bytes.size() <= sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        "corrupt bloom filter: " + std::to_string(bytes.size()) +
+        " bytes is shorter than the header plus one bit byte");
+  }
+  uint32_t k = 0;
+  std::memcpy(&k, bytes.data(), sizeof(k));
+  if (k < 1 || k > kMaxProbes) {
+    return Status::InvalidArgument("corrupt bloom filter: probe count " +
+                                   std::to_string(k) + " outside [1, 30]");
+  }
+  return BloomFilterView(k, std::string(bytes.substr(sizeof(uint32_t))));
+}
+
+bool BloomFilterView::MayContain(std::string_view key) const {
+  if (bits_.empty()) return false;
+  const uint64_t nbits = static_cast<uint64_t>(bits_.size()) * 8;
+  uint64_t h = Fnv1a64(key);
+  const uint64_t delta = ProbeDelta(h);
+  const unsigned char* bits =
+      reinterpret_cast<const unsigned char*>(bits_.data());
+  for (uint32_t i = 0; i < k_; ++i) {
+    const uint64_t bit = h % nbits;
+    if ((bits[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace store
+}  // namespace ltm

@@ -1,0 +1,73 @@
+#ifndef LTM_STORE_BLOOM_H_
+#define LTM_STORE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ltm {
+namespace store {
+
+/// Per-segment bloom filter over entity and (entity, fact) keys — the
+/// probabilistic layer on top of the manifest's exact zone stats. A zone
+/// range says "this segment's entities span [min, max]"; the bloom says
+/// "this *specific* key is (probably) absent", which is what lets a point
+/// lookup skip a segment whose range covers the queried entity but which
+/// never stored a claim about it.
+///
+/// Serialized form (embedded in the segment file's bloom block):
+///
+///   uint32 k (number of probes), then the bit array bytes.
+///
+/// Probing uses double hashing derived from one FNV-1a 64 pass
+/// (h, h + d, h + 2d, ...), the standard trick that gets k independent-ish
+/// probes from one hash computation. k is derived from bits-per-key as
+/// round(bits_per_key * ln 2), clamped to [1, 30].
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(uint32_t bits_per_key);
+
+  /// Registers a key. Duplicate keys are harmless (idempotent bit sets)
+  /// but still charged when sizing, so callers dedupe for tight filters.
+  void AddKey(std::string_view key);
+
+  /// Serializes the filter over every added key. The builder is spent
+  /// afterwards.
+  std::string Finish();
+
+  size_t num_keys() const { return hashes_.size(); }
+
+ private:
+  uint32_t bits_per_key_;
+  std::vector<uint64_t> hashes_;
+};
+
+/// Read-side view over serialized bloom bytes. Holds a copy (bloom blocks
+/// are small, and the view must outlive any transient file buffer).
+class BloomFilterView {
+ public:
+  /// Validates the header (k in [1, 30], at least one bit byte).
+  /// An empty input is a valid always-empty filter (MayContain -> false).
+  static Result<BloomFilterView> FromBytes(std::string_view bytes);
+
+  /// False only when the key was definitely never added.
+  bool MayContain(std::string_view key) const;
+
+  uint32_t num_probes() const { return k_; }
+  size_t bits() const { return bits_.size() * 8; }
+
+ private:
+  BloomFilterView(uint32_t k, std::string bits)
+      : k_(k), bits_(std::move(bits)) {}
+
+  uint32_t k_ = 0;
+  std::string bits_;  ///< empty = always-empty filter
+};
+
+}  // namespace store
+}  // namespace ltm
+
+#endif  // LTM_STORE_BLOOM_H_

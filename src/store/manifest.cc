@@ -1,10 +1,14 @@
 #include "store/manifest.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/fs_util.h"
 #include "common/hash.h"
 #include "store/record_io.h"
@@ -14,7 +18,123 @@ namespace store {
 
 namespace {
 
-constexpr size_t kManifestHeaderSize = 24;
+constexpr size_t kManifestHeaderSize = 8;
+constexpr size_t kRecordHeaderSize = 12;  // u32 size + u64 checksum
+constexpr uint8_t kRecordSnapshot = 1;
+constexpr uint8_t kRecordEdit = 2;
+
+/// Each encoded segment costs at least 7 u64 counters + 2 u32 + 3 u32
+/// string length prefixes; checked against the bytes actually present
+/// BEFORE any reserve so a forged count cannot size a multi-gigabyte
+/// allocation.
+constexpr uint64_t kMinEncodedSegmentBytes = 7 * 8 + 2 * 4 + 3 * 4;
+
+void PutSegment(ByteWriter* w, const SegmentInfo& seg) {
+  w->PutU64(seg.id);
+  w->PutString(seg.file);
+  w->PutU32(seg.level);
+  w->PutU64(seg.num_rows);
+  w->PutU64(seg.num_facts);
+  w->PutU64(seg.num_sources);
+  w->PutU64(seg.num_positive);
+  w->PutString(seg.min_entity);
+  w->PutString(seg.max_entity);
+  w->PutU64(seg.min_seq);
+  w->PutU64(seg.max_seq);
+  w->PutU64(seg.file_bytes);
+  w->PutU32(seg.num_blocks);
+}
+
+Result<SegmentInfo> GetSegment(ByteReader* r) {
+  SegmentInfo seg;
+  LTM_ASSIGN_OR_RETURN(seg.id, r->GetU64());
+  LTM_ASSIGN_OR_RETURN(seg.file, r->GetString());
+  LTM_ASSIGN_OR_RETURN(seg.level, r->GetU32());
+  LTM_ASSIGN_OR_RETURN(seg.num_rows, r->GetU64());
+  LTM_ASSIGN_OR_RETURN(seg.num_facts, r->GetU64());
+  LTM_ASSIGN_OR_RETURN(seg.num_sources, r->GetU64());
+  LTM_ASSIGN_OR_RETURN(seg.num_positive, r->GetU64());
+  LTM_ASSIGN_OR_RETURN(seg.min_entity, r->GetString());
+  LTM_ASSIGN_OR_RETURN(seg.max_entity, r->GetString());
+  LTM_ASSIGN_OR_RETURN(seg.min_seq, r->GetU64());
+  LTM_ASSIGN_OR_RETURN(seg.max_seq, r->GetU64());
+  LTM_ASSIGN_OR_RETURN(seg.file_bytes, r->GetU64());
+  LTM_ASSIGN_OR_RETURN(seg.num_blocks, r->GetU32());
+  return seg;
+}
+
+Result<std::vector<SegmentInfo>> GetSegmentList(ByteReader* r,
+                                                const std::string& label) {
+  LTM_ASSIGN_OR_RETURN(const uint64_t count, r->GetU64());
+  if (count > r->Remaining() / kMinEncodedSegmentBytes) {
+    return Status::InvalidArgument(
+        "corrupt manifest: segment count larger than payload: " + label);
+  }
+  std::vector<SegmentInfo> segments;
+  segments.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LTM_ASSIGN_OR_RETURN(SegmentInfo seg, GetSegment(r));
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+std::string EncodeRecord(std::string_view payload) {
+  std::string out;
+  out.reserve(kRecordHeaderSize + payload.size());
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  const uint64_t checksum = Fnv1a64(payload);
+  out.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeSnapshotPayload(const Manifest& m) {
+  ByteWriter w;
+  w.PutU8(kRecordSnapshot);
+  w.PutU64(m.generation);
+  w.PutU64(m.next_segment_id);
+  w.PutU64(m.wal_seq);
+  w.PutString(m.wal_file);
+  w.PutU64(m.next_row_seq);
+  w.PutU64(m.segments.size());
+  for (const SegmentInfo& seg : m.segments) PutSegment(&w, seg);
+  return w.bytes();
+}
+
+std::string EncodeEditPayload(const VersionEdit& e) {
+  ByteWriter w;
+  w.PutU8(kRecordEdit);
+  w.PutU64(e.generation);
+  w.PutU64(e.next_segment_id);
+  w.PutU64(e.wal_seq);
+  w.PutString(e.wal_file);
+  w.PutU64(e.next_row_seq);
+  w.PutU64(e.added.size());
+  for (const SegmentInfo& seg : e.added) PutSegment(&w, seg);
+  w.PutU64(e.deleted.size());
+  for (const uint64_t id : e.deleted) w.PutU64(id);
+  return w.bytes();
+}
+
+Status ValidateSegmentList(const std::vector<SegmentInfo>& segments,
+                           uint64_t next_segment_id,
+                           const std::string& label) {
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].id >= next_segment_id) {
+      return Status::InvalidArgument(
+          "corrupt manifest: segment id " + std::to_string(segments[i].id) +
+          " >= next_segment_id " + std::to_string(next_segment_id) + ": " +
+          label);
+    }
+    if (i > 0 && segments[i].id <= segments[i - 1].id) {
+      return Status::InvalidArgument(
+          "corrupt manifest: segment ids not strictly increasing: " + label);
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -24,121 +144,216 @@ uint64_t Manifest::TotalSegmentRows() const {
   return total;
 }
 
-Result<Manifest> LoadManifest(const std::string& dir) {
+size_t Manifest::NumSegmentsAtLevel(uint32_t level) const {
+  size_t n = 0;
+  for (const SegmentInfo& seg : segments) {
+    if (seg.level == level) ++n;
+  }
+  return n;
+}
+
+uint32_t Manifest::MaxLevel() const {
+  uint32_t max_level = 0;
+  for (const SegmentInfo& seg : segments) {
+    if (seg.level > max_level) max_level = seg.level;
+  }
+  return max_level;
+}
+
+Status ApplyVersionEdit(Manifest* m, const VersionEdit& edit,
+                        const std::string& label) {
+  if (edit.generation <= m->generation) {
+    return Status::InvalidArgument(
+        "corrupt manifest: edit generation " +
+        std::to_string(edit.generation) + " does not advance " +
+        std::to_string(m->generation) + ": " + label);
+  }
+  m->generation = edit.generation;
+  m->next_segment_id = edit.next_segment_id;
+  m->wal_seq = edit.wal_seq;
+  m->wal_file = edit.wal_file;
+  m->next_row_seq = edit.next_row_seq;
+  for (const uint64_t id : edit.deleted) {
+    const auto it = std::find_if(m->segments.begin(), m->segments.end(),
+                                 [&](const SegmentInfo& s) {
+                                   return s.id == id;
+                                 });
+    if (it == m->segments.end()) {
+      return Status::InvalidArgument(
+          "corrupt manifest: edit deletes unknown segment " +
+          std::to_string(id) + ": " + label);
+    }
+    m->segments.erase(it);
+  }
+  for (const SegmentInfo& seg : edit.added) {
+    const auto it = std::lower_bound(m->segments.begin(), m->segments.end(),
+                                     seg.id,
+                                     [](const SegmentInfo& s, uint64_t id) {
+                                       return s.id < id;
+                                     });
+    if (it != m->segments.end() && it->id == seg.id) {
+      return Status::InvalidArgument(
+          "corrupt manifest: edit re-adds live segment " +
+          std::to_string(seg.id) + ": " + label);
+    }
+    m->segments.insert(it, seg);
+  }
+  return ValidateSegmentList(m->segments, m->next_segment_id, label);
+}
+
+Result<ManifestLoad> LoadManifestFromBytes(std::string_view bytes,
+                                           const std::string& label) {
+  if (bytes.size() < kManifestHeaderSize) {
+    return Status::InvalidArgument(
+        "corrupt manifest: shorter than the header: " + label);
+  }
+  if (std::memcmp(bytes.data(), kManifestMagic, 4) != 0) {
+    return Status::InvalidArgument("corrupt manifest: bad magic: " + label);
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  if (version != kManifestVersion) {
+    return Status::InvalidArgument(
+        "unsupported manifest version " + std::to_string(version) + ": " +
+        label);
+  }
+
+  ManifestLoad load;
+  size_t pos = kManifestHeaderSize;
+  bool have_snapshot = false;
+  while (pos < bytes.size()) {
+    // A record cut off mid-write (torn header, short payload, checksum
+    // mismatch) is an unacknowledged commit: stop at the intact prefix.
+    if (bytes.size() - pos < kRecordHeaderSize) break;
+    uint32_t size = 0;
+    uint64_t checksum = 0;
+    std::memcpy(&size, bytes.data() + pos, sizeof(size));
+    std::memcpy(&checksum, bytes.data() + pos + 4, sizeof(checksum));
+    if (size > bytes.size() - pos - kRecordHeaderSize) break;
+    const std::string_view payload =
+        bytes.substr(pos + kRecordHeaderSize, size);
+    if (Fnv1a64(payload) != checksum) break;
+
+    // The record is intact; now malformed contents are real corruption,
+    // not a torn tail.
+    ByteReader r(payload.data(), payload.size());
+    LTM_ASSIGN_OR_RETURN(const uint8_t type, r.GetU8());
+    if (type == kRecordSnapshot) {
+      if (have_snapshot) {
+        return Status::InvalidArgument(
+            "corrupt manifest: second snapshot record: " + label);
+      }
+      Manifest m;
+      LTM_ASSIGN_OR_RETURN(m.generation, r.GetU64());
+      LTM_ASSIGN_OR_RETURN(m.next_segment_id, r.GetU64());
+      LTM_ASSIGN_OR_RETURN(m.wal_seq, r.GetU64());
+      LTM_ASSIGN_OR_RETURN(m.wal_file, r.GetString());
+      LTM_ASSIGN_OR_RETURN(m.next_row_seq, r.GetU64());
+      LTM_ASSIGN_OR_RETURN(m.segments, GetSegmentList(&r, label));
+      LTM_RETURN_IF_ERROR(
+          ValidateSegmentList(m.segments, m.next_segment_id, label));
+      load.manifest = std::move(m);
+      have_snapshot = true;
+    } else if (type == kRecordEdit) {
+      if (!have_snapshot) {
+        return Status::InvalidArgument(
+            "corrupt manifest: edit record before any snapshot: " + label);
+      }
+      VersionEdit e;
+      LTM_ASSIGN_OR_RETURN(e.generation, r.GetU64());
+      LTM_ASSIGN_OR_RETURN(e.next_segment_id, r.GetU64());
+      LTM_ASSIGN_OR_RETURN(e.wal_seq, r.GetU64());
+      LTM_ASSIGN_OR_RETURN(e.wal_file, r.GetString());
+      LTM_ASSIGN_OR_RETURN(e.next_row_seq, r.GetU64());
+      LTM_ASSIGN_OR_RETURN(e.added, GetSegmentList(&r, label));
+      LTM_ASSIGN_OR_RETURN(const uint64_t num_deleted, r.GetU64());
+      if (num_deleted > r.Remaining() / sizeof(uint64_t)) {
+        return Status::InvalidArgument(
+            "corrupt manifest: deleted-id count larger than payload: " +
+            label);
+      }
+      e.deleted.reserve(num_deleted);
+      for (uint64_t i = 0; i < num_deleted; ++i) {
+        LTM_ASSIGN_OR_RETURN(const uint64_t id, r.GetU64());
+        e.deleted.push_back(id);
+      }
+      LTM_RETURN_IF_ERROR(ApplyVersionEdit(&load.manifest, e, label));
+      ++load.edits;
+    } else {
+      return Status::InvalidArgument(
+          "corrupt manifest: unknown record type " + std::to_string(type) +
+          ": " + label);
+    }
+    if (r.Remaining() != 0) {
+      return Status::InvalidArgument(
+          "corrupt manifest: " + std::to_string(r.Remaining()) +
+          " trailing record bytes: " + label);
+    }
+    ++load.records;
+    pos += kRecordHeaderSize + size;
+  }
+  if (!have_snapshot) {
+    return Status::InvalidArgument(
+        "corrupt manifest: no intact snapshot record: " + label);
+  }
+  load.valid_bytes = pos;
+  load.torn_tail = pos != bytes.size();
+  return load;
+}
+
+Result<ManifestLoad> LoadManifestDetailed(const std::string& dir) {
   const std::string path = dir + "/" + kManifestFileName;
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("no manifest at " + path);
   std::string file((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   if (in.bad()) return Status::IOError("manifest read failed: " + path);
+  return LoadManifestFromBytes(file, path);
+}
 
-  if (file.size() < kManifestHeaderSize) {
-    return Status::InvalidArgument(
-        "corrupt manifest: shorter than the header: " + path);
-  }
-  if (std::memcmp(file.data(), kManifestMagic, 4) != 0) {
-    return Status::InvalidArgument("corrupt manifest: bad magic: " + path);
-  }
-  uint32_t version = 0;
-  std::memcpy(&version, file.data() + 4, sizeof(version));
-  if (version != kManifestVersion) {
-    return Status::InvalidArgument(
-        "unsupported manifest version " + std::to_string(version) + ": " +
-        path);
-  }
-  uint64_t payload_size = 0;
-  std::memcpy(&payload_size, file.data() + 8, sizeof(payload_size));
-  if (payload_size != file.size() - kManifestHeaderSize) {
-    return Status::InvalidArgument(
-        "corrupt manifest: payload size mismatch: " + path);
-  }
-  uint64_t expected_checksum = 0;
-  std::memcpy(&expected_checksum, file.data() + 16, sizeof(expected_checksum));
-  if (Fnv1a64(file.data() + kManifestHeaderSize, payload_size) !=
-      expected_checksum) {
-    return Status::InvalidArgument(
-        "corrupt manifest: checksum mismatch: " + path);
-  }
-
-  ByteReader r(file.data() + kManifestHeaderSize, payload_size);
-  Manifest m;
-  LTM_ASSIGN_OR_RETURN(m.generation, r.GetU64());
-  LTM_ASSIGN_OR_RETURN(m.next_segment_id, r.GetU64());
-  LTM_ASSIGN_OR_RETURN(m.wal_seq, r.GetU64());
-  LTM_ASSIGN_OR_RETURN(m.wal_file, r.GetString());
-  LTM_ASSIGN_OR_RETURN(const uint64_t num_segments, r.GetU64());
-  // Each encoded segment costs at least 5 u64 counters, a u64 id and
-  // three u32 string length prefixes; checked against the bytes actually
-  // present BEFORE the reserve so a forged count cannot size a
-  // multi-gigabyte allocation.
-  constexpr uint64_t kMinEncodedSegmentBytes = 6 * 8 + 3 * 4;
-  if (num_segments > r.Remaining() / kMinEncodedSegmentBytes) {
-    return Status::InvalidArgument(
-        "corrupt manifest: segment count larger than payload: " + path);
-  }
-  m.segments.reserve(num_segments);
-  for (uint64_t i = 0; i < num_segments; ++i) {
-    SegmentInfo seg;
-    LTM_ASSIGN_OR_RETURN(seg.id, r.GetU64());
-    LTM_ASSIGN_OR_RETURN(seg.file, r.GetString());
-    LTM_ASSIGN_OR_RETURN(seg.num_rows, r.GetU64());
-    LTM_ASSIGN_OR_RETURN(seg.num_facts, r.GetU64());
-    LTM_ASSIGN_OR_RETURN(seg.num_sources, r.GetU64());
-    LTM_ASSIGN_OR_RETURN(seg.num_claims, r.GetU64());
-    LTM_ASSIGN_OR_RETURN(seg.num_positive, r.GetU64());
-    LTM_ASSIGN_OR_RETURN(seg.min_entity, r.GetString());
-    LTM_ASSIGN_OR_RETURN(seg.max_entity, r.GetString());
-    if (seg.id >= m.next_segment_id) {
-      return Status::InvalidArgument(
-          "corrupt manifest: segment id " + std::to_string(seg.id) +
-          " >= next_segment_id " + std::to_string(m.next_segment_id) + ": " +
-          path);
-    }
-    if (!m.segments.empty() && seg.id <= m.segments.back().id) {
-      return Status::InvalidArgument(
-          "corrupt manifest: segment ids not strictly increasing: " + path);
-    }
-    m.segments.push_back(std::move(seg));
-  }
-  if (r.Remaining() != 0) {
-    return Status::InvalidArgument(
-        "corrupt manifest: " + std::to_string(r.Remaining()) +
-        " trailing bytes: " + path);
-  }
-  return m;
+Result<Manifest> LoadManifest(const std::string& dir) {
+  LTM_ASSIGN_OR_RETURN(ManifestLoad load, LoadManifestDetailed(dir));
+  return std::move(load.manifest);
 }
 
 Status CommitManifest(const std::string& dir, const Manifest& manifest) {
-  ByteWriter payload;
-  payload.PutU64(manifest.generation);
-  payload.PutU64(manifest.next_segment_id);
-  payload.PutU64(manifest.wal_seq);
-  payload.PutString(manifest.wal_file);
-  payload.PutU64(manifest.segments.size());
-  for (const SegmentInfo& seg : manifest.segments) {
-    payload.PutU64(seg.id);
-    payload.PutString(seg.file);
-    payload.PutU64(seg.num_rows);
-    payload.PutU64(seg.num_facts);
-    payload.PutU64(seg.num_sources);
-    payload.PutU64(seg.num_claims);
-    payload.PutU64(seg.num_positive);
-    payload.PutString(seg.min_entity);
-    payload.PutString(seg.max_entity);
-  }
-
-  const std::string& bytes = payload.bytes();
   char header[kManifestHeaderSize];
   std::memcpy(header, kManifestMagic, 4);
   const uint32_t version = kManifestVersion;
   std::memcpy(header + 4, &version, sizeof(version));
-  const uint64_t payload_size = bytes.size();
-  std::memcpy(header + 8, &payload_size, sizeof(payload_size));
-  const uint64_t checksum = Fnv1a64(bytes);
-  std::memcpy(header + 16, &checksum, sizeof(checksum));
-
   return AtomicWriteFile(dir + "/" + kManifestFileName,
-                         std::string_view(header, kManifestHeaderSize), bytes);
+                         std::string_view(header, kManifestHeaderSize),
+                         EncodeRecord(EncodeSnapshotPayload(manifest)));
+}
+
+Status AppendManifestEdit(const std::string& dir, const VersionEdit& edit) {
+  const std::string path = dir + "/" + kManifestFileName;
+  LTM_RETURN_IF_ERROR(FailpointCheck("manifest-edit-append:" + path));
+  std::error_code ec;
+  const uint64_t old_size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IOError("cannot stat manifest for append: " + path + ": " +
+                           ec.message());
+  }
+  const std::string record = EncodeRecord(EncodeEditPayload(edit));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) return Status::IOError("cannot open manifest for append: " + path);
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+    out.flush();
+    if (!out) {
+      // Claw back any partial bytes so an in-process retry appends after
+      // a clean prefix instead of stranding a torn record mid-log.
+      std::filesystem::resize_file(path, old_size, ec);
+      return Status::IOError("manifest edit append failed: " + path);
+    }
+  }
+  Status sync = FsyncFile(path);
+  if (!sync.ok()) {
+    std::filesystem::resize_file(path, old_size, ec);
+    return sync;
+  }
+  return Status::OK();
 }
 
 }  // namespace store

@@ -11,59 +11,130 @@ namespace ltm {
 namespace store {
 
 /// Per-segment metadata tracked by the manifest. The zone stats
-/// (degree/positive counts and the lexicographic entity range) let
-/// materialization skip segments that cannot contain a query's entities
-/// without opening the files — the scan-skipping idea of
-/// provenance-based data skipping applied to claim segments.
+/// (row/fact/source counts, the lexicographic entity range, and the
+/// ingest-sequence range) let materialization skip segments that cannot
+/// contain a query's entities without opening the files — the
+/// scan-skipping idea of provenance-based data skipping applied to claim
+/// segments — and let recovery re-derive replay order from seq ranges.
 struct SegmentInfo {
   uint64_t id = 0;
   std::string file;  ///< filename relative to the store directory
+  /// LSM level: 0 = fresh memtable flushes (ranges may overlap), >= 1 =
+  /// leveled (entity ranges within one level are disjoint).
+  uint32_t level = 0;
 
-  // Zone stats, computed at flush/compaction time from the segment's
-  // materialized dataset.
+  // Zone stats, computed by the block-segment writer at flush/compaction
+  // time.
   uint64_t num_rows = 0;
-  uint64_t num_facts = 0;
-  uint64_t num_sources = 0;
-  uint64_t num_claims = 0;     ///< claim-graph degree total
-  uint64_t num_positive = 0;   ///< positive-claim count
+  uint64_t num_facts = 0;      ///< distinct (entity, attribute) pairs
+  uint64_t num_sources = 0;    ///< distinct sources
+  uint64_t num_positive = 0;   ///< rows with observation == 1
   std::string min_entity;      ///< lexicographically smallest entity key
   std::string max_entity;      ///< lexicographically largest entity key
+  uint64_t min_seq = 0;        ///< smallest ingest sequence number held
+  uint64_t max_seq = 0;        ///< largest ingest sequence number held
+  uint64_t file_bytes = 0;
+  uint32_t num_blocks = 0;
 
   bool operator==(const SegmentInfo&) const = default;
 };
 
-/// The store's committed state: which segments exist (in ingest order —
-/// materialization replays them by ascending id to reproduce batch row
-/// order exactly) and which WAL file holds the tail that is newer than
-/// every segment. Commits are atomic (temp + fsync + rename), so a crash
-/// leaves either the old or the new manifest, never a mix.
+/// The store's committed state: which segments exist (kept sorted by id;
+/// replay order is recovered from row sequence numbers, not list order),
+/// which WAL file holds the tail newer than every segment, and the next
+/// global row sequence number to hand out.
 ///
-/// File format: magic "LTMM", uint32 version, uint64 payload size,
-/// uint64 FNV-1a 64 checksum, then the checksummed payload (generation,
-/// next_segment_id, wal_seq, wal_file, segment list).
+/// File format v2 — a version-edit log instead of a rewritten snapshot:
+///
+///   header, 8 bytes: magic "LTMM" + uint32 version (2)
+///   record: uint32 payload size, uint64 FNV-1a 64 checksum, payload
+///     payload: uint8 record type (1 = full snapshot, 2 = edit), then the
+///     type-specific fields (see VersionEdit)
+///
+/// The first record must be a snapshot. Commits append one checksummed
+/// edit record (write + fsync, no rewrite) — O(delta) instead of
+/// O(segments) per commit — and every `snapshot interval` edits the store
+/// folds the log back into a fresh snapshot-only file via the atomic
+/// temp + fsync + rename protocol. A torn trailing record is an
+/// unacknowledged commit and is ignored (and truncated at the next open),
+/// exactly like a torn WAL tail.
 struct Manifest {
   uint64_t generation = 0;       ///< commit counter, monotonic
   uint64_t next_segment_id = 1;  ///< id the next flush/compaction takes
   uint64_t wal_seq = 1;          ///< sequence number of the active WAL
   std::string wal_file;          ///< active WAL filename, e.g. wal-000001.log
-  std::vector<SegmentInfo> segments;
+  uint64_t next_row_seq = 0;     ///< next global ingest sequence number
+  std::vector<SegmentInfo> segments;  ///< sorted by ascending id
 
   /// Sum of num_rows over all segments.
   uint64_t TotalSegmentRows() const;
+  /// Segments on `level`.
+  size_t NumSegmentsAtLevel(uint32_t level) const;
+  /// Highest level holding any segment (0 when empty).
+  uint32_t MaxLevel() const;
+};
+
+/// One committed delta: the scalar state after the commit plus the
+/// segment list changes. Applying every edit in order onto the preceding
+/// snapshot reproduces the full Manifest.
+struct VersionEdit {
+  uint64_t generation = 0;
+  uint64_t next_segment_id = 1;
+  uint64_t wal_seq = 1;
+  std::string wal_file;
+  uint64_t next_row_seq = 0;
+  std::vector<SegmentInfo> added;
+  std::vector<uint64_t> deleted;  ///< segment ids removed by this commit
+
+  bool operator==(const VersionEdit&) const = default;
 };
 
 inline constexpr char kManifestMagic[4] = {'L', 'T', 'M', 'M'};
-inline constexpr uint32_t kManifestVersion = 1;
+inline constexpr uint32_t kManifestVersion = 2;
 inline constexpr char kManifestFileName[] = "MANIFEST";
 
-/// Loads `dir`/MANIFEST. NotFound when the file does not exist (a fresh
-/// store directory); InvalidArgument on any corruption — bad magic,
-/// version, truncation, checksum mismatch, or trailing bytes.
-Result<Manifest> LoadManifest(const std::string& dir);
+/// What LoadManifestDetailed learned beyond the state itself.
+struct ManifestLoad {
+  Manifest manifest;
+  uint64_t records = 0;     ///< intact records applied (snapshot + edits)
+  uint64_t edits = 0;       ///< of those, edit records
+  uint64_t valid_bytes = 0; ///< offset just past the last intact record
+  bool torn_tail = false;   ///< bytes past valid_bytes were ignored
+};
 
-/// Serializes `manifest` and commits it to `dir`/MANIFEST via
-/// AtomicWriteFile (temp + fsync + atomic rename + directory fsync).
+/// Loads `dir`/MANIFEST. NotFound when the file does not exist (a fresh
+/// store directory); InvalidArgument on corruption of the header or any
+/// fully-present record — bad magic, version, checksum, allocation-bomb
+/// counts, out-of-order segment ids. A torn *trailing* record is not an
+/// error (see ManifestLoad::torn_tail).
+Result<Manifest> LoadManifest(const std::string& dir);
+Result<ManifestLoad> LoadManifestDetailed(const std::string& dir);
+
+/// LoadManifestDetailed over an in-memory image (header included);
+/// `label` names the source in error messages. The actual parser, split
+/// out so tests and fuzzers can drive it byte-exactly.
+Result<ManifestLoad> LoadManifestFromBytes(std::string_view bytes,
+                                           const std::string& label);
+
+/// Serializes `manifest` as a snapshot-only log and commits it to
+/// `dir`/MANIFEST via AtomicWriteFile (temp + fsync + atomic rename +
+/// directory fsync).
 Status CommitManifest(const std::string& dir, const Manifest& manifest);
+
+/// Appends one edit record to `dir`/MANIFEST and fsyncs it. Calls
+/// FailpointCheck("manifest-edit-append:" + path) before touching the
+/// file, so an injected crash there loses exactly the uncommitted edit.
+/// On a write failure after partial bytes landed, truncates back to the
+/// pre-append size (best effort) so in-process retries do not strand a
+/// torn record in the middle of the log.
+Status AppendManifestEdit(const std::string& dir, const VersionEdit& edit);
+
+/// Applies `edit` onto `m` (scalar state overwritten, `deleted` ids
+/// removed, `added` inserted keeping id order). InvalidArgument when an
+/// id to delete is absent or an added id already exists / exceeds
+/// next_segment_id.
+Status ApplyVersionEdit(Manifest* m, const VersionEdit& edit,
+                        const std::string& label);
 
 }  // namespace store
 }  // namespace ltm

@@ -1,14 +1,17 @@
 #include "store/truth_store.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
 #include <string_view>
 #include <utility>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
-#include "data/snapshot.h"
 
 namespace ltm {
 namespace store {
@@ -24,22 +27,33 @@ bool MatchesPattern(std::string_view name, std::string_view prefix,
          name.substr(name.size() - suffix.size()) == suffix;
 }
 
-SegmentInfo MakeSegmentInfo(uint64_t id, const Dataset& ds) {
+SegmentInfo MakeSegmentInfo(uint64_t id, const std::string& file,
+                            uint32_t level,
+                            const BlockSegmentBuildInfo& built) {
   SegmentInfo info;
   info.id = id;
-  info.file = SegmentFileName(id);
-  info.num_rows = ds.raw.NumRows();
-  info.num_facts = ds.facts.NumFacts();
-  info.num_sources = ds.raw.NumSources();
-  info.num_claims = ds.graph.NumClaims();
-  info.num_positive = ds.graph.NumPositiveClaims();
-  bool first = true;
-  for (const std::string& entity : ds.raw.entities().strings()) {
-    if (first || entity < info.min_entity) info.min_entity = entity;
-    if (first || entity > info.max_entity) info.max_entity = entity;
-    first = false;
-  }
+  info.file = file;
+  info.level = level;
+  info.num_rows = built.num_rows;
+  info.num_facts = built.num_facts;
+  info.num_sources = built.num_sources;
+  info.num_positive = built.num_positive;
+  info.min_entity = built.min_entity;
+  info.max_entity = built.max_entity;
+  info.min_seq = built.min_seq;
+  info.max_seq = built.max_seq;
+  info.file_bytes = built.file_bytes;
+  info.num_blocks = built.num_blocks;
   return info;
+}
+
+/// Byte budget of level `level` (>= 1): the base for L1, 10x per level
+/// after that — the classic leveled-LSM geometry that bounds per-level
+/// write amplification to ~O(levels).
+uint64_t LevelTargetBytes(uint64_t base, uint32_t level) {
+  uint64_t target = base;
+  for (uint32_t l = 1; l < level; ++l) target *= 10;
+  return target;
 }
 
 /// Files in `dir` that the committed `manifest` does not account for:
@@ -55,11 +69,15 @@ std::vector<std::string> FindOrphanFiles(const std::string& dir,
     bool orphan = false;
     if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
       orphan = true;
-    } else if (MatchesPattern(name, "seg-", ".snap")) {
+    } else if (MatchesPattern(name, "seg-", ".blk")) {
       orphan = true;
       for (const SegmentInfo& seg : manifest.segments) {
         if (seg.file == name) orphan = false;
       }
+    } else if (MatchesPattern(name, "seg-", ".snap")) {
+      // Pre-block-format segment droppings; a v2 manifest never
+      // references them.
+      orphan = true;
     } else if (MatchesPattern(name, "wal-", ".log")) {
       orphan = name != manifest.wal_file;
     }
@@ -68,11 +86,20 @@ std::vector<std::string> FindOrphanFiles(const std::string& dir,
   return orphans;
 }
 
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return bytes;
+}
+
 }  // namespace
 
 std::string SegmentFileName(uint64_t id) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "seg-%06llu.snap",
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.blk",
                 static_cast<unsigned long long>(id));
   return buf;
 }
@@ -86,9 +113,12 @@ std::string WalFileName(uint64_t seq) {
 
 std::string StoreVerifyReport::Summary() const {
   std::string s = "manifest generation " + std::to_string(generation) + ": " +
-                  std::to_string(segments) + " segment(s), " +
+                  std::to_string(segments) + " segment(s), max level " +
+                  std::to_string(max_level) + ", " +
                   std::to_string(segment_rows) + " segment row(s), " +
+                  std::to_string(manifest_edits) + " manifest edit(s), " +
                   std::to_string(wal_records) + " WAL record(s)";
+  if (manifest_torn_tail) s += " (torn MANIFEST tail ignored)";
   if (wal_torn_tail) s += " (torn WAL tail ignored)";
   if (!orphan_files.empty()) {
     s += "; orphans:";
@@ -100,7 +130,8 @@ std::string StoreVerifyReport::Summary() const {
 TruthStore::TruthStore(std::string dir, TruthStoreOptions options)
     : dir_(std::move(dir)),
       options_(options),
-      cache_(options.posterior_cache_capacity) {}
+      cache_(options.posterior_cache_capacity),
+      block_cache_(static_cast<uint64_t>(options.block_cache_mb) << 20) {}
 
 std::string TruthStore::SegmentPath(const SegmentInfo& seg) const {
   return dir_ + "/" + seg.file;
@@ -108,6 +139,14 @@ std::string TruthStore::SegmentPath(const SegmentInfo& seg) const {
 
 std::string TruthStore::WalPath(const std::string& file) const {
   return dir_ + "/" + file;
+}
+
+BlockSegmentWriterOptions TruthStore::WriterOptions() const {
+  BlockSegmentWriterOptions w;
+  w.block_size_bytes = options_.block_size_bytes;
+  w.restart_interval = options_.restart_interval;
+  w.bloom_bits_per_key = options_.bloom_bits_per_key;
+  return w;
 }
 
 Result<std::unique_ptr<TruthStore>> TruthStore::Open(
@@ -124,7 +163,7 @@ Result<std::unique_ptr<TruthStore>> TruthStore::Open(
   // capability, so hold the (uncontended) lock for the whole open.
   MutexLock lock(st->mu_);
 
-  Result<Manifest> loaded = LoadManifest(dir);
+  Result<ManifestLoad> loaded = LoadManifestDetailed(dir);
   if (!loaded.ok() && loaded.status().code() == StatusCode::kNotFound) {
     // Fresh directory: create the first WAL, then commit the first
     // manifest (in that order, so a committed manifest never references a
@@ -137,7 +176,8 @@ Result<std::unique_ptr<TruthStore>> TruthStore::Open(
     // data whose manifest is missing — re-initializing would destroy it.
     for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
       const std::string name = entry.path().filename().string();
-      if (MatchesPattern(name, "seg-", ".snap") ||
+      if (MatchesPattern(name, "seg-", ".blk") ||
+          MatchesPattern(name, "seg-", ".snap") ||
           (MatchesPattern(name, "wal-", ".log") &&
            fs::file_size(entry.path(), ec) > kWalHeaderSize)) {
         return Status::FailedPrecondition(
@@ -150,6 +190,7 @@ Result<std::unique_ptr<TruthStore>> TruthStore::Open(
     fresh.next_segment_id = 1;
     fresh.wal_seq = 1;
     fresh.wal_file = WalFileName(1);
+    fresh.next_row_seq = 0;
     // Discard the crashed first open's torn/empty WAL (checked above to
     // hold no records) rather than refusing to open.
     fs::remove(dir + "/" + fresh.wal_file, ec);
@@ -162,7 +203,20 @@ Result<std::unique_ptr<TruthStore>> TruthStore::Open(
     return st;
   }
   LTM_RETURN_IF_ERROR(loaded.status());
-  st->manifest_ = std::move(loaded).value();
+  if (loaded->torn_tail) {
+    // A crash mid-append left a torn edit record: an unacknowledged
+    // commit. Truncate it away so the next append lands after a clean
+    // record boundary.
+    fs::resize_file(dir + "/" + kManifestFileName, loaded->valid_bytes, ec);
+    if (ec) {
+      return Status::IOError("cannot truncate torn MANIFEST tail of " + dir +
+                             "/" + kManifestFileName + ": " + ec.message());
+    }
+    LTM_LOG(Info) << "truthstore: truncated torn MANIFEST tail at byte "
+                  << loaded->valid_bytes;
+  }
+  st->manifest_ = std::move(loaded->manifest);
+  st->edits_since_snapshot_ = loaded->edits;
 
   // Remove droppings of interrupted flushes/compactions: segment files
   // the manifest never committed, rotated-but-uncommitted WALs, temp
@@ -259,72 +313,95 @@ Status TruthStore::Flush() {
   return FlushLocked();
 }
 
-Result<bool> TruthStore::CommitOrAdopt(const Manifest& next) {
-  Status commit = CommitManifest(dir_, next);
-  if (commit.ok()) return false;
-  // CommitManifest can fail *after* its rename became visible (the
-  // trailing directory fsync). Treating that as "nothing happened" would
-  // leave this process appending to a WAL the on-disk manifest no longer
-  // references — silently losing acknowledged appends at the next open.
-  // So reconcile against disk: if the new manifest is the one visible,
-  // adopt the commit (degraded durability) instead of diverging from it.
-  Result<Manifest> on_disk = LoadManifest(dir_);
-  if (!on_disk.ok() || on_disk->generation != next.generation) {
-    return commit;  // the rename really did not land
+Result<bool> TruthStore::CommitVersionLocked(const Manifest& next,
+                                             const VersionEdit& edit) {
+  // Fold the edit log into a fresh snapshot every
+  // `manifest_snapshot_every` edits; otherwise append one O(delta) edit
+  // record.
+  const bool fold =
+      edits_since_snapshot_ + 1 >= options_.manifest_snapshot_every;
+  Status st = fold ? CommitManifest(dir_, next) : AppendManifestEdit(dir_, edit);
+  bool adopted = false;
+  if (!st.ok()) {
+    // Both commit paths can fail *after* the new state became visible (a
+    // snapshot's trailing directory fsync, an edit append whose fsync
+    // failed and whose claw-back truncate also failed). Treating that as
+    // "nothing happened" would leave this process appending to a WAL the
+    // on-disk manifest no longer references — silently losing
+    // acknowledged appends at the next open. So reconcile against disk:
+    // if the new generation is what a reopen would see, adopt the commit
+    // (degraded durability) instead of diverging from it.
+    Result<Manifest> on_disk = LoadManifest(dir_);
+    if (!on_disk.ok() || on_disk->generation != next.generation) {
+      return st;  // the commit really did not land
+    }
+    LTM_LOG(Warning) << "truthstore: manifest commit generation "
+                     << next.generation
+                     << " is visible but not durably synced ("
+                     << st.ToString() << "); adopting it and keeping "
+                     << "superseded files";
+    adopted = true;
   }
-  LTM_LOG(Warning) << "truthstore: manifest commit generation "
-                   << next.generation
-                   << " is visible but not directory-synced ("
-                   << commit.ToString() << "); adopting it and keeping "
-                   << "superseded files";
-  return true;
+  edits_since_snapshot_ = fold ? 0 : edits_since_snapshot_ + 1;
+  return adopted;
 }
 
 Status TruthStore::FlushLocked() {
   if (memtable_.NumRows() == 0) return Status::OK();
 
   const uint64_t seg_id = manifest_.next_segment_id;
-  // Move the memtable into the segment dataset instead of copying it —
-  // the lock is held for the whole flush, so no appends race; Dataset
-  // keeps the raw rows, and a failed flush moves them straight back.
-  Dataset ds = Dataset::FromRaw(SegmentFileName(seg_id), std::move(memtable_));
-  memtable_ = RawDatabase();
-  const auto fail = [&](Status st) {
-    memtable_ = std::move(ds.raw);
-    return st;
-  };
+  const std::string file = SegmentFileName(seg_id);
 
-  Status save = SaveDatasetSnapshot(ds, dir_ + "/" + SegmentFileName(seg_id));
-  if (!save.ok()) return fail(std::move(save));
-  Status inject = FailpointCheck("store-flush-segment-written");
-  if (!inject.ok()) return fail(std::move(inject));
+  // Assign contiguous global ingest sequence numbers in memtable row
+  // order (= WAL/ingest order); replay sorts on them, so this is the step
+  // that makes compaction free to reorder rows on disk.
+  std::vector<SegmentRow> rows;
+  rows.reserve(memtable_.NumRows());
+  uint64_t seq = manifest_.next_row_seq;
+  for (const RawRow& row : memtable_.rows()) {
+    SegmentRow r;
+    r.entity = std::string(memtable_.entities().Get(row.entity));
+    r.attribute = std::string(memtable_.attributes().Get(row.attribute));
+    r.source = std::string(memtable_.sources().Get(row.source));
+    r.seq = seq++;
+    r.observation = 1;
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(), SegmentRowOrder);
+
+  LTM_ASSIGN_OR_RETURN(
+      const BlockSegmentBuildInfo built,
+      WriteBlockSegment(dir_ + "/" + file, rows, WriterOptions()));
+  LTM_RETURN_IF_ERROR(FailpointCheck("store-flush-segment-written"));
 
   // Rotate the WAL before committing, so the committed manifest always
   // references an existing file. A crash in between leaves an orphan WAL
   // the next Open removes.
-  const uint64_t new_seq = manifest_.wal_seq + 1;
-  Result<WalWriter> new_wal = WalWriter::Open(WalPath(WalFileName(new_seq)));
-  if (!new_wal.ok()) return fail(new_wal.status());
-  inject = FailpointCheck("store-flush-wal-rotated");
-  if (!inject.ok()) return fail(std::move(inject));
+  const uint64_t new_wal_seq = manifest_.wal_seq + 1;
+  Result<WalWriter> new_wal = WalWriter::Open(WalPath(WalFileName(new_wal_seq)));
+  LTM_RETURN_IF_ERROR(new_wal.status());
+  LTM_RETURN_IF_ERROR(FailpointCheck("store-flush-wal-rotated"));
 
+  VersionEdit edit;
+  edit.generation = manifest_.generation + 1;
+  edit.next_segment_id = seg_id + 1;
+  edit.wal_seq = new_wal_seq;
+  edit.wal_file = WalFileName(new_wal_seq);
+  edit.next_row_seq = seq;
+  edit.added.push_back(MakeSegmentInfo(seg_id, file, /*level=*/0, built));
   Manifest next = manifest_;
-  next.generation++;
-  next.next_segment_id = seg_id + 1;
-  next.wal_seq = new_seq;
-  next.wal_file = WalFileName(new_seq);
-  next.segments.push_back(MakeSegmentInfo(seg_id, ds));
-  Result<bool> commit_adopted = CommitOrAdopt(next);
-  if (!commit_adopted.ok()) return fail(commit_adopted.status());
+  LTM_RETURN_IF_ERROR(ApplyVersionEdit(&next, edit, "flush commit"));
+  LTM_ASSIGN_OR_RETURN(const bool adopted, CommitVersionLocked(next, edit));
 
   // Committed: only now mutate in-memory state and drop the old WAL.
   // On an adopted (visible-but-unsynced) commit the old WAL is kept: if
-  // power loss reverts the rename, the old manifest still finds it.
+  // power loss reverts the commit, the old manifest still finds it.
   const std::string old_wal = WalPath(manifest_.wal_file);
   manifest_ = std::move(next);
   wal_ = std::move(new_wal).value();
+  memtable_ = RawDatabase();
   ++epoch_;
-  if (!*commit_adopted) {
+  if (!adopted) {
     std::error_code ec;
     fs::remove(old_wal, ec);  // best-effort; Open() reaps leftovers
   }
@@ -334,92 +411,258 @@ Status TruthStore::FlushLocked() {
 Status TruthStore::Compact() {
   // One compaction at a time: a second caller (sync or async) would
   // capture the same segment set, race the first commit, and could
-  // produce a manifest with out-of-order segment ids.
+  // produce conflicting version edits.
+  std::vector<SegmentInfo> captured;
+  uint32_t out_level = 1;
   {
     MutexLock lock(mu_);
     if (compacting_) {
-      return Status::FailedPrecondition(
-          "a compaction is already running");
+      return Status::FailedPrecondition("a compaction is already running");
     }
+    if (manifest_.segments.size() < 2) return Status::OK();
+    captured = manifest_.segments;
+    out_level = std::max(1u, manifest_.MaxLevel());
     compacting_ = true;
   }
-  Status st = CompactInner();
+  Status st = CompactSegmentsInner(captured, out_level);
   MutexLock lock(mu_);
   compacting_ = false;
   return st;
 }
 
-Status TruthStore::CompactInner() {
-  std::vector<SegmentInfo> captured;
-  uint64_t merged_id = 0;
+Result<bool> TruthStore::CompactOnce() {
+  std::vector<SegmentInfo> inputs;
+  uint32_t out_level = 1;
   {
     MutexLock lock(mu_);
-    if (manifest_.segments.size() < 2) return Status::OK();
-    captured = manifest_.segments;
-    // Reserve the merged segment's id now so a concurrent flush cannot
-    // take it while the merge runs outside the lock.
-    merged_id = manifest_.next_segment_id++;
+    if (compacting_) {
+      return Status::FailedPrecondition("a compaction is already running");
+    }
+    if (manifest_.NumSegmentsAtLevel(0) >= options_.l0_compaction_trigger) {
+      // L0 segments may overlap each other, so all of them merge together
+      // with every L1 segment their combined range touches.
+      std::string min_e, max_e;
+      bool first = true;
+      for (const SegmentInfo& seg : manifest_.segments) {
+        if (seg.level != 0) continue;
+        inputs.push_back(seg);
+        if (first || seg.min_entity < min_e) min_e = seg.min_entity;
+        if (first || seg.max_entity > max_e) max_e = seg.max_entity;
+        first = false;
+      }
+      for (const SegmentInfo& seg : manifest_.segments) {
+        if (seg.level == 1 &&
+            !(seg.max_entity < min_e || seg.min_entity > max_e)) {
+          inputs.push_back(seg);
+        }
+      }
+      out_level = 1;
+    } else {
+      for (uint32_t level = 1; level <= manifest_.MaxLevel(); ++level) {
+        uint64_t level_bytes = 0;
+        for (const SegmentInfo& seg : manifest_.segments) {
+          if (seg.level == level) level_bytes += seg.file_bytes;
+        }
+        if (level_bytes <= LevelTargetBytes(options_.level_base_bytes, level)) {
+          continue;
+        }
+        // Spill the range-smallest segment of the over-budget level into
+        // the next, together with the next level's overlapping segments.
+        const SegmentInfo* pick = nullptr;
+        for (const SegmentInfo& seg : manifest_.segments) {
+          if (seg.level != level) continue;
+          if (pick == nullptr || seg.min_entity < pick->min_entity) {
+            pick = &seg;
+          }
+        }
+        inputs.push_back(*pick);
+        for (const SegmentInfo& seg : manifest_.segments) {
+          if (seg.level == level + 1 &&
+              !(seg.max_entity < pick->min_entity ||
+                seg.min_entity > pick->max_entity)) {
+            inputs.push_back(seg);
+          }
+        }
+        out_level = level + 1;
+        break;
+      }
+    }
+    if (inputs.empty()) return false;
+    compacting_ = true;
+  }
+  Status st = inputs.size() == 1 ? TrivialMoveInner(inputs[0], out_level)
+                                 : CompactSegmentsInner(inputs, out_level);
+  {
+    MutexLock lock(mu_);
+    compacting_ = false;
+  }
+  LTM_RETURN_IF_ERROR(st);
+  return true;
+}
+
+Status TruthStore::TrivialMoveInner(const SegmentInfo& seg,
+                                    uint32_t output_level) {
+  MutexLock lock(mu_);
+  VersionEdit edit;
+  edit.generation = manifest_.generation + 1;
+  edit.next_segment_id = manifest_.next_segment_id;
+  edit.wal_seq = manifest_.wal_seq;
+  edit.wal_file = manifest_.wal_file;
+  edit.next_row_seq = manifest_.next_row_seq;
+  SegmentInfo moved = seg;
+  moved.level = output_level;
+  edit.deleted.push_back(seg.id);
+  edit.added.push_back(std::move(moved));
+  Manifest next = manifest_;
+  LTM_RETURN_IF_ERROR(ApplyVersionEdit(&next, edit, "trivial move"));
+  // Adopted or clean makes no difference here: no file was superseded.
+  LTM_RETURN_IF_ERROR(CommitVersionLocked(next, edit).status());
+  manifest_ = std::move(next);
+  ++epoch_;
+  ++compaction_stats_.trivial_moves;
+  LTM_LOG(Info) << "truthstore: moved " << seg.file << " to level "
+                << output_level << " without rewriting";
+  return Status::OK();
+}
+
+Status TruthStore::CompactSegmentsInner(const std::vector<SegmentInfo>& inputs,
+                                        uint32_t output_level) {
+  // Merge outside the lock: segment files are immutable, so appends and
+  // flushes proceed concurrently. Compaction reads bypass the block
+  // cache — a one-shot full scan would only evict hot point-read blocks.
+  std::vector<SegmentRow> rows;
+  uint64_t bytes_read = 0;
+  for (const SegmentInfo& seg : inputs) {
+    LTM_ASSIGN_OR_RETURN(const std::shared_ptr<BlockSegmentReader> reader,
+                         GetReader(seg));
+    BlockSegmentReader::ReadStats rs;
+    LTM_RETURN_IF_ERROR(reader->ReadRowsInRange(nullptr, nullptr,
+                                                /*cache=*/nullptr, &rs,
+                                                &rows));
+    bytes_read += seg.file_bytes;
+  }
+  std::sort(rows.begin(), rows.end(), SegmentRowOrder);
+
+  // Collapse duplicate (entity, attribute, source) triples onto their
+  // first-ingested (minimum-seq) occurrence — the sort puts it first in
+  // each group. Replay dedups identically, so posteriors are unchanged;
+  // the later copies were pure dead weight.
+  std::vector<SegmentRow> unique_rows;
+  unique_rows.reserve(rows.size());
+  std::set<std::string> seen_sources;
+  std::string group_entity, group_attribute;
+  bool have_group = false;
+  uint64_t dropped = 0;
+  for (SegmentRow& row : rows) {
+    if (!have_group || row.entity != group_entity ||
+        row.attribute != group_attribute) {
+      group_entity = row.entity;
+      group_attribute = row.attribute;
+      seen_sources.clear();
+      have_group = true;
+    }
+    if (!seen_sources.insert(row.source).second) {
+      ++dropped;
+      continue;
+    }
+    unique_rows.push_back(std::move(row));
   }
 
-  // Merge outside the lock: segment files are immutable, so appends and
-  // flushes proceed concurrently.
-  RawDatabase merged;
-  for (const SegmentInfo& seg : captured) {
-    LTM_ASSIGN_OR_RETURN(const Dataset ds,
-                         LoadDatasetSnapshot(SegmentPath(seg)));
-    merged.MergeRowsFrom(ds.raw);
+  // Split the output at entity boundaries near segment_target_bytes so
+  // levels >= 1 stay made of bounded, non-overlapping segments. An
+  // entity never straddles two outputs.
+  std::vector<std::vector<SegmentRow>> groups;
+  groups.emplace_back();
+  uint64_t group_bytes = 0;
+  for (SegmentRow& row : unique_rows) {
+    const uint64_t row_bytes =
+        row.entity.size() + row.attribute.size() + row.source.size() + 16;
+    if (group_bytes >= options_.segment_target_bytes &&
+        !groups.back().empty() && row.entity != groups.back().back().entity) {
+      groups.emplace_back();
+      group_bytes = 0;
+    }
+    group_bytes += row_bytes;
+    groups.back().push_back(std::move(row));
   }
-  Dataset ds = Dataset::FromRaw(SegmentFileName(merged_id), std::move(merged));
-  LTM_RETURN_IF_ERROR(
-      SaveDatasetSnapshot(ds, dir_ + "/" + SegmentFileName(merged_id)));
+  if (groups.back().empty()) {
+    return Status::Internal("compaction produced no rows from " +
+                            std::to_string(inputs.size()) + " segments");
+  }
+
+  // Reserve the output ids now so a concurrent flush cannot take them
+  // while the files are written outside the lock.
+  uint64_t first_id = 0;
+  {
+    MutexLock lock(mu_);
+    first_id = manifest_.next_segment_id;
+    manifest_.next_segment_id += groups.size();
+  }
+
+  std::vector<SegmentInfo> outputs;
+  uint64_t bytes_written = 0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    const uint64_t id = first_id + i;
+    const std::string file = SegmentFileName(id);
+    LTM_ASSIGN_OR_RETURN(
+        const BlockSegmentBuildInfo built,
+        WriteBlockSegment(dir_ + "/" + file, groups[i], WriterOptions()));
+    outputs.push_back(MakeSegmentInfo(id, file, output_level, built));
+    bytes_written += built.file_bytes;
+  }
   LTM_RETURN_IF_ERROR(FailpointCheck("store-compact-segment-written"));
 
-  bool commit_adopted = false;
+  bool adopted = false;
   {
     MutexLock lock(mu_);
+    VersionEdit edit;
+    edit.generation = manifest_.generation + 1;
+    edit.next_segment_id = manifest_.next_segment_id;
+    edit.wal_seq = manifest_.wal_seq;
+    edit.wal_file = manifest_.wal_file;
+    edit.next_row_seq = manifest_.next_row_seq;
+    edit.added = outputs;
+    for (const SegmentInfo& seg : inputs) edit.deleted.push_back(seg.id);
     Manifest next = manifest_;
-    next.generation++;
-    next.segments.clear();
-    next.segments.push_back(MakeSegmentInfo(merged_id, ds));
-    // Segments flushed while the merge ran have ids above merged_id and
-    // stay, in order — their rows are newer than everything merged.
-    for (const SegmentInfo& seg : manifest_.segments) {
-      bool was_merged = false;
-      for (const SegmentInfo& old : captured) {
-        if (old.id == seg.id) was_merged = true;
-      }
-      if (!was_merged) next.segments.push_back(seg);
-    }
-    LTM_ASSIGN_OR_RETURN(commit_adopted, CommitOrAdopt(next));
+    LTM_RETURN_IF_ERROR(ApplyVersionEdit(&next, edit, "compaction commit"));
+    LTM_ASSIGN_OR_RETURN(adopted, CommitVersionLocked(next, edit));
     manifest_ = std::move(next);
     ++epoch_;
+    ++compaction_stats_.compactions;
+    compaction_stats_.input_segments += inputs.size();
+    compaction_stats_.output_segments += outputs.size();
+    compaction_stats_.bytes_read += bytes_read;
+    compaction_stats_.bytes_written += bytes_written;
+    compaction_stats_.rows_dropped += dropped;
   }
 
-  if (!commit_adopted) {
-    // Keep the merged-away segments when the commit's directory sync
-    // degraded: if power loss reverts the un-synced rename, the old
+  if (!adopted) {
+    // Keep the merged-away segments when the commit's durability
+    // degraded: if power loss reverts the un-synced commit, the old
     // manifest still finds its segment files on the next open.
-    std::vector<std::string> doomed;
+    std::vector<SegmentInfo> doomed;
     {
       MutexLock lock(mu_);
-      for (const SegmentInfo& seg : captured) {
+      for (const SegmentInfo& seg : inputs) {
         if (pin_refs_.count(seg.id) != 0) {
           // A live EpochPin still reads this segment: defer the delete
           // until the last referencing pin drops (see ReleasePin).
           deferred_segments_.push_back(seg);
         } else {
-          doomed.push_back(SegmentPath(seg));
+          doomed.push_back(seg);
         }
       }
     }
     std::error_code ec;
-    for (const std::string& path : doomed) {
-      fs::remove(path, ec);  // best-effort
+    for (const SegmentInfo& seg : doomed) {
+      DropSegmentCaches(seg.id);
+      fs::remove(SegmentPath(seg), ec);  // best-effort
     }
   }
-  LTM_LOG(Info) << "truthstore: compacted " << captured.size()
-                << " segments into " << SegmentFileName(merged_id) << " ("
-                << ds.raw.NumRows() << " rows)";
+  LTM_LOG(Info) << "truthstore: compacted " << inputs.size()
+                << " segment(s) into " << outputs.size() << " at level "
+                << output_level << " (" << dropped << " duplicate row(s) "
+                << "dropped)";
   return Status::OK();
 }
 
@@ -502,28 +745,76 @@ void TruthStore::ReleasePin(const EpochPin& pin) const {
   }
   std::error_code ec;
   for (const SegmentInfo& seg : reclaim) {
+    DropSegmentCaches(seg.id);
     fs::remove(SegmentPath(seg), ec);  // best-effort; Open() reaps leftovers
   }
+}
+
+Result<std::shared_ptr<BlockSegmentReader>> TruthStore::GetReader(
+    const SegmentInfo& seg) const {
+  {
+    MutexLock lock(readers_mu_);
+    const auto it = readers_.find(seg.id);
+    if (it != readers_.end()) return it->second;
+  }
+  // Open outside the lock (footer + index + bloom reads); a racing open
+  // of the same segment just loses and adopts the winner's reader.
+  LTM_ASSIGN_OR_RETURN(std::shared_ptr<BlockSegmentReader> reader,
+                       BlockSegmentReader::Open(SegmentPath(seg), seg.id));
+  MutexLock lock(readers_mu_);
+  const auto [it, inserted] = readers_.emplace(seg.id, std::move(reader));
+  return it->second;
+}
+
+void TruthStore::DropSegmentCaches(uint64_t id) const {
+  {
+    MutexLock lock(readers_mu_);
+    readers_.erase(id);
+  }
+  block_cache_.EraseSegment(id);
 }
 
 Result<Dataset> TruthStore::MaterializeFromPin(
     const EpochPin& pin, const std::string* min_entity,
     const std::string* max_entity, RangeScanStats* stats) const {
   RangeScanStats scan;
-  RawDatabase combined;
+  const bool point_read = min_entity != nullptr && max_entity != nullptr &&
+                          *min_entity == *max_entity;
+  std::vector<SegmentRow> rows;
   for (const SegmentInfo& seg : pin.segments()) {
     if ((min_entity != nullptr && seg.max_entity < *min_entity) ||
         (max_entity != nullptr && seg.min_entity > *max_entity)) {
       ++scan.segments_skipped;
       continue;  // zone stats prove the segment is outside the range
     }
+    // No retry loop anywhere below: the pin's refcounts keep every
+    // referenced segment file on disk, so a read failure here is true
+    // corruption.
+    LTM_ASSIGN_OR_RETURN(const std::shared_ptr<BlockSegmentReader> reader,
+                         GetReader(seg));
+    if (point_read && !reader->MayContainEntity(*min_entity)) {
+      ++scan.segments_skipped_bloom;
+      continue;
+    }
     ++scan.segments_scanned;
     LTM_RETURN_IF_ERROR(FailpointCheck("store-pinned-read"));
-    // No retry loop: the pin's refcounts keep every referenced segment
-    // file on disk, so a load failure here is true corruption.
-    LTM_ASSIGN_OR_RETURN(const Dataset ds,
-                         LoadDatasetSnapshot(SegmentPath(seg)));
-    combined.MergeRowsFrom(ds.raw, min_entity, max_entity);
+    BlockSegmentReader::ReadStats rs;
+    LTM_RETURN_IF_ERROR(reader->ReadRowsInRange(min_entity, max_entity,
+                                                &block_cache_, &rs, &rows));
+    scan.blocks_read += rs.blocks_read;
+    scan.block_cache_hits += rs.blocks_from_cache;
+    scan.bytes_read += rs.bytes_read;
+  }
+  // Rows arrived in per-segment key order; global ingest-sequence order
+  // is the replay order that keeps posteriors bit-identical to a batch
+  // load (sequence numbers are unique, so this sort has one answer).
+  std::sort(rows.begin(), rows.end(),
+            [](const SegmentRow& a, const SegmentRow& b) {
+              return a.seq < b.seq;
+            });
+  RawDatabase combined;
+  for (const SegmentRow& row : rows) {
+    combined.Add(row.entity, row.attribute, row.source);
   }
   for (const WalRecord& record : pin.memtable_rows()) {
     if ((min_entity != nullptr && record.entity < *min_entity) ||
@@ -534,6 +825,22 @@ Result<Dataset> TruthStore::MaterializeFromPin(
   }
   if (stats != nullptr) *stats = scan;
   return Dataset::FromRaw("truthstore:" + dir_, std::move(combined));
+}
+
+Result<bool> TruthStore::PinnedFactMayExist(const EpochPin& pin,
+                                            const std::string& entity,
+                                            const std::string& attribute) const {
+  for (const WalRecord& record : pin.memtable_rows()) {
+    if (record.entity == entity && record.attribute == attribute) return true;
+  }
+  for (const SegmentInfo& seg : pin.segments()) {
+    if (seg.max_entity < entity || seg.min_entity > entity) continue;
+    LTM_ASSIGN_OR_RETURN(const std::shared_ptr<BlockSegmentReader> reader,
+                         GetReader(seg));
+    if (reader->MayContainFact(entity, attribute)) return true;
+  }
+  bloom_point_skips_.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 Result<Dataset> TruthStore::Materialize(uint64_t* epoch_out) const {
@@ -567,18 +874,32 @@ uint64_t TruthStore::epoch() const {
 }
 
 TruthStoreStats TruthStore::Stats() const {
-  MutexLock lock(mu_);
   TruthStoreStats stats;
-  stats.epoch = epoch_;
-  stats.generation = manifest_.generation;
-  stats.num_segments = manifest_.segments.size();
-  stats.segment_rows = manifest_.TotalSegmentRows();
-  stats.memtable_rows = memtable_.NumRows();
-  stats.wal_records_replayed = wal_records_replayed_;
-  stats.recovered_torn_tail = recovered_torn_tail_;
-  stats.live_pins = live_pins_;
-  stats.deferred_segments = deferred_segments_.size();
+  {
+    MutexLock lock(mu_);
+    stats.epoch = epoch_;
+    stats.generation = manifest_.generation;
+    stats.num_segments = manifest_.segments.size();
+    stats.segment_rows = manifest_.TotalSegmentRows();
+    stats.memtable_rows = memtable_.NumRows();
+    stats.wal_records_replayed = wal_records_replayed_;
+    stats.recovered_torn_tail = recovered_torn_tail_;
+    stats.live_pins = live_pins_;
+    stats.deferred_segments = deferred_segments_.size();
+    stats.max_level = manifest_.MaxLevel();
+    stats.l0_segments = manifest_.NumSegmentsAtLevel(0);
+    stats.next_row_seq = manifest_.next_row_seq;
+    stats.manifest_edits_since_snapshot = edits_since_snapshot_;
+    stats.compaction = compaction_stats_;
+  }
+  stats.bloom_point_skips = bloom_point_skips_.load(std::memory_order_relaxed);
+  stats.block_cache = block_cache_.Stats();
   return stats;
+}
+
+std::vector<SegmentInfo> TruthStore::segments() const {
+  MutexLock lock(mu_);
+  return manifest_.segments;
 }
 
 size_t TruthStore::num_pinned_epochs() const {
@@ -592,25 +913,76 @@ size_t TruthStore::num_deferred_segments() const {
 }
 
 Result<StoreVerifyReport> TruthStore::Verify(const std::string& dir) {
-  LTM_ASSIGN_OR_RETURN(const Manifest manifest, LoadManifest(dir));
+  LTM_ASSIGN_OR_RETURN(const ManifestLoad load, LoadManifestDetailed(dir));
+  const Manifest& manifest = load.manifest;
   StoreVerifyReport report;
   report.generation = manifest.generation;
+  report.max_level = manifest.MaxLevel();
+  report.manifest_edits = load.edits;
+  report.manifest_torn_tail = load.torn_tail;
   for (const SegmentInfo& seg : manifest.segments) {
-    LTM_ASSIGN_OR_RETURN(const Dataset ds,
-                         LoadDatasetSnapshot(dir + "/" + seg.file));
-    const SegmentInfo actual = MakeSegmentInfo(seg.id, ds);
-    if (actual.num_rows != seg.num_rows ||
-        actual.num_facts != seg.num_facts ||
-        actual.num_sources != seg.num_sources ||
-        actual.num_claims != seg.num_claims ||
-        actual.num_positive != seg.num_positive ||
-        actual.min_entity != seg.min_entity ||
-        actual.max_entity != seg.max_entity) {
+    const std::string path = dir + "/" + seg.file;
+    LTM_ASSIGN_OR_RETURN(const std::string bytes, ReadFileBytes(path));
+    LTM_ASSIGN_OR_RETURN(const ParsedBlockSegment parsed,
+                         ParseBlockSegmentFromBytes(bytes, path));
+    // Recompute the zone stats from the decoded rows (which
+    // ParseBlockSegmentFromBytes already proved sorted and
+    // checksum-clean) and compare against the manifest's copy.
+    uint64_t num_facts = 0;
+    uint64_t num_positive = 0;
+    uint64_t min_seq = 0;
+    uint64_t max_seq = 0;
+    std::set<std::string_view> sources;
+    for (size_t i = 0; i < parsed.rows.size(); ++i) {
+      const SegmentRow& row = parsed.rows[i];
+      if (i == 0 || row.entity != parsed.rows[i - 1].entity ||
+          row.attribute != parsed.rows[i - 1].attribute) {
+        ++num_facts;
+      }
+      sources.insert(row.source);
+      if (row.observation == 1) ++num_positive;
+      if (i == 0 || row.seq < min_seq) min_seq = row.seq;
+      if (i == 0 || row.seq > max_seq) max_seq = row.seq;
+    }
+    if (parsed.rows.size() != seg.num_rows || num_facts != seg.num_facts ||
+        sources.size() != seg.num_sources ||
+        num_positive != seg.num_positive ||
+        parsed.rows.front().entity != seg.min_entity ||
+        parsed.rows.back().entity != seg.max_entity ||
+        min_seq != seg.min_seq || max_seq != seg.max_seq ||
+        bytes.size() != seg.file_bytes ||
+        parsed.blocks.size() != seg.num_blocks) {
       return Status::InvalidArgument(
           "segment " + seg.file + " does not match its manifest zone stats");
     }
+    if (seg.max_seq >= manifest.next_row_seq) {
+      return Status::InvalidArgument(
+          "segment " + seg.file + " holds seq " + std::to_string(seg.max_seq) +
+          " >= manifest next_row_seq " +
+          std::to_string(manifest.next_row_seq));
+    }
     ++report.segments;
     report.segment_rows += seg.num_rows;
+  }
+  // Level invariant: within every level >= 1, entity ranges are disjoint
+  // (that is what lets a point read touch at most one segment per level).
+  for (uint32_t level = 1; level <= manifest.MaxLevel(); ++level) {
+    std::vector<const SegmentInfo*> at_level;
+    for (const SegmentInfo& seg : manifest.segments) {
+      if (seg.level == level) at_level.push_back(&seg);
+    }
+    std::sort(at_level.begin(), at_level.end(),
+              [](const SegmentInfo* a, const SegmentInfo* b) {
+                return a->min_entity < b->min_entity;
+              });
+    for (size_t i = 1; i < at_level.size(); ++i) {
+      if (at_level[i]->min_entity <= at_level[i - 1]->max_entity) {
+        return Status::InvalidArgument(
+            "level " + std::to_string(level) + " segments " +
+            at_level[i - 1]->file + " and " + at_level[i]->file +
+            " have overlapping entity ranges");
+      }
+    }
   }
   const std::string wal_path = dir + "/" + manifest.wal_file;
   if (fs::exists(wal_path)) {

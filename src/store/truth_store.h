@@ -1,6 +1,7 @@
 #ifndef LTM_STORE_TRUTH_STORE_H_
 #define LTM_STORE_TRUTH_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -14,8 +15,10 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "data/dataset.h"
+#include "store/block_cache.h"
 #include "store/manifest.h"
 #include "store/posterior_cache.h"
+#include "store/segment.h"
 #include "store/wal.h"
 
 namespace ltm {
@@ -32,12 +35,50 @@ struct TruthStoreOptions {
   /// durable at the next Sync()/Flush() (group commit), and a crash loses
   /// at most the unsynced suffix.
   bool sync_every_append = false;
+
+  // Block-segment layout (see segment.h).
+  size_t block_size_bytes = 4096;
+  size_t restart_interval = 16;
+  /// Bloom filter bits per key in each segment (0 disables blooms).
+  uint32_t bloom_bits_per_key = 10;
+  /// Sharded block cache budget in MiB (0 disables the cache).
+  size_t block_cache_mb = 8;
+
+  // Leveled compaction shape.
+  /// CompactOnce() merges L0 into L1 once this many L0 segments exist.
+  size_t l0_compaction_trigger = 4;
+  /// Byte budget of L1; each deeper level gets 10x the previous.
+  uint64_t level_base_bytes = 4ull << 20;
+  /// Compaction splits its output at entity boundaries near this size.
+  uint64_t segment_target_bytes = 4ull << 20;
+  /// Fold the manifest edit log into a fresh snapshot every N edits.
+  size_t manifest_snapshot_every = 32;
 };
 
-/// Segment-skipping counters reported by MaterializeEntityRange.
+/// Read-path counters reported per materialization call.
 struct RangeScanStats {
   size_t segments_scanned = 0;
+  /// Segments excluded by manifest zone stats (entity range).
   size_t segments_skipped = 0;
+  /// Segments excluded by a negative bloom probe (point reads only).
+  size_t segments_skipped_bloom = 0;
+  /// Data blocks decoded (cache hits + disk reads).
+  uint64_t blocks_read = 0;
+  /// Of those, served from the block cache.
+  uint64_t block_cache_hits = 0;
+  /// Bytes actually read from disk for data blocks.
+  uint64_t bytes_read = 0;
+};
+
+/// Cumulative compaction work counters (write-amplification accounting).
+struct CompactionStats {
+  uint64_t compactions = 0;       ///< merge passes that committed
+  uint64_t trivial_moves = 0;     ///< segments relinked down a level, no IO
+  uint64_t input_segments = 0;
+  uint64_t output_segments = 0;
+  uint64_t bytes_read = 0;        ///< sum of input segment file bytes
+  uint64_t bytes_written = 0;     ///< sum of output segment file bytes
+  uint64_t rows_dropped = 0;      ///< duplicate (entity, attr, source) rows
 };
 
 /// Point-in-time store counters.
@@ -54,6 +95,18 @@ struct TruthStoreStats {
   /// Segments compacted away but kept on disk because a live pin still
   /// references them; reclaimed when the last referencing pin drops.
   size_t deferred_segments = 0;
+
+  /// Deepest populated level and the L0 (overlapping) segment count.
+  uint32_t max_level = 0;
+  size_t l0_segments = 0;
+  uint64_t next_row_seq = 0;
+  /// Edit records appended since the last manifest snapshot fold.
+  uint64_t manifest_edits_since_snapshot = 0;
+  /// Point probes answered "fact cannot exist" purely from blooms,
+  /// reading zero data blocks (cumulative).
+  uint64_t bloom_point_skips = 0;
+  BlockCacheStats block_cache;
+  CompactionStats compaction;
 };
 
 class TruthStore;
@@ -112,6 +165,9 @@ struct StoreVerifyReport {
   uint64_t generation = 0;
   size_t segments = 0;
   uint64_t segment_rows = 0;
+  uint32_t max_level = 0;
+  uint64_t manifest_edits = 0;
+  bool manifest_torn_tail = false;
   uint64_t wal_records = 0;
   bool wal_torn_tail = false;
   std::vector<std::string> orphan_files;
@@ -121,27 +177,40 @@ struct StoreVerifyReport {
 
 /// A WAL-backed incremental claim store: the durable substrate for the
 /// §5.4 deployment story (LTMinc answers online while batch LTM refits
-/// periodically). LSM-shaped:
+/// periodically). A leveled LSM:
 ///
 ///   Append ─► WAL (checksummed records, group-commit fsync)
 ///          └► memtable (an in-memory RawDatabase delta)
-///   Flush  ─► memtable becomes an immutable segment file (a PR 3 dataset
-///             snapshot) + the WAL rotates + the manifest commits
-///   Compact ─► all segments merge into one (optionally on a background
-///              common::ThreadPool job); appends proceed concurrently
+///   Flush  ─► the memtable's rows get contiguous global ingest sequence
+///             numbers and become an immutable block segment at L0
+///             (restartable prefix-compressed blocks + block index +
+///             bloom filter, see segment.h) + the WAL rotates + one
+///             version-edit record appends to the MANIFEST
+///   CompactOnce ─► one leveled step: L0 segments (overlapping ranges)
+///                  merge into L1; an over-budget level spills one
+///                  segment into the next. L1+ entity ranges within a
+///                  level are disjoint, so a point read touches at most
+///                  one segment per deep level.
+///   Compact ─► major: every segment merges into the bottom level.
 ///
-/// The manifest commit is a temp-write + fsync + atomic rename, so every
-/// crash lands on a well-defined state: the committed segment set plus
-/// the active WAL's intact record prefix. Open() replays that WAL tail
-/// over the newest segment set, truncates any torn suffix, and removes
-/// orphan files from interrupted flushes/compactions.
+/// Every commit appends one checksummed version-edit record (O(delta),
+/// not O(segments)), folding into a fresh snapshot every
+/// `manifest_snapshot_every` edits via the atomic temp + fsync + rename
+/// protocol — so every crash lands on a well-defined state: the committed
+/// segment set plus the active WAL's intact record prefix. Open() replays
+/// that WAL tail over the newest segment set, truncates any torn WAL or
+/// MANIFEST suffix, and removes orphan files from interrupted
+/// flushes/compactions.
 ///
-/// Materialize() rebuilds the full Dataset by replaying segments in id
-/// order and then the memtable — the exact row order batch ingestion
-/// would have seen, so downstream posteriors are bit-identical to a
-/// one-shot batch load. MaterializeEntityRange() consults each segment's
-/// manifest zone stats (lexicographic entity range) to skip segments that
-/// cannot contain the queried entities without opening their files.
+/// Replay order is carried by the rows themselves: every row holds the
+/// global ingest sequence number assigned at flush. Materialize() sorts
+/// the selected rows by that sequence and re-adds them in order — the
+/// exact row order batch ingestion would have seen, regardless of which
+/// level compaction moved a row to — so downstream posteriors are
+/// bit-identical to a one-shot batch load. Point reads go bloom filter →
+/// block index binary search → ONE data block (through the shared block
+/// cache); MaterializeEntityRange() additionally skips whole segments via
+/// manifest zone stats.
 ///
 /// Thread-safe: appends, flushes, reads, and one background compaction
 /// may run concurrently. Not multi-process-safe — one TruthStore instance
@@ -181,16 +250,26 @@ class TruthStore {
   /// Makes all buffered appends durable (WAL fsync).
   Status Sync() LTM_EXCLUDES(mu_);
 
-  /// Writes the memtable as a new immutable segment, rotates the WAL, and
-  /// commits the manifest. No-op on an empty memtable.
+  /// Writes the memtable as a new immutable L0 block segment, rotates the
+  /// WAL, and appends a manifest edit. No-op on an empty memtable.
   Status Flush() LTM_EXCLUDES(mu_);
 
-  /// Merges every segment into one, preserving ingest order, and commits.
-  /// No-op with fewer than two segments. Appends may proceed concurrently;
-  /// segments flushed while the merge runs survive unmerged. At most one
-  /// compaction (sync or async) at a time — a second concurrent call
-  /// fails with FailedPrecondition.
+  /// Major compaction: merges every segment into the bottom level
+  /// (duplicate (entity, attribute, source) rows collapse to their
+  /// first-ingested occurrence), splitting outputs at entity boundaries
+  /// near `segment_target_bytes`. No-op with fewer than two segments.
+  /// Appends may proceed concurrently; segments flushed while the merge
+  /// runs survive unmerged. At most one compaction (sync or async) at a
+  /// time — a second concurrent call fails with FailedPrecondition.
   Status Compact() LTM_EXCLUDES(mu_);
+
+  /// One leveled compaction step, or nothing: merges all of L0 into L1
+  /// once `l0_compaction_trigger` L0 segments exist, else spills one
+  /// segment from the shallowest over-budget level into the next (a
+  /// segment with no next-level overlap is relinked without rewriting).
+  /// Returns false when no level needed work. Same single-compaction
+  /// exclusivity as Compact().
+  Result<bool> CompactOnce() LTM_EXCLUDES(mu_);
 
   /// Runs Compact() as a background job on `pool`; the future resolves
   /// to FailedPrecondition when a compaction is already in flight. The
@@ -209,10 +288,13 @@ class TruthStore {
       const std::string* min_entity = nullptr,
       const std::string* max_entity = nullptr) const LTM_EXCLUDES(mu_);
 
-  /// Materializes from a pinned snapshot: the pin's segments in list
-  /// order, then its memtable rows — the same replay order Materialize()
-  /// uses, so posteriors computed from a pin are bit-identical to a
-  /// sequential materialize at the pin's epoch. Never retries: the pin's
+  /// Materializes from a pinned snapshot: collects the in-range rows of
+  /// every zone-overlapping segment (bloom-skipping segments on point
+  /// reads, reading only index-selected blocks through the block cache),
+  /// sorts them by global ingest sequence, re-adds them in that order,
+  /// then appends the pin's memtable rows — the same replay order a
+  /// sequential materialize at the pin's epoch uses, so posteriors
+  /// computed from a pin are bit-identical. Never retries: the pin's
   /// refcounts guarantee every referenced segment file still exists.
   /// `min_entity`/`max_entity` further restrict the read (must be within
   /// the pin's own bounds, if it has them).
@@ -221,14 +303,25 @@ class TruthStore {
                                      const std::string* max_entity = nullptr,
                                      RangeScanStats* stats = nullptr) const;
 
-  /// Full rebuild: segments in id order, then the memtable. When
-  /// `epoch_out` is non-null it receives the epoch the materialized data
-  /// corresponds to (for posterior-cache keying).
+  /// Bloom-only point probe: can fact (entity, attribute) possibly exist
+  /// at the pin's epoch? Checks the pin's memtable rows exactly, then
+  /// probes the bloom filter of every zone-overlapping segment — no data
+  /// block is read. False means definitely absent (blooms have no false
+  /// negatives), so the caller can serve the no-claim prior without
+  /// materializing anything; such all-negative probes are counted in
+  /// TruthStoreStats::bloom_point_skips.
+  Result<bool> PinnedFactMayExist(const EpochPin& pin,
+                                  const std::string& entity,
+                                  const std::string& attribute) const;
+
+  /// Full rebuild: all rows in global ingest-sequence order, then the
+  /// memtable. When `epoch_out` is non-null it receives the epoch the
+  /// materialized data corresponds to (for posterior-cache keying).
   Result<Dataset> Materialize(uint64_t* epoch_out = nullptr) const;
 
   /// Rebuild restricted to entities with lexicographic key in
   /// [min_entity, max_entity], skipping segments whose zone stats exclude
-  /// the range entirely.
+  /// the range entirely and reading only index-selected blocks.
   Result<Dataset> MaterializeEntityRange(const std::string& min_entity,
                                          const std::string& max_entity,
                                          RangeScanStats* stats = nullptr,
@@ -240,19 +333,26 @@ class TruthStore {
 
   TruthStoreStats Stats() const LTM_EXCLUDES(mu_);
 
+  /// Copy of the committed segment list (observability: store_cli
+  /// inspect walks it to print per-level layout and bloom geometry).
+  std::vector<SegmentInfo> segments() const LTM_EXCLUDES(mu_);
+
   /// Live EpochPin handles outstanding (observability + tests).
   size_t num_pinned_epochs() const LTM_EXCLUDES(mu_);
   /// Superseded segments whose files are retained for live pins.
   size_t num_deferred_segments() const LTM_EXCLUDES(mu_);
 
   PosteriorCache& posterior_cache() { return cache_; }
+  /// The shared data-block cache (internally thread-safe).
+  BlockCache& block_cache() const { return block_cache_; }
 
   const std::string& dir() const { return dir_; }
 
   /// Offline integrity check of a store directory: manifest readable,
-  /// every segment loads with a valid checksum and matches its manifest
-  /// zone stats, the WAL replays (reporting a torn tail), and orphan
-  /// files are listed. Does not modify anything.
+  /// every segment parses with valid checksums end to end and matches its
+  /// manifest zone stats, levels >= 1 hold disjoint entity ranges, the
+  /// WAL replays (reporting torn tails), and orphan files are listed.
+  /// Does not modify anything.
   static Result<StoreVerifyReport> Verify(const std::string& dir);
 
  private:
@@ -266,16 +366,28 @@ class TruthStore {
 
   Status FlushLocked() LTM_REQUIRES(mu_);
   Status AppendLocked(const WalRecord& record) LTM_REQUIRES(mu_);
-  /// Compact() body, running with the compacting_ flag held. Takes and
-  /// releases mu_ around its capture and commit phases; the merge itself
-  /// runs unlocked.
-  Status CompactInner() LTM_EXCLUDES(mu_);
-  /// Commits `next`, reconciling a failure against what is visible on
-  /// disk: returns false for a clean commit, true when the commit's
-  /// rename landed but the trailing directory fsync failed (the caller
-  /// must then keep superseded files so a power-loss rollback of the
-  /// un-synced rename still finds them). Any other failure propagates.
-  Result<bool> CommitOrAdopt(const Manifest& next) LTM_REQUIRES(mu_);
+  /// Merges `inputs` into `output_level`, commits, and defers or deletes
+  /// the superseded files. Runs with the compacting_ flag held; takes and
+  /// releases mu_ around its capture and commit phases.
+  Status CompactSegmentsInner(const std::vector<SegmentInfo>& inputs,
+                              uint32_t output_level) LTM_EXCLUDES(mu_);
+  /// Relinks `seg` to `output_level` without rewriting its file.
+  Status TrivialMoveInner(const SegmentInfo& seg, uint32_t output_level)
+      LTM_EXCLUDES(mu_);
+  /// Commits `next` (already validated), appending `edit` or folding the
+  /// log into a snapshot per `manifest_snapshot_every`. Returns false for
+  /// a clean commit, true when the new state is visible on disk but its
+  /// durability degraded (the caller must then keep superseded files so a
+  /// power-loss rollback still finds them). Other failures propagate.
+  Result<bool> CommitVersionLocked(const Manifest& next,
+                                   const VersionEdit& edit) LTM_REQUIRES(mu_);
+  /// Cached random-access reader for `seg`, opened on first use.
+  Result<std::shared_ptr<BlockSegmentReader>> GetReader(
+      const SegmentInfo& seg) const LTM_EXCLUDES(readers_mu_);
+  /// Drops the cached reader and every cached block of segment `id`
+  /// (called just before its file is deleted).
+  void DropSegmentCaches(uint64_t id) const LTM_EXCLUDES(readers_mu_);
+  BlockSegmentWriterOptions WriterOptions() const;
   std::string SegmentPath(const SegmentInfo& seg) const;
   std::string WalPath(const std::string& file) const;
 
@@ -297,6 +409,8 @@ class TruthStore {
   uint64_t wal_records_replayed_ LTM_GUARDED_BY(mu_) = 0;
   bool recovered_torn_tail_ LTM_GUARDED_BY(mu_) = false;
   bool compacting_ LTM_GUARDED_BY(mu_) = false;
+  size_t edits_since_snapshot_ LTM_GUARDED_BY(mu_) = 0;
+  CompactionStats compaction_stats_ LTM_GUARDED_BY(mu_);
   /// Outstanding CompactAsync jobs (each captures `this`); pruned as they
   /// resolve and joined by the destructor.
   std::vector<std::shared_future<Status>> pending_compactions_
@@ -311,10 +425,19 @@ class TruthStore {
   mutable size_t live_pins_ LTM_GUARDED_BY(mu_) = 0;
   mutable std::vector<SegmentInfo> deferred_segments_ LTM_GUARDED_BY(mu_);
 
+  /// Open segment readers, keyed by segment id (ids are never reused).
+  mutable Mutex readers_mu_;
+  mutable std::unordered_map<uint64_t, std::shared_ptr<BlockSegmentReader>>
+      readers_ LTM_GUARDED_BY(readers_mu_);
+
+  /// All-negative PinnedFactMayExist probes (zero blocks read).
+  mutable std::atomic<uint64_t> bloom_point_skips_{0};
+
   PosteriorCache cache_;
+  mutable BlockCache block_cache_;
 };
 
-/// Formats a segment filename ("seg-000042.snap") / WAL filename
+/// Formats a segment filename ("seg-000042.blk") / WAL filename
 /// ("wal-000007.log") for `id`.
 std::string SegmentFileName(uint64_t id);
 std::string WalFileName(uint64_t seq);

@@ -178,6 +178,7 @@ TEST_F(StreamingStoreTest, EpochDeltaTriggersRefit) {
   EXPECT_TRUE(eager.last_refit());
 
   // With the trigger disabled, the same ingest does not refit.
+  std::filesystem::remove_all(dir_ + "_no_trigger");
   auto store2 = store::TruthStore::Open(dir_ + "_no_trigger");
   ASSERT_TRUE(store2.ok());
   ASSERT_TRUE((*store2)->AppendDataset(history_).ok());

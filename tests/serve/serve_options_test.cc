@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "serve/serve_options.h"
+#include "store/truth_store.h"
 
 namespace ltm {
 namespace serve {
@@ -13,6 +14,8 @@ TEST(ServeOptionsTest, DefaultsValidate) {
   EXPECT_EQ(options.max_inflight, 64u);
   EXPECT_EQ(options.refit_debounce_epochs, 0u);
   EXPECT_EQ(options.refit_queue, 1u);
+  EXPECT_EQ(options.block_cache_mb, 8u);
+  EXPECT_EQ(options.bloom_bits_per_key, 10u);
 }
 
 TEST(ServeOptionsTest, ValidateRejectsOutOfRange) {
@@ -35,12 +38,15 @@ TEST(ServeOptionsTest, ParseBareNameYieldsDefaults) {
 TEST(ServeOptionsTest, ParseSetsEveryKey) {
   auto parsed = ParseServeSpec(
       "serve(batch_window_us=200, max_inflight=8, "
-      "refit_debounce_epochs=4, refit_queue=2)");
+      "refit_debounce_epochs=4, refit_queue=2, "
+      "block_cache_mb=32, bloom_bits_per_key=12)");
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->batch_window_us, 200u);
   EXPECT_EQ(parsed->max_inflight, 8u);
   EXPECT_EQ(parsed->refit_debounce_epochs, 4u);
   EXPECT_EQ(parsed->refit_queue, 2u);
+  EXPECT_EQ(parsed->block_cache_mb, 32u);
+  EXPECT_EQ(parsed->bloom_bits_per_key, 12u);
 }
 
 TEST(ServeOptionsTest, SpecStringRoundTrips) {
@@ -49,12 +55,16 @@ TEST(ServeOptionsTest, SpecStringRoundTrips) {
   options.max_inflight = 12;
   options.refit_debounce_epochs = 9;
   options.refit_queue = 3;
+  options.block_cache_mb = 16;
+  options.bloom_bits_per_key = 14;
   auto parsed = ParseServeSpec(options.ToSpecString());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->batch_window_us, options.batch_window_us);
   EXPECT_EQ(parsed->max_inflight, options.max_inflight);
   EXPECT_EQ(parsed->refit_debounce_epochs, options.refit_debounce_epochs);
   EXPECT_EQ(parsed->refit_queue, options.refit_queue);
+  EXPECT_EQ(parsed->block_cache_mb, options.block_cache_mb);
+  EXPECT_EQ(parsed->bloom_bits_per_key, options.bloom_bits_per_key);
   // And the canonical form is a fixed point.
   EXPECT_EQ(parsed->ToSpecString(), options.ToSpecString());
 }
@@ -74,6 +84,25 @@ TEST(ServeOptionsTest, ParseRejectsInvalidValues) {
   EXPECT_FALSE(ParseServeSpec("serve(max_inflight=0)").ok());
   // Not an integer at all.
   EXPECT_FALSE(ParseServeSpec("serve(batch_window_us=soon)").ok());
+  // Past 64 bits/key the filter would be all ones — rejected before the
+  // value can truncate into the uint32 field.
+  EXPECT_FALSE(ParseServeSpec("serve(bloom_bits_per_key=65)").ok());
+  EXPECT_FALSE(ParseServeSpec("serve(bloom_bits_per_key=4294967296)").ok());
+  // Disabling both is legal: 0 means "off", not "invalid".
+  EXPECT_TRUE(
+      ParseServeSpec("serve(block_cache_mb=0, bloom_bits_per_key=0)").ok());
+}
+
+TEST(ServeOptionsTest, ApplyToStoreCarriesTheReadSideBudget) {
+  ServeOptions options;
+  options.block_cache_mb = 24;
+  options.bloom_bits_per_key = 6;
+  store::TruthStoreOptions base;
+  base.memtable_flush_rows = 99;  // unrelated knobs must pass through
+  store::TruthStoreOptions applied = options.ApplyToStore(base);
+  EXPECT_EQ(applied.block_cache_mb, 24u);
+  EXPECT_EQ(applied.bloom_bits_per_key, 6u);
+  EXPECT_EQ(applied.memtable_flush_rows, 99u);
 }
 
 TEST(ServeOptionsTest, CaseInsensitiveName) {

@@ -23,10 +23,17 @@ class ManifestTest : public ::testing::Test {
     std::filesystem::create_directories(dir_);
   }
 
+  std::string ManifestPath() const { return dir_ + "/" + kManifestFileName; }
+
   void WriteManifestFile(const std::string& content) {
-    std::ofstream out(dir_ + "/" + kManifestFileName,
-                      std::ios::binary | std::ios::trunc);
+    std::ofstream out(ManifestPath(), std::ios::binary | std::ios::trunc);
     out << content;
+  }
+
+  std::string ReadManifestFile() const {
+    std::ifstream in(ManifestPath(), std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
   }
 
   std::string dir_;
@@ -43,41 +50,77 @@ std::string EncodeString(const std::string& s) {
   return EncodeLe<uint32_t>(static_cast<uint32_t>(s.size())) + s;
 }
 
-std::string ManifestFileFor(const std::string& payload) {
-  std::string file(kManifestMagic, 4);
-  file += EncodeLe<uint32_t>(kManifestVersion);
-  file += EncodeLe<uint64_t>(payload.size());
-  file += EncodeLe<uint64_t>(Fnv1a64(payload));
-  return file + payload;
+std::string Header() {
+  return std::string(kManifestMagic, 4) + EncodeLe<uint32_t>(kManifestVersion);
 }
 
-TEST_F(ManifestTest, RoundTripPreservesSegments) {
+/// Frames `payload` as one v2 record: u32 size, u64 FNV checksum, bytes.
+std::string Record(const std::string& payload) {
+  return EncodeLe<uint32_t>(static_cast<uint32_t>(payload.size())) +
+         EncodeLe<uint64_t>(Fnv1a64(payload)) + payload;
+}
+
+SegmentInfo MakeSegment(uint64_t id, uint32_t level = 0) {
+  SegmentInfo seg;
+  seg.id = id;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%06llu.blk",
+                static_cast<unsigned long long>(id));
+  seg.file = buf;
+  seg.level = level;
+  seg.num_rows = 10 * id;
+  seg.num_facts = 6;
+  seg.num_sources = 3;
+  seg.num_positive = 9;
+  seg.min_entity = "aardvark";
+  seg.max_entity = "zebra";
+  seg.min_seq = 100 * id;
+  seg.max_seq = 100 * id + 9;
+  seg.file_bytes = 4096 * id;
+  seg.num_blocks = static_cast<uint32_t>(id);
+  return seg;
+}
+
+/// A minimal hand-encoded snapshot payload, for corruption tests that
+/// need byte-level control CommitManifest does not give.
+std::string SnapshotPayload(uint64_t segment_count_claim,
+                            const std::string& segment_bytes) {
+  std::string payload;
+  payload += EncodeLe<uint8_t>(1);            // record type: snapshot
+  payload += EncodeLe<uint64_t>(1);           // generation
+  payload += EncodeLe<uint64_t>(1);           // next_segment_id
+  payload += EncodeLe<uint64_t>(1);           // wal_seq
+  payload += EncodeString("wal-000001.log");  // wal_file
+  payload += EncodeLe<uint64_t>(0);           // next_row_seq
+  payload += EncodeLe<uint64_t>(segment_count_claim);
+  payload += segment_bytes;
+  return payload;
+}
+
+TEST_F(ManifestTest, SnapshotRoundTripPreservesEverything) {
   Manifest m;
   m.generation = 3;
   m.next_segment_id = 7;
   m.wal_seq = 4;
   m.wal_file = "wal-000004.log";
-  SegmentInfo seg;
-  seg.id = 2;
-  seg.file = "seg-000002.snap";
-  seg.num_rows = 10;
-  seg.num_facts = 6;
-  seg.num_sources = 3;
-  seg.num_claims = 12;
-  seg.num_positive = 9;
-  seg.min_entity = "aardvark";
-  seg.max_entity = "zebra";
-  m.segments.push_back(seg);
+  m.next_row_seq = 1234;
+  m.segments.push_back(MakeSegment(2, 0));
+  m.segments.push_back(MakeSegment(5, 1));
 
   ASSERT_TRUE(CommitManifest(dir_, m).ok());
-  auto loaded = LoadManifest(dir_);
+  auto loaded = LoadManifestDetailed(dir_);
   ASSERT_TRUE(loaded.ok()) << loaded.status().message();
-  EXPECT_EQ(loaded->generation, m.generation);
-  EXPECT_EQ(loaded->next_segment_id, m.next_segment_id);
-  EXPECT_EQ(loaded->wal_seq, m.wal_seq);
-  EXPECT_EQ(loaded->wal_file, m.wal_file);
-  ASSERT_EQ(loaded->segments.size(), 1u);
-  EXPECT_EQ(loaded->segments[0], seg);
+  EXPECT_EQ(loaded->manifest.generation, m.generation);
+  EXPECT_EQ(loaded->manifest.next_segment_id, m.next_segment_id);
+  EXPECT_EQ(loaded->manifest.wal_seq, m.wal_seq);
+  EXPECT_EQ(loaded->manifest.wal_file, m.wal_file);
+  EXPECT_EQ(loaded->manifest.next_row_seq, m.next_row_seq);
+  ASSERT_EQ(loaded->manifest.segments.size(), 2u);
+  EXPECT_EQ(loaded->manifest.segments[0], m.segments[0]);
+  EXPECT_EQ(loaded->manifest.segments[1], m.segments[1]);
+  EXPECT_EQ(loaded->records, 1u);
+  EXPECT_EQ(loaded->edits, 0u);
+  EXPECT_FALSE(loaded->torn_tail);
 }
 
 TEST_F(ManifestTest, MissingFileIsNotFound) {
@@ -86,25 +129,246 @@ TEST_F(ManifestTest, MissingFileIsNotFound) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
-// Regression (satellite): a forged segment count must be rejected by
-// arithmetic against the payload bytes actually present, BEFORE the
-// vector reserve it would otherwise size. A 2^40 count over a tiny
-// (correctly checksummed) payload used to attempt a ~100 TB reserve and
-// die by OOM instead of by Status.
-TEST_F(ManifestTest, RejectsSegmentCountAllocationBomb) {
+TEST_F(ManifestTest, EditRecordsReplayOntoSnapshot) {
+  Manifest m;
+  m.generation = 1;
+  m.next_segment_id = 2;
+  m.wal_seq = 1;
+  m.wal_file = "wal-000001.log";
+  m.segments.push_back(MakeSegment(1));
+  ASSERT_TRUE(CommitManifest(dir_, m).ok());
+
+  // Edit 1: flush — new segment, new WAL, advanced row seq.
+  VersionEdit e1;
+  e1.generation = 2;
+  e1.next_segment_id = 3;
+  e1.wal_seq = 2;
+  e1.wal_file = "wal-000002.log";
+  e1.next_row_seq = 50;
+  e1.added.push_back(MakeSegment(2));
+  ASSERT_TRUE(AppendManifestEdit(dir_, e1).ok());
+
+  // Edit 2: compaction — both inputs deleted, one L1 output added.
+  VersionEdit e2;
+  e2.generation = 3;
+  e2.next_segment_id = 4;
+  e2.wal_seq = 2;
+  e2.wal_file = "wal-000002.log";
+  e2.next_row_seq = 50;
+  e2.added.push_back(MakeSegment(3, 1));
+  e2.deleted = {1, 2};
+  ASSERT_TRUE(AppendManifestEdit(dir_, e2).ok());
+
+  auto loaded = LoadManifestDetailed(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->records, 3u);
+  EXPECT_EQ(loaded->edits, 2u);
+  EXPECT_FALSE(loaded->torn_tail);
+  EXPECT_EQ(loaded->manifest.generation, 3u);
+  EXPECT_EQ(loaded->manifest.next_segment_id, 4u);
+  EXPECT_EQ(loaded->manifest.wal_file, "wal-000002.log");
+  EXPECT_EQ(loaded->manifest.next_row_seq, 50u);
+  ASSERT_EQ(loaded->manifest.segments.size(), 1u);
+  EXPECT_EQ(loaded->manifest.segments[0], MakeSegment(3, 1));
+}
+
+TEST_F(ManifestTest, TornTrailingEditIsIgnoredAndReported) {
+  Manifest m;
+  m.generation = 1;
+  m.wal_seq = 1;
+  m.wal_file = "wal-000001.log";
+  ASSERT_TRUE(CommitManifest(dir_, m).ok());
+  const std::string intact = ReadManifestFile();
+
+  VersionEdit e;
+  e.generation = 2;
+  e.wal_seq = 1;
+  e.wal_file = "wal-000001.log";
+  ASSERT_TRUE(AppendManifestEdit(dir_, e).ok());
+  const std::string with_edit = ReadManifestFile();
+  ASSERT_GT(with_edit.size(), intact.size());
+
+  // Tear the trailing edit mid-record: the load must stop at the intact
+  // snapshot, report the tear, and point valid_bytes at the clean prefix.
+  WriteManifestFile(with_edit.substr(0, with_edit.size() - 3));
+  auto loaded = LoadManifestDetailed(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->manifest.generation, 1u);
+  EXPECT_EQ(loaded->records, 1u);
+  EXPECT_TRUE(loaded->torn_tail);
+  EXPECT_EQ(loaded->valid_bytes, intact.size());
+}
+
+TEST_F(ManifestTest, CorruptedEditChecksumStopsAtIntactPrefix) {
+  Manifest m;
+  m.generation = 1;
+  m.wal_seq = 1;
+  m.wal_file = "wal-000001.log";
+  ASSERT_TRUE(CommitManifest(dir_, m).ok());
+  const size_t snapshot_size = ReadManifestFile().size();
+
+  VersionEdit e;
+  e.generation = 2;
+  e.wal_seq = 1;
+  e.wal_file = "wal-000001.log";
+  ASSERT_TRUE(AppendManifestEdit(dir_, e).ok());
+
+  std::string bytes = ReadManifestFile();
+  bytes[snapshot_size + 14] ^= 0x5A;  // flip one byte of the edit payload
+  WriteManifestFile(bytes);
+
+  auto loaded = LoadManifestDetailed(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->manifest.generation, 1u);
+  EXPECT_TRUE(loaded->torn_tail);
+  EXPECT_EQ(loaded->valid_bytes, snapshot_size);
+}
+
+TEST_F(ManifestTest, EditBeforeSnapshotIsCorruption) {
   std::string payload;
-  payload += EncodeLe<uint64_t>(1);             // generation
-  payload += EncodeLe<uint64_t>(1);             // next_segment_id
-  payload += EncodeLe<uint64_t>(1);             // wal_seq
-  payload += EncodeString("wal-000001.log");    // wal_file
-  payload += EncodeLe<uint64_t>(uint64_t{1} << 40);  // segment count: a lie
-  payload += std::string(64, '\0');             // far fewer bytes than that
-  WriteManifestFile(ManifestFileFor(payload));
+  payload += EncodeLe<uint8_t>(2);  // record type: edit
+  payload += EncodeLe<uint64_t>(1);
+  payload += EncodeLe<uint64_t>(1);
+  payload += EncodeLe<uint64_t>(1);
+  payload += EncodeString("wal-000001.log");
+  payload += EncodeLe<uint64_t>(0);
+  payload += EncodeLe<uint64_t>(0);  // added count
+  payload += EncodeLe<uint64_t>(0);  // deleted count
+  WriteManifestFile(Header() + Record(payload));
 
   auto loaded = LoadManifest(dir_);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("before any snapshot"),
+            std::string::npos);
+}
+
+TEST_F(ManifestTest, SecondSnapshotRecordIsCorruption) {
+  const std::string snap = Record(SnapshotPayload(0, ""));
+  WriteManifestFile(Header() + snap + snap);
+  auto loaded = LoadManifest(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("second snapshot"),
+            std::string::npos);
+}
+
+TEST_F(ManifestTest, UnknownRecordTypeIsCorruption) {
+  WriteManifestFile(Header() + Record(SnapshotPayload(0, "")) +
+                    Record(EncodeLe<uint8_t>(9)));
+  auto loaded = LoadManifest(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("unknown record type"),
+            std::string::npos);
+}
+
+TEST_F(ManifestTest, BadMagicAndVersionAreCorruption) {
+  WriteManifestFile("XXXX" + EncodeLe<uint32_t>(kManifestVersion) +
+                    Record(SnapshotPayload(0, "")));
+  EXPECT_EQ(LoadManifest(dir_).status().code(),
+            StatusCode::kInvalidArgument);
+  WriteManifestFile(std::string(kManifestMagic, 4) +
+                    EncodeLe<uint32_t>(99) + Record(SnapshotPayload(0, "")));
+  EXPECT_EQ(LoadManifest(dir_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Regression (carried from v1): a forged segment count must be rejected
+// by arithmetic against the payload bytes actually present, BEFORE the
+// vector reserve it would otherwise size. A 2^40 count over a tiny
+// (correctly checksummed) payload used to attempt a ~100 TB reserve and
+// die by OOM instead of by Status.
+TEST_F(ManifestTest, RejectsSegmentCountAllocationBomb) {
+  WriteManifestFile(
+      Header() +
+      Record(SnapshotPayload(uint64_t{1} << 40, std::string(64, '\0'))));
+  auto loaded = LoadManifest(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(loaded.status().message().find("segment count"),
+            std::string::npos);
+}
+
+TEST_F(ManifestTest, RejectsDeletedIdCountAllocationBomb) {
+  std::string edit;
+  edit += EncodeLe<uint8_t>(2);
+  edit += EncodeLe<uint64_t>(2);  // generation advances
+  edit += EncodeLe<uint64_t>(1);
+  edit += EncodeLe<uint64_t>(1);
+  edit += EncodeString("wal-000001.log");
+  edit += EncodeLe<uint64_t>(0);
+  edit += EncodeLe<uint64_t>(0);                  // added count
+  edit += EncodeLe<uint64_t>(uint64_t{1} << 40);  // deleted count: a lie
+  edit += std::string(64, '\0');
+  WriteManifestFile(Header() + Record(SnapshotPayload(0, "")) + Record(edit));
+
+  auto loaded = LoadManifest(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("deleted-id count"),
+            std::string::npos);
+}
+
+TEST_F(ManifestTest, ApplyVersionEditValidatesTransitions) {
+  Manifest m;
+  m.generation = 5;
+  m.next_segment_id = 3;
+  m.segments.push_back(MakeSegment(1));
+
+  // Generation must strictly advance.
+  VersionEdit stale;
+  stale.generation = 5;
+  stale.next_segment_id = 3;
+  EXPECT_EQ(ApplyVersionEdit(&m, stale, "test").code(),
+            StatusCode::kInvalidArgument);
+
+  // Deleting an id that is not live is corruption.
+  VersionEdit bad_delete;
+  bad_delete.generation = 6;
+  bad_delete.next_segment_id = 3;
+  bad_delete.deleted = {2};
+  Manifest copy = m;
+  EXPECT_EQ(ApplyVersionEdit(&copy, bad_delete, "test").code(),
+            StatusCode::kInvalidArgument);
+
+  // Re-adding a live id is corruption.
+  VersionEdit re_add;
+  re_add.generation = 6;
+  re_add.next_segment_id = 3;
+  re_add.added.push_back(MakeSegment(1));
+  copy = m;
+  EXPECT_EQ(ApplyVersionEdit(&copy, re_add, "test").code(),
+            StatusCode::kInvalidArgument);
+
+  // An added id must stay below next_segment_id.
+  VersionEdit too_high;
+  too_high.generation = 6;
+  too_high.next_segment_id = 3;
+  too_high.added.push_back(MakeSegment(7));
+  copy = m;
+  EXPECT_EQ(ApplyVersionEdit(&copy, too_high, "test").code(),
+            StatusCode::kInvalidArgument);
+
+  // Delete + re-add of the same id in one edit is a level move and legal.
+  VersionEdit move;
+  move.generation = 6;
+  move.next_segment_id = 3;
+  move.deleted = {1};
+  move.added.push_back(MakeSegment(1, 1));
+  copy = m;
+  ASSERT_TRUE(ApplyVersionEdit(&copy, move, "test").ok());
+  ASSERT_EQ(copy.segments.size(), 1u);
+  EXPECT_EQ(copy.segments[0].level, 1u);
+}
+
+TEST_F(ManifestTest, TrailingPayloadBytesAreCorruption) {
+  WriteManifestFile(Header() +
+                    Record(SnapshotPayload(0, "") + "extra"));
+  auto loaded = LoadManifest(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("trailing record bytes"),
             std::string::npos);
 }
 
