@@ -198,7 +198,9 @@ bool Run(const ServingConfig& cfg) {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "ltm_bench_serving").string();
   std::filesystem::remove_all(dir);
-  auto store = store::TruthStore::Open(dir);
+  store::TruthStoreOptions store_options;
+  store_options.metrics = &obs::MetricsRegistry::Global();
+  auto store = store::TruthStore::Open(dir, store_options);
   if (!store.ok()) {
     std::fprintf(stderr, "store open: %s\n",
                  store.status().ToString().c_str());
@@ -219,7 +221,10 @@ bool Run(const ServingConfig& cfg) {
   ext::StreamingPipeline pipeline(stream_opts);
   {
     WallTimer timer;
-    if (Status st = pipeline.BootstrapFromStore(store->get()); !st.ok()) {
+    RunContext boot_ctx;
+    boot_ctx.metrics = &obs::MetricsRegistry::Global();
+    if (Status st = pipeline.BootstrapFromStore(store->get(), boot_ctx);
+        !st.ok()) {
       std::fprintf(stderr, "bootstrap: %s\n", st.ToString().c_str());
       return false;
     }
@@ -331,7 +336,9 @@ bool Run(const ServingConfig& cfg) {
                  static_cast<unsigned long long>(r.queries), r.qps, r.p50_us,
                  r.p99_us, static_cast<unsigned long long>(r.shed));
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ],\n  \"metrics\": ");
+  WriteMetricsJsonArray(f);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", cfg.out.c_str());
   std::filesystem::remove_all(dir);

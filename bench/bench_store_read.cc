@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/timer.h"
 #include "data/raw_database.h"
 #include "store/truth_store.h"
@@ -100,12 +101,16 @@ bool Run(const ReadBenchConfig& cfg) {
       (std::filesystem::temp_directory_path() / "ltm_bench_store_read")
           .string();
   std::filesystem::remove_all(dir);
+  // One process-global registry across the build/baseline/point opens, so
+  // the JSON snapshot covers the whole run.
+  store::TruthStoreOptions store_options;
+  store_options.metrics = &obs::MetricsRegistry::Global();
 
   // Build: `segments` flushes over disjoint entity ranges — the layout
   // leveled compaction converges to — each entity claimed by 4 sources.
   const int num_entities = cfg.segments * cfg.entities_per_segment;
   {
-    auto store = store::TruthStore::Open(dir);
+    auto store = store::TruthStore::Open(dir, store_options);
     if (!store.ok()) {
       std::fprintf(stderr, "open: %s\n", store.status().ToString().c_str());
       return false;
@@ -134,7 +139,7 @@ bool Run(const ReadBenchConfig& cfg) {
   size_t num_segments = 0;
   uint32_t max_level = 0;
   {
-    auto store = store::TruthStore::Open(dir);
+    auto store = store::TruthStore::Open(dir, store_options);
     if (!store.ok()) {
       std::fprintf(stderr, "reopen: %s\n", store.status().ToString().c_str());
       return false;
@@ -160,7 +165,7 @@ bool Run(const ReadBenchConfig& cfg) {
   PointPhase cold;
   PointPhase warm;
   {
-    auto store = store::TruthStore::Open(dir);
+    auto store = store::TruthStore::Open(dir, store_options);
     if (!store.ok()) {
       std::fprintf(stderr, "reopen: %s\n", store.status().ToString().c_str());
       return false;
@@ -226,8 +231,8 @@ bool Run(const ReadBenchConfig& cfg) {
       "  \"point_lookup_warm\": {\"queries\": %llu, "
       "\"blocks_per_query\": %.3f, \"cache_hit_blocks\": %llu, "
       "\"p50_us\": %.1f, \"p99_us\": %.1f},\n"
-      "  \"read_amplification_ratio\": %.1f\n"
-      "}\n",
+      "  \"read_amplification_ratio\": %.1f,\n"
+      "  \"metrics\": ",
       num_segments, max_level, num_entities,
       static_cast<unsigned long long>(slice_rows),
       static_cast<unsigned long long>(slice_bytes),
@@ -242,6 +247,8 @@ bool Run(const ReadBenchConfig& cfg) {
           static_cast<double>(warm.queries),
       static_cast<unsigned long long>(warm.cache_hits), warm.p50_us,
       warm.p99_us, read_amplification);
+  WriteMetricsJsonArray(f);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", cfg.out.c_str());
   std::filesystem::remove_all(dir);

@@ -7,6 +7,7 @@
 
 #include "data/dataset.h"
 #include "data/truth_labels.h"
+#include "obs/metrics.h"
 #include "synth/book_simulator.h"
 #include "synth/labeling.h"
 #include "synth/movie_simulator.h"
@@ -59,6 +60,32 @@ inline BenchDataset MakeMovieBench(size_t num_movies = 15073) {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Emits the process metrics registry as a JSON array of Prometheus
+/// exposition lines — `"metrics": [...]` in a benchmark artifact — so a
+/// run's internal counters (cache hits, compaction bytes, sweep timings)
+/// ride along with its headline numbers.
+inline void WriteMetricsJsonArray(std::FILE* f) {
+  const std::string text = obs::MetricsRegistry::Global().RenderText();
+  std::fprintf(f, "[");
+  bool first = true;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string escaped;
+    escaped.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      const char c = text[i];
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    std::fprintf(f, "%s\n    \"%s\"", first ? "" : ",", escaped.c_str());
+    first = false;
+    start = end + 1;
+  }
+  std::fprintf(f, "\n  ]");
 }
 
 }  // namespace bench

@@ -33,6 +33,8 @@
 #include "eval/metrics.h"
 #include "eval/table_printer.h"
 #include "ext/streaming.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/serve_options.h"
 #include "serve/serve_session.h"
 #include "store/truth_store.h"
@@ -48,6 +50,7 @@ void Usage() {
       "               [--out truth.tsv] [--quality quality.tsv]\n"
       "               [--iterations N] [--seed S] [--labels labels.tsv]\n"
       "               [--deadline SECONDS] [--trace]\n"
+      "               [--dump-metrics] [--trace-out FILE]\n"
       "               [--snapshot] [--save-snapshot data.snap]\n"
       "       ltm_cli --store DIR [--append chunk.tsv] [--flush] [...]\n"
       "       ltm_cli --store DIR --serve-queries q.tsv "
@@ -59,6 +62,23 @@ void Usage() {
     std::fprintf(stderr, " %s", name.c_str());
   }
   std::fprintf(stderr, "\n");
+}
+
+// Shared tail for every successful exit path: render the process metrics
+// registry (--dump-metrics) and persist recorded spans (--trace-out).
+int FinishObservability(bool dump_metrics, const std::string& trace_out) {
+  if (dump_metrics) {
+    std::fputs(ltm::obs::MetricsRegistry::Global().RenderText().c_str(),
+               stdout);
+  }
+  if (!trace_out.empty()) {
+    ltm::Status st = ltm::obs::TraceRecorder::Global().WriteJson(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -104,9 +124,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool dump_metrics = flags.count("dump-metrics") > 0;
+  const std::string trace_out =
+      flags.count("trace-out") ? flags["trace-out"] : std::string();
+  if (!trace_out.empty()) ltm::obs::TraceRecorder::Global().Enable();
+
   ltm::Dataset ds;
   if (flags.count("store")) {
-    auto store = ltm::store::TruthStore::Open(flags["store"]);
+    ltm::store::TruthStoreOptions store_options;
+    store_options.metrics = &ltm::obs::MetricsRegistry::Global();
+    auto store = ltm::store::TruthStore::Open(flags["store"], store_options);
     if (!store.ok()) {
       std::fprintf(stderr, "error: %s\n", store.status().ToString().c_str());
       return 1;
@@ -171,7 +198,9 @@ int main(int argc, char** argv) {
       stream_opts.ltm = ltm::LtmOptions::ScaledDefaults(sstats.segment_rows +
                                                         sstats.memtable_rows);
       ltm::ext::StreamingPipeline pipeline(stream_opts);
-      if (ltm::Status st = pipeline.BootstrapFromStore(store->get());
+      ltm::RunContext boot_ctx;
+      boot_ctx.metrics = &ltm::obs::MetricsRegistry::Global();
+      if (ltm::Status st = pipeline.BootstrapFromStore(store->get(), boot_ctx);
           !st.ok()) {
         std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
         return 1;
@@ -193,7 +222,7 @@ int main(int argc, char** argv) {
         std::printf("%s\t%s\t%.6f\n", queries[i].entity.c_str(),
                     queries[i].attribute.c_str(), (*posteriors)[i]);
       }
-      return 0;
+      return FinishObservability(dump_metrics, trace_out);
     }
     auto materialized = (*store)->Materialize();
     if (!materialized.ok()) {
@@ -260,6 +289,7 @@ int main(int argc, char** argv) {
   ltm::RunContext ctx;
   ctx.with_quality = flags.count("quality") > 0;
   ctx.collect_trace = flags.count("trace") > 0;
+  ctx.metrics = &ltm::obs::MetricsRegistry::Global();
   if (flags.count("deadline")) {
     ctx.deadline_seconds = std::atof(flags["deadline"].c_str());
   }
@@ -337,5 +367,5 @@ int main(int argc, char** argv) {
                  static_cast<size_t>(m.confusion.Total()), m.precision(),
                  m.recall(), m.accuracy(), m.f1());
   }
-  return 0;
+  return FinishObservability(dump_metrics, trace_out);
 }

@@ -9,10 +9,15 @@
 //   serve_cli <dir> --range MIN MAX              # inclusive entity range
 //   serve_cli <dir> --spec "serve(batch_window_us=200,max_inflight=8)" ...
 //   serve_cli <dir> --stats                      # session counters to stderr
+//   serve_cli <dir> stats                        # metrics exposition to stdout
+//   serve_cli <dir> --dump-metrics ...           # same, after the reads
+//   serve_cli <dir> --trace-out trace.json ...   # chrome://tracing spans
 //
 // Output: one `entity<TAB>attribute<TAB>posterior` line per served fact
 // on stdout. Multiple read flags compose; --stats prints the session's
-// ServeStats after all reads.
+// ServeStats after all reads; `stats` / --dump-metrics render the whole
+// process metrics registry (store, caches, serve, inference) in
+// Prometheus text exposition format.
 
 #include <cstdio>
 #include <fstream>
@@ -21,6 +26,8 @@
 
 #include "common/string_util.h"
 #include "ext/streaming.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/serve_options.h"
 #include "serve/serve_session.h"
 #include "store/truth_store.h"
@@ -30,9 +37,10 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: serve_cli <store-dir> [--spec \"serve(key=value,...)\"]\n"
+      "usage: serve_cli <store-dir> [stats] [--spec \"serve(key=value,...)\"]\n"
       "                 [--query ENTITY ATTRIBUTE]... [--queries FILE]\n"
-      "                 [--range MIN MAX] [--stats]\n"
+      "                 [--range MIN MAX] [--stats] [--dump-metrics]\n"
+      "                 [--trace-out FILE]\n"
       "spec keys: batch_window_us, max_inflight, refit_debounce_epochs,\n"
       "           refit_queue, block_cache_mb, bloom_bits_per_key\n");
   return 2;
@@ -61,9 +69,15 @@ int main(int argc, char** argv) {
   std::string range_min;
   std::string range_max;
   bool want_stats = false;
+  bool dump_metrics = false;
+  std::string trace_out;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--spec" && i + 1 < argc) {
+    if (flag == "stats" || flag == "--dump-metrics") {
+      dump_metrics = true;
+    } else if (flag == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (flag == "--spec" && i + 1 < argc) {
       spec = argv[++i];
     } else if (flag == "--query" && i + 2 < argc) {
       ltm::serve::FactRef ref;
@@ -82,9 +96,11 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (point_queries.empty() && queries_path.empty() && !have_range) {
+  if (point_queries.empty() && queries_path.empty() && !have_range &&
+      !dump_metrics) {
     return Usage();
   }
+  if (!trace_out.empty()) ltm::obs::TraceRecorder::Global().Enable();
 
   auto options = ltm::serve::ParseServeSpec(spec);
   if (!options.ok()) return Fail(options.status());
@@ -115,9 +131,12 @@ int main(int argc, char** argv) {
   }
 
   // The spec's block_cache_mb / bloom_bits_per_key are store knobs, so
-  // they configure the open itself.
-  auto store = ltm::store::TruthStore::Open(
-      dir, options->ApplyToStore(ltm::store::TruthStoreOptions()));
+  // they configure the open itself. The process-global registry collects
+  // the whole stack's metrics behind one exposition surface.
+  ltm::store::TruthStoreOptions store_base;
+  store_base.metrics = &ltm::obs::MetricsRegistry::Global();
+  auto store =
+      ltm::store::TruthStore::Open(dir, options->ApplyToStore(store_base));
   if (!store.ok()) return Fail(store.status());
 
   // Size the Gibbs refit to the durable evidence, then bootstrap the
@@ -127,7 +146,10 @@ int main(int argc, char** argv) {
   stream_opts.ltm = ltm::LtmOptions::ScaledDefaults(
       sstats.segment_rows + sstats.memtable_rows);
   ltm::ext::StreamingPipeline pipeline(stream_opts);
-  if (ltm::Status st = pipeline.BootstrapFromStore(store->get()); !st.ok()) {
+  ltm::RunContext boot_ctx;
+  boot_ctx.metrics = &ltm::obs::MetricsRegistry::Global();
+  if (ltm::Status st = pipeline.BootstrapFromStore(store->get(), boot_ctx);
+      !st.ok()) {
     return Fail(st);
   }
 
@@ -180,6 +202,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "latency: p50 %.1fus p99 %.1fus (%llu sample(s))\n",
                  stats.latency.p50_us, stats.latency.p99_us,
                  static_cast<unsigned long long>(stats.latency.count));
+  }
+  if (dump_metrics) {
+    std::fputs(ltm::obs::MetricsRegistry::Global().RenderText().c_str(),
+               stdout);
+  }
+  if (!trace_out.empty()) {
+    if (ltm::Status st = ltm::obs::TraceRecorder::Global().WriteJson(trace_out);
+        !st.ok()) {
+      return Fail(st);
+    }
   }
   return 0;
 }

@@ -1,13 +1,22 @@
 // store_cli: operate on a TruthStore directory — ingest TSV chunks,
 // flush/compact, inspect, and verify integrity.
 //
-//   store_cli <dir> ingest <chunk.tsv> [--flush] [--sync-every-append]
+//   store_cli <dir> ingest <chunk.tsv> [--flush] [--compact]
+//                   [--sync-every-append]
 //   store_cli <dir> flush
 //   store_cli <dir> compact
 //   store_cli <dir> inspect
 //   store_cli <dir> verify
+//   store_cli <dir> stats                        # metrics exposition
 //   store_cli <dir> materialize --out <raw.tsv>
 //   store_cli <dir> serve <queries.tsv> [--spec "serve(...)"]
+//
+// Every command (except verify) also accepts --dump-metrics, which
+// renders the process metrics registry in Prometheus text exposition
+// format to stdout after the command runs — metrics are per-process, so
+// chain the work into one invocation (e.g. `ingest x.tsv --flush
+// --compact --dump-metrics`) to observe it. --trace-out FILE writes the
+// recorded spans as chrome://tracing JSON.
 //
 // Every mutating command accepts --fail-at POINT: the process _exit()s
 // the moment a durability failpoint whose name contains POINT is hit —
@@ -30,6 +39,8 @@
 #include "common/string_util.h"
 #include "data/tsv_io.h"
 #include "ext/streaming.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/serve_options.h"
 #include "serve/serve_session.h"
 #include "store/segment.h"
@@ -48,11 +59,12 @@ int Usage() {
       stderr,
       "usage: store_cli <dir> <command> [args]\n"
       "commands:\n"
-      "  ingest <chunk.tsv> [--flush] [--sync-every-append]\n"
-      "  flush | compact | inspect | verify\n"
+      "  ingest <chunk.tsv> [--flush] [--compact] [--sync-every-append]\n"
+      "  flush | compact | inspect | verify | stats\n"
       "  materialize --out <raw.tsv>\n"
       "  serve <queries.tsv> [--spec \"serve(key=value,...)\"]\n"
-      "all mutating commands accept --fail-at POINT (simulated kill)\n");
+      "all mutating commands accept --fail-at POINT (simulated kill);\n"
+      "all commands but verify accept --dump-metrics and --trace-out FILE\n");
   return 2;
 }
 
@@ -88,13 +100,23 @@ int main(int argc, char** argv) {
   std::string tsv_path;
   std::string out_path;
   std::string serve_spec = "serve";
+  std::string trace_out;
   bool flush_after = false;
+  bool compact_after = false;
+  bool dump_metrics = command == "stats";
   ltm::store::TruthStoreOptions options;
+  options.metrics = &ltm::obs::MetricsRegistry::Global();
   for (size_t i = 0; i < rest.size(); ++i) {
     if (rest[i] == "--fail-at" && i + 1 < rest.size()) {
       fail_at = rest[++i];
     } else if (rest[i] == "--flush") {
       flush_after = true;
+    } else if (rest[i] == "--compact") {
+      compact_after = true;
+    } else if (rest[i] == "--dump-metrics") {
+      dump_metrics = true;
+    } else if (rest[i] == "--trace-out" && i + 1 < rest.size()) {
+      trace_out = rest[++i];
     } else if (rest[i] == "--sync-every-append") {
       options.sync_every_append = true;
     } else if (rest[i] == "--out" && i + 1 < rest.size()) {
@@ -108,6 +130,7 @@ int main(int argc, char** argv) {
     }
   }
   if (!fail_at.empty()) ArmFailAt(fail_at);
+  if (!trace_out.empty()) ltm::obs::TraceRecorder::Global().Enable();
 
   if (command == "verify") {
     auto report = ltm::store::TruthStore::Verify(dir);
@@ -139,6 +162,11 @@ int main(int argc, char** argv) {
       st = (*store)->Flush();
       if (!st.ok()) return Fail(st);
       std::fprintf(stderr, "flushed\n");
+    }
+    if (compact_after) {
+      st = (*store)->Compact();
+      if (!st.ok()) return Fail(st);
+      std::fprintf(stderr, "compacted\n");
     }
   } else if (command == "flush") {
     ltm::Status st = (*store)->Flush();
@@ -276,7 +304,9 @@ int main(int argc, char** argv) {
     stream_opts.ltm = ltm::LtmOptions::ScaledDefaults(stats.segment_rows +
                                                       stats.memtable_rows);
     ltm::ext::StreamingPipeline pipeline(stream_opts);
-    ltm::Status st = pipeline.BootstrapFromStore(store->get());
+    ltm::RunContext boot_ctx;
+    boot_ctx.metrics = &ltm::obs::MetricsRegistry::Global();
+    ltm::Status st = pipeline.BootstrapFromStore(store->get(), boot_ctx);
     if (!st.ok()) return Fail(st);
     auto session = ltm::serve::ServeSession::Create(&pipeline, *serve_options);
     if (!session.ok()) return Fail(session.status());
@@ -294,8 +324,18 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(sstats.block_cache.misses),
                  static_cast<unsigned long long>(sstats.block_cache.evictions),
                  static_cast<unsigned long long>(sstats.bloom_point_skips));
-  } else {
+  } else if (command != "stats") {
     return Usage();
+  }
+  if (dump_metrics) {
+    std::fputs(ltm::obs::MetricsRegistry::Global().RenderText().c_str(),
+               stdout);
+  }
+  if (!trace_out.empty()) {
+    if (ltm::Status st = ltm::obs::TraceRecorder::Global().WriteJson(trace_out);
+        !st.ok()) {
+      return Fail(st);
+    }
   }
   return 0;
 }

@@ -262,6 +262,7 @@ Status StreamingPipeline::Refit(const RunContext& ctx) {
   refit_ctx.deadline_seconds = ctx.deadline_seconds;
   refit_ctx.with_quality = true;
   refit_ctx.on_progress = ctx.on_progress;
+  refit_ctx.metrics = ctx.metrics;
   LTM_ASSIGN_OR_RETURN(TruthResult result, model.Run(refit_ctx, facts, graph));
   quality_ = std::move(*result.quality);
   // The refit absorbed everything serving_ had accumulated; restart it

@@ -1,0 +1,129 @@
+#ifndef LTM_OBS_HISTOGRAM_H_
+#define LTM_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace ltm {
+namespace obs {
+
+/// Lock-free log2-bucketed histogram (microsecond samples). Record() is
+/// two relaxed fetch_adds — one bucket count, one exact running sum — so
+/// it is cheap enough for every query, every WAL append, every Gibbs
+/// sweep. Percentile read-offs interpolate within the winning
+/// power-of-two bucket, so reported tails are approximate (within one
+/// bucket, i.e. ~2x at worst); the mean is exact because the sum is kept
+/// outside the buckets. Grew out of serve::LatencyHistogram; that name
+/// survives as a deprecated alias in serve/latency.h.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;  // covers up to ~2^39 us (~6 days)
+
+  struct Percentiles {
+    uint64_t count = 0;
+    uint64_t sum_us = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p90_us = 0.0;
+    double p99_us = 0.0;
+  };
+
+  void Record(uint64_t micros) {
+    int bucket = 0;
+    while (bucket + 1 < kBuckets && (uint64_t{1} << (bucket + 1)) <= micros) {
+      ++bucket;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  /// Concurrent-safe read-off. Buckets are read one by one (relaxed), so
+  /// under concurrent Records the snapshot is approximate — fine for
+  /// monitoring counters.
+  Percentiles Snapshot() const {
+    std::array<uint64_t, kBuckets> counts;
+    const uint64_t total = LoadCounts(&counts);
+    Percentiles out;
+    out.count = total;
+    out.sum_us = sum_.load(std::memory_order_relaxed);
+    if (total == 0) return out;
+    out.mean_us = static_cast<double>(out.sum_us) / static_cast<double>(total);
+    out.p50_us = PercentileFrom(counts, total, 0.50);
+    out.p90_us = PercentileFrom(counts, total, 0.90);
+    out.p99_us = PercentileFrom(counts, total, 0.99);
+    return out;
+  }
+
+  /// Single-quantile read-off (q in [0, 1]); 0 when the histogram is
+  /// empty. Exposed so tests can probe the q=1.0 clamp directly.
+  double Percentile(double q) const {
+    std::array<uint64_t, kBuckets> counts;
+    const uint64_t total = LoadCounts(&counts);
+    if (total == 0) return 0.0;
+    return PercentileFrom(counts, total, q);
+  }
+
+  uint64_t Count() const {
+    std::array<uint64_t, kBuckets> counts;
+    return LoadCounts(&counts);
+  }
+
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Raw bucket access for exposition rendering (RenderText).
+  uint64_t BucketCount(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Exclusive upper edge of bucket b: bucket b holds samples in
+  /// [2^b, 2^(b+1)), except bucket 0 which also holds 0.
+  static constexpr uint64_t BucketUpperBound(int b) {
+    return uint64_t{1} << (b + 1);
+  }
+
+ private:
+  uint64_t LoadCounts(std::array<uint64_t, kBuckets>* counts) const {
+    uint64_t total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      (*counts)[b] = buckets_[b].load(std::memory_order_relaxed);
+      total += (*counts)[b];
+    }
+    return total;
+  }
+
+  static double PercentileFrom(const std::array<uint64_t, kBuckets>& counts,
+                               uint64_t total, double q) {
+    const double target = q * static_cast<double>(total);
+    double seen = 0.0;
+    int last_nonempty = -1;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (counts[b] == 0) continue;
+      last_nonempty = b;
+      const double next = seen + static_cast<double>(counts[b]);
+      if (next >= target) {
+        // Linear interpolation inside bucket [2^b, 2^(b+1)).
+        const double lo = static_cast<double>(uint64_t{1} << b);
+        const double frac =
+            (target - seen) / static_cast<double>(counts[b]);
+        return lo * (1.0 + frac);
+      }
+      seen = next;
+    }
+    // Float rounding can push `target` past every bucket (q very close
+    // to 1). Clamp to the upper edge of the highest non-empty bucket —
+    // never the 2^39 end-of-range sentinel the old fallthrough returned.
+    if (last_nonempty >= 0) {
+      return static_cast<double>(BucketUpperBound(last_nonempty));
+    }
+    return 0.0;
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace obs
+}  // namespace ltm
+
+#endif  // LTM_OBS_HISTOGRAM_H_

@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace ltm {
+namespace obs {
+
+namespace {
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked on purpose, like MetricsRegistry::Global(): spans may still
+  // finish on background threads during process exit.
+  static TraceRecorder* const global = new TraceRecorder();
+  return *global;
+}
+
+void TraceRecorder::Enable(size_t per_thread_capacity) {
+  capacity_.store(per_thread_capacity, std::memory_order_relaxed);
+  t0_ns_.store(SteadyNowNanos(), std::memory_order_relaxed);
+  // The session bump must be visible before enabled_ flips: a recording
+  // thread that sees enabled==true must also see the new session id, or
+  // it would append into a stale ring image.
+  session_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  const int64_t delta =
+      SteadyNowNanos() - t0_ns_.load(std::memory_order_relaxed);
+  return delta > 0 ? static_cast<uint64_t>(delta) / 1000 : 0;
+}
+
+TraceRecorder::Ring* TraceRecorder::ThisThreadRing() {
+  struct Cached {
+    TraceRecorder* owner = nullptr;
+    Ring* ring = nullptr;
+  };
+  thread_local Cached cached;
+  if (cached.owner == this) return cached.ring;
+  auto ring = std::make_shared<Ring>();
+  ring->tid = static_cast<uint32_t>(ThreadIndex());
+  {
+    MutexLock lock(mu_);
+    rings_.push_back(ring);
+  }
+  cached.owner = this;
+  cached.ring = ring.get();
+  return cached.ring;
+}
+
+void TraceRecorder::Record(const char* name, uint64_t ts_us,
+                           uint64_t dur_us) {
+  if (!enabled()) return;
+  Ring* ring = ThisThreadRing();
+  const uint64_t session = session_.load(std::memory_order_acquire);
+  const size_t capacity = capacity_.load(std::memory_order_relaxed);
+  MutexLock lock(ring->mu);
+  if (ring->session != session) {
+    // First record after a (re-)Enable: lazily drop the old session's
+    // spans instead of making Enable() visit every ring.
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+    ring->session = session;
+  }
+  if (capacity == 0) {
+    ++ring->dropped;
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = ring->tid;
+  if (ring->events.size() < capacity) {
+    ring->events.push_back(event);
+  } else {
+    // Full: overwrite the oldest span and account for it.
+    ring->events[ring->next] = event;
+    ring->next = (ring->next + 1) % capacity;
+    ++ring->dropped;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  std::vector<TraceEvent> out;
+  const uint64_t session = session_.load(std::memory_order_acquire);
+  MutexLock lock(mu_);
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    MutexLock ring_lock(ring->mu);
+    if (ring->session != session) continue;
+    // Once wrapped, the oldest retained span sits at the overwrite
+    // cursor; emit in age order so ties in ts_us stay stable.
+    const size_t n = ring->events.size();
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(ring->events[(ring->next + i) % n]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+uint64_t TraceRecorder::DroppedSpans() const {
+  const uint64_t session = session_.load(std::memory_order_acquire);
+  uint64_t dropped = 0;
+  MutexLock lock(mu_);
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    MutexLock ring_lock(ring->mu);
+    if (ring->session == session) dropped += ring->dropped;
+  }
+  return dropped;
+}
+
+std::string TraceRecorder::TraceJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n{\"name\":\"");
+    out.append(event.name);  // span names are static identifiers
+    out.append("\",\"cat\":\"ltm\",\"ph\":\"X\",\"ts\":");
+    out.append(std::to_string(event.ts_us));
+    out.append(",\"dur\":");
+    out.append(std::to_string(event.dur_us));
+    out.append(",\"pid\":1,\"tid\":");
+    out.append(std::to_string(event.tid));
+    out.append("}");
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  const std::string json = TraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write trace file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace ltm

@@ -1,0 +1,127 @@
+#ifndef LTM_OBS_TRACE_H_
+#define LTM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace ltm {
+namespace obs {
+
+/// One completed span. `name` must be a string literal (or otherwise
+/// outlive the recorder) — events store the pointer, never a copy, so
+/// recording is allocation-free.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t ts_us = 0;   // steady-clock start, relative to Enable()
+  uint64_t dur_us = 0;  // span duration
+  uint32_t tid = 0;     // sequential thread lane (obs::ThreadIndex order)
+};
+
+/// Process-wide span recorder: bounded per-thread rings, off by default.
+///
+/// When disabled (the default), recording a span is a single relaxed
+/// load — cheap enough to leave ObsSpan instances in bit-pinned
+/// sampling loops. Enable(capacity) arms recording with a fixed ring of
+/// `capacity` spans per thread; when a ring fills, the oldest span is
+/// overwritten and a drop counter advances, so a long run keeps the
+/// most recent window instead of growing without bound.
+///
+/// Timestamps are steady-clock microseconds relative to the Enable()
+/// call: monotonic, determinism-lint-clean, and exactly what Chrome's
+/// trace viewer wants in its `ts` field.
+class TraceRecorder {
+ public:
+  /// The process-wide instance (never destroyed).
+  static TraceRecorder& Global();
+
+  /// Arms recording. Calling Enable() again restarts the clock and
+  /// logically clears every ring (rings reset lazily, on each thread's
+  /// first record of the new session).
+  void Enable(size_t per_thread_capacity = 4096) LTM_EXCLUDES(mu_);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Steady microseconds since Enable(). Only meaningful while enabled.
+  uint64_t NowMicros() const;
+
+  /// Appends one completed span to the calling thread's ring. No-op
+  /// when disabled.
+  void Record(const char* name, uint64_t ts_us, uint64_t dur_us)
+      LTM_EXCLUDES(mu_);
+
+  /// All retained spans across every thread, sorted by start time.
+  std::vector<TraceEvent> Collect() const LTM_EXCLUDES(mu_);
+
+  /// Spans overwritten by ring wrap-around since the last Enable().
+  uint64_t DroppedSpans() const LTM_EXCLUDES(mu_);
+
+  /// Chrome trace_event JSON ("X" complete events, chrome://tracing
+  /// accepts the file as-is).
+  std::string TraceJson() const LTM_EXCLUDES(mu_);
+  Status WriteJson(const std::string& path) const LTM_EXCLUDES(mu_);
+
+ private:
+  /// Fixed-capacity span ring for one thread. Rings are owned by the
+  /// recorder via shared_ptr so Collect() stays safe after the owning
+  /// thread exits; the thread keeps a raw pointer through a cached
+  /// thread_local.
+  struct Ring {
+    Mutex mu;
+    std::vector<TraceEvent> events LTM_GUARDED_BY(mu);
+    size_t next LTM_GUARDED_BY(mu) = 0;  // overwrite cursor once full
+    uint64_t dropped LTM_GUARDED_BY(mu) = 0;
+    uint64_t session LTM_GUARDED_BY(mu) = 0;  // Enable() generation
+    uint32_t tid = 0;
+  };
+
+  Ring* ThisThreadRing() LTM_EXCLUDES(mu_);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> session_{0};  // bumped by every Enable()
+  std::atomic<size_t> capacity_{4096};
+  std::atomic<int64_t> t0_ns_{0};  // steady_clock epoch of Enable()
+
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<Ring>> rings_ LTM_GUARDED_BY(mu_);
+};
+
+/// RAII span: times its scope on the steady clock and records it into
+/// the calling thread's ring at destruction. When the recorder is
+/// disabled the constructor is one relaxed load and the destructor a
+/// branch — safe to leave in the hottest loops.
+class ObsSpan {
+ public:
+  explicit ObsSpan(const char* name)
+      : name_(name), recorder_(TraceRecorder::Global()) {
+    if (recorder_.enabled()) {
+      active_ = true;
+      start_us_ = recorder_.NowMicros();
+    }
+  }
+
+  ~ObsSpan() {
+    if (active_) {
+      recorder_.Record(name_, start_us_, recorder_.NowMicros() - start_us_);
+    }
+  }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  const char* name_;
+  TraceRecorder& recorder_;
+  bool active_ = false;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ltm
+
+#endif  // LTM_OBS_TRACE_H_

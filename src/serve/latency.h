@@ -1,79 +1,19 @@
 #ifndef LTM_SERVE_LATENCY_H_
 #define LTM_SERVE_LATENCY_H_
 
-#include <array>
-#include <atomic>
-#include <cstdint>
+/// Deprecated forwarding header. The serve-local LatencyHistogram grew
+/// into the general-purpose obs::Histogram (same log2 buckets, plus an
+/// exact running sum so mean_us is no longer bucket-approximated) when
+/// the unified metrics registry landed. Include "obs/histogram.h" and
+/// use obs::Histogram in new code; this alias only keeps pre-registry
+/// includes compiling.
+
+#include "obs/histogram.h"
 
 namespace ltm {
 namespace serve {
 
-/// Lock-free log2-bucketed latency histogram (microsecond samples).
-/// Record() is one relaxed fetch_add, cheap enough for every query; the
-/// percentile read-off interpolates within the winning power-of-two
-/// bucket, so reported tails are approximate (within ~2x at worst, far
-/// tighter in practice). The bench harness keeps exact per-thread sample
-/// vectors instead; this histogram backs ServeSession::Stats().
-class LatencyHistogram {
- public:
-  struct Percentiles {
-    uint64_t count = 0;
-    double p50_us = 0.0;
-    double p90_us = 0.0;
-    double p99_us = 0.0;
-  };
-
-  void Record(uint64_t micros) {
-    int bucket = 0;
-    while (bucket + 1 < kBuckets && (uint64_t{1} << (bucket + 1)) <= micros) {
-      ++bucket;
-    }
-    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  }
-
-  /// Concurrent-safe read-off. Buckets are read one by one (relaxed), so
-  /// under concurrent Records the snapshot is approximate — fine for
-  /// monitoring counters.
-  Percentiles Snapshot() const {
-    std::array<uint64_t, kBuckets> counts;
-    uint64_t total = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      counts[b] = buckets_[b].load(std::memory_order_relaxed);
-      total += counts[b];
-    }
-    Percentiles out;
-    out.count = total;
-    if (total == 0) return out;
-    out.p50_us = PercentileFrom(counts, total, 0.50);
-    out.p90_us = PercentileFrom(counts, total, 0.90);
-    out.p99_us = PercentileFrom(counts, total, 0.99);
-    return out;
-  }
-
- private:
-  static constexpr int kBuckets = 40;  // covers up to ~2^39 us (~6 days)
-
-  static double PercentileFrom(const std::array<uint64_t, kBuckets>& counts,
-                               uint64_t total, double q) {
-    const double target = q * static_cast<double>(total);
-    double seen = 0.0;
-    for (int b = 0; b < kBuckets; ++b) {
-      if (counts[b] == 0) continue;
-      const double next = seen + static_cast<double>(counts[b]);
-      if (next >= target) {
-        // Linear interpolation inside bucket [2^b, 2^(b+1)).
-        const double lo = static_cast<double>(uint64_t{1} << b);
-        const double frac =
-            (target - seen) / static_cast<double>(counts[b]);
-        return lo * (1.0 + frac);
-      }
-      seen = next;
-    }
-    return static_cast<double>(uint64_t{1} << (kBuckets - 1));
-  }
-
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-};
+using LatencyHistogram = ::ltm::obs::Histogram;
 
 }  // namespace serve
 }  // namespace ltm

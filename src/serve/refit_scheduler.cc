@@ -1,17 +1,33 @@
 #include "serve/refit_scheduler.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ltm {
 namespace serve {
 
 RefitScheduler::RefitScheduler(ThreadPool* pool, RefitFn fn,
                                RefitSchedulerOptions options,
-                               uint64_t initial_fit_epoch)
+                               uint64_t initial_fit_epoch,
+                               obs::MetricsRegistry* metrics)
     : pool_(pool),
       fn_(std::move(fn)),
       options_(options),
-      last_fit_epoch_(initial_fit_epoch) {}
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      last_fit_epoch_(initial_fit_epoch) {
+  obs::MetricsRegistry* reg =
+      metrics != nullptr ? metrics : owned_metrics_.get();
+  scheduled_ = reg->counter("ltm_serve_refit_scheduled_total");
+  completed_ = reg->counter("ltm_serve_refit_completed_total");
+  failed_ = reg->counter("ltm_serve_refit_failed_total");
+  shed_ = reg->counter("ltm_serve_refit_shed_total");
+  queue_depth_gauge_ = reg->gauge("ltm_serve_refit_queue_depth");
+  in_flight_gauge_ = reg->gauge("ltm_serve_refit_in_flight");
+  last_fit_epoch_gauge_ = reg->gauge("ltm_serve_refit_last_fit_epoch");
+  last_fit_epoch_gauge_->Set(static_cast<int64_t>(initial_fit_epoch));
+}
 
 RefitScheduler::~RefitScheduler() {
   // Abort an in-flight fit promptly (the callback's RunContext carries
@@ -30,39 +46,46 @@ Status RefitScheduler::NotifyEpoch(uint64_t epoch) {
     if (!pending_.empty() && pending_.back() >= epoch) return Status::OK();
     if (pending_.size() >= options_.max_queue) {
       pending_.pop_front();
-      ++shed_;
+      shed_->Increment();
       pending_.push_back(epoch);
+      queue_depth_gauge_->Set(static_cast<int64_t>(pending_.size()));
       return Status::ResourceExhausted(
           "refit queue full (refit_queue=" +
           std::to_string(options_.max_queue) +
           "); shed the oldest pending trigger");
     }
     pending_.push_back(epoch);
+    queue_depth_gauge_->Set(static_cast<int64_t>(pending_.size()));
     return Status::OK();
   }
   in_flight_ = true;
+  in_flight_gauge_->Set(1);
   LaunchLocked(epoch);
   return Status::OK();
 }
 
 void RefitScheduler::LaunchLocked(uint64_t epoch) {
-  ++scheduled_;
+  scheduled_->Increment();
   pool_->Submit([this, epoch] { RunOne(epoch); });
 }
 
 void RefitScheduler::RunOne(uint64_t epoch) {
   RunContext ctx;
   ctx.cancel = &cancel_;
-  Result<uint64_t> fit = fn_(ctx);
+  Result<uint64_t> fit = [&]() {
+    obs::ObsSpan span("refit");
+    return fn_(ctx);
+  }();
 
   MutexLock lock(mu_);
   if (fit.ok()) {
-    ++completed_;
+    completed_->Increment();
     last_fit_epoch_ = *fit;
+    last_fit_epoch_gauge_->Set(static_cast<int64_t>(last_fit_epoch_));
   } else {
     // Leave last_fit_epoch_ alone: the next NotifyEpoch past the
     // threshold retries.
-    ++failed_;
+    failed_->Increment();
     LTM_LOG(Warning) << "serve: background refit (trigger epoch " << epoch
                      << ") failed: " << fit.status().ToString();
   }
@@ -76,10 +99,12 @@ void RefitScheduler::RunOne(uint64_t epoch) {
     launch = !cancel_.load(std::memory_order_relaxed) &&
              next >= last_fit_epoch_ + options_.debounce_epochs;
   }
+  queue_depth_gauge_->Set(0);
   if (launch) {
     LaunchLocked(next);  // in_flight_ stays true through the chain
   } else {
     in_flight_ = false;
+    in_flight_gauge_->Set(0);
     idle_cv_.NotifyAll();
   }
 }
@@ -92,10 +117,10 @@ void RefitScheduler::Drain() {
 RefitSchedulerStats RefitScheduler::Stats() const {
   MutexLock lock(mu_);
   RefitSchedulerStats stats;
-  stats.scheduled = scheduled_;
-  stats.completed = completed_;
-  stats.failed = failed_;
-  stats.shed = shed_;
+  stats.scheduled = scheduled_->Value();
+  stats.completed = completed_->Value();
+  stats.failed = failed_->Value();
+  stats.shed = shed_->Value();
   stats.last_fit_epoch = last_fit_epoch_;
   stats.in_flight = in_flight_;
   return stats;

@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "truth/truth_method.h"
 
 namespace ltm {
@@ -48,8 +50,12 @@ class RefitScheduler {
   /// background thread at a time (the scheduler never overlaps calls).
   using RefitFn = std::function<Result<uint64_t>(const RunContext&)>;
 
+  /// `metrics` is where the `ltm_serve_refit_*` counters register (must
+  /// outlive the scheduler); null gives the scheduler a private registry.
+  /// ServeSession passes its store's registry.
   RefitScheduler(ThreadPool* pool, RefitFn fn, RefitSchedulerOptions options,
-                 uint64_t initial_fit_epoch);
+                 uint64_t initial_fit_epoch,
+                 obs::MetricsRegistry* metrics = nullptr);
   ~RefitScheduler();
 
   /// Owns a mutex and is captured by pool jobs; copying or moving a live
@@ -84,15 +90,23 @@ class RefitScheduler {
   /// an in-flight fit aborts promptly on shutdown.
   std::atomic<bool> cancel_{false};
 
+  /// Backs the metric pointers when no registry was injected.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  /// Registry counters/gauges; mutated only with mu_ held, so a Stats()
+  /// snapshot under the same lock stays internally consistent.
+  obs::Counter* scheduled_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* shed_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Gauge* in_flight_gauge_;
+  obs::Gauge* last_fit_epoch_gauge_;
+
   mutable Mutex mu_;
   CondVar idle_cv_;
   std::deque<uint64_t> pending_ LTM_GUARDED_BY(mu_);
   bool in_flight_ LTM_GUARDED_BY(mu_) = false;
   uint64_t last_fit_epoch_ LTM_GUARDED_BY(mu_);
-  uint64_t scheduled_ LTM_GUARDED_BY(mu_) = 0;
-  uint64_t completed_ LTM_GUARDED_BY(mu_) = 0;
-  uint64_t failed_ LTM_GUARDED_BY(mu_) = 0;
-  uint64_t shed_ LTM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

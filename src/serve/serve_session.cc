@@ -5,19 +5,12 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace ltm {
 namespace serve {
 
 namespace {
-
-/// Wall-clock stamp for exported stats. Monitoring-only: the value never
-/// feeds a posterior, a cache key, or any other computation.
-int64_t NowUnixMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::system_clock::now().time_since_epoch())
-      .count();
-}
 
 uint64_t ElapsedMicros(const WallTimer& timer) {
   const double us = timer.ElapsedSeconds() * 1e6;
@@ -31,7 +24,17 @@ ServeSession::ServeSession(ext::StreamingPipeline* pipeline,
     : pipeline_(pipeline),
       store_(pipeline->attached_store()),
       options_(options),
-      ltm_options_(pipeline->options().ltm) {}
+      ltm_options_(pipeline->options().ltm) {
+  obs::MetricsRegistry* reg = store_->metrics();
+  queries_ = reg->counter("ltm_serve_queries_total");
+  snapshot_queries_ = reg->counter("ltm_serve_snapshot_queries_total");
+  range_queries_ = reg->counter("ltm_serve_range_queries_total");
+  coalesced_ = reg->counter("ltm_serve_coalesced_total");
+  shed_ = reg->counter("ltm_serve_shed_total");
+  slice_computes_ = reg->counter("ltm_serve_slice_computes_total");
+  query_micros_ = reg->histogram("ltm_serve_query_micros");
+  quality_version_gauge_ = reg->gauge("ltm_serve_quality_version");
+}
 
 Result<std::unique_ptr<ServeSession>> ServeSession::Create(
     ext::StreamingPipeline* pipeline, ServeOptions options,
@@ -58,12 +61,17 @@ Result<std::unique_ptr<ServeSession>> ServeSession::Create(
         pool,
         [raw](const RunContext& ctx) -> Result<uint64_t> {
           MutexLock plock(raw->pipeline_mu_);
+          // Background refits publish their per-sweep Gibbs timing into
+          // the store's registry alongside the serve counters.
+          RunContext refit_ctx = ctx;
+          refit_ctx.metrics = raw->store_->metrics();
           LTM_ASSIGN_OR_RETURN(const uint64_t fit_epoch,
-                               raw->pipeline_->RefitFromStore(ctx));
+                               raw->pipeline_->RefitFromStore(refit_ctx));
           raw->InstallQualityLocked();
           return fit_epoch;
         },
-        sched, pipeline->last_fit_epoch());
+        sched, pipeline->last_fit_epoch(),
+        pipeline->attached_store()->metrics());
   }
   return session;
 }
@@ -86,6 +94,7 @@ void ServeSession::InstallQualityLocked() {
       pipeline_->quality(), pipeline_->cumulative_sources(), ltm_options_);
   MutexLock lock(mu_);
   next->version = quality_versions_installed_++;
+  quality_version_gauge_->Set(static_cast<int64_t>(next->version));
   quality_ = std::move(next);
   // A new fit changes every posterior at an unchanged epoch, so cached
   // entries keyed under older quality versions must go.
@@ -105,17 +114,18 @@ Status ServeSession::NotifyIngest() {
 
 Result<double> ServeSession::Query(const FactRef& fact,
                                    const RunContext& ctx) {
+  obs::ObsSpan span("query");
   const WallTimer timer;
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_->Increment();
   // Reads observe epoch advances too (a foreign writer may never call
   // NotifyIngest); admission feedback from a read-side poke is folded
   // into Stats().refit rather than failing the read.
   if (scheduler_ != nullptr) (void)scheduler_->NotifyEpoch(store_->epoch());
   Result<double> result = QueryInner(fact, ctx);
   if (!result.ok() && result.status().code() == StatusCode::kResourceExhausted) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_->Increment();
   }
-  latency_.Record(ElapsedMicros(timer));
+  query_micros_->Record(ElapsedMicros(timer));
   return result;
 }
 
@@ -177,7 +187,7 @@ Result<double> ServeSession::QueryInner(const FactRef& fact,
       cv_.WaitFor(mu_, std::chrono::milliseconds(20));
       if (!entry->done) LTM_RETURN_IF_ERROR(obs.Check());
     }
-    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_->Increment();
   }
 
   // entry is immutable once done (the leader's last write under mu_ was
@@ -198,7 +208,8 @@ Result<double> ServeSession::QueryInner(const FactRef& fact,
 Result<ServeSession::SliceScore> ServeSession::ComputeEntitySlice(
     const std::string& entity, const VersionedQuality& quality,
     const RunContext& ctx) {
-  slice_computes_.fetch_add(1, std::memory_order_relaxed);
+  obs::ObsSpan span("slice_compute");
+  slice_computes_->Increment();
   const auto pin = store_->PinEpoch(&entity, &entity);
   SliceScore out;
   out.epoch = pin->epoch();
@@ -235,7 +246,7 @@ Result<std::vector<double>> ServeSession::QueryBatch(
 Result<std::vector<ServedFact>> ServeSession::QueryEntityRange(
     const std::string& min_entity, const std::string& max_entity,
     const RunContext& ctx) {
-  range_queries_.fetch_add(1, std::memory_order_relaxed);
+  range_queries_->Increment();
   RunObserver obs(ctx, "ServeSession::QueryEntityRange");
   const std::shared_ptr<const VersionedQuality> quality = CurrentQuality();
   const auto pin = store_->PinEpoch(&min_entity, &max_entity);
@@ -269,12 +280,12 @@ std::unique_ptr<ServeSnapshot> ServeSession::AcquireSnapshot() {
 
 ServeStats ServeSession::Stats() const {
   ServeStats stats;
-  stats.queries = queries_.load(std::memory_order_relaxed);
-  stats.snapshot_queries = snapshot_queries_.load(std::memory_order_relaxed);
-  stats.range_queries = range_queries_.load(std::memory_order_relaxed);
-  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
-  stats.shed = shed_.load(std::memory_order_relaxed);
-  stats.slice_computes = slice_computes_.load(std::memory_order_relaxed);
+  stats.queries = queries_->Value();
+  stats.snapshot_queries = snapshot_queries_->Value();
+  stats.range_queries = range_queries_->Value();
+  stats.coalesced = coalesced_->Value();
+  stats.shed = shed_->Value();
+  stats.slice_computes = slice_computes_->Value();
   stats.cache = store_->posterior_cache().Stats();
   stats.block_cache = store_->block_cache().Stats();
   stats.bloom_point_skips = store_->Stats().bloom_point_skips;
@@ -285,22 +296,23 @@ ServeStats ServeSession::Stats() const {
     stats.quality_version = quality_->version;
   }
   stats.live_pins = store_->num_pinned_epochs();
-  stats.latency = latency_.Snapshot();
-  stats.unix_micros = NowUnixMicros();
+  stats.latency = query_micros_->Snapshot();
+  stats.unix_micros = static_cast<int64_t>(obs::NowUnixMicros());
   return stats;
 }
 
 Result<double> ServeSnapshot::Query(const FactRef& fact,
                                     const RunContext& ctx) {
+  obs::ObsSpan span("query");
   const WallTimer timer;
-  session_->snapshot_queries_.fetch_add(1, std::memory_order_relaxed);
+  session_->snapshot_queries_->Increment();
   RunObserver obs(ctx, "ServeSnapshot::Query");
   const std::string fact_key = ServeSession::FactKey(fact);
   const std::string cache_key =
       ServeSession::CacheKey(fact_key, quality_->version);
   store::PosteriorCache& cache = session_->cache();
   if (const auto hit = cache.Get(cache_key, pin_->epoch())) {
-    session_->latency_.Record(ElapsedMicros(timer));
+    session_->query_micros_->Record(ElapsedMicros(timer));
     return *hit;
   }
   // Bloom short-circuit: when every segment's filter denies the
@@ -314,7 +326,7 @@ Result<double> ServeSnapshot::Query(const FactRef& fact,
   if (!may_exist) {
     const double prior = quality_->lookup.no_claim_prior;
     cache.Put(cache_key, pin_->epoch(), prior);
-    session_->latency_.Record(ElapsedMicros(timer));
+    session_->query_micros_->Record(ElapsedMicros(timer));
     return prior;
   }
   // Recompute from this snapshot's own pin: the same replay order a
@@ -339,7 +351,7 @@ Result<double> ServeSnapshot::Query(const FactRef& fact,
   // Best-effort warm: dropped by the downgrade guard when the live cache
   // already holds a fresher-epoch entry for this key.
   cache.Put(cache_key, pin_->epoch(), posterior);
-  session_->latency_.Record(ElapsedMicros(timer));
+  session_->query_micros_->Record(ElapsedMicros(timer));
   return posterior;
 }
 

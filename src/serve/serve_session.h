@@ -13,6 +13,7 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "ext/streaming.h"
+#include "obs/metrics.h"
 #include "serve/fact_scoring.h"
 #include "serve/latency.h"
 #include "serve/refit_scheduler.h"
@@ -237,13 +238,16 @@ class ServeSession {
 
   std::unique_ptr<RefitScheduler> scheduler_;  ///< Null when disabled.
 
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> snapshot_queries_{0};
-  std::atomic<uint64_t> range_queries_{0};
-  std::atomic<uint64_t> coalesced_{0};
-  std::atomic<uint64_t> shed_{0};
-  std::atomic<uint64_t> slice_computes_{0};
-  LatencyHistogram latency_;
+  /// `ltm_serve_*` metrics, registered in the store's registry (see
+  /// TruthStore::metrics()) so one RenderText covers the whole stack.
+  obs::Counter* queries_;
+  obs::Counter* snapshot_queries_;
+  obs::Counter* range_queries_;
+  obs::Counter* coalesced_;
+  obs::Counter* shed_;
+  obs::Counter* slice_computes_;
+  obs::Histogram* query_micros_;
+  obs::Gauge* quality_version_gauge_;
 };
 
 /// An MVCC read handle from ServeSession::AcquireSnapshot(): holds a

@@ -15,10 +15,23 @@ size_t RoundUpToPowerOfTwo(size_t v) {
 
 }  // namespace
 
-BlockCache::BlockCache(uint64_t capacity_bytes, size_t num_shards)
+BlockCache::BlockCache(uint64_t capacity_bytes, size_t num_shards,
+                       obs::MetricsRegistry* metrics)
     : capacity_bytes_(capacity_bytes),
       per_shard_capacity_(capacity_bytes /
-                          RoundUpToPowerOfTwo(num_shards < 1 ? 1 : num_shards)) {
+                          RoundUpToPowerOfTwo(num_shards < 1 ? 1 : num_shards)),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr) {
+  obs::MetricsRegistry* reg =
+      metrics != nullptr ? metrics : owned_metrics_.get();
+  hits_ = reg->counter("ltm_cache_block_hits_total");
+  misses_ = reg->counter("ltm_cache_block_misses_total");
+  inserts_ = reg->counter("ltm_cache_block_inserts_total");
+  evictions_ = reg->counter("ltm_cache_block_evictions_total");
+  size_bytes_gauge_ = reg->gauge("ltm_cache_block_size_bytes");
+  reg->gauge("ltm_cache_block_capacity_bytes")
+      ->Set(static_cast<int64_t>(capacity_bytes_));
   const size_t shards = RoundUpToPowerOfTwo(num_shards < 1 ? 1 : num_shards);
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
@@ -38,10 +51,10 @@ std::shared_ptr<const std::string> BlockCache::Get(uint64_t segment_id,
   MutexLock lock(shard.mu);
   const auto it = shard.index.find(Key{segment_id, offset});
   if (it == shard.index.end()) {
-    ++shard.misses;
+    misses_->Increment();
     return nullptr;
   }
-  ++shard.hits;
+  hits_->Increment();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->block;
 }
@@ -52,9 +65,11 @@ void BlockCache::Insert(uint64_t segment_id, uint64_t offset,
   Shard& shard = ShardFor(segment_id, offset);
   const Key key{segment_id, offset};
   MutexLock lock(shard.mu);
-  ++shard.inserts;
+  inserts_->Increment();
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
+    size_bytes_gauge_->Add(static_cast<int64_t>(block->size()) -
+                           static_cast<int64_t>(it->second->block->size()));
     shard.size_bytes -= it->second->block->size();
     shard.size_bytes += block->size();
     it->second->block = std::move(block);
@@ -63,6 +78,8 @@ void BlockCache::Insert(uint64_t segment_id, uint64_t offset,
     shard.lru.push_front(Entry{key, std::move(block)});
     shard.index.emplace(key, shard.lru.begin());
     shard.size_bytes += shard.lru.front().block->size();
+    size_bytes_gauge_->Add(
+        static_cast<int64_t>(shard.lru.front().block->size()));
   }
   // Evict cold entries beyond this shard's share, but always keep the one
   // just touched — a single block larger than the shard budget must still
@@ -70,9 +87,10 @@ void BlockCache::Insert(uint64_t segment_id, uint64_t offset,
   while (shard.size_bytes > per_shard_capacity_ && shard.lru.size() > 1) {
     const Entry& victim = shard.lru.back();
     shard.size_bytes -= victim.block->size();
+    size_bytes_gauge_->Add(-static_cast<int64_t>(victim.block->size()));
     shard.index.erase(victim.key);
     shard.lru.pop_back();
-    ++shard.evictions;
+    evictions_->Increment();
   }
 }
 
@@ -82,6 +100,7 @@ void BlockCache::EraseSegment(uint64_t segment_id) {
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (it->key.segment_id == segment_id) {
         shard->size_bytes -= it->block->size();
+        size_bytes_gauge_->Add(-static_cast<int64_t>(it->block->size()));
         shard->index.erase(it->key);
         it = shard->lru.erase(it);
       } else {
@@ -94,12 +113,12 @@ void BlockCache::EraseSegment(uint64_t segment_id) {
 BlockCacheStats BlockCache::Stats() const {
   BlockCacheStats stats;
   stats.capacity_bytes = capacity_bytes_;
+  stats.hits = hits_->Value();
+  stats.misses = misses_->Value();
+  stats.inserts = inserts_->Value();
+  stats.evictions = evictions_->Value();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     MutexLock lock(shard->mu);
-    stats.hits += shard->hits;
-    stats.misses += shard->misses;
-    stats.inserts += shard->inserts;
-    stats.evictions += shard->evictions;
     stats.size_bytes += shard->size_bytes;
     stats.entries += shard->lru.size();
   }

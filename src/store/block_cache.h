@@ -10,14 +10,16 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace ltm {
 namespace store {
 
-/// One-call snapshot of the cache's counters, summed over every shard
-/// (each shard's fields are read under its lock, so per-shard numbers are
-/// internally consistent; cross-shard sums can lag one another by
-/// in-flight operations, which is fine for monitoring).
+/// One-call snapshot of the cache's counters. The counters live in a
+/// MetricsRegistry (`ltm_cache_block_*`) and each is bumped under the
+/// owning shard's lock; size/entries are summed shard by shard, so
+/// cross-shard totals can lag one another by in-flight operations, which
+/// is fine for monitoring.
 struct BlockCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -46,7 +48,11 @@ struct BlockCacheStats {
 /// Insert drops).
 class BlockCache {
  public:
-  explicit BlockCache(uint64_t capacity_bytes, size_t num_shards = 8);
+  /// `metrics` is where the `ltm_cache_block_*` counters register (must
+  /// outlive the cache); null gives the cache a private registry so
+  /// standalone instances stay isolated.
+  explicit BlockCache(uint64_t capacity_bytes, size_t num_shards = 8,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
@@ -95,16 +101,22 @@ class BlockCache {
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index
         LTM_GUARDED_BY(mu);
     uint64_t size_bytes LTM_GUARDED_BY(mu) = 0;
-    uint64_t hits LTM_GUARDED_BY(mu) = 0;
-    uint64_t misses LTM_GUARDED_BY(mu) = 0;
-    uint64_t inserts LTM_GUARDED_BY(mu) = 0;
-    uint64_t evictions LTM_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t segment_id, uint64_t offset);
 
   const uint64_t capacity_bytes_;
   const uint64_t per_shard_capacity_;
+  /// Backs the metric pointers when no registry was injected.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  /// Registry counters; each increment happens under the shard lock of
+  /// the operation that caused it.
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* inserts_;
+  obs::Counter* evictions_;
+  /// Tracks total cached bytes across shards via +/- deltas.
+  obs::Gauge* size_bytes_gauge_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

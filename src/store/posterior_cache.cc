@@ -3,12 +3,29 @@
 namespace ltm {
 namespace store {
 
+PosteriorCache::PosteriorCache(size_t capacity, obs::MetricsRegistry* metrics)
+    : capacity_(capacity),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr) {
+  obs::MetricsRegistry* reg =
+      metrics != nullptr ? metrics : owned_metrics_.get();
+  hits_ = reg->counter("ltm_cache_posterior_hits_total");
+  misses_ = reg->counter("ltm_cache_posterior_misses_total");
+  coalesced_ = reg->counter("ltm_cache_posterior_coalesced_total");
+  puts_ = reg->counter("ltm_cache_posterior_puts_total");
+  evictions_ = reg->counter("ltm_cache_posterior_evictions_total");
+  size_gauge_ = reg->gauge("ltm_cache_posterior_size");
+  reg->gauge("ltm_cache_posterior_capacity")
+      ->Set(static_cast<int64_t>(capacity_));
+}
+
 std::optional<double> PosteriorCache::Get(const std::string& fact_key,
                                           uint64_t epoch) {
   MutexLock lock(mutex_);
   auto it = index_.find(fact_key);
   if (it == index_.end()) {
-    ++misses_;
+    misses_->Increment();
     return std::nullopt;
   }
   if (it->second->epoch != epoch) {
@@ -17,17 +34,20 @@ std::optional<double> PosteriorCache::Get(const std::string& fact_key,
       // Evict eagerly so the slot is free for the recomputed value.
       lru_.erase(it->second);
       index_.erase(it);
-      ++evictions_;
+      evictions_->Increment();
+      size_gauge_->Set(static_cast<int64_t>(lru_.size()));
     }
     // A reader still at an older epoch just misses: the cached entry is
     // fresher than the reader, so evicting it here would let that
     // reader's follow-up Put re-insert a stale posterior unguarded —
     // the same clobber Put's downgrade check exists to stop.
-    ++misses_;
+    misses_->Increment();
     return std::nullopt;
   }
-  ++hits_;
-  if (it->second->writer != std::this_thread::get_id()) ++coalesced_;
+  hits_->Increment();
+  if (it->second->writer != std::this_thread::get_id()) {
+    coalesced_->Increment();
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->posterior;
 }
@@ -36,7 +56,7 @@ void PosteriorCache::Put(const std::string& fact_key, uint64_t epoch,
                          double posterior) {
   if (capacity_ == 0) return;
   MutexLock lock(mutex_);
-  ++puts_;
+  puts_->Increment();
   auto it = index_.find(fact_key);
   if (it != index_.end()) {
     // A slow writer that materialized against an older store state must
@@ -55,25 +75,27 @@ void PosteriorCache::Put(const std::string& fact_key, uint64_t epoch,
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
-    ++evictions_;
+    evictions_->Increment();
   }
+  size_gauge_->Set(static_cast<int64_t>(lru_.size()));
 }
 
 void PosteriorCache::Clear() {
   MutexLock lock(mutex_);
-  evictions_ += lru_.size();
+  evictions_->Increment(lru_.size());
   lru_.clear();
   index_.clear();
+  size_gauge_->Set(0);
 }
 
 CacheStats PosteriorCache::Stats() const {
   MutexLock lock(mutex_);
   CacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.coalesced = coalesced_;
-  stats.puts = puts_;
-  stats.evictions = evictions_;
+  stats.hits = hits_->Value();
+  stats.misses = misses_->Value();
+  stats.coalesced = coalesced_->Value();
+  stats.puts = puts_->Value();
+  stats.evictions = evictions_->Value();
   stats.size = lru_.size();
   stats.capacity = capacity_;
   return stats;
@@ -82,16 +104,6 @@ CacheStats PosteriorCache::Stats() const {
 size_t PosteriorCache::size() const {
   MutexLock lock(mutex_);
   return lru_.size();
-}
-
-uint64_t PosteriorCache::hits() const {
-  MutexLock lock(mutex_);
-  return hits_;
-}
-
-uint64_t PosteriorCache::misses() const {
-  MutexLock lock(mutex_);
-  return misses_;
 }
 
 }  // namespace store

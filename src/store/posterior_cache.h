@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -10,14 +11,17 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace ltm {
 namespace store {
 
-/// A single-lock snapshot of the cache's counters. All fields are read
-/// under the cache mutex in one critical section, so the numbers are
-/// mutually consistent (hits + misses equals the number of Get calls at
-/// the instant of the snapshot, even under concurrent readers).
+/// A single-lock snapshot of the cache's counters. The counters live in
+/// a MetricsRegistry (`ltm_cache_posterior_*`) but every increment still
+/// happens under the cache mutex, and Stats() reads them in the same
+/// critical section — so the numbers stay mutually consistent (hits +
+/// misses equals the number of Get calls at the instant of the snapshot,
+/// even under concurrent readers).
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -41,7 +45,11 @@ struct CacheStats {
 /// online reads without refitting (§5.4 serving).
 class PosteriorCache {
  public:
-  explicit PosteriorCache(size_t capacity) : capacity_(capacity) {}
+  /// `metrics` is where the `ltm_cache_posterior_*` counters register
+  /// (must outlive the cache); null gives the cache a private registry
+  /// so standalone instances stay isolated.
+  explicit PosteriorCache(size_t capacity,
+                          obs::MetricsRegistry* metrics = nullptr);
 
   /// The LRU list's iterators are self-referential and the mutex is not
   /// movable; copying a live cache is never meaningful, so neither is
@@ -77,8 +85,8 @@ class PosteriorCache {
 
   size_t size() const LTM_EXCLUDES(mutex_);
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const LTM_EXCLUDES(mutex_);
-  uint64_t misses() const LTM_EXCLUDES(mutex_);
+  uint64_t hits() const { return hits_->Value(); }
+  uint64_t misses() const { return misses_->Value(); }
 
  private:
   struct Entry {
@@ -91,16 +99,21 @@ class PosteriorCache {
   };
 
   const size_t capacity_;
+  /// Backs the metric pointers when no registry was injected.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  /// Registry counters; incremented only with mutex_ held (see the
+  /// CacheStats contract above).
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* coalesced_;
+  obs::Counter* puts_;
+  obs::Counter* evictions_;
+  obs::Gauge* size_gauge_;
   mutable Mutex mutex_;
   /// front = most recently used
   std::list<Entry> lru_ LTM_GUARDED_BY(mutex_);
   std::unordered_map<std::string, std::list<Entry>::iterator> index_
       LTM_GUARDED_BY(mutex_);
-  uint64_t hits_ LTM_GUARDED_BY(mutex_) = 0;
-  uint64_t misses_ LTM_GUARDED_BY(mutex_) = 0;
-  uint64_t coalesced_ LTM_GUARDED_BY(mutex_) = 0;
-  uint64_t puts_ LTM_GUARDED_BY(mutex_) = 0;
-  uint64_t evictions_ LTM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace store

@@ -12,6 +12,8 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/timer.h"
+#include "obs/trace.h"
 
 namespace ltm {
 namespace store {
@@ -19,6 +21,12 @@ namespace store {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// WallTimer is steady-clock based, so timing here is monitoring-only and
+/// never feeds data-path results (determinism lint R2 allows it).
+uint64_t ElapsedMicros(const WallTimer& timer) {
+  return static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+}
 
 bool MatchesPattern(std::string_view name, std::string_view prefix,
                     std::string_view suffix) {
@@ -130,8 +138,40 @@ std::string StoreVerifyReport::Summary() const {
 TruthStore::TruthStore(std::string dir, TruthStoreOptions options)
     : dir_(std::move(dir)),
       options_(options),
-      cache_(options.posterior_cache_capacity),
-      block_cache_(static_cast<uint64_t>(options.block_cache_mb) << 20) {}
+      owned_metrics_(options.metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_metrics_.get()),
+      wal_appends_(metrics_->counter("ltm_store_wal_appends_total")),
+      wal_syncs_(metrics_->counter("ltm_store_wal_syncs_total")),
+      wal_append_micros_(metrics_->histogram("ltm_store_wal_append_micros")),
+      wal_sync_micros_(metrics_->histogram("ltm_store_wal_sync_micros")),
+      flushes_(metrics_->counter("ltm_store_flushes_total")),
+      flush_rows_(metrics_->counter("ltm_store_flush_rows_total")),
+      flush_micros_(metrics_->histogram("ltm_store_flush_micros")),
+      compactions_(metrics_->counter("ltm_store_compactions_total")),
+      compaction_trivial_moves_(
+          metrics_->counter("ltm_store_compaction_trivial_moves_total")),
+      compaction_input_segments_(
+          metrics_->counter("ltm_store_compaction_input_segments_total")),
+      compaction_output_segments_(
+          metrics_->counter("ltm_store_compaction_output_segments_total")),
+      compaction_bytes_read_(
+          metrics_->counter("ltm_store_compaction_bytes_read_total")),
+      compaction_bytes_written_(
+          metrics_->counter("ltm_store_compaction_bytes_written_total")),
+      compaction_rows_dropped_(
+          metrics_->counter("ltm_store_compaction_rows_dropped_total")),
+      compaction_micros_(metrics_->histogram("ltm_store_compaction_micros")),
+      bloom_point_skips_(
+          metrics_->counter("ltm_store_bloom_point_skips_total")),
+      epoch_gauge_(metrics_->gauge("ltm_store_epoch")),
+      memtable_rows_gauge_(metrics_->gauge("ltm_store_memtable_rows")),
+      live_pins_gauge_(metrics_->gauge("ltm_store_live_pins")),
+      cache_(options.posterior_cache_capacity, metrics_),
+      block_cache_(static_cast<uint64_t>(options.block_cache_mb) << 20,
+                   /*num_shards=*/8, metrics_) {}
 
 std::string TruthStore::SegmentPath(const SegmentInfo& seg) const {
   return dir_ + "/" + seg.file;
@@ -200,6 +240,7 @@ Result<std::unique_ptr<TruthStore>> TruthStore::Open(
     st->manifest_ = std::move(fresh);
     st->wal_ = std::move(wal);
     st->epoch_ = st->manifest_.generation;
+    st->epoch_gauge_->Set(static_cast<int64_t>(st->epoch_));
     return st;
   }
   LTM_RETURN_IF_ERROR(loaded.status());
@@ -258,6 +299,8 @@ Result<std::unique_ptr<TruthStore>> TruthStore::Open(
   LTM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(wal_path));
   st->wal_ = std::move(wal);
   st->epoch_ = st->manifest_.generation + st->wal_records_replayed_;
+  st->epoch_gauge_->Set(static_cast<int64_t>(st->epoch_));
+  st->memtable_rows_gauge_->Set(static_cast<int64_t>(st->memtable_.NumRows()));
   return st;
 }
 
@@ -272,12 +315,21 @@ Status TruthStore::AppendLocked(const WalRecord& record) {
         "explicit negative observations are reserved; the store only "
         "accepts observation = 1");
   }
+  WallTimer append_timer;
   LTM_RETURN_IF_ERROR(wal_->Append(record));
+  wal_appends_->Increment();
+  wal_append_micros_->Record(ElapsedMicros(append_timer));
   if (options_.sync_every_append) {
+    obs::ObsSpan span("wal_sync");
+    WallTimer sync_timer;
     LTM_RETURN_IF_ERROR(wal_->Sync());
+    wal_syncs_->Increment();
+    wal_sync_micros_->Record(ElapsedMicros(sync_timer));
   }
   memtable_.Add(record.entity, record.attribute, record.source);
   ++epoch_;
+  epoch_gauge_->Set(static_cast<int64_t>(epoch_));
+  memtable_rows_gauge_->Set(static_cast<int64_t>(memtable_.NumRows()));
   if (options_.memtable_flush_rows > 0 &&
       memtable_.NumRows() >= options_.memtable_flush_rows) {
     return FlushLocked();
@@ -305,7 +357,12 @@ Status TruthStore::AppendDataset(const Dataset& chunk) {
 
 Status TruthStore::Sync() {
   MutexLock lock(mu_);
-  return wal_->Sync();
+  obs::ObsSpan span("wal_sync");
+  WallTimer timer;
+  LTM_RETURN_IF_ERROR(wal_->Sync());
+  wal_syncs_->Increment();
+  wal_sync_micros_->Record(ElapsedMicros(timer));
+  return Status::OK();
 }
 
 Status TruthStore::Flush() {
@@ -348,6 +405,8 @@ Result<bool> TruthStore::CommitVersionLocked(const Manifest& next,
 
 Status TruthStore::FlushLocked() {
   if (memtable_.NumRows() == 0) return Status::OK();
+  obs::ObsSpan span("memtable_flush");
+  WallTimer flush_timer;
 
   const uint64_t seg_id = manifest_.next_segment_id;
   const std::string file = SegmentFileName(seg_id);
@@ -401,6 +460,11 @@ Status TruthStore::FlushLocked() {
   wal_ = std::move(new_wal).value();
   memtable_ = RawDatabase();
   ++epoch_;
+  flushes_->Increment();
+  flush_rows_->Increment(rows.size());
+  flush_micros_->Record(ElapsedMicros(flush_timer));
+  epoch_gauge_->Set(static_cast<int64_t>(epoch_));
+  memtable_rows_gauge_->Set(0);
   if (!adopted) {
     std::error_code ec;
     fs::remove(old_wal, ec);  // best-effort; Open() reaps leftovers
@@ -519,7 +583,8 @@ Status TruthStore::TrivialMoveInner(const SegmentInfo& seg,
   LTM_RETURN_IF_ERROR(CommitVersionLocked(next, edit).status());
   manifest_ = std::move(next);
   ++epoch_;
-  ++compaction_stats_.trivial_moves;
+  epoch_gauge_->Set(static_cast<int64_t>(epoch_));
+  compaction_trivial_moves_->Increment();
   LTM_LOG(Info) << "truthstore: moved " << seg.file << " to level "
                 << output_level << " without rewriting";
   return Status::OK();
@@ -527,6 +592,8 @@ Status TruthStore::TrivialMoveInner(const SegmentInfo& seg,
 
 Status TruthStore::CompactSegmentsInner(const std::vector<SegmentInfo>& inputs,
                                         uint32_t output_level) {
+  obs::ObsSpan span("compaction");
+  WallTimer compaction_timer;
   // Merge outside the lock: segment files are immutable, so appends and
   // flushes proceed concurrently. Compaction reads bypass the block
   // cache — a one-shot full scan would only evict hot point-read blocks.
@@ -628,13 +695,24 @@ Status TruthStore::CompactSegmentsInner(const std::vector<SegmentInfo>& inputs,
     LTM_ASSIGN_OR_RETURN(adopted, CommitVersionLocked(next, edit));
     manifest_ = std::move(next);
     ++epoch_;
-    ++compaction_stats_.compactions;
-    compaction_stats_.input_segments += inputs.size();
-    compaction_stats_.output_segments += outputs.size();
-    compaction_stats_.bytes_read += bytes_read;
-    compaction_stats_.bytes_written += bytes_written;
-    compaction_stats_.rows_dropped += dropped;
+    epoch_gauge_->Set(static_cast<int64_t>(epoch_));
+    compactions_->Increment();
+    compaction_input_segments_->Increment(inputs.size());
+    compaction_output_segments_->Increment(outputs.size());
+    compaction_bytes_read_->Increment(bytes_read);
+    compaction_bytes_written_->Increment(bytes_written);
+    compaction_rows_dropped_->Increment(dropped);
   }
+  const uint64_t compact_micros = ElapsedMicros(compaction_timer);
+  compaction_micros_->Record(compact_micros);
+  // Per-level write-amp accounting: the labeled series register lazily
+  // the first time a compaction lands on each output level.
+  const std::string level_label =
+      "{level=\"" + std::to_string(output_level) + "\"}";
+  metrics_->counter("ltm_store_compaction_micros_total" + level_label)
+      ->Increment(compact_micros);
+  metrics_->counter("ltm_store_compaction_bytes_written_total" + level_label)
+      ->Increment(bytes_written);
 
   if (!adopted) {
     // Keep the merged-away segments when the commit's durability
@@ -722,6 +800,7 @@ std::unique_ptr<EpochPin> TruthStore::PinEpoch(
     // one defers deleting its file until this pin drops.
     for (const SegmentInfo& seg : segments) ++pin_refs_[seg.id];
     ++live_pins_;
+    live_pins_gauge_->Set(static_cast<int64_t>(live_pins_));
   }
   return std::unique_ptr<EpochPin>(new EpochPin(
       this, epoch, std::move(segments), std::move(memtable_rows)));
@@ -732,6 +811,7 @@ void TruthStore::ReleasePin(const EpochPin& pin) const {
   {
     MutexLock lock(mu_);
     --live_pins_;
+    live_pins_gauge_->Set(static_cast<int64_t>(live_pins_));
     for (const SegmentInfo& seg : pin.segments()) {
       auto it = pin_refs_.find(seg.id);
       if (it != pin_refs_.end() && --it->second == 0) pin_refs_.erase(it);
@@ -839,7 +919,7 @@ Result<bool> TruthStore::PinnedFactMayExist(const EpochPin& pin,
                          GetReader(seg));
     if (reader->MayContainFact(entity, attribute)) return true;
   }
-  bloom_point_skips_.fetch_add(1, std::memory_order_relaxed);
+  bloom_point_skips_->Increment();
   return false;
 }
 
@@ -890,9 +970,15 @@ TruthStoreStats TruthStore::Stats() const {
     stats.l0_segments = manifest_.NumSegmentsAtLevel(0);
     stats.next_row_seq = manifest_.next_row_seq;
     stats.manifest_edits_since_snapshot = edits_since_snapshot_;
-    stats.compaction = compaction_stats_;
+    stats.compaction.compactions = compactions_->Value();
+    stats.compaction.trivial_moves = compaction_trivial_moves_->Value();
+    stats.compaction.input_segments = compaction_input_segments_->Value();
+    stats.compaction.output_segments = compaction_output_segments_->Value();
+    stats.compaction.bytes_read = compaction_bytes_read_->Value();
+    stats.compaction.bytes_written = compaction_bytes_written_->Value();
+    stats.compaction.rows_dropped = compaction_rows_dropped_->Value();
   }
-  stats.bloom_point_skips = bloom_point_skips_.load(std::memory_order_relaxed);
+  stats.bloom_point_skips = bloom_point_skips_->Value();
   stats.block_cache = block_cache_.Stats();
   return stats;
 }

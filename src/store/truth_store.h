@@ -15,6 +15,7 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "data/dataset.h"
+#include "obs/metrics.h"
 #include "store/block_cache.h"
 #include "store/manifest.h"
 #include "store/posterior_cache.h"
@@ -53,6 +54,14 @@ struct TruthStoreOptions {
   uint64_t segment_target_bytes = 4ull << 20;
   /// Fold the manifest edit log into a fresh snapshot every N edits.
   size_t manifest_snapshot_every = 32;
+
+  /// Registry the store (and its caches / serving session) publishes
+  /// `ltm_store_*` / `ltm_cache_*` / `ltm_serve_*` metrics into. Null
+  /// (the default) gives the store a private registry — instances stay
+  /// isolated, which is what tests want. Processes with one exposition
+  /// surface (the CLIs, the benches) pass
+  /// `&obs::MetricsRegistry::Global()`. Must outlive the store.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Read-path counters reported per materialization call.
@@ -346,6 +355,13 @@ class TruthStore {
   /// The shared data-block cache (internally thread-safe).
   BlockCache& block_cache() const { return block_cache_; }
 
+  /// The registry this store publishes into: the injected
+  /// TruthStoreOptions::metrics, or the store's own private registry.
+  /// Serving components layered on the store (ServeSession,
+  /// RefitScheduler) register their metrics here so one RenderText()
+  /// covers the whole stack. Never null.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   const std::string& dir() const { return dir_; }
 
   /// Offline integrity check of a store directory: manifest readable,
@@ -410,7 +426,6 @@ class TruthStore {
   bool recovered_torn_tail_ LTM_GUARDED_BY(mu_) = false;
   bool compacting_ LTM_GUARDED_BY(mu_) = false;
   size_t edits_since_snapshot_ LTM_GUARDED_BY(mu_) = 0;
-  CompactionStats compaction_stats_ LTM_GUARDED_BY(mu_);
   /// Outstanding CompactAsync jobs (each captures `this`); pruned as they
   /// resolve and joined by the destructor.
   std::vector<std::shared_future<Status>> pending_compactions_
@@ -430,8 +445,36 @@ class TruthStore {
   mutable std::unordered_map<uint64_t, std::shared_ptr<BlockSegmentReader>>
       readers_ LTM_GUARDED_BY(readers_mu_);
 
+  /// Registry plumbing. owned_metrics_ backs metrics_ when no registry
+  /// was injected; both are declared before the caches so the registry
+  /// exists when their constructors register `ltm_cache_*` metrics.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;  // never null
+
+  /// `ltm_store_*` metrics, resolved once in the constructor. Counter
+  /// increments happen inside the same mu_-held regions that used to
+  /// mutate the ad-hoc stats structs, so cross-counter invariants (e.g.
+  /// input vs output segment totals) stay consistent under the lock.
+  obs::Counter* wal_appends_;
+  obs::Counter* wal_syncs_;
+  obs::Histogram* wal_append_micros_;
+  obs::Histogram* wal_sync_micros_;
+  obs::Counter* flushes_;
+  obs::Counter* flush_rows_;
+  obs::Histogram* flush_micros_;
+  obs::Counter* compactions_;
+  obs::Counter* compaction_trivial_moves_;
+  obs::Counter* compaction_input_segments_;
+  obs::Counter* compaction_output_segments_;
+  obs::Counter* compaction_bytes_read_;
+  obs::Counter* compaction_bytes_written_;
+  obs::Counter* compaction_rows_dropped_;
+  obs::Histogram* compaction_micros_;
   /// All-negative PinnedFactMayExist probes (zero blocks read).
-  mutable std::atomic<uint64_t> bloom_point_skips_{0};
+  obs::Counter* bloom_point_skips_;
+  obs::Gauge* epoch_gauge_;
+  obs::Gauge* memtable_rows_gauge_;
+  obs::Gauge* live_pins_gauge_;
 
   PosteriorCache cache_;
   mutable BlockCache block_cache_;

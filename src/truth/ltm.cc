@@ -8,6 +8,8 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "truth/ltm_parallel.h"
 #include "truth/registry.h"
 
@@ -186,9 +188,29 @@ Result<TruthResult> LatentTruthModel::Run(const RunContext& ctx,
   TruthResult result;
   const double num_facts = std::max<double>(1.0, sampler.truth().size());
   TruthEstimate state;  // reused buffer for on_state reporting
+  // Per-sweep timing, published only when the caller injected a registry.
+  // The instrumentation observes the clock, never a sampled value, so
+  // enabling it cannot perturb the chain.
+  obs::Counter* sweeps_total =
+      ctx.metrics == nullptr ? nullptr
+                             : ctx.metrics->counter("ltm_infer_sweeps_total");
+  obs::Histogram* sweep_micros =
+      ctx.metrics == nullptr
+          ? nullptr
+          : ctx.metrics->histogram("ltm_infer_sweep_micros");
   for (int iter = 0; iter < opts.iterations; ++iter) {
     LTM_RETURN_IF_ERROR(obs.Check());
-    const int flips = sampler.RunSweep();
+    int flips = 0;
+    {
+      obs::ObsSpan span("gibbs_sweep");
+      WallTimer sweep_timer;
+      flips = sampler.RunSweep();
+      if (sweeps_total != nullptr) {
+        sweeps_total->Increment();
+        sweep_micros->Record(
+            static_cast<uint64_t>(sweep_timer.ElapsedSeconds() * 1e6));
+      }
+    }
     if (iter >= opts.burnin && (iter - opts.burnin) % opts.sample_gap == 0) {
       sampler.AccumulateSample();
     }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "truth/source_quality.h"
 
 namespace ltm {
@@ -228,9 +230,27 @@ Result<TruthResult> RunShardedLtm(const RunContext& ctx,
   const double num_facts = std::max<double>(1.0, sampler.truth().size());
   TruthEstimate state;  // reused buffer for on_state reporting
   const auto stop_check = [&obs] { return obs.Check(); };
+  // Per-sweep timing, published only when the caller injected a registry
+  // (see the sequential loop in ltm.cc for the determinism argument).
+  obs::Counter* sweeps_total =
+      ctx.metrics == nullptr ? nullptr
+                             : ctx.metrics->counter("ltm_infer_sweeps_total");
+  obs::Histogram* sweep_micros =
+      ctx.metrics == nullptr
+          ? nullptr
+          : ctx.metrics->histogram("ltm_infer_sweep_micros");
   for (int iter = 0; iter < options.iterations; ++iter) {
     int flips = 0;
-    LTM_RETURN_IF_ERROR(sampler.RunSweep(stop_check, &flips));
+    {
+      obs::ObsSpan span("gibbs_sweep");
+      WallTimer sweep_timer;
+      LTM_RETURN_IF_ERROR(sampler.RunSweep(stop_check, &flips));
+      if (sweeps_total != nullptr) {
+        sweeps_total->Increment();
+        sweep_micros->Record(
+            static_cast<uint64_t>(sweep_timer.ElapsedSeconds() * 1e6));
+      }
+    }
     if (iter >= options.burnin &&
         (iter - options.burnin) % options.sample_gap == 0) {
       sampler.AccumulateSample();

@@ -63,6 +63,7 @@ void RunObserver::OnState(int iteration, const TruthEstimate& state) const {
 RunContext RunObserver::NestedContext() const {
   RunContext out;
   out.cancel = ctx_.cancel;
+  out.metrics = ctx_.metrics;
   if (ctx_.deadline_seconds > 0.0) {
     // Keep a non-zero remainder so an exhausted budget still reports
     // DeadlineExceeded from the nested run's first check.

@@ -16,6 +16,10 @@
 
 namespace ltm {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Output of a truth-finding method: one score per FactId in [0, 1],
 /// interpreted as (or used like) the probability that the fact is true.
 /// A fact is predicted true iff its score >= the decision threshold
@@ -64,6 +68,13 @@ struct RunContext {
   /// Fill TruthResult::quality (methods with a source-quality read-off:
   /// the LTM family; others leave it empty).
   bool with_quality = false;
+
+  /// When set, samplers publish per-sweep timing into this registry
+  /// (`ltm_infer_sweeps_total`, `ltm_infer_sweep_micros`). Off (null) by
+  /// default: inference is the hot loop, and the instrumentation only
+  /// ever observes timing — never sampled values — so enabling it cannot
+  /// change results. Must outlive the run. Propagated to nested runs.
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// Invoked after every iteration with the convergence record.
   std::function<void(const IterationStat&)> on_iteration;

@@ -1,0 +1,83 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace ltm {
+namespace obs {
+namespace {
+
+TEST(ObsHistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const Histogram::Percentiles p = h.Snapshot();
+  EXPECT_EQ(p.count, 0u);
+  EXPECT_EQ(p.sum_us, 0u);
+  EXPECT_EQ(p.mean_us, 0.0);
+  EXPECT_EQ(p.p50_us, 0.0);
+  EXPECT_EQ(p.p99_us, 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(ObsHistogramTest, MeanIsExactFromTheRunningSum) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(33);
+  const Histogram::Percentiles p = h.Snapshot();
+  EXPECT_EQ(p.count, 3u);
+  EXPECT_EQ(p.sum_us, 63u);
+  EXPECT_DOUBLE_EQ(p.mean_us, 21.0);
+}
+
+// The log2 bucketing bounds every reported percentile to within one
+// bucket of the exact sample: the true value lies in [2^b, 2^(b+1)) and
+// the interpolated read-off stays inside the same interval.
+TEST(ObsHistogramTest, PercentilesAreWithinOneLog2Bucket) {
+  Histogram h;
+  std::vector<uint64_t> samples;
+  for (uint64_t v = 1; v <= 1000; ++v) samples.push_back(v);
+  for (uint64_t v : samples) h.Record(v);
+
+  for (double q : {0.50, 0.90, 0.99}) {
+    const uint64_t exact =
+        samples[static_cast<size_t>(q * (samples.size() - 1))];
+    const double reported = h.Percentile(q);
+    // Same-bucket bound: off by at most the bucket width (a factor of 2).
+    EXPECT_GE(reported, static_cast<double>(exact) / 2.0) << "q=" << q;
+    EXPECT_LE(reported, static_cast<double>(exact) * 2.0) << "q=" << q;
+  }
+}
+
+// Regression: float rounding at q=1.0 used to fall through the bucket
+// walk and return the 2^39 end-of-range sentinel. It must clamp to the
+// highest non-empty bucket's upper edge instead.
+TEST(ObsHistogramTest, PercentileOneClampsToHighestNonEmptyBucket) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(100);  // bucket [64, 128)
+  const double top = h.Percentile(1.0);
+  EXPECT_GE(top, 64.0);
+  EXPECT_LE(top, 128.0);
+}
+
+TEST(ObsHistogramTest, ZeroSampleLandsInBucketZero) {
+  Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Sum(), 0u);
+  // The only populated bucket is [0, 2): every percentile stays inside.
+  EXPECT_LE(h.Percentile(1.0), 2.0);
+}
+
+TEST(ObsHistogramTest, HugeSamplesClampIntoTheLastBucket) {
+  Histogram h;
+  h.Record(~uint64_t{0});  // beyond 2^39: still accounted, never lost
+  EXPECT_EQ(h.BucketCount(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ltm

@@ -4,6 +4,8 @@
 
 #include "data/dataset.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/ltm_process.h"
 #include "test_util.h"
 
@@ -144,7 +146,7 @@ TEST(LtmGibbsTest, ProbabilitiesAreValid) {
 // built the count matrix eagerly in both the constructor and
 // Initialize()); eliminating the duplicated count pass must not move a
 // single bit of them.
-TEST(LtmGibbsTest, StreamContractPinsGoldenPosteriors) {
+ClaimGraph GoldenGraph() {
   std::vector<Claim> claims;
   for (FactId f = 0; f < 8; ++f) {
     for (SourceId s = 0; s < 4; ++s) {
@@ -155,8 +157,10 @@ TEST(LtmGibbsTest, StreamContractPinsGoldenPosteriors) {
       }
     }
   }
-  ClaimGraph graph = ClaimGraph::FromClaims(std::move(claims), 8, 4);
+  return ClaimGraph::FromClaims(std::move(claims), 8, 4);
+}
 
+LtmOptions GoldenOptions() {
   LtmOptions opts;
   opts.alpha0 = BetaPrior{2.0, 8.0};
   opts.alpha1 = BetaPrior{1.0, 1.0};
@@ -169,9 +173,19 @@ TEST(LtmGibbsTest, StreamContractPinsGoldenPosteriors) {
   // chain today, but a golden bit-pin must not depend on that default —
   // the determinism lint enforces this).
   opts.kernel = LtmKernel::kReference;
+  return opts;
+}
 
-  const std::vector<double> golden{0.9,   0.4,  0.775, 0.925,
-                                   0.675, 0.35, 0.9,   0.55};
+const std::vector<double>& GoldenPosteriors() {
+  static const std::vector<double> golden{0.9,   0.4,  0.775, 0.925,
+                                          0.675, 0.35, 0.9,   0.55};
+  return golden;
+}
+
+TEST(LtmGibbsTest, StreamContractPinsGoldenPosteriors) {
+  ClaimGraph graph = GoldenGraph();
+  const LtmOptions opts = GoldenOptions();
+  const std::vector<double>& golden = GoldenPosteriors();
 
   TruthEstimate run = LtmGibbs(graph, opts).Run();
   ASSERT_EQ(run.probability.size(), golden.size());
@@ -193,6 +207,43 @@ TEST(LtmGibbsTest, StreamContractPinsGoldenPosteriors) {
   for (size_t f = 0; f < golden.size(); ++f) {
     EXPECT_DOUBLE_EQ(replay.probability[f], golden[f]) << "f=" << f;
   }
+}
+
+// Observability must be invisible to the chain: the pinned run through
+// the TruthMethod wrapper, with a metrics registry on the context AND
+// the trace recorder armed (so every sweep lands a span in the ring),
+// reproduces the golden posteriors bit for bit. The instrumentation
+// reads clocks, never sampled values — this is the proof.
+TEST(LtmGibbsTest, GoldenPosteriorsUnmovedByMetricsAndTracing) {
+  ClaimGraph graph = GoldenGraph();
+  const LtmOptions opts = GoldenOptions();
+  const std::vector<double>& golden = GoldenPosteriors();
+
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder::Global().Enable();
+
+  LatentTruthModel model(opts);
+  RunContext ctx;
+  ctx.metrics = &registry;
+  FactTable unused;
+  auto run = model.Run(ctx, unused, graph);
+  obs::TraceRecorder::Global().Disable();
+  ASSERT_TRUE(run.ok());
+
+  ASSERT_EQ(run->estimate.probability.size(), golden.size());
+  for (size_t f = 0; f < golden.size(); ++f) {
+    EXPECT_DOUBLE_EQ(run->estimate.probability[f], golden[f]) << "f=" << f;
+  }
+
+  // The side channel filled up while the chain didn't move: one sweep
+  // span and one timing sample per iteration.
+  EXPECT_EQ(registry.CounterValue("ltm_infer_sweeps_total"),
+            static_cast<uint64_t>(opts.iterations));
+  bool saw_sweep_span = false;
+  for (const obs::TraceEvent& event : obs::TraceRecorder::Global().Collect()) {
+    if (std::string(event.name) == "gibbs_sweep") saw_sweep_span = true;
+  }
+  EXPECT_TRUE(saw_sweep_span);
 }
 
 // The lazy count build must be invisible: counts queried straight after

@@ -165,7 +165,8 @@ def main():
         if not relpath.startswith("src/common/rng"):
             scan_patterns(relpath, lines, RANDOM_PATTERNS,
                           RULE_BANNED_RANDOM, findings, allow)
-        if relpath.startswith(("src/truth/", "src/store/", "src/serve/")):
+        if relpath.startswith(("src/truth/", "src/store/", "src/serve/",
+                               "src/obs/")):
             scan_patterns(relpath, lines, CLOCK_PATTERNS,
                           RULE_WALL_CLOCK, findings, allow)
             scan_unordered_iteration(relpath, lines, findings, allow)
