@@ -17,17 +17,27 @@
 //
 // Writes BENCH_serving.json for the CI benchmark artifact.
 //
+// With --partitions N (N >= 2) the durable store is an entity-range
+// PartitionedTruthStore instead — boundaries at entity-name quantiles so
+// the world spreads across every partition — and the JSON gains a
+// per-partition stats array. The serving phases are unchanged: the
+// session queries through the router, so this measures the partitioned
+// read path under the same workload.
+//
 // Flags (for the CI smoke job):
 //   --movies N        movie-world size (default 3000)
 //   --duration-ms D   measured wall-clock per phase (default 1500)
 //   --iterations N    Gibbs sweeps for the bootstrap fit (default 60)
+//   --partitions N    serve from an N-way partitioned store (default 1)
 //   --out FILE        JSON output path (default BENCH_serving.json)
 
 #include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -38,6 +48,7 @@
 #include "ext/streaming.h"
 #include "serve/serve_options.h"
 #include "serve/serve_session.h"
+#include "store/partitioned_store.h"
 #include "store/truth_store.h"
 
 namespace ltm {
@@ -48,6 +59,7 @@ struct ServingConfig {
   size_t movies = 3000;
   int duration_ms = 1500;
   int iterations = 60;
+  size_t partitions = 1;
   std::string out = "BENCH_serving.json";
 };
 
@@ -152,7 +164,7 @@ PhaseResult RunPhase(const std::string& phase, serve::ServeSession* session,
 /// and pokes the session's refit scheduler after every append. Each
 /// append advances the epoch, so readers keep re-materializing slices —
 /// the contention the mixed-phase gate measures.
-void IngestLoop(store::TruthStore* store, serve::ServeSession* session,
+void IngestLoop(store::TruthStoreBase* store, serve::ServeSession* session,
                 const Dataset& arrivals, const std::atomic<bool>* stop,
                 std::atomic<uint64_t>* appends) {
   const std::vector<RawRow>& rows = arrivals.raw.rows();
@@ -200,14 +212,45 @@ bool Run(const ServingConfig& cfg) {
   std::filesystem::remove_all(dir);
   store::TruthStoreOptions store_options;
   store_options.metrics = &obs::MetricsRegistry::Global();
-  auto store = store::TruthStore::Open(dir, store_options);
-  if (!store.ok()) {
-    std::fprintf(stderr, "store open: %s\n",
-                 store.status().ToString().c_str());
-    return false;
+  std::unique_ptr<store::TruthStoreBase> store;
+  store::PartitionedTruthStore* parted = nullptr;
+  if (cfg.partitions > 1) {
+    // Boundaries at entity-name quantiles, so the movie world spreads
+    // across every partition no matter how its names are distributed.
+    std::vector<std::string> names;
+    names.reserve(world.raw.NumEntities());
+    for (EntityId e = 0; e < static_cast<EntityId>(world.raw.NumEntities());
+         ++e) {
+      names.emplace_back(world.raw.entities().Get(e));
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    store::PartitionedStoreOptions popts;
+    popts.store = store_options;
+    popts.partitions = cfg.partitions;
+    for (size_t b = 1; b < cfg.partitions; ++b) {
+      popts.initial_boundaries.push_back(
+          names[names.size() * b / cfg.partitions]);
+    }
+    auto opened = store::PartitionedTruthStore::Open(dir, popts);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "store open: %s\n",
+                   opened.status().ToString().c_str());
+      return false;
+    }
+    parted = opened->get();
+    store = std::move(*opened);
+  } else {
+    auto opened = store::TruthStore::Open(dir, store_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "store open: %s\n",
+                   opened.status().ToString().c_str());
+      return false;
+    }
+    store = std::move(*opened);
   }
   for (const Dataset* part : {&first, &second}) {
-    if (!(*store)->AppendDataset(*part).ok() || !(*store)->Flush().ok()) {
+    if (!store->AppendDataset(*part).ok() || !store->Flush().ok()) {
       std::fprintf(stderr, "bootstrap ingest failed\n");
       return false;
     }
@@ -223,7 +266,7 @@ bool Run(const ServingConfig& cfg) {
     WallTimer timer;
     RunContext boot_ctx;
     boot_ctx.metrics = &obs::MetricsRegistry::Global();
-    if (Status st = pipeline.BootstrapFromStore(store->get(), boot_ctx);
+    if (Status st = pipeline.BootstrapFromStore(store.get(), boot_ctx);
         !st.ok()) {
       std::fprintf(stderr, "bootstrap: %s\n", st.ToString().c_str());
       return false;
@@ -269,7 +312,7 @@ bool Run(const ServingConfig& cfg) {
 
   std::atomic<bool> stop_ingest{false};
   std::atomic<uint64_t> appends{0};
-  std::thread ingest(IngestLoop, store->get(), session->get(),
+  std::thread ingest(IngestLoop, store.get(), session->get(),
                      std::cref(arrivals), &stop_ingest, &appends);
   results.push_back(
       RunPhase("mixed", session->get(), 4, cfg.duration_ms, hot, cold));
@@ -299,6 +342,20 @@ bool Run(const ServingConfig& cfg) {
       static_cast<unsigned long long>(stats.slice_computes),
       static_cast<unsigned long long>(stats.cache.hits),
       static_cast<unsigned long long>(stats.cache.misses));
+  if (parted != nullptr) {
+    const auto per_partition = parted->PartitionStats();
+    std::printf("partitioned store: %zu partition(s)\n",
+                per_partition.size());
+    for (size_t p = 0; p < per_partition.size(); ++p) {
+      const store::TruthStoreStats& ps = per_partition[p];
+      std::printf("  partition %zu: %llu row(s), %zu segment(s), epoch %llu\n",
+                  p,
+                  static_cast<unsigned long long>(ps.segment_rows +
+                                                  ps.memtable_rows),
+                  ps.num_segments,
+                  static_cast<unsigned long long>(ps.epoch));
+    }
+  }
 
   uint64_t total_errors = 0;
   for (const PhaseResult& r : results) total_errors += r.errors;
@@ -318,11 +375,13 @@ bool Run(const ServingConfig& cfg) {
                "  \"bench\": \"serving\",\n"
                "  \"dataset\": {\"movies\": %zu, \"facts\": %zu, "
                "\"hot_facts\": %zu},\n"
+               "  \"partitions\": %zu,\n"
                "  \"duration_ms\": %d,\n"
                "  \"refits\": {\"scheduled\": %llu, \"completed\": %llu, "
                "\"shed\": %llu},\n"
                "  \"results\": [",
-               cfg.movies, cold.size(), hot.size(), cfg.duration_ms,
+               cfg.movies, cold.size(), hot.size(), cfg.partitions,
+               cfg.duration_ms,
                static_cast<unsigned long long>(stats.refit.scheduled),
                static_cast<unsigned long long>(stats.refit.completed),
                static_cast<unsigned long long>(stats.refit.shed));
@@ -336,7 +395,24 @@ bool Run(const ServingConfig& cfg) {
                  static_cast<unsigned long long>(r.queries), r.qps, r.p50_us,
                  r.p99_us, static_cast<unsigned long long>(r.shed));
   }
-  std::fprintf(f, "\n  ],\n  \"metrics\": ");
+  std::fprintf(f, "\n  ],\n");
+  if (parted != nullptr) {
+    std::fprintf(f, "  \"per_partition\": [");
+    const auto per_partition = parted->PartitionStats();
+    for (size_t p = 0; p < per_partition.size(); ++p) {
+      const store::TruthStoreStats& ps = per_partition[p];
+      std::fprintf(f,
+                   "%s{\"partition\": %zu, \"rows\": %llu, "
+                   "\"segments\": %zu, \"epoch\": %llu}",
+                   p == 0 ? "" : ", ", p,
+                   static_cast<unsigned long long>(ps.segment_rows +
+                                                   ps.memtable_rows),
+                   ps.num_segments,
+                   static_cast<unsigned long long>(ps.epoch));
+    }
+    std::fprintf(f, "],\n");
+  }
+  std::fprintf(f, "  \"metrics\": ");
   WriteMetricsJsonArray(f);
   std::fprintf(f, "\n}\n");
   std::fclose(f);
@@ -367,12 +443,19 @@ int main(int argc, char** argv) {
       cfg.duration_ms = std::atoi(next());
     } else if (std::strcmp(arg, "--iterations") == 0) {
       cfg.iterations = std::atoi(next());
+    } else if (std::strcmp(arg, "--partitions") == 0) {
+      const long partitions = std::atol(next());
+      if (partitions < 1 || partitions > 64) {
+        std::fprintf(stderr, "--partitions must be in [1, 64]\n");
+        return 2;
+      }
+      cfg.partitions = static_cast<size_t>(partitions);
     } else if (std::strcmp(arg, "--out") == 0) {
       cfg.out = next();
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (expected --movies N, --duration-ms D, "
-                   "--iterations N, --out FILE)\n",
+                   "--iterations N, --partitions N, --out FILE)\n",
                    arg);
       return 2;
     }

@@ -11,10 +11,20 @@
 // the byte counts are disk reads, not cache replays. Warm-cache numbers
 // are reported alongside for reference but not gated.
 //
+// With --partitions N (N >= 2) the bench additionally measures ingest
+// scale-out: the same workload written by N concurrent threads into a
+// single-partition store and into an N-partition PartitionedTruthStore
+// (entity-range boundaries aligned with the writer split, so each
+// thread lands in its own partition's WAL + memtable). The JSON gains a
+// "partitioned_ingest" object with both wall times, the speedup ratio,
+// and per-partition row/segment counts; CI gates the speedup at 4
+// partitions with a hardware-conditional floor.
+//
 // Flags (for the CI smoke job):
 //   --segments N      flushed segments to build (default 12, min 8)
 //   --entities N      entities per segment (default 512)
 //   --queries N       point lookups per phase (default 512)
+//   --partitions N    also run the partitioned ingest phase (default 0)
 //   --out FILE        JSON output path (default BENCH_store_read.json)
 
 #include <algorithm>
@@ -23,11 +33,13 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/timer.h"
 #include "data/raw_database.h"
+#include "store/partitioned_store.h"
 #include "store/truth_store.h"
 
 namespace ltm {
@@ -38,6 +50,7 @@ struct ReadBenchConfig {
   int segments = 12;
   int entities_per_segment = 512;
   int queries = 512;
+  int partitions = 0;  // 0 = skip the partitioned ingest phase
   std::string out = "BENCH_store_read.json";
 };
 
@@ -64,6 +77,68 @@ struct PointPhase {
   double p50_us = 0.0;
   double p99_us = 0.0;
 };
+
+struct IngestScale {
+  double seconds = 0.0;
+  uint64_t rows = 0;
+  std::vector<store::TruthStoreStats> per_partition;
+};
+
+/// Writes `num_entities` x 4 claim rows with `threads` concurrent
+/// writers into a fresh store carved into `partitions` ranges, boundary
+/// split aligned with the writer split so at `partitions == threads`
+/// every writer owns one partition's WAL + memtable. Returns wall time
+/// including the final flush.
+Result<IngestScale> RunPartitionedIngest(const std::string& dir,
+                                         size_t partitions, int threads,
+                                         int num_entities) {
+  std::filesystem::remove_all(dir);
+  store::PartitionedStoreOptions opts;
+  opts.store.metrics = &obs::MetricsRegistry::Global();
+  opts.partitions = partitions;
+  for (size_t b = 1; b < partitions; ++b) {
+    opts.initial_boundaries.push_back(
+        EntityName(static_cast<int>(num_entities * b / partitions)));
+  }
+  LTM_ASSIGN_OR_RETURN(const auto store,
+                       store::PartitionedTruthStore::Open(dir, opts));
+
+  WallTimer timer;
+  std::vector<Status> failures(static_cast<size_t>(threads));
+  std::vector<std::thread> writers;
+  for (int t = 0; t < threads; ++t) {
+    writers.emplace_back([&store, &failures, t, threads, num_entities] {
+      const int lo = num_entities * t / threads;
+      const int hi = num_entities * (t + 1) / threads;
+      for (int base = lo; base < hi; base += 256) {
+        RawDatabase batch;
+        const int end = std::min(base + 256, hi);
+        for (int e = base; e < end; ++e) {
+          const std::string entity = EntityName(e);
+          for (int s = 0; s < 4; ++s) {
+            batch.Add(entity, "director", "source-" + std::to_string(s));
+          }
+        }
+        if (Status st = store->AppendRaw(batch); !st.ok()) {
+          failures[static_cast<size_t>(t)] = st;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  for (const Status& st : failures) LTM_RETURN_IF_ERROR(st);
+  LTM_RETURN_IF_ERROR(store->Flush());
+
+  IngestScale out;
+  out.seconds = timer.ElapsedSeconds();
+  out.per_partition = store->PartitionStats();
+  for (const store::TruthStoreStats& p : out.per_partition) {
+    out.rows += p.segment_rows + p.memtable_rows;
+  }
+  std::filesystem::remove_all(dir);
+  return out;
+}
 
 Result<PointPhase> RunPointPhase(store::TruthStore* store, int num_entities,
                                  int queries) {
@@ -193,6 +268,47 @@ bool Run(const ReadBenchConfig& cfg) {
           ? static_cast<double>(slice_bytes) / cold_bytes_per_query
           : 0.0;
 
+  // Optional partitioned ingest phase: same rows, same writer count,
+  // 1 partition vs N partitions.
+  IngestScale single_ingest;
+  IngestScale parted_ingest;
+  double ingest_speedup = 0.0;
+  if (cfg.partitions >= 2) {
+    auto one = RunPartitionedIngest(dir + "_p1", 1, cfg.partitions,
+                                    num_entities);
+    if (!one.ok()) {
+      std::fprintf(stderr, "ingest(1p): %s\n",
+                   one.status().ToString().c_str());
+      return false;
+    }
+    single_ingest = *one;
+    auto many = RunPartitionedIngest(
+        dir + "_pn", static_cast<size_t>(cfg.partitions), cfg.partitions,
+        num_entities);
+    if (!many.ok()) {
+      std::fprintf(stderr, "ingest(%dp): %s\n", cfg.partitions,
+                   many.status().ToString().c_str());
+      return false;
+    }
+    parted_ingest = *many;
+    ingest_speedup = parted_ingest.seconds > 0.0
+                         ? single_ingest.seconds / parted_ingest.seconds
+                         : 0.0;
+    std::printf(
+        "partitioned ingest: %llu row(s), %d writer(s): 1 partition %.3fs, "
+        "%d partitions %.3fs -> %.2fx\n",
+        static_cast<unsigned long long>(parted_ingest.rows), cfg.partitions,
+        single_ingest.seconds, cfg.partitions, parted_ingest.seconds,
+        ingest_speedup);
+    for (size_t p = 0; p < parted_ingest.per_partition.size(); ++p) {
+      const store::TruthStoreStats& ps = parted_ingest.per_partition[p];
+      std::printf("  partition %zu: %llu row(s), %zu segment(s)\n", p,
+                  static_cast<unsigned long long>(ps.segment_rows +
+                                                  ps.memtable_rows),
+                  ps.num_segments);
+    }
+  }
+
   std::printf(
       "store: %zu segment(s), max level %u, %llu row(s) in slice\n"
       "slice materialize (cold): %llu byte(s), %llu block(s), %.1f us\n"
@@ -231,8 +347,7 @@ bool Run(const ReadBenchConfig& cfg) {
       "  \"point_lookup_warm\": {\"queries\": %llu, "
       "\"blocks_per_query\": %.3f, \"cache_hit_blocks\": %llu, "
       "\"p50_us\": %.1f, \"p99_us\": %.1f},\n"
-      "  \"read_amplification_ratio\": %.1f,\n"
-      "  \"metrics\": ",
+      "  \"read_amplification_ratio\": %.1f,\n",
       num_segments, max_level, num_entities,
       static_cast<unsigned long long>(slice_rows),
       static_cast<unsigned long long>(slice_bytes),
@@ -247,6 +362,29 @@ bool Run(const ReadBenchConfig& cfg) {
           static_cast<double>(warm.queries),
       static_cast<unsigned long long>(warm.cache_hits), warm.p50_us,
       warm.p99_us, read_amplification);
+  if (cfg.partitions >= 2) {
+    std::fprintf(f,
+                 "  \"partitioned_ingest\": {\"partitions\": %d, "
+                 "\"writer_threads\": %d, \"rows\": %llu, "
+                 "\"single_store_seconds\": %.4f, "
+                 "\"partitioned_seconds\": %.4f, "
+                 "\"ingest_speedup\": %.3f,\n    \"per_partition\": [",
+                 cfg.partitions, cfg.partitions,
+                 static_cast<unsigned long long>(parted_ingest.rows),
+                 single_ingest.seconds, parted_ingest.seconds,
+                 ingest_speedup);
+    for (size_t p = 0; p < parted_ingest.per_partition.size(); ++p) {
+      const store::TruthStoreStats& ps = parted_ingest.per_partition[p];
+      std::fprintf(f, "%s{\"partition\": %zu, \"rows\": %llu, "
+                      "\"segments\": %zu}",
+                   p == 0 ? "" : ", ", p,
+                   static_cast<unsigned long long>(ps.segment_rows +
+                                                   ps.memtable_rows),
+                   ps.num_segments);
+    }
+    std::fprintf(f, "]},\n");
+  }
+  std::fprintf(f, "  \"metrics\": ");
   WriteMetricsJsonArray(f);
   std::fprintf(f, "\n}\n");
   std::fclose(f);
@@ -272,15 +410,22 @@ int main(int argc, char** argv) {
       cfg.entities_per_segment = std::atoi(next());
     } else if (std::strcmp(arg, "--queries") == 0) {
       cfg.queries = std::atoi(next());
+    } else if (std::strcmp(arg, "--partitions") == 0) {
+      cfg.partitions = std::atoi(next());
     } else if (std::strcmp(arg, "--out") == 0) {
       cfg.out = next();
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (expected --segments N, --entities N, "
-                   "--queries N, --out FILE)\n",
+                   "--queries N, --partitions N, --out FILE)\n",
                    arg);
       return 2;
     }
+  }
+  if (cfg.partitions < 0 || cfg.partitions == 1 || cfg.partitions > 64) {
+    std::fprintf(stderr,
+                 "--partitions must be 0 (off) or in [2, 64]\n");
+    return 2;
   }
   if (cfg.segments < 8 || cfg.entities_per_segment <= 0 || cfg.queries <= 0 ||
       cfg.out.empty()) {

@@ -37,6 +37,7 @@
 #include "obs/trace.h"
 #include "serve/serve_options.h"
 #include "serve/serve_session.h"
+#include "store/partitioned_store.h"
 #include "store/truth_store.h"
 #include "truth/ltm.h"
 #include "truth/registry.h"
@@ -131,9 +132,12 @@ int main(int argc, char** argv) {
 
   ltm::Dataset ds;
   if (flags.count("store")) {
-    ltm::store::TruthStoreOptions store_options;
-    store_options.metrics = &ltm::obs::MetricsRegistry::Global();
-    auto store = ltm::store::TruthStore::Open(flags["store"], store_options);
+    // Auto-open follows the on-disk layout, so --store works against
+    // both single and entity-range partitioned directories.
+    ltm::store::PartitionedStoreOptions store_options;
+    store_options.store.metrics = &ltm::obs::MetricsRegistry::Global();
+    auto store = ltm::store::OpenTruthStoreAuto(flags["store"],
+                                                store_options);
     if (!store.ok()) {
       std::fprintf(stderr, "error: %s\n", store.status().ToString().c_str());
       return 1;

@@ -30,6 +30,7 @@
 #include "obs/trace.h"
 #include "serve/serve_options.h"
 #include "serve/serve_session.h"
+#include "store/partitioned_store.h"
 #include "store/truth_store.h"
 
 namespace {
@@ -42,7 +43,8 @@ int Usage() {
       "                 [--range MIN MAX] [--stats] [--dump-metrics]\n"
       "                 [--trace-out FILE]\n"
       "spec keys: batch_window_us, max_inflight, refit_debounce_epochs,\n"
-      "           refit_queue, block_cache_mb, bloom_bits_per_key\n");
+      "           refit_queue, block_cache_mb, bloom_bits_per_key,\n"
+      "           partitions\n");
   return 2;
 }
 
@@ -130,13 +132,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The spec's block_cache_mb / bloom_bits_per_key are store knobs, so
-  // they configure the open itself. The process-global registry collects
-  // the whole stack's metrics behind one exposition surface.
-  ltm::store::TruthStoreOptions store_base;
-  store_base.metrics = &ltm::obs::MetricsRegistry::Global();
-  auto store =
-      ltm::store::TruthStore::Open(dir, options->ApplyToStore(store_base));
+  // The spec's block_cache_mb / bloom_bits_per_key / partitions are
+  // store knobs, so they configure the open itself. OpenTruthStoreAuto
+  // follows the directory's existing layout (a PARTMAP opens it
+  // partitioned regardless of the spec); partitions only carves fresh
+  // directories. The process-global registry collects the whole stack's
+  // metrics behind one exposition surface.
+  ltm::store::PartitionedStoreOptions popts;
+  popts.store.metrics = &ltm::obs::MetricsRegistry::Global();
+  popts.store = options->ApplyToStore(popts.store);
+  popts.partitions = options->partitions;
+  auto store = ltm::store::OpenTruthStoreAuto(dir, popts);
   if (!store.ok()) return Fail(store.status());
 
   // Size the Gibbs refit to the durable evidence, then bootstrap the
@@ -195,10 +201,11 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.block_cache.evictions),
                  static_cast<unsigned long long>(stats.bloom_point_skips));
     std::fprintf(stderr,
-                 "epoch: %llu  quality version: %llu  live pins: %zu\n",
+                 "epoch: %llu  quality version: %llu  live pins: %zu  "
+                 "partitions: %zu\n",
                  static_cast<unsigned long long>(stats.epoch),
                  static_cast<unsigned long long>(stats.quality_version),
-                 stats.live_pins);
+                 stats.live_pins, (*store)->num_partitions());
     std::fprintf(stderr, "latency: p50 %.1fus p99 %.1fus (%llu sample(s))\n",
                  stats.latency.p50_us, stats.latency.p99_us,
                  static_cast<unsigned long long>(stats.latency.count));

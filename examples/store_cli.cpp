@@ -1,8 +1,11 @@
 // store_cli: operate on a TruthStore directory — ingest TSV chunks,
-// flush/compact, inspect, and verify integrity.
+// flush/compact, inspect, and verify integrity. Works on single-store
+// and entity-range partitioned directories alike: a PARTMAP in <dir>
+// opens the store partitioned, and --partitions N carves a *fresh*
+// directory into N ranges (an existing layout always wins).
 //
 //   store_cli <dir> ingest <chunk.tsv> [--flush] [--compact]
-//                   [--sync-every-append]
+//                   [--sync-every-append] [--partitions N]
 //   store_cli <dir> flush
 //   store_cli <dir> compact
 //   store_cli <dir> inspect
@@ -10,6 +13,12 @@
 //   store_cli <dir> stats                        # metrics exposition
 //   store_cli <dir> materialize --out <raw.tsv>
 //   store_cli <dir> serve <queries.tsv> [--spec "serve(...)"]
+//
+// `inspect` on a partitioned directory prints the partition map plus
+// every partition's level layout, zone stats, and measured bloom FP
+// rate. `verify` on one checks the partition map's range invariants
+// (full keyspace coverage, no overlap, no gap) and every child store,
+// and exits nonzero when anything is wrong.
 //
 // Every command (except verify) also accepts --dump-metrics, which
 // renders the process metrics registry in Prometheus text exposition
@@ -30,6 +39,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -43,6 +53,8 @@
 #include "obs/trace.h"
 #include "serve/serve_options.h"
 #include "serve/serve_session.h"
+#include "store/partition_map.h"
+#include "store/partitioned_store.h"
 #include "store/segment.h"
 #include "store/truth_store.h"
 
@@ -63,6 +75,8 @@ int Usage() {
       "  flush | compact | inspect | verify | stats\n"
       "  materialize --out <raw.tsv>\n"
       "  serve <queries.tsv> [--spec \"serve(key=value,...)\"]\n"
+      "--partitions N carves a fresh store into N entity ranges (an\n"
+      "existing directory keeps its layout);\n"
       "all mutating commands accept --fail-at POINT (simulated kill);\n"
       "all commands but verify accept --dump-metrics and --trace-out FILE\n");
   return 2;
@@ -88,6 +102,112 @@ int Fail(const ltm::Status& st) {
   return 1;
 }
 
+/// The scalar store counters (shared by the single and the aggregated
+/// partitioned inspect output).
+void PrintStatsHeader(const ltm::store::TruthStoreStats& stats) {
+  std::printf("epoch:                %llu\n",
+              static_cast<unsigned long long>(stats.epoch));
+  std::printf("manifest generation:  %llu\n",
+              static_cast<unsigned long long>(stats.generation));
+  std::printf("manifest edits:       %llu since last snapshot\n",
+              static_cast<unsigned long long>(
+                  stats.manifest_edits_since_snapshot));
+  std::printf("next row seq:         %llu\n",
+              static_cast<unsigned long long>(stats.next_row_seq));
+  std::printf("segments:             %zu (%llu row(s), max level %u, "
+              "%zu at L0)\n",
+              stats.num_segments,
+              static_cast<unsigned long long>(stats.segment_rows),
+              stats.max_level, stats.l0_segments);
+  std::printf("memtable rows:        %zu\n", stats.memtable_rows);
+  std::printf("WAL records replayed: %llu%s\n",
+              static_cast<unsigned long long>(stats.wal_records_replayed),
+              stats.recovered_torn_tail ? " (torn tail truncated)" : "");
+}
+
+/// Per-level layout with zone stats, plus a measured bloom
+/// false-positive rate: probe each segment's filter with keys that
+/// cannot exist in the store (entities starting with 0x01 and an
+/// embedded tab would have been split by the TSV loader). `indent`
+/// prefixes every line (partitioned inspect nests the layout under the
+/// partition heading). Returns nonzero when a segment cannot be opened.
+int PrintLevelLayout(const std::string& seg_dir,
+                     const std::vector<ltm::store::SegmentInfo>& segments,
+                     const char* indent) {
+  std::map<uint32_t, std::vector<ltm::store::SegmentInfo>> levels;
+  for (const auto& seg : segments) {
+    levels[seg.level].push_back(seg);
+  }
+  for (const auto& [level, segs] : levels) {
+    uint64_t level_rows = 0;
+    uint64_t level_bytes = 0;
+    for (const auto& seg : segs) {
+      level_rows += seg.num_rows;
+      level_bytes += seg.file_bytes;
+    }
+    std::printf("%slevel %u:              %zu segment(s), %llu row(s), "
+                "%llu byte(s)\n",
+                indent, level, segs.size(),
+                static_cast<unsigned long long>(level_rows),
+                static_cast<unsigned long long>(level_bytes));
+    for (const auto& seg : segs) {
+      auto reader = ltm::store::BlockSegmentReader::Open(
+          seg_dir + "/" + seg.file, seg.id);
+      if (!reader.ok()) return Fail(reader.status());
+      constexpr int kProbes = 4096;
+      int false_positives = 0;
+      for (int p = 0; p < kProbes; ++p) {
+        const std::string absent = "\x01probe-" + std::to_string(p);
+        if ((*reader)->MayContainFact(absent, "x")) ++false_positives;
+      }
+      std::printf(
+          "%s  %s  rows=%llu facts=%llu sources=%llu blocks=%u "
+          "bytes=%llu seq=[%llu..%llu] entities=[%s..%s] "
+          "bloom=%ub/key fp=%.2f%%\n",
+          indent, seg.file.c_str(),
+          static_cast<unsigned long long>(seg.num_rows),
+          static_cast<unsigned long long>(seg.num_facts),
+          static_cast<unsigned long long>(seg.num_sources), seg.num_blocks,
+          static_cast<unsigned long long>(seg.file_bytes),
+          static_cast<unsigned long long>(seg.min_seq),
+          static_cast<unsigned long long>(seg.max_seq),
+          seg.min_entity.c_str(), seg.max_entity.c_str(),
+          (*reader)->footer().bloom_bits_per_key,
+          100.0 * false_positives / kProbes);
+    }
+  }
+  return 0;
+}
+
+/// Read-path and compaction counters (the tail of the inspect output).
+void PrintStatsFooter(const ltm::store::TruthStoreStats& stats) {
+  std::printf("block cache:          %llu hit(s), %llu miss(es), "
+              "%llu eviction(s), %llu/%llu byte(s)\n",
+              static_cast<unsigned long long>(stats.block_cache.hits),
+              static_cast<unsigned long long>(stats.block_cache.misses),
+              static_cast<unsigned long long>(stats.block_cache.evictions),
+              static_cast<unsigned long long>(stats.block_cache.size_bytes),
+              static_cast<unsigned long long>(
+                  stats.block_cache.capacity_bytes));
+  std::printf("bloom point skips:    %llu\n",
+              static_cast<unsigned long long>(stats.bloom_point_skips));
+  std::printf("compactions:          %llu (%llu trivial move(s), "
+              "%llu -> %llu segment(s), %llu read / %llu written "
+              "byte(s), %llu duplicate row(s) dropped)\n",
+              static_cast<unsigned long long>(stats.compaction.compactions),
+              static_cast<unsigned long long>(
+                  stats.compaction.trivial_moves),
+              static_cast<unsigned long long>(
+                  stats.compaction.input_segments),
+              static_cast<unsigned long long>(
+                  stats.compaction.output_segments),
+              static_cast<unsigned long long>(stats.compaction.bytes_read),
+              static_cast<unsigned long long>(
+                  stats.compaction.bytes_written),
+              static_cast<unsigned long long>(
+                  stats.compaction.rows_dropped));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,7 +224,8 @@ int main(int argc, char** argv) {
   bool flush_after = false;
   bool compact_after = false;
   bool dump_metrics = command == "stats";
-  ltm::store::TruthStoreOptions options;
+  ltm::store::PartitionedStoreOptions popts;
+  ltm::store::TruthStoreOptions& options = popts.store;
   options.metrics = &ltm::obs::MetricsRegistry::Global();
   for (size_t i = 0; i < rest.size(); ++i) {
     if (rest[i] == "--fail-at" && i + 1 < rest.size()) {
@@ -119,6 +240,10 @@ int main(int argc, char** argv) {
       trace_out = rest[++i];
     } else if (rest[i] == "--sync-every-append") {
       options.sync_every_append = true;
+    } else if (rest[i] == "--partitions" && i + 1 < rest.size()) {
+      const long n = std::atol(rest[++i].c_str());
+      if (n < 1) return Usage();
+      popts.partitions = static_cast<size_t>(n);
     } else if (rest[i] == "--out" && i + 1 < rest.size()) {
       out_path = rest[++i];
     } else if (rest[i] == "--spec" && i + 1 < rest.size()) {
@@ -132,7 +257,19 @@ int main(int argc, char** argv) {
   if (!fail_at.empty()) ArmFailAt(fail_at);
   if (!trace_out.empty()) ltm::obs::TraceRecorder::Global().Enable();
 
+  const bool partitioned_dir = std::filesystem::exists(
+      std::filesystem::path(dir) / ltm::store::kPartitionMapFileName);
+
   if (command == "verify") {
+    if (partitioned_dir) {
+      auto report = ltm::store::PartitionedTruthStore::Verify(dir);
+      if (!report.ok()) return Fail(report.status());
+      std::printf("%s\n", report->Summary().c_str());
+      // Nonzero on any invariant violation — a range overlap or gap in
+      // the partition map, a failing child, an orphan directory — so CI
+      // can gate on it.
+      return report->ok() ? 0 : 1;
+    }
     auto report = ltm::store::TruthStore::Verify(dir);
     if (!report.ok()) return Fail(report.status());
     std::printf("%s\n", report->Summary().c_str());
@@ -140,12 +277,14 @@ int main(int argc, char** argv) {
   }
 
   // The serve spec carries store-level knobs (block_cache_mb,
-  // bloom_bits_per_key), so it must be parsed before the store opens.
+  // bloom_bits_per_key, partitions), so it must be parsed before the
+  // store opens. An explicit --partitions wins over the spec key.
   auto serve_options = ltm::serve::ParseServeSpec(serve_spec);
   if (!serve_options.ok()) return Fail(serve_options.status());
   options = serve_options->ApplyToStore(options);
+  if (popts.partitions == 1) popts.partitions = serve_options->partitions;
 
-  auto store = ltm::store::TruthStore::Open(dir, options);
+  auto store = ltm::store::OpenTruthStoreAuto(dir, popts);
   if (!store.ok()) return Fail(store.status());
 
   if (command == "ingest") {
@@ -176,96 +315,43 @@ int main(int argc, char** argv) {
     if (!st.ok()) return Fail(st);
   } else if (command == "inspect") {
     const ltm::store::TruthStoreStats stats = (*store)->Stats();
-    std::printf("epoch:                %llu\n",
-                static_cast<unsigned long long>(stats.epoch));
-    std::printf("manifest generation:  %llu\n",
-                static_cast<unsigned long long>(stats.generation));
-    std::printf("manifest edits:       %llu since last snapshot\n",
-                static_cast<unsigned long long>(
-                    stats.manifest_edits_since_snapshot));
-    std::printf("next row seq:         %llu\n",
-                static_cast<unsigned long long>(stats.next_row_seq));
-    std::printf("segments:             %zu (%llu row(s), max level %u, "
-                "%zu at L0)\n",
-                stats.num_segments,
-                static_cast<unsigned long long>(stats.segment_rows),
-                stats.max_level, stats.l0_segments);
-    std::printf("memtable rows:        %zu\n", stats.memtable_rows);
-    std::printf("WAL records replayed: %llu%s\n",
-                static_cast<unsigned long long>(stats.wal_records_replayed),
-                stats.recovered_torn_tail ? " (torn tail truncated)" : "");
-
-    // Per-level layout with zone stats, plus a measured bloom
-    // false-positive rate: probe each segment's filter with keys that
-    // cannot exist in the store (entities starting with 0x01 and an
-    // embedded tab would have been split by the TSV loader).
-    std::map<uint32_t, std::vector<ltm::store::SegmentInfo>> levels;
-    for (const auto& seg : (*store)->segments()) {
-      levels[seg.level].push_back(seg);
-    }
-    for (const auto& [level, segs] : levels) {
-      uint64_t level_rows = 0;
-      uint64_t level_bytes = 0;
-      for (const auto& seg : segs) {
-        level_rows += seg.num_rows;
-        level_bytes += seg.file_bytes;
-      }
-      std::printf("level %u:              %zu segment(s), %llu row(s), "
-                  "%llu byte(s)\n",
-                  level, segs.size(),
-                  static_cast<unsigned long long>(level_rows),
-                  static_cast<unsigned long long>(level_bytes));
-      for (const auto& seg : segs) {
-        auto reader = ltm::store::BlockSegmentReader::Open(
-            dir + "/" + seg.file, seg.id);
-        if (!reader.ok()) return Fail(reader.status());
-        constexpr int kProbes = 4096;
-        int false_positives = 0;
-        for (int p = 0; p < kProbes; ++p) {
-          const std::string absent =
-              "\x01probe-" + std::to_string(p);
-          if ((*reader)->MayContainFact(absent, "x")) ++false_positives;
+    PrintStatsHeader(stats);
+    if (auto* parted =
+            dynamic_cast<ltm::store::PartitionedTruthStore*>(store->get())) {
+      const ltm::store::PartitionMap map = parted->partition_map();
+      const auto per_part = parted->PartitionStats();
+      const auto per_segs = parted->PartitionSegments();
+      std::printf("partition map:        generation %llu, %zu partition(s), "
+                  "next id %llu\n",
+                  static_cast<unsigned long long>(map.generation),
+                  map.entries.size(),
+                  static_cast<unsigned long long>(map.next_partition_id));
+      for (size_t p = 0; p < map.entries.size(); ++p) {
+        const auto& entry = map.entries[p];
+        const auto& ps = per_part[p];
+        std::printf("partition %s:   id=%llu range=%s epoch=%llu "
+                    "segments=%zu (%llu row(s)) memtable=%zu\n",
+                    entry.dir.c_str(),
+                    static_cast<unsigned long long>(entry.id),
+                    entry.RangeString().c_str(),
+                    static_cast<unsigned long long>(ps.epoch),
+                    ps.num_segments,
+                    static_cast<unsigned long long>(ps.segment_rows),
+                    ps.memtable_rows);
+        if (const int rc =
+                PrintLevelLayout(dir + "/" + entry.dir, per_segs[p], "  ");
+            rc != 0) {
+          return rc;
         }
-        std::printf(
-            "  %s  rows=%llu facts=%llu sources=%llu blocks=%u "
-            "bytes=%llu seq=[%llu..%llu] entities=[%s..%s] "
-            "bloom=%ub/key fp=%.2f%%\n",
-            seg.file.c_str(), static_cast<unsigned long long>(seg.num_rows),
-            static_cast<unsigned long long>(seg.num_facts),
-            static_cast<unsigned long long>(seg.num_sources), seg.num_blocks,
-            static_cast<unsigned long long>(seg.file_bytes),
-            static_cast<unsigned long long>(seg.min_seq),
-            static_cast<unsigned long long>(seg.max_seq),
-            seg.min_entity.c_str(), seg.max_entity.c_str(),
-            (*reader)->footer().bloom_bits_per_key,
-            100.0 * false_positives / kProbes);
+      }
+    } else if (auto* single =
+                   dynamic_cast<ltm::store::TruthStore*>(store->get())) {
+      if (const int rc = PrintLevelLayout(dir, single->segments(), "");
+          rc != 0) {
+        return rc;
       }
     }
-    std::printf("block cache:          %llu hit(s), %llu miss(es), "
-                "%llu eviction(s), %llu/%llu byte(s)\n",
-                static_cast<unsigned long long>(stats.block_cache.hits),
-                static_cast<unsigned long long>(stats.block_cache.misses),
-                static_cast<unsigned long long>(stats.block_cache.evictions),
-                static_cast<unsigned long long>(stats.block_cache.size_bytes),
-                static_cast<unsigned long long>(
-                    stats.block_cache.capacity_bytes));
-    std::printf("bloom point skips:    %llu\n",
-                static_cast<unsigned long long>(stats.bloom_point_skips));
-    std::printf("compactions:          %llu (%llu trivial move(s), "
-                "%llu -> %llu segment(s), %llu read / %llu written "
-                "byte(s), %llu duplicate row(s) dropped)\n",
-                static_cast<unsigned long long>(stats.compaction.compactions),
-                static_cast<unsigned long long>(
-                    stats.compaction.trivial_moves),
-                static_cast<unsigned long long>(
-                    stats.compaction.input_segments),
-                static_cast<unsigned long long>(
-                    stats.compaction.output_segments),
-                static_cast<unsigned long long>(stats.compaction.bytes_read),
-                static_cast<unsigned long long>(
-                    stats.compaction.bytes_written),
-                static_cast<unsigned long long>(
-                    stats.compaction.rows_dropped));
+    PrintStatsFooter(stats);
   } else if (command == "materialize") {
     if (out_path.empty()) return Usage();
     auto ds = (*store)->Materialize();

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/thread_annotations.h"
 
@@ -56,6 +57,57 @@ class LTM_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// std::shared_mutex wrapped as a Clang thread-safety capability, for
+/// read-mostly structures (the PartitionedTruthStore's partition table:
+/// every routed append takes a shared lock, only a split/merge rebalance
+/// takes the exclusive one). Same conventions as ltm::Mutex; members a
+/// shared mutex protects are still LTM_GUARDED_BY(mu_), and read-side
+/// helpers use LTM_REQUIRES_SHARED.
+class LTM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() LTM_ACQUIRE() { mu_.lock(); }
+  void Unlock() LTM_RELEASE() { mu_.unlock(); }
+  void LockShared() LTM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() LTM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over ltm::SharedMutex.
+class LTM_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) LTM_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() LTM_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over ltm::SharedMutex.
+class LTM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) LTM_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() LTM_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 /// Condition variable paired with ltm::Mutex. Waits take the Mutex itself

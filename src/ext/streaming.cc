@@ -6,8 +6,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
-#include "serve/fact_scoring.h"
-#include "store/truth_store.h"
+#include "store/store_base.h"
 #include "truth/registry.h"
 
 namespace ltm {
@@ -97,7 +96,7 @@ Result<ChunkResult> StreamingPipeline::IngestChunk(const Dataset& chunk,
   return result;
 }
 
-Status StreamingPipeline::BootstrapFromStore(store::TruthStore* store,
+Status StreamingPipeline::BootstrapFromStore(store::TruthStoreBase* store,
                                              const RunContext& ctx) {
   if (store == nullptr) {
     return Status::InvalidArgument("BootstrapFromStore: store is null");
@@ -186,43 +185,10 @@ Status StreamingPipeline::ObserveToStore(const Dataset& chunk,
   pending_store_append_ = false;  // the chunk is fully absorbed
   // The posterior cache is deliberately NOT warmed with last_result_:
   // chunk posteriors only reflect the chunk's own claims, while a served
-  // posterior must combine all durable evidence for the fact. ServeFact
-  // computes (and caches) exactly that on first read.
+  // posterior must combine all durable evidence for the fact. The
+  // serving layer (serve::ServeSession) computes and caches exactly that
+  // on first read.
   return Status::OK();
-}
-
-Result<double> StreamingPipeline::ServeFact(const std::string& entity,
-                                            const std::string& attribute) {
-  if (store_ == nullptr) {
-    return Status::FailedPrecondition(
-        "ServeFact: no store attached; call BootstrapFromStore first");
-  }
-  const std::string key = entity + "\t" + attribute;
-  if (auto hit = store_->posterior_cache().Get(key, store_->epoch())) {
-    return *hit;
-  }
-  // Miss: rebuild just this entity's slice from an epoch pin — zone
-  // stats skip every segment whose entity range excludes it, and the pin
-  // keeps a concurrent compaction from deleting files mid-read — then
-  // apply Eq. 3 via the shared serving scorer.
-  const auto pin = store_->PinEpoch(&entity, &entity);
-  LTM_ASSIGN_OR_RETURN(const Dataset slice,
-                       store_->MaterializeFromPin(*pin, &entity, &entity));
-  const serve::QualityLookup lookup = serve::BuildQualityLookup(
-      quality_, cumulative_.sources(), options_.ltm);
-  double posterior = lookup.no_claim_prior;
-  const auto eid = slice.raw.entities().Find(entity);
-  const auto aid = slice.raw.attributes().Find(attribute);
-  if (eid.has_value() && aid.has_value()) {
-    if (const auto f = slice.facts.Find(*eid, *aid)) {
-      LTM_ASSIGN_OR_RETURN(
-          const std::vector<double> probs,
-          serve::ScoreSlice(slice, lookup, options_.ltm, RunContext()));
-      posterior = probs[*f];
-    }
-  }
-  store_->posterior_cache().Put(key, pin->epoch(), posterior);
-  return posterior;
 }
 
 Result<uint64_t> StreamingPipeline::RefitFromStore(const RunContext& ctx) {
@@ -254,7 +220,13 @@ Status StreamingPipeline::Refit(const RunContext& ctx) {
   FactTable facts = FactTable::Build(cumulative_);
   const ClaimGraph graph =
       ClaimGraph::Build(ClaimTable::Build(cumulative_, facts));
-  LatentTruthModel model(options_.ltm);
+  LtmOptions fit_options = options_.ltm;
+  if (options_.align_shards_to_partitions && store_ != nullptr) {
+    // Pin the refit chain's shard layout to the store's partition count
+    // so the fit is reproducible across machines serving the same store.
+    fit_options.shards = static_cast<int>(store_->num_partitions());
+  }
+  LatentTruthModel model(fit_options);
   // `ctx` already carries the caller's remaining budget (Observe derives
   // it via NestedContext), so it is copied through as-is.
   RunContext refit_ctx;
@@ -288,6 +260,9 @@ LTM_REGISTER_TRUTH_METHOD(
             std::to_string(refit_every));
       }
       options.refit_every_chunks = static_cast<size_t>(refit_every);
+      LTM_ASSIGN_OR_RETURN(options.align_shards_to_partitions,
+                           opts.GetBool("align_shards_to_partitions",
+                                        options.align_shards_to_partitions));
       LTM_ASSIGN_OR_RETURN(options.ltm, LtmOptionsFromSpec(opts, base));
       return std::unique_ptr<TruthMethod>(new StreamingPipeline(options));
     });

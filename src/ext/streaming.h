@@ -14,7 +14,7 @@
 
 namespace ltm {
 namespace store {
-class TruthStore;  // store/truth_store.h — only pointers appear here
+class TruthStoreBase;  // store/store_base.h — only pointers appear here
 }  // namespace store
 namespace ext {
 
@@ -25,6 +25,12 @@ struct StreamingOptions {
   LtmOptions ltm;
   /// Refit batch LTM after this many incremental chunks (0 = never).
   size_t refit_every_chunks = 4;
+  /// When a store is attached and it is partitioned, pin the refit's
+  /// Gibbs shard count to the store's partition count (overriding
+  /// LtmOptions::shards for refits only) — the chain shape then tracks
+  /// the data layout instead of the hardware. Off by default: refits
+  /// keep the configured shards/threads resolution.
+  bool align_shards_to_partitions = false;
 };
 
 /// Result of ingesting one chunk.
@@ -90,14 +96,16 @@ class StreamingPipeline : public StreamingTruthMethod {
   Result<ChunkResult> IngestChunk(const Dataset& chunk,
                                   const RunContext& ctx = RunContext());
 
-  /// Attaches a durable TruthStore and bootstraps from it: materializes
-  /// the store's full dataset (segments + WAL-recovered memtable) and
-  /// batch-fits on it. This is the restartable-service entry point — a
-  /// process that crashed mid-stream reopens the store and resumes with
-  /// the identical cumulative evidence. `store` must outlive the
-  /// pipeline. An empty store attaches without fitting; the first
-  /// ObserveToStore cold-starts as usual.
-  Status BootstrapFromStore(store::TruthStore* store,
+  /// Attaches a durable store — a single TruthStore or an entity-range
+  /// PartitionedTruthStore, through the TruthStoreBase surface — and
+  /// bootstraps from it: materializes the store's full dataset (segments
+  /// + WAL-recovered memtable, in global ingest order) and batch-fits on
+  /// it. This is the restartable-service entry point — a process that
+  /// crashed mid-stream reopens the store and resumes with the identical
+  /// cumulative evidence. `store` must outlive the pipeline. An empty
+  /// store attaches without fitting; the first ObserveToStore
+  /// cold-starts as usual.
+  Status BootstrapFromStore(store::TruthStoreBase* store,
                             const RunContext& ctx = RunContext());
 
   /// Durable Observe: appends `chunk` to the attached store (one WAL
@@ -111,24 +119,6 @@ class StreamingPipeline : public StreamingTruthMethod {
   Status ObserveToStore(const Dataset& chunk,
                         const RunContext& ctx = RunContext());
 
-  /// DEPRECATED as the public read path — create a serve::ServeSession
-  /// over this pipeline instead: it adds epoch-pinned snapshot reads,
-  /// duplicate-query coalescing, admission control, and latency stats,
-  /// and takes a RunContext like every other entry point. This thin shim
-  /// forwards to the same pinned-slice scoring the session uses
-  /// (serve::ScoreSlice over an epoch-pinned materialization), so its
-  /// outputs are unchanged; it remains for single-threaded callers and
-  /// compatibility.
-  ///
-  /// Semantics: the posterior truth probability of (entity, attribute)
-  /// under the current source quality (Eq. 3), served from the store's
-  /// LRU posterior cache when current for the store epoch; on a miss,
-  /// materializes only the entity's slice (zone-stat segment skipping)
-  /// from an epoch pin and scores it. Unknown facts score at the beta
-  /// prior mean.
-  Result<double> ServeFact(const std::string& entity,
-                           const std::string& attribute);
-
   /// Materializes the attached store at its current epoch, resyncs the
   /// cumulative mirror from it, and batch-refits — transactionally: on
   /// failure the mirror swap is rolled back and the previous quality
@@ -139,7 +129,7 @@ class StreamingPipeline : public StreamingTruthMethod {
   /// (returns the current epoch without fitting).
   Result<uint64_t> RefitFromStore(const RunContext& ctx = RunContext());
 
-  store::TruthStore* attached_store() const { return store_; }
+  store::TruthStoreBase* attached_store() const { return store_; }
 
   /// Interner of the cumulative mirror: source name -> the id space the
   /// installed quality() is indexed by. The serving layer uses this to
@@ -170,7 +160,7 @@ class StreamingPipeline : public StreamingTruthMethod {
   SourceQuality quality_;
   bool bootstrapped_ = false;
   /// Durable backing store (not owned); null when running in-memory only.
-  store::TruthStore* store_ = nullptr;
+  store::TruthStoreBase* store_ = nullptr;
   /// Store epoch at the last batch fit, for the refit_epoch_delta trigger.
   uint64_t last_fit_epoch_ = 0;
   /// Retry bookkeeping for ObserveToStore: when an ingest failed after

@@ -14,8 +14,7 @@ namespace obs {
 /// sweep. Percentile read-offs interpolate within the winning
 /// power-of-two bucket, so reported tails are approximate (within one
 /// bucket, i.e. ~2x at worst); the mean is exact because the sum is kept
-/// outside the buckets. Grew out of serve::LatencyHistogram; that name
-/// survives as a deprecated alias in serve/latency.h.
+/// outside the buckets.
 class Histogram {
  public:
   static constexpr int kBuckets = 40;  // covers up to ~2^39 us (~6 days)

@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/status.h"
@@ -37,13 +38,23 @@ struct RefitSchedulerStats {
 };
 
 /// Debounces epoch-advance notifications into background Gibbs refits on
-/// a ThreadPool, with admission control. NotifyEpoch is cheap (one lock)
-/// and never blocks on a fit: when a refit is already running, the
+/// a ThreadPool, with admission control. Notifications are cheap (one
+/// lock) and never block on a fit: when a refit is already running, the
 /// trigger queues (bounded; shed-oldest beyond RefitSchedulerOptions::
 /// max_queue, surfaced to the caller as ResourceExhausted). The refit
 /// callback returns the epoch its fit covered, which re-arms the
 /// debounce. The destructor cancels the callback's RunContext and drains
 /// the queue.
+///
+/// Debouncing is per partition: NotifyPartitionEpochs takes the store's
+/// epoch vector (one slot per entity-range partition, size 1 for a
+/// single TruthStore) and fires when ANY slot advanced debounce_epochs
+/// past the baseline captured at the last fit — so a burst confined to
+/// one hot partition triggers exactly as fast as on an unpartitioned
+/// store, instead of being diluted across the composite sum. A vector
+/// whose length differs from the baseline's (the store split or merged
+/// partitions) always fires: a rebalance rewrote the layout and the
+/// per-slot comparison is meaningless until a fit re-baselines.
 class RefitScheduler {
  public:
   /// `fn` runs on `pool` threads; it must be safe to call from one
@@ -65,11 +76,21 @@ class RefitScheduler {
   RefitScheduler(RefitScheduler&&) = delete;
   RefitScheduler& operator=(RefitScheduler&&) = delete;
 
-  /// Observes that the store reached `epoch`. Schedules (or queues) a
-  /// refit when the debounce threshold is crossed. Returns OK when
-  /// nothing needed doing or the trigger was admitted; ResourceExhausted
-  /// when admitting it shed the oldest pending trigger.
+  /// Observes that the store reached `epoch` (single-store form;
+  /// equivalent to NotifyPartitionEpochs({epoch})). Schedules (or
+  /// queues) a refit when the debounce threshold is crossed. Returns OK
+  /// when nothing needed doing or the trigger was admitted;
+  /// ResourceExhausted when admitting it shed the oldest pending
+  /// trigger.
   Status NotifyEpoch(uint64_t epoch) LTM_EXCLUDES(mu_);
+
+  /// Observes the store's per-partition epoch vector (in partition
+  /// order, as returned by TruthStoreBase::PartitionEpochs). Fires when
+  /// any slot advanced past its debounce baseline, or when the layout
+  /// changed (vector length differs from the baseline's). Same admission
+  /// semantics as NotifyEpoch.
+  Status NotifyPartitionEpochs(const std::vector<uint64_t>& epochs)
+      LTM_EXCLUDES(mu_);
 
   /// Blocks until no job is running and nothing is pending.
   void Drain() LTM_EXCLUDES(mu_);
@@ -77,11 +98,16 @@ class RefitScheduler {
   RefitSchedulerStats Stats() const LTM_EXCLUDES(mu_);
 
  private:
-  /// Submits the pool job for `epoch`; in_flight_ must already be set.
-  void LaunchLocked(uint64_t epoch) LTM_REQUIRES(mu_);
-  /// Pool-job body: runs fn_, records the outcome, chains the next
+  /// True when `epochs` crosses the debounce threshold against the
+  /// current baseline (any slot advanced enough, or the layout changed).
+  bool ShouldTriggerLocked(const std::vector<uint64_t>& epochs) const
+      LTM_REQUIRES(mu_);
+  /// Submits the pool job for the trigger snapshot `epochs`; in_flight_
+  /// must already be set.
+  void LaunchLocked(std::vector<uint64_t> epochs) LTM_REQUIRES(mu_);
+  /// Pool-job body: runs fn_, re-baselines on success, chains the next
   /// pending trigger if its debounce still holds.
-  void RunOne(uint64_t epoch) LTM_EXCLUDES(mu_);
+  void RunOne(std::vector<uint64_t> epochs) LTM_EXCLUDES(mu_);
 
   ThreadPool* const pool_;
   const RefitFn fn_;
@@ -104,8 +130,15 @@ class RefitScheduler {
 
   mutable Mutex mu_;
   CondVar idle_cv_;
-  std::deque<uint64_t> pending_ LTM_GUARDED_BY(mu_);
+  /// Pending trigger snapshots (per-partition epoch vectors). The newest
+  /// subsumes older ones elementwise, so the deque rarely grows.
+  std::deque<std::vector<uint64_t>> pending_ LTM_GUARDED_BY(mu_);
   bool in_flight_ LTM_GUARDED_BY(mu_) = false;
+  /// Debounce baseline: the per-partition epochs captured by the trigger
+  /// whose fit last completed. Starts as {initial_fit_epoch}.
+  std::vector<uint64_t> last_fit_epochs_ LTM_GUARDED_BY(mu_);
+  /// Composite epoch the last successful fit covered (stats/gauge only;
+  /// the per-slot baseline above is what debounces).
   uint64_t last_fit_epoch_ LTM_GUARDED_BY(mu_);
 };
 

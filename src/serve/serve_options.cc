@@ -21,6 +21,11 @@ Status ServeOptions::Validate() const {
         "serve: bloom_bits_per_key must be <= 64 (got " +
         std::to_string(bloom_bits_per_key) + ")");
   }
+  if (partitions == 0 || partitions > 256) {
+    return Status::InvalidArgument(
+        "serve: partitions must be in [1, 256] (got " +
+        std::to_string(partitions) + ")");
+  }
   return Status::OK();
 }
 
@@ -32,6 +37,7 @@ std::string ServeOptions::ToSpecString() const {
   out += ",refit_queue=" + std::to_string(refit_queue);
   out += ",block_cache_mb=" + std::to_string(block_cache_mb);
   out += ",bloom_bits_per_key=" + std::to_string(bloom_bits_per_key);
+  out += ",partitions=" + std::to_string(partitions);
   out += ")";
   return out;
 }
@@ -72,6 +78,10 @@ Result<ServeOptions> ServeOptionsFromSpec(const MethodOptions& opts,
         std::to_string(bloom_bits) + ")");
   }
   out.bloom_bits_per_key = static_cast<uint32_t>(bloom_bits);
+  LTM_ASSIGN_OR_RETURN(
+      const uint64_t partitions,
+      opts.GetUint64("partitions", static_cast<uint64_t>(base.partitions)));
+  out.partitions = static_cast<size_t>(partitions);
   LTM_RETURN_IF_ERROR(out.Validate());
   return out;
 }

@@ -18,7 +18,8 @@ namespace serve {
 /// Knobs for a ServeSession, settable from a spec string via the same
 /// MethodSpec machinery as method options: `serve` or
 /// `serve(batch_window_us=200, max_inflight=8, refit_debounce_epochs=4,
-/// refit_queue=2, block_cache_mb=8, bloom_bits_per_key=10)`.
+/// refit_queue=2, block_cache_mb=8, bloom_bits_per_key=10,
+/// partitions=4)`.
 struct ServeOptions {
   /// How long a cache-missing query leader waits (microseconds) before
   /// materializing its entity slice, so concurrent lookups for the same
@@ -50,6 +51,13 @@ struct ServeOptions {
   /// Bloom filter bits per key for segments the served store writes
   /// (0 disables blooms; at most 64 — past that the filter is all ones).
   uint32_t bloom_bits_per_key = 10;
+
+  /// Entity-range partitions for a freshly created served store (1 =
+  /// single TruthStore; >1 opens a PartitionedTruthStore via
+  /// OpenTruthStoreAuto). An existing PARTMAP always wins — reopening
+  /// never repartitions — and a single-store directory is refused when
+  /// partitions > 1. Must be in [1, 256].
+  size_t partitions = 1;
 
   /// InvalidArgument when a field is out of range.
   Status Validate() const;

@@ -1,5 +1,6 @@
 #include "serve/serve_session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -97,8 +98,9 @@ void ServeSession::InstallQualityLocked() {
   quality_version_gauge_->Set(static_cast<int64_t>(next->version));
   quality_ = std::move(next);
   // A new fit changes every posterior at an unchanged epoch, so cached
-  // entries keyed under older quality versions must go.
-  cache().Clear();
+  // entries keyed under older quality versions must go — from every
+  // partition's cache.
+  store_->ClearPosteriorCaches();
 }
 
 std::shared_ptr<const ServeSession::VersionedQuality>
@@ -109,7 +111,7 @@ ServeSession::CurrentQuality() const {
 
 Status ServeSession::NotifyIngest() {
   if (scheduler_ == nullptr) return Status::OK();
-  return scheduler_->NotifyEpoch(store_->epoch());
+  return scheduler_->NotifyPartitionEpochs(store_->PartitionEpochs());
 }
 
 Result<double> ServeSession::Query(const FactRef& fact,
@@ -120,7 +122,9 @@ Result<double> ServeSession::Query(const FactRef& fact,
   // Reads observe epoch advances too (a foreign writer may never call
   // NotifyIngest); admission feedback from a read-side poke is folded
   // into Stats().refit rather than failing the read.
-  if (scheduler_ != nullptr) (void)scheduler_->NotifyEpoch(store_->epoch());
+  if (scheduler_ != nullptr) {
+    (void)scheduler_->NotifyPartitionEpochs(store_->PartitionEpochs());
+  }
   Result<double> result = QueryInner(fact, ctx);
   if (!result.ok() && result.status().code() == StatusCode::kResourceExhausted) {
     shed_->Increment();
@@ -135,7 +139,9 @@ Result<double> ServeSession::QueryInner(const FactRef& fact,
   const std::shared_ptr<const VersionedQuality> quality = CurrentQuality();
   const std::string fact_key = FactKey(fact);
   const std::string cache_key = CacheKey(fact_key, quality->version);
-  if (const auto hit = cache().Get(cache_key, store_->epoch())) return *hit;
+  if (const auto hit = cache_for(fact.entity).Get(cache_key, store_->epoch())) {
+    return *hit;
+  }
 
   // Singleflight: one slice computation per (entity, quality version) at
   // a time; everyone else waits for it and shares the result.
@@ -200,7 +206,7 @@ Result<double> ServeSession::QueryInner(const FactRef& fact,
   if (it == entry->score.posteriors.end()) {
     // The slice fill only covered facts that exist; cache the no-claim
     // prior for this queried-but-absent fact so repeat lookups hit.
-    cache().Put(cache_key, entry->score.epoch, posterior);
+    cache_for(fact.entity).Put(cache_key, entry->score.epoch, posterior);
   }
   return posterior;
 }
@@ -210,11 +216,11 @@ Result<ServeSession::SliceScore> ServeSession::ComputeEntitySlice(
     const RunContext& ctx) {
   obs::ObsSpan span("slice_compute");
   slice_computes_->Increment();
-  const auto pin = store_->PinEpoch(&entity, &entity);
+  const auto pin = store_->PinSnapshot(&entity, &entity);
   SliceScore out;
   out.epoch = pin->epoch();
   LTM_ASSIGN_OR_RETURN(const Dataset slice,
-                       store_->MaterializeFromPin(*pin, &entity, &entity));
+                       store_->MaterializeSnapshot(*pin, &entity, &entity));
   if (slice.facts.NumFacts() == 0) return out;
   LTM_ASSIGN_OR_RETURN(const std::vector<double> probs,
                        ScoreSlice(slice, quality.lookup, ltm_options_, ctx));
@@ -223,7 +229,9 @@ Result<ServeSession::SliceScore> ServeSession::ComputeEntitySlice(
     std::string key = std::string(slice.raw.entities().Get(fact.entity));
     key += "\t";
     key += slice.raw.attributes().Get(fact.attribute);
-    cache().Put(CacheKey(key, quality.version), out.epoch, probs[f]);
+    // The slice spans exactly [entity, entity], so every fact lives in
+    // `entity`'s partition cache.
+    cache_for(entity).Put(CacheKey(key, quality.version), out.epoch, probs[f]);
     out.posteriors.emplace(std::move(key), probs[f]);
   }
   return out;
@@ -249,10 +257,10 @@ Result<std::vector<ServedFact>> ServeSession::QueryEntityRange(
   range_queries_->Increment();
   RunObserver obs(ctx, "ServeSession::QueryEntityRange");
   const std::shared_ptr<const VersionedQuality> quality = CurrentQuality();
-  const auto pin = store_->PinEpoch(&min_entity, &max_entity);
+  const auto pin = store_->PinSnapshot(&min_entity, &max_entity);
   LTM_ASSIGN_OR_RETURN(
       const Dataset slice,
-      store_->MaterializeFromPin(*pin, &min_entity, &max_entity));
+      store_->MaterializeSnapshot(*pin, &min_entity, &max_entity));
   std::vector<ServedFact> out;
   if (slice.facts.NumFacts() == 0) return out;
   LTM_ASSIGN_OR_RETURN(
@@ -265,17 +273,26 @@ Result<std::vector<ServedFact>> ServeSession::QueryEntityRange(
     served.entity = std::string(slice.raw.entities().Get(fact.entity));
     served.attribute = std::string(slice.raw.attributes().Get(fact.attribute));
     served.posterior = probs[f];
-    cache().Put(CacheKey(served.entity + "\t" + served.attribute,
-                         quality->version),
-                pin->epoch(), probs[f]);
+    cache_for(served.entity)
+        .Put(CacheKey(served.entity + "\t" + served.attribute,
+                      quality->version),
+             pin->epoch(), probs[f]);
     out.push_back(std::move(served));
   }
+  // Materialization order is global *ingest* order (it must be — the
+  // scoring above depends on it). The API contract is global
+  // lexicographic entity order regardless of partition layout; the
+  // stable sort keeps facts of one entity in ingest order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ServedFact& a, const ServedFact& b) {
+                     return a.entity < b.entity;
+                   });
   return out;
 }
 
 std::unique_ptr<ServeSnapshot> ServeSession::AcquireSnapshot() {
   return std::unique_ptr<ServeSnapshot>(
-      new ServeSnapshot(this, store_->PinEpoch(), CurrentQuality()));
+      new ServeSnapshot(this, store_->PinSnapshot(), CurrentQuality()));
 }
 
 ServeStats ServeSession::Stats() const {
@@ -286,9 +303,10 @@ ServeStats ServeSession::Stats() const {
   stats.coalesced = coalesced_->Value();
   stats.shed = shed_->Value();
   stats.slice_computes = slice_computes_->Value();
-  stats.cache = store_->posterior_cache().Stats();
-  stats.block_cache = store_->block_cache().Stats();
-  stats.bloom_point_skips = store_->Stats().bloom_point_skips;
+  stats.cache = store_->PosteriorCacheStats();
+  const store::TruthStoreStats store_stats = store_->Stats();
+  stats.block_cache = store_stats.block_cache;
+  stats.bloom_point_skips = store_stats.bloom_point_skips;
   if (scheduler_ != nullptr) stats.refit = scheduler_->Stats();
   stats.epoch = store_->epoch();
   {
@@ -310,7 +328,7 @@ Result<double> ServeSnapshot::Query(const FactRef& fact,
   const std::string fact_key = ServeSession::FactKey(fact);
   const std::string cache_key =
       ServeSession::CacheKey(fact_key, quality_->version);
-  store::PosteriorCache& cache = session_->cache();
+  store::PosteriorCache& cache = session_->cache_for(fact.entity);
   if (const auto hit = cache.Get(cache_key, pin_->epoch())) {
     session_->query_micros_->Record(ElapsedMicros(timer));
     return *hit;
@@ -321,7 +339,7 @@ Result<double> ServeSnapshot::Query(const FactRef& fact,
   // single data block. Blooms have no false negatives, so this is the
   // same answer the materialize below would have produced.
   LTM_ASSIGN_OR_RETURN(const bool may_exist,
-                       session_->store_->PinnedFactMayExist(
+                       session_->store_->SnapshotFactMayExist(
                            *pin_, fact.entity, fact.attribute));
   if (!may_exist) {
     const double prior = quality_->lookup.no_claim_prior;
@@ -334,8 +352,8 @@ Result<double> ServeSnapshot::Query(const FactRef& fact,
   // is bit-identical no matter what runs concurrently.
   LTM_ASSIGN_OR_RETURN(
       const Dataset slice,
-      session_->store_->MaterializeFromPin(*pin_, &fact.entity,
-                                           &fact.entity));
+      session_->store_->MaterializeSnapshot(*pin_, &fact.entity,
+                                            &fact.entity));
   double posterior = quality_->lookup.no_claim_prior;
   const auto eid = slice.raw.entities().Find(fact.entity);
   const auto aid = slice.raw.attributes().Find(fact.attribute);

@@ -13,13 +13,13 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "ext/streaming.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "serve/fact_scoring.h"
-#include "serve/latency.h"
 #include "serve/refit_scheduler.h"
 #include "serve/serve_options.h"
 #include "store/posterior_cache.h"
-#include "store/truth_store.h"
+#include "store/store_base.h"
 #include "truth/truth_method.h"
 
 namespace ltm {
@@ -58,7 +58,7 @@ struct ServeStats {
   uint64_t epoch = 0;
   uint64_t quality_version = 0;
   size_t live_pins = 0;
-  LatencyHistogram::Percentiles latency;
+  obs::Histogram::Percentiles latency;
   /// Wall-clock stamp (microseconds since the Unix epoch) so exported
   /// stats can be correlated with external monitoring. Never feeds any
   /// computation (see tools/determinism_allowlist.txt).
@@ -69,14 +69,18 @@ class ServeSnapshot;
 
 /// The client-facing online serving front-end (the redesigned read API):
 /// many concurrent clients query posteriors against a StreamingPipeline's
-/// attached TruthStore through one ServeSession. Replaces direct
-/// StreamingPipeline::ServeFact / TruthStore::MaterializeEntityRange /
-/// posterior-cache pokes as the public read path.
+/// attached store through one ServeSession. The session talks to the
+/// polymorphic TruthStoreBase surface, so it serves a single-directory
+/// TruthStore and an entity-range PartitionedTruthStore identically —
+/// for a partitioned store every snapshot pins all partitions at a
+/// consistent vector epoch, so cross-partition reads (QueryEntityRange
+/// included) stay MVCC-correct.
 ///
 ///   - Reads never block ingest: every materialization runs against an
-///     epoch-pinned MVCC snapshot (TruthStore::PinEpoch), so appends,
-///     flushes, and compactions proceed concurrently and a compaction
-///     can never delete a segment file out from under a reader.
+///     epoch-pinned MVCC snapshot (TruthStoreBase::PinSnapshot), so
+///     appends, flushes, compactions, and partition rebalances proceed
+///     concurrently and a compaction can never delete a segment file out
+///     from under a reader.
 ///   - Duplicate-query coalescing: concurrent cache-missing lookups for
 ///     the same (entity, quality version) share one slice
 ///     materialization and one PosteriorCache fill (singleflight); a
@@ -141,8 +145,10 @@ class ServeSession {
       const RunContext& ctx = RunContext());
 
   /// Every known fact with entity in [min_entity, max_entity]
-  /// (lexicographic, inclusive), scored at one pinned epoch, in
-  /// materialization (ingest) order. Warms the cache for point reads.
+  /// (lexicographic, inclusive), scored at one pinned epoch, in global
+  /// lexicographic entity order (facts of one entity stay in ingest
+  /// order) — the same order regardless of how the store is partitioned.
+  /// Warms the cache for point reads.
   Result<std::vector<ServedFact>> QueryEntityRange(
       const std::string& min_entity, const std::string& max_entity,
       const RunContext& ctx = RunContext());
@@ -167,7 +173,7 @@ class ServeSession {
 
   ServeStats Stats() const;
 
-  store::TruthStore* store() const { return store_; }
+  store::TruthStoreBase* store() const { return store_; }
 
  private:
   friend class ServeSnapshot;
@@ -210,7 +216,11 @@ class ServeSession {
   /// version, cache cleared).
   void InstallQualityLocked() LTM_REQUIRES(pipeline_mu_);
 
-  store::PosteriorCache& cache() { return store_->posterior_cache(); }
+  /// The cache slot serving `entity` — per-partition for a partitioned
+  /// store, so one hot partition cannot evict the whole working set.
+  store::PosteriorCache& cache_for(std::string_view entity) {
+    return store_->posterior_cache_for(entity);
+  }
 
   static std::string FactKey(const FactRef& fact) {
     return fact.entity + "\t" + fact.attribute;
@@ -220,7 +230,7 @@ class ServeSession {
   }
 
   ext::StreamingPipeline* const pipeline_;
-  store::TruthStore* const store_;
+  store::TruthStoreBase* const store_;
   const ServeOptions options_;
   const LtmOptions ltm_options_;
 
@@ -251,12 +261,13 @@ class ServeSession {
 };
 
 /// An MVCC read handle from ServeSession::AcquireSnapshot(): holds a
-/// TruthStore::EpochPin plus the quality view of the acquisition
-/// instant, so repeated queries are mutually consistent — and
-/// bit-identical to a sequential read at that epoch — no matter what
-/// ingest, compaction, or refits run concurrently. Reads through a
-/// snapshot still use (and fill) the posterior cache under the
-/// snapshot's own quality version and epoch.
+/// store pin (an EpochPin, or a CompositePin spanning every partition)
+/// plus the quality view of the acquisition instant, so repeated
+/// queries are mutually consistent — and bit-identical to a sequential
+/// read at that epoch — no matter what ingest, compaction, partition
+/// rebalances, or refits run concurrently. Reads through a snapshot
+/// still use (and fill) the posterior cache under the snapshot's own
+/// quality version and epoch.
 ///
 /// Thread-safe for concurrent Query calls. Drop the snapshot to release
 /// its pin (retained superseded segment files are then reclaimed).
@@ -284,12 +295,12 @@ class ServeSnapshot {
 
  private:
   friend class ServeSession;
-  ServeSnapshot(ServeSession* session, std::unique_ptr<store::EpochPin> pin,
+  ServeSnapshot(ServeSession* session, std::unique_ptr<store::StorePin> pin,
                 std::shared_ptr<const ServeSession::VersionedQuality> quality)
       : session_(session), pin_(std::move(pin)), quality_(std::move(quality)) {}
 
   ServeSession* const session_;
-  const std::unique_ptr<store::EpochPin> pin_;
+  const std::unique_ptr<store::StorePin> pin_;
   const std::shared_ptr<const ServeSession::VersionedQuality> quality_;
 };
 

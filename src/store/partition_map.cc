@@ -1,0 +1,239 @@
+#include "store/partition_map.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <set>
+
+#include "common/fs_util.h"
+#include "common/hash.h"
+#include "store/record_io.h"
+
+namespace ltm {
+namespace store {
+
+namespace {
+
+constexpr size_t kHeaderSize = 8;    // magic + version
+constexpr size_t kChecksumSize = 8;  // trailing FNV-1a 64
+/// Minimum serialized entry: id + three length prefixes + has_upper.
+constexpr size_t kMinEntryBytes = 8 + 4 + 4 + 1 + 4;
+
+}  // namespace
+
+std::string PartitionMapEntry::RangeString() const {
+  const std::string lo = lower.empty() ? "-inf" : "\"" + lower + "\"";
+  const std::string hi = has_upper ? "\"" + upper + "\"" : "+inf";
+  return "[" + lo + ", " + hi + ")";
+}
+
+std::string PartitionDirName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "p-%06llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+size_t FindPartition(const PartitionMap& map, std::string_view entity) {
+  // Last entry whose lower bound is <= entity; with total, sorted,
+  // gap-free coverage that entry owns the entity.
+  size_t lo = 0;
+  size_t hi = map.entries.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (entity < map.entries[mid].lower) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+std::string SerializePartitionMap(const PartitionMap& map) {
+  ByteWriter body;
+  body.PutU64(map.generation);
+  body.PutU64(map.next_partition_id);
+  body.PutU32(static_cast<uint32_t>(map.entries.size()));
+  for (const PartitionMapEntry& entry : map.entries) {
+    body.PutU64(entry.id);
+    body.PutString(entry.dir);
+    body.PutString(entry.lower);
+    body.PutU8(entry.has_upper ? 1 : 0);
+    body.PutString(entry.has_upper ? entry.upper : std::string());
+  }
+  std::string out(kPartitionMapMagic, 4);
+  const uint32_t version = kPartitionMapVersion;
+  out.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  out += body.bytes();
+  const uint64_t checksum = Fnv1a64(out);
+  out.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return out;
+}
+
+Result<PartitionMap> ParsePartitionMapFromBytes(std::string_view bytes,
+                                                const std::string& label) {
+  if (bytes.size() < kHeaderSize + kChecksumSize) {
+    return Status::InvalidArgument("partition map truncated: " + label);
+  }
+  if (std::memcmp(bytes.data(), kPartitionMapMagic, 4) != 0) {
+    return Status::InvalidArgument("partition map: bad header magic: " +
+                                   label);
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  if (version != kPartitionMapVersion) {
+    return Status::InvalidArgument(
+        "unsupported partition map version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kPartitionMapVersion) +
+        "): " + label);
+  }
+  uint64_t checksum = 0;
+  std::memcpy(&checksum, bytes.data() + bytes.size() - kChecksumSize,
+              sizeof(checksum));
+  if (Fnv1a64(bytes.data(), bytes.size() - kChecksumSize) != checksum) {
+    return Status::InvalidArgument("partition map checksum mismatch: " +
+                                   label);
+  }
+
+  ByteReader reader(bytes.data() + kHeaderSize,
+                    bytes.size() - kHeaderSize - kChecksumSize);
+  PartitionMap map;
+  auto generation = reader.GetU64();
+  auto next_id = reader.GetU64();
+  auto count = reader.GetU32();
+  if (!generation.ok() || !next_id.ok() || !count.ok()) {
+    return Status::InvalidArgument("partition map truncated: " + label);
+  }
+  map.generation = *generation;
+  map.next_partition_id = *next_id;
+  // An adversarial count cannot force a giant allocation: each entry
+  // consumes at least kMinEntryBytes, so cap by what the body can hold
+  // before reserving anything.
+  if (*count > reader.Remaining() / kMinEntryBytes) {
+    return Status::InvalidArgument(
+        "partition map entry count " + std::to_string(*count) +
+        " exceeds what " + std::to_string(reader.Remaining()) +
+        " body bytes can hold: " + label);
+  }
+  map.entries.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    PartitionMapEntry entry;
+    auto id = reader.GetU64();
+    auto dir = reader.GetString();
+    auto lower = reader.GetString();
+    auto has_upper = reader.GetU8();
+    auto upper = reader.GetString();
+    if (!id.ok() || !dir.ok() || !lower.ok() || !has_upper.ok() ||
+        !upper.ok()) {
+      return Status::InvalidArgument("partition map entry " +
+                                     std::to_string(i) + " truncated: " +
+                                     label);
+    }
+    if (*has_upper > 1) {
+      return Status::InvalidArgument(
+          "partition map entry " + std::to_string(i) +
+          " has_upper byte is " + std::to_string(*has_upper) + ": " + label);
+    }
+    entry.id = *id;
+    entry.dir = std::move(*dir);
+    entry.lower = std::move(*lower);
+    entry.has_upper = *has_upper == 1;
+    entry.upper = std::move(*upper);
+    if (!entry.has_upper && !entry.upper.empty()) {
+      return Status::InvalidArgument(
+          "partition map entry " + std::to_string(i) +
+          " carries an upper bound but has_upper = 0: " + label);
+    }
+    map.entries.push_back(std::move(entry));
+  }
+  if (reader.Remaining() != 0) {
+    return Status::InvalidArgument(
+        "partition map has " + std::to_string(reader.Remaining()) +
+        " trailing byte(s): " + label);
+  }
+  return map;
+}
+
+Status ValidatePartitionMap(const PartitionMap& map) {
+  if (map.entries.empty()) {
+    return Status::InvalidArgument("partition map has no entries");
+  }
+  if (!map.entries.front().lower.empty()) {
+    return Status::InvalidArgument(
+        "partition map gap: first partition starts at \"" +
+        map.entries.front().lower + "\", not the beginning of the keyspace");
+  }
+  if (map.entries.back().has_upper) {
+    return Status::InvalidArgument(
+        "partition map gap: last partition ends at \"" +
+        map.entries.back().upper + "\", not the end of the keyspace");
+  }
+  std::set<uint64_t> ids;
+  std::set<std::string> dirs;
+  for (size_t i = 0; i < map.entries.size(); ++i) {
+    const PartitionMapEntry& entry = map.entries[i];
+    if (entry.id >= map.next_partition_id) {
+      return Status::InvalidArgument(
+          "partition id " + std::to_string(entry.id) +
+          " >= next_partition_id " + std::to_string(map.next_partition_id));
+    }
+    if (!ids.insert(entry.id).second) {
+      return Status::InvalidArgument("duplicate partition id " +
+                                     std::to_string(entry.id));
+    }
+    if (entry.dir.empty() || !dirs.insert(entry.dir).second) {
+      return Status::InvalidArgument("partition " + std::to_string(entry.id) +
+                                     " has an empty or duplicate directory \"" +
+                                     entry.dir + "\"");
+    }
+    const bool last = i + 1 == map.entries.size();
+    if (!last) {
+      if (!entry.has_upper) {
+        return Status::InvalidArgument(
+            "partition map overlap: partition " + std::to_string(entry.id) +
+            " is unbounded above but is not the last entry");
+      }
+      if (entry.upper <= entry.lower) {
+        return Status::InvalidArgument(
+            "partition " + std::to_string(entry.id) + " range " +
+            entry.RangeString() + " is empty");
+      }
+      const PartitionMapEntry& next = map.entries[i + 1];
+      if (entry.upper < next.lower) {
+        return Status::InvalidArgument(
+            "partition map gap between " + entry.RangeString() + " and " +
+            next.RangeString());
+      }
+      if (entry.upper > next.lower) {
+        return Status::InvalidArgument(
+            "partition map overlap between " + entry.RangeString() + " and " +
+            next.RangeString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<PartitionMap> LoadPartitionMap(const std::string& dir) {
+  const std::string path = dir + "/" + kPartitionMapFileName;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no partition map at " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("partition map read failed: " + path);
+  return ParsePartitionMapFromBytes(bytes, path);
+}
+
+Status CommitPartitionMap(const std::string& dir, const PartitionMap& map) {
+  LTM_RETURN_IF_ERROR(ValidatePartitionMap(map));
+  return AtomicWriteFile(dir + "/" + kPartitionMapFileName,
+                         SerializePartitionMap(map));
+}
+
+}  // namespace store
+}  // namespace ltm

@@ -94,6 +94,18 @@ std::vector<std::string> FindOrphanFiles(const std::string& dir,
   return orphans;
 }
 
+/// Merges a `key="value"` label fragment into a metric name:
+/// `name` -> `name{label}`, `name{a="b"}` -> `name{a="b",label}`. An
+/// empty label keeps the name untouched, so unpartitioned stores expose
+/// the exact historical series names.
+std::string Labeled(const std::string& name, const std::string& label) {
+  if (label.empty()) return name;
+  if (!name.empty() && name.back() == '}') {
+    return name.substr(0, name.size() - 1) + "," + label + "}";
+  }
+  return name + "{" + label + "}";
+}
+
 Result<std::string> ReadFileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
@@ -143,32 +155,50 @@ TruthStore::TruthStore(std::string dir, TruthStoreOptions options)
                          : nullptr),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : owned_metrics_.get()),
-      wal_appends_(metrics_->counter("ltm_store_wal_appends_total")),
-      wal_syncs_(metrics_->counter("ltm_store_wal_syncs_total")),
-      wal_append_micros_(metrics_->histogram("ltm_store_wal_append_micros")),
-      wal_sync_micros_(metrics_->histogram("ltm_store_wal_sync_micros")),
-      flushes_(metrics_->counter("ltm_store_flushes_total")),
-      flush_rows_(metrics_->counter("ltm_store_flush_rows_total")),
-      flush_micros_(metrics_->histogram("ltm_store_flush_micros")),
-      compactions_(metrics_->counter("ltm_store_compactions_total")),
-      compaction_trivial_moves_(
-          metrics_->counter("ltm_store_compaction_trivial_moves_total")),
-      compaction_input_segments_(
-          metrics_->counter("ltm_store_compaction_input_segments_total")),
-      compaction_output_segments_(
-          metrics_->counter("ltm_store_compaction_output_segments_total")),
-      compaction_bytes_read_(
-          metrics_->counter("ltm_store_compaction_bytes_read_total")),
-      compaction_bytes_written_(
-          metrics_->counter("ltm_store_compaction_bytes_written_total")),
-      compaction_rows_dropped_(
-          metrics_->counter("ltm_store_compaction_rows_dropped_total")),
-      compaction_micros_(metrics_->histogram("ltm_store_compaction_micros")),
-      bloom_point_skips_(
-          metrics_->counter("ltm_store_bloom_point_skips_total")),
-      epoch_gauge_(metrics_->gauge("ltm_store_epoch")),
-      memtable_rows_gauge_(metrics_->gauge("ltm_store_memtable_rows")),
-      live_pins_gauge_(metrics_->gauge("ltm_store_live_pins")),
+      wal_appends_(metrics_->counter(
+          Labeled("ltm_store_wal_appends_total", options.metrics_label))),
+      wal_syncs_(metrics_->counter(
+          Labeled("ltm_store_wal_syncs_total", options.metrics_label))),
+      wal_append_micros_(metrics_->histogram(
+          Labeled("ltm_store_wal_append_micros", options.metrics_label))),
+      wal_sync_micros_(metrics_->histogram(
+          Labeled("ltm_store_wal_sync_micros", options.metrics_label))),
+      flushes_(metrics_->counter(
+          Labeled("ltm_store_flushes_total", options.metrics_label))),
+      flush_rows_(metrics_->counter(
+          Labeled("ltm_store_flush_rows_total", options.metrics_label))),
+      flush_micros_(metrics_->histogram(
+          Labeled("ltm_store_flush_micros", options.metrics_label))),
+      compactions_(metrics_->counter(
+          Labeled("ltm_store_compactions_total", options.metrics_label))),
+      compaction_trivial_moves_(metrics_->counter(
+          Labeled("ltm_store_compaction_trivial_moves_total",
+                  options.metrics_label))),
+      compaction_input_segments_(metrics_->counter(
+          Labeled("ltm_store_compaction_input_segments_total",
+                  options.metrics_label))),
+      compaction_output_segments_(metrics_->counter(
+          Labeled("ltm_store_compaction_output_segments_total",
+                  options.metrics_label))),
+      compaction_bytes_read_(metrics_->counter(
+          Labeled("ltm_store_compaction_bytes_read_total",
+                  options.metrics_label))),
+      compaction_bytes_written_(metrics_->counter(
+          Labeled("ltm_store_compaction_bytes_written_total",
+                  options.metrics_label))),
+      compaction_rows_dropped_(metrics_->counter(
+          Labeled("ltm_store_compaction_rows_dropped_total",
+                  options.metrics_label))),
+      compaction_micros_(metrics_->histogram(
+          Labeled("ltm_store_compaction_micros", options.metrics_label))),
+      bloom_point_skips_(metrics_->counter(
+          Labeled("ltm_store_bloom_point_skips_total", options.metrics_label))),
+      epoch_gauge_(metrics_->gauge(
+          Labeled("ltm_store_epoch", options.metrics_label))),
+      memtable_rows_gauge_(metrics_->gauge(
+          Labeled("ltm_store_memtable_rows", options.metrics_label))),
+      live_pins_gauge_(metrics_->gauge(
+          Labeled("ltm_store_live_pins", options.metrics_label))),
       cache_(options.posterior_cache_capacity, metrics_),
       block_cache_(static_cast<uint64_t>(options.block_cache_mb) << 20,
                    /*num_shards=*/8, metrics_) {}
@@ -289,7 +319,12 @@ Result<std::unique_ptr<TruthStore>> TruthStore::Open(
             std::to_string(record.observation) +
             " (explicit negative observations are reserved): " + wal_path);
       }
+      const size_t before = st->memtable_.NumRows();
       st->memtable_.Add(record.entity, record.attribute, record.source);
+      if (options.external_sequencing &&
+          st->memtable_.NumRows() > before) {
+        st->memtable_seqs_.push_back(record.seq);
+      }
     }
     st->wal_records_replayed_ = replay.records.size();
   } else {
@@ -326,7 +361,11 @@ Status TruthStore::AppendLocked(const WalRecord& record) {
     wal_syncs_->Increment();
     wal_sync_micros_->Record(ElapsedMicros(sync_timer));
   }
+  const size_t before = memtable_.NumRows();
   memtable_.Add(record.entity, record.attribute, record.source);
+  if (options_.external_sequencing && memtable_.NumRows() > before) {
+    memtable_seqs_.push_back(record.seq);
+  }
   ++epoch_;
   epoch_gauge_->Set(static_cast<int64_t>(epoch_));
   memtable_rows_gauge_->Set(static_cast<int64_t>(memtable_.NumRows()));
@@ -351,8 +390,14 @@ Status TruthStore::AppendRaw(const RawDatabase& raw) {
   return Sync();
 }
 
-Status TruthStore::AppendDataset(const Dataset& chunk) {
-  return AppendRaw(chunk.raw);
+Status TruthStore::AppendRecords(const std::vector<WalRecord>& records) {
+  {
+    MutexLock lock(mu_);
+    for (const WalRecord& record : records) {
+      LTM_RETURN_IF_ERROR(AppendLocked(record));
+    }
+  }
+  return Sync();
 }
 
 Status TruthStore::Sync() {
@@ -413,16 +458,26 @@ Status TruthStore::FlushLocked() {
 
   // Assign contiguous global ingest sequence numbers in memtable row
   // order (= WAL/ingest order); replay sorts on them, so this is the step
-  // that makes compaction free to reorder rows on disk.
+  // that makes compaction free to reorder rows on disk. Under external
+  // sequencing the rows already carry router-assigned global seqs
+  // (tracked in memtable_seqs_), so those are persisted instead and the
+  // next_row_seq watermark advances past the largest one.
   std::vector<SegmentRow> rows;
   rows.reserve(memtable_.NumRows());
   uint64_t seq = manifest_.next_row_seq;
+  size_t row_idx = 0;
   for (const RawRow& row : memtable_.rows()) {
     SegmentRow r;
     r.entity = std::string(memtable_.entities().Get(row.entity));
     r.attribute = std::string(memtable_.attributes().Get(row.attribute));
     r.source = std::string(memtable_.sources().Get(row.source));
-    r.seq = seq++;
+    if (options_.external_sequencing) {
+      r.seq = memtable_seqs_[row_idx];
+      seq = std::max(seq, r.seq + 1);
+    } else {
+      r.seq = seq++;
+    }
+    ++row_idx;
     r.observation = 1;
     rows.push_back(std::move(r));
   }
@@ -459,6 +514,7 @@ Status TruthStore::FlushLocked() {
   manifest_ = std::move(next);
   wal_ = std::move(new_wal).value();
   memtable_ = RawDatabase();
+  memtable_seqs_.clear();
   ++epoch_;
   flushes_->Increment();
   flush_rows_->Increment(rows.size());
@@ -706,9 +762,11 @@ Status TruthStore::CompactSegmentsInner(const std::vector<SegmentInfo>& inputs,
   const uint64_t compact_micros = ElapsedMicros(compaction_timer);
   compaction_micros_->Record(compact_micros);
   // Per-level write-amp accounting: the labeled series register lazily
-  // the first time a compaction lands on each output level.
-  const std::string level_label =
-      "{level=\"" + std::to_string(output_level) + "\"}";
+  // the first time a compaction lands on each output level (merged with
+  // the store's partition label, if it has one).
+  const std::string level_label = Labeled(
+      "{level=\"" + std::to_string(output_level) + "\"}",
+      options_.metrics_label);
   metrics_->counter("ltm_store_compaction_micros_total" + level_label)
       ->Increment(compact_micros);
   metrics_->counter("ltm_store_compaction_bytes_written_total" + level_label)
@@ -783,8 +841,14 @@ std::unique_ptr<EpochPin> TruthStore::PinEpoch(
     segments = manifest_.segments;
     epoch = epoch_;
     // Copy out only the rows the query needs — a point read must not
-    // stall concurrent appends for a full-memtable copy.
+    // stall concurrent appends for a full-memtable copy. Each copied row
+    // carries its global ingest seq: the router-assigned one under
+    // external sequencing, else the provisional seq the next flush would
+    // assign — either way every pinned row is totally ordered by seq,
+    // with memtable rows sorting after all committed segment rows.
+    size_t row_idx = 0;
     for (const RawRow& row : memtable_.rows()) {
+      const size_t idx = row_idx++;
       const std::string_view entity = memtable_.entities().Get(row.entity);
       if ((min_entity != nullptr && entity < *min_entity) ||
           (max_entity != nullptr && entity > *max_entity)) {
@@ -794,6 +858,9 @@ std::unique_ptr<EpochPin> TruthStore::PinEpoch(
       record.entity = std::string(entity);
       record.attribute = std::string(memtable_.attributes().Get(row.attribute));
       record.source = std::string(memtable_.sources().Get(row.source));
+      record.seq = options_.external_sequencing
+                       ? memtable_seqs_[idx]
+                       : manifest_.next_row_seq + idx;
       memtable_rows.push_back(std::move(record));
     }
     // Reference every captured segment so a compaction that supersedes
@@ -854,7 +921,7 @@ void TruthStore::DropSegmentCaches(uint64_t id) const {
   block_cache_.EraseSegment(id);
 }
 
-Result<Dataset> TruthStore::MaterializeFromPin(
+Result<std::vector<SegmentRow>> TruthStore::CollectPinnedRows(
     const EpochPin& pin, const std::string* min_entity,
     const std::string* max_entity, RangeScanStats* stats) const {
   RangeScanStats scan;
@@ -885,6 +952,22 @@ Result<Dataset> TruthStore::MaterializeFromPin(
     scan.block_cache_hits += rs.blocks_from_cache;
     scan.bytes_read += rs.bytes_read;
   }
+  // The pin's memtable rows already carry seqs that sort after every
+  // committed segment row (see PinEpoch), so one uniform sort recovers
+  // global ingest order across segments AND the memtable.
+  for (const WalRecord& record : pin.memtable_rows()) {
+    if ((min_entity != nullptr && record.entity < *min_entity) ||
+        (max_entity != nullptr && record.entity > *max_entity)) {
+      continue;
+    }
+    SegmentRow row;
+    row.entity = record.entity;
+    row.attribute = record.attribute;
+    row.source = record.source;
+    row.seq = record.seq;
+    row.observation = record.observation;
+    rows.push_back(std::move(row));
+  }
   // Rows arrived in per-segment key order; global ingest-sequence order
   // is the replay order that keeps posteriors bit-identical to a batch
   // load (sequence numbers are unique, so this sort has one answer).
@@ -892,18 +975,20 @@ Result<Dataset> TruthStore::MaterializeFromPin(
             [](const SegmentRow& a, const SegmentRow& b) {
               return a.seq < b.seq;
             });
+  if (stats != nullptr) *stats = scan;
+  return rows;
+}
+
+Result<Dataset> TruthStore::MaterializeFromPin(
+    const EpochPin& pin, const std::string* min_entity,
+    const std::string* max_entity, RangeScanStats* stats) const {
+  LTM_ASSIGN_OR_RETURN(
+      const std::vector<SegmentRow> rows,
+      CollectPinnedRows(pin, min_entity, max_entity, stats));
   RawDatabase combined;
   for (const SegmentRow& row : rows) {
     combined.Add(row.entity, row.attribute, row.source);
   }
-  for (const WalRecord& record : pin.memtable_rows()) {
-    if ((min_entity != nullptr && record.entity < *min_entity) ||
-        (max_entity != nullptr && record.entity > *max_entity)) {
-      continue;
-    }
-    combined.Add(record.entity, record.attribute, record.source);
-  }
-  if (stats != nullptr) *stats = scan;
   return Dataset::FromRaw("truthstore:" + dir_, std::move(combined));
 }
 
@@ -921,6 +1006,31 @@ Result<bool> TruthStore::PinnedFactMayExist(const EpochPin& pin,
   }
   bloom_point_skips_->Increment();
   return false;
+}
+
+std::unique_ptr<StorePin> TruthStore::PinSnapshot(
+    const std::string* min_entity, const std::string* max_entity) const {
+  return PinEpoch(min_entity, max_entity);
+}
+
+Result<Dataset> TruthStore::MaterializeSnapshot(
+    const StorePin& pin, const std::string* min_entity,
+    const std::string* max_entity, RangeScanStats* stats) const {
+  const EpochPin* epoch_pin = pin.AsEpochPin();
+  if (epoch_pin == nullptr || epoch_pin->store_ != this) {
+    return Status::InvalidArgument("pin was not issued by this store");
+  }
+  return MaterializeFromPin(*epoch_pin, min_entity, max_entity, stats);
+}
+
+Result<bool> TruthStore::SnapshotFactMayExist(
+    const StorePin& pin, const std::string& entity,
+    const std::string& attribute) const {
+  const EpochPin* epoch_pin = pin.AsEpochPin();
+  if (epoch_pin == nullptr || epoch_pin->store_ != this) {
+    return Status::InvalidArgument("pin was not issued by this store");
+  }
+  return PinnedFactMayExist(*epoch_pin, entity, attribute);
 }
 
 Result<Dataset> TruthStore::Materialize(uint64_t* epoch_out) const {
@@ -996,6 +1106,15 @@ size_t TruthStore::num_pinned_epochs() const {
 size_t TruthStore::num_deferred_segments() const {
   MutexLock lock(mu_);
   return deferred_segments_.size();
+}
+
+uint64_t TruthStore::NextRowSeq() const {
+  MutexLock lock(mu_);
+  uint64_t next = manifest_.next_row_seq;
+  for (const uint64_t seq : memtable_seqs_) {
+    next = std::max(next, seq + 1);
+  }
+  return next;
 }
 
 Result<StoreVerifyReport> TruthStore::Verify(const std::string& dir) {

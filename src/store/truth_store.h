@@ -17,9 +17,11 @@
 #include "data/dataset.h"
 #include "obs/metrics.h"
 #include "store/block_cache.h"
+#include "store/block_format.h"
 #include "store/manifest.h"
 #include "store/posterior_cache.h"
 #include "store/segment.h"
+#include "store/store_base.h"
 #include "store/wal.h"
 
 namespace ltm {
@@ -55,6 +57,23 @@ struct TruthStoreOptions {
   /// Fold the manifest edit log into a fresh snapshot every N edits.
   size_t manifest_snapshot_every = 32;
 
+  /// Router-assigned ingest sequence numbers. Off (the default): the
+  /// store assigns contiguous sequence numbers itself at flush time.
+  /// On — the PartitionedTruthStore child mode — every Append must carry
+  /// the caller's global sequence number in WalRecord::seq; the store
+  /// persists it in the (version-2) WAL, carries it through flush into
+  /// segment rows, and Materialize orders rows by it. This is what makes
+  /// a cross-partition merge reproduce the router's global ingest order
+  /// bit for bit.
+  bool external_sequencing = false;
+
+  /// Label text merged into every `ltm_store_*` metric name this store
+  /// registers (e.g. `partition="3"` makes
+  /// `ltm_store_flushes_total{partition="3"}`). Empty (the default)
+  /// keeps the unlabeled names. The partitioned router labels each child
+  /// so one registry exposes per-partition series side by side.
+  std::string metrics_label;
+
   /// Registry the store (and its caches / serving session) publishes
   /// `ltm_store_*` / `ltm_cache_*` / `ltm_serve_*` metrics into. Null
   /// (the default) gives the store a private registry — instances stay
@@ -62,60 +81,6 @@ struct TruthStoreOptions {
   /// surface (the CLIs, the benches) pass
   /// `&obs::MetricsRegistry::Global()`. Must outlive the store.
   obs::MetricsRegistry* metrics = nullptr;
-};
-
-/// Read-path counters reported per materialization call.
-struct RangeScanStats {
-  size_t segments_scanned = 0;
-  /// Segments excluded by manifest zone stats (entity range).
-  size_t segments_skipped = 0;
-  /// Segments excluded by a negative bloom probe (point reads only).
-  size_t segments_skipped_bloom = 0;
-  /// Data blocks decoded (cache hits + disk reads).
-  uint64_t blocks_read = 0;
-  /// Of those, served from the block cache.
-  uint64_t block_cache_hits = 0;
-  /// Bytes actually read from disk for data blocks.
-  uint64_t bytes_read = 0;
-};
-
-/// Cumulative compaction work counters (write-amplification accounting).
-struct CompactionStats {
-  uint64_t compactions = 0;       ///< merge passes that committed
-  uint64_t trivial_moves = 0;     ///< segments relinked down a level, no IO
-  uint64_t input_segments = 0;
-  uint64_t output_segments = 0;
-  uint64_t bytes_read = 0;        ///< sum of input segment file bytes
-  uint64_t bytes_written = 0;     ///< sum of output segment file bytes
-  uint64_t rows_dropped = 0;      ///< duplicate (entity, attr, source) rows
-};
-
-/// Point-in-time store counters.
-struct TruthStoreStats {
-  uint64_t epoch = 0;
-  uint64_t generation = 0;
-  size_t num_segments = 0;
-  uint64_t segment_rows = 0;
-  size_t memtable_rows = 0;
-  uint64_t wal_records_replayed = 0;
-  bool recovered_torn_tail = false;
-  /// Live EpochPin handles (MVCC read snapshots) outstanding right now.
-  size_t live_pins = 0;
-  /// Segments compacted away but kept on disk because a live pin still
-  /// references them; reclaimed when the last referencing pin drops.
-  size_t deferred_segments = 0;
-
-  /// Deepest populated level and the L0 (overlapping) segment count.
-  uint32_t max_level = 0;
-  size_t l0_segments = 0;
-  uint64_t next_row_seq = 0;
-  /// Edit records appended since the last manifest snapshot fold.
-  uint64_t manifest_edits_since_snapshot = 0;
-  /// Point probes answered "fact cannot exist" purely from blooms,
-  /// reading zero data blocks (cumulative).
-  uint64_t bloom_point_skips = 0;
-  BlockCacheStats block_cache;
-  CompactionStats compaction;
 };
 
 class TruthStore;
@@ -135,19 +100,18 @@ class TruthStore;
 ///
 /// Thread-safe for concurrent reads; the handle itself must be destroyed
 /// on one thread. Must not outlive the TruthStore that issued it.
-class EpochPin {
+class EpochPin : public StorePin {
  public:
-  ~EpochPin();
+  ~EpochPin() override;
 
   /// Holds a back-reference into the issuing store's refcount table;
   /// duplicating it would double-release.
-  EpochPin(const EpochPin&) = delete;
-  EpochPin& operator=(const EpochPin&) = delete;
   EpochPin(EpochPin&&) = delete;
   EpochPin& operator=(EpochPin&&) = delete;
 
   /// The store epoch this pin captured (for posterior-cache keying).
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const override { return epoch_; }
+  const EpochPin* AsEpochPin() const override { return this; }
   const std::vector<SegmentInfo>& segments() const { return segments_; }
   const std::vector<WalRecord>& memtable_rows() const {
     return memtable_rows_;
@@ -224,7 +188,7 @@ struct StoreVerifyReport {
 /// Thread-safe: appends, flushes, reads, and one background compaction
 /// may run concurrently. Not multi-process-safe — one TruthStore instance
 /// owns a directory at a time.
-class TruthStore {
+class TruthStore : public TruthStoreBase {
  public:
   /// Opens (or initializes) the store at `dir`, creating the directory if
   /// needed, and runs crash recovery as described above.
@@ -232,36 +196,39 @@ class TruthStore {
       const std::string& dir, TruthStoreOptions options = TruthStoreOptions());
 
   /// Joins any in-flight background compaction before tearing down.
-  ~TruthStore();
+  ~TruthStore() override;
 
   /// Owns a directory, a WAL appender, and a mutex — copying or moving a
   /// live store could never be correct, so both are compile errors.
-  TruthStore(const TruthStore&) = delete;
-  TruthStore& operator=(const TruthStore&) = delete;
   TruthStore(TruthStore&&) = delete;
   TruthStore& operator=(TruthStore&&) = delete;
 
   /// Appends one observation: WAL first, then the memtable. Records with
   /// observation != 1 are rejected (explicit negative claims are reserved
   /// in the record format but not yet served). May trigger an auto-flush
-  /// per `memtable_flush_rows`.
-  Status Append(const WalRecord& record) LTM_EXCLUDES(mu_);
+  /// per `memtable_flush_rows`. Under external_sequencing the record's
+  /// `seq` is persisted as given; otherwise it is ignored (flush assigns
+  /// sequence numbers).
+  Status Append(const WalRecord& record) override LTM_EXCLUDES(mu_);
 
   /// Appends every row of `raw` (in row order) and then Sync()s — one
   /// durable group commit per chunk. The ingest fast path: no fact table
   /// or claim graph is needed or built.
-  Status AppendRaw(const RawDatabase& raw) LTM_EXCLUDES(mu_);
+  Status AppendRaw(const RawDatabase& raw) override LTM_EXCLUDES(mu_);
 
-  /// AppendRaw over `chunk.raw` (convenience for callers that already
-  /// materialized the chunk).
-  Status AppendDataset(const Dataset& chunk);
+  /// Appends `records` in order under one lock hold, then Sync()s — the
+  /// batched group-commit path the partitioned router uses after
+  /// splitting a chunk by entity range (each record carrying its
+  /// router-assigned seq).
+  Status AppendRecords(const std::vector<WalRecord>& records)
+      LTM_EXCLUDES(mu_);
 
   /// Makes all buffered appends durable (WAL fsync).
-  Status Sync() LTM_EXCLUDES(mu_);
+  Status Sync() override LTM_EXCLUDES(mu_);
 
   /// Writes the memtable as a new immutable L0 block segment, rotates the
   /// WAL, and appends a manifest edit. No-op on an empty memtable.
-  Status Flush() LTM_EXCLUDES(mu_);
+  Status Flush() override LTM_EXCLUDES(mu_);
 
   /// Major compaction: merges every segment into the bottom level
   /// (duplicate (entity, attribute, source) rows collapse to their
@@ -270,7 +237,7 @@ class TruthStore {
   /// Appends may proceed concurrently; segments flushed while the merge
   /// runs survive unmerged. At most one compaction (sync or async) at a
   /// time — a second concurrent call fails with FailedPrecondition.
-  Status Compact() LTM_EXCLUDES(mu_);
+  Status Compact() override LTM_EXCLUDES(mu_);
 
   /// One leveled compaction step, or nothing: merges all of L0 into L1
   /// once `l0_compaction_trigger` L0 segments exist, else spills one
@@ -278,7 +245,7 @@ class TruthStore {
   /// segment with no next-level overlap is relinked without rewriting).
   /// Returns false when no level needed work. Same single-compaction
   /// exclusivity as Compact().
-  Result<bool> CompactOnce() LTM_EXCLUDES(mu_);
+  Result<bool> CompactOnce() override LTM_EXCLUDES(mu_);
 
   /// Runs Compact() as a background job on `pool`; the future resolves
   /// to FailedPrecondition when a compaction is already in flight. The
@@ -312,6 +279,17 @@ class TruthStore {
                                      const std::string* max_entity = nullptr,
                                      RangeScanStats* stats = nullptr) const;
 
+  /// The raw rows behind a pin — every in-range segment row plus the
+  /// pin's memtable rows, each carrying its ingest sequence number,
+  /// sorted by sequence. The building block of the partitioned store's
+  /// cross-partition k-way merge (child memtable rows only carry
+  /// meaningful seqs under external_sequencing). The rows are NOT
+  /// deduplicated; callers replay them through a RawDatabase in order.
+  Result<std::vector<SegmentRow>> CollectPinnedRows(
+      const EpochPin& pin, const std::string* min_entity = nullptr,
+      const std::string* max_entity = nullptr,
+      RangeScanStats* stats = nullptr) const;
+
   /// Bloom-only point probe: can fact (entity, attribute) possibly exist
   /// at the pin's epoch? Checks the pin's memtable rows exactly, then
   /// probes the bloom filter of every zone-overlapping segment — no data
@@ -323,35 +301,62 @@ class TruthStore {
                                   const std::string& entity,
                                   const std::string& attribute) const;
 
+  // TruthStoreBase snapshot surface: the polymorphic spellings of
+  // PinEpoch / MaterializeFromPin / PinnedFactMayExist. A pin passed
+  // back must be one this store issued (checked, InvalidArgument).
+  std::unique_ptr<StorePin> PinSnapshot(
+      const std::string* min_entity = nullptr,
+      const std::string* max_entity = nullptr) const override;
+  Result<Dataset> MaterializeSnapshot(
+      const StorePin& pin, const std::string* min_entity = nullptr,
+      const std::string* max_entity = nullptr,
+      RangeScanStats* stats = nullptr) const override;
+  Result<bool> SnapshotFactMayExist(const StorePin& pin,
+                                    const std::string& entity,
+                                    const std::string& attribute)
+      const override;
+
   /// Full rebuild: all rows in global ingest-sequence order, then the
   /// memtable. When `epoch_out` is non-null it receives the epoch the
   /// materialized data corresponds to (for posterior-cache keying).
-  Result<Dataset> Materialize(uint64_t* epoch_out = nullptr) const;
+  Result<Dataset> Materialize(uint64_t* epoch_out = nullptr) const override;
 
   /// Rebuild restricted to entities with lexicographic key in
   /// [min_entity, max_entity], skipping segments whose zone stats exclude
   /// the range entirely and reading only index-selected blocks.
-  Result<Dataset> MaterializeEntityRange(const std::string& min_entity,
-                                         const std::string& max_entity,
-                                         RangeScanStats* stats = nullptr,
-                                         uint64_t* epoch_out = nullptr) const;
+  Result<Dataset> MaterializeEntityRange(
+      const std::string& min_entity, const std::string& max_entity,
+      RangeScanStats* stats = nullptr,
+      uint64_t* epoch_out = nullptr) const override;
 
   /// In-memory data version: advances on every append and every manifest
   /// commit. Keys the posterior cache.
-  uint64_t epoch() const LTM_EXCLUDES(mu_);
+  uint64_t epoch() const override LTM_EXCLUDES(mu_);
 
-  TruthStoreStats Stats() const LTM_EXCLUDES(mu_);
+  TruthStoreStats Stats() const override LTM_EXCLUDES(mu_);
 
   /// Copy of the committed segment list (observability: store_cli
   /// inspect walks it to print per-level layout and bloom geometry).
   std::vector<SegmentInfo> segments() const LTM_EXCLUDES(mu_);
 
   /// Live EpochPin handles outstanding (observability + tests).
-  size_t num_pinned_epochs() const LTM_EXCLUDES(mu_);
+  size_t num_pinned_epochs() const override LTM_EXCLUDES(mu_);
   /// Superseded segments whose files are retained for live pins.
   size_t num_deferred_segments() const LTM_EXCLUDES(mu_);
 
+  /// The next ingest sequence number this store would accept/assign:
+  /// manifest next_row_seq, or one past the largest externally sequenced
+  /// row still in the memtable. The partitioned router recovers its
+  /// global sequence counter from the max of this over all children.
+  uint64_t NextRowSeq() const LTM_EXCLUDES(mu_);
+
   PosteriorCache& posterior_cache() { return cache_; }
+  PosteriorCache& posterior_cache_for(std::string_view entity) override {
+    (void)entity;
+    return cache_;
+  }
+  void ClearPosteriorCaches() override { cache_.Clear(); }
+  CacheStats PosteriorCacheStats() const override { return cache_.Stats(); }
   /// The shared data-block cache (internally thread-safe).
   BlockCache& block_cache() const { return block_cache_; }
 
@@ -360,9 +365,9 @@ class TruthStore {
   /// Serving components layered on the store (ServeSession,
   /// RefitScheduler) register their metrics here so one RenderText()
   /// covers the whole stack. Never null.
-  obs::MetricsRegistry* metrics() const { return metrics_; }
+  obs::MetricsRegistry* metrics() const override { return metrics_; }
 
-  const std::string& dir() const { return dir_; }
+  const std::string& dir() const override { return dir_; }
 
   /// Offline integrity check of a store directory: manifest readable,
   /// every segment parses with valid checksums end to end and matches its
@@ -420,6 +425,11 @@ class TruthStore {
   mutable Mutex mu_;
   Manifest manifest_ LTM_GUARDED_BY(mu_);
   RawDatabase memtable_ LTM_GUARDED_BY(mu_);
+  /// Under external_sequencing: the caller-assigned seq of memtable row
+  /// i (the memtable dedups, so a seq is recorded only when its Add grew
+  /// the row count — keeping the FIRST occurrence's seq, the same rule
+  /// compaction applies). Empty in internal mode.
+  std::vector<uint64_t> memtable_seqs_ LTM_GUARDED_BY(mu_);
   std::optional<WalWriter> wal_ LTM_GUARDED_BY(mu_);
   uint64_t epoch_ LTM_GUARDED_BY(mu_) = 0;
   uint64_t wal_records_replayed_ LTM_GUARDED_BY(mu_) = 0;

@@ -19,9 +19,17 @@ namespace store {
 ///   record: uint32 payload size, uint64 FNV-1a 64 checksum of the
 ///           payload, payload:
 ///             uint8 observation bit (1 = assertion; 0 reserved)
+///             uint64 ingest sequence number       (version 2 only)
 ///             uint32 len + bytes   entity
 ///             uint32 len + bytes   attribute
 ///             uint32 len + bytes   source
+///
+/// Version 2 added the per-record ingest sequence number so an
+/// externally sequenced store (a PartitionedTruthStore child) can
+/// persist router-assigned global sequence numbers across a crash;
+/// version 1 files (no seq field) are still replayed, with every
+/// record's seq reported as 0. A writer appending to an existing file
+/// keeps that file's record format, so a log is never mixed-version.
 ///
 /// Appends go through stdio buffering; Sync() flushes and fsyncs, the
 /// group-commit durability point. A crash can therefore lose an unsynced
@@ -30,18 +38,23 @@ namespace store {
 /// ends, so recovery truncates the torn tail and appends from there.
 
 inline constexpr char kWalMagic[4] = {'L', 'T', 'M', 'W'};
-inline constexpr uint32_t kWalVersion = 1;
+inline constexpr uint32_t kWalVersion = 2;
+inline constexpr uint32_t kWalLegacyVersion = 1;
 inline constexpr size_t kWalHeaderSize = 8;
 
 /// One logged observation: `source` asserted (observation = 1) that
 /// `entity` has attribute value `attribute`. The observation bit is part
 /// of the on-disk record for forward compatibility with explicit
-/// negative claims; the store currently only writes 1.
+/// negative claims; the store currently only writes 1. `seq` is the
+/// ingest sequence number persisted by version-2 logs; internally
+/// sequenced stores ignore it on append (the flush assigns sequence
+/// numbers) and version-1 replays report it as 0.
 struct WalRecord {
   std::string entity;
   std::string attribute;
   std::string source;
   uint8_t observation = 1;
+  uint64_t seq = 0;
 
   bool operator==(const WalRecord&) const = default;
 };
@@ -69,13 +82,17 @@ class WalWriter {
 
   uint64_t appended_records() const { return appended_; }
   const std::string& path() const { return path_; }
+  /// Record format this writer emits: kWalVersion for fresh files, the
+  /// existing header's version when appending to an old log.
+  uint32_t version() const { return version_; }
 
  private:
-  WalWriter(std::FILE* file, std::string path)
-      : file_(file), path_(std::move(path)) {}
+  WalWriter(std::FILE* file, std::string path, uint32_t version)
+      : file_(file), path_(std::move(path)), version_(version) {}
 
   std::FILE* file_ = nullptr;
   std::string path_;
+  uint32_t version_ = kWalVersion;
   uint64_t appended_ = 0;
 };
 

@@ -167,11 +167,17 @@ Result<TruthResult> LatentTruthModel::Run(const RunContext& ctx,
     active = &positive;
   }
 
-  // threads=1 (the default) keeps the original sequential chain;
-  // anything else dispatches to the sharded sampler (0 = one shard per
-  // hardware thread). Quality is always read off the full graph.
+  // The single-shard default keeps the original sequential chain;
+  // anything else dispatches to the sharded sampler. The chain shape is
+  // fixed by the resolved shard count — an explicit `shards` pins it
+  // regardless of `threads`, otherwise it follows threads (0 = one
+  // shard per hardware thread). Quality is always read off the full
+  // graph.
   const int shards =
-      opts.threads <= 0 ? ThreadPool::HardwareConcurrency() : opts.threads;
+      opts.shards > 0
+          ? opts.shards
+          : (opts.threads <= 0 ? ThreadPool::HardwareConcurrency()
+                               : opts.threads);
   if (shards > 1) {
     return RunShardedLtm(ctx, name(), graph, *active, opts);
   }

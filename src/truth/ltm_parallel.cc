@@ -12,8 +12,13 @@ namespace ltm {
 
 namespace {
 
-int ResolveShards(int threads) {
-  return threads <= 0 ? ThreadPool::HardwareConcurrency() : threads;
+/// An explicit `shards` pins the chain shape regardless of worker
+/// count; otherwise the shard count follows `threads` (the historical
+/// coupling, 0 = hardware concurrency).
+int ResolveShards(const LtmOptions& options) {
+  if (options.shards > 0) return options.shards;
+  return options.threads <= 0 ? ThreadPool::HardwareConcurrency()
+                              : options.threads;
 }
 
 }  // namespace
@@ -23,7 +28,7 @@ ParallelLtmGibbs::ParallelLtmGibbs(const ClaimGraph& graph,
     : graph_(graph),
       options_(options),
       pool_(pool != nullptr ? pool : &ThreadPool::Shared()),
-      num_shards_(ResolveShards(options.threads)),
+      num_shards_(ResolveShards(options)),
       kernel_(ResolveKernel(options.kernel, num_shards_)),
       shard_bounds_(graph.PartitionFacts(num_shards_)),
       rng_(options.seed) {

@@ -87,6 +87,15 @@ struct LtmOptions {
   /// counts).
   int threads = 1;
 
+  /// Gibbs shard count, spec key `shards`, decoupled from `threads`:
+  /// shards fixes the chain (shard boundaries + per-shard RNG streams)
+  /// while threads only sets how many pool workers execute the shard
+  /// sweeps. 0 (default) follows `threads` — the historical coupling,
+  /// where every thread count was its own chain. A store partitioned N
+  /// ways can pin shards=N so refit chains stay reproducible no matter
+  /// what hardware runs them.
+  int shards = 0;
+
   /// Gibbs update kernel, spec key `kernel` (`auto|reference|fused`).
   /// kAuto keeps the sequential chain on the bit-pinned reference kernel
   /// and runs the sharded sampler on the fused kernel.
@@ -128,8 +137,8 @@ struct LtmOptions {
 
 /// Applies spec-string options (truth/method_spec.h) on top of `base` and
 /// validates the result. Accepted keys: iterations, burnin,
-/// sample_gap|gap, seed, threads, kernel, threshold|truth_threshold,
-/// positive_only, and the
+/// sample_gap|gap, seed, threads, shards, kernel,
+/// threshold|truth_threshold, positive_only, and the
 /// six prior pseudo-counts alpha0_pos, alpha0_neg, alpha1_pos, alpha1_neg,
 /// beta_pos, beta_neg. Used by every LTM-family registry factory.
 Result<LtmOptions> LtmOptionsFromSpec(const MethodOptions& spec_options,

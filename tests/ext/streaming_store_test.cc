@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "ext/streaming.h"
+#include "serve/serve_options.h"
+#include "serve/serve_session.h"
 #include "store/truth_store.h"
 #include "test_util.h"
 #include "truth/ltm.h"
@@ -69,8 +71,12 @@ TEST_F(StreamingStoreTest, ObserveToStoreRequiresAnAttachedStore) {
   StreamingPipeline pipeline(Options());
   Status st = pipeline.ObserveToStore(chunk_a_);
   EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
-  EXPECT_EQ(pipeline.ServeFact("e", "a").status().code(),
-            StatusCode::kFailedPrecondition);
+  // The serving layer refuses a store-less pipeline the same way.
+  EXPECT_EQ(
+      serve::ServeSession::Create(&pipeline, serve::ServeOptions())
+          .status()
+          .code(),
+      StatusCode::kFailedPrecondition);
 }
 
 TEST_F(StreamingStoreTest, BootstrapObserveAndServeAgainstTheStore) {
@@ -89,14 +95,17 @@ TEST_F(StreamingStoreTest, BootstrapObserveAndServeAgainstTheStore) {
   EXPECT_EQ(ds->raw.NumRows(),
             history_.raw.NumRows() + chunk_a_.raw.NumRows());
 
-  // ServeFact answers a point read: the first read computes from the
-  // entity's slice and caches; a repeat read at the same epoch is a hit.
+  // A point read through the serving layer: the first read computes
+  // from the entity's slice and caches; a repeat read at the same epoch
+  // is a hit.
+  auto session = serve::ServeSession::Create(&pipeline, serve::ServeOptions());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
   std::string entity, attribute;
   FactKey(chunk_a_, 0, &entity, &attribute);
-  auto served = pipeline.ServeFact(entity, attribute);
+  auto served = (*session)->Query({entity, attribute});
   ASSERT_TRUE(served.ok()) << served.status().ToString();
   const uint64_t hits_before = (*store)->posterior_cache().hits();
-  auto repeat = pipeline.ServeFact(entity, attribute);
+  auto repeat = (*session)->Query({entity, attribute});
   ASSERT_TRUE(repeat.ok());
   EXPECT_GT((*store)->posterior_cache().hits(), hits_before);
   EXPECT_DOUBLE_EQ(*served, *repeat);
@@ -108,26 +117,28 @@ TEST_F(StreamingStoreTest, BootstrapObserveAndServeAgainstTheStore) {
   EXPECT_NEAR(*served, estimate->estimate.probability[0], 1e-9);
 
   // An entity nobody ever claimed scores at the beta prior mean.
-  auto unknown = pipeline.ServeFact("no-such-entity", "no-such-attr");
+  auto unknown = (*session)->Query({"no-such-entity", "no-such-attr"});
   ASSERT_TRUE(unknown.ok());
   EXPECT_DOUBLE_EQ(*unknown, Options().ltm.beta.Mean());
 }
 
-TEST_F(StreamingStoreTest, ServeFactRecomputesAfterNewEvidence) {
+TEST_F(StreamingStoreTest, QueryRecomputesAfterNewEvidence) {
   auto store = store::TruthStore::Open(dir_);
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE((*store)->AppendDataset(history_).ok());
 
   StreamingPipeline pipeline(Options());
   ASSERT_TRUE(pipeline.BootstrapFromStore(store->get()).ok());
+  auto session = serve::ServeSession::Create(&pipeline, serve::ServeOptions());
+  ASSERT_TRUE(session.ok());
 
   std::string entity, attribute;
   FactKey(history_, 0, &entity, &attribute);
-  auto first = pipeline.ServeFact(entity, attribute);
+  auto first = (*session)->Query({entity, attribute});
   ASSERT_TRUE(first.ok());
   // Second read at the same epoch: served from cache.
   const uint64_t misses_before = (*store)->posterior_cache().misses();
-  auto second = pipeline.ServeFact(entity, attribute);
+  auto second = (*session)->Query({entity, attribute});
   ASSERT_TRUE(second.ok());
   EXPECT_EQ((*store)->posterior_cache().misses(), misses_before);
   EXPECT_DOUBLE_EQ(*first, *second);
@@ -135,12 +146,12 @@ TEST_F(StreamingStoreTest, ServeFactRecomputesAfterNewEvidence) {
   // New evidence advances the store epoch; the stale entry must not be
   // served even though the key is cached.
   ASSERT_TRUE(pipeline.ObserveToStore(chunk_a_).ok());
-  auto third = pipeline.ServeFact(entity, attribute);
+  auto third = (*session)->Query({entity, attribute});
   ASSERT_TRUE(third.ok());
   EXPECT_GT((*store)->posterior_cache().misses(), misses_before);
 }
 
-TEST_F(StreamingStoreTest, ServeFactMatchesFullGraphClosedForm) {
+TEST_F(StreamingStoreTest, QueryMatchesFullGraphClosedForm) {
   auto store = store::TruthStore::Open(dir_);
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE((*store)->AppendDataset(history_).ok());
@@ -148,10 +159,12 @@ TEST_F(StreamingStoreTest, ServeFactMatchesFullGraphClosedForm) {
 
   StreamingPipeline pipeline(Options());
   ASSERT_TRUE(pipeline.BootstrapFromStore(store->get()).ok());
+  auto session = serve::ServeSession::Create(&pipeline, serve::ServeOptions());
+  ASSERT_TRUE(session.ok());
 
   // Reference: LTMinc over the full materialized graph with the
-  // pipeline's learned quality. ServeFact rebuilds only the entity's
-  // slice; per-fact Eq. 3 must agree to FP noise.
+  // pipeline's learned quality. A served read rebuilds only the
+  // entity's slice; per-fact Eq. 3 must agree to FP noise.
   auto full = (*store)->Materialize();
   ASSERT_TRUE(full.ok());
   LtmIncremental reference(pipeline.quality(), Options().ltm);
@@ -159,7 +172,7 @@ TEST_F(StreamingStoreTest, ServeFactMatchesFullGraphClosedForm) {
   for (FactId f = 0; f < full->facts.NumFacts(); f += 7) {
     std::string entity, attribute;
     FactKey(*full, f, &entity, &attribute);
-    auto served = pipeline.ServeFact(entity, attribute);
+    auto served = (*session)->Query({entity, attribute});
     ASSERT_TRUE(served.ok()) << served.status().ToString();
     EXPECT_NEAR(*served, est.probability[f], 1e-9) << "fact " << f;
   }

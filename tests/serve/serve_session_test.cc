@@ -72,6 +72,27 @@ class ServeSessionTest : public ::testing::Test {
     return ref;
   }
 
+  /// Closed-form Eq. 3 posterior for `ref`: LTMinc over the store's full
+  /// materialized graph under the pipeline's installed quality. A served
+  /// read rebuilds only the entity's slice, so it must agree with this
+  /// to FP noise.
+  double ClosedForm(const FactRef& ref) {
+    auto full = store_->Materialize();
+    EXPECT_TRUE(full.ok());
+    LtmIncremental reference(pipeline_->quality(), pipeline_->options().ltm);
+    const TruthEstimate est = reference.Score(full->facts, full->graph);
+    for (FactId f = 0; f < full->facts.NumFacts(); ++f) {
+      const FactRef candidate = Ref(*full, f);
+      if (candidate.entity == ref.entity &&
+          candidate.attribute == ref.attribute) {
+        return est.probability[f];
+      }
+    }
+    ADD_FAILURE() << "fact not in store: " << ref.entity << "/"
+                  << ref.attribute;
+    return -1.0;
+  }
+
   std::string dir_;
   Dataset world_;
   Dataset history_;
@@ -96,20 +117,23 @@ TEST_F(ServeSessionTest, CreateRejectsInvalidOptions) {
             StatusCode::kInvalidArgument);
 }
 
-// The redesigned API must serve exactly what the deprecated read path
-// serves: both score the same epoch-pinned slice under the same quality.
-TEST_F(ServeSessionTest, QueryMatchesDeprecatedServeFact) {
+// A served point read must score the same Eq. 3 posterior the full
+// materialized graph yields under the same epoch and quality, even
+// though it only ever rebuilds the queried entity's slice.
+TEST_F(ServeSessionTest, QueryMatchesFullGraphClosedForm) {
   Bootstrap(Options());
   auto session = ServeSession::Create(pipeline_.get(), ServeOptions());
   ASSERT_TRUE(session.ok()) << session.status().ToString();
 
-  for (FactId f = 0; f < history_.facts.NumFacts(); f += 5) {
-    const FactRef ref = Ref(history_, f);
-    auto via_shim = pipeline_->ServeFact(ref.entity, ref.attribute);
-    ASSERT_TRUE(via_shim.ok()) << via_shim.status().ToString();
+  auto full = store_->Materialize();
+  ASSERT_TRUE(full.ok());
+  LtmIncremental reference(pipeline_->quality(), Options().ltm);
+  const TruthEstimate est = reference.Score(full->facts, full->graph);
+  for (FactId f = 0; f < full->facts.NumFacts(); f += 5) {
+    const FactRef ref = Ref(*full, f);
     auto via_session = (*session)->Query(ref);
     ASSERT_TRUE(via_session.ok()) << via_session.status().ToString();
-    EXPECT_EQ(*via_session, *via_shim) << "fact " << f;  // bit-identical
+    EXPECT_NEAR(*via_session, est.probability[f], 1e-9) << "fact " << f;
   }
 
   // A fact nobody ever claimed scores at the beta prior mean.
@@ -194,12 +218,10 @@ TEST_F(ServeSessionTest, RefreshQualityServesTheNewFit) {
   ASSERT_TRUE((*session)->RefreshQuality().ok());
   EXPECT_EQ((*session)->Stats().quality_version, 1u);
 
-  // Post-refresh answers equal the deprecated path under the new fit.
+  // Post-refresh answers match the closed form under the new fit.
   auto refreshed = (*session)->Query(probe);
   ASSERT_TRUE(refreshed.ok());
-  auto shim = pipeline_->ServeFact(probe.entity, probe.attribute);
-  ASSERT_TRUE(shim.ok());
-  EXPECT_EQ(*refreshed, *shim);
+  EXPECT_NEAR(*refreshed, ClosedForm(probe), 1e-9);
 }
 
 TEST_F(ServeSessionTest, BackgroundSchedulerRefitsAfterForeignIngest) {
@@ -228,13 +250,11 @@ TEST_F(ServeSessionTest, BackgroundSchedulerRefitsAfterForeignIngest) {
   EXPECT_GE(pipeline_->last_fit_epoch(), arrivals_.raw.NumRows());
 
   // The new fit covers the foreign rows: an arrival fact now serves a
-  // real posterior, equal to the deprecated path's answer.
+  // real posterior, matching the closed form under the refitted quality.
   const FactRef probe = Ref(arrivals_, 0);
   auto served = (*session)->Query(probe);
   ASSERT_TRUE(served.ok());
-  auto shim = pipeline_->ServeFact(probe.entity, probe.attribute);
-  ASSERT_TRUE(shim.ok());
-  EXPECT_EQ(*served, *shim);
+  EXPECT_NEAR(*served, ClosedForm(probe), 1e-9);
 }
 
 class ServeSessionConcurrencyTest : public ServeSessionTest {};
@@ -316,14 +336,15 @@ TEST_F(ServeSessionConcurrencyTest, SnapshotReadsBitIdenticalUnderStorm) {
       ServeSession::Create(pipeline_.get(), serve_opts, &pool);
   ASSERT_TRUE(session.ok());
 
-  // Sequential baseline at the current epoch, via the deprecated path.
+  // Sequential baseline: live point reads before any writer starts. The
+  // snapshot acquired below pins this same epoch and quality version, so
+  // its reads must reproduce these bits exactly, storm or no storm.
   std::vector<FactRef> probes;
   std::vector<double> baseline;
   for (FactId f = 0; f < history_.facts.NumFacts() && probes.size() < 8;
        f += 7) {
     probes.push_back(Ref(history_, f));
-    auto served =
-        pipeline_->ServeFact(probes.back().entity, probes.back().attribute);
+    auto served = (*session)->Query(probes.back());
     ASSERT_TRUE(served.ok());
     baseline.push_back(*served);
   }
@@ -510,6 +531,48 @@ TEST_F(RefitSchedulerTest, FailedFitKeepsTriggerArmed) {
   stats = scheduler.Stats();
   EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(stats.last_fit_epoch, 40u);
+}
+
+// Partitioned stores report one epoch per partition; the debounce is
+// per slot, and a layout change (split/merge resized the vector) always
+// fires regardless of the epoch values.
+TEST_F(RefitSchedulerTest, PartitionEpochVectorDebounce) {
+  ThreadPool pool(1);
+  std::atomic<int> fits{0};
+  RefitSchedulerOptions options;
+  options.debounce_epochs = 10;
+  RefitScheduler scheduler(
+      &pool,
+      [&](const RunContext&) -> Result<uint64_t> {
+        fits.fetch_add(1, std::memory_order_relaxed);
+        return 100;
+      },
+      options, /*initial_fit_epoch=*/0);
+
+  // The scalar seed is a width-1 baseline; a 3-partition vector is a
+  // layout change, so the first notify fires and re-baselines per slot.
+  ASSERT_TRUE(scheduler.NotifyPartitionEpochs({3, 4, 5}).ok());
+  scheduler.Drain();
+  EXPECT_EQ(fits.load(), 1);
+  EXPECT_EQ(scheduler.Stats().last_fit_epoch, 100u);
+
+  // Every slot below its own baseline + debounce: no trigger.
+  ASSERT_TRUE(scheduler.NotifyPartitionEpochs({12, 13, 14}).ok());
+  scheduler.Drain();
+  EXPECT_EQ(fits.load(), 1);
+
+  // One hot partition crossing its own threshold fires even though the
+  // other partitions are idle.
+  ASSERT_TRUE(scheduler.NotifyPartitionEpochs({3, 14, 5}).ok());
+  scheduler.Drain();
+  EXPECT_EQ(fits.load(), 2);
+
+  // A merge shrank the layout to two partitions: fires on width change
+  // even though every epoch is behind the baseline.
+  ASSERT_TRUE(scheduler.NotifyPartitionEpochs({0, 0}).ok());
+  scheduler.Drain();
+  EXPECT_EQ(fits.load(), 3);
+  EXPECT_FALSE(scheduler.Stats().in_flight);
 }
 
 }  // namespace

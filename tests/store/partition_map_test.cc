@@ -1,0 +1,158 @@
+#include "store/partition_map.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ltm {
+namespace store {
+namespace {
+
+namespace fs = std::filesystem;
+
+PartitionMap ThreeWayMap() {
+  PartitionMap map;
+  map.generation = 7;
+  map.next_partition_id = 12;
+  PartitionMapEntry a;
+  a.id = 3;
+  a.dir = PartitionDirName(3);
+  a.lower = "";
+  a.has_upper = true;
+  a.upper = "h";
+  PartitionMapEntry b;
+  b.id = 9;
+  b.dir = PartitionDirName(9);
+  b.lower = "h";
+  b.has_upper = true;
+  b.upper = "q";
+  PartitionMapEntry c;
+  c.id = 11;
+  c.dir = PartitionDirName(11);
+  c.lower = "q";
+  c.has_upper = false;
+  map.entries = {a, b, c};
+  return map;
+}
+
+TEST(PartitionMapTest, SerializeParseRoundTrip) {
+  const PartitionMap map = ThreeWayMap();
+  const std::string bytes = SerializePartitionMap(map);
+  auto parsed = ParsePartitionMapFromBytes(bytes, "test");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, map);
+  EXPECT_TRUE(ValidatePartitionMap(*parsed).ok());
+}
+
+TEST(PartitionMapTest, ParseRejectsCorruptionAnywhere) {
+  const std::string bytes = SerializePartitionMap(ThreeWayMap());
+  // Short reads (every truncation point) fail cleanly.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        ParsePartitionMapFromBytes(bytes.substr(0, len), "trunc").ok())
+        << "truncated to " << len << " byte(s)";
+  }
+  // Any single flipped byte breaks either the structure or the checksum.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x5a);
+    EXPECT_FALSE(ParsePartitionMapFromBytes(flipped, "flip").ok())
+        << "flipped byte " << i;
+  }
+  // Trailing garbage after the checksum is corruption, not slack.
+  EXPECT_FALSE(ParsePartitionMapFromBytes(bytes + "x", "tail").ok());
+}
+
+TEST(PartitionMapTest, ValidateEnforcesRangeInvariants) {
+  EXPECT_FALSE(ValidatePartitionMap(PartitionMap()).ok());  // no entries
+
+  {  // Gap: upper "h" but the next lower is "m".
+    PartitionMap map = ThreeWayMap();
+    map.entries[1].lower = "m";
+    EXPECT_FALSE(ValidatePartitionMap(map).ok());
+  }
+  {  // Overlap: the middle range reaches below its predecessor's upper.
+    PartitionMap map = ThreeWayMap();
+    map.entries[1].lower = "d";
+    EXPECT_FALSE(ValidatePartitionMap(map).ok());
+  }
+  {  // First range must be unbounded below.
+    PartitionMap map = ThreeWayMap();
+    map.entries[0].lower = "a";
+    EXPECT_FALSE(ValidatePartitionMap(map).ok());
+  }
+  {  // Only the last range may be unbounded above.
+    PartitionMap map = ThreeWayMap();
+    map.entries[1].has_upper = false;
+    map.entries[1].upper.clear();
+    EXPECT_FALSE(ValidatePartitionMap(map).ok());
+  }
+  {  // Empty bounded range.
+    PartitionMap map = ThreeWayMap();
+    map.entries[1].upper = "h";
+    map.entries[2].lower = "h";
+    EXPECT_FALSE(ValidatePartitionMap(map).ok());
+  }
+  {  // Duplicate ids.
+    PartitionMap map = ThreeWayMap();
+    map.entries[1].id = map.entries[0].id;
+    EXPECT_FALSE(ValidatePartitionMap(map).ok());
+  }
+  {  // An id at/above next_partition_id could be reused by a later split.
+    PartitionMap map = ThreeWayMap();
+    map.next_partition_id = 11;
+    EXPECT_FALSE(ValidatePartitionMap(map).ok());
+  }
+}
+
+TEST(PartitionMapTest, FindPartitionRoutesByRange) {
+  const PartitionMap map = ThreeWayMap();
+  EXPECT_EQ(FindPartition(map, ""), 0u);
+  EXPECT_EQ(FindPartition(map, "apple"), 0u);
+  EXPECT_EQ(FindPartition(map, "h"), 1u);  // lower bound is inclusive
+  EXPECT_EQ(FindPartition(map, "pear"), 1u);
+  EXPECT_EQ(FindPartition(map, "q"), 2u);
+  EXPECT_EQ(FindPartition(map, "zebra"), 2u);
+  for (const char* e : {"", "g\xff", "h", "p", "q", "zz"}) {
+    EXPECT_TRUE(map.entries[FindPartition(map, e)].Contains(e)) << e;
+  }
+}
+
+TEST(PartitionMapTest, CommitAndLoadRoundTripAndRejectTampering) {
+  const std::string dir =
+      ::testing::TempDir() + "/partition_map_test_commit";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  EXPECT_EQ(LoadPartitionMap(dir).status().code(), StatusCode::kNotFound);
+
+  const PartitionMap map = ThreeWayMap();
+  ASSERT_TRUE(CommitPartitionMap(dir, map).ok());
+  auto loaded = LoadPartitionMap(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, map);
+
+  // Commit validates: an invalid map must never reach disk.
+  PartitionMap bad = map;
+  bad.entries[1].lower = "zzz";
+  EXPECT_FALSE(CommitPartitionMap(dir, bad).ok());
+  loaded = LoadPartitionMap(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, map);  // previous commit intact
+
+  // A flipped byte on disk is caught by the checksum on load.
+  {
+    std::fstream f(dir + "/" + kPartitionMapFileName,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('\x7f');
+  }
+  EXPECT_FALSE(LoadPartitionMap(dir).ok());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace ltm

@@ -295,6 +295,71 @@ TEST_F(WalTest, InnerStringLengthBombEndsTheScan) {
   EXPECT_TRUE(replay->torn_tail);
 }
 
+// --- version 2: router-assigned ingest sequence numbers ------------------
+
+TEST_F(WalTest, V2PersistsIngestSequenceNumbers) {
+  const std::string path = Path("seq.log");
+  std::vector<WalRecord> records = SampleRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].seq = 1000 + i * 3;  // sparse: a router skips seqs freely
+  }
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ(writer->version(), kWalVersion);
+    for (const WalRecord& r : records) ASSERT_TRUE(writer->Append(r).ok());
+    ASSERT_TRUE(writer->Sync().ok());
+  }
+  auto replay = ReplayWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records, records);  // seqs round-trip exactly
+}
+
+// A version-1 log (no seq field) replays with every seq reported as 0,
+// and a writer appending to it keeps the file's own format — a log is
+// never mixed-version.
+TEST_F(WalTest, LegacyV1LogsReplayWithZeroSeqsAndStayV1) {
+  const std::string path = Path("v1.log");
+  const WalRecord r1{"harry", "radcliffe", "imdb", 1, 0};
+  const WalRecord r2{"harry", "watson", "netflix", 1, 0};
+  std::string file(kWalMagic, 4);
+  file += EncodeLe<uint32_t>(kWalLegacyVersion);
+  for (const WalRecord& r : {r1, r2}) {
+    std::string payload;
+    payload += EncodeLe<uint8_t>(r.observation);  // v1: no seq field
+    for (const std::string* s : {&r.entity, &r.attribute, &r.source}) {
+      payload += EncodeLe<uint32_t>(static_cast<uint32_t>(s->size()));
+      payload += *s;
+    }
+    file += EncodeLe<uint32_t>(static_cast<uint32_t>(payload.size()));
+    file += EncodeLe<uint64_t>(Fnv1a64(payload));
+    file += payload;
+  }
+  WriteFile(path, file);
+
+  auto replay = ReplayWal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0], r1);
+  EXPECT_EQ(replay->records[1], r2);
+
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ(writer->version(), kWalLegacyVersion);
+    WalRecord r3{"harry", "grint", "imdb", 1, 77};
+    ASSERT_TRUE(writer->Append(r3).ok());
+    ASSERT_TRUE(writer->Sync().ok());
+  }
+  replay = ReplayWal(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 3u);
+  EXPECT_EQ(replay->records[2].entity, "harry");
+  EXPECT_EQ(replay->records[2].attribute, "grint");
+  EXPECT_EQ(replay->records[2].seq, 0u);  // v1 cannot carry the seq
+}
+
 }  // namespace
 }  // namespace store
 }  // namespace ltm
